@@ -1,0 +1,120 @@
+//! Shared, thread-safe query budgets.
+//!
+//! A [`QueryBudget`] is cloneable and shared: an experiment hands the same
+//! budget to the seed-search, the pilot walks and the main walk so the
+//! total across all of them respects the paper's "query budget" system
+//! input (§3.1). Charging is atomic; the first request that would exceed
+//! the limit is rejected *without* being served.
+
+use crate::error::ApiError;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Inner {
+    limit: Option<u64>,
+    spent: u64,
+}
+
+/// A cloneable handle to a shared API-call budget.
+#[derive(Clone, Debug)]
+pub struct QueryBudget(Arc<Mutex<Inner>>);
+
+impl QueryBudget {
+    /// A budget that never runs out (for ground-truth-side tooling).
+    pub fn unlimited() -> Self {
+        QueryBudget(Arc::new(Mutex::new(Inner { limit: None, spent: 0 })))
+    }
+
+    /// A budget of `limit` total API calls.
+    pub fn limited(limit: u64) -> Self {
+        QueryBudget(Arc::new(Mutex::new(Inner { limit: Some(limit), spent: 0 })))
+    }
+
+    /// Charges `calls` calls, failing (and charging nothing) if that would
+    /// exceed the limit.
+    pub fn charge(&self, calls: u64) -> Result<(), ApiError> {
+        let mut inner = self.0.lock();
+        if let Some(limit) = inner.limit {
+            if inner.spent + calls > limit {
+                return Err(ApiError::BudgetExhausted { spent: inner.spent, limit });
+            }
+        }
+        inner.spent += calls;
+        Ok(())
+    }
+
+    /// Total calls charged so far (across all clones).
+    pub fn spent(&self) -> u64 {
+        self.0.lock().spent
+    }
+
+    /// Remaining calls; `None` when unlimited.
+    pub fn remaining(&self) -> Option<u64> {
+        let inner = self.0.lock();
+        inner.limit.map(|l| l.saturating_sub(inner.spent))
+    }
+
+    /// Whether at least `calls` more calls fit.
+    pub fn can_afford(&self, calls: u64) -> bool {
+        let inner = self.0.lock();
+        inner.limit.map_or(true, |l| inner.spent + calls <= l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_and_exhaustion() {
+        let b = QueryBudget::limited(5);
+        assert!(b.charge(3).is_ok());
+        assert_eq!(b.spent(), 3);
+        assert_eq!(b.remaining(), Some(2));
+        assert!(b.can_afford(2));
+        assert!(!b.can_afford(3));
+        // Over-charge fails atomically: nothing is deducted.
+        let err = b.charge(3).unwrap_err();
+        assert_eq!(err, ApiError::BudgetExhausted { spent: 3, limit: 5 });
+        assert_eq!(b.spent(), 3);
+        assert!(b.charge(2).is_ok());
+        assert!(b.charge(1).is_err());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = QueryBudget::limited(4);
+        let b = a.clone();
+        a.charge(2).unwrap();
+        b.charge(2).unwrap();
+        assert!(a.charge(1).is_err());
+        assert_eq!(b.spent(), 4);
+    }
+
+    #[test]
+    fn unlimited_never_fails() {
+        let b = QueryBudget::unlimited();
+        assert!(b.charge(u64::MAX / 4).is_ok());
+        assert!(b.charge(u64::MAX / 4).is_ok());
+        assert_eq!(b.remaining(), None);
+        assert!(b.can_afford(u64::MAX / 4));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let b = QueryBudget::limited(1_000);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let b = b.clone();
+                s.spawn(move || {
+                    for _ in 0..125 {
+                        b.charge(1).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(b.spent(), 1_000);
+        assert!(b.charge(1).is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! The three-query microblog client, plus a memoizing wrapper.
+//!
+//! [`MicroblogClient`] is the *only* window the analyzer has onto a
+//! [`Platform`]: SEARCH, USER CONNECTIONS and USER TIMELINE, exactly as in
+//! §2 of the paper. Every request is charged to the cost meter and the
+//! shared budget *before* being served, with pagination translated into
+//! call counts per the platform's [`ApiProfile`].
+//!
+//! [`CachingClient`] memoizes responses so that revisiting a node during a
+//! random walk does not re-issue (and re-pay for) the same API calls —
+//! the standard practice in the crawling literature the paper builds on.
+
+use crate::budget::QueryBudget;
+use crate::error::ApiError;
+use crate::meter::CostMeter;
+use crate::profile::ApiProfile;
+use microblog_platform::metric::MetricInputs;
+use microblog_platform::{
+    KeywordId, Platform, Post, PostId, TimeWindow, Timestamp, UserId, UserProfile,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One SEARCH result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchHit {
+    /// Matching post id.
+    pub post_id: PostId,
+    /// Its author — the "seed user" source for the walks.
+    pub author: UserId,
+    /// Publication time.
+    pub time: Timestamp,
+}
+
+/// Everything a USER TIMELINE query reveals about a user.
+#[derive(Clone, Debug)]
+pub struct UserView {
+    /// The user.
+    pub user: UserId,
+    /// Profile (returned together with the timeline, per §2).
+    pub profile: UserProfile,
+    /// Follower count as displayed on the profile.
+    pub follower_count: usize,
+    /// Followee count as displayed on the profile.
+    pub followee_count: usize,
+    /// Visible posts, most recent first; truncated at the platform's
+    /// timeline cap.
+    pub posts: Vec<Post>,
+    /// Whether the cap hid older posts (the paper's 3 200-tweet caveat).
+    pub truncated: bool,
+}
+
+impl UserView {
+    /// Metric-evaluation inputs backed by this view.
+    pub fn metric_inputs(&self) -> MetricInputs<'_> {
+        MetricInputs {
+            profile: &self.profile,
+            follower_count: self.follower_count,
+            followee_count: self.followee_count,
+            posts: &self.posts,
+        }
+    }
+
+    /// Time of the first visible post mentioning `kw` inside `window` —
+    /// the quantity that assigns the user to a level (§4.2.1).
+    pub fn first_mention(&self, kw: KeywordId, window: TimeWindow) -> Option<Timestamp> {
+        self.posts
+            .iter()
+            .rev() // oldest visible first
+            .find(|p| p.mentions(kw) && window.contains(p.time))
+            .map(|p| p.time)
+    }
+}
+
+/// The rate-limited client.
+#[derive(Clone, Debug)]
+pub struct MicroblogClient<'a> {
+    platform: &'a Platform,
+    profile: ApiProfile,
+    meter: CostMeter,
+    budget: QueryBudget,
+}
+
+impl<'a> MicroblogClient<'a> {
+    /// A client with an unlimited budget.
+    pub fn new(platform: &'a Platform, profile: ApiProfile) -> Self {
+        Self::with_budget(platform, profile, QueryBudget::unlimited())
+    }
+
+    /// A client charging the given (possibly shared) budget.
+    pub fn with_budget(platform: &'a Platform, profile: ApiProfile, budget: QueryBudget) -> Self {
+        MicroblogClient { platform, profile, meter: CostMeter::new(), budget }
+    }
+
+    /// The API profile in force.
+    pub fn api_profile(&self) -> &ApiProfile {
+        &self.profile
+    }
+
+    /// Per-endpoint call counts so far.
+    pub fn meter(&self) -> &CostMeter {
+        &self.meter
+    }
+
+    /// The shared budget handle.
+    pub fn budget(&self) -> &QueryBudget {
+        &self.budget
+    }
+
+    /// The platform clock (public knowledge: "today").
+    pub fn now(&self) -> Timestamp {
+        self.platform.now()
+    }
+
+    /// SEARCH: posts mentioning `kw` within the trailing search window,
+    /// most recent first, truncated at the platform's search cap.
+    pub fn search(&mut self, kw: KeywordId) -> Result<Vec<SearchHit>, ApiError> {
+        let window = TimeWindow::trailing(self.platform.now(), self.profile.search_window);
+        let mut ids = self.platform.search_posts(kw, window);
+        if let Some(cap) = self.profile.search_cap {
+            ids.truncate(cap);
+        }
+        let calls = ApiProfile::calls_for(ids.len(), self.profile.search_page);
+        self.budget.charge(calls)?;
+        self.meter.search += calls;
+        Ok(ids
+            .into_iter()
+            .map(|pid| {
+                let p = self.platform.post(pid);
+                SearchHit { post_id: pid, author: p.author, time: p.time }
+            })
+            .collect())
+    }
+
+    /// USER TIMELINE: profile plus visible posts (most recent first, capped).
+    pub fn user_timeline(&mut self, u: UserId) -> Result<UserView, ApiError> {
+        self.check_user(u)?;
+        let all = self.platform.timeline(u);
+        let visible = match self.profile.timeline_cap {
+            Some(cap) => &all[..all.len().min(cap)],
+            None => all,
+        };
+        let calls = ApiProfile::calls_for(visible.len(), self.profile.timeline_page);
+        self.budget.charge(calls)?;
+        self.meter.timeline += calls;
+        Ok(UserView {
+            user: u,
+            profile: self.platform.profile(u).clone(),
+            follower_count: self.platform.followers(u).len(),
+            followee_count: self.platform.followees(u).len(),
+            posts: visible.iter().map(|&pid| self.platform.post(pid).clone()).collect(),
+            truncated: visible.len() < all.len(),
+        })
+    }
+
+    /// USER CONNECTIONS: the undirected social-graph neighbors of `u`
+    /// (union of both directions on asymmetric platforms, which costs two
+    /// paginated fetch sequences — §3.2).
+    pub fn connections(&mut self, u: UserId) -> Result<Vec<UserId>, ApiError> {
+        self.check_user(u)?;
+        let followers = self.platform.followers(u);
+        let followees = self.platform.followees(u);
+        let calls = if self.profile.asymmetric {
+            ApiProfile::calls_for(followers.len(), self.profile.connections_page)
+                + ApiProfile::calls_for(followees.len(), self.profile.connections_page)
+        } else {
+            ApiProfile::calls_for(
+                followers.len() + followees.len(),
+                self.profile.connections_page,
+            )
+        };
+        self.budget.charge(calls)?;
+        self.meter.connections += calls;
+        // Merge the two sorted lists into the undirected neighbor set.
+        let mut merged = Vec::with_capacity(followers.len() + followees.len());
+        let (mut i, mut j) = (0, 0);
+        while i < followers.len() || j < followees.len() {
+            let next = match (followers.get(i), followees.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                    a
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    i += 1;
+                    a
+                }
+                (Some(_), Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            merged.push(UserId(next));
+        }
+        Ok(merged)
+    }
+
+    fn check_user(&self, u: UserId) -> Result<(), ApiError> {
+        if u.index() < self.platform.user_count() {
+            Ok(())
+        } else {
+            Err(ApiError::UnknownUser(u))
+        }
+    }
+}
+
+/// A memoizing wrapper: repeated requests for the same user or keyword are
+/// served from cache at zero cost.
+#[derive(Clone, Debug)]
+pub struct CachingClient<'a> {
+    inner: MicroblogClient<'a>,
+    timelines: HashMap<UserId, Arc<UserView>>,
+    connections: HashMap<UserId, Arc<Vec<UserId>>>,
+    searches: HashMap<KeywordId, Arc<Vec<SearchHit>>>,
+}
+
+impl<'a> CachingClient<'a> {
+    /// Wraps a client.
+    pub fn new(inner: MicroblogClient<'a>) -> Self {
+        CachingClient {
+            inner,
+            timelines: HashMap::new(),
+            connections: HashMap::new(),
+            searches: HashMap::new(),
+        }
+    }
+
+    /// The wrapped client (for meters/budget/profile access).
+    pub fn client(&self) -> &MicroblogClient<'a> {
+        &self.inner
+    }
+
+    /// Total API calls charged so far.
+    pub fn cost(&self) -> u64 {
+        self.inner.meter().total()
+    }
+
+    /// The platform clock.
+    pub fn now(&self) -> Timestamp {
+        self.inner.now()
+    }
+
+    /// Cached SEARCH.
+    pub fn search(&mut self, kw: KeywordId) -> Result<Arc<Vec<SearchHit>>, ApiError> {
+        if let Some(hit) = self.searches.get(&kw) {
+            return Ok(Arc::clone(hit));
+        }
+        let fresh = Arc::new(self.inner.search(kw)?);
+        self.searches.insert(kw, Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Cached USER TIMELINE.
+    pub fn user_timeline(&mut self, u: UserId) -> Result<Arc<UserView>, ApiError> {
+        if let Some(hit) = self.timelines.get(&u) {
+            return Ok(Arc::clone(hit));
+        }
+        let fresh = Arc::new(self.inner.user_timeline(u)?);
+        self.timelines.insert(u, Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Cached USER CONNECTIONS.
+    pub fn connections(&mut self, u: UserId) -> Result<Arc<Vec<UserId>>, ApiError> {
+        if let Some(hit) = self.connections.get(&u) {
+            return Ok(Arc::clone(hit));
+        }
+        let fresh = Arc::new(self.inner.connections(u)?);
+        self.connections.insert(u, Arc::clone(&fresh));
+        Ok(fresh)
+    }
+
+    /// Number of distinct users whose timeline was fetched.
+    pub fn distinct_timelines(&self) -> usize {
+        self.timelines.len()
+    }
+}

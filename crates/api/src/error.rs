@@ -1,0 +1,42 @@
+//! API error type.
+
+use microblog_platform::UserId;
+
+/// Failures surfaced by the data-access layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApiError {
+    /// The shared query budget ran out; the request was *not* served.
+    BudgetExhausted {
+        /// Calls spent when the request was rejected.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The requested user does not exist on the platform.
+    UnknownUser(UserId),
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::BudgetExhausted { spent, limit } => {
+                write!(f, "query budget exhausted ({spent}/{limit} API calls)")
+            }
+            ApiError::UnknownUser(u) => write!(f, "unknown user {u}"),
+        }
+    }
+}
+
+impl std::error::Error for ApiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ApiError::BudgetExhausted { spent: 10, limit: 10 };
+        assert_eq!(e.to_string(), "query budget exhausted (10/10 API calls)");
+        assert_eq!(ApiError::UnknownUser(UserId(3)).to_string(), "unknown user u3");
+    }
+}

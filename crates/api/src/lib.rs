@@ -1,0 +1,42 @@
+//! # microblog-api
+//!
+//! The rate-limited data-access model of §2 of the paper. Every microblog
+//! platform the paper targets exposes exactly three queries:
+//!
+//! 1. **SEARCH(keyword)** — recent posts containing the keyword, scoped to
+//!    a trailing window (one week on Twitter) and paginated;
+//! 2. **USER CONNECTIONS(u)** — the users connected to `u` (both follow
+//!    directions on asymmetric platforms), paginated (5 000 per call on
+//!    Twitter);
+//! 3. **USER TIMELINE(u)** — `u`'s historic posts plus profile, paginated
+//!    (200 per call on Twitter, 20 on Google+) and possibly capped (the
+//!    most recent 3 200 tweets on Twitter).
+//!
+//! The paper's efficiency metric is *the number of API calls*, so
+//! [`client::MicroblogClient`] charges each request to a [`meter::CostMeter`]
+//! and an optional shared [`budget::QueryBudget`]; exceeding the budget
+//! fails the call with [`error::ApiError::BudgetExhausted`]. The
+//! [`profile::ApiProfile`] presets encode the Twitter / Google+ / Tumblr
+//! page sizes, caps and rate quotas described in §2/§6.1, and
+//! [`rate::wall_clock`] translates a call count into the real-world time a
+//! run would take under the platform's quota — the "180 queries per 15
+//! minutes" constraint that motivates the whole paper.
+//!
+//! The analyzer layer is only allowed to observe the platform through this
+//! crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod client;
+pub mod error;
+pub mod meter;
+pub mod profile;
+pub mod rate;
+
+pub use budget::QueryBudget;
+pub use client::{CachingClient, MicroblogClient, SearchHit, UserView};
+pub use error::ApiError;
+pub use meter::CostMeter;
+pub use profile::ApiProfile;

@@ -1,0 +1,63 @@
+//! Per-endpoint API-call accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts API calls by endpoint. The paper's efficiency metric ("query
+/// cost") is [`CostMeter::total`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostMeter {
+    /// SEARCH calls.
+    pub search: u64,
+    /// USER CONNECTIONS calls (each page of each direction counts).
+    pub connections: u64,
+    /// USER TIMELINE calls (each page counts).
+    pub timeline: u64,
+}
+
+impl CostMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total API calls across all endpoints.
+    pub fn total(&self) -> u64 {
+        self.search + self.connections + self.timeline
+    }
+
+    /// Adds another meter's counts into this one.
+    pub fn absorb(&mut self, other: &CostMeter) {
+        self.search += other.search;
+        self.connections += other.connections;
+        self.timeline += other.timeline;
+    }
+}
+
+impl std::fmt::Display for CostMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} calls (search {}, connections {}, timeline {})",
+            self.total(),
+            self.search,
+            self.connections,
+            self.timeline
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_absorb() {
+        let mut a = CostMeter { search: 1, connections: 2, timeline: 3 };
+        assert_eq!(a.total(), 6);
+        let b = CostMeter { search: 10, connections: 0, timeline: 5 };
+        a.absorb(&b);
+        assert_eq!(a, CostMeter { search: 11, connections: 2, timeline: 8 });
+        assert_eq!(a.to_string(), "21 calls (search 11, connections 2, timeline 8)");
+        assert_eq!(CostMeter::new().total(), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Platform API profiles: page sizes, caps, windows and rate quotas.
+//!
+//! These presets encode the access limitations the paper reports for each
+//! platform (§2, §3.2, §6.1). They are what make the same algorithm cost
+//! different absolute amounts per platform — e.g. Fig. 12/13's note that
+//! Google+ costs are "much higher than in Twitter" because its APIs return
+//! at most 20 results per invocation versus 200.
+
+use microblog_platform::Duration;
+use serde::{Deserialize, Serialize};
+
+/// A platform's per-window call allowance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateQuota {
+    /// Calls allowed per window.
+    pub calls: u64,
+    /// Window length.
+    pub per: Duration,
+}
+
+/// The access-interface parameters of one microblog platform.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApiProfile {
+    /// Human-readable platform name.
+    pub name: &'static str,
+    /// How far back SEARCH can see (trailing window ending at "now").
+    pub search_window: Duration,
+    /// Posts returned per SEARCH call.
+    pub search_page: usize,
+    /// Hard cap on total SEARCH results, if any ("top-k in the low
+    /// thousands" on some platforms).
+    pub search_cap: Option<usize>,
+    /// Posts returned per USER TIMELINE call.
+    pub timeline_page: usize,
+    /// Cap on how many historic posts the timeline exposes (3 200 on
+    /// Twitter).
+    pub timeline_cap: Option<usize>,
+    /// Connections returned per USER CONNECTIONS call.
+    pub connections_page: usize,
+    /// Whether relations are asymmetric, requiring separate follower and
+    /// followee endpoints (two paginated fetch sequences per user).
+    pub asymmetric: bool,
+    /// Rate quota.
+    pub quota: RateQuota,
+}
+
+impl ApiProfile {
+    /// Twitter's REST API v1.1 as described in the paper: one-week search,
+    /// 100 tweets per search page, 200-per-page timeline capped at 3 200,
+    /// 5 000-per-page follower/followee lists, 180 calls per 15 minutes.
+    pub fn twitter() -> Self {
+        ApiProfile {
+            name: "twitter",
+            search_window: Duration::WEEK,
+            search_page: 100,
+            search_cap: None,
+            timeline_page: 200,
+            timeline_cap: Some(3_200),
+            connections_page: 5_000,
+            asymmetric: true,
+            quota: RateQuota { calls: 180, per: Duration(15 * 60) },
+        }
+    }
+
+    /// Google+ as described in §6.1: Activity search returning 20 results
+    /// per call, derived (symmetric) interaction connections, courtesy
+    /// limit of 10 000 queries/day.
+    pub fn google_plus() -> Self {
+        ApiProfile {
+            name: "google+",
+            search_window: Duration::WEEK * 2,
+            search_page: 20,
+            search_cap: None,
+            timeline_page: 20,
+            timeline_cap: None,
+            connections_page: 100,
+            asymmetric: false,
+            quota: RateQuota { calls: 10_000, per: Duration::DAY },
+        }
+    }
+
+    /// Tumblr as described in §6.1: 20-post pages, blog follows
+    /// (asymmetric), one request per 10 seconds.
+    pub fn tumblr() -> Self {
+        ApiProfile {
+            name: "tumblr",
+            search_window: Duration::WEEK,
+            search_page: 20,
+            search_cap: Some(3_000),
+            timeline_page: 20,
+            timeline_cap: None,
+            connections_page: 20,
+            asymmetric: true,
+            quota: RateQuota { calls: 1, per: Duration(10) },
+        }
+    }
+
+    /// Calls needed to page through `items` items `page_size` at a time
+    /// (at least one call — asking is what costs).
+    pub fn calls_for(items: usize, page_size: usize) -> u64 {
+        let pages = items.div_ceil(page_size.max(1));
+        pages.max(1) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_numbers() {
+        let t = ApiProfile::twitter();
+        assert_eq!(t.search_window, Duration::WEEK);
+        assert_eq!(t.timeline_cap, Some(3_200));
+        assert_eq!(t.connections_page, 5_000);
+        assert_eq!(t.quota.calls, 180);
+        assert!(t.asymmetric);
+
+        let g = ApiProfile::google_plus();
+        assert_eq!(g.timeline_page, 20);
+        assert!(!g.asymmetric);
+
+        let tb = ApiProfile::tumblr();
+        assert_eq!(tb.quota, RateQuota { calls: 1, per: Duration(10) });
+        assert_eq!(tb.search_cap, Some(3_000));
+    }
+
+    #[test]
+    fn paging_arithmetic() {
+        assert_eq!(ApiProfile::calls_for(0, 200), 1);
+        assert_eq!(ApiProfile::calls_for(1, 200), 1);
+        assert_eq!(ApiProfile::calls_for(200, 200), 1);
+        assert_eq!(ApiProfile::calls_for(201, 200), 2);
+        assert_eq!(ApiProfile::calls_for(5_000, 5_000), 1);
+        assert_eq!(ApiProfile::calls_for(10_001, 5_000), 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! Wall-clock cost model for rate-limited APIs.
+//!
+//! The paper's motivation is that 49 000 queries against Twitter's
+//! 180-per-15-minutes quota means *days* of wall-clock time. This module
+//! converts a call count under an [`ApiProfile`] into the simulated
+//! wall-clock duration a real run would need, which the benches report
+//! alongside raw call counts.
+
+use crate::profile::ApiProfile;
+use microblog_platform::Duration;
+
+/// Wall-clock time needed to issue `calls` API calls under the profile's
+/// quota, assuming calls are issued as fast as the quota allows.
+///
+/// The first window's allowance is free; every further full window of
+/// calls waits out one quota period.
+pub fn wall_clock(profile: &ApiProfile, calls: u64) -> Duration {
+    if calls == 0 {
+        return Duration(0);
+    }
+    let per_window = profile.quota.calls.max(1);
+    let full_waits = (calls - 1) / per_window;
+    Duration(full_waits as i64 * profile.quota.per.0)
+}
+
+/// Human-readable rendering of a duration (e.g. `"2d 3h"`, `"45m"`).
+pub fn human_duration(d: Duration) -> String {
+    let secs = d.0.max(0);
+    let days = secs / 86_400;
+    let hours = (secs % 86_400) / 3_600;
+    let minutes = (secs % 3_600) / 60;
+    if days > 0 {
+        format!("{days}d {hours}h")
+    } else if hours > 0 {
+        format!("{hours}h {minutes}m")
+    } else if minutes > 0 {
+        format!("{minutes}m")
+    } else {
+        format!("{secs}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twitter_quota_math() {
+        let t = ApiProfile::twitter();
+        assert_eq!(wall_clock(&t, 0), Duration(0));
+        // 180 calls fit in the first window.
+        assert_eq!(wall_clock(&t, 180), Duration(0));
+        // 181 calls wait out one window.
+        assert_eq!(wall_clock(&t, 181), Duration(15 * 60));
+        // The paper's 49 000-query example: ~272 windows ≈ 2.8 days.
+        let d = wall_clock(&t, 49_000);
+        assert!(d > Duration::days(2) && d < Duration::days(3), "{}", d.0);
+    }
+
+    #[test]
+    fn tumblr_is_one_per_ten_seconds() {
+        let tb = ApiProfile::tumblr();
+        assert_eq!(wall_clock(&tb, 1), Duration(0));
+        assert_eq!(wall_clock(&tb, 2), Duration(10));
+        assert_eq!(wall_clock(&tb, 61), Duration(600));
+    }
+
+    #[test]
+    fn humanize() {
+        assert_eq!(human_duration(Duration(30)), "30s");
+        assert_eq!(human_duration(Duration(150)), "2m");
+        assert_eq!(human_duration(Duration::hours(3) + Duration(120)), "3h 2m");
+        assert_eq!(human_duration(Duration::days(2) + Duration::hours(5)), "2d 5h");
+    }
+}

@@ -1,0 +1,184 @@
+//! Behavioural tests of the rate-limited client against a scripted world.
+
+use microblog_api::{ApiError, ApiProfile, CachingClient, MicroblogClient, QueryBudget};
+use microblog_platform::gen::{community_preferential, CommunityGraphConfig};
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_platform::user::generate_profile;
+use microblog_platform::{
+    Duration, Platform, PlatformBuilder, TimeWindow, Timestamp, UserId,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A tiny scripted platform: user 0 posts "privacy" 500 times (all recent),
+/// user 1 posts 7000 chatter posts, user 2 is silent.
+fn scripted() -> Platform {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let (graph, _) = community_preferential(
+        &mut rng,
+        &CommunityGraphConfig { nodes: 50, communities: 2, ..Default::default() },
+    );
+    let users = (0..50).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let now = Timestamp::at_day(10);
+    let mut b = PlatformBuilder::new(graph, users, now);
+    let kw = b.intern_keyword("privacy");
+    let whole = TimeWindow::new(Timestamp::EPOCH, now);
+    let recent = TimeWindow::new(now - Duration::days(2), now);
+    b.add_scripted_posts(&mut rng, UserId(0), kw, 500, recent);
+    let chatter = b.intern_keyword("chatter");
+    b.add_scripted_posts(&mut rng, UserId(1), chatter, 7_000, whole);
+    b.build()
+}
+
+#[test]
+fn search_pagination_costs_scale_with_results() {
+    let p = scripted();
+    let kw = p.keywords().get("privacy").unwrap();
+    let mut c = MicroblogClient::new(&p, ApiProfile::twitter());
+    let hits = c.search(kw).unwrap();
+    assert!((400..=500).contains(&hits.len()), "hits {}", hits.len());
+    // 100 hits per page.
+    assert_eq!(c.meter().search, hits.len().div_ceil(100) as u64);
+    assert!(hits.iter().all(|h| h.author == UserId(0)));
+    // Recent-first ordering.
+    for w in hits.windows(2) {
+        assert!(w[0].time >= w[1].time);
+    }
+}
+
+#[test]
+fn search_window_hides_old_posts() {
+    let p = scripted();
+    // "chatter" posts are spread over 10 days; only ~1 week is visible.
+    let kw = p.keywords().get("chatter").unwrap();
+    let mut c = MicroblogClient::new(&p, ApiProfile::twitter());
+    let hits = c.search(kw).unwrap();
+    let window_start = p.now() - Duration::WEEK;
+    assert!(!hits.is_empty());
+    assert!(hits.iter().all(|h| h.time >= window_start));
+    assert!(hits.len() < 7_000, "entire history leaked through search");
+}
+
+#[test]
+fn timeline_cap_truncates_and_costs_pages() {
+    let p = scripted();
+    let mut c = MicroblogClient::new(&p, ApiProfile::twitter());
+    let view = c.user_timeline(UserId(1)).unwrap();
+    assert!(view.truncated, "7000 posts exceed the 3200 cap");
+    assert_eq!(view.posts.len(), 3_200);
+    assert_eq!(c.meter().timeline, 16); // 3200 / 200
+    // Most recent first.
+    for w in view.posts.windows(2) {
+        assert!(w[0].time >= w[1].time);
+    }
+    // A silent user still costs one call.
+    let before = c.meter().timeline;
+    let silent = c.user_timeline(UserId(2)).unwrap();
+    assert!(silent.posts.is_empty());
+    assert!(!silent.truncated);
+    assert_eq!(c.meter().timeline, before + 1);
+}
+
+#[test]
+fn google_plus_pages_cost_ten_times_twitter() {
+    let p = scripted();
+    let mut tw = MicroblogClient::new(&p, ApiProfile::twitter());
+    let mut gp = MicroblogClient::new(&p, ApiProfile::google_plus());
+    tw.user_timeline(UserId(0)).unwrap();
+    gp.user_timeline(UserId(0)).unwrap();
+    // 500 posts: Twitter 200/page = 3 calls; Google+ 20/page = 25 calls.
+    assert_eq!(tw.meter().timeline, 3);
+    assert_eq!(gp.meter().timeline, 25);
+}
+
+#[test]
+fn connections_match_graph_union_and_cost_both_directions() {
+    let p = scripted();
+    let mut c = MicroblogClient::new(&p, ApiProfile::twitter());
+    let u = UserId(0);
+    let conns = c.connections(u).unwrap();
+    // Sorted, deduplicated union of both directions.
+    let mut expected: Vec<u32> = p
+        .followers(u)
+        .iter()
+        .chain(p.followees(u).iter())
+        .copied()
+        .collect();
+    expected.sort_unstable();
+    expected.dedup();
+    assert_eq!(conns.iter().map(|x| x.0).collect::<Vec<_>>(), expected);
+    // Asymmetric platform: one call per direction (both under one page).
+    assert_eq!(c.meter().connections, 2);
+    // Symmetric platform: single paginated sequence.
+    let mut gp = MicroblogClient::new(&p, ApiProfile::google_plus());
+    gp.connections(u).unwrap();
+    let total = p.followers(u).len() + p.followees(u).len();
+    assert_eq!(gp.meter().connections, (total.div_ceil(100)).max(1) as u64);
+}
+
+#[test]
+fn unknown_user_is_rejected_without_charge() {
+    let p = scripted();
+    let mut c = MicroblogClient::new(&p, ApiProfile::twitter());
+    let err = c.user_timeline(UserId(9_999)).unwrap_err();
+    assert_eq!(err, ApiError::UnknownUser(UserId(9_999)));
+    assert_eq!(c.meter().total(), 0);
+}
+
+#[test]
+fn budget_rejects_before_serving() {
+    let p = scripted();
+    let budget = QueryBudget::limited(17);
+    let mut c = MicroblogClient::with_budget(&p, ApiProfile::twitter(), budget.clone());
+    // 3200-visible-post timeline costs 16 calls.
+    c.user_timeline(UserId(1)).unwrap();
+    assert_eq!(budget.spent(), 16);
+    // Another 16-call request exceeds the remaining 1.
+    let err = c.user_timeline(UserId(1)).unwrap_err();
+    assert!(matches!(err, ApiError::BudgetExhausted { spent: 16, limit: 17 }));
+    // The failed request charged nothing.
+    assert_eq!(budget.spent(), 16);
+    // A 1-call request still fits.
+    c.user_timeline(UserId(2)).unwrap();
+    assert_eq!(budget.spent(), 17);
+}
+
+#[test]
+fn caching_client_charges_once() {
+    let p = scripted();
+    let mut c = CachingClient::new(MicroblogClient::new(&p, ApiProfile::twitter()));
+    let kw = p.keywords().get("privacy").unwrap();
+    let cost_after = |c: &CachingClient| c.cost();
+    let a = c.user_timeline(UserId(1)).unwrap();
+    let t1 = cost_after(&c);
+    let b = c.user_timeline(UserId(1)).unwrap();
+    assert_eq!(t1, cost_after(&c), "cache hit must be free");
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+    c.connections(UserId(0)).unwrap();
+    let t2 = cost_after(&c);
+    c.connections(UserId(0)).unwrap();
+    assert_eq!(t2, cost_after(&c));
+    c.search(kw).unwrap();
+    let t3 = cost_after(&c);
+    c.search(kw).unwrap();
+    assert_eq!(t3, cost_after(&c));
+    assert_eq!(c.distinct_timelines(), 1);
+}
+
+#[test]
+fn first_mention_via_view_matches_truth() {
+    let s = twitter_2013(Scale::Tiny, 3);
+    let p = &s.platform;
+    let kw = s.keyword("privacy").unwrap();
+    let mut c = MicroblogClient::new(p, ApiProfile::twitter());
+    let window = TimeWindow::new(Timestamp::EPOCH, p.now());
+    let hits = c.search(kw).unwrap();
+    assert!(!hits.is_empty());
+    for h in hits.iter().take(5) {
+        let view = c.user_timeline(h.author).unwrap();
+        let api_first = view.first_mention(kw, window);
+        let truth_first = p.first_mention(h.author, kw, window);
+        // Timelines on Tiny worlds are never capped, so these agree.
+        assert_eq!(api_first, truth_first);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the data-access layer: pagination arithmetic,
+//! budget accounting, and cost-meter consistency under random workloads.
+
+use microblog_api::rate::wall_clock;
+use microblog_api::{ApiProfile, CachingClient, MicroblogClient, QueryBudget};
+use microblog_platform::gen::erdos_renyi;
+use microblog_platform::user::generate_profile;
+use microblog_platform::{Duration, PlatformBuilder, TimeWindow, Timestamp, UserId};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn tiny_platform(seed: u64, users: usize, posts_per_user: usize) -> microblog_platform::Platform {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let graph = erdos_renyi(&mut rng, users, users * 4);
+    let profiles = (0..users).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let now = Timestamp::at_day(30);
+    let mut b = PlatformBuilder::new(graph, profiles, now);
+    let kw = b.intern_keyword("kw");
+    let window = TimeWindow::new(Timestamp::EPOCH, now);
+    for u in 0..users as u32 {
+        b.add_scripted_posts(&mut rng, UserId(u), kw, posts_per_user, window);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn calls_for_is_monotone_and_ceil(items in 0usize..100_000, page in 1usize..5_000) {
+        let calls = ApiProfile::calls_for(items, page);
+        prop_assert!(calls >= 1, "asking always costs one call");
+        prop_assert_eq!(calls, (items.div_ceil(page)).max(1) as u64);
+        // Monotone in items.
+        prop_assert!(ApiProfile::calls_for(items + 1, page) >= calls);
+        // Anti-monotone in page size.
+        prop_assert!(ApiProfile::calls_for(items, page + 1) <= calls);
+    }
+
+    #[test]
+    fn budget_charges_sum_exactly(charges in proptest::collection::vec(1u64..50, 0..50)) {
+        let total: u64 = charges.iter().sum();
+        let budget = QueryBudget::limited(total);
+        for &c in &charges {
+            budget.charge(c).unwrap();
+        }
+        prop_assert_eq!(budget.spent(), total);
+        prop_assert_eq!(budget.remaining(), Some(0));
+        if total > 0 {
+            prop_assert!(budget.charge(1).is_err());
+        }
+    }
+
+    #[test]
+    fn client_meter_equals_budget_spend(seed in 0u64..200, fetches in 1usize..20) {
+        let p = tiny_platform(seed, 40, 3);
+        let budget = QueryBudget::limited(10_000);
+        let mut client =
+            MicroblogClient::with_budget(&p, ApiProfile::twitter(), budget.clone());
+        let kw = p.keywords().get("kw").unwrap();
+        client.search(kw).unwrap();
+        for i in 0..fetches {
+            let u = UserId((i % 40) as u32);
+            client.user_timeline(u).unwrap();
+            client.connections(u).unwrap();
+        }
+        prop_assert_eq!(client.meter().total(), budget.spent());
+    }
+
+    #[test]
+    fn caching_never_increases_cost(seed in 0u64..200) {
+        let p = tiny_platform(seed, 30, 2);
+        let kw = p.keywords().get("kw").unwrap();
+        // Raw client fetching each user twice...
+        let mut raw = MicroblogClient::new(&p, ApiProfile::twitter());
+        raw.search(kw).unwrap();
+        for u in 0..30u32 {
+            raw.user_timeline(UserId(u)).unwrap();
+            raw.user_timeline(UserId(u)).unwrap();
+        }
+        // ...vs a caching client doing the same.
+        let mut cached = CachingClient::new(MicroblogClient::new(&p, ApiProfile::twitter()));
+        cached.search(kw).unwrap();
+        for u in 0..30u32 {
+            cached.user_timeline(UserId(u)).unwrap();
+            cached.user_timeline(UserId(u)).unwrap();
+        }
+        prop_assert!(cached.cost() <= raw.meter().total());
+        // And exactly half the timeline calls were saved.
+        prop_assert_eq!(
+            raw.meter().timeline,
+            2 * (cached.cost() - cached.client().meter().search - cached.client().meter().connections)
+        );
+    }
+
+    #[test]
+    fn timeline_cap_and_pages_bound_cost(seed in 0u64..100, posts in 0usize..40) {
+        let p = tiny_platform(seed, 10, posts);
+        let mut client = MicroblogClient::new(&p, ApiProfile::twitter());
+        let view = client.user_timeline(UserId(0)).unwrap();
+        prop_assert!(view.posts.len() <= 3_200);
+        let pages = client.meter().timeline;
+        prop_assert_eq!(pages, (view.posts.len().div_ceil(200)).max(1) as u64);
+        // Timeline is sorted most recent first.
+        for w in view.posts.windows(2) {
+            prop_assert!(w[0].time >= w[1].time);
+        }
+    }
+
+    #[test]
+    fn wall_clock_is_monotone(calls_a in 0u64..100_000, calls_b in 0u64..100_000) {
+        let t = ApiProfile::twitter();
+        let (lo, hi) = if calls_a <= calls_b { (calls_a, calls_b) } else { (calls_b, calls_a) };
+        prop_assert!(wall_clock(&t, lo) <= wall_clock(&t, hi));
+        // Tumblr's 1-per-10s quota is never faster than Twitter's.
+        prop_assert!(wall_clock(&ApiProfile::tumblr(), hi) >= wall_clock(&t, hi));
+    }
+
+    #[test]
+    fn search_results_respect_window_and_order(seed in 0u64..100) {
+        let p = tiny_platform(seed, 25, 6);
+        let kw = p.keywords().get("kw").unwrap();
+        let mut client = MicroblogClient::new(&p, ApiProfile::twitter());
+        let hits = client.search(kw).unwrap();
+        let window_start = p.now() - Duration::WEEK;
+        for w in hits.windows(2) {
+            prop_assert!(w[0].time >= w[1].time, "recent-first ordering");
+        }
+        for h in &hits {
+            prop_assert!(h.time >= window_start && h.time < p.now());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the building blocks: graph construction,
+//! walks, conductance, cascade simulation, level assignment and the
+//! collision counter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use microblog_graph::conductance::sweep_conductance;
+use microblog_graph::csr::CsrGraph;
+use microblog_graph::sizing::CollisionCounter;
+use microblog_graph::walk::simple_random_walk;
+use microblog_platform::cascade::{simulate, CascadeConfig};
+use microblog_platform::gen::{community_preferential, CommunityGraphConfig};
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_platform::{KeywordId, TimeWindow, Timestamp, UserId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let edges: Vec<(u32, u32)> = (0..n * 10)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("csr_from_edges", n), &edges, |b, edges| {
+            b.iter(|| CsrGraph::from_edges(n, edges.iter().copied()))
+        });
+        let cfg = CommunityGraphConfig { nodes: n, communities: n / 100, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("community_gen", n), &cfg, |b, cfg| {
+            b.iter(|| {
+                let mut rng = ChaCha8Rng::seed_from_u64(2);
+                community_preferential(&mut rng, cfg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let cfg = CommunityGraphConfig { nodes: 20_000, communities: 100, ..Default::default() };
+    let (g, _) = community_preferential(&mut rng, &cfg);
+    let und = g.to_undirected();
+    c.bench_function("srw_10k_steps", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            simple_random_walk(&mut &und, &mut rng, 0, 10_000).unwrap()
+        })
+    });
+    c.bench_function("collision_counter_10k", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            let mut cc = CollisionCounter::new();
+            for _ in 0..10_000 {
+                cc.push(rng.gen_range(0..50_000u32), 8);
+            }
+            cc.estimate()
+        })
+    });
+}
+
+fn bench_conductance(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    let g = ma_bench::ablations::stylized_level_graph(&mut rng, 2_000, 10, 3, 2);
+    c.bench_function("sweep_conductance_2k", |b| b.iter(|| sweep_conductance(&g, 100)));
+}
+
+fn bench_cascade(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let cfg = CommunityGraphConfig { nodes: 10_000, communities: 50, ..Default::default() };
+    let (g, _) = community_preferential(&mut rng, &cfg);
+    let window = TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(303));
+    c.bench_function("cascade_10k_users", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(8);
+            simulate(&mut rng, &g, &CascadeConfig::new(KeywordId(0), window))
+        })
+    });
+}
+
+fn bench_level_assignment(c: &mut Criterion) {
+    let s = twitter_2013(Scale::Tiny, 9);
+    let kw = s.keyword("new york").unwrap();
+    c.bench_function("first_mention_scan_2k_users", |b| {
+        b.iter(|| {
+            (0..s.platform.user_count() as u32)
+                .filter(|&u| s.platform.first_mention(UserId(u), kw, s.window).is_some())
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_graph_construction, bench_walks, bench_conductance,
+              bench_cascade, bench_level_assignment
+}
+criterion_main!(benches);

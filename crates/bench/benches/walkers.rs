@@ -1,0 +1,55 @@
+//! Criterion end-to-end benchmarks of the estimation algorithms at a fixed
+//! small budget on a shared tiny world — the per-algorithm CPU cost of one
+//! estimation run (API-call costs are the experiment binaries' job).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::{Algorithm, ViewKind};
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::Duration;
+
+fn world() -> (Scenario, AggregateQuery, AggregateQuery) {
+    let s = twitter_2013(Scale::Tiny, 77);
+    let kw = s.keyword("privacy").unwrap();
+    let avg = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+    let count = AggregateQuery::count(kw).in_window(s.window);
+    (s, avg, count)
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let (s, avg, count) = world();
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let budget = 4_000;
+    let day = Some(Duration::DAY);
+    let mut group = c.benchmark_group("estimate_4k_budget");
+    group.sample_size(10);
+    group.bench_function("ma_tarw_avg", |b| {
+        b.iter(|| analyzer.estimate(&avg, budget, Algorithm::MaTarw { interval: day }, 1))
+    });
+    group.bench_function("ma_srw_avg", |b| {
+        b.iter(|| analyzer.estimate(&avg, budget, Algorithm::MaSrw { interval: day }, 1))
+    });
+    group.bench_function("srw_term_avg", |b| {
+        b.iter(|| analyzer.estimate(&avg, budget, Algorithm::SrwTermInduced, 1))
+    });
+    group.bench_function("srw_full_avg", |b| {
+        b.iter(|| analyzer.estimate(&avg, budget, Algorithm::SrwFullGraph, 1))
+    });
+    group.bench_function("mr_count", |b| {
+        b.iter(|| {
+            analyzer.estimate(
+                &count,
+                budget,
+                Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+                1,
+            )
+        })
+    });
+    group.bench_function("tarw_auto_interval", |b| {
+        b.iter(|| analyzer.estimate(&avg, budget, Algorithm::MaTarw { interval: None }, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

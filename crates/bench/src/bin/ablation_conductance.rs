@@ -1,0 +1,4 @@
+//! Theorem 4.1 / Corollary 4.1 conductance ablation.
+fn main() {
+    ma_bench::ablations::ablation_conductance();
+}

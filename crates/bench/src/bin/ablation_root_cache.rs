@@ -1,0 +1,4 @@
+//! §5.2 root-probability-cache ablation for MA-TARW.
+fn main() {
+    ma_bench::ablations::ablation_root_cache();
+}

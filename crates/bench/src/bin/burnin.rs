@@ -1,0 +1,4 @@
+//! §4.1 burn-in measurement across graph designs.
+fn main() {
+    ma_bench::figures::burnin();
+}

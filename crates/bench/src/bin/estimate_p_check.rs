@@ -1,0 +1,10 @@
+//! Validation experiment: `ESTIMATE-p` (Algorithm 2) draws versus the
+//! exactly computed visit probabilities of Eq. (6).
+//!
+//! For a handful of nodes of the `privacy` level-by-level subgraph, takes
+//! many independent draws from the analyzer's probability estimator and
+//! compares their mean against the exact dynamic-programming solution —
+//! the unbiasedness claim at the heart of §5.2.
+fn main() {
+    ma_bench::exactp::estimate_p_check();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 14 of the paper. See DESIGN.md's experiment index.
+fn main() {
+    ma_bench::figures::fig14();
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 2 of the paper (subgraph statistics).
+fn main() {
+    ma_bench::tables::table2();
+}

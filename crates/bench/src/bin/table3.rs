@@ -1,0 +1,4 @@
+//! Regenerates Table 3 of the paper (MA-TARW improvement percentages).
+fn main() {
+    ma_bench::tables::table3();
+}

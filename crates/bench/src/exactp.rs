@@ -1,0 +1,296 @@
+//! Exact visit probabilities for the level-by-level walk.
+//!
+//! On a materialized term subgraph (omniscient view) the recursions of
+//! §5.2 — Eq. (6) — can be solved *exactly* by dynamic programming over
+//! levels, because the level order makes the dependency graph acyclic:
+//!
+//! * `p̄(u) = [u ∈ seeds]/s + Σ_{v∈∆(u)} p̄(v)/|∇(v)|` (process levels
+//!   bottom-up),
+//! * `p̂(u) = p̄(u)` at roots, else `Σ_{v∈∇(u)} p̂(v)/|∆(v)|` (top-down).
+//!
+//! These exact values validate the analyzer's `ESTIMATE-p` (whose draws
+//! must be unbiased for them) and the structural identities
+//! `Σ_roots p̄ = 1`, `Σ_sinks p̂ = 1`.
+
+use crate::stats::TermSubgraph;
+use microblog_platform::UserId;
+use std::collections::HashSet;
+
+/// Exact per-node visit probabilities, indexed like `TermSubgraph::users`.
+#[derive(Clone, Debug)]
+pub struct ExactVisitProbabilities {
+    /// Up-phase probability `p̄(u)`.
+    pub p_up: Vec<f64>,
+    /// Down-phase probability `p̂(u)`.
+    pub p_down: Vec<f64>,
+}
+
+/// Per-node inter-level neighborhood split (`∇`, `∆`) inside the subgraph.
+fn level_splits(sub: &TermSubgraph) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let n = sub.graph.node_count();
+    let mut above = vec![Vec::new(); n];
+    let mut below = vec![Vec::new(); n];
+    for (u, v) in sub.graph.edges() {
+        let (lu, lv) = (sub.levels[u as usize], sub.levels[v as usize]);
+        match lu.cmp(&lv) {
+            std::cmp::Ordering::Less => {
+                below[u as usize].push(v);
+                above[v as usize].push(u);
+            }
+            std::cmp::Ordering::Greater => {
+                above[u as usize].push(v);
+                below[v as usize].push(u);
+            }
+            std::cmp::Ordering::Equal => {} // intra-level: not in the view
+        }
+    }
+    (above, below)
+}
+
+/// Solves the Eq. (6) recursions exactly for the walk seeded at `seeds`
+/// (original user ids; non-members are ignored).
+pub fn exact_visit_probabilities(
+    sub: &TermSubgraph,
+    seeds: &[UserId],
+) -> ExactVisitProbabilities {
+    let n = sub.graph.node_count();
+    let (above, below) = level_splits(sub);
+    let member_seed: HashSet<usize> = {
+        let index: std::collections::HashMap<UserId, usize> =
+            sub.users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        seeds.iter().filter_map(|u| index.get(u).copied()).collect()
+    };
+    let s = seeds.len().max(1) as f64;
+
+    // Node order by level, descending (bottom of Figure 6 first).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&u| std::cmp::Reverse(sub.levels[u]));
+
+    let mut p_up = vec![0.0f64; n];
+    for &u in &order {
+        let mut p = if member_seed.contains(&u) { 1.0 / s } else { 0.0 };
+        for &v in &below[u] {
+            p += p_up[v as usize] / above[v as usize].len().max(1) as f64;
+        }
+        p_up[u] = p;
+    }
+
+    let mut p_down = vec![0.0f64; n];
+    for &u in order.iter().rev() {
+        if above[u].is_empty() {
+            p_down[u] = p_up[u];
+        } else {
+            p_down[u] = above[u]
+                .iter()
+                .map(|&v| p_down[v as usize] / below[v as usize].len().max(1) as f64)
+                .sum();
+        }
+    }
+    ExactVisitProbabilities { p_up, p_down }
+}
+
+impl ExactVisitProbabilities {
+    /// Σ over roots of `p̄` — must be 1 when every seed is a member
+    /// (each walk instance ends at exactly one root).
+    pub fn root_mass(&self, sub: &TermSubgraph) -> f64 {
+        let (above, _) = level_splits(sub);
+        (0..sub.graph.node_count())
+            .filter(|&u| above[u].is_empty())
+            .map(|u| self.p_up[u])
+            .sum()
+    }
+
+    /// Σ over sinks of `p̂` — must equal the root mass (each down phase
+    /// ends at exactly one sink).
+    pub fn sink_mass(&self, sub: &TermSubgraph) -> f64 {
+        let (_, below) = level_splits(sub);
+        (0..sub.graph.node_count())
+            .filter(|&u| below[u].is_empty())
+            .map(|u| self.p_down[u])
+            .sum()
+    }
+}
+
+/// The `estimate_p_check` experiment: mean of many `ESTIMATE-p` draws vs
+/// the exact probability, for a sample of subgraph nodes.
+pub fn estimate_p_check() {
+    use crate::report::print_table;
+    use crate::world;
+    use microblog_analyzer::query::AggregateQuery;
+    use microblog_analyzer::seeds::fetch_seeds;
+    use microblog_analyzer::view::{QueryGraph, ViewKind};
+    use microblog_analyzer::walker::tarw::ProbabilityEstimator;
+    use microblog_api::{ApiProfile, CachingClient, MicroblogClient};
+    use microblog_platform::{Duration, UserMetric};
+    use rand::SeedableRng;
+
+    let s = world::twitter_world();
+    let kw = s.keyword("privacy").expect("keyword");
+    let sub = crate::stats::term_subgraph(&s.platform, kw, s.window, Duration::DAY);
+    let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+
+    let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+    let seeds = fetch_seeds(&mut client, &query).expect("seeds");
+    let exact = exact_visit_probabilities(&sub, &seeds);
+    println!(
+        "subgraph: {} nodes; root mass {:.6}, sink mass {:.6} (both should be 1)",
+        sub.graph.node_count(),
+        exact.root_mass(&sub),
+        exact.sink_mass(&sub)
+    );
+
+    let mut graph = QueryGraph::new(&mut client, &query, ViewKind::level(Duration::DAY));
+    let mut prob = ProbabilityEstimator::new(&seeds, false);
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(world::seed_from_env());
+    let draws = 400;
+    let mut rows = Vec::new();
+    // Sample nodes across the probability range.
+    let mut picks: Vec<usize> = (0..sub.graph.node_count()).collect();
+    picks.sort_by(|&a, &b| exact.p_up[b].partial_cmp(&exact.p_up[a]).unwrap());
+    let stride = (picks.len() / 8).max(1);
+    for &i in picks.iter().step_by(stride).take(8) {
+        let u = sub.users[i];
+        let mut total = 0.0;
+        for _ in 0..draws {
+            total += prob.draw_up(&mut graph, &mut rng, u).expect("draw");
+        }
+        let mean = total / draws as f64;
+        let p = exact.p_up[i];
+        rows.push(vec![
+            format!("{u}"),
+            format!("{p:.5}"),
+            format!("{mean:.5}"),
+            if p > 0.0 { format!("{:+.1}%", 100.0 * (mean - p) / p) } else { "—".into() },
+        ]);
+    }
+    print_table(
+        &format!("ESTIMATE-p vs exact p̄ ({} draws per node)", draws),
+        &["user", "exact p̄", "mean of draws", "rel. dev"],
+        &rows,
+    );
+    println!("\n(unbiasedness: deviations should shrink as draws grow; a few % at 400 draws)");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::term_subgraph;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+    use microblog_platform::{Duration, TimeWindow};
+
+    fn subgraph_and_seeds() -> (TermSubgraph, Vec<UserId>) {
+        let s = twitter_2013(Scale::Tiny, 7);
+        let kw = s.keyword("new york").unwrap();
+        let sub = term_subgraph(&s.platform, kw, s.window, Duration::DAY);
+        // Seeds: authors of last-week posts (the search-API view).
+        let week = TimeWindow::trailing(s.platform.now(), Duration::WEEK);
+        let mut seeds: Vec<UserId> =
+            s.platform.search_posts(kw, week).iter().map(|&p| s.platform.post(p).author).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        (sub, seeds)
+    }
+
+    #[test]
+    fn probability_masses_are_conserved() {
+        let (sub, seeds) = subgraph_and_seeds();
+        assert!(!seeds.is_empty());
+        let exact = exact_visit_probabilities(&sub, &seeds);
+        // Each instance reaches exactly one root; every seed is a member
+        // (it posted inside the window), so root mass is exactly 1.
+        let root_mass = exact.root_mass(&sub);
+        assert!((root_mass - 1.0).abs() < 1e-9, "root mass {root_mass}");
+        let sink_mass = exact.sink_mass(&sub);
+        assert!((sink_mass - 1.0).abs() < 1e-9, "sink mass {sink_mass}");
+        // Probabilities are valid.
+        for (&pu, &pd) in exact.p_up.iter().zip(&exact.p_down) {
+            assert!((0.0..=1.0 + 1e-9).contains(&pu));
+            assert!((0.0..=1.0 + 1e-9).contains(&pd));
+        }
+        // Seeds themselves have p_up >= 1/s.
+        let s = seeds.len() as f64;
+        for (i, u) in sub.users.iter().enumerate() {
+            if seeds.contains(u) {
+                assert!(exact.p_up[i] >= 1.0 / s - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_p_draws_are_unbiased_against_exact() {
+        use microblog_analyzer::query::AggregateQuery;
+        use microblog_analyzer::seeds::fetch_seeds;
+        use microblog_analyzer::view::{QueryGraph, ViewKind};
+        use microblog_analyzer::walker::tarw::ProbabilityEstimator;
+        use microblog_api::{ApiProfile, CachingClient, MicroblogClient};
+        use microblog_platform::UserMetric;
+        use rand::SeedableRng;
+
+        let s = twitter_2013(Scale::Tiny, 7);
+        let kw = s.keyword("new york").unwrap();
+        let sub = term_subgraph(&s.platform, kw, s.window, Duration::DAY);
+        let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+        let mut client =
+            CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let seeds = fetch_seeds(&mut client, &query).unwrap();
+        let exact = exact_visit_probabilities(&sub, &seeds);
+        let mut graph = QueryGraph::new(&mut client, &query, ViewKind::level(Duration::DAY));
+        let mut prob = ProbabilityEstimator::new(&seeds, false);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+
+        // Pick the three highest-probability nodes (stable targets).
+        let mut order: Vec<usize> = (0..sub.graph.node_count()).collect();
+        order.sort_by(|&a, &b| exact.p_up[b].partial_cmp(&exact.p_up[a]).unwrap());
+        let draws = 800;
+        for &i in order.iter().take(3) {
+            let u = sub.users[i];
+            let mean: f64 = (0..draws)
+                .map(|_| prob.draw_up(&mut graph, &mut rng, u).unwrap())
+                .sum::<f64>()
+                / draws as f64;
+            let p = exact.p_up[i];
+            assert!(
+                (mean - p).abs() < (0.2 * p).max(0.02),
+                "node {u}: exact {p:.4}, mean of {draws} draws {mean:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn chain_probabilities_are_all_one_with_single_seed() {
+        // A 4-node path with one seed at the bottom: every p is 1.
+        use microblog_graph::csr::CsrGraph;
+        let sub = TermSubgraph {
+            graph: CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]),
+            users: (0..4).map(UserId).collect(),
+            levels: vec![0, 1, 2, 3],
+        };
+        let exact = exact_visit_probabilities(&sub, &[UserId(3)]);
+        for i in 0..4 {
+            assert!((exact.p_up[i] - 1.0).abs() < 1e-12, "p_up[{i}] = {}", exact.p_up[i]);
+            assert!((exact.p_down[i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn diamond_splits_probability() {
+        // Levels: 0 (root r) — 1 (a, b) — 2 (sink s, the only seed).
+        //   r—a, r—b, a—s, b—s.
+        use microblog_graph::csr::CsrGraph;
+        let sub = TermSubgraph {
+            graph: CsrGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]),
+            users: (0..4).map(UserId).collect(),
+            levels: vec![0, 1, 1, 2],
+        };
+        let exact = exact_visit_probabilities(&sub, &[UserId(3)]);
+        // Up: seed s always visited; a and b each with prob 1/2; root 1.
+        assert!((exact.p_up[3] - 1.0).abs() < 1e-12);
+        assert!((exact.p_up[1] - 0.5).abs() < 1e-12);
+        assert!((exact.p_up[2] - 0.5).abs() < 1e-12);
+        assert!((exact.p_up[0] - 1.0).abs() < 1e-12);
+        // Down from the root mirrors it.
+        assert!((exact.p_down[0] - 1.0).abs() < 1e-12);
+        assert!((exact.p_down[1] - 0.5).abs() < 1e-12);
+        assert!((exact.p_down[3] - 1.0).abs() < 1e-12);
+    }
+}

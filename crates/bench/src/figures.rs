@@ -1,0 +1,416 @@
+//! One function per figure of the paper's evaluation. Each builds (or
+//! receives) a world, runs the relevant algorithms, and prints the series
+//! in tabular form. The binaries in `src/bin/` are one-line wrappers.
+
+use crate::report::{print_cost_vs_error_figure, print_series, print_table};
+use crate::sweep::{error_curve, ErrorCurve, SweepConfig};
+use crate::world;
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::{Algorithm, ViewKind};
+use microblog_api::{CachingClient, MicroblogClient};
+use microblog_platform::metric::ProfilePredicate;
+use microblog_platform::scenario::Scenario;
+use microblog_platform::{Duration, Platform};
+
+fn sweep_config() -> SweepConfig {
+    SweepConfig { trials: world::trials_from_env(), seed: world::seed_from_env(), ..Default::default() }
+}
+
+/// The "1 day" default segmentation used when a figure fixes `T`.
+const DAY: Option<Duration> = Some(Duration::DAY);
+
+fn avg_followers(s: &Scenario, kw: &str) -> AggregateQuery {
+    AggregateQuery::avg(UserMetric::FollowerCount, s.keyword(kw).expect("keyword"))
+        .in_window(s.window)
+}
+
+fn count_users(s: &Scenario, kw: &str) -> AggregateQuery {
+    AggregateQuery::count(s.keyword(kw).expect("keyword")).in_window(s.window)
+}
+
+/// Figure 2: query cost vs relative error for AVG(#followers) of users who
+/// posted `privacy` — SRW over the social graph, the term-induced subgraph
+/// and the level-by-level subgraph.
+pub fn fig02() {
+    let s = world::twitter_world();
+    let q = avg_followers(&s, "privacy");
+    let cfg = sweep_config();
+    let api = ApiProfile::twitter();
+    let curves = vec![
+        error_curve(&s.platform, &api, &q, Algorithm::SrwFullGraph, "Social Graph", &cfg),
+        error_curve(&s.platform, &api, &q, Algorithm::SrwTermInduced, "Term Induced", &cfg),
+        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "Level By Level", &cfg),
+    ];
+    print_cost_vs_error_figure("Figure 2: AVG(followers), users who posted 'privacy'", &curves);
+    expect_ordering(&curves);
+}
+
+/// Figure 3: same comparison for COUNT of users who posted `privacy`.
+pub fn fig03() {
+    let s = world::twitter_world();
+    let q = count_users(&s, "privacy");
+    let cfg = sweep_config();
+    let api = ApiProfile::twitter();
+    let curves = vec![
+        error_curve(&s.platform, &api, &q, Algorithm::SrwFullGraph, "Social Graph", &cfg),
+        error_curve(&s.platform, &api, &q, Algorithm::SrwTermInduced, "Term Induced", &cfg),
+        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "Level By Level", &cfg),
+    ];
+    print_cost_vs_error_figure("Figure 3: COUNT, users who posted 'privacy'", &curves);
+    expect_ordering(&curves);
+}
+
+/// Prints whether the paper's expected cost ordering (first curve worst,
+/// last best at 10% error) holds.
+fn expect_ordering(curves: &[ErrorCurve]) {
+    let costs: Vec<Option<f64>> = curves.iter().map(|c| c.cost_at_error(0.10)).collect();
+    let ordered = costs.windows(2).all(|w| match (w[0], w[1]) {
+        (Some(a), Some(b)) => a >= b,
+        (None, Some(_)) => true, // failing entirely is "worse"
+        _ => false,
+    });
+    println!(
+        "\n[check] cost ordering at 10% error ({}) : {}",
+        curves.iter().map(|c| c.label.as_str()).collect::<Vec<_>>().join(" >= "),
+        if ordered { "HOLDS" } else { "VIOLATED" }
+    );
+}
+
+/// Figure 4: query cost (to reach the target error) as a function of the
+/// fraction of intra-level edges removed, for three keywords.
+pub fn fig04() {
+    let s = world::twitter_world();
+    let cfg = sweep_config();
+    let api = ApiProfile::twitter();
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut rows = Vec::new();
+    for kw in ["privacy", "boston", "new york"] {
+        let q = avg_followers(&s, kw);
+        let mut row = vec![kw.to_string()];
+        for &removed in &fractions {
+            let view = ViewKind::LevelByLevel {
+                interval: Duration::DAY,
+                keep_intra: 1.0 - removed,
+            };
+            let curve =
+                error_curve(&s.platform, &api, &q, Algorithm::SrwView { view }, kw, &cfg);
+            row.push(crate::report::fmt_cost(curve.cost_at_error(0.10)));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("keyword".to_string())
+        .chain(fractions.iter().map(|f| format!("remove {:.0}%", f * 100.0)))
+        .collect();
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(
+        "Figure 4: query cost (to 10% error) vs fraction of intra-level edges removed",
+        &headers_ref,
+        &rows,
+    );
+}
+
+/// Figure 5: query cost per candidate interval `T`, with candidates
+/// ordered by their pilot-estimated Eq. (3) conductance (the paper's
+/// check that the theoretical ordering predicts the empirical one).
+pub fn fig05() {
+    let s = world::twitter_world();
+    let cfg = sweep_config();
+    let api = ApiProfile::twitter();
+    for kw in ["privacy", "boston", "new york"] {
+        let q = avg_followers(&s, kw);
+        // Pilot-score all candidates (cheap, unlimited budget here).
+        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, api.clone()));
+        let seeds = microblog_analyzer::seeds::fetch_seeds(&mut client, &q).expect("seeds");
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(
+            world::seed_from_env(),
+        );
+        let scores = microblog_analyzer::interval::score_intervals(
+            &mut client,
+            &q,
+            &seeds,
+            &microblog_analyzer::interval::candidate_intervals(),
+            15,
+            &mut rng,
+        )
+        .expect("interval scores");
+        let mut rows = Vec::new();
+        for sc in &scores {
+            let curve = error_curve(
+                &s.platform,
+                &api,
+                &q,
+                Algorithm::MaSrw { interval: Some(sc.interval) },
+                kw,
+                &cfg,
+            );
+            rows.push(vec![
+                sc.interval.label(),
+                format!("{:.3e}", sc.conductance),
+                crate::report::fmt_cost(curve.cost_at_error(0.10)),
+            ]);
+        }
+        print_table(
+            &format!("Figure 5 [{kw}]: interval T (best conductance first) vs query cost"),
+            &["T", "est. conductance", "cost @ 10% err"],
+            &rows,
+        );
+    }
+}
+
+/// Figure 7: keyword post frequency per month (the ground-truth workload
+/// characterization).
+pub fn fig07() {
+    let s = world::twitter_world();
+    let mut series = Vec::new();
+    for kw in ["privacy", "boston", "new york"] {
+        let id = s.keyword(kw).expect("keyword");
+        let mut points = Vec::new();
+        for month in 0..10 {
+            let w = microblog_platform::TimeWindow::new(
+                microblog_platform::Timestamp::at_day(month * 30),
+                microblog_platform::Timestamp::at_day((month + 1) * 30),
+            );
+            points.push((month as f64 + 1.0, s.platform.search_posts(id, w).len() as f64));
+        }
+        series.push((kw, points));
+    }
+    let series_ref: Vec<(&str, Vec<(f64, f64)>)> = series;
+    print_series("Figure 7: keyword post frequency by month (Jan=1..Oct=10)", "month", &series_ref);
+}
+
+/// Generic "MA-SRW vs MA-TARW on two keywords" figure body.
+fn srw_vs_tarw(
+    title: &str,
+    platform: &Platform,
+    api: &ApiProfile,
+    queries: &[(&str, AggregateQuery)],
+) {
+    let cfg = sweep_config();
+    let mut curves = Vec::new();
+    for (kw, q) in queries {
+        curves.push(error_curve(
+            platform,
+            api,
+            q,
+            Algorithm::MaSrw { interval: DAY },
+            format!("{kw} (MA-SRW)"),
+            &cfg,
+        ));
+        curves.push(error_curve(
+            platform,
+            api,
+            q,
+            Algorithm::MaTarw { interval: DAY },
+            format!("{kw} (MA-TARW)"),
+            &cfg,
+        ));
+    }
+    print_cost_vs_error_figure(title, &curves);
+    for pair in curves.chunks(2) {
+        let srw10 = pair[0].cost_at_error(0.10);
+        let tarw10 = pair[1].cost_at_error(0.10);
+        match crate::report::improvement_pct(tarw10, srw10) {
+            Some(imp) if imp.is_finite() => println!(
+                "[check] {} improves on {} by {:.0}% at 10% error",
+                pair[1].label, pair[0].label, imp
+            ),
+            _ => println!(
+                "[check] {} vs {}: one side never reached 10% error",
+                pair[1].label, pair[0].label
+            ),
+        }
+    }
+}
+
+/// Figure 8: Twitter, AVG(#followers), `privacy` and `new york`.
+pub fn fig08() {
+    let s = world::twitter_world();
+    let queries = vec![
+        ("privacy", avg_followers(&s, "privacy")),
+        ("new york", avg_followers(&s, "new york")),
+    ];
+    srw_vs_tarw(
+        "Figure 8: Twitter AVG(followers) — MA-SRW vs MA-TARW",
+        &s.platform,
+        &ApiProfile::twitter(),
+        &queries,
+    );
+}
+
+/// Figure 9: convergence trace — the running estimate of AVG(#followers)
+/// for `privacy` as the query budget grows.
+pub fn fig09() {
+    let s = world::twitter_world();
+    let q = avg_followers(&s, "privacy");
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let truth = analyzer.ground_truth(&q).expect("truth");
+    let budgets: Vec<u64> = (1..=10).map(|k| k * 1_500).collect();
+    let mut series = Vec::new();
+    for (algo, name) in [
+        (Algorithm::MaSrw { interval: DAY }, "MA-SRW"),
+        (Algorithm::MaTarw { interval: DAY }, "MA-TARW"),
+    ] {
+        let mut points = Vec::new();
+        for &b in &budgets {
+            match analyzer.estimate(&q, b, algo, world::seed_from_env()) {
+                Ok(e) => points.push((e.cost as f64, e.value)),
+                Err(_) => points.push((b as f64, f64::NAN)),
+            }
+        }
+        series.push((name, points));
+    }
+    series.push(("ground truth", budgets.iter().map(|&b| (b as f64, truth)).collect()));
+    print_series("Figure 9: estimated AVG(followers) vs query cost ('privacy')", "cost", &series);
+}
+
+/// Figure 10: Twitter COUNT of users who posted `privacy` — MA-SRW vs
+/// MA-TARW vs M&R (M&R run on the level-by-level subgraph, per §6.2).
+pub fn fig10() {
+    let s = world::twitter_world();
+    let q = count_users(&s, "privacy");
+    let cfg = sweep_config();
+    let api = ApiProfile::twitter();
+    let curves = vec![
+        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "MA-SRW", &cfg),
+        error_curve(&s.platform, &api, &q, Algorithm::MaTarw { interval: DAY }, "MA-TARW", &cfg),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+            "M&R",
+            &cfg,
+        ),
+    ];
+    print_cost_vs_error_figure("Figure 10: Twitter COUNT(users posting 'privacy')", &curves);
+}
+
+/// Figure 11: Twitter AVG(display-name length) for `privacy`/`new york` —
+/// the low-variance metric.
+pub fn fig11() {
+    let s = world::twitter_world();
+    let mk = |kw: &str| {
+        AggregateQuery::avg(UserMetric::DisplayNameLength, s.keyword(kw).expect("kw"))
+            .in_window(s.window)
+    };
+    let queries = vec![("privacy", mk("privacy")), ("new york", mk("new york"))];
+    srw_vs_tarw(
+        "Figure 11: Twitter AVG(display-name length) — MA-SRW vs MA-TARW",
+        &s.platform,
+        &ApiProfile::twitter(),
+        &queries,
+    );
+}
+
+/// Figure 12: the display-name-length experiment on Google+ (20-result
+/// pages make absolute costs much higher).
+pub fn fig12() {
+    let s = world::google_plus_world();
+    let mk = |kw: &str| {
+        AggregateQuery::avg(UserMetric::DisplayNameLength, s.keyword(kw).expect("kw"))
+            .in_window(s.window)
+    };
+    let queries = vec![("privacy", mk("privacy")), ("new york", mk("new york"))];
+    srw_vs_tarw(
+        "Figure 12: Google+ AVG(display-name length) — MA-SRW vs MA-TARW",
+        &s.platform,
+        &ApiProfile::google_plus(),
+        &queries,
+    );
+}
+
+/// Figure 13: Google+ COUNT of *male* users who posted `privacy`
+/// (profile-predicate condition) — MA-SRW vs MA-TARW vs M&R.
+pub fn fig13() {
+    let s = world::google_plus_world();
+    let q = count_users(&s, "privacy")
+        .with_predicate(ProfilePredicate::GenderIs(Gender::Male));
+    let cfg = sweep_config();
+    let api = ApiProfile::google_plus();
+    let curves = vec![
+        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "MA-SRW", &cfg),
+        error_curve(&s.platform, &api, &q, Algorithm::MaTarw { interval: DAY }, "MA-TARW", &cfg),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+            "M&R",
+            &cfg,
+        ),
+    ];
+    print_cost_vs_error_figure("Figure 13: Google+ COUNT(male users posting 'privacy')", &curves);
+}
+
+/// Figure 14: Tumblr AVG(likes per post containing `privacy`).
+pub fn fig14() {
+    let s = world::tumblr_world();
+    let kw = s.keyword("privacy").expect("kw");
+    let q = AggregateQuery::post_avg(
+        UserMetric::KeywordPostLikes,
+        UserMetric::KeywordPostCount,
+        kw,
+    )
+    .in_window(s.window);
+    let mk_ny = || {
+        AggregateQuery::post_avg(
+            UserMetric::KeywordPostLikes,
+            UserMetric::KeywordPostCount,
+            s.keyword("new york").expect("kw"),
+        )
+        .in_window(s.window)
+    };
+    let queries = vec![("privacy", q), ("new york", mk_ny())];
+    srw_vs_tarw(
+        "Figure 14: Tumblr AVG(likes on keyword posts) — MA-SRW vs MA-TARW",
+        &s.platform,
+        &ApiProfile::tumblr(),
+        &queries,
+    );
+}
+
+/// §4.1 burn-in comparison: the Geweke burn-in (Z ≤ 0.1) of simple random
+/// walks over the social graph, the term-induced subgraph and the
+/// level-by-level subgraph. The paper reports ≈700 transitions for the
+/// full Twitter graph and ≈610 for the `privacy` term-induced subgraph,
+/// with the level-by-level graph converging much faster.
+pub fn burnin() {
+    let s = world::twitter_world();
+    let mut rows = Vec::new();
+    for kw in ["privacy", "boston", "new york"] {
+        let q = avg_followers(&s, kw);
+        let mut row = vec![kw.to_string()];
+        for (view, _name) in [
+            (ViewKind::FullGraph, "social"),
+            (ViewKind::TermInduced, "term-induced"),
+            (ViewKind::level(Duration::DAY), "level-by-level"),
+        ] {
+            let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+            let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(
+                world::seed_from_env(),
+            );
+            let cell = match microblog_analyzer::walker::burnin::measure_burn_in(
+                &mut client,
+                &q,
+                view,
+                4_000,
+                microblog_analyzer::walker::burnin::PAPER_GEWEKE_THRESHOLD,
+                &mut rng,
+            ) {
+                Ok(m) => match m.burn_in {
+                    Some(b) => format!("{b}"),
+                    None => format!("> {}", m.chain_length),
+                },
+                Err(e) => format!("({e})"),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Burn-in (§4.1): Geweke |Z| <= 0.1 burn-in of SRW chains, AVG(followers)",
+        &["keyword", "social graph", "term induced", "level-by-level"],
+        &rows,
+    );
+    println!("\n(paper: ~700 on the full graph, ~610 on the 'privacy' term-induced\n subgraph; the level-by-level subgraph should converge fastest)");
+}

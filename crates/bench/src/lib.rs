@@ -1,0 +1,26 @@
+//! # ma-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§4 and §6) against the synthetic platform. Each
+//! table/figure has a dedicated binary (`cargo run -p ma-bench --release
+//! --bin fig08`, etc. — see DESIGN.md's experiment index), all built on:
+//!
+//! * [`world`] — shared scenario construction (size/seed configurable via
+//!   the `MA_SCALE` / `MA_SEED` environment variables);
+//! * [`sweep`] — budget sweeps producing cost-vs-relative-error curves,
+//!   with trials parallelized across threads;
+//! * [`stats`] — omniscient subgraph statistics (recall, edge taxonomy,
+//!   common-neighbor counts) for Table 2 and the graph-structure claims;
+//! * [`report`] — plain-text table and series rendering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod exactp;
+pub mod figures;
+pub mod report;
+pub mod stats;
+pub mod tables;
+pub mod sweep;
+pub mod world;

@@ -1,0 +1,123 @@
+//! Plain-text rendering of experiment tables and figure series.
+
+use crate::sweep::{ErrorCurve, ERROR_GRID};
+
+/// Prints an aligned table: `headers` then `rows` (each row one `Vec` of
+/// already-formatted cells).
+///
+/// # Panics
+/// Panics if any row's length differs from the header's.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    println!("\n== {title} ==");
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Prints a figure as "query cost to reach relative error ε" rows, one
+/// column per curve — the tabular equivalent of the paper's line plots.
+pub fn print_cost_vs_error_figure(title: &str, curves: &[ErrorCurve]) {
+    let mut headers: Vec<&str> = vec!["rel. error"];
+    for c in curves {
+        headers.push(&c.label);
+    }
+    let rows: Vec<Vec<String>> = ERROR_GRID
+        .iter()
+        .map(|&eps| {
+            let mut row = vec![format!("{:.0}%", eps * 100.0)];
+            for c in curves {
+                row.push(match c.cost_at_error(eps) {
+                    Some(cost) => format!("{cost:.0}"),
+                    None => "—".to_string(),
+                });
+            }
+            row
+        })
+        .collect();
+    print_table(title, &headers, &rows);
+}
+
+/// Prints raw `(x, y)` series (e.g. convergence traces, frequency curves).
+pub fn print_series(title: &str, x_label: &str, series: &[(&str, Vec<(f64, f64)>)]) {
+    println!("\n== {title} ==");
+    for (name, points) in series {
+        println!("-- {name} ({x_label}, value):");
+        for (x, y) in points {
+            println!("   {x:>12.1}  {y:>14.3}");
+        }
+    }
+}
+
+/// Formats an optional cost.
+pub fn fmt_cost(c: Option<f64>) -> String {
+    c.map_or("—".into(), |v| format!("{v:.0}"))
+}
+
+/// Percentage improvement of `better` over `worse` costs (positive when
+/// `better` is cheaper); `None` when either side is unknown.
+pub fn improvement_pct(better: Option<f64>, worse: Option<f64>) -> Option<f64> {
+    match (better, worse) {
+        (Some(b), Some(w)) if w > 0.0 => Some(100.0 * (w - b) / w),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+
+    #[test]
+    fn improvement_math() {
+        assert_eq!(improvement_pct(Some(50.0), Some(100.0)), Some(50.0));
+        assert_eq!(improvement_pct(Some(100.0), Some(100.0)), Some(0.0));
+        assert_eq!(improvement_pct(None, Some(10.0)), None);
+        assert_eq!(improvement_pct(Some(10.0), None), None);
+        // A regression shows as negative improvement.
+        assert_eq!(improvement_pct(Some(150.0), Some(100.0)), Some(-50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        print_table("t", &["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn figure_renders_without_panic() {
+        let c = ErrorCurve {
+            label: "X".into(),
+            points: vec![SweepPoint {
+                budget: 100,
+                mean_cost: 90.0,
+                mean_rel_err: 0.03,
+                successes: 1,
+                trials: 1,
+            }],
+        };
+        print_cost_vs_error_figure("fig", &[c]);
+        print_series("s", "x", &[("a", vec![(1.0, 2.0)])]);
+        assert_eq!(fmt_cost(None), "—");
+        assert_eq!(fmt_cost(Some(12.4)), "12");
+    }
+}

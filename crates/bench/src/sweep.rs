@@ -1,0 +1,271 @@
+//! Budget sweeps: cost-vs-relative-error curves.
+//!
+//! The paper's figures plot "query cost needed to reach relative error ε"
+//! for ε ∈ {5%, …, 25%}. We reproduce that by running each algorithm at a
+//! geometric grid of budgets, measuring the mean relative error across
+//! trials at each budget (trials run in parallel), and then inverting the
+//! curve: the cost at ε is the smallest swept budget whose mean error is
+//! ≤ ε (linearly interpolated between grid points).
+
+use microblog_analyzer::{Algorithm, AggregateQuery, MicroblogAnalyzer};
+use microblog_api::ApiProfile;
+use microblog_platform::Platform;
+use serde::Serialize;
+
+/// The paper's relative-error grid.
+pub const ERROR_GRID: [f64; 5] = [0.05, 0.10, 0.15, 0.20, 0.25];
+
+/// One swept budget.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct SweepPoint {
+    /// Budget given to the estimator.
+    pub budget: u64,
+    /// Mean API calls actually spent.
+    pub mean_cost: f64,
+    /// Mean relative error across successful trials.
+    pub mean_rel_err: f64,
+    /// Trials that produced an estimate (others hit NoSamples).
+    pub successes: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+/// A full cost-vs-error curve for one (query, algorithm) pair.
+#[derive(Clone, Debug, Serialize)]
+pub struct ErrorCurve {
+    /// Display label.
+    pub label: String,
+    /// Points in increasing-budget order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Sweep configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Smallest budget tried.
+    pub min_budget: u64,
+    /// Hard budget ceiling.
+    pub max_budget: u64,
+    /// Geometric growth factor between grid points.
+    pub growth: f64,
+    /// Trials per budget.
+    pub trials: usize,
+    /// Stop growing once the mean error drops below this.
+    pub stop_below_error: f64,
+    /// Base RNG seed; trial `i` at any budget uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            min_budget: 500,
+            max_budget: 2_000_000,
+            growth: 1.8,
+            trials: 5,
+            stop_below_error: 0.04,
+            seed: 7,
+        }
+    }
+}
+
+/// Runs one trial; returns `(relative error, cost)` when the estimator
+/// produced a value.
+fn one_trial(
+    platform: &Platform,
+    api: &ApiProfile,
+    query: &AggregateQuery,
+    algorithm: Algorithm,
+    truth: f64,
+    budget: u64,
+    seed: u64,
+) -> Option<(f64, u64)> {
+    let analyzer = MicroblogAnalyzer::new(platform, api.clone());
+    let est = analyzer.estimate(query, budget, algorithm, seed).ok()?;
+    Some((est.relative_error(truth), est.cost))
+}
+
+/// Measures one budget with parallel trials.
+pub fn measure_budget(
+    platform: &Platform,
+    api: &ApiProfile,
+    query: &AggregateQuery,
+    algorithm: Algorithm,
+    truth: f64,
+    budget: u64,
+    trials: usize,
+    seed: u64,
+) -> SweepPoint {
+    let results: Vec<Option<(f64, u64)>> = if trials <= 1 {
+        vec![one_trial(platform, api, query, algorithm, truth, budget, seed)]
+    } else {
+        let mut results = vec![None; trials];
+        crossbeam::thread::scope(|scope| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = one_trial(
+                        platform,
+                        api,
+                        query,
+                        algorithm,
+                        truth,
+                        budget,
+                        seed + i as u64,
+                    );
+                });
+            }
+        })
+        .expect("trial thread panicked");
+        results
+    };
+    let ok: Vec<(f64, u64)> = results.into_iter().flatten().collect();
+    let successes = ok.len();
+    let (mean_rel_err, mean_cost) = if successes == 0 {
+        (f64::INFINITY, budget as f64)
+    } else {
+        (
+            ok.iter().map(|r| r.0).sum::<f64>() / successes as f64,
+            ok.iter().map(|r| r.1 as f64).sum::<f64>() / successes as f64,
+        )
+    };
+    SweepPoint { budget, mean_cost, mean_rel_err, successes, trials }
+}
+
+/// Sweeps budgets geometrically until the error target (or the ceiling) is
+/// reached.
+pub fn error_curve(
+    platform: &Platform,
+    api: &ApiProfile,
+    query: &AggregateQuery,
+    algorithm: Algorithm,
+    label: impl Into<String>,
+    config: &SweepConfig,
+) -> ErrorCurve {
+    let truth = query
+        .ground_truth(platform)
+        .expect("sweeps need a defined ground truth");
+    let mut points = Vec::new();
+    let mut budget = config.min_budget.max(1);
+    loop {
+        let point = measure_budget(
+            platform,
+            api,
+            query,
+            algorithm,
+            truth,
+            budget,
+            config.trials,
+            config.seed,
+        );
+        let err = point.mean_rel_err;
+        points.push(point);
+        if err <= config.stop_below_error || budget >= config.max_budget {
+            break;
+        }
+        // Plateau detection: once the estimators stop spending (their
+        // view is fully explored and cached), larger budgets change
+        // nothing — stop sweeping.
+        if points.len() >= 3 {
+            let last = &points[points.len() - 1];
+            let prev = &points[points.len() - 2];
+            let spent_flat = (last.mean_cost - prev.mean_cost).abs()
+                <= 0.01 * prev.mean_cost.max(1.0);
+            let err_flat = !last.mean_rel_err.is_finite()
+                || !prev.mean_rel_err.is_finite()
+                || (last.mean_rel_err - prev.mean_rel_err).abs() <= 0.005;
+            if spent_flat && err_flat {
+                break;
+            }
+        }
+        budget = ((budget as f64 * config.growth) as u64).min(config.max_budget).max(budget + 1);
+    }
+    ErrorCurve { label: label.into(), points }
+}
+
+impl ErrorCurve {
+    /// The (interpolated) query cost needed to reach mean relative error
+    /// `target`; `None` when the curve never gets there.
+    ///
+    /// The curve is first made monotone (running minimum of error over
+    /// increasing cost) to smooth trial noise.
+    pub fn cost_at_error(&self, target: f64) -> Option<f64> {
+        let mut best_err = f64::INFINITY;
+        let mut cleaned: Vec<(f64, f64)> = Vec::new(); // (cost, err)
+        for p in &self.points {
+            if !p.mean_rel_err.is_finite() {
+                continue; // all trials failed at this budget
+            }
+            best_err = best_err.min(p.mean_rel_err);
+            cleaned.push((p.mean_cost, best_err));
+        }
+        let mut prev: Option<(f64, f64)> = None;
+        for (cost, err) in cleaned {
+            if err <= target {
+                return Some(match prev {
+                    Some((c0, e0)) if e0 - err > 1e-12 => {
+                        // Linear interpolation in (error, cost).
+                        c0 + (e0 - target) / (e0 - err) * (cost - c0)
+                    }
+                    _ => cost,
+                });
+            }
+            prev = Some((cost, err));
+        }
+        None
+    }
+
+    /// The costs at the paper's ε grid.
+    pub fn costs_on_grid(&self) -> Vec<(f64, Option<f64>)> {
+        ERROR_GRID.iter().map(|&e| (e, self.cost_at_error(e))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(u64, f64)]) -> ErrorCurve {
+        ErrorCurve {
+            label: "test".into(),
+            points: points
+                .iter()
+                .map(|&(budget, err)| SweepPoint {
+                    budget,
+                    mean_cost: budget as f64,
+                    mean_rel_err: err,
+                    successes: 1,
+                    trials: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn cost_interpolates_between_points() {
+        let c = curve(&[(100, 0.30), (200, 0.10)]);
+        // target 0.20 is halfway between the two errors.
+        assert!((c.cost_at_error(0.20).unwrap() - 150.0).abs() < 1e-9);
+        assert_eq!(c.cost_at_error(0.30).unwrap(), 100.0);
+        assert!((c.cost_at_error(0.10).unwrap() - 200.0).abs() < 1e-9);
+        assert_eq!(c.cost_at_error(0.05), None);
+    }
+
+    #[test]
+    fn non_monotone_noise_is_smoothed() {
+        let c = curve(&[(100, 0.12), (200, 0.25), (400, 0.06)]);
+        // The 0.12 at cost 100 already satisfies 0.15.
+        assert_eq!(c.cost_at_error(0.15).unwrap(), 100.0);
+        // 0.10 needs the running minimum to fall below it: between 200
+        // (min err 0.12) and 400 (0.06).
+        let at10 = c.cost_at_error(0.10).unwrap();
+        assert!(at10 > 200.0 && at10 < 400.0, "{at10}");
+    }
+
+    #[test]
+    fn grid_covers_paper_targets() {
+        let c = curve(&[(100, 0.02)]);
+        let grid = c.costs_on_grid();
+        assert_eq!(grid.len(), 5);
+        assert!(grid.iter().all(|(_, cost)| cost.is_some()));
+    }
+}

@@ -1,0 +1,88 @@
+//! Shared experiment worlds.
+//!
+//! All experiment binaries run against the same synthetic "Twitter 2013"
+//! world (plus Google+/Tumblr variants) so results are comparable across
+//! figures. Scale and seed come from the environment:
+//!
+//! * `MA_SCALE` — `tiny` | `small` | `medium` (default) | `large`
+//! * `MA_SEED`  — u64 world seed (default 2014)
+//! * `MA_TRIALS` — trials per sweep point (default 5)
+
+use microblog_platform::scenario::{
+    google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario,
+};
+
+/// Reads the experiment scale from `MA_SCALE`.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("MA_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        "tiny" => Scale::Tiny,
+        "small" => Scale::Small,
+        "large" => Scale::Large,
+        "medium" | "" => Scale::Medium,
+        other => {
+            eprintln!("unknown MA_SCALE '{other}', using medium");
+            Scale::Medium
+        }
+    }
+}
+
+/// Reads the world seed from `MA_SEED`.
+pub fn seed_from_env() -> u64 {
+    std::env::var("MA_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2014)
+}
+
+/// Reads the per-point trial count from `MA_TRIALS`.
+pub fn trials_from_env() -> usize {
+    std::env::var("MA_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(5)
+}
+
+/// The Twitter world at the configured scale/seed.
+pub fn twitter_world() -> Scenario {
+    let s = twitter_2013(scale_from_env(), seed_from_env());
+    announce("twitter", &s);
+    s
+}
+
+/// The Google+ world at the configured scale/seed.
+pub fn google_plus_world() -> Scenario {
+    let s = google_plus_2013(scale_from_env(), seed_from_env());
+    announce("google+", &s);
+    s
+}
+
+/// The Tumblr world at the configured scale/seed.
+pub fn tumblr_world() -> Scenario {
+    let s = tumblr_2013(scale_from_env(), seed_from_env());
+    announce("tumblr", &s);
+    s
+}
+
+fn announce(name: &str, s: &Scenario) {
+    eprintln!(
+        "[world] {name}: {} users, {} posts (MA_SCALE={:?}, MA_SEED={})",
+        s.platform.user_count(),
+        s.platform.post_count(),
+        scale_from_env(),
+        seed_from_env()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing_defaults() {
+        // Don't mutate the environment (tests run in parallel); just check
+        // the defaults hold when variables are absent.
+        if std::env::var("MA_SCALE").is_err() {
+            assert_eq!(scale_from_env(), Scale::Medium);
+        }
+        if std::env::var("MA_SEED").is_err() {
+            assert_eq!(seed_from_env(), 2014);
+        }
+        if std::env::var("MA_TRIALS").is_err() {
+            assert_eq!(trials_from_env(), 5);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The MICROBLOG-ANALYZER facade (Figure 1).
+//!
+//! Takes an aggregate query, a query budget and an algorithm choice;
+//! returns an [`Estimate`]. All platform access goes through a fresh
+//! budget-limited [`CachingClient`].
+
+use crate::error::EstimateError;
+use crate::estimate::Estimate;
+use crate::query::AggregateQuery;
+use crate::view::ViewKind;
+use crate::walker::{mhrw, mr, snowball, srw, tarw};
+use microblog_api::{ApiProfile, CachingClient, MicroblogClient, QueryBudget};
+use microblog_platform::{Duration, Platform};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which estimation algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Algorithm {
+    /// Simple random walk over the full social graph (Fig. 2/3 baseline).
+    SrwFullGraph,
+    /// Simple random walk over the term-induced subgraph (§4.1 baseline).
+    SrwTermInduced,
+    /// MA-SRW: simple random walk over the level-by-level subgraph
+    /// (Algorithm 1). `interval = None` uses one day, the paper's default
+    /// segmentation example.
+    MaSrw {
+        /// Level interval `T`.
+        interval: Option<Duration>,
+    },
+    /// MA-TARW: topology-aware random walk (Algorithm 3). `interval =
+    /// None` auto-selects via pilot walks (§4.2.3).
+    MaTarw {
+        /// Level interval `T`; `None` = pilot selection.
+        interval: Option<Duration>,
+    },
+    /// Mark-and-recapture baseline on the given view (COUNT only).
+    MarkRecapture {
+        /// The view to walk.
+        view: ViewKind,
+    },
+    /// Simple random walk over an arbitrary view — the general form behind
+    /// the ablations (e.g. Fig. 4's partial intra-edge removal).
+    SrwView {
+        /// The view to walk.
+        view: ViewKind,
+    },
+    /// Metropolis–Hastings random walk over the given view — the slower
+    /// oblivious baseline the paper dismisses via Gjoka et al. [13].
+    Mhrw {
+        /// The view to walk.
+        view: ViewKind,
+    },
+    /// BFS/DFS snowball crawl — the classic *biased* baseline from the
+    /// graph-sampling literature ([13, 19]).
+    Snowball {
+        /// The view to crawl.
+        view: ViewKind,
+        /// Crawl order.
+        order: crate::walker::snowball::CrawlOrder,
+    },
+}
+
+impl Algorithm {
+    /// Short display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::SrwFullGraph => "SRW(social)",
+            Algorithm::SrwTermInduced => "SRW(term)",
+            Algorithm::MaSrw { .. } => "MA-SRW",
+            Algorithm::MaTarw { .. } => "MA-TARW",
+            Algorithm::MarkRecapture { .. } => "M&R",
+            Algorithm::SrwView { .. } => "SRW(view)",
+            Algorithm::Mhrw { .. } => "MHRW",
+            Algorithm::Snowball { order, .. } => match order {
+                crate::walker::snowball::CrawlOrder::Bfs => "BFS",
+                crate::walker::snowball::CrawlOrder::Dfs => "DFS",
+            },
+        }
+    }
+}
+
+/// The top-level system facade.
+pub struct MicroblogAnalyzer<'p> {
+    platform: &'p Platform,
+    api: ApiProfile,
+}
+
+impl<'p> MicroblogAnalyzer<'p> {
+    /// Creates an analyzer over `platform` accessed through `api`.
+    pub fn new(platform: &'p Platform, api: ApiProfile) -> Self {
+        MicroblogAnalyzer { platform, api }
+    }
+
+    /// The API profile in force.
+    pub fn api_profile(&self) -> &ApiProfile {
+        &self.api
+    }
+
+    /// Estimates `query` with at most `budget` API calls using `algorithm`;
+    /// `seed` makes the run reproducible.
+    pub fn estimate(
+        &self,
+        query: &AggregateQuery,
+        budget: u64,
+        algorithm: Algorithm,
+        seed: u64,
+    ) -> Result<Estimate, EstimateError> {
+        let budget = QueryBudget::limited(budget);
+        let mut client = CachingClient::new(MicroblogClient::with_budget(
+            self.platform,
+            self.api.clone(),
+            budget,
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match algorithm {
+            Algorithm::SrwFullGraph => {
+                let cfg = srw::SrwConfig::new(ViewKind::FullGraph);
+                srw::estimate(&mut client, query, &cfg, &mut rng)
+            }
+            Algorithm::SrwTermInduced => {
+                let cfg = srw::SrwConfig::new(ViewKind::TermInduced);
+                srw::estimate(&mut client, query, &cfg, &mut rng)
+            }
+            Algorithm::MaSrw { interval } => {
+                let t = interval.unwrap_or(Duration::DAY);
+                let cfg = srw::SrwConfig::new(ViewKind::level(t));
+                srw::estimate(&mut client, query, &cfg, &mut rng)
+            }
+            Algorithm::MaTarw { interval } => {
+                let cfg = tarw::TarwConfig { interval, ..Default::default() };
+                tarw::estimate(&mut client, query, &cfg, &mut rng)
+            }
+            Algorithm::MarkRecapture { view } => {
+                let cfg = mr::MrConfig::new(view);
+                mr::estimate(&mut client, query, &cfg, &mut rng)
+            }
+            Algorithm::SrwView { view } => {
+                let cfg = srw::SrwConfig::new(view);
+                srw::estimate(&mut client, query, &cfg, &mut rng)
+            }
+            Algorithm::Mhrw { view } => {
+                let cfg = mhrw::MhrwConfig::new(view);
+                mhrw::estimate(&mut client, query, &cfg, &mut rng)
+            }
+            Algorithm::Snowball { view, order } => {
+                let cfg = snowball::SnowballConfig { view, order, max_nodes: usize::MAX };
+                snowball::estimate(&mut client, query, &cfg, &mut rng)
+            }
+        }
+    }
+
+    /// Exact ground truth for `query` (from the simulator's omniscient
+    /// view; used only for evaluation, never by the estimators).
+    pub fn ground_truth(&self, query: &AggregateQuery) -> Option<f64> {
+        query.ground_truth(self.platform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+    use microblog_platform::UserMetric;
+
+    #[test]
+    fn facade_runs_every_algorithm() {
+        let s = twitter_2013(Scale::Tiny, 81);
+        let kw = s.keyword("privacy").unwrap();
+        let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+        let avg = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+        let count = AggregateQuery::count(kw).in_window(s.window);
+        let truth_avg = analyzer.ground_truth(&avg).unwrap();
+        assert!(truth_avg > 0.0);
+
+        for (algo, q) in [
+            (Algorithm::MaTarw { interval: Some(Duration::DAY) }, &avg),
+            (Algorithm::MaSrw { interval: None }, &avg),
+            (Algorithm::SrwTermInduced, &avg),
+            (
+                Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+                &count,
+            ),
+        ] {
+            let est = analyzer.estimate(q, 50_000, algo, 3).unwrap();
+            assert!(est.value.is_finite(), "{} produced {}", algo.name(), est.value);
+            assert!(est.cost <= 50_000);
+            assert!(est.samples > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = twitter_2013(Scale::Tiny, 82);
+        let kw = s.keyword("boston").unwrap();
+        let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+        let q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
+        let algo = Algorithm::MaTarw { interval: Some(Duration::DAY) };
+        let a = analyzer.estimate(&q, 20_000, algo, 9).unwrap();
+        let b = analyzer.estimate(&q, 20_000, algo, 9).unwrap();
+        assert_eq!(a.value, b.value);
+        assert_eq!(a.cost, b.cost);
+        // A different RNG seed takes a different path.
+        let c = analyzer.estimate(&q, 20_000, algo, 10).unwrap();
+        assert_ne!(a.value, c.value);
+    }
+
+    #[test]
+    fn algorithm_names() {
+        assert_eq!(Algorithm::MaTarw { interval: None }.name(), "MA-TARW");
+        assert_eq!(Algorithm::MaSrw { interval: None }.name(), "MA-SRW");
+        assert_eq!(Algorithm::SrwFullGraph.name(), "SRW(social)");
+        assert_eq!(Algorithm::SrwTermInduced.name(), "SRW(term)");
+        assert_eq!(
+            Algorithm::MarkRecapture { view: ViewKind::TermInduced }.name(),
+            "M&R"
+        );
+    }
+}

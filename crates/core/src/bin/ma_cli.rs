@@ -1,0 +1,269 @@
+//! `ma-cli` — run aggregate estimations over a synthetic microblog world
+//! from the command line.
+//!
+//! ```text
+//! Usage: ma-cli [OPTIONS] <SQL-QUERY>
+//!
+//!   --platform twitter|google+|tumblr   world + API profile  [twitter]
+//!   --scale    tiny|small|medium|large  world size           [small]
+//!   --world-seed N                      world RNG seed       [2014]
+//!   --algorithm tarw|srw|mhrw|mr|srw-term|srw-full           [tarw]
+//!   --budget N                          API-call budget      [25000]
+//!   --interval 2h|4h|12h|1d|2d|1w|1m|auto   level interval   [auto]
+//!   --seed N                            estimator RNG seed   [7]
+//!   --truth                             also print exact ground truth
+//!   --list-keywords                     print the scenario keywords
+//!
+//! Example:
+//!   ma-cli --budget 30000 --truth \
+//!     "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' \
+//!      AND TIME BETWEEN DAY 0 AND DAY 303"
+//! ```
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::{Algorithm, ViewKind};
+use microblog_api::rate::{human_duration, wall_clock};
+use microblog_platform::scenario::{
+    google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario,
+};
+use microblog_platform::Duration;
+
+fn main() {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(()) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run with --help for usage");
+            std::process::exit(1);
+        }
+    }
+}
+
+struct Options {
+    platform: String,
+    scale: Scale,
+    world_seed: u64,
+    algorithm: String,
+    budget: u64,
+    interval: Option<Duration>,
+    seed: u64,
+    truth: bool,
+    list_keywords: bool,
+    query: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            platform: "twitter".into(),
+            scale: Scale::Small,
+            world_seed: 2014,
+            algorithm: "tarw".into(),
+            budget: 25_000,
+            interval: None,
+            seed: 7,
+            truth: false,
+            list_keywords: false,
+            query: None,
+        }
+    }
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                // Reuse the module docs as help text.
+                println!("ma-cli — aggregate estimation over a synthetic microblog\n");
+                println!("see `cargo doc -p microblog-analyzer --bin ma-cli` or the");
+                println!("source header of src/bin/ma_cli.rs for full usage");
+                std::process::exit(0);
+            }
+            "--platform" => opts.platform = value("--platform")?.to_lowercase(),
+            "--scale" => {
+                opts.scale = match value("--scale")?.to_lowercase().as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "medium" => Scale::Medium,
+                    "large" => Scale::Large,
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--world-seed" => {
+                opts.world_seed =
+                    value("--world-seed")?.parse().map_err(|_| "bad --world-seed")?
+            }
+            "--algorithm" => opts.algorithm = value("--algorithm")?.to_lowercase(),
+            "--budget" => opts.budget = value("--budget")?.parse().map_err(|_| "bad --budget")?,
+            "--interval" => {
+                let v = value("--interval")?.to_lowercase();
+                opts.interval = match v.as_str() {
+                    "auto" => None,
+                    "2h" => Some(Duration::hours(2)),
+                    "4h" => Some(Duration::hours(4)),
+                    "12h" => Some(Duration::hours(12)),
+                    "1d" => Some(Duration::DAY),
+                    "2d" => Some(Duration::days(2)),
+                    "1w" => Some(Duration::WEEK),
+                    "1m" => Some(Duration::MONTH),
+                    other => return Err(format!("unknown interval '{other}'")),
+                };
+            }
+            "--seed" => opts.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--truth" => opts.truth = true,
+            "--list-keywords" => opts.list_keywords = true,
+            other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
+            query => {
+                if opts.query.replace(query.to_string()).is_some() {
+                    return Err("multiple queries given".into());
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn build_world(opts: &Options) -> Result<(Scenario, ApiProfile), String> {
+    Ok(match opts.platform.as_str() {
+        "twitter" => (twitter_2013(opts.scale, opts.world_seed), ApiProfile::twitter()),
+        "google+" | "googleplus" | "gplus" => {
+            (google_plus_2013(opts.scale, opts.world_seed), ApiProfile::google_plus())
+        }
+        "tumblr" => (tumblr_2013(opts.scale, opts.world_seed), ApiProfile::tumblr()),
+        other => return Err(format!("unknown platform '{other}'")),
+    })
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let opts = parse_args(args)?;
+    eprintln!(
+        "building {} world ({:?}, seed {})...",
+        opts.platform, opts.scale, opts.world_seed
+    );
+    let (scenario, api) = build_world(&opts)?;
+
+    if opts.list_keywords {
+        println!("scenario keywords:");
+        for spec in &scenario.specs {
+            println!("  {}", spec.name);
+        }
+        return Ok(());
+    }
+
+    let query_text = opts.query.as_deref().ok_or("no query given")?;
+    let query = parse_query(query_text, scenario.platform.keywords())
+        .map_err(|e| e.to_string())?;
+
+    let algorithm = match opts.algorithm.as_str() {
+        "tarw" => Algorithm::MaTarw { interval: opts.interval },
+        "srw" => Algorithm::MaSrw { interval: opts.interval },
+        "mhrw" => Algorithm::Mhrw {
+            view: ViewKind::level(opts.interval.unwrap_or(Duration::DAY)),
+        },
+        "mr" => Algorithm::MarkRecapture {
+            view: ViewKind::level(opts.interval.unwrap_or(Duration::DAY)),
+        },
+        "srw-term" => Algorithm::SrwTermInduced,
+        "srw-full" => Algorithm::SrwFullGraph,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    };
+
+    let analyzer = MicroblogAnalyzer::new(&scenario.platform, api);
+    let est = analyzer
+        .estimate(&query, opts.budget, algorithm, opts.seed)
+        .map_err(|e| e.to_string())?;
+
+    println!("estimate   : {:.3}", est.value);
+    if let Some(se) = est.std_err {
+        println!("std. error : {se:.3}");
+    }
+    println!(
+        "query cost : {} API calls ≈ {} of {} wall-clock",
+        est.cost,
+        human_duration(wall_clock(analyzer.api_profile(), est.cost)),
+        opts.platform
+    );
+    println!("samples    : {} across {} walk instance(s)", est.samples, est.instances);
+    if opts.truth {
+        match analyzer.ground_truth(&query) {
+            Some(truth) => println!(
+                "truth      : {:.3} (relative error {:.1}%)",
+                truth,
+                100.0 * est.relative_error(truth)
+            ),
+            None => println!("truth      : undefined (no matching users)"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_hold() {
+        let o = parse_args(vec!["SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'x'".into()])
+            .unwrap();
+        assert_eq!(o.platform, "twitter");
+        assert_eq!(o.scale, Scale::Small);
+        assert_eq!(o.budget, 25_000);
+        assert_eq!(o.algorithm, "tarw");
+        assert!(o.interval.is_none());
+        assert!(!o.truth);
+        assert!(o.query.is_some());
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let mut a = args("--platform tumblr --scale large --world-seed 9 --algorithm srw --budget 123 --interval 1w --seed 4 --truth --list-keywords");
+        a.push("q".into());
+        let o = parse_args(a).unwrap();
+        assert_eq!(o.platform, "tumblr");
+        assert_eq!(o.scale, Scale::Large);
+        assert_eq!(o.world_seed, 9);
+        assert_eq!(o.algorithm, "srw");
+        assert_eq!(o.budget, 123);
+        assert_eq!(o.interval, Some(Duration::WEEK));
+        assert_eq!(o.seed, 4);
+        assert!(o.truth);
+        assert!(o.list_keywords);
+        assert_eq!(o.query.as_deref(), Some("q"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(args("--scale galactic")).is_err());
+        assert!(parse_args(args("--interval fortnight")).is_err());
+        assert!(parse_args(args("--budget lots")).is_err());
+        assert!(parse_args(args("--unknown-flag")).is_err());
+        assert!(parse_args(args("--budget")).is_err(), "missing value");
+        let two = parse_args(vec!["a".into(), "b".into()]);
+        assert!(two.is_err(), "two positional queries");
+    }
+
+    #[test]
+    fn interval_aliases() {
+        for (txt, expect) in [
+            ("2h", Duration::hours(2)),
+            ("12h", Duration::hours(12)),
+            ("1d", Duration::DAY),
+            ("2d", Duration::days(2)),
+            ("1m", Duration::MONTH),
+        ] {
+            let o = parse_args(args(&format!("--interval {txt}"))).unwrap();
+            assert_eq!(o.interval, Some(expect), "{txt}");
+        }
+        assert!(parse_args(args("--interval auto")).unwrap().interval.is_none());
+    }
+}

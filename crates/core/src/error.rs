@@ -1,0 +1,63 @@
+//! Estimation error type.
+
+use microblog_api::ApiError;
+
+/// Failures of the estimation pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EstimateError {
+    /// The underlying API failed for a reason other than budget exhaustion
+    /// (budget exhaustion is not an error — estimators finalize with the
+    /// samples gathered so far).
+    Api(ApiError),
+    /// The search API returned no usable seed users for the query keyword
+    /// — nothing can be estimated.
+    NoSeeds,
+    /// The budget was exhausted before a single usable sample was drawn.
+    NoSamples,
+    /// The query is not supported by the chosen algorithm (e.g. a COUNT
+    /// asked of an AVG-only configuration).
+    Unsupported(&'static str),
+}
+
+impl From<ApiError> for EstimateError {
+    fn from(e: ApiError) -> Self {
+        EstimateError::Api(e)
+    }
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::Api(e) => write!(f, "api error: {e}"),
+            EstimateError::NoSeeds => write!(f, "search returned no usable seed users"),
+            EstimateError::NoSamples => {
+                write!(f, "budget exhausted before any sample was collected")
+            }
+            EstimateError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EstimateError::Api(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_platform::UserId;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EstimateError = ApiError::UnknownUser(UserId(1)).into();
+        assert_eq!(e.to_string(), "api error: unknown user u1");
+        assert!(std::error::Error::source(&e).is_some());
+        assert_eq!(EstimateError::NoSeeds.to_string(), "search returned no usable seed users");
+        assert!(std::error::Error::source(&EstimateError::NoSamples).is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! Estimation results and running statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// The output of an estimation run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Estimate {
+    /// The estimated aggregate value.
+    pub value: f64,
+    /// Standard error of the estimate across walk instances (when the
+    /// algorithm can produce one).
+    pub std_err: Option<f64>,
+    /// API calls spent producing it (the paper's "query cost").
+    pub cost: u64,
+    /// Usable samples (nodes) the estimate is based on.
+    pub samples: usize,
+    /// Independent walk instances averaged (1 for single-chain methods).
+    pub instances: usize,
+}
+
+impl Estimate {
+    /// Relative error against a ground-truth value (the paper's accuracy
+    /// metric, §2).
+    ///
+    /// # Panics
+    /// Panics if `truth == 0.0`.
+    pub fn relative_error(&self, truth: f64) -> f64 {
+        assert!(truth != 0.0, "relative error undefined for zero ground truth");
+        (self.value - truth).abs() / truth.abs()
+    }
+}
+
+/// Numerically-stable running mean/variance (Welford).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; `None` with fewer than two observations.
+    pub fn variance(&self) -> Option<f64> {
+        if self.n < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.n - 1) as f64)
+        }
+    }
+
+    /// Standard error of the mean; `None` with fewer than two observations.
+    pub fn std_err(&self) -> Option<f64> {
+        self.variance().map(|v| (v / self.n as f64).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error() {
+        let e = Estimate { value: 110.0, std_err: None, cost: 10, samples: 5, instances: 1 };
+        assert!((e.relative_error(100.0) - 0.1).abs() < 1e-12);
+        assert!((e.relative_error(-110.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for zero")]
+    fn relative_error_zero_truth() {
+        let e = Estimate { value: 1.0, std_err: None, cost: 0, samples: 0, instances: 0 };
+        let _ = e.relative_error(0.0);
+    }
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Naive unbiased variance = 32/7.
+        assert!((s.variance().unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.std_err().unwrap() - (32.0 / 56.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), None);
+        s.push(3.0);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.variance(), None);
+        assert_eq!(s.std_err(), None);
+    }
+}

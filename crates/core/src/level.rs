@@ -1,0 +1,93 @@
+//! Level assignment (§4.2.1).
+//!
+//! The level-by-level subgraph organizes the users matching the keyword
+//! predicate into *levels* by the time they **first** qualified — i.e. the
+//! time of their first visible post mentioning the keyword inside the query
+//! window — bucketed by a time interval `T`. Level 0 is the earliest
+//! bucket (the "top" of Figure 6); walks start at the *bottom* (most
+//! recent levels, reachable through the search API) and climb up.
+
+use microblog_api::{ApiError, CachingClient};
+use microblog_platform::{Duration, KeywordId, TimeWindow, Timestamp, UserId};
+
+/// Assigns levels to users from API-visible data only.
+#[derive(Clone, Copy, Debug)]
+pub struct LevelAssigner {
+    /// The query keyword.
+    pub keyword: KeywordId,
+    /// The matching window.
+    pub window: TimeWindow,
+    /// Bucket origin (the window start).
+    pub origin: Timestamp,
+    /// Bucket width `T`.
+    pub interval: Duration,
+}
+
+impl LevelAssigner {
+    /// Builds an assigner for `keyword` over `window` with bucket width
+    /// `interval`.
+    ///
+    /// # Panics
+    /// Panics if `interval` is non-positive.
+    pub fn new(keyword: KeywordId, window: TimeWindow, interval: Duration) -> Self {
+        assert!(interval.0 > 0, "level interval must be positive");
+        LevelAssigner { keyword, window, origin: window.start, interval }
+    }
+
+    /// The level of a first-mention time.
+    pub fn level_of_time(&self, t: Timestamp) -> i64 {
+        (t.0 - self.origin.0).div_euclid(self.interval.0)
+    }
+
+    /// The level of user `u`: `None` when the user has no qualifying post
+    /// (not a member of the term-induced subgraph).
+    ///
+    /// Costs one (cached) USER TIMELINE query.
+    pub fn level(&self, client: &mut CachingClient<'_>, u: UserId) -> Result<Option<i64>, ApiError> {
+        let view = client.user_timeline(u)?;
+        Ok(view.first_mention(self.keyword, self.window).map(|t| self.level_of_time(t)))
+    }
+
+    /// Total number of levels the window spans.
+    pub fn level_count(&self) -> i64 {
+        let span = self.window.length().0;
+        (span + self.interval.0 - 1) / self.interval.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assigner(interval: Duration) -> LevelAssigner {
+        LevelAssigner::new(
+            KeywordId(0),
+            TimeWindow::new(Timestamp::at_day(0), Timestamp::at_day(303)),
+            interval,
+        )
+    }
+
+    #[test]
+    fn day_buckets() {
+        let a = assigner(Duration::DAY);
+        assert_eq!(a.level_of_time(Timestamp(0)), 0);
+        assert_eq!(a.level_of_time(Timestamp(86_399)), 0);
+        assert_eq!(a.level_of_time(Timestamp(86_400)), 1);
+        assert_eq!(a.level_of_time(Timestamp::at_day(302)), 302);
+        assert_eq!(a.level_count(), 303);
+    }
+
+    #[test]
+    fn coarse_buckets_round_up_level_count() {
+        let a = assigner(Duration::MONTH);
+        assert_eq!(a.level_count(), 11); // ceil(303/30)
+        assert_eq!(a.level_of_time(Timestamp::at_day(29)), 0);
+        assert_eq!(a.level_of_time(Timestamp::at_day(30)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_zero_interval() {
+        let _ = assigner(Duration(0));
+    }
+}

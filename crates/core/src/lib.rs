@@ -1,0 +1,90 @@
+//! # microblog-analyzer
+//!
+//! A from-scratch reproduction of **MICROBLOG-ANALYZER** from *"Aggregate
+//! Estimation Over a Microblog Platform"* (Thirumuruganathan, Zhang,
+//! Hristidis, Das — SIGMOD 2014): estimating `COUNT` / `SUM` / `AVG`
+//! aggregates with keyword (and time/profile) predicates over a microblog
+//! platform that can only be observed through a rate-limited API.
+//!
+//! ## Architecture (paper §3)
+//!
+//! ```text
+//!  aggregate query + query budget
+//!        │
+//!        ▼
+//!  ┌───────────────────  MICROBLOG-ANALYZER  ──────────────────┐
+//!  │  GRAPH-BUILDER ([`view`], [`level`], [`interval`])        │
+//!  │    full graph / term-induced / level-by-level subgraph,   │
+//!  │    materialized lazily, edge by edge, from API responses  │
+//!  │  GRAPH-WALKER ([`walker`])                                 │
+//!  │    MA-SRW  — simple random walk over the subgraph (§4)    │
+//!  │    MA-TARW — topology-aware bottom-top-bottom walk (§5)   │
+//!  │    M&R     — mark-and-recapture baseline (Katzir)         │
+//!  └────────────────────────────────────────────────────────────┘
+//!        │ SEARCH / USER CONNECTIONS / USER TIMELINE (microblog-api)
+//!        ▼
+//!     rate-limited platform
+//! ```
+//!
+//! The entry point is [`analyzer::MicroblogAnalyzer`]:
+//!
+//! ```
+//! use microblog_analyzer::prelude::*;
+//! use microblog_platform::scenario::{twitter_2013, Scale};
+//!
+//! let scenario = twitter_2013(Scale::Tiny, 42);
+//! let kw = scenario.keyword("privacy").unwrap();
+//! let query = AggregateQuery::avg(UserMetric::FollowerCount, kw)
+//!     .in_window(scenario.window);
+//! let analyzer = MicroblogAnalyzer::new(&scenario.platform, ApiProfile::twitter());
+//! let est = analyzer
+//!     .estimate(&query, 30_000, Algorithm::MaTarw { interval: None }, 7)
+//!     .expect("estimation succeeds");
+//! assert!(est.value > 0.0);
+//! ```
+//!
+//! ## Fidelity notes
+//!
+//! * Algorithm 3's printed `1/|R_i|` normalization cannot be unbiased as
+//!   typeset (each of the two phase sums is already an unbiased
+//!   Hansen–Hurwitz estimate of the SUM). We implement a
+//!   multiplicity-weighted Hansen–Hurwitz sum — every visit of `u`
+//!   contributes `f(u)/(p̄(u)+p̂(u))` — which is unbiased over the *union*
+//!   of the two phases' coverage, and verify exactness on analytic path
+//!   worlds (`tests/tarw_exactness.rs`).
+//! * `ESTIMATE-p` sampling (the paper's Algorithm 2) returns an unbiased
+//!   estimate of `p(u)`, but `f(u)/p̂(u)` is heavy-tailed when the search
+//!   API yields few seeds; the default [`walker::tarw::PMode::Exact`]
+//!   therefore solves the Eq. (6) recursion exactly with memoization (the
+//!   §5.2 cache generalized to every node). The sampled mode remains
+//!   available and validated against exact probabilities.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analyzer;
+pub mod error;
+pub mod estimate;
+pub mod interval;
+pub mod level;
+pub mod query;
+pub mod seeds;
+pub mod view;
+pub mod walker;
+
+/// Convenience re-exports for downstream users.
+pub mod prelude {
+    pub use crate::analyzer::{Algorithm, MicroblogAnalyzer};
+    pub use crate::error::EstimateError;
+    pub use crate::estimate::Estimate;
+    pub use crate::query::{Aggregate, AggregateQuery};
+    pub use crate::view::ViewKind;
+    pub use microblog_api::ApiProfile;
+    pub use microblog_platform::{Gender, TimeWindow, Timestamp, UserMetric};
+}
+
+pub use analyzer::{Algorithm, MicroblogAnalyzer};
+pub use error::EstimateError;
+pub use estimate::Estimate;
+pub use query::{Aggregate, AggregateQuery};
+pub use view::ViewKind;

@@ -1,0 +1,228 @@
+//! The aggregate-query model (§2 of the paper).
+//!
+//! Queries have the shape `SELECT AGGR(f(u)) FROM U WHERE CONDITION`: an
+//! aggregate function over a per-user metric, a mandatory keyword
+//! predicate, an optional time window, and optional profile predicates.
+
+pub mod parse;
+
+use microblog_api::UserView;
+use microblog_platform::metric::{evaluate_metric, ProfilePredicate};
+use microblog_platform::truth::Condition;
+use microblog_platform::{KeywordId, Platform, TimeWindow, UserMetric};
+use serde::{Deserialize, Serialize};
+
+/// The aggregate function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Aggregate {
+    /// Number of users satisfying the condition.
+    Count,
+    /// Sum of the metric over satisfying users.
+    Sum(UserMetric),
+    /// Average of the metric over satisfying users (SUM/COUNT).
+    Avg(UserMetric),
+    /// Average of per-post likes/etc. expressed as a ratio of two SUMs —
+    /// used for "AVG(likes) over posts containing the keyword" (Fig. 14):
+    /// `SUM(numerator) / SUM(denominator)`.
+    RatioOfSums {
+        /// The numerator metric (e.g. [`UserMetric::KeywordPostLikes`]).
+        numerator: UserMetric,
+        /// The denominator metric (e.g. [`UserMetric::KeywordPostCount`]).
+        denominator: UserMetric,
+    },
+}
+
+/// A complete aggregate query.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AggregateQuery {
+    /// What to aggregate.
+    pub aggregate: Aggregate,
+    /// The keyword predicate (mandatory; see §2).
+    pub keyword: KeywordId,
+    /// Optional time window on qualifying posts.
+    pub window: Option<TimeWindow>,
+    /// Optional profile predicates (ANDed).
+    pub predicates: Vec<ProfilePredicate>,
+}
+
+impl AggregateQuery {
+    /// `COUNT(*) WHERE keyword`.
+    pub fn count(keyword: KeywordId) -> Self {
+        AggregateQuery { aggregate: Aggregate::Count, keyword, window: None, predicates: vec![] }
+    }
+
+    /// `SUM(metric) WHERE keyword`.
+    pub fn sum(metric: UserMetric, keyword: KeywordId) -> Self {
+        AggregateQuery {
+            aggregate: Aggregate::Sum(metric),
+            keyword,
+            window: None,
+            predicates: vec![],
+        }
+    }
+
+    /// `AVG(metric) WHERE keyword`.
+    pub fn avg(metric: UserMetric, keyword: KeywordId) -> Self {
+        AggregateQuery {
+            aggregate: Aggregate::Avg(metric),
+            keyword,
+            window: None,
+            predicates: vec![],
+        }
+    }
+
+    /// Per-post average of `likes`-style metrics (Fig. 14):
+    /// `SUM(numerator)/SUM(denominator)`.
+    pub fn post_avg(numerator: UserMetric, denominator: UserMetric, keyword: KeywordId) -> Self {
+        AggregateQuery {
+            aggregate: Aggregate::RatioOfSums { numerator, denominator },
+            keyword,
+            window: None,
+            predicates: vec![],
+        }
+    }
+
+    /// Restricts qualifying posts to a time window.
+    pub fn in_window(mut self, w: TimeWindow) -> Self {
+        self.window = Some(w);
+        self
+    }
+
+    /// Adds a profile predicate.
+    pub fn with_predicate(mut self, p: ProfilePredicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// The ground-truth condition equivalent of this query's WHERE clause.
+    pub fn condition(&self) -> Condition {
+        Condition {
+            keyword: self.keyword,
+            window: self.window,
+            predicates: self.predicates.clone(),
+        }
+    }
+
+    /// Whether `view`'s user satisfies the full condition (keyword mention
+    /// in window + profile predicates), judged from API-visible data only.
+    pub fn matches(&self, view: &UserView, now: microblog_platform::Timestamp) -> bool {
+        let window = self.effective_window(now);
+        if view.first_mention(self.keyword, window).is_none() {
+            return false;
+        }
+        self.predicates.iter().all(|p| p.matches(&view.profile, view.follower_count))
+    }
+
+    /// The window used for matching: the explicit one, or all-time-to-now.
+    pub fn effective_window(&self, now: microblog_platform::Timestamp) -> TimeWindow {
+        self.window
+            .unwrap_or_else(|| TimeWindow::new(microblog_platform::Timestamp(i64::MIN / 2), now))
+    }
+
+    /// Evaluates a metric for the user behind `view` under this query's
+    /// keyword/window scope (returns 0.0 when the condition fails, which
+    /// is exactly what Hansen–Hurwitz estimation needs).
+    pub fn metric_value(
+        &self,
+        metric: UserMetric,
+        view: &UserView,
+        now: microblog_platform::Timestamp,
+    ) -> f64 {
+        if !self.matches(view, now) {
+            return 0.0;
+        }
+        evaluate_metric(
+            metric,
+            &view.metric_inputs(),
+            Some(self.keyword),
+            Some(self.effective_window(now)),
+        )
+    }
+
+    /// Exact ground truth of this query over the full platform state.
+    ///
+    /// Returns `None` when no user satisfies the condition (AVG undefined).
+    pub fn ground_truth(&self, platform: &Platform) -> Option<f64> {
+        use microblog_platform::truth;
+        let cond = self.condition();
+        match self.aggregate {
+            Aggregate::Count => Some(truth::exact_count(platform, &cond)),
+            Aggregate::Sum(m) => Some(truth::exact_sum(platform, &cond, m)),
+            Aggregate::Avg(m) => truth::exact_avg(platform, &cond, m),
+            Aggregate::RatioOfSums { numerator, denominator } => {
+                let den = truth::exact_sum(platform, &cond, denominator);
+                if den == 0.0 {
+                    None
+                } else {
+                    Some(truth::exact_sum(platform, &cond, numerator) / den)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+    use microblog_platform::{Gender, UserMetric};
+
+    #[test]
+    fn builders_compose() {
+        let kw = KeywordId(0);
+        let w = TimeWindow::new(microblog_platform::Timestamp(0), microblog_platform::Timestamp(10));
+        let q = AggregateQuery::avg(UserMetric::FollowerCount, kw)
+            .in_window(w)
+            .with_predicate(ProfilePredicate::GenderIs(Gender::Male));
+        assert_eq!(q.aggregate, Aggregate::Avg(UserMetric::FollowerCount));
+        assert_eq!(q.window, Some(w));
+        assert_eq!(q.predicates.len(), 1);
+        let c = q.condition();
+        assert_eq!(c.keyword, kw);
+        assert_eq!(c.window, Some(w));
+    }
+
+    #[test]
+    fn ground_truth_matches_truth_module() {
+        let s = twitter_2013(Scale::Tiny, 11);
+        let kw = s.keyword("privacy").unwrap();
+        let q = AggregateQuery::count(kw).in_window(s.window);
+        let direct = microblog_platform::truth::exact_count(
+            &s.platform,
+            &q.condition(),
+        );
+        assert_eq!(q.ground_truth(&s.platform), Some(direct));
+        assert!(direct > 0.0);
+        // AVG == SUM / COUNT.
+        let avg = AggregateQuery::avg(UserMetric::FollowerCount, kw)
+            .in_window(s.window)
+            .ground_truth(&s.platform)
+            .unwrap();
+        let sum = AggregateQuery::sum(UserMetric::FollowerCount, kw)
+            .in_window(s.window)
+            .ground_truth(&s.platform)
+            .unwrap();
+        assert!((avg - sum / direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn post_avg_is_ratio() {
+        let s = twitter_2013(Scale::Tiny, 12);
+        let kw = s.keyword("boston").unwrap();
+        let q = AggregateQuery::post_avg(
+            UserMetric::KeywordPostLikes,
+            UserMetric::KeywordPostCount,
+            kw,
+        )
+        .in_window(s.window);
+        let likes = AggregateQuery::sum(UserMetric::KeywordPostLikes, kw)
+            .in_window(s.window)
+            .ground_truth(&s.platform)
+            .unwrap();
+        let posts = AggregateQuery::sum(UserMetric::KeywordPostCount, kw)
+            .in_window(s.window)
+            .ground_truth(&s.platform)
+            .unwrap();
+        assert!((q.ground_truth(&s.platform).unwrap() - likes / posts).abs() < 1e-9);
+    }
+}

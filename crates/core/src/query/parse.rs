@@ -1,0 +1,394 @@
+//! A small SQL-ish surface syntax for aggregate queries (§2 of the paper
+//! writes them as `SELECT AGGR(f(u)) FROM U WHERE CONDITION`).
+//!
+//! Grammar (case-insensitive keywords; whitespace-separated):
+//!
+//! ```text
+//! query      := SELECT agg FROM USERS WHERE predicates
+//! agg        := COUNT(*) | COUNT(USERS)
+//!             | AVG(metric) | SUM(metric)
+//!             | AVG(LIKES PER POST)            -- Fig. 14's per-post ratio
+//! metric     := FOLLOWERS | FOLLOWEES | NAME_LENGTH | POSTS
+//!             | KEYWORD_POSTS | KEYWORD_LIKES | ACCOUNT_AGE_DAYS
+//! predicates := predicate (AND predicate)*
+//! predicate  := KEYWORD = 'text'
+//!             | TIME BETWEEN DAY n AND DAY m
+//!             | AGE DISCLOSED | AGE >= n
+//!             | GENDER = MALE|FEMALE|UNDISCLOSED
+//!             | REGION = n
+//!             | FOLLOWERS >= n | FOLLOWERS < n
+//! ```
+//!
+//! Exactly one `KEYWORD` predicate is required (the paper's queries always
+//! carry one).
+//!
+//! ```
+//! use microblog_analyzer::query::parse::parse_query;
+//! # use microblog_platform::post::KeywordCatalog;
+//! let mut catalog = KeywordCatalog::new();
+//! catalog.intern("privacy");
+//! let q = parse_query(
+//!     "SELECT AVG(FOLLOWERS) FROM USERS \
+//!      WHERE KEYWORD = 'privacy' AND TIME BETWEEN DAY 0 AND DAY 303",
+//!     &catalog,
+//! ).unwrap();
+//! assert!(q.window.is_some());
+//! ```
+
+use crate::query::{Aggregate, AggregateQuery};
+use microblog_platform::metric::ProfilePredicate;
+use microblog_platform::post::KeywordCatalog;
+use microblog_platform::{Gender, TimeWindow, Timestamp, UserMetric};
+
+/// Parse failure with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Tokenizer: uppercased words, numbers, quoted strings, and punctuation.
+fn tokenize(input: &str) -> Result<Vec<String>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return err("unterminated string literal"),
+                    }
+                }
+                tokens.push(format!("'{s}"));
+            }
+            '(' | ')' | '=' | '*' | ',' => {
+                chars.next();
+                tokens.push(c.to_string());
+            }
+            '>' | '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(format!("{c}="));
+                } else {
+                    tokens.push(c.to_string());
+                }
+            }
+            _ => {
+                let mut word = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '$' {
+                        word.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if word.is_empty() {
+                    return err(format!("unexpected character '{c}'"));
+                }
+                tokens.push(word.to_uppercase());
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn next(&mut self) -> Result<&str, ParseError> {
+        let t = self.tokens.get(self.pos).ok_or_else(|| ParseError("unexpected end".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), ParseError> {
+        let got = self.next()?.to_string();
+        if got == token {
+            Ok(())
+        } else {
+            err(format!("expected '{token}', got '{got}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<i64, ParseError> {
+        let t = self.next()?.to_string();
+        t.parse().map_err(|_| ParseError(format!("expected a number, got '{t}'")))
+    }
+
+    fn metric(&mut self) -> Result<UserMetric, ParseError> {
+        let t = self.next()?.to_string();
+        Ok(match t.as_str() {
+            "FOLLOWERS" => UserMetric::FollowerCount,
+            "FOLLOWEES" => UserMetric::FolloweeCount,
+            "NAME_LENGTH" => UserMetric::DisplayNameLength,
+            "POSTS" => UserMetric::TotalPostCount,
+            "KEYWORD_POSTS" => UserMetric::KeywordPostCount,
+            "KEYWORD_LIKES" => UserMetric::KeywordPostLikes,
+            "ACCOUNT_AGE_DAYS" => UserMetric::AccountAgeDays,
+            "AGE" => UserMetric::AgeYears,
+            other => return err(format!("unknown metric '{other}'")),
+        })
+    }
+}
+
+/// Parses `input` against `catalog` (the keyword must already exist on the
+/// platform).
+pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQuery, ParseError> {
+    let mut p = Parser { tokens: tokenize(input)?, pos: 0 };
+    p.expect("SELECT")?;
+    let agg = parse_aggregate(&mut p)?;
+    p.expect("FROM")?;
+    p.expect("USERS")?;
+    p.expect("WHERE")?;
+
+    let mut keyword = None;
+    let mut window = None;
+    let mut predicates = Vec::new();
+    loop {
+        match p.next()?.to_string().as_str() {
+            "KEYWORD" => {
+                p.expect("=")?;
+                let lit = p.next()?.to_string();
+                let text = lit
+                    .strip_prefix('\'')
+                    .ok_or_else(|| ParseError("KEYWORD needs a quoted string".into()))?;
+                let id = catalog
+                    .get(text)
+                    .ok_or_else(|| ParseError(format!("unknown keyword '{text}'")))?;
+                if keyword.replace(id).is_some() {
+                    return err("duplicate KEYWORD predicate");
+                }
+            }
+            "TIME" => {
+                p.expect("BETWEEN")?;
+                p.expect("DAY")?;
+                let from = p.number()?;
+                p.expect("AND")?;
+                p.expect("DAY")?;
+                let to = p.number()?;
+                if to < from {
+                    return err("TIME window end before start");
+                }
+                window = Some(TimeWindow::new(Timestamp::at_day(from), Timestamp::at_day(to)));
+            }
+            "GENDER" => {
+                p.expect("=")?;
+                let g = match p.next()?.to_string().as_str() {
+                    "MALE" => Gender::Male,
+                    "FEMALE" => Gender::Female,
+                    "UNDISCLOSED" => Gender::Undisclosed,
+                    other => return err(format!("unknown gender '{other}'")),
+                };
+                predicates.push(ProfilePredicate::GenderIs(g));
+            }
+            "REGION" => {
+                p.expect("=")?;
+                let r = p.number()?;
+                if !(0..=255).contains(&r) {
+                    return err("REGION out of range");
+                }
+                predicates.push(ProfilePredicate::RegionIs(r as u8));
+            }
+            "AGE" => {
+                let op = p.next()?.to_string();
+                match op.as_str() {
+                    "DISCLOSED" => predicates.push(ProfilePredicate::AgeDisclosed),
+                    ">=" => {
+                        let n = p.number()?;
+                        if !(0..=255).contains(&n) {
+                            return err("AGE bound out of range");
+                        }
+                        predicates.push(ProfilePredicate::MinAge(n as u8));
+                    }
+                    other => return err(format!("AGE supports DISCLOSED and >=, got '{other}'")),
+                }
+            }
+            "FOLLOWERS" => {
+                let op = p.next()?.to_string();
+                let n = p.number()?;
+                if n < 0 {
+                    return err("FOLLOWERS bound must be non-negative");
+                }
+                match op.as_str() {
+                    ">=" => predicates.push(ProfilePredicate::MinFollowers(n as usize)),
+                    "<" => predicates.push(ProfilePredicate::MaxFollowers(n as usize)),
+                    other => return err(format!("FOLLOWERS supports >= and <, got '{other}'")),
+                }
+            }
+            other => return err(format!("unknown predicate '{other}'")),
+        }
+        match p.peek() {
+            Some("AND") => {
+                p.pos += 1;
+            }
+            None => break,
+            Some(other) => return err(format!("expected AND or end of query, got '{other}'")),
+        }
+    }
+
+    let keyword = match keyword {
+        Some(k) => k,
+        None => return err("queries require exactly one KEYWORD predicate"),
+    };
+    Ok(AggregateQuery { aggregate: agg, keyword, window, predicates })
+}
+
+fn parse_aggregate(p: &mut Parser) -> Result<Aggregate, ParseError> {
+    let head = p.next()?.to_string();
+    p.expect("(")?;
+    let agg = match head.as_str() {
+        "COUNT" => {
+            let arg = p.next()?.to_string();
+            if arg != "*" && arg != "USERS" {
+                return err(format!("COUNT takes * or USERS, got '{arg}'"));
+            }
+            Aggregate::Count
+        }
+        "AVG" => {
+            if p.peek() == Some("LIKES") {
+                p.pos += 1;
+                p.expect("PER")?;
+                p.expect("POST")?;
+                Aggregate::RatioOfSums {
+                    numerator: UserMetric::KeywordPostLikes,
+                    denominator: UserMetric::KeywordPostCount,
+                }
+            } else {
+                Aggregate::Avg(p.metric()?)
+            }
+        }
+        "SUM" => Aggregate::Sum(p.metric()?),
+        other => return err(format!("unknown aggregate '{other}'")),
+    };
+    p.expect(")")?;
+    Ok(agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog() -> KeywordCatalog {
+        let mut c = KeywordCatalog::new();
+        c.intern("privacy");
+        c.intern("new york");
+        c
+    }
+
+    #[test]
+    fn parses_the_running_example() {
+        let q = parse_query(
+            "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' \
+             AND TIME BETWEEN DAY 0 AND DAY 303",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::Avg(UserMetric::FollowerCount));
+        assert_eq!(q.window.unwrap().length(), microblog_platform::Duration::days(303));
+        assert!(q.predicates.is_empty());
+    }
+
+    #[test]
+    fn parses_count_and_predicates() {
+        let q = parse_query(
+            "select count(*) from users where keyword = 'privacy' \
+             and gender = male and followers >= 10 and region = 3",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::Count);
+        assert_eq!(q.predicates.len(), 3);
+        assert!(matches!(q.predicates[0], ProfilePredicate::GenderIs(Gender::Male)));
+        assert!(matches!(q.predicates[1], ProfilePredicate::MinFollowers(10)));
+        assert!(matches!(q.predicates[2], ProfilePredicate::RegionIs(3)));
+    }
+
+    #[test]
+    fn parses_age_metric_and_predicates() {
+        let q = parse_query(
+            "SELECT AVG(AGE) FROM USERS WHERE KEYWORD = 'privacy' AND AGE DISCLOSED AND AGE >= 18",
+            &catalog(),
+        )
+        .unwrap();
+        assert_eq!(q.aggregate, Aggregate::Avg(UserMetric::AgeYears));
+        assert!(matches!(q.predicates[0], ProfilePredicate::AgeDisclosed));
+        assert!(matches!(q.predicates[1], ProfilePredicate::MinAge(18)));
+        assert!(parse_query(
+            "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy' AND AGE < 5",
+            &catalog()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_per_post_ratio_and_multiword_keyword() {
+        let q = parse_query(
+            "SELECT AVG(LIKES PER POST) FROM USERS WHERE KEYWORD = 'New York'",
+            &catalog(),
+        )
+        .unwrap();
+        assert!(matches!(q.aggregate, Aggregate::RatioOfSums { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        let c = catalog();
+        for (query, needle) in [
+            ("SELECT AVG(FOLLOWERS) FROM USERS WHERE TIME BETWEEN DAY 0 AND DAY 5", "KEYWORD"),
+            ("SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'nope'", "unknown keyword"),
+            ("SELECT MEDIAN(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'", "unknown aggregate"),
+            ("SELECT AVG(SHOE_SIZE) FROM USERS WHERE KEYWORD = 'privacy'", "unknown metric"),
+            ("SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = privacy", "quoted"),
+            (
+                "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' AND TIME BETWEEN DAY 9 AND DAY 2",
+                "end before start",
+            ),
+            (
+                "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' KEYWORD = 'privacy'",
+                "expected AND",
+            ),
+            ("SELECT COUNT(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'", "COUNT takes"),
+            ("SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' AND", "unexpected end"),
+            (
+                "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' AND FOLLOWERS > 3",
+                "supports >=",
+            ),
+        ] {
+            let e = parse_query(query, &c).unwrap_err();
+            assert!(e.0.contains(needle), "query {query:?}: error {e:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn tokenizer_handles_strings_and_operators() {
+        let t = tokenize("AVG >= 'two words' (x)").unwrap();
+        assert_eq!(t, vec!["AVG", ">=", "'two words", "(", "X", ")"]);
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("#").is_err());
+    }
+}

@@ -1,0 +1,356 @@
+//! GRAPH-BUILDER: lazily-materialized subgraph views (§4).
+//!
+//! The analyzer never downloads the social graph. Instead a [`QueryGraph`]
+//! answers neighbor queries *on the fly* from USER CONNECTIONS and USER
+//! TIMELINE responses, filtered according to the chosen [`ViewKind`]:
+//!
+//! * [`ViewKind::FullGraph`] — the raw undirected social graph (the
+//!   baseline of Figures 2–3);
+//! * [`ViewKind::TermInduced`] — only neighbors whose timeline matches the
+//!   keyword predicate (§4.1);
+//! * [`ViewKind::LevelByLevel`] — the term-induced subgraph minus
+//!   intra-level edges (§4.2). `keep_intra` retains a deterministic random
+//!   fraction of intra-level edges for the Figure 4 ablation (1.0 = keep
+//!   all = term-induced behaviour; 0.0 = the pure level-by-level graph).
+
+use crate::level::LevelAssigner;
+use crate::query::AggregateQuery;
+use microblog_api::{ApiError, CachingClient, UserView};
+use microblog_platform::{Duration, TimeWindow, UserId};
+use std::borrow::Cow;
+use std::sync::Arc;
+
+/// Which subgraph the walker sees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ViewKind {
+    /// The whole undirected social graph.
+    FullGraph,
+    /// Users matching the keyword predicate only.
+    TermInduced,
+    /// Term-induced minus intra-level edges.
+    LevelByLevel {
+        /// Bucket width `T`.
+        interval: Duration,
+        /// Fraction of intra-level edges to *keep* (Fig. 4 ablation;
+        /// 0.0 for the paper's level-by-level graph).
+        keep_intra: f64,
+    },
+}
+
+impl ViewKind {
+    /// The standard level-by-level view with bucket width `interval`.
+    pub fn level(interval: Duration) -> Self {
+        ViewKind::LevelByLevel { interval, keep_intra: 0.0 }
+    }
+}
+
+/// A lazily-materialized, API-backed graph view scoped to one query.
+pub struct QueryGraph<'c, 'p> {
+    client: &'c mut CachingClient<'p>,
+    kind: ViewKind,
+    keyword: microblog_platform::KeywordId,
+    window: TimeWindow,
+    assigner: Option<LevelAssigner>,
+    /// Salt for the deterministic intra-edge coin (Fig. 4 ablation).
+    salt: u64,
+    /// Memoized member levels (`first_mention` scans a whole timeline, so
+    /// recomputing it per neighbor probe would dominate CPU time; the API
+    /// cost is already paid once through the caching client).
+    level_memo: std::collections::HashMap<UserId, Option<i64>>,
+    /// Memoized `(above, below)` splits for the level walks.
+    split_memo: std::collections::HashMap<UserId, (Vec<UserId>, Vec<UserId>)>,
+}
+
+impl<'c, 'p> QueryGraph<'c, 'p> {
+    /// Builds the view for `query` over `client`.
+    pub fn new(client: &'c mut CachingClient<'p>, query: &AggregateQuery, kind: ViewKind) -> Self {
+        let now = client.now();
+        let window = query.effective_window(now);
+        let assigner = match kind {
+            ViewKind::LevelByLevel { interval, .. } => {
+                Some(LevelAssigner::new(query.keyword, window, interval))
+            }
+            _ => None,
+        };
+        QueryGraph {
+            client,
+            kind,
+            keyword: query.keyword,
+            window,
+            assigner,
+            salt: 0x5EED,
+            level_memo: std::collections::HashMap::new(),
+            split_memo: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Overrides the ablation salt (so repeated runs drop *different*
+    /// random subsets of intra-level edges).
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = salt;
+        self
+    }
+
+    /// The view kind.
+    pub fn kind(&self) -> ViewKind {
+        self.kind
+    }
+
+    /// The level assigner (present only for level-by-level views).
+    pub fn assigner(&self) -> Option<&LevelAssigner> {
+        self.assigner.as_ref()
+    }
+
+    /// API calls spent so far (through the shared client).
+    pub fn cost(&self) -> u64 {
+        self.client.cost()
+    }
+
+    /// The (cached) timeline+profile view of `u`.
+    pub fn view(&mut self, u: UserId) -> Result<Arc<UserView>, ApiError> {
+        self.client.user_timeline(u)
+    }
+
+    /// Mutable access to the underlying client (seed search etc.).
+    pub fn client_mut(&mut self) -> &mut CachingClient<'p> {
+        self.client
+    }
+
+    /// Whether `u` belongs to this view's node set.
+    pub fn is_member(&mut self, u: UserId) -> Result<bool, ApiError> {
+        match self.kind {
+            ViewKind::FullGraph => Ok(true),
+            _ => Ok(self.member_level(u)?.is_some()),
+        }
+    }
+
+    /// `u`'s level when it is a member (meaningful for all keyword-scoped
+    /// views; `FullGraph` members have no level). Memoized.
+    pub fn member_level(&mut self, u: UserId) -> Result<Option<i64>, ApiError> {
+        if let Some(&cached) = self.level_memo.get(&u) {
+            return Ok(cached);
+        }
+        let view = self.client.user_timeline(u)?;
+        let first = view.first_mention(self.keyword, self.window);
+        let level = match (first, &self.assigner) {
+            (Some(t), Some(a)) => Some(a.level_of_time(t)),
+            (Some(t), None) => Some(t.0), // membership marker; level unused
+            (None, _) => None,
+        };
+        self.level_memo.insert(u, level);
+        Ok(level)
+    }
+
+    /// Neighbors of `u` under the view.
+    ///
+    /// For keyword-scoped views, every candidate neighbor's timeline is
+    /// fetched (and charged, once) to test membership — this is the real
+    /// cost structure the paper pays during its walks.
+    pub fn neighbors(&mut self, u: UserId) -> Result<Vec<UserId>, ApiError> {
+        let conns = self.client.connections(u)?;
+        match self.kind {
+            ViewKind::FullGraph => Ok(conns.to_vec()),
+            ViewKind::TermInduced => {
+                let mut out = Vec::new();
+                for &v in conns.iter() {
+                    if self.is_member(v)? {
+                        out.push(v);
+                    }
+                }
+                Ok(out)
+            }
+            ViewKind::LevelByLevel { keep_intra, .. } => {
+                let lu = match self.member_level(u)? {
+                    Some(l) => l,
+                    None => return Ok(Vec::new()),
+                };
+                let mut out = Vec::new();
+                for &v in conns.iter() {
+                    if let Some(lv) = self.member_level(v)? {
+                        if lv != lu || self.keep_intra_edge(u, v, keep_intra) {
+                            out.push(v);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Partition of `u`'s view-neighbors into `(above, below)` levels:
+    /// `above` = strictly earlier levels (the paper's `∇(u)`), `below` =
+    /// strictly later (`∆(u)`). Retained intra-level neighbors are
+    /// excluded from both.
+    ///
+    /// # Panics
+    /// Panics if called on a non-level view.
+    pub fn level_split(&mut self, u: UserId) -> Result<(Vec<UserId>, Vec<UserId>), ApiError> {
+        assert!(self.assigner.is_some(), "level_split requires a level-by-level view");
+        if let Some(cached) = self.split_memo.get(&u) {
+            return Ok(cached.clone());
+        }
+        let lu = match self.member_level(u)? {
+            Some(l) => l,
+            None => return Ok((Vec::new(), Vec::new())),
+        };
+        let conns = self.client.connections(u)?;
+        let mut above = Vec::new();
+        let mut below = Vec::new();
+        for &v in conns.iter() {
+            if let Some(lv) = self.member_level(v)? {
+                if lv < lu {
+                    above.push(v);
+                } else if lv > lu {
+                    below.push(v);
+                }
+            }
+        }
+        self.split_memo.insert(u, (above.clone(), below.clone()));
+        Ok((above, below))
+    }
+
+    /// Deterministic coin for the Fig. 4 ablation: whether the intra-level
+    /// edge `(u, v)` survives when keeping a `keep` fraction.
+    fn keep_intra_edge(&self, u: UserId, v: UserId, keep: f64) -> bool {
+        if keep >= 1.0 {
+            return true;
+        }
+        if keep <= 0.0 {
+            return false;
+        }
+        let (a, b) = if u.0 <= v.0 { (u.0, v.0) } else { (v.0, u.0) };
+        let h = splitmix64(((a as u64) << 32 | b as u64) ^ self.salt);
+        (h as f64 / u64::MAX as f64) < keep
+    }
+}
+
+/// SplitMix64 — cheap deterministic hashing for the edge coin.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Adapter letting the generic random walks of `microblog-graph` run over
+/// a [`QueryGraph`] (node ids are raw `u32` user ids).
+impl microblog_graph::walk::NeighborSource for QueryGraph<'_, '_> {
+    type Error = ApiError;
+
+    fn neighbors(&mut self, u: u32) -> Result<Cow<'_, [u32]>, ApiError> {
+        let nbrs = QueryGraph::neighbors(self, UserId(u))?;
+        Ok(Cow::Owned(nbrs.into_iter().map(|v| v.0).collect()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_api::{ApiProfile, MicroblogClient};
+    use microblog_platform::scenario::{twitter_2013, Scale};
+    use microblog_platform::UserMetric;
+
+    fn setup() -> (microblog_platform::scenario::Scenario, AggregateQuery) {
+        let s = twitter_2013(Scale::Tiny, 21);
+        let kw = s.keyword("privacy").unwrap();
+        let q = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+        (s, q)
+    }
+
+    #[test]
+    fn term_induced_filters_non_members() {
+        let (s, q) = setup();
+        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let seeds = client.search(q.keyword).unwrap();
+        let seed = seeds[0].author;
+        let mut full = QueryGraph::new(&mut client, &q, ViewKind::FullGraph);
+        let all = full.neighbors(seed).unwrap();
+        let mut term = QueryGraph::new(&mut client, &q, ViewKind::TermInduced);
+        let members = term.neighbors(seed).unwrap();
+        assert!(members.len() <= all.len());
+        // Every term-induced neighbor is a full-graph neighbor and a member.
+        for v in &members {
+            assert!(all.contains(v));
+            assert!(term.is_member(*v).unwrap());
+        }
+        // Every excluded neighbor is a non-member.
+        for v in &all {
+            if !members.contains(v) {
+                assert!(!term.is_member(*v).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn level_view_drops_exactly_intra_edges() {
+        let (s, q) = setup();
+        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let seeds = client.search(q.keyword).unwrap();
+        let seed = seeds[0].author;
+        let interval = Duration::DAY;
+
+        let mut term = QueryGraph::new(&mut client, &q, ViewKind::TermInduced);
+        let term_nbrs = term.neighbors(seed).unwrap();
+        let mut level = QueryGraph::new(&mut client, &q, ViewKind::level(interval));
+        let level_nbrs = level.neighbors(seed).unwrap();
+        let lu = level.member_level(seed).unwrap().unwrap();
+        for v in &term_nbrs {
+            let lv = level.member_level(*v).unwrap().unwrap();
+            assert_eq!(level_nbrs.contains(v), lv != lu, "edge to level {lv} vs own {lu}");
+        }
+        // keep_intra = 1.0 restores the term-induced neighbor set.
+        let mut keep_all = QueryGraph::new(
+            &mut client,
+            &q,
+            ViewKind::LevelByLevel { interval, keep_intra: 1.0 },
+        );
+        assert_eq!(keep_all.neighbors(seed).unwrap(), term_nbrs);
+    }
+
+    #[test]
+    fn keep_intra_fraction_is_monotone_and_deterministic() {
+        let (s, q) = setup();
+        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let seeds = client.search(q.keyword).unwrap();
+        let interval = Duration::DAY;
+        let count_with = |client: &mut CachingClient, keep: f64| -> usize {
+            let mut g = QueryGraph::new(client, &q, ViewKind::LevelByLevel { interval, keep_intra: keep });
+            seeds.iter().take(5).map(|h| g.neighbors(h.author).unwrap().len()).sum()
+        };
+        let none = count_with(&mut client, 0.0);
+        let half = count_with(&mut client, 0.5);
+        let all = count_with(&mut client, 1.0);
+        assert!(none <= half && half <= all, "{none} {half} {all}");
+        // Deterministic: same salt, same result.
+        assert_eq!(half, count_with(&mut client, 0.5));
+    }
+
+    #[test]
+    fn level_split_partitions_neighbors() {
+        let (s, q) = setup();
+        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let seeds = client.search(q.keyword).unwrap();
+        let mut g = QueryGraph::new(&mut client, &q, ViewKind::level(Duration::DAY));
+        let u = seeds[0].author;
+        let lu = g.member_level(u).unwrap().unwrap();
+        let (above, below) = g.level_split(u).unwrap();
+        let merged = g.neighbors(u).unwrap();
+        assert_eq!(above.len() + below.len(), merged.len());
+        for v in &above {
+            assert!(g.member_level(*v).unwrap().unwrap() < lu);
+        }
+        for v in &below {
+            assert!(g.member_level(*v).unwrap().unwrap() > lu);
+        }
+    }
+
+    #[test]
+    fn full_graph_neighbors_match_connections() {
+        let (s, q) = setup();
+        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let expected: Vec<UserId> = client.connections(UserId(0)).unwrap().to_vec();
+        let mut g = QueryGraph::new(&mut client, &q, ViewKind::FullGraph);
+        assert_eq!(g.neighbors(UserId(0)).unwrap(), expected);
+        assert!(g.is_member(UserId(0)).unwrap());
+    }
+}

@@ -1,0 +1,209 @@
+//! Metropolis–Hastings random walk baseline.
+//!
+//! The paper bases MA-SRW on the simple random walk because Gjoka et
+//! al. [13] report SRW converging 1.5–8× faster than MHRW ("which was our
+//! observation as well", §7). This module provides the MHRW estimator so
+//! that comparison is reproducible: the walk targets the *uniform*
+//! distribution (accept a proposed neighbor `v` with probability
+//! `min(1, d(u)/d(v))`), so samples need no degree reweighting — but every
+//! proposal costs a neighbor fetch of `v` whether accepted or not, and
+//! rejected proposals stall the chain.
+
+use crate::error::EstimateError;
+use crate::estimate::{Estimate, RunningStats};
+use crate::query::{Aggregate, AggregateQuery};
+use crate::seeds::fetch_seeds;
+use crate::view::{QueryGraph, ViewKind};
+use microblog_api::{ApiError, CachingClient};
+use microblog_graph::sizing::CollisionCounter;
+use rand::Rng;
+
+/// Configuration of the MHRW estimator.
+#[derive(Clone, Copy, Debug)]
+pub struct MhrwConfig {
+    /// Graph view to walk.
+    pub view: ViewKind,
+    /// Transitions discarded before sampling starts (per chain).
+    pub burn_in: usize,
+    /// Keep every `thinning`-th visit after burn-in.
+    pub thinning: usize,
+    /// Hard cap on total transitions (see [`super::srw::SrwConfig::max_steps`]).
+    pub max_steps: usize,
+}
+
+impl MhrwConfig {
+    /// Defaults matching the SRW configuration for a fair comparison.
+    pub fn new(view: ViewKind) -> Self {
+        MhrwConfig { view, burn_in: 100, thinning: 3, max_steps: 200_000 }
+    }
+}
+
+/// Runs the MHRW until the budget is exhausted, then finalizes.
+///
+/// Under the uniform stationary distribution, AVG-type aggregates are the
+/// plain sample mean over matching samples; COUNT/SUM still need a
+/// population-size estimate, for which the collision counter is fed with
+/// degree 1 for every node (uniform sampling is the `d ≡ const` special
+/// case of the Katzir estimator).
+pub fn estimate<R: Rng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    config: &MhrwConfig,
+    rng: &mut R,
+) -> Result<Estimate, EstimateError> {
+    let seeds = fetch_seeds(client, query)?;
+    let now = client.now();
+    let mut graph = QueryGraph::new(client, query, config.view);
+
+    let mut sum_num = 0.0;
+    let mut sum_den = 0.0;
+    let mut sum_match = 0.0;
+    let mut samples = 0usize;
+    let mut collisions = CollisionCounter::new();
+    let mut batch = RunningStats::new();
+    let mut batch_vals: Vec<(f64, f64)> = Vec::new(); // (num, den-equivalent)
+    const BATCH: usize = 64;
+
+    let mut current = seeds[rng.gen_range(0..seeds.len())];
+    let mut cur_deg: Option<usize> = None;
+    let mut step = 0usize;
+    let mut total_steps = 0usize;
+    loop {
+        if total_steps >= config.max_steps {
+            break;
+        }
+        total_steps += 1;
+        let nbrs = match graph.neighbors(current) {
+            Ok(n) => n,
+            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) => return Err(e.into()),
+        };
+        let d_u = nbrs.len();
+        cur_deg = Some(d_u);
+        if step >= config.burn_in && step % config.thinning.max(1) == 0 {
+            let view = match graph.view(current) {
+                Ok(v) => v,
+                Err(ApiError::BudgetExhausted { .. }) => break,
+                Err(e) => return Err(e.into()),
+            };
+            let (matches, num, den) = query.sample_values(&view, now);
+            sum_num += num;
+            sum_den += den;
+            sum_match += matches as u8 as f64;
+            samples += 1;
+            collisions.push(current.0, 1);
+            batch_vals.push((num, if matches!(query.aggregate, Aggregate::RatioOfSums { .. }) { den } else { matches as u8 as f64 }));
+            if batch_vals.len() >= BATCH {
+                let n: f64 = batch_vals.iter().map(|v| v.0).sum();
+                let d: f64 = batch_vals.iter().map(|v| v.1).sum();
+                if d > 0.0 {
+                    batch.push(n / d);
+                }
+                batch_vals.clear();
+            }
+        }
+        if d_u == 0 {
+            current = seeds[rng.gen_range(0..seeds.len())];
+            step = 0;
+            cur_deg = None;
+            continue;
+        }
+        // Propose and accept/reject.
+        let proposal = nbrs[rng.gen_range(0..nbrs.len())];
+        let prop_nbrs = match graph.neighbors(proposal) {
+            Ok(n) => n,
+            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) => return Err(e.into()),
+        };
+        let d_v = prop_nbrs.len();
+        let accept = d_v > 0 && rng.gen::<f64>() < (d_u as f64 / d_v as f64).min(1.0);
+        if accept {
+            current = proposal;
+            cur_deg = Some(d_v);
+        }
+        step += 1;
+    }
+    let _ = cur_deg;
+
+    if samples == 0 {
+        return Err(EstimateError::NoSamples);
+    }
+    let value = match query.aggregate {
+        Aggregate::Count => {
+            let n_hat = collisions.estimate().ok_or(EstimateError::NoSamples)?;
+            n_hat * sum_match / samples as f64
+        }
+        Aggregate::Sum(_) => {
+            let n_hat = collisions.estimate().ok_or(EstimateError::NoSamples)?;
+            n_hat * sum_num / samples as f64
+        }
+        Aggregate::Avg(_) => {
+            if sum_match == 0.0 {
+                return Err(EstimateError::NoSamples);
+            }
+            sum_num / sum_match
+        }
+        Aggregate::RatioOfSums { .. } => {
+            if sum_den == 0.0 {
+                return Err(EstimateError::NoSamples);
+            }
+            sum_num / sum_den
+        }
+    };
+    Ok(Estimate {
+        value,
+        std_err: if batch.count() >= 2 { batch.std_err() } else { None },
+        cost: graph.cost(),
+        samples,
+        instances: 1,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_api::{ApiProfile, MicroblogClient, QueryBudget};
+    use microblog_platform::scenario::{twitter_2013, Scale};
+    use microblog_platform::{Duration, UserMetric};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn mhrw_avg_converges_on_level_view() {
+        let s = twitter_2013(Scale::Tiny, 91);
+        let kw = s.keyword("new york").unwrap();
+        let q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
+        let truth = q.ground_truth(&s.platform).unwrap();
+        let mut client = CachingClient::new(MicroblogClient::with_budget(
+            &s.platform,
+            ApiProfile::twitter(),
+            QueryBudget::limited(40_000),
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut cfg = MhrwConfig::new(ViewKind::level(Duration::DAY));
+        cfg.burn_in = 50;
+        let est = estimate(&mut client, &q, &cfg, &mut rng).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.25, "rel {rel}: est {} truth {truth}", est.value);
+    }
+
+    #[test]
+    fn mhrw_count_needs_collisions() {
+        let s = twitter_2013(Scale::Tiny, 92);
+        let kw = s.keyword("privacy").unwrap();
+        let q = AggregateQuery::count(kw).in_window(s.window);
+        let mut client = CachingClient::new(MicroblogClient::with_budget(
+            &s.platform,
+            ApiProfile::twitter(),
+            QueryBudget::limited(600),
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = MhrwConfig::new(ViewKind::level(Duration::DAY));
+        // With a tiny budget there are no collisions yet.
+        match estimate(&mut client, &q, &cfg, &mut rng) {
+            Err(EstimateError::NoSamples) => {}
+            Ok(e) => assert!(e.value.is_finite()),
+            Err(e) => panic!("unexpected {e}"),
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! GRAPH-WALKER: the sampling algorithms (§4–§5).
+//!
+//! * [`srw`] — MA-SRW and its baselines: a simple random walk over any
+//!   [`crate::view::ViewKind`], with degree-reweighted ratio estimation for
+//!   AVG and collision (Katzir) size estimation for COUNT/SUM.
+//! * [`tarw`] — MA-TARW: the topology-aware bottom-top-bottom walk with
+//!   `ESTIMATE-p` selection-probability estimation (Algorithm 2/3).
+//! * [`mr`] — the mark-and-recapture baseline of the paper's §6 (Katzir et
+//!   al. adapted to keyword-conditioned counting), with the conservative
+//!   sample spacing the original requires.
+
+pub mod burnin;
+pub mod parallel;
+pub mod mhrw;
+pub mod mr;
+pub mod snowball;
+pub mod srw;
+pub mod tarw;
+
+use crate::query::{Aggregate, AggregateQuery};
+use microblog_api::UserView;
+use microblog_graph::sizing::CollisionCounter;
+use microblog_platform::Timestamp;
+
+impl AggregateQuery {
+    /// Per-sample values for estimation: `(matches, numerator,
+    /// denominator)` where the meaning depends on the aggregate:
+    ///
+    /// * `Count` — numerator is the match indicator;
+    /// * `Sum(m)` — numerator is `f(u)` (0 for non-matching users);
+    /// * `Avg(m)` — numerator `f(u)`, denominator the match indicator;
+    /// * `RatioOfSums` — both metrics.
+    pub(crate) fn sample_values(&self, view: &UserView, now: Timestamp) -> (bool, f64, f64) {
+        let matches = self.matches(view, now);
+        match self.aggregate {
+            Aggregate::Count => (matches, matches as u8 as f64, 0.0),
+            Aggregate::Sum(m) => (matches, self.metric_value(m, view, now), 0.0),
+            Aggregate::Avg(m) => {
+                (matches, self.metric_value(m, view, now), matches as u8 as f64)
+            }
+            Aggregate::RatioOfSums { numerator, denominator } => (
+                matches,
+                self.metric_value(numerator, view, now),
+                self.metric_value(denominator, view, now),
+            ),
+        }
+    }
+
+    /// Whether this aggregate needs a population-size estimate (COUNT/SUM
+    /// do; AVG-style ratios do not — the size cancels).
+    pub(crate) fn needs_size_estimate(&self) -> bool {
+        matches!(self.aggregate, Aggregate::Count | Aggregate::Sum(_))
+    }
+}
+
+/// Accumulates degree-weighted walk samples and produces the final
+/// estimate for any aggregate kind.
+///
+/// Under a simple random walk the stationary probability of `u` is
+/// proportional to its degree, so uniform-population quantities are
+/// estimated with importance weights `1/d(u)`:
+/// `E_uniform[g] ≈ (Σ g(u)/d(u)) / (Σ 1/d(u))`.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SampleAccumulator {
+    /// Σ 1/d.
+    s0: f64,
+    /// Σ match/d.
+    s_match: f64,
+    /// Σ num/d.
+    s_num: f64,
+    /// Σ den/d.
+    s_den: f64,
+    /// Collision counter for population-size estimation.
+    collisions: CollisionCounter,
+    /// Whether a sample should also feed the collision counter.
+    samples: usize,
+}
+
+impl SampleAccumulator {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample with the given view degree. `count_collision` guards
+    /// the size estimator (M&R requires wider sample spacing than ratio
+    /// estimation, so the two sample streams can differ).
+    pub(crate) fn push(
+        &mut self,
+        node: u32,
+        degree: usize,
+        matches: bool,
+        num: f64,
+        den: f64,
+        count_collision: bool,
+    ) {
+        if degree == 0 {
+            return;
+        }
+        let w = 1.0 / degree as f64;
+        self.s0 += w;
+        if matches {
+            self.s_match += w;
+        }
+        self.s_num += num * w;
+        self.s_den += den * w;
+        self.samples += 1;
+        if count_collision {
+            self.collisions.push(node, degree);
+        }
+    }
+
+    pub(crate) fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The Katzir population-size estimate of the *walked graph*.
+    pub(crate) fn size_estimate(&self) -> Option<f64> {
+        self.collisions.estimate()
+    }
+
+    /// Final estimate for `query`'s aggregate; `None` when the necessary
+    /// pieces (samples, collisions, non-zero denominators) are missing.
+    pub(crate) fn finalize(&self, query: &AggregateQuery) -> Option<f64> {
+        if self.samples == 0 || self.s0 <= 0.0 {
+            return None;
+        }
+        match query.aggregate {
+            Aggregate::Count => self.size_estimate().map(|n| n * self.s_match / self.s0),
+            Aggregate::Sum(_) => self.size_estimate().map(|n| n * self.s_num / self.s0),
+            Aggregate::Avg(_) => {
+                if self.s_match > 0.0 {
+                    Some(self.s_num / self.s_match)
+                } else {
+                    None
+                }
+            }
+            Aggregate::RatioOfSums { .. } => {
+                if self.s_den > 0.0 {
+                    Some(self.s_num / self.s_den)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_platform::{KeywordId, UserMetric};
+
+    fn accum_with(samples: &[(u32, usize, bool, f64, f64)], collide: bool) -> SampleAccumulator {
+        let mut a = SampleAccumulator::new();
+        for &(u, d, m, num, den) in samples {
+            a.push(u, d, m, num, den, collide);
+        }
+        a
+    }
+
+    #[test]
+    fn avg_is_degree_corrected_ratio() {
+        let q = AggregateQuery::avg(UserMetric::FollowerCount, KeywordId(0));
+        // Two matching users: f=10 with degree 1, f=30 with degree 3.
+        // Degree-corrected mean = (10/1 + 30/3) / (1/1 + 1/3) = 20/(4/3) = 15.
+        let a = accum_with(&[(1, 1, true, 10.0, 1.0), (2, 3, true, 30.0, 1.0)], false);
+        assert!((a.finalize(&q).unwrap() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_needs_collisions() {
+        let q = AggregateQuery::count(KeywordId(0));
+        let a = accum_with(&[(1, 2, true, 1.0, 0.0), (2, 2, true, 1.0, 0.0)], true);
+        assert_eq!(a.finalize(&q), None, "no collision yet");
+        let b = accum_with(
+            &[(1, 2, true, 1.0, 0.0), (1, 2, true, 1.0, 0.0), (2, 2, false, 0.0, 0.0)],
+            true,
+        );
+        // n̂ = (Σd)(Σ1/d)/(2Ψ) = (6)(1.5)/2 = 4.5; count = n̂ · (1/2+1/2)/(3/2) = 3.
+        let est = b.finalize(&q).unwrap();
+        assert!((est - 3.0).abs() < 1e-9, "est {est}");
+    }
+
+    #[test]
+    fn zero_degree_samples_are_dropped() {
+        let q = AggregateQuery::avg(UserMetric::FollowerCount, KeywordId(0));
+        let a = accum_with(&[(1, 0, true, 5.0, 1.0)], false);
+        assert_eq!(a.samples(), 0);
+        assert_eq!(a.finalize(&q), None);
+    }
+
+    #[test]
+    fn avg_without_matches_is_none() {
+        let q = AggregateQuery::avg(UserMetric::FollowerCount, KeywordId(0));
+        let a = accum_with(&[(1, 2, false, 0.0, 0.0)], false);
+        assert_eq!(a.finalize(&q), None);
+    }
+
+    #[test]
+    fn needs_size_estimate_flags() {
+        assert!(AggregateQuery::count(KeywordId(0)).needs_size_estimate());
+        assert!(AggregateQuery::sum(UserMetric::One, KeywordId(0)).needs_size_estimate());
+        assert!(!AggregateQuery::avg(UserMetric::One, KeywordId(0)).needs_size_estimate());
+        assert!(!AggregateQuery::post_avg(
+            UserMetric::KeywordPostLikes,
+            UserMetric::KeywordPostCount,
+            KeywordId(0)
+        )
+        .needs_size_estimate());
+    }
+}

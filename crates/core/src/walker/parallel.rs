@@ -1,0 +1,176 @@
+//! Parallel multi-chain estimation.
+//!
+//! Gjoka et al. [13] — which the paper builds MA-SRW on — also study
+//! "running multiple, parallel random walks". This module runs `k`
+//! independent chains of any [`Algorithm`]-shaped estimator over the same
+//! platform, each with its own client cache (parallel crawlers do not
+//! share caches) and a *shared* query budget, then pools the estimates
+//! inverse-variance-free (plain average) with a cross-chain standard
+//! error. Chains run on OS threads; the platform is shared read-only.
+
+use crate::analyzer::Algorithm;
+use crate::error::EstimateError;
+use crate::estimate::{Estimate, RunningStats};
+use crate::query::AggregateQuery;
+use microblog_api::{ApiProfile, QueryBudget};
+use microblog_platform::Platform;
+
+/// Configuration of the parallel runner.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Number of independent chains.
+    pub chains: usize,
+    /// Total API-call budget shared across all chains.
+    pub total_budget: u64,
+}
+
+/// Runs `algorithm` in `config.chains` parallel chains and pools results.
+///
+/// Returns an error only if *every* chain fails; otherwise the pooled
+/// estimate averages the successful chains.
+pub fn estimate_parallel(
+    platform: &Platform,
+    api: &ApiProfile,
+    query: &AggregateQuery,
+    algorithm: Algorithm,
+    config: &ParallelConfig,
+    seed: u64,
+) -> Result<Estimate, EstimateError> {
+    let chains = config.chains.max(1);
+    let budget = QueryBudget::limited(config.total_budget);
+    let mut results: Vec<Option<Result<Estimate, EstimateError>>> = vec![None; chains];
+    std::thread::scope(|scope| {
+        for (i, slot) in results.iter_mut().enumerate() {
+            let budget = budget.clone();
+            let api = api.clone();
+            let query = query.clone();
+            scope.spawn(move || {
+                *slot = Some(run_chain(platform, api, &query, algorithm, budget, seed + i as u64));
+            });
+        }
+    });
+
+    let mut stats = RunningStats::new();
+    let mut samples = 0usize;
+    let mut instances = 0usize;
+    let mut last_err = EstimateError::NoSamples;
+    for r in results.into_iter().flatten() {
+        match r {
+            Ok(e) => {
+                stats.push(e.value);
+                samples += e.samples;
+                instances += e.instances;
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    if stats.count() == 0 {
+        return Err(last_err);
+    }
+    Ok(Estimate {
+        value: stats.mean(),
+        std_err: stats.std_err(),
+        cost: budget.spent(),
+        samples,
+        instances,
+    })
+}
+
+/// One chain: a fresh client cache charging the shared budget.
+fn run_chain(
+    platform: &Platform,
+    api: ApiProfile,
+    query: &AggregateQuery,
+    algorithm: Algorithm,
+    budget: QueryBudget,
+    seed: u64,
+) -> Result<Estimate, EstimateError> {
+    use crate::view::ViewKind;
+    use crate::walker::{mhrw, mr, snowball, srw, tarw};
+    use microblog_api::{CachingClient, MicroblogClient};
+    use rand::SeedableRng;
+
+    let mut client =
+        CachingClient::new(MicroblogClient::with_budget(platform, api, budget));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    match algorithm {
+        Algorithm::SrwFullGraph => {
+            srw::estimate(&mut client, query, &srw::SrwConfig::new(ViewKind::FullGraph), &mut rng)
+        }
+        Algorithm::SrwTermInduced => {
+            srw::estimate(&mut client, query, &srw::SrwConfig::new(ViewKind::TermInduced), &mut rng)
+        }
+        Algorithm::MaSrw { interval } => {
+            let t = interval.unwrap_or(microblog_platform::Duration::DAY);
+            srw::estimate(&mut client, query, &srw::SrwConfig::new(ViewKind::level(t)), &mut rng)
+        }
+        Algorithm::MaTarw { interval } => {
+            let cfg = tarw::TarwConfig { interval, ..Default::default() };
+            tarw::estimate(&mut client, query, &cfg, &mut rng)
+        }
+        Algorithm::MarkRecapture { view } => {
+            mr::estimate(&mut client, query, &mr::MrConfig::new(view), &mut rng)
+        }
+        Algorithm::SrwView { view } => {
+            srw::estimate(&mut client, query, &srw::SrwConfig::new(view), &mut rng)
+        }
+        Algorithm::Mhrw { view } => {
+            mhrw::estimate(&mut client, query, &mhrw::MhrwConfig::new(view), &mut rng)
+        }
+        Algorithm::Snowball { view, order } => {
+            let cfg = snowball::SnowballConfig { view, order, max_nodes: usize::MAX };
+            snowball::estimate(&mut client, query, &cfg, &mut rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+    use microblog_platform::{Duration, UserMetric};
+
+    #[test]
+    fn parallel_chains_share_the_budget_and_pool() {
+        let s = twitter_2013(Scale::Tiny, 121);
+        let kw = s.keyword("new york").unwrap();
+        let q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
+        let truth = q.ground_truth(&s.platform).unwrap();
+        let cfg = ParallelConfig { chains: 4, total_budget: 30_000 };
+        let est = estimate_parallel(
+            &s.platform,
+            &ApiProfile::twitter(),
+            &q,
+            Algorithm::MaSrw { interval: Some(Duration::DAY) },
+            &cfg,
+            5,
+        )
+        .unwrap();
+        assert!(est.cost <= 30_000, "budget shared across chains");
+        assert!(est.std_err.is_some(), "cross-chain spread available");
+        let rel = est.relative_error(truth);
+        assert!(rel < 0.2, "rel {rel}: est {} truth {truth}", est.value);
+    }
+
+    #[test]
+    fn all_chains_failing_propagates_error() {
+        let s = twitter_2013(Scale::Tiny, 122);
+        let kw = s.keyword("privacy").unwrap();
+        let q = AggregateQuery::count(kw).in_window(s.window);
+        let cfg = ParallelConfig { chains: 3, total_budget: 10 };
+        let err = estimate_parallel(
+            &s.platform,
+            &ApiProfile::twitter(),
+            &q,
+            Algorithm::MaTarw { interval: Some(Duration::DAY) },
+            &cfg,
+            6,
+        )
+        .unwrap_err();
+        // A 10-call budget fails in seed search (Api) or sampling.
+        assert!(matches!(
+            err,
+            EstimateError::NoSamples | EstimateError::NoSeeds | EstimateError::Api(_)
+        ));
+    }
+}

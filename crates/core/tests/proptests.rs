@@ -1,0 +1,128 @@
+//! Property-based tests of the query model and level machinery.
+
+use microblog_analyzer::level::LevelAssigner;
+use microblog_analyzer::prelude::*;
+use microblog_api::UserView;
+use microblog_platform::metric::ProfilePredicate;
+use microblog_platform::post::Post;
+use microblog_platform::user::UserProfile;
+use microblog_platform::{Duration, KeywordId, PostId, UserId};
+use proptest::prelude::*;
+
+fn view_from(posts: Vec<(i64, bool)>, followers: usize, kw: KeywordId) -> UserView {
+    // posts: (time, mentions_kw), arbitrary order; timeline stores desc.
+    let mut posts: Vec<Post> = posts
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, hit))| Post {
+            id: PostId(i as u32),
+            author: UserId(0),
+            time: Timestamp(t),
+            keywords: if hit { vec![kw] } else { vec![] },
+            likes: (t.rem_euclid(10)) as u32,
+            chars: 50,
+            is_repost: false,
+        })
+        .collect();
+    posts.sort_by_key(|p| std::cmp::Reverse(p.time));
+    UserView {
+        user: UserId(0),
+        profile: UserProfile {
+            display_name: "Prop Tester".into(),
+            gender: Gender::Female,
+            region: 1,
+            age: Some(30),
+            joined: Timestamp(-100),
+        },
+        follower_count: followers,
+        followee_count: 3,
+        posts,
+        truncated: false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn first_mention_is_minimum_qualifying_time(
+        posts in proptest::collection::vec((0i64..1000, any::<bool>()), 0..30),
+        w_start in 0i64..500,
+        w_len in 1i64..500,
+    ) {
+        let kw = KeywordId(0);
+        let view = view_from(posts.clone(), 5, kw);
+        let window = TimeWindow::new(Timestamp(w_start), Timestamp(w_start + w_len));
+        let expected = posts
+            .iter()
+            .filter(|&&(t, hit)| hit && t >= w_start && t < w_start + w_len)
+            .map(|&(t, _)| t)
+            .min();
+        prop_assert_eq!(view.first_mention(kw, window).map(|t| t.0), expected);
+    }
+
+    #[test]
+    fn query_matching_agrees_with_first_mention(
+        posts in proptest::collection::vec((0i64..1000, any::<bool>()), 0..20),
+        min_followers in 0usize..10,
+        followers in 0usize..10,
+    ) {
+        let kw = KeywordId(0);
+        let view = view_from(posts, followers, kw);
+        let now = Timestamp(1000);
+        let q = AggregateQuery::count(kw)
+            .in_window(TimeWindow::new(Timestamp(0), now))
+            .with_predicate(ProfilePredicate::MinFollowers(min_followers));
+        let has_mention = view.first_mention(kw, q.effective_window(now)).is_some();
+        prop_assert_eq!(q.matches(&view, now), has_mention && followers >= min_followers);
+    }
+
+    #[test]
+    fn metric_value_zero_iff_condition_fails_for_counts(
+        posts in proptest::collection::vec((0i64..1000, any::<bool>()), 1..20),
+    ) {
+        let kw = KeywordId(0);
+        let view = view_from(posts, 5, kw);
+        let now = Timestamp(1000);
+        let q = AggregateQuery::count(kw).in_window(TimeWindow::new(Timestamp(0), now));
+        let v = q.metric_value(UserMetric::KeywordPostCount, &view, now);
+        if q.matches(&view, now) {
+            prop_assert!(v >= 1.0, "matching user must have >= 1 qualifying post");
+        } else {
+            prop_assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn level_assignment_is_monotone_and_bucketed(
+        t1 in 0i64..10_000_000,
+        t2 in 0i64..10_000_000,
+        interval_hours in 1i64..1000,
+    ) {
+        let a = LevelAssigner::new(
+            KeywordId(0),
+            TimeWindow::new(Timestamp(0), Timestamp(20_000_000)),
+            Duration::hours(interval_hours),
+        );
+        let (l1, l2) = (a.level_of_time(Timestamp(t1)), a.level_of_time(Timestamp(t2)));
+        // Monotone in time.
+        if t1 <= t2 {
+            prop_assert!(l1 <= l2);
+        }
+        // Bucket width respected.
+        prop_assert_eq!(l1, t1.div_euclid(interval_hours * 3600));
+        // Same bucket ⇒ within one interval of each other.
+        if l1 == l2 {
+            prop_assert!((t1 - t2).abs() < interval_hours * 3600);
+        }
+    }
+
+    #[test]
+    fn estimate_relative_error_is_scale_invariant(
+        value in 0.1f64..1e6,
+        truth in 0.1f64..1e6,
+        scale in 0.5f64..100.0,
+    ) {
+        let e = Estimate { value, std_err: None, cost: 1, samples: 1, instances: 1 };
+        let scaled = Estimate { value: value * scale, std_err: None, cost: 1, samples: 1, instances: 1 };
+        prop_assert!((e.relative_error(truth) - scaled.relative_error(truth * scale)).abs() < 1e-9);
+    }
+}

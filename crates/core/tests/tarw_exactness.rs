@@ -1,0 +1,148 @@
+//! Analytic validation of MA-TARW on a hand-built *path world*, where the
+//! level-by-level subgraph is a single chain and every quantity is exactly
+//! computable.
+//!
+//! World: users `0..N` in a follower chain (`i` follows `i+1`); user `i`
+//! posts the keyword exactly once on day `i`, and user `N−1` posts it once
+//! more just before "now" (20 days later), making it the **single seed**
+//! the search API can return. With `T` = 1 day the level-by-level graph is
+//! the path `0 — 1 — … — N−1` with user `i` on level `i`. Consequences:
+//!
+//! * the up phase always starts at the unique seed `N−1` and visits the
+//!   whole chain, so the true visit probability is `p̄(u) = 1` for every
+//!   node — and `ESTIMATE-p`'s recursion is *deterministic* here (every
+//!   `|∇| = |∆| = 1`), returning exactly 1;
+//! * the down phase from root 0 likewise covers the chain with `p̂(u) = 1`.
+//!
+//! Both Hansen–Hurwitz phase sums therefore equal the exact population
+//! total in every instance: MA-TARW must recover COUNT, SUM and AVG
+//! *exactly*, which pins down the estimator arithmetic (any normalization
+//! slip — e.g. implementing Algorithm 3's garbled `1/|R_i|` factor
+//! literally — fails these tests immediately).
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::walker::tarw::{estimate as tarw_estimate, TarwConfig};
+use microblog_api::{CachingClient, MicroblogClient, QueryBudget};
+use microblog_graph::DirectedGraph;
+use microblog_platform::user::generate_profile;
+use microblog_platform::{Duration, Platform, PlatformBuilder, UserId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 40;
+
+fn now() -> Timestamp {
+    Timestamp::at_day(N as i64 + 20)
+}
+
+fn query_window() -> TimeWindow {
+    TimeWindow::new(Timestamp::EPOCH, now())
+}
+
+fn path_world() -> Platform {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let graph = DirectedGraph::from_arcs(N, (0..N as u32 - 1).map(|i| (i, i + 1)));
+    let users = (0..N).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let mut b = PlatformBuilder::new(graph, users, now());
+    let kw = b.intern_keyword("ladder");
+    for i in 0..N as u32 {
+        // Noon of day i: user i's only in-chain keyword post; likes = i.
+        b.add_post_at(UserId(i), Some(kw), Timestamp::at_day(i as i64) + Duration::hours(12), i);
+    }
+    // The lone recent post that seeds the walk (0 likes: keeps sums clean).
+    b.add_post_at(UserId(N as u32 - 1), Some(kw), now() - Duration::hours(1), 0);
+    b.build()
+}
+
+fn run(query: &AggregateQuery, seed: u64) -> Estimate {
+    let platform = path_world();
+    let mut client = CachingClient::new(MicroblogClient::with_budget(
+        &platform,
+        ApiProfile::twitter(),
+        QueryBudget::limited(1_000_000),
+    ));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cfg = TarwConfig {
+        interval: Some(Duration::DAY),
+        max_instances: 10,
+        ..Default::default()
+    };
+    tarw_estimate(&mut client, query, &cfg, &mut rng).expect("estimation succeeds")
+}
+
+#[test]
+fn world_is_the_expected_chain() {
+    let p = path_world();
+    let kw = p.keywords().get("ladder").unwrap();
+    assert_eq!(p.user_count(), N);
+    assert_eq!(p.post_count(), N + 1);
+    // Levels: first mention of user i is day i.
+    for i in 0..N as u32 {
+        let first = p.first_mention(UserId(i), kw, query_window()).unwrap();
+        assert_eq!(first.0.div_euclid(Duration::DAY.0), i as i64);
+    }
+    // Search (trailing week) returns exactly the one seed user.
+    let hits = p.search_posts(kw, TimeWindow::trailing(p.now(), Duration::WEEK));
+    let authors: Vec<u32> = hits.iter().map(|&pid| p.post(pid).author.0).collect();
+    assert_eq!(authors, vec![N as u32 - 1]);
+}
+
+#[test]
+fn count_is_exact_on_the_path_world() {
+    let p = path_world();
+    let kw = p.keywords().get("ladder").unwrap();
+    let q = AggregateQuery::count(kw).in_window(query_window());
+    let est = run(&q, 7);
+    assert!(
+        (est.value - N as f64).abs() < 1e-6,
+        "COUNT should be exact on the path world, got {}",
+        est.value
+    );
+    // Deterministic world: the per-instance spread is zero.
+    assert!(est.std_err.unwrap_or(0.0) < 1e-9);
+}
+
+#[test]
+fn sum_of_likes_is_exact_on_the_path_world() {
+    let p = path_world();
+    let kw = p.keywords().get("ladder").unwrap();
+    // Likes: user i's chain post has i, the seed's extra post 0.
+    let q = AggregateQuery::sum(UserMetric::KeywordPostLikes, kw).in_window(query_window());
+    let expected = (N * (N - 1) / 2) as f64;
+    assert_eq!(q.ground_truth(&p), Some(expected));
+    let est = run(&q, 8);
+    assert!(
+        (est.value - expected).abs() < 1e-6,
+        "SUM should be exact, got {} vs {expected}",
+        est.value
+    );
+}
+
+#[test]
+fn avg_follower_count_is_exact() {
+    let p = path_world();
+    let kw = p.keywords().get("ladder").unwrap();
+    // Chain: user 0 has 0 followers, users 1..N have exactly 1.
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(query_window());
+    let truth = q.ground_truth(&p).unwrap();
+    assert!((truth - (N as f64 - 1.0) / N as f64).abs() < 1e-12);
+    let est = run(&q, 9);
+    assert!(
+        (est.value - truth).abs() < 1e-6,
+        "AVG should be exact on the path world, got {} vs {truth}",
+        est.value
+    );
+}
+
+#[test]
+fn instance_count_cost_and_samples_are_sane() {
+    let p = path_world();
+    let kw = p.keywords().get("ladder").unwrap();
+    let q = AggregateQuery::count(kw).in_window(query_window());
+    let est = run(&q, 10);
+    assert_eq!(est.instances, 10, "all capped instances should complete");
+    // Each instance visits the whole chain in both phases (2N nodes).
+    assert_eq!(est.samples, 10 * 2 * N, "samples {}", est.samples);
+    // Everything is cached after the first instance: cost stays modest.
+    assert!(est.cost < 1_000, "cost {}", est.cost);
+}

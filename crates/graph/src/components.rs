@@ -1,0 +1,156 @@
+//! Connected components via union-find.
+//!
+//! The paper's Table 2 reports the *recall* of the term-induced subgraph as
+//! the fraction of matching users inside its largest connected component;
+//! [`ComponentLabels::largest`] provides that statistic.
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Per-node component labels plus component sizes.
+#[derive(Clone, Debug)]
+pub struct ComponentLabels {
+    /// `label[u]` is the component index of node `u`, in `0..component_count`.
+    pub label: Vec<u32>,
+    /// `size[c]` is the number of nodes in component `c`.
+    pub size: Vec<usize>,
+}
+
+impl ComponentLabels {
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        self.size.len()
+    }
+
+    /// `(component index, size)` of the largest component; `None` on an
+    /// empty graph.
+    pub fn largest(&self) -> Option<(u32, usize)> {
+        self.size
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(c, &s)| (c as u32, s))
+    }
+
+    /// Nodes belonging to component `c`.
+    pub fn members(&self, c: u32) -> Vec<NodeId> {
+        self.label
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(u, _)| u as NodeId)
+            .collect()
+    }
+}
+
+/// Computes connected components of an undirected graph.
+pub fn connected_components(g: &CsrGraph) -> ComponentLabels {
+    let n = g.node_count();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in g.edges() {
+        uf.union(u, v);
+    }
+    let mut label = vec![u32::MAX; n];
+    let mut size = Vec::new();
+    for u in 0..n as u32 {
+        let root = uf.find(u);
+        if label[root as usize] == u32::MAX {
+            label[root as usize] = size.len() as u32;
+            size.push(0);
+        }
+        let c = label[root as usize];
+        if u != root {
+            label[u as usize] = c;
+        }
+        size[c as usize] += 1;
+    }
+    ComponentLabels { label, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 3));
+    }
+
+    #[test]
+    fn components_of_two_islands() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count(), 3); // {0,1,2}, {3,4}, {5}
+        let (big, size) = cc.largest().unwrap();
+        assert_eq!(size, 3);
+        assert_eq!(cc.members(big), vec![0, 1, 2]);
+        assert_eq!(cc.label[3], cc.label[4]);
+        assert_ne!(cc.label[0], cc.label[5]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, []);
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count(), 0);
+        assert!(cc.largest().is_none());
+    }
+
+    #[test]
+    fn singleton_components_counted() {
+        let g = CsrGraph::from_edges(3, []);
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count(), 3);
+        assert_eq!(cc.largest().unwrap().1, 1);
+    }
+}

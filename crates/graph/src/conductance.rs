@@ -1,0 +1,343 @@
+//! Graph conductance: exact cut scores, brute-force and spectral sweep
+//! minimization, and the paper's closed forms for stylized level-by-level
+//! graphs (Theorem 4.1, Eq. 2/3) with Corollary 4.1's optimal degree.
+//!
+//! Conductance `φ(G) = min_S cut(S, S̄) / min(vol(S), vol(S̄))` governs how
+//! fast a simple random walk mixes (Eq. 1 of the paper); the level-by-level
+//! subgraph design is justified by showing that removing intra-level edges
+//! raises conductance.
+//!
+//! # Reconstruction note
+//!
+//! The published PDF loses fraction bars in Theorem 4.1. We reconstruct the
+//! formulas in the unique way consistent with (a) Eq. (2) reducing to
+//! Eq. (3) at `k = 0`, (b) the proof sketch's horizontal-cut conductance
+//! `1/(h−1+hk/(2d)) = 2d/(2d(h−1)+hk)`, and (c) Corollary 4.1's numeric
+//! checkpoints (`d* = 2.13` at `h = 50`, `2.06` at `h = 100`), all of which
+//! the unit tests verify.
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Parameters of the stylized level-by-level graph of Theorem 4.1.
+///
+/// `n` nodes evenly distributed across `h` levels; every node at level `i`
+/// has `d` random adjacent-level neighbors at level `i+1` and `k` random
+/// intra-level neighbors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LevelModel {
+    /// Total node count.
+    pub n: f64,
+    /// Number of levels (`h >= 2`).
+    pub h: f64,
+    /// Adjacent-level degree per node.
+    pub d: f64,
+    /// Intra-level degree per node (0 for the pure level-by-level graph).
+    pub k: f64,
+}
+
+impl LevelModel {
+    /// Convenience constructor.
+    pub fn new(n: f64, h: f64, d: f64, k: f64) -> Self {
+        LevelModel { n, h, d, k }
+    }
+
+    /// The horizontal-cut conductance `2d / (2d(h−1) + hk)` from the proof
+    /// sketch — equal to `1/(h−1)` when `k = 0`.
+    pub fn horizontal_cut(&self) -> f64 {
+        2.0 * self.d / (2.0 * self.d * (self.h - 1.0) + self.h * self.k)
+    }
+}
+
+/// Theorem 4.1, Eq. (2): conductance of the stylized graph *with*
+/// intra-level edges.
+///
+/// Returns `NaN` outside the theorem's parameter domain
+/// (`d, k < n/h`, `h >= 2`).
+pub fn conductance_with_intra(m: &LevelModel) -> f64 {
+    let LevelModel { n, h, d, k } = *m;
+    if h < 2.0 || d <= 0.0 || k < 0.0 || d >= n / h || k >= n / h {
+        return f64::NAN;
+    }
+    let half_level = n / (2.0 * h);
+    let horizontal = m.horizontal_cut();
+    if d <= half_level && k <= half_level {
+        h / ((k + d) * (h - 1.0) * n)
+    } else if d <= half_level {
+        // n/2h < k < n/h
+        ((2.0 * k * h - n) / (k * h + d * n)).min(horizontal)
+    } else if k <= half_level {
+        // n/2h < d < n/h
+        ((2.0 * d * h - n) / (k * h + d * n)).min(horizontal)
+    } else {
+        ((k - half_level) * (2.0 * d * h - n) / (k * h + d * n)).min(horizontal)
+    }
+}
+
+/// Theorem 4.1, Eq. (3): conductance after removing all intra-level edges.
+///
+/// Returns `NaN` outside the domain (`0 < d < n/h`, `h >= 2`).
+pub fn conductance_level(n: f64, h: f64, d: f64) -> f64 {
+    if h < 2.0 || d <= 0.0 || d >= n / h {
+        return f64::NAN;
+    }
+    if d <= n / (2.0 * h) {
+        h / (n * d * (h - 1.0))
+    } else {
+        ((2.0 * h * d - n) / (n * d)).min(1.0 / (h - 1.0))
+    }
+}
+
+/// Corollary 4.1: the adjacent-level degree maximizing Eq. (3) conductance,
+/// `d* = (2h−1)(2h−2) / (h(2h−9))`.
+///
+/// Defined for `h > 4.5` (positive denominator); approaches 2 as `h → ∞`.
+/// Returns `NaN` for smaller `h`.
+pub fn optimal_inter_degree(h: f64) -> f64 {
+    if h * (2.0 * h - 9.0) <= 0.0 {
+        return f64::NAN;
+    }
+    (2.0 * h - 1.0) * (2.0 * h - 2.0) / (h * (2.0 * h - 9.0))
+}
+
+/// Exact conductance of the cut `(S, V∖S)` in `g`.
+///
+/// Returns `None` when either side has zero volume (e.g. `S` empty, all
+/// nodes, or all-isolated).
+pub fn cut_conductance(g: &CsrGraph, in_s: &[bool]) -> Option<f64> {
+    assert_eq!(in_s.len(), g.node_count(), "cut mask length mismatch");
+    let mut cut = 0usize;
+    let mut vol_s = 0usize;
+    for u in 0..g.node_count() {
+        let d = g.degree(u as NodeId);
+        if in_s[u] {
+            vol_s += d;
+            cut += g.neighbors(u as NodeId).iter().filter(|&&v| !in_s[v as usize]).count();
+        }
+    }
+    let vol_rest = g.total_volume() - vol_s;
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        None
+    } else {
+        Some(cut as f64 / denom as f64)
+    }
+}
+
+/// Exact minimum conductance by enumerating all 2^(n-1) cuts.
+///
+/// Only feasible for tiny graphs; returns `None` when no valid cut exists.
+///
+/// # Panics
+/// Panics if `g.node_count() > 24`.
+pub fn min_conductance_exact(g: &CsrGraph) -> Option<f64> {
+    let n = g.node_count();
+    assert!(n <= 24, "exact conductance enumeration limited to 24 nodes");
+    if n < 2 {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    let mut in_s = vec![false; n];
+    // Fix node 0 out of S to halve the enumeration (complement symmetry).
+    for mask in 1u32..(1 << (n - 1)) {
+        for (i, slot) in in_s.iter_mut().enumerate().take(n).skip(1) {
+            *slot = mask & (1 << (i - 1)) != 0;
+        }
+        in_s[0] = false;
+        if let Some(phi) = cut_conductance(g, &in_s) {
+            best = Some(best.map_or(phi, |b: f64| b.min(phi)));
+        }
+    }
+    best
+}
+
+/// Spectral sweep-cut upper bound on conductance.
+///
+/// Runs power iteration on the lazy random-walk matrix to approximate the
+/// second eigenvector, orders nodes by the (degree-normalized) vector, and
+/// returns the best conductance among the `n−1` prefix cuts. By Cheeger's
+/// inequality this is within `sqrt(2·φ)` of the optimum. Returns `None`
+/// for graphs where every cut is degenerate.
+pub fn sweep_conductance(g: &CsrGraph, iterations: usize) -> Option<f64> {
+    let n = g.node_count();
+    if n < 2 || g.edge_count() == 0 {
+        return None;
+    }
+    let vol = g.total_volume() as f64;
+    // Stationary distribution of the walk: pi(u) = d(u)/vol.
+    let pi: Vec<f64> = (0..n).map(|u| g.degree(u as NodeId) as f64 / vol).collect();
+    // Deterministic pseudo-random start orthogonal to constants.
+    let mut x: Vec<f64> = (0..n).map(|u| ((u * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        // Deflate the top eigenvector (all-ones in the pi inner product).
+        let mean: f64 = x.iter().zip(&pi).map(|(xi, pi)| xi * pi).sum();
+        for xi in x.iter_mut() {
+            *xi -= mean;
+        }
+        // Lazy walk: x' = (x + P x) / 2, with P row-stochastic.
+        for u in 0..n {
+            let nbrs = g.neighbors(u as NodeId);
+            let avg = if nbrs.is_empty() {
+                0.0
+            } else {
+                nbrs.iter().map(|&v| x[v as usize]).sum::<f64>() / nbrs.len() as f64
+            };
+            next[u] = 0.5 * (x[u] + avg);
+        }
+        std::mem::swap(&mut x, &mut next);
+        let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm < 1e-300 {
+            return min_fallback(g);
+        }
+        for xi in x.iter_mut() {
+            *xi /= norm;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut in_s = vec![false; n];
+    let mut best: Option<f64> = None;
+    for &u in order.iter().take(n - 1) {
+        in_s[u] = true;
+        if let Some(phi) = cut_conductance(g, &in_s) {
+            best = Some(best.map_or(phi, |b: f64| b.min(phi)));
+        }
+    }
+    best
+}
+
+/// Fallback when power iteration degenerates: single-node sweep.
+fn min_fallback(g: &CsrGraph) -> Option<f64> {
+    let n = g.node_count();
+    let mut best: Option<f64> = None;
+    let mut in_s = vec![false; n];
+    for u in 0..n {
+        in_s[u] = true;
+        if let Some(phi) = cut_conductance(g, &in_s) {
+            best = Some(best.map_or(phi, |b: f64| b.min(phi)));
+        }
+        in_s[u] = false;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two 4-cliques joined by one bridge: min conductance cuts the bridge.
+    fn barbell() -> CsrGraph {
+        let mut edges = Vec::new();
+        for c in 0..2u32 {
+            let base = c * 4;
+            for i in 0..4 {
+                for j in i + 1..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 4));
+        CsrGraph::from_edges(8, edges)
+    }
+
+    #[test]
+    fn cut_conductance_of_bridge() {
+        let g = barbell();
+        let in_s: Vec<bool> = (0..8).map(|u| u < 4).collect();
+        // cut = 1, vol(S) = 6*2 + 1 = 13.
+        let phi = cut_conductance(&g, &in_s).unwrap();
+        assert!((phi - 1.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cuts_are_none() {
+        let g = barbell();
+        assert!(cut_conductance(&g, &vec![false; 8]).is_none());
+        assert!(cut_conductance(&g, &vec![true; 8]).is_none());
+    }
+
+    #[test]
+    fn exact_min_is_bridge_cut() {
+        let g = barbell();
+        let phi = min_conductance_exact(&g).unwrap();
+        assert!((phi - 1.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_matches_exact_on_barbell() {
+        let g = barbell();
+        let sweep = sweep_conductance(&g, 200).unwrap();
+        let exact = min_conductance_exact(&g).unwrap();
+        assert!((sweep - exact).abs() < 1e-9, "sweep {sweep} vs exact {exact}");
+    }
+
+    #[test]
+    fn complete_graph_has_high_conductance() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in i + 1..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = CsrGraph::from_edges(6, edges);
+        assert!(min_conductance_exact(&g).unwrap() > 0.5);
+    }
+
+    #[test]
+    fn corollary_matches_paper_checkpoints() {
+        // §4.2.3: "d = 2.13 and 2.06 when h = 50 and 100".
+        assert!((optimal_inter_degree(50.0) - 2.13).abs() < 0.005);
+        assert!((optimal_inter_degree(100.0) - 2.06).abs() < 0.005);
+        assert!(optimal_inter_degree(4.0).is_nan());
+        // Limit is 2 as h grows.
+        assert!((optimal_inter_degree(1e6) - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn eq2_reduces_to_eq3_without_intra_edges() {
+        for &(n, h, d) in &[(1000.0, 10.0, 3.0), (5000.0, 25.0, 40.0), (600.0, 6.0, 70.0)] {
+            let with = conductance_with_intra(&LevelModel::new(n, h, d, 0.0));
+            let without = conductance_level(n, h, d);
+            assert!(
+                (with - without).abs() < 1e-12,
+                "mismatch at n={n} h={h} d={d}: {with} vs {without}"
+            );
+        }
+    }
+
+    #[test]
+    fn intra_edges_reduce_conductance() {
+        // The central claim of §4.2.2 across a parameter grid.
+        for &h in &[5.0, 10.0, 20.0] {
+            for &d in &[2.0, 5.0, 20.0] {
+                let n = 1000.0;
+                let base = conductance_level(n, h, d);
+                for &k in &[1.0, 5.0, 20.0] {
+                    let withk = conductance_with_intra(&LevelModel::new(n, h, d, k));
+                    assert!(
+                        withk <= base + 1e-12,
+                        "k={k} raised conductance at h={h} d={d}: {withk} > {base}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn closed_forms_reject_bad_domains() {
+        assert!(conductance_level(100.0, 1.0, 2.0).is_nan());
+        assert!(conductance_level(100.0, 10.0, 0.0).is_nan());
+        assert!(conductance_level(100.0, 10.0, 11.0).is_nan());
+        assert!(conductance_with_intra(&LevelModel::new(100.0, 10.0, 2.0, 10.5)).is_nan());
+    }
+
+    #[test]
+    fn horizontal_cut_formula() {
+        let m = LevelModel::new(1000.0, 11.0, 4.0, 0.0);
+        assert!((m.horizontal_cut() - 0.1).abs() < 1e-12);
+        // Adding intra edges lowers the horizontal-cut conductance.
+        let m2 = LevelModel::new(1000.0, 11.0, 4.0, 6.0);
+        assert!(m2.horizontal_cut() < m.horizontal_cut());
+    }
+}

@@ -1,0 +1,212 @@
+//! Immutable compressed-sparse-row adjacency for undirected graphs.
+//!
+//! [`CsrGraph`] stores each undirected edge twice (once per endpoint) with
+//! neighbor lists sorted ascending, which makes `contains_edge` a binary
+//! search and keeps iteration cache-friendly. Self-loops and duplicate
+//! edges supplied to the builder are dropped.
+
+use crate::NodeId;
+
+/// An immutable undirected graph in CSR form.
+///
+/// Node identifiers are dense `0..node_count()`. Every edge `(u, v)` is
+/// reachable from both endpoints and neighbor slices are sorted.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl CsrGraph {
+    /// Builds an undirected graph over `n` nodes from an edge iterator.
+    ///
+    /// Edges are symmetrized and deduplicated; self-loops are dropped.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
+        for (u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            if u == v {
+                continue;
+            }
+            pairs.push((u, v));
+            pairs.push((v, u));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        Self::from_sorted_arcs(n, &pairs)
+    }
+
+    /// Builds from a sorted, deduplicated arc list (both directions present).
+    fn from_sorted_arcs(n: usize, arcs: &[(NodeId, NodeId)]) -> Self {
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _) in arcs {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = arcs.iter().map(|&(_, v)| v).collect();
+        CsrGraph { offsets, targets }
+    }
+
+    /// Number of nodes (including isolated ones).
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Sorted neighbor list of `u`.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Sum of degrees (`2 * edge_count`), the volume of the whole graph.
+    pub fn total_volume(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Iterates every undirected edge once, with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count() as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Returns the subgraph induced by `keep` (nodes where `keep[u]` is
+    /// true), together with the mapping from new ids to original ids.
+    ///
+    /// # Panics
+    /// Panics if `keep.len() != node_count()`.
+    pub fn induced_subgraph(&self, keep: &[bool]) -> (CsrGraph, Vec<NodeId>) {
+        assert_eq!(keep.len(), self.node_count(), "keep mask length mismatch");
+        let mut new_id = vec![NodeId::MAX; self.node_count()];
+        let mut back = Vec::new();
+        for (u, &k) in keep.iter().enumerate() {
+            if k {
+                new_id[u] = back.len() as NodeId;
+                back.push(u as NodeId);
+            }
+        }
+        let edges = self.edges().filter_map(|(u, v)| {
+            if keep[u as usize] && keep[v as usize] {
+                Some((new_id[u as usize], new_id[v as usize]))
+            } else {
+                None
+            }
+        });
+        (CsrGraph::from_edges(back.len(), edges), back)
+    }
+
+    /// Returns a copy with the given undirected edges removed.
+    ///
+    /// Edges absent from the graph are ignored.
+    pub fn without_edges(&self, remove: impl IntoIterator<Item = (NodeId, NodeId)>) -> CsrGraph {
+        let mut gone: Vec<(NodeId, NodeId)> = remove
+            .into_iter()
+            .map(|(u, v)| if u <= v { (u, v) } else { (v, u) })
+            .collect();
+        gone.sort_unstable();
+        gone.dedup();
+        let edges = self.edges().filter(|&(u, v)| gone.binary_search(&(u, v)).is_err());
+        CsrGraph::from_edges(self.node_count(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1, 1-2, 2-0 triangle; 2-3 tail; 4 isolated.
+        CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.total_volume(), 8);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        for (u, v) in g.edges() {
+            assert!(g.contains_edge(u, v));
+            assert!(g.contains_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_ids() {
+        let g = triangle_plus_tail();
+        let keep = vec![false, true, true, true, false];
+        let (sub, back) = g.induced_subgraph(&keep);
+        assert_eq!(back, vec![1, 2, 3]);
+        assert_eq!(sub.node_count(), 3);
+        // Edges 1-2 and 2-3 survive (0-1, 0-2 dropped with node 0).
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.contains_edge(0, 1)); // 1-2
+        assert!(sub.contains_edge(1, 2)); // 2-3
+    }
+
+    #[test]
+    fn without_edges_removes_both_orientations() {
+        let g = triangle_plus_tail();
+        let g2 = g.without_edges([(1, 0), (3, 2)]);
+        assert_eq!(g2.edge_count(), 2);
+        assert!(!g2.contains_edge(0, 1));
+        assert!(!g2.contains_edge(2, 3));
+        assert!(g2.contains_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = CsrGraph::from_edges(2, [(0, 2)]);
+    }
+}

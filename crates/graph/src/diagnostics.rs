@@ -1,0 +1,159 @@
+//! Markov-chain convergence diagnostics.
+//!
+//! The paper measures burn-in with the Geweke diagnostic [11] and a
+//! threshold of `|Z| <= 0.1` (§4.1). [`geweke_z`] computes the classic
+//! two-window z-score over a scalar chain (first 10% vs last 50% by
+//! default); [`burn_in`] scans prefixes until the diagnostic passes,
+//! reproducing the paper's burn-in measurement methodology.
+
+/// Mean and (population) variance of a slice. Returns `(0, 0)` on empty.
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// Geweke z-score comparing the first `frac_a` and last `frac_b` windows of
+/// a scalar chain.
+///
+/// `Z = (μ_A − μ_B) / sqrt(σ²_A/n_A + σ²_B/n_B)`. Values near zero indicate
+/// that the chain start has the same distribution as the end, i.e. the
+/// chain has converged. Returns `None` when either window is empty or both
+/// variances vanish with unequal means.
+///
+/// # Panics
+/// Panics unless `0 < frac_a`, `0 < frac_b`, and `frac_a + frac_b <= 1`.
+pub fn geweke_z(chain: &[f64], frac_a: f64, frac_b: f64) -> Option<f64> {
+    assert!(frac_a > 0.0 && frac_b > 0.0 && frac_a + frac_b <= 1.0, "invalid window fractions");
+    let n = chain.len();
+    let na = ((n as f64) * frac_a).floor() as usize;
+    let nb = ((n as f64) * frac_b).floor() as usize;
+    if na == 0 || nb == 0 {
+        return None;
+    }
+    let (ma, va) = mean_var(&chain[..na]);
+    let (mb, vb) = mean_var(&chain[n - nb..]);
+    let denom = (va / na as f64 + vb / nb as f64).sqrt();
+    if denom == 0.0 {
+        return if ma == mb { Some(0.0) } else { None };
+    }
+    Some((ma - mb) / denom)
+}
+
+/// Geweke z-score with the conventional 10% / 50% windows.
+pub fn geweke_z_default(chain: &[f64]) -> Option<f64> {
+    geweke_z(chain, 0.1, 0.5)
+}
+
+/// Estimates the burn-in length of a scalar chain: the smallest prefix `b`
+/// (scanned in `step`-sized increments) such that the Geweke z-score of the
+/// remaining chain satisfies `|Z| <= threshold`.
+///
+/// Returns `None` if no prefix up to `chain.len()/2` passes — i.e. the
+/// chain has not converged within its recorded length.
+pub fn burn_in(chain: &[f64], threshold: f64, step: usize) -> Option<usize> {
+    let step = step.max(1);
+    let mut b = 0usize;
+    while b <= chain.len() / 2 {
+        if let Some(z) = geweke_z_default(&chain[b..]) {
+            if z.abs() <= threshold {
+                return Some(b);
+            }
+        }
+        b += step;
+    }
+    None
+}
+
+/// Lag-`k` autocorrelation of a chain; `None` when undefined (length <= k
+/// or zero variance).
+pub fn autocorrelation(chain: &[f64], lag: usize) -> Option<f64> {
+    if chain.len() <= lag {
+        return None;
+    }
+    let (mean, var) = mean_var(chain);
+    if var == 0.0 {
+        return None;
+    }
+    let n = chain.len() - lag;
+    let cov =
+        (0..n).map(|i| (chain[i] - mean) * (chain[i + lag] - mean)).sum::<f64>() / chain.len() as f64;
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn iid_chain(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen::<f64>()).collect()
+    }
+
+    #[test]
+    fn converged_chain_has_small_z() {
+        let chain = iid_chain(20_000, 1);
+        let z = geweke_z_default(&chain).unwrap();
+        assert!(z.abs() < 3.0, "z = {z}");
+    }
+
+    #[test]
+    fn drifting_chain_has_large_z() {
+        // A chain whose start is offset by +5: clearly not converged.
+        let mut chain = iid_chain(10_000, 2);
+        for x in chain.iter_mut().take(1000) {
+            *x += 5.0;
+        }
+        let z = geweke_z_default(&chain).unwrap();
+        assert!(z.abs() > 10.0, "z = {z}");
+    }
+
+    #[test]
+    fn burn_in_detects_transient() {
+        let mut chain = iid_chain(10_000, 3);
+        for x in chain.iter_mut().take(500) {
+            *x += 5.0;
+        }
+        let b = burn_in(&chain, 2.0, 100).unwrap();
+        assert!((400..=1500).contains(&b), "burn-in {b}");
+        // An unconverged chain (linear trend) yields None.
+        let trend: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        assert_eq!(burn_in(&trend, 0.1, 50), None);
+    }
+
+    #[test]
+    fn constant_chain_is_converged() {
+        let chain = vec![2.5; 100];
+        assert_eq!(geweke_z_default(&chain), Some(0.0));
+        assert_eq!(burn_in(&chain, 0.1, 10), Some(0));
+    }
+
+    #[test]
+    fn short_chain_returns_none() {
+        assert!(geweke_z_default(&[1.0, 2.0]).is_none());
+        assert!(geweke_z_default(&[]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid window fractions")]
+    fn rejects_bad_fractions() {
+        let _ = geweke_z(&[1.0; 10], 0.6, 0.6);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_chain() {
+        let chain: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r1 = autocorrelation(&chain, 1).unwrap();
+        assert!(r1 < -0.9);
+        let r2 = autocorrelation(&chain, 2).unwrap();
+        assert!(r2 > 0.9);
+        assert!(autocorrelation(&chain, 1000).is_none());
+        assert!(autocorrelation(&[1.0; 50], 1).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Directed follower/followee graphs.
+//!
+//! Microblog relations are often asymmetric (Twitter follower/followee).
+//! The paper converts them to an undirected social graph by connecting two
+//! users "if either follows the other" (§3.2); [`DirectedGraph::to_undirected`]
+//! implements exactly that union. The directed views remain available
+//! because aggregate metrics such as *number of followers* are defined on
+//! the directed graph.
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// A directed graph stored as two CSR indexes (out- and in-adjacency).
+///
+/// An arc `u -> v` means "u follows v": `v` appears in `followees(u)` and
+/// `u` appears in `followers(v)`.
+#[derive(Clone, Debug, Default)]
+pub struct DirectedGraph {
+    out_offsets: Vec<usize>,
+    out_targets: Vec<NodeId>,
+    in_offsets: Vec<usize>,
+    in_targets: Vec<NodeId>,
+}
+
+impl DirectedGraph {
+    /// Builds from an arc list `u -> v` over `n` nodes.
+    ///
+    /// Duplicate arcs and self-loops are dropped.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let mut fwd: Vec<(NodeId, NodeId)> = arcs
+            .into_iter()
+            .inspect(|&(u, v)| {
+                assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range")
+            })
+            .filter(|&(u, v)| u != v)
+            .collect();
+        fwd.sort_unstable();
+        fwd.dedup();
+        let mut rev: Vec<(NodeId, NodeId)> = fwd.iter().map(|&(u, v)| (v, u)).collect();
+        rev.sort_unstable();
+
+        let (out_offsets, out_targets) = csr_from_sorted(n, &fwd);
+        let (in_offsets, in_targets) = csr_from_sorted(n, &rev);
+        DirectedGraph { out_offsets, out_targets, in_offsets, in_targets }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out_offsets.len().saturating_sub(1)
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Users that `u` follows (out-neighbors), sorted.
+    pub fn followees(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.out_targets[self.out_offsets[u]..self.out_offsets[u + 1]]
+    }
+
+    /// Users following `u` (in-neighbors), sorted.
+    pub fn followers(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.in_targets[self.in_offsets[u]..self.in_offsets[u + 1]]
+    }
+
+    /// In-degree of `u` — the "number of followers" metric of the paper's
+    /// running example.
+    pub fn follower_count(&self, u: NodeId) -> usize {
+        self.followers(u).len()
+    }
+
+    /// Out-degree of `u`.
+    pub fn followee_count(&self, u: NodeId) -> usize {
+        self.followees(u).len()
+    }
+
+    /// Iterates every arc `u -> v`.
+    pub fn arcs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.node_count() as NodeId)
+            .flat_map(move |u| self.followees(u).iter().map(move |&v| (u, v)))
+    }
+
+    /// The undirected social graph: `u — v` iff `u -> v` or `v -> u`.
+    pub fn to_undirected(&self) -> CsrGraph {
+        let arcs = (0..self.node_count() as NodeId)
+            .flat_map(|u| self.followees(u).iter().map(move |&v| (u, v)));
+        CsrGraph::from_edges(self.node_count(), arcs)
+    }
+}
+
+fn csr_from_sorted(n: usize, arcs: &[(NodeId, NodeId)]) -> (Vec<usize>, Vec<NodeId>) {
+    let mut offsets = vec![0usize; n + 1];
+    for &(u, _) in arcs {
+        offsets[u as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    (offsets, arcs.iter().map(|&(_, v)| v).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DirectedGraph {
+        // 0 -> 1, 1 -> 0 (mutual); 2 -> 0; 1 -> 3.
+        DirectedGraph::from_arcs(4, [(0, 1), (1, 0), (2, 0), (1, 3)])
+    }
+
+    #[test]
+    fn follower_followee_views() {
+        let g = sample();
+        assert_eq!(g.followees(1), &[0, 3]);
+        assert_eq!(g.followers(0), &[1, 2]);
+        assert_eq!(g.follower_count(0), 2);
+        assert_eq!(g.followee_count(2), 1);
+        assert_eq!(g.follower_count(2), 0);
+        assert_eq!(g.arc_count(), 4);
+    }
+
+    #[test]
+    fn undirected_union() {
+        let g = sample().to_undirected();
+        // Mutual 0<->1 collapses to one edge; 2->0 and 1->3 become edges.
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.contains_edge(0, 1));
+        assert!(g.contains_edge(0, 2));
+        assert!(g.contains_edge(1, 3));
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = DirectedGraph::from_arcs(2, [(0, 1), (0, 1), (0, 0)]);
+        assert_eq!(g.arc_count(), 1);
+        assert_eq!(g.followers(1), &[0]);
+    }
+}

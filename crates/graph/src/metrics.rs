@@ -1,0 +1,171 @@
+//! Degree statistics, common-neighbor counts, and clustering coefficients.
+//!
+//! Table 2 of the paper contrasts the average number of common neighbors
+//! shared by endpoints of intra-level edges against other edges — the
+//! evidence that intra-level edges live inside tightly-knit communities.
+//! [`common_neighbors`] and [`avg_common_neighbors`] compute that
+//! statistic; [`DegreeStats`] summarizes degree distributions.
+
+use crate::csr::CsrGraph;
+use crate::NodeId;
+
+/// Summary statistics of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// Fraction of nodes with degree zero.
+    pub isolated_fraction: f64,
+}
+
+/// Computes [`DegreeStats`] for an undirected graph.
+///
+/// Returns `None` for the empty graph.
+pub fn degree_stats(g: &CsrGraph) -> Option<DegreeStats> {
+    let n = g.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut degrees: Vec<usize> = (0..n as NodeId).map(|u| g.degree(u)).collect();
+    degrees.sort_unstable();
+    let isolated = degrees.iter().take_while(|&&d| d == 0).count();
+    Some(DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean: g.total_volume() as f64 / n as f64,
+        median: degrees[n / 2],
+        isolated_fraction: isolated as f64 / n as f64,
+    })
+}
+
+/// Number of common neighbors of `u` and `v` (linear merge of the two
+/// sorted adjacency slices).
+pub fn common_neighbors(g: &CsrGraph, u: NodeId, v: NodeId) -> usize {
+    let (mut a, mut b) = (g.neighbors(u).iter().peekable(), g.neighbors(v).iter().peekable());
+    let mut shared = 0;
+    while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => {
+                a.next();
+            }
+            std::cmp::Ordering::Greater => {
+                b.next();
+            }
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                a.next();
+                b.next();
+            }
+        }
+    }
+    shared
+}
+
+/// Average number of common neighbors over a set of edges.
+///
+/// Returns 0.0 when `edges` is empty.
+pub fn avg_common_neighbors(g: &CsrGraph, edges: &[(NodeId, NodeId)]) -> f64 {
+    if edges.is_empty() {
+        return 0.0;
+    }
+    let total: usize = edges.iter().map(|&(u, v)| common_neighbors(g, u, v)).sum();
+    total as f64 / edges.len() as f64
+}
+
+/// Local clustering coefficient of node `u`: fraction of neighbor pairs
+/// that are themselves connected. 0.0 for degree < 2.
+pub fn local_clustering(g: &CsrGraph, u: NodeId) -> f64 {
+    let nbrs = g.neighbors(u);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.contains_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Mean local clustering coefficient over all nodes of degree >= 2.
+///
+/// Returns 0.0 when no such node exists.
+pub fn avg_clustering(g: &CsrGraph) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for u in 0..g.node_count() as NodeId {
+        if g.degree(u) >= 2 {
+            sum += local_clustering(g, u);
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // 0-1, 0-2, 1-2, 1-3, 2-3: two triangles sharing edge 1-2.
+        CsrGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn degree_stats_basic() {
+        let s = degree_stats(&diamond()).unwrap();
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 3);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.isolated_fraction, 0.0);
+        assert!(degree_stats(&CsrGraph::from_edges(0, [])).is_none());
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let g = diamond();
+        assert_eq!(common_neighbors(&g, 1, 2), 2); // 0 and 3
+        assert_eq!(common_neighbors(&g, 0, 3), 2); // 1 and 2
+        assert_eq!(common_neighbors(&g, 0, 1), 1); // 2
+    }
+
+    #[test]
+    fn avg_common_neighbors_over_edges() {
+        let g = diamond();
+        let avg = avg_common_neighbors(&g, &[(1, 2), (0, 1)]);
+        assert!((avg - 1.5).abs() < 1e-12);
+        assert_eq!(avg_common_neighbors(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn clustering_of_triangle_corner() {
+        let g = diamond();
+        assert!((local_clustering(&g, 0) - 1.0).abs() < 1e-12);
+        // Node 1 has neighbors {0,2,3}: pairs (0,2) closed, (0,3) open, (2,3) closed.
+        assert!((local_clustering(&g, 1) - 2.0 / 3.0).abs() < 1e-12);
+        let path = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert_eq!(local_clustering(&path, 1), 0.0);
+        assert_eq!(local_clustering(&path, 0), 0.0);
+    }
+
+    #[test]
+    fn avg_clustering_skips_low_degree() {
+        let path = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        assert_eq!(avg_clustering(&path), 0.0);
+        assert!(avg_clustering(&diamond()) > 0.5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Random walks over abstract neighbor sources.
+//!
+//! Walkers pull adjacency through [`NeighborSource`] rather than a concrete
+//! graph so that the analyzer layer can (a) filter edges on the fly — the
+//! term-induced and level-by-level subgraphs are never materialized, exactly
+//! as in the paper's GRAPH-BUILDER — and (b) charge every neighbor fetch to
+//! a rate-limited API budget, which is the paper's cost metric.
+//!
+//! Two topology-oblivious walks are provided: the simple random walk (SRW)
+//! whose stationary distribution weights nodes by degree, and the
+//! Metropolis–Hastings random walk (MHRW) targeting the uniform
+//! distribution. The paper's topology-*aware* walk lives in the analyzer
+//! crate because it depends on the level structure.
+
+use crate::NodeId;
+use rand::Rng;
+use std::borrow::Cow;
+
+/// A source of adjacency lists, possibly fallible (budget exhaustion) and
+/// possibly stateful (API caches, on-the-fly filtering).
+pub trait NeighborSource {
+    /// Error surfaced when adjacency cannot be fetched (e.g. query budget
+    /// exhausted).
+    type Error;
+
+    /// Neighbor list of `u`. May allocate when the view is filtered.
+    fn neighbors(&mut self, u: NodeId) -> Result<Cow<'_, [NodeId]>, Self::Error>;
+
+    /// Degree of `u` under this view.
+    fn degree(&mut self, u: NodeId) -> Result<usize, Self::Error> {
+        Ok(self.neighbors(u)?.len())
+    }
+}
+
+impl NeighborSource for &crate::csr::CsrGraph {
+    type Error = std::convert::Infallible;
+
+    fn neighbors(&mut self, u: NodeId) -> Result<Cow<'_, [NodeId]>, Self::Error> {
+        Ok(Cow::Borrowed(crate::csr::CsrGraph::neighbors(self, u)))
+    }
+}
+
+/// One visited node of a walk trace, with its degree under the walked view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Visit {
+    /// The node visited at this step.
+    pub node: NodeId,
+    /// Its degree in the graph being walked (needed by the SRW estimators,
+    /// whose stationary distribution is proportional to degree).
+    pub degree: usize,
+}
+
+/// A recorded random-walk trajectory.
+#[derive(Clone, Debug, Default)]
+pub struct WalkTrace {
+    /// Visits in step order, including the start node.
+    pub visits: Vec<Visit>,
+}
+
+impl WalkTrace {
+    /// Drops the first `burn_in` visits and keeps every `thinning`-th of the
+    /// remainder (`thinning >= 1`).
+    pub fn samples(&self, burn_in: usize, thinning: usize) -> Vec<Visit> {
+        let thinning = thinning.max(1);
+        self.visits.iter().skip(burn_in).step_by(thinning).copied().collect()
+    }
+
+    /// Number of steps taken (visits − 1, saturating).
+    pub fn steps(&self) -> usize {
+        self.visits.len().saturating_sub(1)
+    }
+}
+
+/// Runs a simple random walk for `steps` transitions starting at `start`.
+///
+/// At each step a neighbor is chosen uniformly at random; if the current
+/// node has no neighbors under the view, the walk stays in place (a
+/// self-loop), which keeps the chain well-defined on views with dangling
+/// nodes.
+pub fn simple_random_walk<S: NeighborSource, R: Rng>(
+    source: &mut S,
+    rng: &mut R,
+    start: NodeId,
+    steps: usize,
+) -> Result<WalkTrace, S::Error> {
+    let mut visits = Vec::with_capacity(steps + 1);
+    let mut current = start;
+    let mut degree = source.neighbors(current)?.len();
+    visits.push(Visit { node: current, degree });
+    for _ in 0..steps {
+        let nbrs = source.neighbors(current)?;
+        if !nbrs.is_empty() {
+            current = nbrs[rng.gen_range(0..nbrs.len())];
+            degree = source.neighbors(current)?.len();
+        }
+        visits.push(Visit { node: current, degree });
+    }
+    Ok(WalkTrace { visits })
+}
+
+/// Runs a Metropolis–Hastings random walk targeting the uniform
+/// distribution: propose a uniform neighbor `v`, accept with probability
+/// `min(1, d(u)/d(v))`, otherwise stay.
+pub fn metropolis_hastings_walk<S: NeighborSource, R: Rng>(
+    source: &mut S,
+    rng: &mut R,
+    start: NodeId,
+    steps: usize,
+) -> Result<WalkTrace, S::Error> {
+    let mut visits = Vec::with_capacity(steps + 1);
+    let mut current = start;
+    let mut cur_deg = source.neighbors(current)?.len();
+    visits.push(Visit { node: current, degree: cur_deg });
+    for _ in 0..steps {
+        if cur_deg > 0 {
+            let proposal = {
+                let nbrs = source.neighbors(current)?;
+                nbrs[rng.gen_range(0..nbrs.len())]
+            };
+            let prop_deg = source.neighbors(proposal)?.len();
+            let accept = if prop_deg == 0 {
+                false
+            } else {
+                rng.gen::<f64>() < (cur_deg as f64 / prop_deg as f64).min(1.0)
+            };
+            if accept {
+                current = proposal;
+                cur_deg = prop_deg;
+            }
+        }
+        visits.push(Visit { node: current, degree: cur_deg });
+    }
+    Ok(WalkTrace { visits })
+}
+
+/// The standard SRW ratio estimator for a population average.
+///
+/// SRW samples nodes with probability proportional to degree, so
+/// `AVG(f) ≈ (Σ f(u)/d(u)) / (Σ 1/d(u))` over the sampled visits
+/// (a Hansen–Hurwitz ratio with importance weights `1/d`). Returns `None`
+/// when no sample has positive degree.
+pub fn srw_average(samples: impl IntoIterator<Item = (f64, usize)>) -> Option<f64> {
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (f, d) in samples {
+        if d > 0 {
+            num += f / d as f64;
+            den += 1.0 / d as f64;
+        }
+    }
+    if den > 0.0 {
+        Some(num / den)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrGraph;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn star() -> CsrGraph {
+        // Hub 0 connected to 1..=4.
+        CsrGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+    }
+
+    #[test]
+    fn srw_visits_alternate_on_star() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let trace = simple_random_walk(&mut &g, &mut rng, 0, 100).unwrap();
+        assert_eq!(trace.visits.len(), 101);
+        assert_eq!(trace.steps(), 100);
+        // From the hub every step goes to a leaf and back.
+        for (i, v) in trace.visits.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(v.node, 0);
+                assert_eq!(v.degree, 4);
+            } else {
+                assert_ne!(v.node, 0);
+                assert_eq!(v.degree, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn srw_stationary_matches_degree_distribution() {
+        // Path 0-1-2: stationary = (1/4, 1/2, 1/4).
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let trace = simple_random_walk(&mut &g, &mut rng, 0, 60_000).unwrap();
+        let samples = trace.samples(1000, 1);
+        let mut counts = [0usize; 3];
+        for v in &samples {
+            counts[v.node as usize] += 1;
+        }
+        let total = samples.len() as f64;
+        assert!((counts[1] as f64 / total - 0.5).abs() < 0.02);
+        assert!((counts[0] as f64 / total - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn isolated_start_stays_put() {
+        let g = CsrGraph::from_edges(2, []);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let trace = simple_random_walk(&mut &g, &mut rng, 1, 5).unwrap();
+        assert!(trace.visits.iter().all(|v| v.node == 1 && v.degree == 0));
+    }
+
+    #[test]
+    fn mhrw_targets_uniform_distribution() {
+        // Star graph: SRW spends half its time at the hub, MHRW should be
+        // close to uniform (1/5 per node).
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let trace = metropolis_hastings_walk(&mut &g, &mut rng, 0, 80_000).unwrap();
+        let samples = trace.samples(2000, 1);
+        let mut counts = [0usize; 5];
+        for v in &samples {
+            counts[v.node as usize] += 1;
+        }
+        let total = samples.len() as f64;
+        for &c in &counts {
+            assert!((c as f64 / total - 0.2).abs() < 0.03, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn trace_thinning_and_burn_in() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let trace = simple_random_walk(&mut &g, &mut rng, 0, 10).unwrap();
+        let s = trace.samples(3, 4);
+        assert_eq!(s.len(), 2); // visits 3 and 7
+        assert_eq!(s[0], trace.visits[3]);
+        assert_eq!(s[1], trace.visits[7]);
+        // thinning 0 is clamped to 1
+        assert_eq!(trace.samples(0, 0).len(), 11);
+    }
+
+    #[test]
+    fn srw_average_reweights_by_degree() {
+        // Path 0-1-2 with f = node id. True average = 1.
+        // Degree-weighted raw mean would over-weight node 1.
+        let samples = [(0.0, 1), (1.0, 2), (1.0, 2), (2.0, 1)];
+        let est = srw_average(samples).unwrap();
+        assert!((est - 1.0).abs() < 1e-12);
+        assert!(srw_average([(1.0, 0)]).is_none());
+        assert!(srw_average([]).is_none());
+    }
+}

@@ -1,0 +1,677 @@
+//! Event-driven keyword cascade simulation.
+//!
+//! A cascade models how a term/hashtag propagates through the follower
+//! graph: seed users post it, their followers see it and adopt with some
+//! probability after a reaction delay, and so on. Two empirical facts the
+//! paper leans on are built into the model:
+//!
+//! * **Bursty intra-community adoption.** Keyword interest is scoped to
+//!   communities with per-community onset times ([`CommunityAffinity`]);
+//!   reaction delays are a two-mode mixture (same-hours / next-day), so a
+//!   community's first mentions concentrate into a burst of a few days.
+//!   Same-day co-adopters inside a dense community are what produce the
+//!   intra-level edges §4.2 removes; next-day stragglers produce the
+//!   adjacent-level edges the level-by-level walk travels on.
+//! * **Exogenous events.** Spikes inject fresh spontaneous adopters at a
+//!   point in time (e.g. "boston" on Apr 15, 2013), and a small background
+//!   rate keeps low-frequency terms like "privacy" alive for months, so
+//!   the search API always has recent posts to seed walks from.
+
+use crate::ids::{KeywordId, UserId};
+use crate::time::{Duration, TimeWindow, Timestamp};
+use microblog_graph::DirectedGraph;
+use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Reaction-delay mixture.
+#[derive(Clone, Copy, Debug)]
+pub struct DelayModel {
+    /// Probability of a "fast" reaction.
+    pub fast_fraction: f64,
+    /// Mean of the fast (exponential) mode.
+    pub fast_mean: Duration,
+    /// Mean of the slow (exponential) mode.
+    pub slow_mean: Duration,
+}
+
+impl Default for DelayModel {
+    /// Adoption (first-mention) reactions: a fast mode for users reacting
+    /// within hours and a slow mode around the next day. (Retweets are
+    /// much faster — 92% within the hour per the Sysomos statistic the
+    /// paper cites — but *adopting a term into one's own posts* is slower;
+    /// the mixture below spreads a community's first mentions over ~0–3
+    /// days, which is what produces the paper's intra/adjacent/cross-level
+    /// edge proportions.)
+    fn default() -> Self {
+        DelayModel {
+            fast_fraction: 0.30,
+            fast_mean: Duration::hours(2),
+            slow_mean: Duration::hours(34),
+        }
+    }
+}
+
+impl DelayModel {
+    /// Samples one reaction delay (always >= 1 second).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Duration {
+        let mean = if rng.gen_bool(self.fast_fraction) { self.fast_mean } else { self.slow_mean };
+        Duration(exp_sample(rng, mean.0 as f64).max(1.0) as i64)
+    }
+}
+
+/// An exogenous burst of spontaneous adopters (a news event).
+#[derive(Clone, Copy, Debug)]
+pub struct Spike {
+    /// When the event happens.
+    pub time: Timestamp,
+    /// How many users adopt spontaneously at the event.
+    pub seeds: usize,
+}
+
+/// Keyword–community affinity: which interest clusters care about the
+/// keyword, and *when* each one discovers it.
+///
+/// This is the ingredient that concentrates a community's first mentions
+/// in time. Without it, connected users adopt at independent times and the
+/// term-induced subgraph fills with cross-level edges — the paper's
+/// Table 2 shows the opposite on real platforms (cross-level edges are
+/// 1–3%), because a cluster that cares about a topic starts talking about
+/// it in a burst.
+#[derive(Clone, Debug)]
+pub struct CommunityAffinity {
+    /// Per-user community label.
+    pub labels: Vec<u32>,
+    /// Per-community footprint flag: whether the community can ever care
+    /// about this keyword (via a scheduled onset or contagion).
+    pub eligible: Vec<bool>,
+    /// Per-community *scheduled* onset time (spontaneous discovery / news
+    /// event); `None` = the community only onsets through contagion, if at
+    /// all.
+    pub onset: Vec<Option<Timestamp>>,
+    /// Adoption-probability multiplier for exposures landing outside an
+    /// affine, already-onset community (e.g. 0.1).
+    pub off_affinity_factor: f64,
+    /// Interest decay constant: a community's appetite for spontaneous
+    /// seeds decays as `exp(−(t − onset)/decay)`. Short decays concentrate
+    /// each community's first mentions into a burst of a day or two —
+    /// which is why, on real platforms, edges of the term-induced subgraph
+    /// overwhelmingly connect same-level or adjacent-level users (Table 2:
+    /// only 1–3% cross-level).
+    pub interest_decay: Duration,
+    /// Onset contagion: when an exposure lands in an eligible community
+    /// that has not yet onset, the probability that the exposure *ignites*
+    /// the community (onset = now). Contagion chains bursts together —
+    /// today's burst is seeded by followers of yesterday's adopters —
+    /// which is exactly the connected, level-by-level propagation
+    /// structure of the paper's Figure 6. Without it, bursts are isolated
+    /// islands and the level walk cannot reach most of the subgraph.
+    pub onset_contagion: f64,
+    /// Mean of the exponential lag between an igniting exposure and the
+    /// ignited community's onset ("the cluster hears about the topic now,
+    /// picks it up in a few days") — this paces the burst chain across the
+    /// window instead of burning the whole footprint in a week.
+    pub ignition_lag_mean: Duration,
+    /// Additional scheduled onsets `(community, time)` beyond the first —
+    /// topics recur in the clusters that care about them.
+    pub extra_onsets: Vec<(u32, Timestamp)>,
+    /// Minimum quiet time before a community can be *re-ignited* by
+    /// contagion. Re-ignited bursts are gold for the level-by-level walk:
+    /// the fresh burst's members neighbor the community's older adopters,
+    /// creating the upward cross-level edges that let walks seeded at the
+    /// (recent) bottom climb into the historical graph.
+    pub reignition_cooldown: Duration,
+}
+
+impl CommunityAffinity {
+    /// Exposure multiplier for user `u` at time `t`: full strength right
+    /// after the user's community onsets, decaying with the burst age
+    /// (time constant `4 × interest_decay`), floored at
+    /// `off_affinity_factor`; pre-onset and non-affine communities get the
+    /// floor. Interest that never decayed would let late cascades re-ignite
+    /// long-finished communities, smearing first mentions across months.
+    fn factor(&self, onset: &[Option<Timestamp>], u: u32, t: Timestamp) -> f64 {
+        let c = self.labels[u as usize] as usize;
+        match onset.get(c) {
+            Some(Some(onset)) if *onset <= t => {
+                let age = (t.0 - onset.0) as f64;
+                let tau = 4.0 * self.interest_decay.0.max(1) as f64;
+                (-age / tau).exp().max(self.off_affinity_factor)
+            }
+            _ => self.off_affinity_factor,
+        }
+    }
+}
+
+/// Configuration of one keyword cascade.
+#[derive(Clone, Debug)]
+pub struct CascadeConfig {
+    /// The keyword being propagated.
+    pub keyword: KeywordId,
+    /// Simulation span; no adoption or post happens outside it.
+    pub window: TimeWindow,
+    /// Spontaneous adopters at `window.start`.
+    pub initial_seeds: usize,
+    /// Probability that an exposed follower eventually adopts, for an
+    /// author of typical audience size (see `attention_ref`).
+    pub adoption_prob: f64,
+    /// Attention-dilution reference: the effective per-follower adoption
+    /// probability is `adoption_prob · attention_ref / (attention_ref +
+    /// #followers(author))`. Mirrors the empirical decline of per-follower
+    /// engagement with audience size, and bounds a single post's expected
+    /// secondary adoptions by `adoption_prob · attention_ref` — without it
+    /// the heavy-tailed follower counts make every cascade supercritical
+    /// and keywords stop being selective (the paper's setting needs
+    /// keyword predicates matching ~0.4% of users).
+    pub attention_ref: f64,
+    /// Reaction-delay mixture.
+    pub delay: DelayModel,
+    /// Spontaneous adopters per simulated day (keeps the term alive).
+    pub background_rate_per_day: f64,
+    /// Exogenous bursts.
+    pub spikes: Vec<Spike>,
+    /// After each keyword post, probability of posting the keyword again
+    /// later (geometric repeat model).
+    pub repeat_post_prob: f64,
+    /// Mean gap between repeat posts by the same user.
+    pub repeat_gap_mean: Duration,
+    /// Optional keyword–community affinity (see [`CommunityAffinity`]).
+    pub affinity: Option<CommunityAffinity>,
+}
+
+impl CascadeConfig {
+    /// A reasonable default cascade for `keyword` over `window`.
+    pub fn new(keyword: KeywordId, window: TimeWindow) -> Self {
+        CascadeConfig {
+            keyword,
+            window,
+            initial_seeds: 10,
+            adoption_prob: 0.05,
+            attention_ref: 20.0,
+            delay: DelayModel::default(),
+            background_rate_per_day: 2.0,
+            spikes: Vec::new(),
+            repeat_post_prob: 0.35,
+            repeat_gap_mean: Duration::days(6),
+            affinity: None,
+        }
+    }
+}
+
+/// A post produced by the simulation, before platform id assignment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PostDraft {
+    /// Author.
+    pub author: UserId,
+    /// Publication time.
+    pub time: Timestamp,
+    /// Keywords mentioned (sorted, deduplicated by the platform builder).
+    pub keywords: Vec<KeywordId>,
+    /// Likes accrued.
+    pub likes: u32,
+    /// Length in characters.
+    pub chars: u16,
+    /// Repost flag.
+    pub is_repost: bool,
+}
+
+/// Result of simulating one cascade.
+#[derive(Clone, Debug)]
+pub struct CascadeOutcome {
+    /// The cascaded keyword.
+    pub keyword: KeywordId,
+    /// First qualifying-post time per user (`None` = never adopted).
+    pub adoption_time: Vec<Option<Timestamp>>,
+    /// All keyword posts generated.
+    pub posts: Vec<PostDraft>,
+}
+
+impl CascadeOutcome {
+    /// Number of users who adopted.
+    pub fn adopter_count(&self) -> usize {
+        self.adoption_time.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+/// Runs the cascade on `graph` (arcs `u -> v` mean "u follows v"; exposure
+/// flows from a poster to their followers).
+pub fn simulate<R: Rng>(rng: &mut R, graph: &DirectedGraph, cfg: &CascadeConfig) -> CascadeOutcome {
+    let n = graph.node_count();
+    let mut adoption_time: Vec<Option<Timestamp>> = vec![None; n];
+    let mut posts: Vec<PostDraft> = Vec::new();
+    // Min-heap of scheduled adoptions (time, user).
+    let mut queue: BinaryHeap<Reverse<(Timestamp, u32)>> = BinaryHeap::new();
+
+    // Dynamic onset state (scheduled onsets + contagion ignitions).
+    let mut live_onset: Vec<Option<Timestamp>> =
+        cfg.affinity.as_ref().map(|a| a.onset.clone()).unwrap_or_default();
+    // Member lists per community, for affinity-directed seeding.
+    let members: Option<Vec<Vec<u32>>> = cfg.affinity.as_ref().map(|aff| {
+        let ncomm = aff.onset.len();
+        let mut m = vec![Vec::new(); ncomm];
+        for (u, &c) in aff.labels.iter().enumerate() {
+            if (c as usize) < ncomm {
+                m[c as usize].push(u as u32);
+            }
+        }
+        m
+    });
+    // Places one spontaneous seed "around" time t. With affinity, the seed
+    // lands in a receptive community (if none is receptive yet, in the
+    // earliest-onset one, at its onset) — spontaneous interest comes from
+    // the clusters that care about the topic.
+    let place_seed = |rng: &mut R, t: Timestamp| -> Option<(Timestamp, u32)> {
+        let jitter = Duration(rng.gen_range(0..3_600));
+        match (&cfg.affinity, &members) {
+            (Some(aff), Some(members)) => {
+                // Weight receptive communities by size × freshness: a
+                // community mostly seeds within `interest_decay` of onset.
+                let tau = aff.interest_decay.0.max(1) as f64;
+                let weights: Vec<(usize, f64)> = (0..aff.onset.len())
+                    .filter(|&c| !members[c].is_empty())
+                    .filter_map(|c| match aff.onset[c] {
+                        Some(onset) if onset <= t => {
+                            let age = (t.0 - onset.0) as f64;
+                            Some((c, members[c].len() as f64 * (-age / tau).exp()))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                let total: f64 = weights.iter().map(|w| w.1).sum();
+                // Freshness is *absolute*: the chance this moment hosts a
+                // seed is the total freshness relative to one fully-fresh
+                // average community. Stale moments forward their seeds to
+                // the next burst — otherwise a constant background rate
+                // would smear a community's first mentions across weeks.
+                let ref_weight =
+                    (aff.labels.len() as f64 / aff.onset.len().max(1) as f64).max(1.0);
+                let stale = total / ref_weight < rng.gen::<f64>();
+                let (c, at) = if stale || total < 1e-9 {
+                    // This seed belongs to the next burst instead
+                    // (earliest onset at or after t).
+                    (0..aff.onset.len())
+                        .filter(|&c| !members[c].is_empty())
+                        .filter_map(|c| aff.onset[c].map(|o| (c, o)))
+                        .filter(|&(_, o)| o >= t)
+                        .min_by_key(|&(_, o)| o)?
+                } else {
+                    let mut x = rng.gen::<f64>() * total;
+                    let mut pick = weights[0].0;
+                    for &(c, w) in &weights {
+                        if x < w {
+                            pick = c;
+                            break;
+                        }
+                        x -= w;
+                    }
+                    (pick, t)
+                };
+                let u = members[c][rng.gen_range(0..members[c].len())];
+                Some((at + jitter, u))
+            }
+            _ => Some((t + jitter, rng.gen_range(0..n as u32))),
+        }
+    };
+
+    for _ in 0..cfg.initial_seeds {
+        if let Some(seed) = place_seed(rng, cfg.window.start) {
+            queue.push(Reverse(seed));
+        }
+    }
+    // Every scheduled onset is self-seeding: a couple of community members
+    // adopt right at the onset, so a scheduled burst can never be silent
+    // (background seeding alone may miss a short burst window entirely).
+    let mut scheduled_onsets: Vec<(usize, Timestamp)> = Vec::new();
+    if let Some(aff) = &cfg.affinity {
+        for (c, onset) in aff.onset.iter().enumerate() {
+            if let Some(onset) = *onset {
+                scheduled_onsets.push((c, onset));
+            }
+        }
+        for &(c, at) in &aff.extra_onsets {
+            scheduled_onsets.push((c as usize, at));
+        }
+    }
+    if let Some(members) = &members {
+        for &(c, onset) in &scheduled_onsets {
+            if members[c].is_empty() {
+                continue;
+            }
+            for _ in 0..2 {
+                let u = members[c][rng.gen_range(0..members[c].len())];
+                let at = onset + Duration(rng.gen_range(0..6 * 3_600));
+                if cfg.window.contains(at) {
+                    queue.push(Reverse((at, u)));
+                }
+            }
+        }
+    }
+    for spike in &cfg.spikes {
+        for _ in 0..spike.seeds {
+            if let Some(seed) = place_seed(rng, spike.time) {
+                queue.push(Reverse(seed));
+            }
+        }
+    }
+    // Background spontaneous adopters: Poisson per day.
+    let days = (cfg.window.length().0 / Duration::DAY.0).max(0);
+    for day in 0..days {
+        let count = poisson(rng, cfg.background_rate_per_day);
+        for _ in 0..count {
+            let t = cfg.window.start
+                + Duration::days(day)
+                + Duration(rng.gen_range(0..Duration::DAY.0));
+            if let Some(seed) = place_seed(rng, t) {
+                queue.push(Reverse(seed));
+            }
+        }
+    }
+
+    // Scheduled onsets sorted by time; rolled into `live_onset` as the
+    // simulation clock passes them (later wins as "last onset").
+    scheduled_onsets.sort_by_key(|&(_, t)| t);
+    let mut next_scheduled = 0usize;
+    while let Some(Reverse((t, u))) = queue.pop() {
+        while next_scheduled < scheduled_onsets.len() && scheduled_onsets[next_scheduled].1 <= t {
+            let (c, at) = scheduled_onsets[next_scheduled];
+            if !live_onset.is_empty() {
+                live_onset[c] = Some(at);
+            }
+            next_scheduled += 1;
+        }
+        if !cfg.window.contains(t) || adoption_time[u as usize].is_some() {
+            continue;
+        }
+        adoption_time[u as usize] = Some(t);
+        // The adoption post plus geometric repeats.
+        let mut post_time = t;
+        let mut first = true;
+        loop {
+            posts.push(make_post(rng, graph, UserId(u), post_time, cfg.keyword, !first));
+            if !rng.gen_bool(cfg.repeat_post_prob) {
+                break;
+            }
+            post_time = post_time + Duration(exp_sample(rng, cfg.repeat_gap_mean.0 as f64) as i64 + 1);
+            if !cfg.window.contains(post_time) {
+                break;
+            }
+            first = false;
+        }
+        // Expose followers, with attention dilution for large audiences.
+        let audience = graph.follower_count(u) as f64;
+        let eff_prob =
+            (cfg.adoption_prob * cfg.attention_ref / (cfg.attention_ref + audience)).clamp(0.0, 1.0);
+        for &f in graph.followers(u) {
+            // Onset contagion: an exposure can ignite an eligible,
+            // not-yet-onset community (see [`CommunityAffinity`]). The
+            // exposed follower is the "importer": they adopt (after the
+            // ignition lag), guaranteeing the ignited burst has a member
+            // with an edge back to the parent burst — the inter-burst
+            // links the level-by-level walk travels on.
+            if let Some(aff) = &cfg.affinity {
+                let c = aff.labels[f as usize] as usize;
+                let quiet = match live_onset.get(c).copied().flatten() {
+                    None => true,
+                    Some(last) => t.since(last) > aff.reignition_cooldown,
+                };
+                if aff.eligible.get(c).copied().unwrap_or(false)
+                    && quiet
+                    && rng.gen_bool(aff.onset_contagion)
+                {
+                    let lag = Duration(
+                        exp_sample(rng, aff.ignition_lag_mean.0.max(1) as f64) as i64
+                    );
+                    let onset_at = t + lag;
+                    if cfg.window.contains(onset_at) {
+                        live_onset[c] = Some(onset_at);
+                        if adoption_time[f as usize].is_none() {
+                            let when = onset_at + cfg.delay.sample(rng);
+                            if cfg.window.contains(when) {
+                                queue.push(Reverse((when, f)));
+                            }
+                        }
+                    }
+                }
+            }
+            let p = match &cfg.affinity {
+                Some(aff) => eff_prob * aff.factor(&live_onset, f, t),
+                None => eff_prob,
+            };
+            if adoption_time[f as usize].is_none() && rng.gen_bool(p.clamp(0.0, 1.0)) {
+                let when = t + cfg.delay.sample(rng);
+                if cfg.window.contains(when) {
+                    queue.push(Reverse((when, f)));
+                }
+            }
+        }
+    }
+
+    CascadeOutcome { keyword: cfg.keyword, adoption_time, posts }
+}
+
+/// Guarantees the cascade has posts inside the trailing week of its window
+/// so the (week-limited) search API can always seed a walk — mirroring the
+/// real platforms, where a term that ever trended keeps a trickle of posts.
+///
+/// If no post falls in `[window.end − 1 week, window.end)`, up to three
+/// existing adopters post again at random times inside that week; if the
+/// cascade has no adopters at all, three fresh users adopt there.
+pub fn ensure_recent_activity<R: Rng>(
+    rng: &mut R,
+    graph: &DirectedGraph,
+    cfg: &CascadeConfig,
+    outcome: &mut CascadeOutcome,
+) {
+    let week = TimeWindow::trailing(cfg.window.end, Duration::WEEK);
+    if outcome.posts.iter().any(|p| week.contains(p.time)) {
+        return;
+    }
+    let adopters: Vec<u32> = outcome
+        .adoption_time
+        .iter()
+        .enumerate()
+        .filter_map(|(u, t)| t.map(|_| u as u32))
+        .collect();
+    let span = week.length().0.max(1);
+    for i in 0..3 {
+        let t = week.start + Duration(rng.gen_range(0..span));
+        let author = if adopters.is_empty() {
+            let u = rng.gen_range(0..graph.node_count() as u32);
+            if outcome.adoption_time[u as usize].is_none() {
+                outcome.adoption_time[u as usize] = Some(t);
+            }
+            u
+        } else {
+            adopters[rng.gen_range(0..adopters.len())]
+        };
+        let repost = !adopters.is_empty() || i > 0;
+        let mut post = make_post(rng, graph, UserId(author), t, cfg.keyword, repost);
+        // Keep any forced first mention consistent with adoption time.
+        if outcome.adoption_time[author as usize] == Some(t) {
+            post.is_repost = false;
+        }
+        outcome.posts.push(post);
+    }
+}
+
+/// Builds one keyword post; likes scale with the author's follower count.
+fn make_post<R: Rng>(
+    rng: &mut R,
+    graph: &DirectedGraph,
+    author: UserId,
+    time: Timestamp,
+    keyword: KeywordId,
+    is_repost: bool,
+) -> PostDraft {
+    let followers = graph.follower_count(author.0) as f64;
+    // Engagement: each follower likes with ~2% probability, plus noise.
+    let lambda = followers * 0.02 + 0.2;
+    let likes = poisson(rng, lambda.min(500.0)) as u32;
+    let chars = rng.gen_range(20..140) as u16;
+    PostDraft { author, time, keywords: vec![keyword], likes, chars, is_repost }
+}
+
+/// Exponential sample with the given mean.
+pub(crate) fn exp_sample<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    -mean * u.ln()
+}
+
+/// Poisson sample (Knuth's method; fine for the small λ used here,
+/// normal approximation above 50).
+pub(crate) fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda > 50.0 {
+        // Normal approximation.
+        let z: f64 = {
+            // Box–Muller.
+            let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(1e-12), rng.gen());
+            (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+        };
+        return (lambda + z * lambda.sqrt()).round().max(0.0) as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{community_preferential, CommunityGraphConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_graph(seed: u64) -> DirectedGraph {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = CommunityGraphConfig { nodes: 3_000, communities: 15, ..Default::default() };
+        community_preferential(&mut rng, &cfg).0
+    }
+
+    fn window() -> TimeWindow {
+        TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(100))
+    }
+
+    #[test]
+    fn adoptions_inside_window_and_consistent_with_posts() {
+        let g = test_graph(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let cfg = CascadeConfig::new(KeywordId(0), window());
+        let out = simulate(&mut rng, &g, &cfg);
+        assert!(out.adopter_count() > 10, "cascade died instantly");
+        for (u, t) in out.adoption_time.iter().enumerate() {
+            if let Some(t) = t {
+                assert!(cfg.window.contains(*t), "adoption outside window");
+                // The user's earliest post is exactly the adoption time.
+                let first = out
+                    .posts
+                    .iter()
+                    .filter(|p| p.author.0 == u as u32)
+                    .map(|p| p.time)
+                    .min()
+                    .expect("adopter has posts");
+                assert_eq!(first, *t);
+            }
+        }
+        // Non-adopters have no posts.
+        for p in &out.posts {
+            assert!(out.adoption_time[p.author.index()].is_some());
+            assert!(cfg.window.contains(p.time));
+            assert_eq!(p.keywords, vec![KeywordId(0)]);
+        }
+    }
+
+    #[test]
+    fn delay_mixture_spreads_over_days() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let dm = DelayModel::default();
+        let n = 10_000;
+        let samples: Vec<Duration> = (0..n).map(|_| dm.sample(&mut rng)).collect();
+        let frac_below = |d: Duration| {
+            samples.iter().filter(|&&s| s <= d).count() as f64 / n as f64
+        };
+        // Fast mode: a visible same-hours reaction share.
+        let hourly = frac_below(Duration::HOUR);
+        assert!((0.10..0.35).contains(&hourly), "P(<1h) = {hourly}");
+        // Most adoption reactions land within a couple of days.
+        let two_days = frac_below(Duration::days(2));
+        assert!(two_days > 0.75, "P(<2d) = {two_days}");
+        // ...but a real next-day tail exists (adjacent-level edges).
+        let same_day = frac_below(Duration::DAY);
+        assert!(same_day < 0.95, "P(<1d) = {same_day}");
+    }
+
+    #[test]
+    fn spikes_create_adoption_bursts() {
+        let g = test_graph(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut cfg = CascadeConfig::new(KeywordId(0), window());
+        cfg.initial_seeds = 0;
+        cfg.background_rate_per_day = 0.0;
+        cfg.spikes = vec![Spike { time: Timestamp::at_day(50), seeds: 100 }];
+        let out = simulate(&mut rng, &g, &cfg);
+        let before =
+            out.adoption_time.iter().flatten().filter(|&&t| t < Timestamp::at_day(50)).count();
+        let after = out.adopter_count() - before;
+        assert_eq!(before, 0, "nothing should happen before the spike");
+        assert!(after >= 100);
+    }
+
+    #[test]
+    fn higher_adoption_prob_spreads_further() {
+        let g = test_graph(6);
+        let mut cfg_lo = CascadeConfig::new(KeywordId(0), window());
+        cfg_lo.adoption_prob = 0.005;
+        let mut cfg_hi = cfg_lo.clone();
+        cfg_hi.adoption_prob = 0.08;
+        let lo = simulate(&mut ChaCha8Rng::seed_from_u64(7), &g, &cfg_lo);
+        let hi = simulate(&mut ChaCha8Rng::seed_from_u64(7), &g, &cfg_hi);
+        assert!(
+            hi.adopter_count() > 2 * lo.adopter_count(),
+            "hi {} vs lo {}",
+            hi.adopter_count(),
+            lo.adopter_count()
+        );
+    }
+
+    #[test]
+    fn keyword_selectivity_is_small() {
+        // The paper stresses that keyword predicates match a tiny fraction
+        // of all users (~0.4% for privacy). Default config keeps it small.
+        let g = test_graph(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let cfg = CascadeConfig::new(KeywordId(0), window());
+        let out = simulate(&mut rng, &g, &cfg);
+        let frac = out.adopter_count() as f64 / g.node_count() as f64;
+        assert!(frac < 0.5, "keyword matched {frac} of all users");
+    }
+
+    #[test]
+    fn poisson_mean_is_right() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        for &lambda in &[0.5, 4.0, 80.0] {
+            let n = 5_000;
+            let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!((mean - lambda).abs() < lambda * 0.1 + 0.1, "λ={lambda} mean={mean}");
+        }
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn exp_sample_mean_is_right() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp_sample(&mut rng, 100.0)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 5.0, "mean {mean}");
+    }
+}

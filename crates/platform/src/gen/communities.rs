@@ -1,0 +1,270 @@
+//! The workhorse generator: preferential attachment with planted
+//! communities.
+//!
+//! Produces a directed follower graph whose undirected view has (a)
+//! heavy-tailed degrees, (b) strong community structure (most arcs stay
+//! inside a node's community), and (c) substantial reciprocity. These are
+//! the three ingredients the paper's analysis leans on: keyword cascades
+//! travel fast inside communities, creating the intra-level edges the
+//! level-by-level subgraph removes.
+
+use microblog_graph::DirectedGraph;
+use rand::Rng;
+
+/// Configuration for [`community_preferential`].
+#[derive(Clone, Copy, Debug)]
+pub struct CommunityGraphConfig {
+    /// Total number of users.
+    pub nodes: usize,
+    /// Number of planted communities (>= 1).
+    pub communities: usize,
+    /// Probability that an arc targets the follower's own community.
+    pub intra_prob: f64,
+    /// Probability that a followed user follows back.
+    pub reciprocity: f64,
+    /// Mean out-degree (followees per user).
+    pub mean_out_degree: f64,
+    /// Pareto tail exponent of the out-degree distribution (> 1).
+    pub pareto_alpha: f64,
+    /// Hard cap on out-degree.
+    pub max_out_degree: usize,
+    /// Probability that a new arc closes a triangle (friend-of-friend
+    /// following). Triadic closure is what makes communities
+    /// *triangle-dense*, so that users adopting a keyword together share
+    /// many common neighbors — the Table 2 phenomenon the paper exploits.
+    pub triadic_closure: f64,
+}
+
+impl Default for CommunityGraphConfig {
+    fn default() -> Self {
+        CommunityGraphConfig {
+            nodes: 10_000,
+            communities: 50,
+            intra_prob: 0.7,
+            reciprocity: 0.25,
+            mean_out_degree: 20.0,
+            pareto_alpha: 2.3,
+            max_out_degree: 2_000,
+            triadic_closure: 0.4,
+        }
+    }
+}
+
+/// Generates the graph; returns it together with each node's community
+/// label (`0..cfg.communities`).
+///
+/// Community sizes follow a Zipf profile (community 0 largest), matching
+/// the uneven interest-group sizes of real platforms.
+///
+/// # Panics
+/// Panics if `nodes < 2`, `communities == 0`, or `pareto_alpha <= 1`.
+pub fn community_preferential<R: Rng>(
+    rng: &mut R,
+    cfg: &CommunityGraphConfig,
+) -> (DirectedGraph, Vec<u32>) {
+    assert!(cfg.nodes >= 2, "need at least two nodes");
+    assert!(cfg.communities >= 1, "need at least one community");
+    assert!(cfg.pareto_alpha > 1.0, "pareto_alpha must exceed 1");
+
+    // Zipf community weights.
+    let weights: Vec<f64> = (0..cfg.communities).map(|c| 1.0 / (c as f64 + 1.0)).collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut community = Vec::with_capacity(cfg.nodes);
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cfg.communities];
+    for u in 0..cfg.nodes as u32 {
+        let mut x = rng.gen::<f64>() * total_w;
+        let mut c = cfg.communities - 1;
+        for (i, w) in weights.iter().enumerate() {
+            if x < *w {
+                c = i;
+                break;
+            }
+            x -= w;
+        }
+        community.push(c as u32);
+        members[c].push(u);
+    }
+    // Guarantee no empty community (steal from the largest).
+    for c in 0..cfg.communities {
+        if members[c].is_empty() {
+            let donor = (0..cfg.communities).max_by_key(|&i| members[i].len()).expect("nonempty");
+            let node = members[donor].pop().expect("donor has members");
+            members[c].push(node);
+            community[node as usize] = c as u32;
+        }
+    }
+
+    // Popularity urns: repeated endpoints realize preferential attachment.
+    let mut global_urn: Vec<u32> = Vec::new();
+    let mut comm_urn: Vec<Vec<u32>> = vec![Vec::new(); cfg.communities];
+    // Pareto out-degrees with the requested mean.
+    let x_m = cfg.mean_out_degree * (cfg.pareto_alpha - 1.0) / cfg.pareto_alpha;
+    let mut arcs: Vec<(u32, u32)> = Vec::with_capacity((cfg.nodes as f64 * cfg.mean_out_degree) as usize);
+
+    // Out-adjacency so far, for triadic closure.
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); cfg.nodes];
+    for u in 0..cfg.nodes as u32 {
+        let d = (x_m * rng.gen::<f64>().powf(-1.0 / cfg.pareto_alpha)).round() as usize;
+        let d = d.clamp(1, cfg.max_out_degree).min(cfg.nodes - 1);
+        let own = community[u as usize] as usize;
+        for _ in 0..d {
+            let v = triadic_target(rng, u, &out, cfg.triadic_closure).unwrap_or_else(|| {
+                let intra = rng.gen_bool(cfg.intra_prob);
+                pick_target(rng, u, intra.then_some(own), &members, &comm_urn, &global_urn, cfg.nodes)
+            });
+            arcs.push((u, v));
+            out[u as usize].push(v);
+            let vc = community[v as usize] as usize;
+            comm_urn[vc].push(v);
+            global_urn.push(v);
+            if rng.gen_bool(cfg.reciprocity) {
+                arcs.push((v, u));
+                out[v as usize].push(u);
+                comm_urn[own].push(u);
+                global_urn.push(u);
+            }
+        }
+    }
+    (DirectedGraph::from_arcs(cfg.nodes, arcs), community)
+}
+
+/// With probability `closure`, picks a friend-of-friend of `u` (closing a
+/// triangle); `None` when the coin or the local structure says otherwise.
+fn triadic_target<R: Rng>(rng: &mut R, u: u32, out: &[Vec<u32>], closure: f64) -> Option<u32> {
+    if !rng.gen_bool(closure) {
+        return None;
+    }
+    let mine = &out[u as usize];
+    if mine.is_empty() {
+        return None;
+    }
+    let via = mine[rng.gen_range(0..mine.len())];
+    let theirs = &out[via as usize];
+    if theirs.is_empty() {
+        return None;
+    }
+    let w = theirs[rng.gen_range(0..theirs.len())];
+    (w != u && !mine.contains(&w)).then_some(w)
+}
+
+/// Picks a follow target: from the community pool when `comm` is given,
+/// otherwise globally; preferential via urns with uniform smoothing.
+fn pick_target<R: Rng>(
+    rng: &mut R,
+    follower: u32,
+    comm: Option<usize>,
+    members: &[Vec<u32>],
+    comm_urn: &[Vec<u32>],
+    global_urn: &[u32],
+    n: usize,
+) -> u32 {
+    for _ in 0..32 {
+        let v = match comm {
+            Some(c) => {
+                let urn = &comm_urn[c];
+                if !urn.is_empty() && rng.gen_bool(0.75) {
+                    urn[rng.gen_range(0..urn.len())]
+                } else {
+                    members[c][rng.gen_range(0..members[c].len())]
+                }
+            }
+            None => {
+                if !global_urn.is_empty() && rng.gen_bool(0.75) {
+                    global_urn[rng.gen_range(0..global_urn.len())]
+                } else {
+                    rng.gen_range(0..n as u32)
+                }
+            }
+        };
+        if v != follower {
+            return v;
+        }
+    }
+    // Fallback: deterministic non-self node.
+    if follower == 0 {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_graph::modularity::modularity;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_cfg() -> CommunityGraphConfig {
+        CommunityGraphConfig {
+            nodes: 2_000,
+            communities: 10,
+            intra_prob: 0.8,
+            reciprocity: 0.25,
+            mean_out_degree: 12.0,
+            pareto_alpha: 2.3,
+            max_out_degree: 300,
+            triadic_closure: 0.4,
+        }
+    }
+
+    #[test]
+    fn planted_communities_have_high_modularity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let (g, labels) = community_preferential(&mut rng, &small_cfg());
+        let q = modularity(&g.to_undirected(), &labels);
+        assert!(q > 0.3, "modularity {q} too low — communities not planted");
+    }
+
+    #[test]
+    fn intra_arc_fraction_tracks_config() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let (g, labels) = community_preferential(&mut rng, &small_cfg());
+        let mut intra = 0usize;
+        let mut total = 0usize;
+        for u in 0..g.node_count() as u32 {
+            for &v in g.followees(u) {
+                total += 1;
+                if labels[u as usize] == labels[v as usize] {
+                    intra += 1;
+                }
+            }
+        }
+        let frac = intra as f64 / total as f64;
+        // Reciprocity and smoothing blur the target, but it stays high.
+        assert!(frac > 0.6, "intra fraction {frac}");
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed_and_capped() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let cfg = small_cfg();
+        let (g, _) = community_preferential(&mut rng, &cfg);
+        let max_in = (0..cfg.nodes as u32).map(|u| g.follower_count(u)).max().unwrap();
+        let mean = g.arc_count() as f64 / cfg.nodes as f64;
+        assert!(max_in as f64 > 5.0 * mean, "max in-degree {max_in}, mean {mean:.1}");
+        let max_out = (0..cfg.nodes as u32).map(|u| g.followee_count(u)).max().unwrap();
+        assert!(max_out <= cfg.max_out_degree + 1, "out-degree cap violated: {max_out}");
+    }
+
+    #[test]
+    fn every_community_nonempty_and_labels_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let cfg = CommunityGraphConfig { nodes: 50, communities: 20, ..small_cfg() };
+        let (_, labels) = community_preferential(&mut rng, &cfg);
+        for c in 0..20u32 {
+            assert!(labels.contains(&c), "community {c} empty");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CommunityGraphConfig { nodes: 300, ..small_cfg() };
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let mut b = ChaCha8Rng::seed_from_u64(5);
+        let (ga, la) = community_preferential(&mut a, &cfg);
+        let (gb, lb) = community_preferential(&mut b, &cfg);
+        assert_eq!(la, lb);
+        assert_eq!(ga.arc_count(), gb.arc_count());
+    }
+}

@@ -1,0 +1,41 @@
+//! Erdős–Rényi directed random graphs (G(n, m) variant).
+
+use microblog_graph::DirectedGraph;
+use rand::Rng;
+
+/// Generates a directed graph with `n` nodes and (up to) `arcs` uniformly
+/// random arcs (duplicates and self-loops are filtered by the builder, so
+/// the realized arc count may be slightly lower).
+///
+/// # Panics
+/// Panics if `n == 0` and `arcs > 0`.
+pub fn erdos_renyi<R: Rng>(rng: &mut R, n: usize, arcs: usize) -> DirectedGraph {
+    assert!(n > 0 || arcs == 0, "cannot place arcs in an empty graph");
+    let list: Vec<(u32, u32)> = (0..arcs)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    DirectedGraph::from_arcs(n, list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn arc_count_close_to_requested() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = erdos_renyi(&mut rng, 500, 3000);
+        assert_eq!(g.node_count(), 500);
+        // Collision losses are tiny at this density.
+        assert!(g.arc_count() > 2900 && g.arc_count() <= 3000, "arcs {}", g.arc_count());
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let g = erdos_renyi(&mut rng, 0, 0);
+        assert_eq!(g.node_count(), 0);
+    }
+}

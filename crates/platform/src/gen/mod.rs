@@ -1,0 +1,19 @@
+//! Directed social-graph generators.
+//!
+//! The experiments need follower graphs with the structural features the
+//! paper's design exploits: heavy-tailed in-degrees (celebrities), high
+//! reciprocity, and — crucially — tightly-knit communities within which
+//! keywords propagate quickly. [`community_preferential`] is the workhorse
+//! used by the scenarios; [`erdos_renyi`], [`watts_strogatz`] and
+//! [`barabasi_albert`] serve as structural baselines in tests and
+//! ablations.
+
+mod ba;
+mod communities;
+mod er;
+mod ws;
+
+pub use ba::{barabasi_albert, BarabasiAlbertConfig};
+pub use communities::{community_preferential, CommunityGraphConfig};
+pub use er::erdos_renyi;
+pub use ws::watts_strogatz;

@@ -1,0 +1,76 @@
+//! Watts–Strogatz small-world graphs (mutual-follow variant).
+//!
+//! Used as a structural baseline with high clustering but homogeneous
+//! degrees; every undirected lattice edge becomes a mutual follow.
+
+use microblog_graph::DirectedGraph;
+use rand::Rng;
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where each
+/// node is joined to its `k` nearest neighbors on each side, with every
+/// lattice edge rewired to a random endpoint with probability `beta`.
+/// All edges are mutual (arcs in both directions).
+///
+/// # Panics
+/// Panics if `n < 2 * k + 1` or `k == 0`.
+pub fn watts_strogatz<R: Rng>(rng: &mut R, n: usize, k: usize, beta: f64) -> DirectedGraph {
+    assert!(k >= 1, "k must be positive");
+    assert!(n >= 2 * k + 1, "ring too small for k = {k}");
+    let mut arcs = Vec::with_capacity(2 * n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let mut v = (u + j) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform non-self target.
+                loop {
+                    let cand = rng.gen_range(0..n);
+                    if cand != u {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            arcs.push((u as u32, v as u32));
+            arcs.push((v as u32, u as u32));
+        }
+    }
+    DirectedGraph::from_arcs(n, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_graph::metrics::avg_clustering;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = watts_strogatz(&mut rng, 20, 2, 0.0);
+        let u = g.to_undirected();
+        for node in 0..20u32 {
+            assert_eq!(u.degree(node), 4, "lattice degree");
+        }
+        assert!(u.contains_edge(0, 1));
+        assert!(u.contains_edge(0, 2));
+        assert!(u.contains_edge(0, 19));
+        assert!(u.contains_edge(0, 18));
+        assert!(!u.contains_edge(0, 3));
+    }
+
+    #[test]
+    fn rewiring_lowers_clustering() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let ordered = watts_strogatz(&mut rng, 300, 4, 0.0).to_undirected();
+        let rewired = watts_strogatz(&mut rng, 300, 4, 0.7).to_undirected();
+        assert!(avg_clustering(&ordered) > 2.0 * avg_clustering(&rewired));
+    }
+
+    #[test]
+    #[should_panic(expected = "ring too small")]
+    fn rejects_tiny_ring() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let _ = watts_strogatz(&mut rng, 4, 2, 0.0);
+    }
+}

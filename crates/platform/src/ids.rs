@@ -1,0 +1,66 @@
+//! Strongly-typed identifiers for platform entities.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a user account. Dense: `0..user_count`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+/// Identifier of a post. Dense: `0..post_count`, ordered by creation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PostId(pub u32);
+
+/// Interned keyword (hashtag / term) identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct KeywordId(pub u16);
+
+impl UserId {
+    /// The raw index, for adjacency lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl PostId {
+    /// The raw index into the platform's post table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl KeywordId {
+    /// The raw index into the keyword catalog.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl std::fmt::Display for PostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(UserId(3) < UserId(10));
+        assert_eq!(UserId(7).index(), 7);
+        assert_eq!(PostId(2).index(), 2);
+        assert_eq!(KeywordId(1).index(), 1);
+        assert_eq!(UserId(7).to_string(), "u7");
+        assert_eq!(PostId(9).to_string(), "p9");
+    }
+}

@@ -1,0 +1,220 @@
+//! Aggregate metrics `f(u)` and profile predicates.
+//!
+//! The paper's aggregates have the form `AGGR(f(u))` where `f` is a numeric
+//! per-user measure. [`UserMetric`] enumerates the measures used in the
+//! evaluation (number of followers, display-name length, keyword-post
+//! counts and likes), and [`evaluate_metric`] computes them from exactly
+//! the data a USER TIMELINE query exposes — profile, connection counts and
+//! visible posts — so the estimator side can never peek beyond the API.
+
+use crate::ids::KeywordId;
+use crate::post::Post;
+use crate::time::TimeWindow;
+use crate::user::{Gender, UserProfile};
+use serde::{Deserialize, Serialize};
+
+/// A numeric per-user measure `f(u)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UserMetric {
+    /// Number of followers (Fig. 2, 8, 9 — the high-variance metric).
+    FollowerCount,
+    /// Number of followees.
+    FolloweeCount,
+    /// Display-name length in characters (Fig. 11, 12 — low variance).
+    DisplayNameLength,
+    /// Constant 1 — turns SUM into COUNT of users.
+    One,
+    /// Number of visible posts mentioning the query keyword (in-window);
+    /// SUM of this is the COUNT of matching *posts*.
+    KeywordPostCount,
+    /// Total likes on visible keyword posts (in-window); the Tumblr
+    /// experiment (Fig. 14) is SUM(likes)/SUM(posts).
+    KeywordPostLikes,
+    /// Number of visible posts of any kind.
+    TotalPostCount,
+    /// Account age in days at the scenario epoch.
+    AccountAgeDays,
+    /// Self-reported age in years (0.0 when undisclosed; combine with
+    /// [`ProfilePredicate::AgeDisclosed`] for meaningful averages).
+    AgeYears,
+}
+
+/// The data available about one user after a USER TIMELINE query.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricInputs<'a> {
+    /// Profile returned with the timeline.
+    pub profile: &'a UserProfile,
+    /// Follower count as reported on the profile.
+    pub follower_count: usize,
+    /// Followee count as reported on the profile.
+    pub followee_count: usize,
+    /// Visible posts, most recent first (possibly truncated by the
+    /// platform's timeline cap, e.g. 3200 on Twitter).
+    pub posts: &'a [Post],
+}
+
+/// Evaluates `metric` for a user. `keyword`/`window` scope the
+/// keyword-dependent metrics; when `window` is `None` all visible posts
+/// qualify.
+pub fn evaluate_metric(
+    metric: UserMetric,
+    inputs: &MetricInputs<'_>,
+    keyword: Option<KeywordId>,
+    window: Option<TimeWindow>,
+) -> f64 {
+    let in_window = |p: &Post| window.map_or(true, |w| w.contains(p.time));
+    match metric {
+        UserMetric::FollowerCount => inputs.follower_count as f64,
+        UserMetric::FolloweeCount => inputs.followee_count as f64,
+        UserMetric::DisplayNameLength => inputs.profile.display_name_len() as f64,
+        UserMetric::One => 1.0,
+        UserMetric::KeywordPostCount => match keyword {
+            Some(kw) => {
+                inputs.posts.iter().filter(|p| p.mentions(kw) && in_window(p)).count() as f64
+            }
+            None => 0.0,
+        },
+        UserMetric::KeywordPostLikes => match keyword {
+            Some(kw) => inputs
+                .posts
+                .iter()
+                .filter(|p| p.mentions(kw) && in_window(p))
+                .map(|p| p.likes as f64)
+                .sum(),
+            None => 0.0,
+        },
+        UserMetric::TotalPostCount => inputs.posts.len() as f64,
+        UserMetric::AccountAgeDays => {
+            (-inputs.profile.joined.0) as f64 / crate::time::Duration::DAY.0 as f64
+        }
+        UserMetric::AgeYears => inputs.profile.age.map_or(0.0, |a| a as f64),
+    }
+}
+
+/// A selection predicate over profile attributes (the CONDITION clause
+/// beyond the keyword and time window).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ProfilePredicate {
+    /// Profile gender equals the given value (Fig. 13: COUNT of male users).
+    GenderIs(Gender),
+    /// Profile region equals the given bucket.
+    RegionIs(u8),
+    /// Follower count at least this large.
+    MinFollowers(usize),
+    /// Follower count below this bound.
+    MaxFollowers(usize),
+    /// Profile discloses an age.
+    AgeDisclosed,
+    /// Disclosed age at least this (undisclosed never matches).
+    MinAge(u8),
+}
+
+impl ProfilePredicate {
+    /// Whether the user satisfies the predicate.
+    pub fn matches(&self, profile: &UserProfile, follower_count: usize) -> bool {
+        match *self {
+            ProfilePredicate::GenderIs(g) => profile.gender == g,
+            ProfilePredicate::RegionIs(r) => profile.region == r,
+            ProfilePredicate::MinFollowers(k) => follower_count >= k,
+            ProfilePredicate::MaxFollowers(k) => follower_count < k,
+            ProfilePredicate::AgeDisclosed => profile.age.is_some(),
+            ProfilePredicate::MinAge(a) => profile.age.map_or(false, |x| x >= a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{PostId, UserId};
+    use crate::time::Timestamp;
+
+    fn profile() -> UserProfile {
+        UserProfile {
+            display_name: "Ana Belle".into(),
+            gender: Gender::Female,
+            region: 3,
+            age: Some(27),
+            joined: Timestamp(-86_400 * 10),
+        }
+    }
+
+    fn post(t: i64, kws: &[u16], likes: u32) -> Post {
+        Post {
+            id: PostId(0),
+            author: UserId(0),
+            time: Timestamp(t),
+            keywords: kws.iter().map(|&k| KeywordId(k)).collect(),
+            likes,
+            chars: 80,
+            is_repost: false,
+        }
+    }
+
+    #[test]
+    fn metrics_from_profile() {
+        let p = profile();
+        let posts = [post(5, &[1], 3)];
+        let inputs =
+            MetricInputs { profile: &p, follower_count: 7, followee_count: 4, posts: &posts };
+        assert_eq!(evaluate_metric(UserMetric::FollowerCount, &inputs, None, None), 7.0);
+        assert_eq!(evaluate_metric(UserMetric::FolloweeCount, &inputs, None, None), 4.0);
+        assert_eq!(evaluate_metric(UserMetric::DisplayNameLength, &inputs, None, None), 9.0);
+        assert_eq!(evaluate_metric(UserMetric::One, &inputs, None, None), 1.0);
+        assert_eq!(evaluate_metric(UserMetric::TotalPostCount, &inputs, None, None), 1.0);
+        assert_eq!(evaluate_metric(UserMetric::AccountAgeDays, &inputs, None, None), 10.0);
+    }
+
+    #[test]
+    fn keyword_metrics_respect_window() {
+        let p = profile();
+        let posts = [post(5, &[1], 3), post(50, &[1, 2], 10), post(500, &[1], 100)];
+        let inputs =
+            MetricInputs { profile: &p, follower_count: 0, followee_count: 0, posts: &posts };
+        let kw = Some(KeywordId(1));
+        let w = Some(TimeWindow::new(Timestamp(0), Timestamp(100)));
+        assert_eq!(evaluate_metric(UserMetric::KeywordPostCount, &inputs, kw, w), 2.0);
+        assert_eq!(evaluate_metric(UserMetric::KeywordPostLikes, &inputs, kw, w), 13.0);
+        // No window: all three count.
+        assert_eq!(evaluate_metric(UserMetric::KeywordPostCount, &inputs, kw, None), 3.0);
+        // Wrong keyword.
+        assert_eq!(
+            evaluate_metric(UserMetric::KeywordPostCount, &inputs, Some(KeywordId(9)), None),
+            0.0
+        );
+        // Keyword metric without keyword is zero.
+        assert_eq!(evaluate_metric(UserMetric::KeywordPostCount, &inputs, None, None), 0.0);
+    }
+
+    #[test]
+    fn predicates() {
+        let p = profile();
+        assert!(ProfilePredicate::GenderIs(Gender::Female).matches(&p, 0));
+        assert!(!ProfilePredicate::GenderIs(Gender::Male).matches(&p, 0));
+        assert!(ProfilePredicate::RegionIs(3).matches(&p, 0));
+        assert!(!ProfilePredicate::RegionIs(4).matches(&p, 0));
+        assert!(ProfilePredicate::MinFollowers(5).matches(&p, 5));
+        assert!(!ProfilePredicate::MinFollowers(5).matches(&p, 4));
+        assert!(ProfilePredicate::MaxFollowers(5).matches(&p, 4));
+        assert!(!ProfilePredicate::MaxFollowers(5).matches(&p, 5));
+        assert!(ProfilePredicate::AgeDisclosed.matches(&p, 0));
+        assert!(ProfilePredicate::MinAge(27).matches(&p, 0));
+        assert!(!ProfilePredicate::MinAge(28).matches(&p, 0));
+        let mut anon = p.clone();
+        anon.age = None;
+        assert!(!ProfilePredicate::AgeDisclosed.matches(&anon, 0));
+        assert!(!ProfilePredicate::MinAge(1).matches(&anon, 0));
+    }
+
+    #[test]
+    fn age_metric() {
+        let p = profile();
+        let inputs = MetricInputs { profile: &p, follower_count: 0, followee_count: 0, posts: &[] };
+        assert_eq!(evaluate_metric(UserMetric::AgeYears, &inputs, None, None), 27.0);
+        let mut anon = p.clone();
+        anon.age = None;
+        let inputs =
+            MetricInputs { profile: &anon, follower_count: 0, followee_count: 0, posts: &[] };
+        assert_eq!(evaluate_metric(UserMetric::AgeYears, &inputs, None, None), 0.0);
+    }
+}

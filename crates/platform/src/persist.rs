@@ -1,0 +1,251 @@
+//! Platform persistence: save and reload whole worlds.
+//!
+//! Scenario construction is deterministic given a seed, but large worlds
+//! take a while to simulate; persisting a built [`Platform`] lets the
+//! experiment harness (and downstream users) reuse one world across many
+//! runs and ship reproducible fixtures. The snapshot is a plain
+//! serde-serializable value — JSON here, but any serde format works.
+
+use crate::ids::PostId;
+use crate::platform::Platform;
+use crate::post::{KeywordCatalog, Post};
+use crate::time::Timestamp;
+use crate::user::UserProfile;
+use microblog_graph::DirectedGraph;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A self-contained, serializable image of a [`Platform`].
+///
+/// Indexes (timelines, keyword index) are *not* stored — they are
+/// reconstructed on load, which keeps snapshots small and guarantees the
+/// loaded platform is internally consistent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlatformSnapshot {
+    /// Snapshot format version.
+    pub version: u32,
+    /// Number of users.
+    pub user_count: usize,
+    /// Follower arcs `u -> v`.
+    pub arcs: Vec<(u32, u32)>,
+    /// User profiles, by id.
+    pub users: Vec<UserProfile>,
+    /// All posts (creation-ordered).
+    pub posts: Vec<Post>,
+    /// Keyword catalog.
+    pub keywords: KeywordCatalog,
+    /// Platform clock.
+    pub now: Timestamp,
+    /// Planted community labels, if kept.
+    pub community: Option<Vec<u32>>,
+}
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Errors from snapshot load/save.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed snapshot payload.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            PersistError::Format(m) => write!(f, "snapshot format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl Platform {
+    /// Captures a serializable snapshot of this platform.
+    pub fn to_snapshot(&self) -> PlatformSnapshot {
+        PlatformSnapshot {
+            version: SNAPSHOT_VERSION,
+            user_count: self.user_count(),
+            arcs: self.graph.arcs().collect(),
+            users: self.users.clone(),
+            posts: self.posts.clone(),
+            keywords: self.keywords.clone(),
+            now: self.now,
+            community: self.community.clone(),
+        }
+    }
+
+    /// Rebuilds a platform from a snapshot, reconstructing all indexes.
+    ///
+    /// Fails if the snapshot is internally inconsistent (bad ids, unsorted
+    /// post times, version mismatch).
+    pub fn from_snapshot(snapshot: PlatformSnapshot) -> Result<Platform, PersistError> {
+        if snapshot.version != SNAPSHOT_VERSION {
+            return Err(PersistError::Format(format!(
+                "unsupported snapshot version {}",
+                snapshot.version
+            )));
+        }
+        if snapshot.users.len() != snapshot.user_count {
+            return Err(PersistError::Format("user count mismatch".into()));
+        }
+        if let Some(labels) = &snapshot.community {
+            if labels.len() != snapshot.user_count {
+                return Err(PersistError::Format("community label count mismatch".into()));
+            }
+        }
+        for &(u, v) in &snapshot.arcs {
+            if u as usize >= snapshot.user_count || v as usize >= snapshot.user_count {
+                return Err(PersistError::Format(format!("arc ({u},{v}) out of range")));
+            }
+        }
+        let mut timelines: Vec<Vec<PostId>> = vec![Vec::new(); snapshot.user_count];
+        let mut max_kw = 0usize;
+        for (i, post) in snapshot.posts.iter().enumerate() {
+            if post.id.index() != i {
+                return Err(PersistError::Format(format!(
+                    "post {} has id {} (must be dense, in order)",
+                    i, post.id
+                )));
+            }
+            if post.author.index() >= snapshot.user_count {
+                return Err(PersistError::Format(format!("post {} author out of range", post.id)));
+            }
+            if i > 0 && snapshot.posts[i - 1].time > post.time {
+                return Err(PersistError::Format("posts not time-ordered".into()));
+            }
+            max_kw = max_kw.max(post.keywords.last().map_or(0, |k| k.index() + 1));
+            timelines[post.author.index()].push(post.id);
+        }
+        if max_kw > snapshot.keywords.len() {
+            return Err(PersistError::Format("post references unknown keyword".into()));
+        }
+        let mut keyword_index: Vec<Vec<PostId>> = vec![Vec::new(); snapshot.keywords.len()];
+        for post in &snapshot.posts {
+            for &kw in &post.keywords {
+                keyword_index[kw.index()].push(post.id);
+            }
+        }
+        for t in &mut timelines {
+            t.reverse(); // most recent first
+        }
+        Ok(Platform {
+            graph: DirectedGraph::from_arcs(snapshot.user_count, snapshot.arcs),
+            users: snapshot.users,
+            posts: snapshot.posts,
+            timelines,
+            keyword_index,
+            keywords: snapshot.keywords,
+            now: snapshot.now,
+            community: snapshot.community,
+        })
+    }
+
+    /// Serializes the platform as JSON to `writer`.
+    pub fn save_json<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        serde_json::to_writer(writer, &self.to_snapshot())
+            .map_err(|e| PersistError::Format(e.to_string()))
+    }
+
+    /// Deserializes a platform from JSON.
+    pub fn load_json<R: Read>(reader: R) -> Result<Platform, PersistError> {
+        let snapshot: PlatformSnapshot =
+            serde_json::from_reader(reader).map_err(|e| PersistError::Format(e.to_string()))?;
+        Platform::from_snapshot(snapshot)
+    }
+
+    /// Saves to a file path (JSON).
+    pub fn save_to_file(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        self.save_json(std::io::BufWriter::new(file))
+    }
+
+    /// Loads from a file path (JSON).
+    pub fn load_from_file(path: impl AsRef<Path>) -> Result<Platform, PersistError> {
+        let file = std::fs::File::open(path)?;
+        Platform::load_json(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{twitter_2013, Scale};
+    use crate::truth::{exact_avg, exact_count, Condition};
+    use crate::{TimeWindow, UserId, UserMetric};
+
+    fn world() -> Platform {
+        twitter_2013(Scale::Tiny, 501).platform
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything_observable() {
+        let p = world();
+        let mut buf = Vec::new();
+        p.save_json(&mut buf).unwrap();
+        let q = Platform::load_json(buf.as_slice()).unwrap();
+
+        assert_eq!(p.user_count(), q.user_count());
+        assert_eq!(p.post_count(), q.post_count());
+        assert_eq!(p.now(), q.now());
+        assert_eq!(p.keywords().len(), q.keywords().len());
+        assert_eq!(p.community_labels(), q.community_labels());
+        // Graph equality via adjacency samples.
+        for u in (0..p.user_count() as u32).step_by(97) {
+            assert_eq!(p.followers(UserId(u)), q.followers(UserId(u)));
+            assert_eq!(p.followees(UserId(u)), q.followees(UserId(u)));
+            assert_eq!(p.timeline(UserId(u)), q.timeline(UserId(u)));
+        }
+        // Ground truths agree.
+        let kw = p.keywords().get("boston").unwrap();
+        let window = TimeWindow::new(Timestamp::EPOCH, p.now());
+        let cond = Condition::keyword(kw).in_window(window);
+        assert_eq!(exact_count(&p, &cond), exact_count(&q, &cond));
+        assert_eq!(
+            exact_avg(&p, &cond, UserMetric::FollowerCount),
+            exact_avg(&q, &cond, UserMetric::FollowerCount)
+        );
+    }
+
+    #[test]
+    fn corrupted_snapshots_are_rejected() {
+        let p = world();
+        let mut snap = p.to_snapshot();
+        snap.version = 99;
+        assert!(matches!(Platform::from_snapshot(snap), Err(PersistError::Format(_))));
+
+        let mut snap = p.to_snapshot();
+        snap.users.pop();
+        assert!(Platform::from_snapshot(snap).is_err());
+
+        let mut snap = p.to_snapshot();
+        snap.arcs.push((0, u32::MAX));
+        assert!(Platform::from_snapshot(snap).is_err());
+
+        let mut snap = p.to_snapshot();
+        if snap.posts.len() >= 2 {
+            snap.posts.swap(0, 1);
+            assert!(Platform::from_snapshot(snap).is_err());
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let p = world();
+        let path = std::env::temp_dir().join("ma_platform_snapshot_test.json");
+        p.save_to_file(&path).unwrap();
+        let q = Platform::load_from_file(&path).unwrap();
+        assert_eq!(p.post_count(), q.post_count());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,378 @@
+//! The platform store: users, posts, timelines and indexes.
+//!
+//! [`Platform`] is the complete state of the simulated microblog service.
+//! Access-limited views of it (the three API queries of §2 of the paper)
+//! are provided by the `microblog-api` crate; exact ground truth is
+//! computed by [`crate::truth`]. Nothing in the analyzer is allowed to
+//! touch `Platform` directly — only through the rate-limited API.
+
+use crate::cascade::{exp_sample, poisson, CascadeOutcome, PostDraft};
+use crate::ids::{KeywordId, PostId, UserId};
+use crate::post::{KeywordCatalog, Post};
+use crate::time::{Duration, TimeWindow, Timestamp};
+use crate::user::UserProfile;
+use microblog_graph::DirectedGraph;
+use rand::Rng;
+
+/// The immutable, fully-built platform state.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    pub(crate) graph: DirectedGraph,
+    pub(crate) users: Vec<UserProfile>,
+    pub(crate) posts: Vec<Post>,
+    /// Per-user post ids, most recent first (like real timeline APIs).
+    pub(crate) timelines: Vec<Vec<PostId>>,
+    /// Per-keyword post ids, oldest first.
+    pub(crate) keyword_index: Vec<Vec<PostId>>,
+    pub(crate) keywords: KeywordCatalog,
+    pub(crate) now: Timestamp,
+    /// Planted community labels when the generator provides them.
+    pub(crate) community: Option<Vec<u32>>,
+}
+
+impl Platform {
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of posts ever published.
+    pub fn post_count(&self) -> usize {
+        self.posts.len()
+    }
+
+    /// The platform's current clock ("today" for the search API window).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    /// Profile of `u`.
+    ///
+    /// # Panics
+    /// Panics on an unknown user id.
+    pub fn profile(&self, u: UserId) -> &UserProfile {
+        &self.users[u.index()]
+    }
+
+    /// The follower graph.
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+
+    /// Users following `u`.
+    pub fn followers(&self, u: UserId) -> &[u32] {
+        self.graph.followers(u.0)
+    }
+
+    /// Users `u` follows.
+    pub fn followees(&self, u: UserId) -> &[u32] {
+        self.graph.followees(u.0)
+    }
+
+    /// Full timeline of `u`, most recent post first.
+    pub fn timeline(&self, u: UserId) -> &[PostId] {
+        &self.timelines[u.index()]
+    }
+
+    /// The post with id `p`.
+    pub fn post(&self, p: PostId) -> &Post {
+        &self.posts[p.index()]
+    }
+
+    /// The keyword catalog.
+    pub fn keywords(&self) -> &KeywordCatalog {
+        &self.keywords
+    }
+
+    /// Planted community labels, when the scenario kept them.
+    pub fn community_labels(&self) -> Option<&[u32]> {
+        self.community.as_deref()
+    }
+
+    /// Posts mentioning `kw` inside `window`, most recent first.
+    pub fn search_posts(&self, kw: KeywordId, window: TimeWindow) -> Vec<PostId> {
+        let index = match self.keyword_index.get(kw.index()) {
+            Some(v) => v,
+            None => return Vec::new(),
+        };
+        let lo = index.partition_point(|&p| self.posts[p.index()].time < window.start);
+        let hi = index.partition_point(|&p| self.posts[p.index()].time < window.end);
+        index[lo..hi].iter().rev().copied().collect()
+    }
+
+    /// The time of `u`'s first post mentioning `kw` inside `window`
+    /// (ground-truth view; the analyzer recomputes this from API data).
+    pub fn first_mention(&self, u: UserId, kw: KeywordId, window: TimeWindow) -> Option<Timestamp> {
+        self.timelines[u.index()]
+            .iter()
+            .rev() // oldest first
+            .map(|&p| &self.posts[p.index()])
+            .find(|p| p.mentions(kw) && window.contains(p.time))
+            .map(|p| p.time)
+    }
+}
+
+/// Builds a [`Platform`] from a graph, profiles, cascades and chatter.
+pub struct PlatformBuilder {
+    graph: DirectedGraph,
+    users: Vec<UserProfile>,
+    keywords: KeywordCatalog,
+    drafts: Vec<PostDraft>,
+    now: Timestamp,
+    community: Option<Vec<u32>>,
+}
+
+impl PlatformBuilder {
+    /// Starts a build over `graph` with the given profiles; `now` is the
+    /// platform clock after build (search windows end here).
+    ///
+    /// # Panics
+    /// Panics if `users.len() != graph.node_count()`.
+    pub fn new(graph: DirectedGraph, users: Vec<UserProfile>, now: Timestamp) -> Self {
+        assert_eq!(users.len(), graph.node_count(), "one profile per node required");
+        PlatformBuilder {
+            graph,
+            users,
+            keywords: KeywordCatalog::new(),
+            drafts: Vec::new(),
+            now,
+            community: None,
+        }
+    }
+
+    /// Records planted community labels for later inspection.
+    pub fn with_communities(mut self, labels: Vec<u32>) -> Self {
+        assert_eq!(labels.len(), self.users.len(), "one label per user required");
+        self.community = Some(labels);
+        self
+    }
+
+    /// Interns a keyword so cascades can reference it.
+    pub fn intern_keyword(&mut self, name: &str) -> KeywordId {
+        self.keywords.intern(name)
+    }
+
+    /// Access to the graph for cascade simulation.
+    pub fn graph(&self) -> &DirectedGraph {
+        &self.graph
+    }
+
+    /// The planted community labels, when provided via
+    /// [`PlatformBuilder::with_communities`].
+    pub fn communities(&self) -> Option<&[u32]> {
+        self.community.as_deref()
+    }
+
+    /// Merges a cascade's posts into the platform.
+    pub fn add_cascade(&mut self, outcome: CascadeOutcome) {
+        self.drafts.extend(outcome.posts);
+    }
+
+    /// Adds keyword-free "chatter" posts: every user posts a
+    /// Poisson(`mean_posts`) number of generic posts at uniform times in
+    /// `window`. Chatter is what makes timeline pagination costly, like on
+    /// the real platforms.
+    pub fn add_chatter<R: Rng>(&mut self, rng: &mut R, mean_posts: f64, window: TimeWindow) {
+        let span = window.length().0.max(1);
+        for u in 0..self.users.len() as u32 {
+            let count = poisson(rng, mean_posts);
+            for _ in 0..count {
+                let t = window.start + Duration(rng.gen_range(0..span));
+                let followers = self.graph.follower_count(u) as f64;
+                let likes = poisson(rng, (followers * 0.01 + 0.1).min(300.0)) as u32;
+                self.drafts.push(PostDraft {
+                    author: UserId(u),
+                    time: t,
+                    keywords: Vec::new(),
+                    likes,
+                    chars: rng.gen_range(10..140) as u16,
+                    is_repost: rng.gen_bool(0.2),
+                });
+            }
+        }
+    }
+
+    /// Adds a single post by `u` at exactly time `t`, mentioning `kw` when
+    /// given — the precision tool for scripted test worlds.
+    pub fn add_post_at(&mut self, u: UserId, kw: Option<KeywordId>, t: Timestamp, likes: u32) {
+        self.drafts.push(PostDraft {
+            author: u,
+            time: t,
+            keywords: kw.into_iter().collect(),
+            likes,
+            chars: 42,
+            is_repost: false,
+        });
+    }
+
+    /// Adds posts by `u` mentioning `kw` at exponential intervals — used by
+    /// tests to script exact timelines.
+    pub fn add_scripted_posts<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        u: UserId,
+        kw: KeywordId,
+        count: usize,
+        window: TimeWindow,
+    ) {
+        let mean_gap = window.length().0 as f64 / (count as f64 + 1.0);
+        let mut t = window.start;
+        for _ in 0..count {
+            t = t + Duration(exp_sample(rng, mean_gap).max(1.0) as i64);
+            if !window.contains(t) {
+                break;
+            }
+            self.drafts.push(PostDraft {
+                author: u,
+                time: t,
+                keywords: vec![kw],
+                likes: 0,
+                chars: 42,
+                is_repost: false,
+            });
+        }
+    }
+
+    /// Finalizes the platform: sorts posts, assigns ids, builds timeline
+    /// and keyword indexes.
+    pub fn build(self) -> Platform {
+        let PlatformBuilder { graph, users, keywords, mut drafts, now, community } = self;
+        drafts.sort_by_key(|d| (d.time, d.author));
+        let mut posts = Vec::with_capacity(drafts.len());
+        let mut timelines: Vec<Vec<PostId>> = vec![Vec::new(); users.len()];
+        let mut keyword_index: Vec<Vec<PostId>> = vec![Vec::new(); keywords.len()];
+        for (i, mut d) in drafts.into_iter().enumerate() {
+            let id = PostId(u32::try_from(i).expect("post count overflow"));
+            d.keywords.sort_unstable();
+            d.keywords.dedup();
+            for &kw in &d.keywords {
+                keyword_index[kw.index()].push(id);
+            }
+            timelines[d.author.index()].push(id);
+            posts.push(Post {
+                id,
+                author: d.author,
+                time: d.time,
+                keywords: d.keywords,
+                likes: d.likes,
+                chars: d.chars,
+                is_repost: d.is_repost,
+            });
+        }
+        // Most recent first.
+        for t in &mut timelines {
+            t.reverse();
+        }
+        Platform { graph, users, posts, timelines, keyword_index, keywords, now, community }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::{simulate, CascadeConfig};
+    use crate::gen::{community_preferential, CommunityGraphConfig};
+    use crate::user::generate_profile;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build_small(seed: u64) -> Platform {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = CommunityGraphConfig { nodes: 1_500, communities: 8, ..Default::default() };
+        let (graph, labels) = community_preferential(&mut rng, &cfg);
+        let users =
+            (0..1_500).map(|_| generate_profile(&mut rng, 0.3, Timestamp::EPOCH)).collect();
+        let now = Timestamp::at_day(100);
+        let mut b = PlatformBuilder::new(graph, users, now).with_communities(labels);
+        let kw = b.intern_keyword("privacy");
+        let window = TimeWindow::new(Timestamp::EPOCH, now);
+        let outcome = simulate(&mut rng, b.graph(), &CascadeConfig::new(kw, window));
+        b.add_cascade(outcome);
+        b.add_chatter(&mut rng, 5.0, window);
+        b.build()
+    }
+
+    #[test]
+    fn timelines_are_recent_first_and_complete() {
+        let p = build_small(1);
+        assert_eq!(p.user_count(), 1_500);
+        let mut total = 0usize;
+        for u in 0..1_500u32 {
+            let tl = p.timeline(UserId(u));
+            total += tl.len();
+            for pair in tl.windows(2) {
+                assert!(p.post(pair[0]).time >= p.post(pair[1]).time, "timeline not descending");
+            }
+            for &pid in tl {
+                assert_eq!(p.post(pid).author, UserId(u));
+            }
+        }
+        assert_eq!(total, p.post_count());
+    }
+
+    #[test]
+    fn search_respects_window_and_keyword() {
+        let p = build_small(2);
+        let kw = p.keywords().get("privacy").unwrap();
+        let window = TimeWindow::new(Timestamp::at_day(10), Timestamp::at_day(60));
+        let hits = p.search_posts(kw, window);
+        assert!(!hits.is_empty(), "cascade produced no posts in window");
+        for pair in hits.windows(2) {
+            assert!(p.post(pair[0]).time >= p.post(pair[1]).time, "search not recent-first");
+        }
+        for &pid in &hits {
+            let post = p.post(pid);
+            assert!(post.mentions(kw));
+            assert!(window.contains(post.time));
+        }
+        // Unknown keyword id → empty.
+        assert!(p.search_posts(KeywordId(999), window).is_empty());
+    }
+
+    #[test]
+    fn first_mention_matches_search() {
+        let p = build_small(3);
+        let kw = p.keywords().get("privacy").unwrap();
+        let window = TimeWindow::new(Timestamp::EPOCH, p.now());
+        let hits = p.search_posts(kw, window);
+        let user = p.post(hits[0]).author;
+        let first = p.first_mention(user, kw, window).unwrap();
+        // No earlier qualifying post exists on that user's timeline.
+        for &pid in p.timeline(user) {
+            let post = p.post(pid);
+            if post.mentions(kw) && window.contains(post.time) {
+                assert!(post.time >= first);
+            }
+        }
+        // A user with no keyword posts yields None.
+        let silent = (0..1_500u32)
+            .map(UserId)
+            .find(|&u| p.first_mention(u, kw, window).is_none())
+            .expect("some user never mentioned the keyword");
+        assert!(p.timeline(silent).iter().all(|&pid| !p.post(pid).mentions(kw)));
+    }
+
+    #[test]
+    fn chatter_has_no_keywords() {
+        let p = build_small(4);
+        let chatter = p
+            .timelines
+            .iter()
+            .flatten()
+            .map(|&pid| p.post(pid))
+            .filter(|post| post.keywords.is_empty())
+            .count();
+        assert!(chatter > 1_000, "chatter missing");
+    }
+
+    #[test]
+    #[should_panic(expected = "one profile per node")]
+    fn builder_rejects_mismatched_profiles() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (graph, _) = community_preferential(
+            &mut rng,
+            &CommunityGraphConfig { nodes: 10, communities: 2, ..Default::default() },
+        );
+        let _ = PlatformBuilder::new(graph, vec![], Timestamp::EPOCH);
+    }
+}

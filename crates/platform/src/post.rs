@@ -1,0 +1,119 @@
+//! Posts (micro-posts / tweets) and the keyword catalog.
+
+use crate::ids::{KeywordId, PostId, UserId};
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One micro-post.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Post {
+    /// Post identifier (dense, creation-ordered after platform build).
+    pub id: PostId,
+    /// Author of the post.
+    pub author: UserId,
+    /// Publication time.
+    pub time: Timestamp,
+    /// Interned keywords/hashtags the post contains (sorted, deduplicated).
+    pub keywords: Vec<KeywordId>,
+    /// Number of likes the post accumulated — the Tumblr metric (Fig. 14).
+    pub likes: u32,
+    /// Post length in characters — a per-post numeric attribute.
+    pub chars: u16,
+    /// Whether this post is a repost/retweet of earlier content.
+    pub is_repost: bool,
+}
+
+impl Post {
+    /// Whether the post mentions `kw`.
+    pub fn mentions(&self, kw: KeywordId) -> bool {
+        self.keywords.binary_search(&kw).is_ok()
+    }
+}
+
+/// Interns keyword strings to dense [`KeywordId`]s (case-insensitive).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct KeywordCatalog {
+    names: Vec<String>,
+    index: HashMap<String, KeywordId>,
+}
+
+impl KeywordCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name` (lowercased), returning its id.
+    ///
+    /// # Panics
+    /// Panics after 65 536 distinct keywords.
+    pub fn intern(&mut self, name: &str) -> KeywordId {
+        let key = name.to_lowercase();
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = KeywordId(u16::try_from(self.names.len()).expect("keyword catalog overflow"));
+        self.names.push(key.clone());
+        self.index.insert(key, id);
+        id
+    }
+
+    /// Looks up an already-interned keyword (case-insensitive).
+    pub fn get(&self, name: &str) -> Option<KeywordId> {
+        self.index.get(&name.to_lowercase()).copied()
+    }
+
+    /// The canonical (lowercased) spelling of `id`.
+    pub fn name(&self, id: KeywordId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of interned keywords.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_case_insensitive_and_stable() {
+        let mut cat = KeywordCatalog::new();
+        let a = cat.intern("Privacy");
+        let b = cat.intern("privacy");
+        let c = cat.intern("PRIVACY");
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.name(a), "privacy");
+        assert_eq!(cat.get("priVACY"), Some(a));
+        assert_eq!(cat.get("missing"), None);
+        let d = cat.intern("New York");
+        assert_ne!(a, d);
+        assert_eq!(cat.len(), 2);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn mentions_uses_sorted_keywords() {
+        let post = Post {
+            id: PostId(0),
+            author: UserId(0),
+            time: Timestamp(0),
+            keywords: vec![KeywordId(1), KeywordId(4), KeywordId(9)],
+            likes: 0,
+            chars: 100,
+            is_repost: false,
+        };
+        assert!(post.mentions(KeywordId(4)));
+        assert!(!post.mentions(KeywordId(5)));
+    }
+}

@@ -1,0 +1,551 @@
+//! Preset worlds reproducing the paper's evaluation setting.
+//!
+//! The paper's ground truth covers Jan 1 – Oct 31, 2013 (303 days) and a
+//! keyword mix with three temporal shapes (Fig. 7): perpetually popular
+//! ("new york"), low frequency with occasional spikes ("privacy"), and
+//! medium frequency with one singular event ("boston", Apr 15, 2013 —
+//! day 104 of the year). The remaining Table 2/3 keywords (fiscalcliff,
+//! super bowl, obamacare, tunisia, simvastatin, oprah winfrey, $wmt,
+//! lipitor, tahrir) span popular-to-obscure. [`twitter_2013`] builds a
+//! synthetic world with those shapes; [`google_plus_2013`] and
+//! [`tumblr_2013`] re-skin it with platform-appropriate profile and graph
+//! parameters (e.g. gender disclosure on Google+, heavier reblogging on
+//! Tumblr).
+
+use crate::cascade::{simulate, CascadeConfig, CommunityAffinity, Spike};
+use crate::gen::{community_preferential, CommunityGraphConfig};
+use crate::ids::KeywordId;
+use crate::platform::{Platform, PlatformBuilder};
+use crate::time::{Duration, TimeWindow, Timestamp};
+use crate::user::generate_profile;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// How large a world to build. Experiment runtime scales roughly linearly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// ~2 000 users — unit/integration tests.
+    Tiny,
+    /// ~10 000 users — quick experiments.
+    Small,
+    /// ~40 000 users — the default for benchmark figures.
+    Medium,
+    /// ~120 000 users — stress runs.
+    Large,
+}
+
+impl Scale {
+    /// Number of users at this scale.
+    pub fn users(self) -> usize {
+        match self {
+            Scale::Tiny => 2_000,
+            Scale::Small => 10_000,
+            Scale::Medium => 40_000,
+            Scale::Large => 120_000,
+        }
+    }
+
+    /// Multiplier applied to seed counts and background rates so keyword
+    /// selectivity stays roughly constant across scales.
+    fn factor(self) -> f64 {
+        self.users() as f64 / 40_000.0
+    }
+}
+
+/// The temporal shape of one scenario keyword.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KeywordSpec {
+    /// Canonical keyword text.
+    pub name: &'static str,
+    /// Spontaneous seeds at day 0 (pre-scaling).
+    pub initial_seeds: usize,
+    /// Spontaneous adopters per day (pre-scaling).
+    pub background_per_day: f64,
+    /// Per-exposure adoption probability.
+    pub adoption_prob: f64,
+    /// Event days and burst sizes (pre-scaling).
+    pub spike_days: Vec<(i64, usize)>,
+    /// Fraction of communities that ever care about this keyword (the
+    /// community-affinity footprint; popular terms touch many clusters,
+    /// obscure ones a handful).
+    pub affinity: f64,
+}
+
+/// The standard keyword mix (shapes mirror Fig. 7 and Tables 2–3).
+pub fn standard_keywords() -> Vec<KeywordSpec> {
+    vec![
+        KeywordSpec {
+            name: "privacy",
+            initial_seeds: 3,
+            background_per_day: 0.8,
+            adoption_prob: 0.180,
+            // Snowden leak becomes public in June (day ~156), echo in Oct.
+            affinity: 0.080,
+            spike_days: vec![(156, 60), (275, 25)],
+        },
+        KeywordSpec {
+            name: "new york",
+            initial_seeds: 40,
+            background_per_day: 6.0,
+            adoption_prob: 0.160,
+            affinity: 0.350,
+            spike_days: vec![],
+        },
+        KeywordSpec {
+            name: "boston",
+            initial_seeds: 6,
+            background_per_day: 1.2,
+            adoption_prob: 0.180,
+            // Marathon bombing, Apr 15 (day 104).
+            affinity: 0.175,
+            spike_days: vec![(104, 300)],
+        },
+        KeywordSpec {
+            name: "fiscalcliff",
+            initial_seeds: 80,
+            background_per_day: 0.3,
+            adoption_prob: 0.180,
+            affinity: 0.140,
+            spike_days: vec![],
+        },
+        KeywordSpec {
+            name: "super bowl",
+            initial_seeds: 2,
+            background_per_day: 0.5,
+            adoption_prob: 0.180,
+            // Feb 3 (day 33).
+            affinity: 0.210,
+            spike_days: vec![(33, 250)],
+        },
+        KeywordSpec {
+            name: "obamacare",
+            initial_seeds: 8,
+            background_per_day: 1.0,
+            adoption_prob: 0.180,
+            // Exchange launch, Oct 1 (day 273).
+            affinity: 0.140,
+            spike_days: vec![(273, 120)],
+        },
+        KeywordSpec {
+            name: "oprah winfrey",
+            initial_seeds: 4,
+            background_per_day: 0.8,
+            adoption_prob: 0.160,
+            affinity: 0.084,
+            spike_days: vec![],
+        },
+        KeywordSpec {
+            name: "tunisia",
+            initial_seeds: 2,
+            background_per_day: 0.25,
+            adoption_prob: 0.160,
+            affinity: 0.042,
+            spike_days: vec![(205, 30)],
+        },
+        KeywordSpec {
+            name: "simvastatin",
+            initial_seeds: 1,
+            background_per_day: 0.2,
+            adoption_prob: 0.140,
+            affinity: 0.030,
+            spike_days: vec![],
+        },
+        KeywordSpec {
+            name: "$wmt",
+            initial_seeds: 2,
+            background_per_day: 0.25,
+            adoption_prob: 0.150,
+            affinity: 0.035,
+            spike_days: vec![],
+        },
+        KeywordSpec {
+            name: "lipitor",
+            initial_seeds: 1,
+            background_per_day: 0.2,
+            adoption_prob: 0.140,
+            affinity: 0.030,
+            spike_days: vec![],
+        },
+        KeywordSpec {
+            name: "tahrir",
+            initial_seeds: 2,
+            background_per_day: 0.25,
+            adoption_prob: 0.170,
+            // Egyptian coup, Jul 3 (day 183).
+            affinity: 0.042,
+            spike_days: vec![(183, 80)],
+        },
+    ]
+}
+
+/// Full configuration of a scenario world.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// World size.
+    pub scale: Scale,
+    /// Master RNG seed; everything is deterministic given it.
+    pub seed: u64,
+    /// Keyword mix.
+    pub keywords: Vec<KeywordSpec>,
+    /// Mean keyword-free posts per user over the whole window.
+    pub chatter_mean: f64,
+    /// Gender disclosure rate on profiles.
+    pub gender_disclosure: f64,
+    /// Social-graph shape.
+    pub graph: CommunityGraphConfig,
+}
+
+impl ScenarioConfig {
+    /// Twitter-flavoured defaults at the given scale.
+    pub fn twitter(scale: Scale, seed: u64) -> Self {
+        ScenarioConfig {
+            scale,
+            seed,
+            keywords: standard_keywords(),
+            chatter_mean: 25.0,
+            gender_disclosure: 0.05,
+            graph: CommunityGraphConfig {
+                nodes: scale.users(),
+                // Small, dense interest clusters (tens of users): one
+                // cascade burst sweeps roughly one community within
+                // hours, which is what makes same-level co-adopters share
+                // many neighbors (Table 2's intra/inter contrast).
+                communities: (scale.users() / 50).max(8),
+                intra_prob: 0.72,
+                reciprocity: 0.25,
+                mean_out_degree: 18.0,
+                pareto_alpha: 2.2,
+                max_out_degree: 4_000,
+                triadic_closure: 0.45,
+            },
+        }
+    }
+
+    /// Google+-flavoured: sparser activity graph (we connect users who
+    /// interacted in the last year, per §6.1), high gender disclosure.
+    pub fn google_plus(scale: Scale, seed: u64) -> Self {
+        let mut cfg = Self::twitter(scale, seed ^ 0x9e37_79b9);
+        cfg.gender_disclosure = 0.85;
+        cfg.chatter_mean = 12.0;
+        cfg.graph.mean_out_degree = 16.0;
+        cfg.graph.reciprocity = 0.55;
+        cfg
+    }
+
+    /// Tumblr-flavoured: blog follows with heavy reblogging (higher repeat
+    /// posting, more likes).
+    pub fn tumblr(scale: Scale, seed: u64) -> Self {
+        let mut cfg = Self::twitter(scale, seed ^ 0x51ed_270b);
+        cfg.gender_disclosure = 0.25;
+        cfg.chatter_mean = 35.0;
+        cfg.graph.mean_out_degree = 24.0;
+        cfg.graph.intra_prob = 0.78;
+        cfg
+    }
+}
+
+/// A built world: the platform plus the keyword mix it was built with.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The platform, clock set to Oct 31 2013 (day 303).
+    pub platform: Platform,
+    /// Keyword ids in the platform catalog, parallel to `specs`.
+    pub keyword_ids: Vec<KeywordId>,
+    /// The generating specs.
+    pub specs: Vec<KeywordSpec>,
+    /// The ground-truth window (Jan 1 – Oct 31, 2013).
+    pub window: TimeWindow,
+}
+
+impl Scenario {
+    /// Looks up a scenario keyword id by name.
+    pub fn keyword(&self, name: &str) -> Option<KeywordId> {
+        self.platform.keywords().get(name)
+    }
+}
+
+/// The evaluation window: Jan 1 00:00 – Oct 31 24:00, 2013 (303 days).
+pub fn evaluation_window() -> TimeWindow {
+    TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(303))
+}
+
+/// Builds a world from `cfg`.
+pub fn build_scenario(cfg: &ScenarioConfig) -> Scenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let window = evaluation_window();
+    let now = window.end;
+    let (graph, labels) = community_preferential(&mut rng, &cfg.graph);
+    let users = (0..cfg.graph.nodes)
+        .map(|_| generate_profile(&mut rng, cfg.gender_disclosure, window.start))
+        .collect();
+    let mut builder = PlatformBuilder::new(graph, users, now).with_communities(labels);
+
+    let factor = cfg.scale.factor();
+    let scaled = |x: usize| ((x as f64 * factor).round() as usize).max(1);
+    let mut keyword_ids = Vec::with_capacity(cfg.keywords.len());
+    for (i, spec) in cfg.keywords.iter().enumerate() {
+        let kw = builder.intern_keyword(spec.name);
+        keyword_ids.push(kw);
+        // Independent stream per keyword so cascades do not interact.
+        let mut kw_rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE + i as u64));
+        let labels = builder.communities().expect("scenario keeps community labels").to_vec();
+        let affinity =
+            build_affinity(&mut kw_rng, builder.graph(), &labels, cfg.graph.communities, spec, window);
+        let cascade = CascadeConfig {
+            keyword: kw,
+            window,
+            initial_seeds: scaled(spec.initial_seeds),
+            adoption_prob: spec.adoption_prob,
+            attention_ref: 20.0,
+            delay: Default::default(),
+            // Floor keeps obscure keywords alive at small scales so the
+            // search API can always seed a walk (as on the real platform,
+            // where even "simvastatin" shows up weekly).
+            background_rate_per_day: (spec.background_per_day * factor).max(0.15),
+            // Spikes scale sub-linearly (√factor): a news event must stand
+            // out against the background even in small worlds.
+            spikes: spec
+                .spike_days
+                .iter()
+                .map(|&(day, seeds)| Spike {
+                    time: Timestamp::at_day(day),
+                    seeds: ((seeds as f64 * factor.sqrt()).round() as usize).max(1),
+                })
+                .collect(),
+            repeat_post_prob: 0.5,
+            repeat_gap_mean: Duration::days(6),
+            affinity: Some(affinity),
+        };
+        let mut outcome = simulate(&mut kw_rng, builder.graph(), &cascade);
+        crate::cascade::ensure_recent_activity(&mut kw_rng, builder.graph(), &cascade, &mut outcome);
+        builder.add_cascade(outcome);
+    }
+    let mut chatter_rng = ChaCha8Rng::seed_from_u64(rng.gen());
+    builder.add_chatter(&mut chatter_rng, cfg.chatter_mean, window);
+    Scenario { platform: builder.build(), keyword_ids, specs: cfg.keywords.clone(), window }
+}
+
+/// Samples the keyword's community-affinity structure: which communities
+/// care, and when each discovers the term.
+///
+/// * **Homophilous footprint.** The eligible communities are grown as a
+///   connected cluster over the *community adjacency graph* (weighted by
+///   inter-community arcs): topically-related interest clusters are
+///   socially close, which is what gives bursts the inter-burst edges the
+///   level-by-level walk travels on. A uniformly random footprint leaves
+///   the bursts near-disconnected.
+/// * **Onsets.** Spiky keywords wake 60% of their footprint exactly at an
+///   event; a handful of communities make scheduled "spontaneous
+///   discoveries" at uniform times; one community is guaranteed to onset
+///   in the final days so the week-limited search API always sees a fresh
+///   bottom-level burst (the paper's "users returned by the search API"
+///   seed assumption). Everything else onsets through contagion.
+fn build_affinity<R: Rng>(
+    rng: &mut R,
+    graph: &microblog_graph::DirectedGraph,
+    labels: &[u32],
+    communities: usize,
+    spec: &KeywordSpec,
+    window: TimeWindow,
+) -> CommunityAffinity {
+    let affine_count = ((communities as f64 * spec.affinity).round() as usize).clamp(2, communities);
+
+    // Community adjacency weights from inter-community arcs.
+    let mut weight: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    for u in 0..graph.node_count() as u32 {
+        let cu = labels[u as usize];
+        for &v in graph.followees(u) {
+            let cv = labels[v as usize];
+            if cu != cv {
+                let key = if cu < cv { (cu, cv) } else { (cv, cu) };
+                *weight.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    // Weighted flood: grow the footprint along strong community links.
+    let mut eligible = vec![false; communities];
+    let start = rng.gen_range(0..communities);
+    eligible[start] = true;
+    let mut chosen = vec![start];
+    while chosen.len() < affine_count {
+        let mut candidates: Vec<(usize, f64)> = (0..communities)
+            .filter(|&c| !eligible[c])
+            .map(|c| {
+                let w: u32 = chosen
+                    .iter()
+                    .map(|&e| {
+                        let key = if (c as u32) < (e as u32) {
+                            (c as u32, e as u32)
+                        } else {
+                            (e as u32, c as u32)
+                        };
+                        weight.get(&key).copied().unwrap_or(0)
+                    })
+                    .sum();
+                (c, w as f64)
+            })
+            .collect();
+        let total: f64 = candidates.iter().map(|x| x.1).sum();
+        let pick = if total <= 0.0 {
+            candidates[rng.gen_range(0..candidates.len())].0
+        } else {
+            let mut x = rng.gen::<f64>() * total;
+            let mut pick = candidates[0].0;
+            for &(c, w) in &candidates {
+                if x < w {
+                    pick = c;
+                    break;
+                }
+                x -= w;
+            }
+            pick
+        };
+        candidates.clear();
+        eligible[pick] = true;
+        chosen.push(pick);
+    }
+
+    let span = window.length().0.max(1);
+    let mut onset = vec![None; communities];
+    // Spikes wake 60% of the footprint (spiky keywords only).
+    if !spec.spike_days.is_empty() {
+        for (rank, &c) in chosen.iter().enumerate() {
+            if rank * 10 >= chosen.len() * 4 {
+                let (day, _) = spec.spike_days[rng.gen_range(0..spec.spike_days.len())];
+                onset[c] = Some(Timestamp::at_day(day));
+            }
+        }
+    }
+    // Scheduled spontaneous discoveries: a trickle across the window.
+    let discoveries = (chosen.len() / 6).clamp(2, 10);
+    for _ in 0..discoveries {
+        let c = chosen[rng.gen_range(0..chosen.len())];
+        if onset[c].is_none() {
+            onset[c] = Some(window.start + Duration(rng.gen_range(0..span)));
+        }
+    }
+    // Guaranteed fresh bottom-level burst inside the final search week —
+    // a *re-ignition* of an already-onset community where possible, so the
+    // recent burst connects upward through its community's older adopters.
+    let recent_at =
+        window.end - Duration::days(3) - Duration(rng.gen_range(0..Duration::DAY.0));
+    let mut extra_onsets = Vec::new();
+    match chosen.iter().find(|&&c| onset[c].is_some()) {
+        Some(&c) => extra_onsets.push((c as u32, recent_at)),
+        None => onset[chosen[0]] = Some(recent_at),
+    }
+
+    CommunityAffinity {
+        labels: labels.to_vec(),
+        eligible,
+        onset,
+        off_affinity_factor: 0.01,
+        interest_decay: Duration::hours(36),
+        onset_contagion: 0.12,
+        ignition_lag_mean: Duration::days(4),
+        extra_onsets,
+        reignition_cooldown: Duration::days(18),
+    }
+}
+
+/// Convenience: the Twitter world.
+pub fn twitter_2013(scale: Scale, seed: u64) -> Scenario {
+    build_scenario(&ScenarioConfig::twitter(scale, seed))
+}
+
+/// Convenience: the Google+ world.
+pub fn google_plus_2013(scale: Scale, seed: u64) -> Scenario {
+    build_scenario(&ScenarioConfig::google_plus(scale, seed))
+}
+
+/// Convenience: the Tumblr world.
+pub fn tumblr_2013(scale: Scale, seed: u64) -> Scenario {
+    build_scenario(&ScenarioConfig::tumblr(scale, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truth::{exact_count, Condition};
+
+    #[test]
+    fn tiny_world_has_expected_shape() {
+        let s = twitter_2013(Scale::Tiny, 42);
+        assert_eq!(s.platform.user_count(), 2_000);
+        assert_eq!(s.keyword_ids.len(), standard_keywords().len());
+        assert!(s.platform.post_count() > 10_000, "posts: {}", s.platform.post_count());
+        // The popular keyword reaches more users than the obscure one.
+        let ny = exact_count(&s.platform, &Condition::keyword(s.keyword("new york").unwrap()));
+        let simva =
+            exact_count(&s.platform, &Condition::keyword(s.keyword("simvastatin").unwrap()));
+        assert!(ny > simva, "new york {ny} vs simvastatin {simva}");
+        assert!(simva > 0.0, "even obscure keywords must appear");
+        // Keyword selectivity stays small (the paper's premise).
+        assert!(ny / 2_000.0 < 0.6, "new york too broad: {ny}");
+    }
+
+    #[test]
+    fn boston_spike_dominates_its_timeline() {
+        let s = twitter_2013(Scale::Tiny, 7);
+        let kw = s.keyword("boston").unwrap();
+        // Weekly adoption rate in the two spike weeks must beat the
+        // average pre-spike weekly rate by a wide margin.
+        let before = exact_count(
+            &s.platform,
+            &Condition::keyword(kw)
+                .in_window(TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(104))),
+        );
+        let during = exact_count(
+            &s.platform,
+            &Condition::keyword(kw)
+                .in_window(TimeWindow::new(Timestamp::at_day(104), Timestamp::at_day(118))),
+        );
+        let pre_weekly = before / (104.0 / 7.0);
+        let spike_weekly = during / 2.0;
+        assert!(
+            spike_weekly > 2.0 * pre_weekly,
+            "spike weekly {spike_weekly} <= 2x pre-spike weekly {pre_weekly}"
+        );
+    }
+
+    #[test]
+    fn recent_posts_exist_for_search_seeding() {
+        // The search API only sees the last week; every keyword must have
+        // recent posts or walks cannot be seeded.
+        let s = twitter_2013(Scale::Tiny, 9);
+        let last_week = TimeWindow::trailing(s.platform.now(), Duration::WEEK);
+        for (spec, &kw) in s.specs.iter().zip(&s.keyword_ids) {
+            let hits = s.platform.search_posts(kw, last_week);
+            assert!(!hits.is_empty(), "no recent posts for {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let a = twitter_2013(Scale::Tiny, 5);
+        let b = twitter_2013(Scale::Tiny, 5);
+        assert_eq!(a.platform.post_count(), b.platform.post_count());
+        let kw_a = a.keyword("privacy").unwrap();
+        let kw_b = b.keyword("privacy").unwrap();
+        assert_eq!(
+            exact_count(&a.platform, &Condition::keyword(kw_a)),
+            exact_count(&b.platform, &Condition::keyword(kw_b))
+        );
+    }
+
+    #[test]
+    fn platform_flavours_differ() {
+        let g = google_plus_2013(Scale::Tiny, 3);
+        let t = twitter_2013(Scale::Tiny, 3);
+        // Google+ disclosure is high, Twitter's near zero.
+        let disclosed = |s: &Scenario| {
+            (0..s.platform.user_count() as u32)
+                .filter(|&u| {
+                    s.platform.profile(crate::UserId(u)).gender != crate::Gender::Undisclosed
+                })
+                .count()
+        };
+        assert!(disclosed(&g) > 5 * disclosed(&t).max(1));
+    }
+}

@@ -1,0 +1,197 @@
+//! Simulated time: timestamps, durations and half-open windows.
+//!
+//! The simulation clock counts seconds from an arbitrary epoch that the
+//! scenarios pin to `2013-01-01 00:00:00 UTC`, matching the paper's
+//! ground-truth collection window (Jan 1 – Oct 31, 2013).
+
+use serde::{Deserialize, Serialize};
+
+/// A point in simulated time, in seconds since the scenario epoch.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub i64);
+
+/// A span of simulated time, in seconds. Non-negative by convention.
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Duration(pub i64);
+
+impl Duration {
+    /// One second.
+    pub const SECOND: Duration = Duration(1);
+    /// One minute.
+    pub const MINUTE: Duration = Duration(60);
+    /// One hour.
+    pub const HOUR: Duration = Duration(3_600);
+    /// One day.
+    pub const DAY: Duration = Duration(86_400);
+    /// One week.
+    pub const WEEK: Duration = Duration(7 * 86_400);
+    /// Thirty days — the paper's "1M" interval candidate.
+    pub const MONTH: Duration = Duration(30 * 86_400);
+
+    /// Builds a duration of `n` hours.
+    pub const fn hours(n: i64) -> Duration {
+        Duration(n * 3_600)
+    }
+
+    /// Builds a duration of `n` days.
+    pub const fn days(n: i64) -> Duration {
+        Duration(n * 86_400)
+    }
+
+    /// The span in seconds.
+    pub const fn seconds(self) -> i64 {
+        self.0
+    }
+
+    /// The span in fractional hours.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / 3_600.0
+    }
+
+    /// Human-readable label used in Figure 5's axis (2H, 12H, 1D, 1W, 1M).
+    pub fn label(self) -> String {
+        let s = self.0;
+        if s % Duration::MONTH.0 == 0 && s != 0 {
+            format!("{}M", s / Duration::MONTH.0)
+        } else if s % Duration::WEEK.0 == 0 && s != 0 {
+            format!("{}W", s / Duration::WEEK.0)
+        } else if s % Duration::DAY.0 == 0 && s != 0 {
+            format!("{}D", s / Duration::DAY.0)
+        } else if s % Duration::HOUR.0 == 0 && s != 0 {
+            format!("{}H", s / Duration::HOUR.0)
+        } else {
+            format!("{s}s")
+        }
+    }
+}
+
+impl Timestamp {
+    /// The scenario epoch (2013-01-01 00:00 in scenario time).
+    pub const EPOCH: Timestamp = Timestamp(0);
+
+    /// Timestamp `n` days after the epoch.
+    pub const fn at_day(n: i64) -> Timestamp {
+        Timestamp(n * 86_400)
+    }
+
+    /// Elapsed time since `earlier` (may be negative).
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl std::ops::Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 + d.0)
+    }
+}
+
+impl std::ops::Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0 - d.0)
+    }
+}
+
+impl std::ops::Add for Duration {
+    type Output = Duration;
+    fn add(self, other: Duration) -> Duration {
+        Duration(self.0 + other.0)
+    }
+}
+
+impl std::ops::Mul<i64> for Duration {
+    type Output = Duration;
+    fn mul(self, k: i64) -> Duration {
+        Duration(self.0 * k)
+    }
+}
+
+/// A half-open time window `[start, end)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeWindow {
+    /// Inclusive start.
+    pub start: Timestamp,
+    /// Exclusive end.
+    pub end: Timestamp,
+}
+
+impl TimeWindow {
+    /// Creates `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(end >= start, "window end before start");
+        TimeWindow { start, end }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// The window length.
+    pub fn length(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// The last `d` of time before (and excluding) `now` — how search APIs
+    /// scope their results.
+    pub fn trailing(now: Timestamp, d: Duration) -> Self {
+        TimeWindow::new(now - d, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Timestamp::at_day(3) + Duration::hours(5);
+        assert_eq!(t.0, 3 * 86_400 + 5 * 3_600);
+        assert_eq!((t - Duration::hours(5)), Timestamp::at_day(3));
+        assert_eq!(Timestamp::at_day(2).since(Timestamp::at_day(1)), Duration::DAY);
+        assert_eq!(Duration::HOUR * 12, Duration::hours(12));
+    }
+
+    #[test]
+    fn labels_match_figure5_axis() {
+        assert_eq!(Duration::hours(2).label(), "2H");
+        assert_eq!(Duration::hours(12).label(), "12H");
+        assert_eq!(Duration::DAY.label(), "1D");
+        assert_eq!(Duration::days(2).label(), "2D");
+        assert_eq!(Duration::WEEK.label(), "1W");
+        assert_eq!(Duration::MONTH.label(), "1M");
+        assert_eq!(Duration(90).label(), "90s");
+    }
+
+    #[test]
+    fn window_contains_half_open() {
+        let w = TimeWindow::new(Timestamp(10), Timestamp(20));
+        assert!(w.contains(Timestamp(10)));
+        assert!(w.contains(Timestamp(19)));
+        assert!(!w.contains(Timestamp(20)));
+        assert!(!w.contains(Timestamp(9)));
+        assert_eq!(w.length(), Duration(10));
+    }
+
+    #[test]
+    fn trailing_window() {
+        let w = TimeWindow::trailing(Timestamp(100), Duration(30));
+        assert_eq!(w.start, Timestamp(70));
+        assert_eq!(w.end, Timestamp(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn rejects_inverted_window() {
+        let _ = TimeWindow::new(Timestamp(5), Timestamp(1));
+    }
+}

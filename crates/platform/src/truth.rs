@@ -1,0 +1,223 @@
+//! Exact ground truth for aggregate queries.
+//!
+//! The paper collected ground truth through the Streaming API (§3.2); here
+//! the simulator *is* the full dataset, so exact answers are a scan over
+//! the platform indexes. Estimators are scored by relative error against
+//! these values.
+
+use crate::ids::{KeywordId, UserId};
+use crate::metric::{evaluate_metric, MetricInputs, ProfilePredicate, UserMetric};
+use crate::platform::Platform;
+use crate::post::Post;
+use crate::time::TimeWindow;
+
+/// The selection condition of an aggregate: keyword, optional window,
+/// optional profile predicates.
+#[derive(Clone, Debug)]
+pub struct Condition {
+    /// The keyword predicate (always present — see §2: "we focus on
+    /// aggregate queries with at least one keyword predicate").
+    pub keyword: KeywordId,
+    /// Optional time window on the qualifying posts.
+    pub window: Option<TimeWindow>,
+    /// Additional profile predicates (ANDed).
+    pub predicates: Vec<ProfilePredicate>,
+}
+
+impl Condition {
+    /// Condition with only a keyword.
+    pub fn keyword(kw: KeywordId) -> Self {
+        Condition { keyword: kw, window: None, predicates: Vec::new() }
+    }
+
+    /// Adds a time window.
+    pub fn in_window(mut self, w: TimeWindow) -> Self {
+        self.window = Some(w);
+        self
+    }
+
+    /// Adds a profile predicate.
+    pub fn with_predicate(mut self, p: ProfilePredicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// The window used for matching: the explicit one, or all time.
+    pub fn effective_window(&self, platform: &Platform) -> TimeWindow {
+        self.window.unwrap_or_else(|| {
+            TimeWindow::new(crate::time::Timestamp(i64::MIN / 2), platform.now())
+        })
+    }
+}
+
+/// Users satisfying `cond` (keyword mention inside the window plus all
+/// profile predicates), in ascending id order.
+pub fn matching_users(platform: &Platform, cond: &Condition) -> Vec<UserId> {
+    let window = cond.effective_window(platform);
+    let mut users: Vec<UserId> = platform
+        .search_posts(cond.keyword, window)
+        .iter()
+        .map(|&p| platform.post(p).author)
+        .collect();
+    users.sort_unstable();
+    users.dedup();
+    users.retain(|&u| {
+        let profile = platform.profile(u);
+        let fc = platform.followers(u).len();
+        cond.predicates.iter().all(|p| p.matches(profile, fc))
+    });
+    users
+}
+
+/// Exact metric value for one user under `cond`'s keyword/window scope,
+/// computed from the user's full timeline.
+pub fn metric_value(platform: &Platform, u: UserId, metric: UserMetric, cond: &Condition) -> f64 {
+    let posts: Vec<Post> =
+        platform.timeline(u).iter().map(|&p| platform.post(p).clone()).collect();
+    let inputs = MetricInputs {
+        profile: platform.profile(u),
+        follower_count: platform.followers(u).len(),
+        followee_count: platform.followees(u).len(),
+        posts: &posts,
+    };
+    evaluate_metric(metric, &inputs, Some(cond.keyword), Some(cond.effective_window(platform)))
+}
+
+/// Exact COUNT of users satisfying `cond`.
+pub fn exact_count(platform: &Platform, cond: &Condition) -> f64 {
+    matching_users(platform, cond).len() as f64
+}
+
+/// Exact SUM of `metric` over users satisfying `cond`.
+pub fn exact_sum(platform: &Platform, cond: &Condition, metric: UserMetric) -> f64 {
+    matching_users(platform, cond)
+        .iter()
+        .map(|&u| metric_value(platform, u, metric, cond))
+        .sum()
+}
+
+/// Exact AVG of `metric` over users satisfying `cond`; `None` when no user
+/// matches.
+pub fn exact_avg(platform: &Platform, cond: &Condition, metric: UserMetric) -> Option<f64> {
+    let users = matching_users(platform, cond);
+    if users.is_empty() {
+        return None;
+    }
+    let sum: f64 = users.iter().map(|&u| metric_value(platform, u, metric, cond)).sum();
+    Some(sum / users.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cascade::{simulate, CascadeConfig};
+    use crate::gen::{community_preferential, CommunityGraphConfig};
+    use crate::time::Timestamp;
+    use crate::user::{generate_profile, Gender};
+    use crate::PlatformBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn build(seed: u64) -> Platform {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = CommunityGraphConfig { nodes: 1_200, communities: 6, ..Default::default() };
+        let (graph, _) = community_preferential(&mut rng, &cfg);
+        let users =
+            (0..1_200).map(|_| generate_profile(&mut rng, 0.9, Timestamp::EPOCH)).collect();
+        let now = Timestamp::at_day(90);
+        let mut b = PlatformBuilder::new(graph, users, now);
+        let kw = b.intern_keyword("privacy");
+        let window = TimeWindow::new(Timestamp::EPOCH, now);
+        let outcome = simulate(&mut rng, b.graph(), &CascadeConfig::new(kw, window));
+        b.add_cascade(outcome);
+        b.add_chatter(&mut rng, 3.0, window);
+        b.build()
+    }
+
+    #[test]
+    fn matching_users_agree_with_first_mention() {
+        let p = build(1);
+        let kw = p.keywords().get("privacy").unwrap();
+        let cond = Condition::keyword(kw);
+        let window = cond.effective_window(&p);
+        let matched = matching_users(&p, &cond);
+        assert!(!matched.is_empty());
+        for &u in &matched {
+            assert!(p.first_mention(u, kw, window).is_some());
+        }
+        let matched_set: std::collections::HashSet<_> = matched.iter().copied().collect();
+        for u in 0..p.user_count() as u32 {
+            let u = UserId(u);
+            assert_eq!(p.first_mention(u, kw, window).is_some(), matched_set.contains(&u));
+        }
+    }
+
+    #[test]
+    fn window_narrows_matches() {
+        let p = build(2);
+        let kw = p.keywords().get("privacy").unwrap();
+        let all = exact_count(&p, &Condition::keyword(kw));
+        let narrow = exact_count(
+            &p,
+            &Condition::keyword(kw)
+                .in_window(TimeWindow::new(Timestamp::at_day(40), Timestamp::at_day(45))),
+        );
+        assert!(narrow <= all);
+        assert!(narrow > 0.0, "cascade should be active mid-window");
+    }
+
+    #[test]
+    fn predicates_partition_count() {
+        let p = build(3);
+        let kw = p.keywords().get("privacy").unwrap();
+        let total = exact_count(&p, &Condition::keyword(kw));
+        let male = exact_count(
+            &p,
+            &Condition::keyword(kw).with_predicate(ProfilePredicate::GenderIs(Gender::Male)),
+        );
+        let female = exact_count(
+            &p,
+            &Condition::keyword(kw).with_predicate(ProfilePredicate::GenderIs(Gender::Female)),
+        );
+        let undisclosed = exact_count(
+            &p,
+            &Condition::keyword(kw)
+                .with_predicate(ProfilePredicate::GenderIs(Gender::Undisclosed)),
+        );
+        assert_eq!(male + female + undisclosed, total);
+    }
+
+    #[test]
+    fn sum_and_avg_consistent() {
+        let p = build(4);
+        let kw = p.keywords().get("privacy").unwrap();
+        let cond = Condition::keyword(kw);
+        let count = exact_count(&p, &cond);
+        let sum = exact_sum(&p, &cond, UserMetric::FollowerCount);
+        let avg = exact_avg(&p, &cond, UserMetric::FollowerCount).unwrap();
+        assert!((avg - sum / count).abs() < 1e-9);
+        // SUM(One) == COUNT.
+        assert_eq!(exact_sum(&p, &cond, UserMetric::One), count);
+        // No matching users → None.
+        let mut cat_kw = None;
+        for id in 0..p.keywords().len() as u16 {
+            if p.keywords().name(KeywordId(id)) == "nonexistent" {
+                cat_kw = Some(KeywordId(id));
+            }
+        }
+        assert!(cat_kw.is_none());
+    }
+
+    #[test]
+    fn keyword_post_count_sums_posts_not_users() {
+        let p = build(5);
+        let kw = p.keywords().get("privacy").unwrap();
+        let cond = Condition::keyword(kw);
+        let posts = exact_sum(&p, &cond, UserMetric::KeywordPostCount);
+        let users = exact_count(&p, &cond);
+        assert!(posts >= users, "every matching user has >= 1 qualifying post");
+        // Cross-check against the search index.
+        let window = cond.effective_window(&p);
+        assert_eq!(posts, p.search_posts(kw, window).len() as f64);
+    }
+}

@@ -1,0 +1,157 @@
+//! User profiles and profile generation.
+//!
+//! Profiles carry the attributes the paper aggregates over or filters on:
+//! display-name length (Fig. 11/12), gender (Fig. 13 — present on Google+,
+//! "generally missing from Twitter profiles"), and follower/followee counts
+//! (reported in the profile, as real platforms do, so that metrics like
+//! AVG(#followers) need no extra connection queries).
+
+use crate::time::Timestamp;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Self-reported gender on the profile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Gender {
+    /// Profile says male.
+    Male,
+    /// Profile says female.
+    Female,
+    /// Not disclosed (the common case on Twitter).
+    Undisclosed,
+}
+
+/// A user profile as returned by the USER TIMELINE query (§2: "a user
+/// timeline query also returns the user's profile information").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Display name (generated; its length is an aggregate metric).
+    pub display_name: String,
+    /// Gender as disclosed on the profile.
+    pub gender: Gender,
+    /// Coarse region bucket (0..=15), usable as a selection predicate.
+    pub region: u8,
+    /// Self-reported age in years, when disclosed (the paper's §2 example
+    /// metric "users' age").
+    pub age: Option<u8>,
+    /// Account creation time.
+    pub joined: Timestamp,
+}
+
+impl UserProfile {
+    /// Display-name length in characters — the low-variance metric of
+    /// Figures 11 and 12.
+    pub fn display_name_len(&self) -> usize {
+        self.display_name.chars().count()
+    }
+}
+
+/// Syllable pool used to generate plausible display names with a realistic
+/// length distribution (roughly 4–20 characters, mean ≈ 11).
+const SYLLABLES: &[&str] = &[
+    "an", "bel", "cor", "dan", "el", "fi", "gre", "ha", "in", "jo", "ka", "li", "mo", "na", "or",
+    "pe", "qui", "ra", "sa", "ti", "ul", "vi", "wen", "xa", "yo", "zu",
+];
+
+/// Generates a profile for user `index`, with gender disclosed with
+/// probability `gender_disclosure` (platforms differ: ~0 on Twitter, high
+/// on Google+).
+pub fn generate_profile<R: Rng>(
+    rng: &mut R,
+    gender_disclosure: f64,
+    scenario_start: Timestamp,
+) -> UserProfile {
+    let parts = rng.gen_range(2..=5);
+    let mut name = String::new();
+    for i in 0..parts {
+        let syl = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+        if i == 0 {
+            let mut cs = syl.chars();
+            if let Some(first) = cs.next() {
+                name.extend(first.to_uppercase());
+                name.push_str(cs.as_str());
+            }
+        } else if i == parts / 2 && rng.gen_bool(0.5) {
+            name.push(' ');
+            name.push_str(syl);
+        } else {
+            name.push_str(syl);
+        }
+    }
+    let gender = if rng.gen_bool(gender_disclosure) {
+        if rng.gen_bool(0.52) {
+            Gender::Male
+        } else {
+            Gender::Female
+        }
+    } else {
+        Gender::Undisclosed
+    };
+    // Age disclosure tracks gender disclosure (profile completeness);
+    // ages skew young like real microblog demographics.
+    let age = if rng.gen_bool(gender_disclosure) {
+        let base: f64 = 16.0 + exp_like(rng) * 12.0;
+        Some(base.min(90.0) as u8)
+    } else {
+        None
+    };
+    // Accounts predate the scenario by up to ~5 years.
+    let joined = scenario_start - crate::time::Duration::days(rng.gen_range(0..5 * 365));
+    UserProfile { display_name: name, gender, region: rng.gen_range(0..16), age, joined }
+}
+
+/// A cheap positive skewed sample (mean ≈ 1).
+fn exp_like<R: Rng>(rng: &mut R) -> f64 {
+    -(rng.gen::<f64>().max(1e-9)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn profiles_are_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..200 {
+            let p = generate_profile(&mut rng, 0.5, Timestamp::EPOCH);
+            let len = p.display_name_len();
+            assert!((3..=24).contains(&len), "odd name length {len}: {}", p.display_name);
+            assert!(p.display_name.chars().next().unwrap().is_uppercase());
+            assert!(p.region < 16);
+            assert!(p.joined <= Timestamp::EPOCH);
+            if let Some(age) = p.age {
+                assert!((16..=90).contains(&age), "age {age}");
+            }
+        }
+    }
+
+    #[test]
+    fn gender_disclosure_rate_respected() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 2000;
+        let disclosed = (0..n)
+            .filter(|_| {
+                generate_profile(&mut rng, 0.8, Timestamp::EPOCH).gender != Gender::Undisclosed
+            })
+            .count();
+        let rate = disclosed as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.05, "rate {rate}");
+        let none = (0..500)
+            .filter(|_| {
+                generate_profile(&mut rng, 0.0, Timestamp::EPOCH).gender != Gender::Undisclosed
+            })
+            .count();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let pa = generate_profile(&mut a, 0.3, Timestamp::EPOCH);
+        let pb = generate_profile(&mut b, 0.3, Timestamp::EPOCH);
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the platform substrate.
+
+use microblog_platform::cascade::{simulate, CascadeConfig, DelayModel};
+use microblog_platform::gen::{community_preferential, erdos_renyi, CommunityGraphConfig};
+use microblog_platform::time::{Duration, TimeWindow, Timestamp};
+use microblog_platform::truth::{exact_avg, exact_count, exact_sum, matching_users, Condition};
+use microblog_platform::user::generate_profile;
+use microblog_platform::{PlatformBuilder, UserId, UserMetric};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn build_world(seed: u64, nodes: usize, adoption: f64) -> microblog_platform::Platform {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let cfg = CommunityGraphConfig {
+        nodes,
+        communities: (nodes / 100).max(2),
+        mean_out_degree: 8.0,
+        ..Default::default()
+    };
+    let (graph, _) = community_preferential(&mut rng, &cfg);
+    let users = (0..nodes).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let now = Timestamp::at_day(60);
+    let mut b = PlatformBuilder::new(graph, users, now);
+    let kw = b.intern_keyword("kw");
+    let window = TimeWindow::new(Timestamp::EPOCH, now);
+    let mut cc = CascadeConfig::new(kw, window);
+    cc.adoption_prob = adoption;
+    let outcome = simulate(&mut rng, b.graph(), &cc);
+    b.add_cascade(outcome);
+    b.add_chatter(&mut rng, 2.0, window);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cascade_adoptions_match_platform_truth(seed in 0u64..500, adoption in 0.005f64..0.05) {
+        let p = build_world(seed, 600, adoption);
+        let kw = p.keywords().get("kw").unwrap();
+        let cond = Condition::keyword(kw);
+        let matched = matching_users(&p, &cond);
+        // Every matched user's timeline contains a keyword post; every
+        // unmatched user's does not.
+        let set: std::collections::HashSet<_> = matched.iter().copied().collect();
+        for u in 0..p.user_count() as u32 {
+            let has = p
+                .timeline(UserId(u))
+                .iter()
+                .any(|&pid| p.post(pid).mentions(kw));
+            prop_assert_eq!(has, set.contains(&UserId(u)));
+        }
+    }
+
+    #[test]
+    fn exact_aggregates_are_consistent(seed in 0u64..500) {
+        let p = build_world(seed, 500, 0.02);
+        let kw = p.keywords().get("kw").unwrap();
+        let cond = Condition::keyword(kw);
+        let count = exact_count(&p, &cond);
+        for metric in [UserMetric::FollowerCount, UserMetric::DisplayNameLength, UserMetric::KeywordPostCount] {
+            let sum = exact_sum(&p, &cond, metric);
+            match exact_avg(&p, &cond, metric) {
+                Some(avg) => {
+                    prop_assert!(count > 0.0);
+                    prop_assert!((avg * count - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+                }
+                None => prop_assert_eq!(count, 0.0),
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_counts_are_monotone(seed in 0u64..500, split in 1i64..59) {
+        let p = build_world(seed, 500, 0.02);
+        let kw = p.keywords().get("kw").unwrap();
+        let whole = TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(60));
+        let early = TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(split));
+        let late = TimeWindow::new(Timestamp::at_day(split), Timestamp::at_day(60));
+        let c_whole = exact_count(&p, &Condition::keyword(kw).in_window(whole));
+        let c_early = exact_count(&p, &Condition::keyword(kw).in_window(early));
+        let c_late = exact_count(&p, &Condition::keyword(kw).in_window(late));
+        // Sub-windows can only lose matches; union can double-count users
+        // active in both, hence >=.
+        prop_assert!(c_early <= c_whole);
+        prop_assert!(c_late <= c_whole);
+        prop_assert!(c_early + c_late >= c_whole);
+    }
+
+    #[test]
+    fn delay_samples_are_positive(fast_frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let dm = DelayModel {
+            fast_fraction: fast_frac,
+            fast_mean: Duration(600),
+            slow_mean: Duration::hours(10),
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..100 {
+            prop_assert!(dm.sample(&mut rng).0 >= 1);
+        }
+    }
+
+    #[test]
+    fn er_graph_respects_bounds(n in 2usize..200, arcs in 0usize..400) {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let g = erdos_renyi(&mut rng, n, arcs);
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(g.arc_count() <= arcs);
+        for u in 0..n as u32 {
+            prop_assert!(!g.followees(u).contains(&u), "self-loop at {u}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! All estimators on one query at increasing budgets — a miniature of the
+//! paper's Figure 8/10 cost-vs-accuracy story.
+//!
+//! Run with: `cargo run --release -p microblog-analyzer --example algorithm_shootout`
+
+use microblog_analyzer::prelude::*;
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_platform::Duration;
+
+fn main() {
+    let scenario = twitter_2013(Scale::Small, 17);
+    let platform = &scenario.platform;
+    let kw = scenario.keyword("privacy").expect("scenario keyword");
+    let analyzer = MicroblogAnalyzer::new(platform, ApiProfile::twitter());
+
+    let avg = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(scenario.window);
+    let count = AggregateQuery::count(kw).in_window(scenario.window);
+    let t_avg = analyzer.ground_truth(&avg).expect("avg truth");
+    let t_count = analyzer.ground_truth(&count).expect("count truth");
+    println!(
+        "'privacy' ground truth: {} matching users, AVG(#followers) = {:.1}\n",
+        t_count, t_avg
+    );
+
+    let day = Some(Duration::DAY);
+    let algos: [(Algorithm, &AggregateQuery, f64); 5] = [
+        (Algorithm::MaTarw { interval: day }, &avg, t_avg),
+        (Algorithm::MaSrw { interval: day }, &avg, t_avg),
+        (Algorithm::SrwTermInduced, &avg, t_avg),
+        (Algorithm::MaTarw { interval: day }, &count, t_count),
+        (
+            Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+            &count,
+            t_count,
+        ),
+    ];
+
+    println!(
+        "{:<12} {:<6} {:>8} {:>12} {:>10} {:>9}",
+        "algorithm", "query", "budget", "estimate", "rel.err", "samples"
+    );
+    for (algo, query, truth) in algos {
+        let qname = match query.aggregate {
+            Aggregate::Count => "COUNT",
+            _ => "AVG",
+        };
+        for budget in [5_000u64, 15_000, 45_000] {
+            match analyzer.estimate(query, budget, algo, 23) {
+                Ok(est) => println!(
+                    "{:<12} {:<6} {:>8} {:>12.1} {:>9.1}% {:>9}",
+                    algo.name(),
+                    qname,
+                    budget,
+                    est.value,
+                    100.0 * est.relative_error(truth),
+                    est.samples
+                ),
+                Err(e) => println!(
+                    "{:<12} {:<6} {:>8} {:>12} {:>10} {:>9}",
+                    algo.name(),
+                    qname,
+                    budget,
+                    "-",
+                    format!("({e})"),
+                    "-"
+                ),
+            }
+        }
+    }
+    println!("\nexpected shape: MA-TARW reaches low error at the smallest budgets;");
+    println!("M&R needs collisions (Ω(√n) samples) before it can answer at all.");
+}

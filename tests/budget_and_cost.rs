@@ -1,0 +1,126 @@
+//! Budget discipline across the whole pipeline: estimators never overspend,
+//! never double-charge cached requests, and degrade gracefully.
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::{Algorithm, ViewKind};
+use microblog_api::{ApiError, CachingClient, MicroblogClient, QueryBudget};
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_platform::Duration;
+
+#[test]
+fn every_algorithm_respects_every_budget() {
+    let s = twitter_2013(Scale::Tiny, 3001);
+    let kw = s.keyword("privacy").unwrap();
+    let avg = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+    let count = AggregateQuery::count(kw).in_window(s.window);
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let day = Some(Duration::DAY);
+    let cases: Vec<(Algorithm, &AggregateQuery)> = vec![
+        (Algorithm::MaTarw { interval: day }, &avg),
+        (Algorithm::MaSrw { interval: day }, &avg),
+        (Algorithm::SrwTermInduced, &avg),
+        (Algorithm::SrwFullGraph, &avg),
+        (Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) }, &count),
+    ];
+    for (algo, q) in cases {
+        for budget in [200u64, 2_000, 20_000] {
+            match analyzer.estimate(q, budget, algo, 1) {
+                Ok(est) => {
+                    assert!(
+                        est.cost <= budget,
+                        "{} overspent: {} > {budget}",
+                        algo.name(),
+                        est.cost
+                    );
+                    assert!(est.value.is_finite());
+                }
+                Err(EstimateError::NoSamples | EstimateError::NoSeeds) => {}
+                Err(e) => panic!("{} failed unexpectedly at {budget}: {e}", algo.name()),
+            }
+        }
+    }
+}
+
+#[test]
+fn budget_is_shared_across_pipeline_stages() {
+    // Seed search + pilot walks + main walk all draw from one budget.
+    let s = twitter_2013(Scale::Tiny, 3002);
+    let kw = s.keyword("new york").unwrap();
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+    let budget = QueryBudget::limited(10_000);
+    let mut client = CachingClient::new(MicroblogClient::with_budget(
+        &s.platform,
+        ApiProfile::twitter(),
+        budget.clone(),
+    ));
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(5);
+    let cfg = microblog_analyzer::walker::tarw::TarwConfig::default(); // auto interval
+    let est = microblog_analyzer::walker::tarw::estimate(&mut client, &q, &cfg, &mut rng);
+    match est {
+        Ok(e) => {
+            assert_eq!(e.cost, budget.spent(), "estimate cost must equal budget spend");
+            assert!(budget.spent() <= 10_000);
+        }
+        Err(EstimateError::NoSamples) => assert!(budget.spent() <= 10_000),
+        Err(e) => panic!("unexpected: {e}"),
+    }
+}
+
+#[test]
+fn exhausted_budget_blocks_all_endpoints() {
+    let s = twitter_2013(Scale::Tiny, 3003);
+    let kw = s.keyword("privacy").unwrap();
+    // 2 calls: one Twitter connections request (followers + followees).
+    let budget = QueryBudget::limited(2);
+    let mut client =
+        MicroblogClient::with_budget(&s.platform, ApiProfile::twitter(), budget.clone());
+    client.connections(microblog_platform::UserId(0)).expect("first request fits");
+    assert_eq!(budget.remaining(), Some(0));
+    assert!(matches!(client.search(kw), Err(ApiError::BudgetExhausted { .. })));
+    assert!(matches!(
+        client.user_timeline(microblog_platform::UserId(0)),
+        Err(ApiError::BudgetExhausted { .. })
+    ));
+}
+
+#[test]
+fn caching_makes_second_estimate_cheaper_through_shared_client() {
+    let s = twitter_2013(Scale::Tiny, 3004);
+    let kw = s.keyword("boston").unwrap();
+    let q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
+    let budget = QueryBudget::limited(1_000_000);
+    let mut client = CachingClient::new(MicroblogClient::with_budget(
+        &s.platform,
+        ApiProfile::twitter(),
+        budget.clone(),
+    ));
+    let cfg = microblog_analyzer::walker::srw::SrwConfig::new(ViewKind::level(Duration::DAY));
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(6);
+    // First run pays for the region it explores...
+    let _ = microblog_analyzer::walker::srw::estimate(&mut client, &q, &cfg, &mut rng);
+    let after_first = budget.spent();
+    // ...a second run over the same client revisits mostly cached users.
+    let _ = microblog_analyzer::walker::srw::estimate(&mut client, &q, &cfg, &mut rng);
+    let second_cost = budget.spent() - after_first;
+    assert!(
+        (second_cost as f64) < 0.8 * after_first as f64,
+        "second run ({second_cost}) should be much cheaper than first ({after_first})"
+    );
+}
+
+#[test]
+fn wall_clock_reporting_is_consistent() {
+    use microblog_api::rate::wall_clock;
+    let s = twitter_2013(Scale::Tiny, 3005);
+    let kw = s.keyword("privacy").unwrap();
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let est = analyzer
+        .estimate(&q, 20_000, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 2)
+        .unwrap();
+    let twitter_time = wall_clock(&ApiProfile::twitter(), est.cost);
+    let tumblr_time = wall_clock(&ApiProfile::tumblr(), est.cost);
+    // Tumblr at 1 call / 10 s is orders of magnitude slower than Twitter's
+    // 180 / 15 min for the same call count.
+    assert!(tumblr_time > twitter_time);
+}

@@ -1,0 +1,147 @@
+//! End-to-end integration: every algorithm × every aggregate kind on a
+//! seeded world, estimates checked against exact ground truth.
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::{Algorithm, ViewKind};
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_platform::Duration;
+
+fn world() -> microblog_platform::scenario::Scenario {
+    twitter_2013(Scale::Tiny, 1001)
+}
+
+/// COUNT/SUM need enough keyword users for the level subgraph to stay
+/// walk-connected; Tiny worlds fragment (a world-size artifact), so the
+/// size-estimating tests run on a Small world.
+fn small_world() -> microblog_platform::scenario::Scenario {
+    twitter_2013(Scale::Small, 1001)
+}
+
+fn check(
+    s: &microblog_platform::scenario::Scenario,
+    q: &AggregateQuery,
+    algo: Algorithm,
+    budget: u64,
+    tolerance: f64,
+    seed: u64,
+) {
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let truth = analyzer.ground_truth(q).expect("ground truth defined");
+    let est = analyzer.estimate(q, budget, algo, seed).expect("estimation succeeds");
+    let rel = est.relative_error(truth);
+    assert!(
+        rel < tolerance,
+        "{} missed: est {:.2} vs truth {:.2} (rel {:.2}, budget {budget})",
+        algo.name(),
+        est.value,
+        truth,
+        rel
+    );
+    assert!(est.cost <= budget, "overspent budget");
+}
+
+#[test]
+fn ma_tarw_avg_followers() {
+    let s = world();
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
+        .in_window(s.window);
+    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 50_000, 0.5, 1);
+}
+
+#[test]
+fn ma_tarw_count_users() {
+    let s = small_world();
+    let q = AggregateQuery::count(s.keyword("boston").unwrap()).in_window(s.window);
+    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 60_000, 0.3, 2);
+}
+
+#[test]
+fn ma_tarw_sum_posts() {
+    let s = small_world();
+    let q = AggregateQuery::sum(UserMetric::KeywordPostCount, s.keyword("boston").unwrap())
+        .in_window(s.window);
+    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 60_000, 0.4, 3);
+}
+
+#[test]
+fn ma_tarw_post_avg_likes() {
+    let s = world();
+    let q = AggregateQuery::post_avg(
+        UserMetric::KeywordPostLikes,
+        UserMetric::KeywordPostCount,
+        s.keyword("new york").unwrap(),
+    )
+    .in_window(s.window);
+    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 50_000, 0.6, 4);
+}
+
+#[test]
+fn ma_srw_avg_display_name() {
+    let s = world();
+    let q = AggregateQuery::avg(UserMetric::DisplayNameLength, s.keyword("privacy").unwrap())
+        .in_window(s.window);
+    // Low-variance metric: tight tolerance at modest budget (Fig. 11).
+    check(&s, &q, Algorithm::MaSrw { interval: Some(Duration::DAY) }, 20_000, 0.15, 5);
+}
+
+#[test]
+fn srw_term_induced_avg() {
+    let s = world();
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("new york").unwrap())
+        .in_window(s.window);
+    check(&s, &q, Algorithm::SrwTermInduced, 60_000, 0.6, 6);
+}
+
+#[test]
+fn mark_recapture_count() {
+    let s = world();
+    let q = AggregateQuery::count(s.keyword("new york").unwrap()).in_window(s.window);
+    check(
+        &s,
+        &q,
+        Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+        120_000,
+        1.0,
+        7,
+    );
+}
+
+#[test]
+fn windowed_query_estimates_subperiod() {
+    let s = small_world();
+    // Jul–Oct window (still includes "now", so search can seed it).
+    let w = TimeWindow::new(Timestamp::at_day(180), s.window.end);
+    let q = AggregateQuery::count(s.keyword("new york").unwrap()).in_window(w);
+    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 60_000, 0.5, 8);
+}
+
+#[test]
+fn estimates_improve_with_budget_on_average() {
+    // Not guaranteed per-seed, so average over seeds and compare a small
+    // against a large budget.
+    let s = world();
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
+        .in_window(s.window);
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let truth = analyzer.ground_truth(&q).unwrap();
+    let mean_err = |budget: u64| {
+        let mut total = 0.0;
+        let mut n = 0;
+        for seed in 0..4 {
+            if let Ok(e) =
+                analyzer.estimate(&q, budget, Algorithm::MaTarw { interval: Some(Duration::DAY) }, seed)
+            {
+                total += e.relative_error(truth);
+                n += 1;
+            }
+        }
+        assert!(n > 0, "no successful trials at budget {budget}");
+        total / n as f64
+    };
+    let small = mean_err(4_000);
+    let large = mean_err(80_000);
+    assert!(
+        large <= small + 0.05,
+        "error should not grow with budget: small {small:.3} vs large {large:.3}"
+    );
+}

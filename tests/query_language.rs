@@ -1,0 +1,98 @@
+//! End-to-end: SQL-ish text → parsed query → estimation → ground truth.
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::Algorithm;
+use microblog_platform::scenario::{google_plus_2013, twitter_2013, Scale};
+use microblog_platform::Duration;
+
+#[test]
+fn parsed_queries_match_hand_built_ones() {
+    let s = twitter_2013(Scale::Tiny, 7001);
+    let cat = s.platform.keywords();
+    let parsed = parse_query(
+        "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'boston' \
+         AND TIME BETWEEN DAY 0 AND DAY 303",
+        cat,
+    )
+    .unwrap();
+    let built = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("boston").unwrap())
+        .in_window(s.window);
+    assert_eq!(parsed.ground_truth(&s.platform), built.ground_truth(&s.platform));
+}
+
+#[test]
+fn parsed_query_runs_through_the_analyzer() {
+    let s = twitter_2013(Scale::Tiny, 7002);
+    let q = parse_query(
+        "SELECT AVG(NAME_LENGTH) FROM USERS WHERE KEYWORD = 'new york' \
+         AND TIME BETWEEN DAY 0 AND DAY 303",
+        s.platform.keywords(),
+    )
+    .unwrap();
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let truth = analyzer.ground_truth(&q).unwrap();
+    let est = analyzer
+        .estimate(&q, 25_000, Algorithm::MaSrw { interval: Some(Duration::DAY) }, 1)
+        .unwrap();
+    assert!(est.relative_error(truth) < 0.2, "est {} truth {truth}", est.value);
+}
+
+#[test]
+fn age_predicates_scope_ground_truth() {
+    // Google+-flavoured world: high disclosure.
+    let s = google_plus_2013(Scale::Tiny, 7003);
+    let cat = s.platform.keywords();
+    let all = parse_query(
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'new york' \
+         AND TIME BETWEEN DAY 0 AND DAY 303",
+        cat,
+    )
+    .unwrap();
+    let disclosed = parse_query(
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'new york' \
+         AND TIME BETWEEN DAY 0 AND DAY 303 AND AGE DISCLOSED",
+        cat,
+    )
+    .unwrap();
+    let adults = parse_query(
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'new york' \
+         AND TIME BETWEEN DAY 0 AND DAY 303 AND AGE >= 30",
+        cat,
+    )
+    .unwrap();
+    let t_all = all.ground_truth(&s.platform).unwrap();
+    let t_disclosed = disclosed.ground_truth(&s.platform).unwrap();
+    let t_adults = adults.ground_truth(&s.platform).unwrap();
+    assert!(t_all > 0.0);
+    assert!(t_disclosed <= t_all);
+    assert!(t_adults <= t_disclosed, "MinAge implies disclosure");
+    assert!(t_disclosed > 0.4 * t_all, "Google+ discloses most ages");
+}
+
+#[test]
+fn avg_age_of_disclosed_users_is_plausible() {
+    let s = google_plus_2013(Scale::Tiny, 7004);
+    let q = parse_query(
+        "SELECT AVG(AGE) FROM USERS WHERE KEYWORD = 'new york' \
+         AND TIME BETWEEN DAY 0 AND DAY 303 AND AGE DISCLOSED",
+        s.platform.keywords(),
+    )
+    .unwrap();
+    let truth = q.ground_truth(&s.platform).unwrap();
+    assert!((16.0..60.0).contains(&truth), "avg age {truth}");
+}
+
+#[test]
+fn parse_errors_do_not_panic_estimation_path() {
+    let s = twitter_2013(Scale::Tiny, 7005);
+    for bad in [
+        "SELECT",
+        "",
+        "SELECT COUNT(*) FROM USERS",
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'no-such-keyword-at-all'",
+        "DROP TABLE users",
+    ] {
+        assert!(parse_query(bad, s.platform.keywords()).is_err(), "{bad:?} should not parse");
+    }
+}

@@ -1,0 +1,107 @@
+//! Validation of the reported uncertainty (Theorem 5.1's role): the
+//! standard errors the estimators report should predict the actual spread
+//! of estimates across independent runs.
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::Algorithm;
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_platform::Duration;
+
+/// Runs `algo` across seeds; returns (values, reported std errs).
+fn spread(
+    s: &microblog_platform::scenario::Scenario,
+    q: &AggregateQuery,
+    algo: Algorithm,
+    budget: u64,
+    runs: u64,
+) -> (Vec<f64>, Vec<f64>) {
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let mut values = Vec::new();
+    let mut errs = Vec::new();
+    for seed in 0..runs {
+        if let Ok(e) = analyzer.estimate(q, budget, algo, seed) {
+            values.push(e.value);
+            if let Some(se) = e.std_err {
+                errs.push(se);
+            }
+        }
+    }
+    (values, errs)
+}
+
+fn std_dev(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    (xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)).sqrt()
+}
+
+#[test]
+fn tarw_std_err_tracks_cross_run_spread() {
+    let s = twitter_2013(Scale::Small, 8001);
+    let q = AggregateQuery::count(s.keyword("boston").unwrap()).in_window(s.window);
+    let (values, errs) =
+        spread(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 30_000, 8);
+    assert!(values.len() >= 6, "too few successful runs");
+    assert!(!errs.is_empty(), "TARW must report a standard error");
+    let observed = std_dev(&values);
+    let reported = errs.iter().sum::<f64>() / errs.len() as f64;
+    // Same order of magnitude: the reported per-run std error should be
+    // within a factor of ~4 of the observed cross-run spread. (They are
+    // not identical quantities — cross-run spread includes seed-choice
+    // variation — but a 10x mismatch would mean the variance tracking of
+    // Theorem 5.1's role is broken.)
+    assert!(
+        reported > observed / 4.0 && reported < observed * 4.0,
+        "reported {reported:.1} vs observed {observed:.1}"
+    );
+}
+
+#[test]
+fn srw_batch_std_err_is_reported_with_enough_samples() {
+    let s = twitter_2013(Scale::Tiny, 8002);
+    let q = AggregateQuery::avg(UserMetric::DisplayNameLength, s.keyword("new york").unwrap())
+        .in_window(s.window);
+    let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let est = analyzer
+        .estimate(&q, 30_000, Algorithm::MaSrw { interval: Some(Duration::DAY) }, 3)
+        .unwrap();
+    let se = est.std_err.expect("enough samples for batch means");
+    // The truth should be within a few reported standard errors.
+    let truth = analyzer.ground_truth(&q).unwrap();
+    assert!(
+        (est.value - truth).abs() < 8.0 * se.max(0.05),
+        "value {} truth {truth} se {se}",
+        est.value
+    );
+}
+
+#[test]
+fn more_instances_tighten_tarw_std_err() {
+    use microblog_analyzer::walker::tarw::{estimate as tarw, TarwConfig};
+    use microblog_api::{CachingClient, MicroblogClient, QueryBudget};
+    use rand::SeedableRng;
+
+    let s = twitter_2013(Scale::Tiny, 8003);
+    let q = AggregateQuery::count(s.keyword("new york").unwrap()).in_window(s.window);
+    let run = |max_instances: usize| {
+        let mut client = CachingClient::new(MicroblogClient::with_budget(
+            &s.platform,
+            ApiProfile::twitter(),
+            QueryBudget::limited(500_000),
+        ));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4);
+        let cfg = TarwConfig {
+            interval: Some(Duration::DAY),
+            max_instances,
+            ..Default::default()
+        };
+        tarw(&mut client, &q, &cfg, &mut rng).unwrap()
+    };
+    let few = run(20);
+    let many = run(400);
+    let (se_few, se_many) = (few.std_err.unwrap(), many.std_err.unwrap());
+    assert!(
+        se_many < se_few,
+        "std err should shrink with instances: {se_few:.2} -> {se_many:.2}"
+    );
+}
