@@ -23,12 +23,18 @@ pub struct QueryBudget(Arc<Mutex<Inner>>);
 impl QueryBudget {
     /// A budget that never runs out (for ground-truth-side tooling).
     pub fn unlimited() -> Self {
-        QueryBudget(Arc::new(Mutex::new(Inner { limit: None, spent: 0 })))
+        QueryBudget(Arc::new(Mutex::new(Inner {
+            limit: None,
+            spent: 0,
+        })))
     }
 
     /// A budget of `limit` total API calls.
     pub fn limited(limit: u64) -> Self {
-        QueryBudget(Arc::new(Mutex::new(Inner { limit: Some(limit), spent: 0 })))
+        QueryBudget(Arc::new(Mutex::new(Inner {
+            limit: Some(limit),
+            spent: 0,
+        })))
     }
 
     /// Charges `calls` calls, failing (and charging nothing) if that would
@@ -37,7 +43,10 @@ impl QueryBudget {
         let mut inner = self.0.lock();
         if let Some(limit) = inner.limit {
             if inner.spent + calls > limit {
-                return Err(ApiError::BudgetExhausted { spent: inner.spent, limit });
+                return Err(ApiError::BudgetExhausted {
+                    spent: inner.spent,
+                    limit,
+                });
             }
         }
         inner.spent += calls;
@@ -58,7 +67,7 @@ impl QueryBudget {
     /// Whether at least `calls` more calls fit.
     pub fn can_afford(&self, calls: u64) -> bool {
         let inner = self.0.lock();
-        inner.limit.map_or(true, |l| inner.spent + calls <= l)
+        inner.limit.is_none_or(|l| inner.spent + calls <= l)
     }
 }
 

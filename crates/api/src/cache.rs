@@ -1,0 +1,176 @@
+//! Cross-query response caching.
+//!
+//! [`CacheLayer`] is the interface a *shared* cache implements so that
+//! many concurrent queries against the same platform + [`ApiProfile`] can
+//! reuse each other's SEARCH / USER TIMELINE / USER CONNECTIONS
+//! responses. The service crate provides the production implementation (a
+//! sharded, bounded, LRU-evicting store); this crate only defines the
+//! contract and the accounting types.
+//!
+//! ## Logical charging
+//!
+//! The walkers terminate when the per-query budget runs out, so a cache
+//! hit that cost *nothing* would lengthen the walk and change the
+//! estimate — queries would stop being reproducible. Instead every cache
+//! entry remembers how many API calls the original fetch cost
+//! ([`Cached::calls`]), and a shared-cache hit charges the querying
+//! client's budget and meter exactly that amount. The walk trajectory,
+//! the reported [`CostMeter`] totals and the final estimate are therefore
+//! *bit-identical* to an isolated run; only the count of **actual**
+//! platform fetches drops. [`CacheStats`] tracks both sides.
+//!
+//! [`ApiProfile`]: crate::profile::ApiProfile
+//! [`CostMeter`]: crate::meter::CostMeter
+
+use crate::client::{SearchHit, UserView};
+use crate::meter::CostMeter;
+use microblog_platform::{KeywordId, UserId};
+use serde::Serialize;
+use std::sync::Arc;
+
+/// A cached response plus the API-call cost of the fetch that produced
+/// it, so hits can re-charge the same amount (see module docs).
+#[derive(Clone, Debug)]
+pub struct Cached<T: ?Sized> {
+    /// The shared response payload.
+    pub data: Arc<T>,
+    /// API calls the original fetch charged.
+    pub calls: u64,
+}
+
+/// A cached SEARCH response.
+pub type CachedSearch = Cached<Vec<SearchHit>>;
+/// A cached USER TIMELINE response.
+pub type CachedTimeline = Cached<UserView>;
+/// A cached USER CONNECTIONS response.
+pub type CachedConnections = Cached<Vec<UserId>>;
+
+/// A thread-safe response cache shared by many queries.
+///
+/// Implementations must be safe to call from concurrent worker threads;
+/// all methods take `&self`. A layer instance is only meaningful for one
+/// (platform, API profile) pair — mixing pollutes responses and costs.
+pub trait CacheLayer: Send + Sync {
+    /// Looks up a SEARCH response.
+    fn get_search(&self, kw: KeywordId) -> Option<CachedSearch>;
+    /// Stores a SEARCH response.
+    fn put_search(&self, kw: KeywordId, entry: CachedSearch);
+    /// Looks up a USER TIMELINE response.
+    fn get_timeline(&self, u: UserId) -> Option<CachedTimeline>;
+    /// Stores a USER TIMELINE response.
+    fn put_timeline(&self, u: UserId, entry: CachedTimeline);
+    /// Looks up a USER CONNECTIONS response.
+    fn get_connections(&self, u: UserId) -> Option<CachedConnections>;
+    /// Stores a USER CONNECTIONS response.
+    fn put_connections(&self, u: UserId, entry: CachedConnections);
+}
+
+/// Per-client cache accounting, kept by
+/// [`CachingClient`](crate::client::CachingClient).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Requests served from this query's own memo at zero cost.
+    pub local_hits: u64,
+    /// Requests served from the shared cross-query layer (charged
+    /// logically, but no platform fetch happened).
+    pub shared_hits: u64,
+    /// Requests that reached the platform.
+    pub misses: u64,
+    /// API calls actually issued against the platform (misses only).
+    pub actual_calls: u64,
+    /// API calls charged for shared hits without touching the platform —
+    /// the cross-query saving.
+    pub saved_calls: u64,
+}
+
+impl CacheStats {
+    /// Total requests that went through the cache stack.
+    pub fn requests(&self) -> u64 {
+        self.local_hits + self.shared_hits + self.misses
+    }
+
+    /// Shared-layer hit rate over the requests that missed the local
+    /// memo; `None` when no request got that far.
+    pub fn shared_hit_rate(&self) -> Option<f64> {
+        let reached = self.shared_hits + self.misses;
+        (reached > 0).then(|| self.shared_hits as f64 / reached as f64)
+    }
+
+    /// Accumulates another client's counters (for service-wide totals).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.local_hits += other.local_hits;
+        self.shared_hits += other.shared_hits;
+        self.misses += other.misses;
+        self.actual_calls += other.actual_calls;
+        self.saved_calls += other.saved_calls;
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits ({} local, {} shared), {} misses; {} calls issued, {} saved",
+            self.local_hits + self.shared_hits,
+            self.local_hits,
+            self.shared_hits,
+            self.misses,
+            self.actual_calls,
+            self.saved_calls
+        )
+    }
+}
+
+/// A client's combined charge/cache report: what was charged (the
+/// paper's cost metric, including logical charges for shared hits) and
+/// how the cache stack behaved.
+#[derive(Clone, Debug, Serialize)]
+pub struct CostReport {
+    /// Per-endpoint charged calls.
+    pub meter: CostMeter,
+    /// Hit/miss accounting.
+    pub cache: CacheStats,
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}; cache: {}", self.meter, self.cache)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_totals() {
+        let mut s = CacheStats {
+            local_hits: 5,
+            shared_hits: 3,
+            misses: 1,
+            actual_calls: 4,
+            saved_calls: 9,
+        };
+        assert_eq!(s.requests(), 9);
+        assert_eq!(s.shared_hit_rate(), Some(0.75));
+        s.absorb(&s.clone());
+        assert_eq!(s.misses, 2);
+        assert_eq!(s.saved_calls, 18);
+        assert_eq!(CacheStats::default().shared_hit_rate(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = CacheStats {
+            local_hits: 2,
+            shared_hits: 1,
+            misses: 3,
+            actual_calls: 7,
+            saved_calls: 2,
+        };
+        let text = s.to_string();
+        assert!(text.contains("3 hits"));
+        assert!(text.contains("3 misses"));
+        assert!(text.contains("7 calls issued"));
+    }
+}

@@ -11,6 +11,7 @@
 //! the standard practice in the crawling literature the paper builds on.
 
 use crate::budget::QueryBudget;
+use crate::cache::{CacheLayer, CacheStats, Cached, CostReport};
 use crate::error::ApiError;
 use crate::meter::CostMeter;
 use crate::profile::ApiProfile;
@@ -89,7 +90,12 @@ impl<'a> MicroblogClient<'a> {
 
     /// A client charging the given (possibly shared) budget.
     pub fn with_budget(platform: &'a Platform, profile: ApiProfile, budget: QueryBudget) -> Self {
-        MicroblogClient { platform, profile, meter: CostMeter::new(), budget }
+        MicroblogClient {
+            platform,
+            profile,
+            meter: CostMeter::new(),
+            budget,
+        }
     }
 
     /// The API profile in force.
@@ -127,7 +133,11 @@ impl<'a> MicroblogClient<'a> {
             .into_iter()
             .map(|pid| {
                 let p = self.platform.post(pid);
-                SearchHit { post_id: pid, author: p.author, time: p.time }
+                SearchHit {
+                    post_id: pid,
+                    author: p.author,
+                    time: p.time,
+                }
             })
             .collect())
     }
@@ -148,7 +158,10 @@ impl<'a> MicroblogClient<'a> {
             profile: self.platform.profile(u).clone(),
             follower_count: self.platform.followers(u).len(),
             followee_count: self.platform.followees(u).len(),
-            posts: visible.iter().map(|&pid| self.platform.post(pid).clone()).collect(),
+            posts: visible
+                .iter()
+                .map(|&pid| self.platform.post(pid).clone())
+                .collect(),
             truncated: visible.len() < all.len(),
         })
     }
@@ -214,24 +227,49 @@ impl<'a> MicroblogClient<'a> {
 }
 
 /// A memoizing wrapper: repeated requests for the same user or keyword are
-/// served from cache at zero cost.
-#[derive(Clone, Debug)]
+/// served from the query's own memo at zero cost. Optionally layered over
+/// a shared cross-query [`CacheLayer`]; shared hits skip the platform
+/// fetch but still charge the budget and meter what the fetch would have
+/// cost, so runs stay reproducible (see [`crate::cache`] for why).
+#[derive(Clone)]
 pub struct CachingClient<'a> {
     inner: MicroblogClient<'a>,
     timelines: HashMap<UserId, Arc<UserView>>,
     connections: HashMap<UserId, Arc<Vec<UserId>>>,
     searches: HashMap<KeywordId, Arc<Vec<SearchHit>>>,
+    shared: Option<Arc<dyn CacheLayer>>,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for CachingClient<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingClient")
+            .field("inner", &self.inner)
+            .field("shared", &self.shared.is_some())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> CachingClient<'a> {
-    /// Wraps a client.
+    /// Wraps a client with no shared layer.
     pub fn new(inner: MicroblogClient<'a>) -> Self {
         CachingClient {
             inner,
             timelines: HashMap::new(),
             connections: HashMap::new(),
             searches: HashMap::new(),
+            shared: None,
+            stats: CacheStats::default(),
         }
+    }
+
+    /// Wraps a client over a shared cross-query cache. The layer must be
+    /// dedicated to this client's platform and API profile.
+    pub fn with_shared(inner: MicroblogClient<'a>, shared: Arc<dyn CacheLayer>) -> Self {
+        let mut client = CachingClient::new(inner);
+        client.shared = Some(shared);
+        client
     }
 
     /// The wrapped client (for meters/budget/profile access).
@@ -244,6 +282,19 @@ impl<'a> CachingClient<'a> {
         self.inner.meter().total()
     }
 
+    /// Cache hit/miss accounting for this client.
+    pub fn cache_stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Combined meter + cache report for this client.
+    pub fn report(&self) -> CostReport {
+        CostReport {
+            meter: *self.inner.meter(),
+            cache: self.stats,
+        }
+    }
+
     /// The platform clock.
     pub fn now(&self) -> Timestamp {
         self.inner.now()
@@ -252,9 +303,31 @@ impl<'a> CachingClient<'a> {
     /// Cached SEARCH.
     pub fn search(&mut self, kw: KeywordId) -> Result<Arc<Vec<SearchHit>>, ApiError> {
         if let Some(hit) = self.searches.get(&kw) {
+            self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
+        if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_search(kw)) {
+            self.inner.budget.charge(entry.calls)?;
+            self.inner.meter.search += entry.calls;
+            self.stats.shared_hits += 1;
+            self.stats.saved_calls += entry.calls;
+            self.searches.insert(kw, Arc::clone(&entry.data));
+            return Ok(entry.data);
+        }
+        let before = self.inner.meter.search;
         let fresh = Arc::new(self.inner.search(kw)?);
+        let calls = self.inner.meter.search - before;
+        self.stats.misses += 1;
+        self.stats.actual_calls += calls;
+        if let Some(layer) = &self.shared {
+            layer.put_search(
+                kw,
+                Cached {
+                    data: Arc::clone(&fresh),
+                    calls,
+                },
+            );
+        }
         self.searches.insert(kw, Arc::clone(&fresh));
         Ok(fresh)
     }
@@ -262,9 +335,31 @@ impl<'a> CachingClient<'a> {
     /// Cached USER TIMELINE.
     pub fn user_timeline(&mut self, u: UserId) -> Result<Arc<UserView>, ApiError> {
         if let Some(hit) = self.timelines.get(&u) {
+            self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
+        if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_timeline(u)) {
+            self.inner.budget.charge(entry.calls)?;
+            self.inner.meter.timeline += entry.calls;
+            self.stats.shared_hits += 1;
+            self.stats.saved_calls += entry.calls;
+            self.timelines.insert(u, Arc::clone(&entry.data));
+            return Ok(entry.data);
+        }
+        let before = self.inner.meter.timeline;
         let fresh = Arc::new(self.inner.user_timeline(u)?);
+        let calls = self.inner.meter.timeline - before;
+        self.stats.misses += 1;
+        self.stats.actual_calls += calls;
+        if let Some(layer) = &self.shared {
+            layer.put_timeline(
+                u,
+                Cached {
+                    data: Arc::clone(&fresh),
+                    calls,
+                },
+            );
+        }
         self.timelines.insert(u, Arc::clone(&fresh));
         Ok(fresh)
     }
@@ -272,9 +367,35 @@ impl<'a> CachingClient<'a> {
     /// Cached USER CONNECTIONS.
     pub fn connections(&mut self, u: UserId) -> Result<Arc<Vec<UserId>>, ApiError> {
         if let Some(hit) = self.connections.get(&u) {
+            self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
+        if let Some(entry) = self
+            .shared
+            .as_ref()
+            .and_then(|layer| layer.get_connections(u))
+        {
+            self.inner.budget.charge(entry.calls)?;
+            self.inner.meter.connections += entry.calls;
+            self.stats.shared_hits += 1;
+            self.stats.saved_calls += entry.calls;
+            self.connections.insert(u, Arc::clone(&entry.data));
+            return Ok(entry.data);
+        }
+        let before = self.inner.meter.connections;
         let fresh = Arc::new(self.inner.connections(u)?);
+        let calls = self.inner.meter.connections - before;
+        self.stats.misses += 1;
+        self.stats.actual_calls += calls;
+        if let Some(layer) = &self.shared {
+            layer.put_connections(
+                u,
+                Cached {
+                    data: Arc::clone(&fresh),
+                    calls,
+                },
+            );
+        }
         self.connections.insert(u, Arc::clone(&fresh));
         Ok(fresh)
     }

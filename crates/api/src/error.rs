@@ -35,8 +35,14 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = ApiError::BudgetExhausted { spent: 10, limit: 10 };
+        let e = ApiError::BudgetExhausted {
+            spent: 10,
+            limit: 10,
+        };
         assert_eq!(e.to_string(), "query budget exhausted (10/10 API calls)");
-        assert_eq!(ApiError::UnknownUser(UserId(3)).to_string(), "unknown user u3");
+        assert_eq!(
+            ApiError::UnknownUser(UserId(3)).to_string(),
+            "unknown user u3"
+        );
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod cache;
 pub mod client;
 pub mod error;
 pub mod meter;
@@ -36,6 +37,9 @@ pub mod profile;
 pub mod rate;
 
 pub use budget::QueryBudget;
+pub use cache::{
+    CacheLayer, CacheStats, Cached, CachedConnections, CachedSearch, CachedTimeline, CostReport,
+};
 pub use client::{CachingClient, MicroblogClient, SearchHit, UserView};
 pub use error::ApiError;
 pub use meter::CostMeter;

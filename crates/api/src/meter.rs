@@ -52,12 +52,30 @@ mod tests {
 
     #[test]
     fn totals_and_absorb() {
-        let mut a = CostMeter { search: 1, connections: 2, timeline: 3 };
+        let mut a = CostMeter {
+            search: 1,
+            connections: 2,
+            timeline: 3,
+        };
         assert_eq!(a.total(), 6);
-        let b = CostMeter { search: 10, connections: 0, timeline: 5 };
+        let b = CostMeter {
+            search: 10,
+            connections: 0,
+            timeline: 5,
+        };
         a.absorb(&b);
-        assert_eq!(a, CostMeter { search: 11, connections: 2, timeline: 8 });
-        assert_eq!(a.to_string(), "21 calls (search 11, connections 2, timeline 8)");
+        assert_eq!(
+            a,
+            CostMeter {
+                search: 11,
+                connections: 2,
+                timeline: 8
+            }
+        );
+        assert_eq!(
+            a.to_string(),
+            "21 calls (search 11, connections 2, timeline 8)"
+        );
         assert_eq!(CostMeter::new().total(), 0);
     }
 }

@@ -58,7 +58,10 @@ impl ApiProfile {
             timeline_cap: Some(3_200),
             connections_page: 5_000,
             asymmetric: true,
-            quota: RateQuota { calls: 180, per: Duration(15 * 60) },
+            quota: RateQuota {
+                calls: 180,
+                per: Duration(15 * 60),
+            },
         }
     }
 
@@ -75,7 +78,10 @@ impl ApiProfile {
             timeline_cap: None,
             connections_page: 100,
             asymmetric: false,
-            quota: RateQuota { calls: 10_000, per: Duration::DAY },
+            quota: RateQuota {
+                calls: 10_000,
+                per: Duration::DAY,
+            },
         }
     }
 
@@ -91,7 +97,10 @@ impl ApiProfile {
             timeline_cap: None,
             connections_page: 20,
             asymmetric: true,
-            quota: RateQuota { calls: 1, per: Duration(10) },
+            quota: RateQuota {
+                calls: 1,
+                per: Duration(10),
+            },
         }
     }
 
@@ -121,7 +130,13 @@ mod tests {
         assert!(!g.asymmetric);
 
         let tb = ApiProfile::tumblr();
-        assert_eq!(tb.quota, RateQuota { calls: 1, per: Duration(10) });
+        assert_eq!(
+            tb.quota,
+            RateQuota {
+                calls: 1,
+                per: Duration(10)
+            }
+        );
         assert_eq!(tb.search_cap, Some(3_000));
     }
 

@@ -70,6 +70,9 @@ mod tests {
         assert_eq!(human_duration(Duration(30)), "30s");
         assert_eq!(human_duration(Duration(150)), "2m");
         assert_eq!(human_duration(Duration::hours(3) + Duration(120)), "3h 2m");
-        assert_eq!(human_duration(Duration::days(2) + Duration::hours(5)), "2d 5h");
+        assert_eq!(
+            human_duration(Duration::days(2) + Duration::hours(5)),
+            "2d 5h"
+        );
     }
 }

@@ -4,9 +4,7 @@ use microblog_api::{ApiError, ApiProfile, CachingClient, MicroblogClient, QueryB
 use microblog_platform::gen::{community_preferential, CommunityGraphConfig};
 use microblog_platform::scenario::{twitter_2013, Scale};
 use microblog_platform::user::generate_profile;
-use microblog_platform::{
-    Duration, Platform, PlatformBuilder, TimeWindow, Timestamp, UserId,
-};
+use microblog_platform::{Duration, Platform, PlatformBuilder, TimeWindow, Timestamp, UserId};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -16,9 +14,15 @@ fn scripted() -> Platform {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let (graph, _) = community_preferential(
         &mut rng,
-        &CommunityGraphConfig { nodes: 50, communities: 2, ..Default::default() },
+        &CommunityGraphConfig {
+            nodes: 50,
+            communities: 2,
+            ..Default::default()
+        },
     );
-    let users = (0..50).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let users = (0..50)
+        .map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH))
+        .collect();
     let now = Timestamp::at_day(10);
     let mut b = PlatformBuilder::new(graph, users, now);
     let kw = b.intern_keyword("privacy");
@@ -67,7 +71,7 @@ fn timeline_cap_truncates_and_costs_pages() {
     assert!(view.truncated, "7000 posts exceed the 3200 cap");
     assert_eq!(view.posts.len(), 3_200);
     assert_eq!(c.meter().timeline, 16); // 3200 / 200
-    // Most recent first.
+                                        // Most recent first.
     for w in view.posts.windows(2) {
         assert!(w[0].time >= w[1].time);
     }
@@ -135,7 +139,13 @@ fn budget_rejects_before_serving() {
     assert_eq!(budget.spent(), 16);
     // Another 16-call request exceeds the remaining 1.
     let err = c.user_timeline(UserId(1)).unwrap_err();
-    assert!(matches!(err, ApiError::BudgetExhausted { spent: 16, limit: 17 }));
+    assert!(matches!(
+        err,
+        ApiError::BudgetExhausted {
+            spent: 16,
+            limit: 17
+        }
+    ));
     // The failed request charged nothing.
     assert_eq!(budget.spent(), 16);
     // A 1-call request still fits.

@@ -13,7 +13,9 @@ use rand_chacha::ChaCha8Rng;
 fn tiny_platform(seed: u64, users: usize, posts_per_user: usize) -> microblog_platform::Platform {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let graph = erdos_renyi(&mut rng, users, users * 4);
-    let profiles = (0..users).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let profiles = (0..users)
+        .map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH))
+        .collect();
     let now = Timestamp::at_day(30);
     let mut b = PlatformBuilder::new(graph, profiles, now);
     let kw = b.intern_keyword("kw");

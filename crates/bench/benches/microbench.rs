@@ -24,7 +24,11 @@ fn bench_graph_construction(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("csr_from_edges", n), &edges, |b, edges| {
             b.iter(|| CsrGraph::from_edges(n, edges.iter().copied()))
         });
-        let cfg = CommunityGraphConfig { nodes: n, communities: n / 100, ..Default::default() };
+        let cfg = CommunityGraphConfig {
+            nodes: n,
+            communities: n / 100,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::new("community_gen", n), &cfg, |b, cfg| {
             b.iter(|| {
                 let mut rng = ChaCha8Rng::seed_from_u64(2);
@@ -37,7 +41,11 @@ fn bench_graph_construction(c: &mut Criterion) {
 
 fn bench_walks(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let cfg = CommunityGraphConfig { nodes: 20_000, communities: 100, ..Default::default() };
+    let cfg = CommunityGraphConfig {
+        nodes: 20_000,
+        communities: 100,
+        ..Default::default()
+    };
     let (g, _) = community_preferential(&mut rng, &cfg);
     let und = g.to_undirected();
     c.bench_function("srw_10k_steps", |b| {
@@ -61,12 +69,18 @@ fn bench_walks(c: &mut Criterion) {
 fn bench_conductance(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(6);
     let g = ma_bench::ablations::stylized_level_graph(&mut rng, 2_000, 10, 3, 2);
-    c.bench_function("sweep_conductance_2k", |b| b.iter(|| sweep_conductance(&g, 100)));
+    c.bench_function("sweep_conductance_2k", |b| {
+        b.iter(|| sweep_conductance(&g, 100))
+    });
 }
 
 fn bench_cascade(c: &mut Criterion) {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let cfg = CommunityGraphConfig { nodes: 10_000, communities: 50, ..Default::default() };
+    let cfg = CommunityGraphConfig {
+        nodes: 10_000,
+        communities: 50,
+        ..Default::default()
+    };
     let (g, _) = community_preferential(&mut rng, &cfg);
     let window = TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(303));
     c.bench_function("cascade_10k_users", |b| {

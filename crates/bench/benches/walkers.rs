@@ -40,7 +40,9 @@ fn bench_algorithms(c: &mut Criterion) {
             analyzer.estimate(
                 &count,
                 budget,
-                Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+                Algorithm::MarkRecapture {
+                    view: ViewKind::level(Duration::DAY),
+                },
                 1,
             )
         })

@@ -7,8 +7,7 @@ use microblog_analyzer::prelude::*;
 use microblog_analyzer::walker::tarw::{estimate as tarw_estimate, PMode, TarwConfig};
 use microblog_api::{CachingClient, MicroblogClient, QueryBudget};
 use microblog_graph::conductance::{
-    conductance_level, conductance_with_intra, optimal_inter_degree, sweep_conductance,
-    LevelModel,
+    conductance_level, conductance_with_intra, optimal_inter_degree, sweep_conductance, LevelModel,
 };
 use microblog_graph::csr::CsrGraph;
 use microblog_platform::Duration;
@@ -18,8 +17,17 @@ use rand_chacha::ChaCha8Rng;
 /// Builds the stylized level-by-level graph of Theorem 4.1: `h` levels of
 /// `n/h` nodes, each node with `d` random next-level neighbors and `k`
 /// random intra-level neighbors.
-pub fn stylized_level_graph<R: Rng>(rng: &mut R, n: usize, h: usize, d: usize, k: usize) -> CsrGraph {
-    assert!(h >= 2 && n % h == 0, "n must split evenly into h levels");
+pub fn stylized_level_graph<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    h: usize,
+    d: usize,
+    k: usize,
+) -> CsrGraph {
+    assert!(
+        h >= 2 && n.is_multiple_of(h),
+        "n must split evenly into h levels"
+    );
     let per = n / h;
     let mut edges = Vec::new();
     let node = |level: usize, i: usize| (level * per + i) as u32;
@@ -47,7 +55,13 @@ pub fn stylized_level_graph<R: Rng>(rng: &mut R, n: usize, h: usize, d: usize, k
 pub fn ablation_conductance() {
     let mut rng = ChaCha8Rng::seed_from_u64(world::seed_from_env());
     let mut rows = Vec::new();
-    for &(n, h, d, k) in &[(600usize, 6usize, 3usize, 0usize), (600, 6, 3, 3), (600, 6, 3, 9), (1000, 10, 4, 0), (1000, 10, 4, 6)] {
+    for &(n, h, d, k) in &[
+        (600usize, 6usize, 3usize, 0usize),
+        (600, 6, 3, 3),
+        (600, 6, 3, 9),
+        (1000, 10, 4, 0),
+        (1000, 10, 4, 6),
+    ] {
         let g = stylized_level_graph(&mut rng, n, h, d, k);
         let measured = sweep_conductance(&g, 300).unwrap_or(f64::NAN);
         let closed = if k == 0 {
@@ -70,9 +84,16 @@ pub fn ablation_conductance() {
 
     let mut rows = Vec::new();
     for &h in &[10.0, 25.0, 50.0, 100.0, 1000.0] {
-        rows.push(vec![format!("{h}"), format!("{:.3}", optimal_inter_degree(h))]);
+        rows.push(vec![
+            format!("{h}"),
+            format!("{:.3}", optimal_inter_degree(h)),
+        ]);
     }
-    print_table("Corollary 4.1: optimal adjacent-level degree d*(h) → 2", &["h", "d*"], &rows);
+    print_table(
+        "Corollary 4.1: optimal adjacent-level degree d*(h) → 2",
+        &["h", "d*"],
+        &rows,
+    );
 }
 
 /// Probability-estimation ablation: MA-TARW with exact memoized `p(u)`
@@ -86,8 +107,20 @@ pub fn ablation_root_cache() {
     let mut rows = Vec::new();
     let variants: [(&str, PMode); 3] = [
         ("exact memoized (default)", PMode::Exact),
-        ("sampled + node cache", PMode::Sampled { draws: 4, cache: true }),
-        ("sampled, uncached", PMode::Sampled { draws: 4, cache: false }),
+        (
+            "sampled + node cache",
+            PMode::Sampled {
+                draws: 4,
+                cache: true,
+            },
+        ),
+        (
+            "sampled, uncached",
+            PMode::Sampled {
+                draws: 4,
+                cache: false,
+            },
+        ),
     ];
     for (name, p_mode) in variants {
         let budget = QueryBudget::limited(200_000);
@@ -110,7 +143,12 @@ pub fn ablation_root_cache() {
                 format!("{:.1}%", 100.0 * e.relative_error(truth)),
                 format!("{}", e.instances),
             ]),
-            Err(err) => rows.push(vec![name.into(), format!("({err})"), "—".into(), "—".into()]),
+            Err(err) => rows.push(vec![
+                name.into(),
+                format!("({err})"),
+                "—".into(),
+                "—".into(),
+            ]),
         }
     }
     print_table(
@@ -118,9 +156,11 @@ pub fn ablation_root_cache() {
         &["variant", "API calls", "rel. error", "instances"],
         &rows,
     );
-    println!("
+    println!(
+        "
 (expected: exact-memoized reaches far lower error — sampled p(u) has
- heavy-tailed 1/p noise when the search API returns few seeds)");
+ heavy-tailed 1/p noise when the search API returns few seeds)"
+    );
 }
 
 #[cfg(test)]
@@ -135,7 +175,10 @@ mod tests {
         // Every edge is intra-level or adjacent-level by construction.
         for (u, v) in g.edges() {
             let (lu, lv) = (u / 20, v / 20);
-            assert!((lu as i64 - lv as i64).abs() <= 1, "edge {u}-{v} spans levels {lu}-{lv}");
+            assert!(
+                (lu as i64 - lv as i64).abs() <= 1,
+                "edge {u}-{v} spans levels {lu}-{lv}"
+            );
         }
     }
 

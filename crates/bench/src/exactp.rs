@@ -49,10 +49,7 @@ fn level_splits(sub: &TermSubgraph) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
 
 /// Solves the Eq. (6) recursions exactly for the walk seeded at `seeds`
 /// (original user ids; non-members are ignored).
-pub fn exact_visit_probabilities(
-    sub: &TermSubgraph,
-    seeds: &[UserId],
-) -> ExactVisitProbabilities {
+pub fn exact_visit_probabilities(sub: &TermSubgraph, seeds: &[UserId]) -> ExactVisitProbabilities {
     let n = sub.graph.node_count();
     let (above, below) = level_splits(sub);
     let member_seed: HashSet<usize> = {
@@ -68,7 +65,11 @@ pub fn exact_visit_probabilities(
 
     let mut p_up = vec![0.0f64; n];
     for &u in &order {
-        let mut p = if member_seed.contains(&u) { 1.0 / s } else { 0.0 };
+        let mut p = if member_seed.contains(&u) {
+            1.0 / s
+        } else {
+            0.0
+        };
         for &v in &below[u] {
             p += p_up[v as usize] / above[v as usize].len().max(1) as f64;
         }
@@ -160,7 +161,11 @@ pub fn estimate_p_check() {
             format!("{u}"),
             format!("{p:.5}"),
             format!("{mean:.5}"),
-            if p > 0.0 { format!("{:+.1}%", 100.0 * (mean - p) / p) } else { "—".into() },
+            if p > 0.0 {
+                format!("{:+.1}%", 100.0 * (mean - p) / p)
+            } else {
+                "—".into()
+            },
         ]);
     }
     print_table(
@@ -184,8 +189,12 @@ mod tests {
         let sub = term_subgraph(&s.platform, kw, s.window, Duration::DAY);
         // Seeds: authors of last-week posts (the search-API view).
         let week = TimeWindow::trailing(s.platform.now(), Duration::WEEK);
-        let mut seeds: Vec<UserId> =
-            s.platform.search_posts(kw, week).iter().map(|&p| s.platform.post(p).author).collect();
+        let mut seeds: Vec<UserId> = s
+            .platform
+            .search_posts(kw, week)
+            .iter()
+            .map(|&p| s.platform.post(p).author)
+            .collect();
         seeds.sort_unstable();
         seeds.dedup();
         (sub, seeds)
@@ -267,7 +276,11 @@ mod tests {
         };
         let exact = exact_visit_probabilities(&sub, &[UserId(3)]);
         for i in 0..4 {
-            assert!((exact.p_up[i] - 1.0).abs() < 1e-12, "p_up[{i}] = {}", exact.p_up[i]);
+            assert!(
+                (exact.p_up[i] - 1.0).abs() < 1e-12,
+                "p_up[{i}] = {}",
+                exact.p_up[i]
+            );
             assert!((exact.p_down[i] - 1.0).abs() < 1e-12);
         }
     }

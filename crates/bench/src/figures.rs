@@ -13,7 +13,11 @@ use microblog_platform::scenario::Scenario;
 use microblog_platform::{Duration, Platform};
 
 fn sweep_config() -> SweepConfig {
-    SweepConfig { trials: world::trials_from_env(), seed: world::seed_from_env(), ..Default::default() }
+    SweepConfig {
+        trials: world::trials_from_env(),
+        seed: world::seed_from_env(),
+        ..Default::default()
+    }
 }
 
 /// The "1 day" default segmentation used when a figure fixes `T`.
@@ -37,11 +41,35 @@ pub fn fig02() {
     let cfg = sweep_config();
     let api = ApiProfile::twitter();
     let curves = vec![
-        error_curve(&s.platform, &api, &q, Algorithm::SrwFullGraph, "Social Graph", &cfg),
-        error_curve(&s.platform, &api, &q, Algorithm::SrwTermInduced, "Term Induced", &cfg),
-        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "Level By Level", &cfg),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::SrwFullGraph,
+            "Social Graph",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::SrwTermInduced,
+            "Term Induced",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MaSrw { interval: DAY },
+            "Level By Level",
+            &cfg,
+        ),
     ];
-    print_cost_vs_error_figure("Figure 2: AVG(followers), users who posted 'privacy'", &curves);
+    print_cost_vs_error_figure(
+        "Figure 2: AVG(followers), users who posted 'privacy'",
+        &curves,
+    );
     expect_ordering(&curves);
 }
 
@@ -52,9 +80,30 @@ pub fn fig03() {
     let cfg = sweep_config();
     let api = ApiProfile::twitter();
     let curves = vec![
-        error_curve(&s.platform, &api, &q, Algorithm::SrwFullGraph, "Social Graph", &cfg),
-        error_curve(&s.platform, &api, &q, Algorithm::SrwTermInduced, "Term Induced", &cfg),
-        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "Level By Level", &cfg),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::SrwFullGraph,
+            "Social Graph",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::SrwTermInduced,
+            "Term Induced",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MaSrw { interval: DAY },
+            "Level By Level",
+            &cfg,
+        ),
     ];
     print_cost_vs_error_figure("Figure 3: COUNT, users who posted 'privacy'", &curves);
     expect_ordering(&curves);
@@ -71,7 +120,11 @@ fn expect_ordering(curves: &[ErrorCurve]) {
     });
     println!(
         "\n[check] cost ordering at 10% error ({}) : {}",
-        curves.iter().map(|c| c.label.as_str()).collect::<Vec<_>>().join(" >= "),
+        curves
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect::<Vec<_>>()
+            .join(" >= "),
         if ordered { "HOLDS" } else { "VIOLATED" }
     );
 }
@@ -92,14 +145,17 @@ pub fn fig04() {
                 interval: Duration::DAY,
                 keep_intra: 1.0 - removed,
             };
-            let curve =
-                error_curve(&s.platform, &api, &q, Algorithm::SrwView { view }, kw, &cfg);
+            let curve = error_curve(&s.platform, &api, &q, Algorithm::SrwView { view }, kw, &cfg);
             row.push(crate::report::fmt_cost(curve.cost_at_error(0.10)));
         }
         rows.push(row);
     }
     let headers: Vec<String> = std::iter::once("keyword".to_string())
-        .chain(fractions.iter().map(|f| format!("remove {:.0}%", f * 100.0)))
+        .chain(
+            fractions
+                .iter()
+                .map(|f| format!("remove {:.0}%", f * 100.0)),
+        )
         .collect();
     let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     print_table(
@@ -121,9 +177,8 @@ pub fn fig05() {
         // Pilot-score all candidates (cheap, unlimited budget here).
         let mut client = CachingClient::new(MicroblogClient::new(&s.platform, api.clone()));
         let seeds = microblog_analyzer::seeds::fetch_seeds(&mut client, &q).expect("seeds");
-        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(
-            world::seed_from_env(),
-        );
+        let mut rng =
+            <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(world::seed_from_env());
         let scores = microblog_analyzer::interval::score_intervals(
             &mut client,
             &q,
@@ -139,7 +194,9 @@ pub fn fig05() {
                 &s.platform,
                 &api,
                 &q,
-                Algorithm::MaSrw { interval: Some(sc.interval) },
+                Algorithm::MaSrw {
+                    interval: Some(sc.interval),
+                },
                 kw,
                 &cfg,
             );
@@ -170,12 +227,19 @@ pub fn fig07() {
                 microblog_platform::Timestamp::at_day(month * 30),
                 microblog_platform::Timestamp::at_day((month + 1) * 30),
             );
-            points.push((month as f64 + 1.0, s.platform.search_posts(id, w).len() as f64));
+            points.push((
+                month as f64 + 1.0,
+                s.platform.search_posts(id, w).len() as f64,
+            ));
         }
         series.push((kw, points));
     }
     let series_ref: Vec<(&str, Vec<(f64, f64)>)> = series;
-    print_series("Figure 7: keyword post frequency by month (Jan=1..Oct=10)", "month", &series_ref);
+    print_series(
+        "Figure 7: keyword post frequency by month (Jan=1..Oct=10)",
+        "month",
+        &series_ref,
+    );
 }
 
 /// Generic "MA-SRW vs MA-TARW on two keywords" figure body.
@@ -259,8 +323,15 @@ pub fn fig09() {
         }
         series.push((name, points));
     }
-    series.push(("ground truth", budgets.iter().map(|&b| (b as f64, truth)).collect()));
-    print_series("Figure 9: estimated AVG(followers) vs query cost ('privacy')", "cost", &series);
+    series.push((
+        "ground truth",
+        budgets.iter().map(|&b| (b as f64, truth)).collect(),
+    ));
+    print_series(
+        "Figure 9: estimated AVG(followers) vs query cost ('privacy')",
+        "cost",
+        &series,
+    );
 }
 
 /// Figure 10: Twitter COUNT of users who posted `privacy` — MA-SRW vs
@@ -271,13 +342,29 @@ pub fn fig10() {
     let cfg = sweep_config();
     let api = ApiProfile::twitter();
     let curves = vec![
-        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "MA-SRW", &cfg),
-        error_curve(&s.platform, &api, &q, Algorithm::MaTarw { interval: DAY }, "MA-TARW", &cfg),
         error_curve(
             &s.platform,
             &api,
             &q,
-            Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+            Algorithm::MaSrw { interval: DAY },
+            "MA-SRW",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MaTarw { interval: DAY },
+            "MA-TARW",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MarkRecapture {
+                view: ViewKind::level(Duration::DAY),
+            },
             "M&R",
             &cfg,
         ),
@@ -323,23 +410,41 @@ pub fn fig12() {
 /// (profile-predicate condition) — MA-SRW vs MA-TARW vs M&R.
 pub fn fig13() {
     let s = world::google_plus_world();
-    let q = count_users(&s, "privacy")
-        .with_predicate(ProfilePredicate::GenderIs(Gender::Male));
+    let q = count_users(&s, "privacy").with_predicate(ProfilePredicate::GenderIs(Gender::Male));
     let cfg = sweep_config();
     let api = ApiProfile::google_plus();
     let curves = vec![
-        error_curve(&s.platform, &api, &q, Algorithm::MaSrw { interval: DAY }, "MA-SRW", &cfg),
-        error_curve(&s.platform, &api, &q, Algorithm::MaTarw { interval: DAY }, "MA-TARW", &cfg),
         error_curve(
             &s.platform,
             &api,
             &q,
-            Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+            Algorithm::MaSrw { interval: DAY },
+            "MA-SRW",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MaTarw { interval: DAY },
+            "MA-TARW",
+            &cfg,
+        ),
+        error_curve(
+            &s.platform,
+            &api,
+            &q,
+            Algorithm::MarkRecapture {
+                view: ViewKind::level(Duration::DAY),
+            },
             "M&R",
             &cfg,
         ),
     ];
-    print_cost_vs_error_figure("Figure 13: Google+ COUNT(male users posting 'privacy')", &curves);
+    print_cost_vs_error_figure(
+        "Figure 13: Google+ COUNT(male users posting 'privacy')",
+        &curves,
+    );
 }
 
 /// Figure 14: Tumblr AVG(likes per post containing `privacy`).
@@ -385,7 +490,8 @@ pub fn burnin() {
             (ViewKind::TermInduced, "term-induced"),
             (ViewKind::level(Duration::DAY), "level-by-level"),
         ] {
-            let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+            let mut client =
+                CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
             let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(
                 world::seed_from_env(),
             );

@@ -21,6 +21,6 @@ pub mod exactp;
 pub mod figures;
 pub mod report;
 pub mod stats;
-pub mod tables;
 pub mod sweep;
+pub mod tables;
 pub mod world;

@@ -73,12 +73,19 @@ pub fn term_subgraph(
             (first.0 - window.start.0).div_euclid(t.0)
         })
         .collect();
-    TermSubgraph { graph, users, levels }
+    TermSubgraph {
+        graph,
+        users,
+        levels,
+    }
 }
+
+/// A list of `(u, v)` edges, as returned by [`TermSubgraph::edge_taxonomy`].
+pub type EdgeList = Vec<(u32, u32)>;
 
 impl TermSubgraph {
     /// Splits edges into `(intra, adjacent, cross)` by level difference.
-    pub fn edge_taxonomy(&self) -> (Vec<(u32, u32)>, Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    pub fn edge_taxonomy(&self) -> (EdgeList, EdgeList, EdgeList) {
         let mut intra = Vec::new();
         let mut adjacent = Vec::new();
         let mut cross = Vec::new();
@@ -100,14 +107,13 @@ impl TermSubgraph {
         let recall = if nodes == 0 {
             0.0
         } else {
-            connected_components(&self.graph).largest().map_or(0.0, |(_, size)| {
-                size as f64 / nodes as f64
-            })
+            connected_components(&self.graph)
+                .largest()
+                .map_or(0.0, |(_, size)| size as f64 / nodes as f64)
         };
         let (intra, adjacent, cross) = self.edge_taxonomy();
         let total = edges.max(1) as f64;
-        let inter: Vec<(u32, u32)> =
-            adjacent.iter().chain(cross.iter()).copied().collect();
+        let inter: Vec<(u32, u32)> = adjacent.iter().chain(cross.iter()).copied().collect();
         TermSubgraphStats {
             keyword,
             nodes,
@@ -135,7 +141,10 @@ mod tests {
         for kw in ["new york", "boston", "obamacare"] {
             let id = s.keyword(kw).unwrap();
             let sub = term_subgraph(&s.platform, id, s.window, Duration::DAY);
-            assert!(sub.graph.node_count() > 20, "{kw} subgraph too small to test");
+            assert!(
+                sub.graph.node_count() > 20,
+                "{kw} subgraph too small to test"
+            );
             let st = sub.stats(id);
             // The paper's Table 2 headline claims, qualitatively:
             // recall is high...
@@ -148,7 +157,10 @@ mod tests {
             );
             // ...and taxonomy fractions partition the edge set.
             let total = st.intra_fraction + st.adjacent_fraction + st.cross_fraction;
-            assert!((total - 1.0).abs() < 1e-9, "{kw}: taxonomy fractions sum to {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{kw}: taxonomy fractions sum to {total}"
+            );
             intra_total += st.common_neighbors_intra;
             inter_total += st.common_neighbors_inter;
         }

@@ -7,7 +7,7 @@
 //! curve: the cost at ε is the smallest swept budget whose mean error is
 //! ≤ ε (linearly interpolated between grid points).
 
-use microblog_analyzer::{Algorithm, AggregateQuery, MicroblogAnalyzer};
+use microblog_analyzer::{AggregateQuery, Algorithm, MicroblogAnalyzer};
 use microblog_api::ApiProfile;
 use microblog_platform::Platform;
 use serde::Serialize;
@@ -86,6 +86,7 @@ fn one_trial(
 }
 
 /// Measures one budget with parallel trials.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_budget(
     platform: &Platform,
     api: &ApiProfile,
@@ -97,12 +98,14 @@ pub fn measure_budget(
     seed: u64,
 ) -> SweepPoint {
     let results: Vec<Option<(f64, u64)>> = if trials <= 1 {
-        vec![one_trial(platform, api, query, algorithm, truth, budget, seed)]
+        vec![one_trial(
+            platform, api, query, algorithm, truth, budget, seed,
+        )]
     } else {
         let mut results = vec![None; trials];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (i, slot) in results.iter_mut().enumerate() {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     *slot = one_trial(
                         platform,
                         api,
@@ -114,8 +117,7 @@ pub fn measure_budget(
                     );
                 });
             }
-        })
-        .expect("trial thread panicked");
+        });
         results
     };
     let ok: Vec<(f64, u64)> = results.into_iter().flatten().collect();
@@ -128,7 +130,13 @@ pub fn measure_budget(
             ok.iter().map(|r| r.1 as f64).sum::<f64>() / successes as f64,
         )
     };
-    SweepPoint { budget, mean_cost, mean_rel_err, successes, trials }
+    SweepPoint {
+        budget,
+        mean_cost,
+        mean_rel_err,
+        successes,
+        trials,
+    }
 }
 
 /// Sweeps budgets geometrically until the error target (or the ceiling) is
@@ -168,8 +176,8 @@ pub fn error_curve(
         if points.len() >= 3 {
             let last = &points[points.len() - 1];
             let prev = &points[points.len() - 2];
-            let spent_flat = (last.mean_cost - prev.mean_cost).abs()
-                <= 0.01 * prev.mean_cost.max(1.0);
+            let spent_flat =
+                (last.mean_cost - prev.mean_cost).abs() <= 0.01 * prev.mean_cost.max(1.0);
             let err_flat = !last.mean_rel_err.is_finite()
                 || !prev.mean_rel_err.is_finite()
                 || (last.mean_rel_err - prev.mean_rel_err).abs() <= 0.005;
@@ -177,9 +185,14 @@ pub fn error_curve(
                 break;
             }
         }
-        budget = ((budget as f64 * config.growth) as u64).min(config.max_budget).max(budget + 1);
+        budget = ((budget as f64 * config.growth) as u64)
+            .min(config.max_budget)
+            .max(budget + 1);
     }
-    ErrorCurve { label: label.into(), points }
+    ErrorCurve {
+        label: label.into(),
+        points,
+    }
 }
 
 impl ErrorCurve {
@@ -216,7 +229,10 @@ impl ErrorCurve {
 
     /// The costs at the paper's ε grid.
     pub fn costs_on_grid(&self) -> Vec<(f64, Option<f64>)> {
-        ERROR_GRID.iter().map(|&e| (e, self.cost_at_error(e))).collect()
+        ERROR_GRID
+            .iter()
+            .map(|&e| (e, self.cost_at_error(e)))
+            .collect()
     }
 }
 

@@ -13,8 +13,15 @@ use microblog_platform::Duration;
 /// the intra / cross edge percentages) at `T` = 1 day.
 pub fn table2() {
     let s = world::twitter_world();
-    let keywords =
-        ["fiscalcliff", "new york", "super bowl", "obamacare", "tunisia", "simvastatin", "oprah winfrey"];
+    let keywords = [
+        "fiscalcliff",
+        "new york",
+        "super bowl",
+        "obamacare",
+        "tunisia",
+        "simvastatin",
+        "oprah winfrey",
+    ];
     let mut rows = Vec::new();
     for kw in keywords {
         let id = s.keyword(kw).expect("scenario keyword");
@@ -24,13 +31,26 @@ pub fn table2() {
             kw.to_string(),
             format!("{}", st.nodes),
             format!("{:.0}%", st.recall * 100.0),
-            format!("{:.1}, {:.1}", st.common_neighbors_intra, st.common_neighbors_inter),
-            format!("{:.0}%, {:.0}%", st.intra_fraction * 100.0, st.cross_fraction * 100.0),
+            format!(
+                "{:.1}, {:.1}",
+                st.common_neighbors_intra, st.common_neighbors_inter
+            ),
+            format!(
+                "{:.0}%, {:.0}%",
+                st.intra_fraction * 100.0,
+                st.cross_fraction * 100.0
+            ),
         ]);
     }
     print_table(
         "Table 2: term-induced & level-by-level subgraph statistics (T = 1 day)",
-        &["keyword", "nodes", "recall", "avg #common nbrs (intra, inter)", "% intra & cross-level"],
+        &[
+            "keyword",
+            "nodes",
+            "recall",
+            "avg #common nbrs (intra, inter)",
+            "% intra & cross-level",
+        ],
         &rows,
     );
     println!(
@@ -46,9 +66,19 @@ pub fn table2() {
 /// halves the runtime on small machines).
 pub fn table3() {
     let s = world::twitter_world();
-    let target: f64 =
-        std::env::var("MA_TARGET").ok().and_then(|v| v.parse().ok()).unwrap_or(0.05);
-    let keywords = ["boston", "oprah winfrey", "simvastatin", "$wmt", "lipitor", "tunisia", "tahrir"];
+    let target: f64 = std::env::var("MA_TARGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.05);
+    let keywords = [
+        "boston",
+        "oprah winfrey",
+        "simvastatin",
+        "$wmt",
+        "lipitor",
+        "tunisia",
+        "tahrir",
+    ];
     let cfg = SweepConfig {
         trials: world::trials_from_env(),
         seed: world::seed_from_env(),
@@ -63,19 +93,45 @@ pub fn table3() {
         let avg = AggregateQuery::avg(UserMetric::FollowerCount, id).in_window(s.window);
         let count = AggregateQuery::count(id).in_window(s.window);
 
-        let tarw_avg =
-            error_curve(&s.platform, &api, &avg, Algorithm::MaTarw { interval: day }, "t", &cfg);
-        let srw_avg =
-            error_curve(&s.platform, &api, &avg, Algorithm::MaSrw { interval: day }, "s", &cfg);
-        let tarw_cnt =
-            error_curve(&s.platform, &api, &count, Algorithm::MaTarw { interval: day }, "t", &cfg);
-        let srw_cnt =
-            error_curve(&s.platform, &api, &count, Algorithm::MaSrw { interval: day }, "s", &cfg);
+        let tarw_avg = error_curve(
+            &s.platform,
+            &api,
+            &avg,
+            Algorithm::MaTarw { interval: day },
+            "t",
+            &cfg,
+        );
+        let srw_avg = error_curve(
+            &s.platform,
+            &api,
+            &avg,
+            Algorithm::MaSrw { interval: day },
+            "s",
+            &cfg,
+        );
+        let tarw_cnt = error_curve(
+            &s.platform,
+            &api,
+            &count,
+            Algorithm::MaTarw { interval: day },
+            "t",
+            &cfg,
+        );
+        let srw_cnt = error_curve(
+            &s.platform,
+            &api,
+            &count,
+            Algorithm::MaSrw { interval: day },
+            "s",
+            &cfg,
+        );
         let mr_cnt = error_curve(
             &s.platform,
             &api,
             &count,
-            Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+            Algorithm::MarkRecapture {
+                view: ViewKind::level(Duration::DAY),
+            },
             "m",
             &cfg,
         );
@@ -85,13 +141,21 @@ pub fn table3() {
         // tightest ε both sides achieve and annotate it.
         let compare = |a: &crate::sweep::ErrorCurve, b: &crate::sweep::ErrorCurve| {
             let mut eps = vec![target];
-            eps.extend(crate::sweep::ERROR_GRID.iter().copied().filter(|&e| e > target));
+            eps.extend(
+                crate::sweep::ERROR_GRID
+                    .iter()
+                    .copied()
+                    .filter(|&e| e > target),
+            );
             for e in eps {
                 if let (Some(ca), Some(cb)) = (a.cost_at_error(e), b.cost_at_error(e)) {
                     if let Some(imp) = improvement_pct(Some(ca), Some(cb)) {
                         if imp.is_finite() {
-                            let mark =
-                                if e > target { format!(" @{:.0}%", e * 100.0) } else { String::new() };
+                            let mark = if e > target {
+                                format!(" @{:.0}%", e * 100.0)
+                            } else {
+                                String::new()
+                            };
                             return format!("{imp:.0}{mark}");
                         }
                     }
@@ -111,7 +175,12 @@ pub fn table3() {
             "Table 3: % query-cost improvement of MA-TARW at {:.0}% relative error",
             target * 100.0
         ),
-        &["keyword", "vs MA-SRW (AVG)", "vs MA-SRW (COUNT)", "vs M&R (COUNT)"],
+        &[
+            "keyword",
+            "vs MA-SRW (AVG)",
+            "vs MA-SRW (COUNT)",
+            "vs M&R (COUNT)",
+        ],
         &rows,
     );
     println!("\n(paper band: 24–55% over MA-SRW, 53–78% over M&R)");

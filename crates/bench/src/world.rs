@@ -8,13 +8,15 @@
 //! * `MA_SEED`  — u64 world seed (default 2014)
 //! * `MA_TRIALS` — trials per sweep point (default 5)
 
-use microblog_platform::scenario::{
-    google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario,
-};
+use microblog_platform::scenario::{google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario};
 
 /// Reads the experiment scale from `MA_SCALE`.
 pub fn scale_from_env() -> Scale {
-    match std::env::var("MA_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("MA_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => Scale::Tiny,
         "small" => Scale::Small,
         "large" => Scale::Large,
@@ -28,12 +30,18 @@ pub fn scale_from_env() -> Scale {
 
 /// Reads the world seed from `MA_SEED`.
 pub fn seed_from_env() -> u64 {
-    std::env::var("MA_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(2014)
+    std::env::var("MA_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2014)
 }
 
 /// Reads the per-point trial count from `MA_TRIALS`.
 pub fn trials_from_env() -> usize {
-    std::env::var("MA_TRIALS").ok().and_then(|s| s.parse().ok()).unwrap_or(5)
+    std::env::var("MA_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5)
 }
 
 /// The Twitter world at the configured scale/seed.

@@ -9,10 +9,12 @@ use crate::estimate::Estimate;
 use crate::query::AggregateQuery;
 use crate::view::ViewKind;
 use crate::walker::{mhrw, mr, snowball, srw, tarw};
+use microblog_api::cache::{CacheLayer, CacheStats};
 use microblog_api::{ApiProfile, CachingClient, MicroblogClient, QueryBudget};
 use microblog_platform::{Duration, Platform};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 /// Which estimation algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -106,14 +108,32 @@ impl<'p> MicroblogAnalyzer<'p> {
         algorithm: Algorithm,
         seed: u64,
     ) -> Result<Estimate, EstimateError> {
+        self.estimate_with_cache(query, budget, algorithm, seed, None)
+            .map(|(est, _)| est)
+    }
+
+    /// Like [`estimate`](Self::estimate), optionally layering the query's
+    /// client over a shared cross-query response cache. Shared hits are
+    /// charged logically (see `microblog_api::cache`), so the returned
+    /// estimate and its cost are bit-identical to an uncached run with the
+    /// same seed; the accompanying [`CacheStats`] report how many platform
+    /// fetches the layer absorbed.
+    pub fn estimate_with_cache(
+        &self,
+        query: &AggregateQuery,
+        budget: u64,
+        algorithm: Algorithm,
+        seed: u64,
+        shared: Option<Arc<dyn CacheLayer>>,
+    ) -> Result<(Estimate, CacheStats), EstimateError> {
         let budget = QueryBudget::limited(budget);
-        let mut client = CachingClient::new(MicroblogClient::with_budget(
-            self.platform,
-            self.api.clone(),
-            budget,
-        ));
+        let inner = MicroblogClient::with_budget(self.platform, self.api.clone(), budget);
+        let mut client = match shared {
+            Some(layer) => CachingClient::with_shared(inner, layer),
+            None => CachingClient::new(inner),
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        match algorithm {
+        let result = match algorithm {
             Algorithm::SrwFullGraph => {
                 let cfg = srw::SrwConfig::new(ViewKind::FullGraph);
                 srw::estimate(&mut client, query, &cfg, &mut rng)
@@ -128,7 +148,10 @@ impl<'p> MicroblogAnalyzer<'p> {
                 srw::estimate(&mut client, query, &cfg, &mut rng)
             }
             Algorithm::MaTarw { interval } => {
-                let cfg = tarw::TarwConfig { interval, ..Default::default() };
+                let cfg = tarw::TarwConfig {
+                    interval,
+                    ..Default::default()
+                };
                 tarw::estimate(&mut client, query, &cfg, &mut rng)
             }
             Algorithm::MarkRecapture { view } => {
@@ -144,10 +167,16 @@ impl<'p> MicroblogAnalyzer<'p> {
                 mhrw::estimate(&mut client, query, &cfg, &mut rng)
             }
             Algorithm::Snowball { view, order } => {
-                let cfg = snowball::SnowballConfig { view, order, max_nodes: usize::MAX };
+                let cfg = snowball::SnowballConfig {
+                    view,
+                    order,
+                    max_nodes: usize::MAX,
+                };
                 snowball::estimate(&mut client, query, &cfg, &mut rng)
             }
-        }
+        };
+        let stats = *client.cache_stats();
+        result.map(|est| (est, stats))
     }
 
     /// Exact ground truth for `query` (from the simulator's omniscient
@@ -174,16 +203,28 @@ mod tests {
         assert!(truth_avg > 0.0);
 
         for (algo, q) in [
-            (Algorithm::MaTarw { interval: Some(Duration::DAY) }, &avg),
+            (
+                Algorithm::MaTarw {
+                    interval: Some(Duration::DAY),
+                },
+                &avg,
+            ),
             (Algorithm::MaSrw { interval: None }, &avg),
             (Algorithm::SrwTermInduced, &avg),
             (
-                Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+                Algorithm::MarkRecapture {
+                    view: ViewKind::level(Duration::DAY),
+                },
                 &count,
             ),
         ] {
             let est = analyzer.estimate(q, 50_000, algo, 3).unwrap();
-            assert!(est.value.is_finite(), "{} produced {}", algo.name(), est.value);
+            assert!(
+                est.value.is_finite(),
+                "{} produced {}",
+                algo.name(),
+                est.value
+            );
             assert!(est.cost <= 50_000);
             assert!(est.samples > 0);
         }
@@ -195,7 +236,9 @@ mod tests {
         let kw = s.keyword("boston").unwrap();
         let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
         let q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
-        let algo = Algorithm::MaTarw { interval: Some(Duration::DAY) };
+        let algo = Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        };
         let a = analyzer.estimate(&q, 20_000, algo, 9).unwrap();
         let b = analyzer.estimate(&q, 20_000, algo, 9).unwrap();
         assert_eq!(a.value, b.value);
@@ -212,7 +255,10 @@ mod tests {
         assert_eq!(Algorithm::SrwFullGraph.name(), "SRW(social)");
         assert_eq!(Algorithm::SrwTermInduced.name(), "SRW(term)");
         assert_eq!(
-            Algorithm::MarkRecapture { view: ViewKind::TermInduced }.name(),
+            Algorithm::MarkRecapture {
+                view: ViewKind::TermInduced
+            }
+            .name(),
             "M&R"
         );
     }

@@ -57,7 +57,10 @@ mod tests {
         let e: EstimateError = ApiError::UnknownUser(UserId(1)).into();
         assert_eq!(e.to_string(), "api error: unknown user u1");
         assert!(std::error::Error::source(&e).is_some());
-        assert_eq!(EstimateError::NoSeeds.to_string(), "search returned no usable seed users");
+        assert_eq!(
+            EstimateError::NoSeeds.to_string(),
+            "search returned no usable seed users"
+        );
         assert!(std::error::Error::source(&EstimateError::NoSamples).is_none());
     }
 }

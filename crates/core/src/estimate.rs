@@ -25,7 +25,10 @@ impl Estimate {
     /// # Panics
     /// Panics if `truth == 0.0`.
     pub fn relative_error(&self, truth: f64) -> f64 {
-        assert!(truth != 0.0, "relative error undefined for zero ground truth");
+        assert!(
+            truth != 0.0,
+            "relative error undefined for zero ground truth"
+        );
         (self.value - truth).abs() / truth.abs()
     }
 }
@@ -83,7 +86,13 @@ mod tests {
 
     #[test]
     fn relative_error() {
-        let e = Estimate { value: 110.0, std_err: None, cost: 10, samples: 5, instances: 1 };
+        let e = Estimate {
+            value: 110.0,
+            std_err: None,
+            cost: 10,
+            samples: 5,
+            instances: 1,
+        };
         assert!((e.relative_error(100.0) - 0.1).abs() < 1e-12);
         assert!((e.relative_error(-110.0) - 2.0).abs() < 1e-12);
     }
@@ -91,7 +100,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "undefined for zero")]
     fn relative_error_zero_truth() {
-        let e = Estimate { value: 1.0, std_err: None, cost: 0, samples: 0, instances: 0 };
+        let e = Estimate {
+            value: 1.0,
+            std_err: None,
+            cost: 0,
+            samples: 0,
+            instances: 0,
+        };
         let _ = e.relative_error(0.0);
     }
 

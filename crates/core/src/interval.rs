@@ -67,7 +67,12 @@ pub fn score_intervals<R: Rng>(
         };
         // Reference size: common across candidates, far enough above d·h
         // that Eq. (3)'s domain (d < n/h) holds for every candidate.
-        scores.push(IntervalScore { interval, h, d, conductance: f64::NAN });
+        scores.push(IntervalScore {
+            interval,
+            h,
+            d,
+            conductance: f64::NAN,
+        });
     }
     if scores.is_empty() {
         return Err(EstimateError::NoSamples);
@@ -80,8 +85,16 @@ pub fn score_intervals<R: Rng>(
         s.conductance = conductance_level(n_ref, s.h.max(2.0), s.d.max(0.25));
     }
     scores.sort_by(|a, b| {
-        let ka = if a.conductance.is_nan() { f64::NEG_INFINITY } else { a.conductance };
-        let kb = if b.conductance.is_nan() { f64::NEG_INFINITY } else { b.conductance };
+        let ka = if a.conductance.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            a.conductance
+        };
+        let kb = if b.conductance.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            b.conductance
+        };
         kb.partial_cmp(&ka).unwrap_or(std::cmp::Ordering::Equal)
     });
     Ok(scores)
@@ -95,8 +108,14 @@ pub fn select_interval<R: Rng>(
     pilot_steps: usize,
     rng: &mut R,
 ) -> Result<IntervalScore, EstimateError> {
-    let scores =
-        score_intervals(client, query, seeds, &candidate_intervals(), pilot_steps, rng)?;
+    let scores = score_intervals(
+        client,
+        query,
+        seeds,
+        &candidate_intervals(),
+        pilot_steps,
+        rng,
+    )?;
     Ok(scores[0])
 }
 
@@ -142,7 +161,9 @@ fn pilot<R: Rng>(
     // h: observed level span, extrapolated by the assigner's full span if
     // the pilot saw only one level.
     let observed_h = (max_level - min_level + 1) as f64;
-    let full_h = graph.assigner().map_or(observed_h, |a| a.level_count() as f64);
+    let full_h = graph
+        .assigner()
+        .map_or(observed_h, |a| a.level_count() as f64);
     let h = observed_h.max(2.0).min(full_h.max(2.0));
     let d = (degree_sum / visited as f64).max(0.25);
     Ok((h, d))
@@ -162,28 +183,50 @@ mod tests {
     fn scores_cover_candidates_and_pick_finite_best() {
         let s = twitter_2013(Scale::Tiny, 41);
         let kw = s.keyword("new york").unwrap();
-        let q = crate::query::AggregateQuery::avg(UserMetric::FollowerCount, kw)
-            .in_window(s.window);
+        let q =
+            crate::query::AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
         let mut client =
             CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let seeds = fetch_seeds(&mut client, &q).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let scores =
-            score_intervals(&mut client, &q, &seeds, &candidate_intervals(), 15, &mut rng)
-                .unwrap();
+        let scores = score_intervals(
+            &mut client,
+            &q,
+            &seeds,
+            &candidate_intervals(),
+            15,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(scores.len(), candidate_intervals().len());
         // Sorted best-first.
         for w in scores.windows(2) {
-            let a = if w[0].conductance.is_nan() { f64::NEG_INFINITY } else { w[0].conductance };
-            let b = if w[1].conductance.is_nan() { f64::NEG_INFINITY } else { w[1].conductance };
+            let a = if w[0].conductance.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                w[0].conductance
+            };
+            let b = if w[1].conductance.is_nan() {
+                f64::NEG_INFINITY
+            } else {
+                w[1].conductance
+            };
             assert!(a >= b);
         }
         let best = select_interval(&mut client, &q, &seeds, 15, &mut rng).unwrap();
         assert!(best.conductance.is_finite());
         assert!(best.h >= 2.0);
         // Longer intervals mean fewer levels.
-        let h_2h = scores.iter().find(|s| s.interval == Duration::hours(2)).unwrap().h;
-        let h_1m = scores.iter().find(|s| s.interval == Duration::MONTH).unwrap().h;
+        let h_2h = scores
+            .iter()
+            .find(|s| s.interval == Duration::hours(2))
+            .unwrap()
+            .h;
+        let h_1m = scores
+            .iter()
+            .find(|s| s.interval == Duration::MONTH)
+            .unwrap()
+            .h;
         assert!(h_1m <= h_2h);
     }
 
@@ -201,7 +244,14 @@ mod tests {
         ));
         let seeds = fetch_seeds(&mut client, &q).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
-        match score_intervals(&mut client, &q, &seeds, &candidate_intervals(), 25, &mut rng) {
+        match score_intervals(
+            &mut client,
+            &q,
+            &seeds,
+            &candidate_intervals(),
+            25,
+            &mut rng,
+        ) {
             Ok(scores) => assert!(!scores.is_empty()),
             Err(e) => assert_eq!(e, EstimateError::NoSamples),
         }

@@ -31,7 +31,12 @@ impl LevelAssigner {
     /// Panics if `interval` is non-positive.
     pub fn new(keyword: KeywordId, window: TimeWindow, interval: Duration) -> Self {
         assert!(interval.0 > 0, "level interval must be positive");
-        LevelAssigner { keyword, window, origin: window.start, interval }
+        LevelAssigner {
+            keyword,
+            window,
+            origin: window.start,
+            interval,
+        }
     }
 
     /// The level of a first-mention time.
@@ -43,9 +48,15 @@ impl LevelAssigner {
     /// (not a member of the term-induced subgraph).
     ///
     /// Costs one (cached) USER TIMELINE query.
-    pub fn level(&self, client: &mut CachingClient<'_>, u: UserId) -> Result<Option<i64>, ApiError> {
+    pub fn level(
+        &self,
+        client: &mut CachingClient<'_>,
+        u: UserId,
+    ) -> Result<Option<i64>, ApiError> {
         let view = client.user_timeline(u)?;
-        Ok(view.first_mention(self.keyword, self.window).map(|t| self.level_of_time(t)))
+        Ok(view
+            .first_mention(self.keyword, self.window)
+            .map(|t| self.level_of_time(t)))
     }
 
     /// Total number of levels the window spans.

@@ -48,7 +48,12 @@ pub struct AggregateQuery {
 impl AggregateQuery {
     /// `COUNT(*) WHERE keyword`.
     pub fn count(keyword: KeywordId) -> Self {
-        AggregateQuery { aggregate: Aggregate::Count, keyword, window: None, predicates: vec![] }
+        AggregateQuery {
+            aggregate: Aggregate::Count,
+            keyword,
+            window: None,
+            predicates: vec![],
+        }
     }
 
     /// `SUM(metric) WHERE keyword`.
@@ -75,7 +80,10 @@ impl AggregateQuery {
     /// `SUM(numerator)/SUM(denominator)`.
     pub fn post_avg(numerator: UserMetric, denominator: UserMetric, keyword: KeywordId) -> Self {
         AggregateQuery {
-            aggregate: Aggregate::RatioOfSums { numerator, denominator },
+            aggregate: Aggregate::RatioOfSums {
+                numerator,
+                denominator,
+            },
             keyword,
             window: None,
             predicates: vec![],
@@ -110,7 +118,9 @@ impl AggregateQuery {
         if view.first_mention(self.keyword, window).is_none() {
             return false;
         }
-        self.predicates.iter().all(|p| p.matches(&view.profile, view.follower_count))
+        self.predicates
+            .iter()
+            .all(|p| p.matches(&view.profile, view.follower_count))
     }
 
     /// The window used for matching: the explicit one, or all-time-to-now.
@@ -149,7 +159,10 @@ impl AggregateQuery {
             Aggregate::Count => Some(truth::exact_count(platform, &cond)),
             Aggregate::Sum(m) => Some(truth::exact_sum(platform, &cond, m)),
             Aggregate::Avg(m) => truth::exact_avg(platform, &cond, m),
-            Aggregate::RatioOfSums { numerator, denominator } => {
+            Aggregate::RatioOfSums {
+                numerator,
+                denominator,
+            } => {
                 let den = truth::exact_sum(platform, &cond, denominator);
                 if den == 0.0 {
                     None
@@ -170,7 +183,10 @@ mod tests {
     #[test]
     fn builders_compose() {
         let kw = KeywordId(0);
-        let w = TimeWindow::new(microblog_platform::Timestamp(0), microblog_platform::Timestamp(10));
+        let w = TimeWindow::new(
+            microblog_platform::Timestamp(0),
+            microblog_platform::Timestamp(10),
+        );
         let q = AggregateQuery::avg(UserMetric::FollowerCount, kw)
             .in_window(w)
             .with_predicate(ProfilePredicate::GenderIs(Gender::Male));
@@ -187,10 +203,7 @@ mod tests {
         let s = twitter_2013(Scale::Tiny, 11);
         let kw = s.keyword("privacy").unwrap();
         let q = AggregateQuery::count(kw).in_window(s.window);
-        let direct = microblog_platform::truth::exact_count(
-            &s.platform,
-            &q.condition(),
-        );
+        let direct = microblog_platform::truth::exact_count(&s.platform, &q.condition());
         assert_eq!(q.ground_truth(&s.platform), Some(direct));
         assert!(direct > 0.0);
         // AVG == SUM / COUNT.

@@ -121,7 +121,10 @@ impl Parser {
     }
 
     fn next(&mut self) -> Result<&str, ParseError> {
-        let t = self.tokens.get(self.pos).ok_or_else(|| ParseError("unexpected end".into()))?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| ParseError("unexpected end".into()))?;
         self.pos += 1;
         Ok(t)
     }
@@ -137,7 +140,8 @@ impl Parser {
 
     fn number(&mut self) -> Result<i64, ParseError> {
         let t = self.next()?.to_string();
-        t.parse().map_err(|_| ParseError(format!("expected a number, got '{t}'")))
+        t.parse()
+            .map_err(|_| ParseError(format!("expected a number, got '{t}'")))
     }
 
     fn metric(&mut self) -> Result<UserMetric, ParseError> {
@@ -159,7 +163,10 @@ impl Parser {
 /// Parses `input` against `catalog` (the keyword must already exist on the
 /// platform).
 pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQuery, ParseError> {
-    let mut p = Parser { tokens: tokenize(input)?, pos: 0 };
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
     p.expect("SELECT")?;
     let agg = parse_aggregate(&mut p)?;
     p.expect("FROM")?;
@@ -194,7 +201,10 @@ pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQue
                 if to < from {
                     return err("TIME window end before start");
                 }
-                window = Some(TimeWindow::new(Timestamp::at_day(from), Timestamp::at_day(to)));
+                window = Some(TimeWindow::new(
+                    Timestamp::at_day(from),
+                    Timestamp::at_day(to),
+                ));
             }
             "GENDER" => {
                 p.expect("=")?;
@@ -255,7 +265,12 @@ pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQue
         Some(k) => k,
         None => return err("queries require exactly one KEYWORD predicate"),
     };
-    Ok(AggregateQuery { aggregate: agg, keyword, window, predicates })
+    Ok(AggregateQuery {
+        aggregate: agg,
+        keyword,
+        window,
+        predicates,
+    })
 }
 
 fn parse_aggregate(p: &mut Parser) -> Result<Aggregate, ParseError> {
@@ -309,7 +324,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(q.aggregate, Aggregate::Avg(UserMetric::FollowerCount));
-        assert_eq!(q.window.unwrap().length(), microblog_platform::Duration::days(303));
+        assert_eq!(
+            q.window.unwrap().length(),
+            microblog_platform::Duration::days(303)
+        );
         assert!(q.predicates.is_empty());
     }
 
@@ -323,8 +341,14 @@ mod tests {
         .unwrap();
         assert_eq!(q.aggregate, Aggregate::Count);
         assert_eq!(q.predicates.len(), 3);
-        assert!(matches!(q.predicates[0], ProfilePredicate::GenderIs(Gender::Male)));
-        assert!(matches!(q.predicates[1], ProfilePredicate::MinFollowers(10)));
+        assert!(matches!(
+            q.predicates[0],
+            ProfilePredicate::GenderIs(Gender::Male)
+        ));
+        assert!(matches!(
+            q.predicates[1],
+            ProfilePredicate::MinFollowers(10)
+        ));
         assert!(matches!(q.predicates[2], ProfilePredicate::RegionIs(3)));
     }
 

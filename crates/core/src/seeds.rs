@@ -70,6 +70,9 @@ mod tests {
         // never certify membership.
         let q = crate::query::AggregateQuery::avg(UserMetric::FollowerCount, kw)
             .in_window(TimeWindow::new(Timestamp::EPOCH, Timestamp::at_day(30)));
-        assert_eq!(fetch_seeds(&mut client, &q).unwrap_err(), EstimateError::NoSeeds);
+        assert_eq!(
+            fetch_seeds(&mut client, &q).unwrap_err(),
+            EstimateError::NoSeeds
+        );
     }
 }

@@ -40,7 +40,10 @@ pub enum ViewKind {
 impl ViewKind {
     /// The standard level-by-level view with bucket width `interval`.
     pub fn level(interval: Duration) -> Self {
-        ViewKind::LevelByLevel { interval, keep_intra: 0.0 }
+        ViewKind::LevelByLevel {
+            interval,
+            keep_intra: 0.0,
+        }
     }
 }
 
@@ -185,7 +188,10 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
     /// # Panics
     /// Panics if called on a non-level view.
     pub fn level_split(&mut self, u: UserId) -> Result<(Vec<UserId>, Vec<UserId>), ApiError> {
-        assert!(self.assigner.is_some(), "level_split requires a level-by-level view");
+        assert!(
+            self.assigner.is_some(),
+            "level_split requires a level-by-level view"
+        );
         if let Some(cached) = self.split_memo.get(&u) {
             return Ok(cached.clone());
         }
@@ -260,7 +266,8 @@ mod tests {
     #[test]
     fn term_induced_filters_non_members() {
         let (s, q) = setup();
-        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let mut client =
+            CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let seeds = client.search(q.keyword).unwrap();
         let seed = seeds[0].author;
         let mut full = QueryGraph::new(&mut client, &q, ViewKind::FullGraph);
@@ -284,7 +291,8 @@ mod tests {
     #[test]
     fn level_view_drops_exactly_intra_edges() {
         let (s, q) = setup();
-        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let mut client =
+            CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let seeds = client.search(q.keyword).unwrap();
         let seed = seeds[0].author;
         let interval = Duration::DAY;
@@ -296,13 +304,20 @@ mod tests {
         let lu = level.member_level(seed).unwrap().unwrap();
         for v in &term_nbrs {
             let lv = level.member_level(*v).unwrap().unwrap();
-            assert_eq!(level_nbrs.contains(v), lv != lu, "edge to level {lv} vs own {lu}");
+            assert_eq!(
+                level_nbrs.contains(v),
+                lv != lu,
+                "edge to level {lv} vs own {lu}"
+            );
         }
         // keep_intra = 1.0 restores the term-induced neighbor set.
         let mut keep_all = QueryGraph::new(
             &mut client,
             &q,
-            ViewKind::LevelByLevel { interval, keep_intra: 1.0 },
+            ViewKind::LevelByLevel {
+                interval,
+                keep_intra: 1.0,
+            },
         );
         assert_eq!(keep_all.neighbors(seed).unwrap(), term_nbrs);
     }
@@ -310,12 +325,24 @@ mod tests {
     #[test]
     fn keep_intra_fraction_is_monotone_and_deterministic() {
         let (s, q) = setup();
-        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let mut client =
+            CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let seeds = client.search(q.keyword).unwrap();
         let interval = Duration::DAY;
         let count_with = |client: &mut CachingClient, keep: f64| -> usize {
-            let mut g = QueryGraph::new(client, &q, ViewKind::LevelByLevel { interval, keep_intra: keep });
-            seeds.iter().take(5).map(|h| g.neighbors(h.author).unwrap().len()).sum()
+            let mut g = QueryGraph::new(
+                client,
+                &q,
+                ViewKind::LevelByLevel {
+                    interval,
+                    keep_intra: keep,
+                },
+            );
+            seeds
+                .iter()
+                .take(5)
+                .map(|h| g.neighbors(h.author).unwrap().len())
+                .sum()
         };
         let none = count_with(&mut client, 0.0);
         let half = count_with(&mut client, 0.5);
@@ -328,7 +355,8 @@ mod tests {
     #[test]
     fn level_split_partitions_neighbors() {
         let (s, q) = setup();
-        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let mut client =
+            CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let seeds = client.search(q.keyword).unwrap();
         let mut g = QueryGraph::new(&mut client, &q, ViewKind::level(Duration::DAY));
         let u = seeds[0].author;
@@ -347,7 +375,8 @@ mod tests {
     #[test]
     fn full_graph_neighbors_match_connections() {
         let (s, q) = setup();
-        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let mut client =
+            CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let expected: Vec<UserId> = client.connections(UserId(0)).unwrap().to_vec();
         let mut g = QueryGraph::new(&mut client, &q, ViewKind::FullGraph);
         assert_eq!(g.neighbors(UserId(0)).unwrap(), expected);

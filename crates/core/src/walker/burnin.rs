@@ -89,8 +89,14 @@ pub fn adaptive_srw_config<R: Rng>(
     pilot_steps: usize,
     rng: &mut R,
 ) -> Result<SrwConfig, EstimateError> {
-    let measurement =
-        measure_burn_in(client, query, view, pilot_steps, PAPER_GEWEKE_THRESHOLD, rng)?;
+    let measurement = measure_burn_in(
+        client,
+        query,
+        view,
+        pilot_steps,
+        PAPER_GEWEKE_THRESHOLD,
+        rng,
+    )?;
     let mut cfg = SrwConfig::new(view);
     if let Some(b) = measurement.burn_in {
         cfg.burn_in = b.max(10);

@@ -34,7 +34,12 @@ pub struct MhrwConfig {
 impl MhrwConfig {
     /// Defaults matching the SRW configuration for a fair comparison.
     pub fn new(view: ViewKind) -> Self {
-        MhrwConfig { view, burn_in: 100, thinning: 3, max_steps: 200_000 }
+        MhrwConfig {
+            view,
+            burn_in: 100,
+            thinning: 3,
+            max_steps: 200_000,
+        }
     }
 }
 
@@ -80,7 +85,7 @@ pub fn estimate<R: Rng>(
         };
         let d_u = nbrs.len();
         cur_deg = Some(d_u);
-        if step >= config.burn_in && step % config.thinning.max(1) == 0 {
+        if step >= config.burn_in && step.is_multiple_of(config.thinning.max(1)) {
             let view = match graph.view(current) {
                 Ok(v) => v,
                 Err(ApiError::BudgetExhausted { .. }) => break,
@@ -92,7 +97,14 @@ pub fn estimate<R: Rng>(
             sum_match += matches as u8 as f64;
             samples += 1;
             collisions.push(current.0, 1);
-            batch_vals.push((num, if matches!(query.aggregate, Aggregate::RatioOfSums { .. }) { den } else { matches as u8 as f64 }));
+            batch_vals.push((
+                num,
+                if matches!(query.aggregate, Aggregate::RatioOfSums { .. }) {
+                    den
+                } else {
+                    matches as u8 as f64
+                },
+            ));
             if batch_vals.len() >= BATCH {
                 let n: f64 = batch_vals.iter().map(|v| v.0).sum();
                 let d: f64 = batch_vals.iter().map(|v| v.1).sum();
@@ -152,7 +164,11 @@ pub fn estimate<R: Rng>(
     };
     Ok(Estimate {
         value,
-        std_err: if batch.count() >= 2 { batch.std_err() } else { None },
+        std_err: if batch.count() >= 2 {
+            batch.std_err()
+        } else {
+            None
+        },
         cost: graph.cost(),
         samples,
         instances: 1,

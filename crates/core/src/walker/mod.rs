@@ -10,9 +10,9 @@
 //!   sample spacing the original requires.
 
 pub mod burnin;
-pub mod parallel;
 pub mod mhrw;
 pub mod mr;
+pub mod parallel;
 pub mod snowball;
 pub mod srw;
 pub mod tarw;
@@ -35,10 +35,15 @@ impl AggregateQuery {
         match self.aggregate {
             Aggregate::Count => (matches, matches as u8 as f64, 0.0),
             Aggregate::Sum(m) => (matches, self.metric_value(m, view, now), 0.0),
-            Aggregate::Avg(m) => {
-                (matches, self.metric_value(m, view, now), matches as u8 as f64)
-            }
-            Aggregate::RatioOfSums { numerator, denominator } => (
+            Aggregate::Avg(m) => (
+                matches,
+                self.metric_value(m, view, now),
+                matches as u8 as f64,
+            ),
+            Aggregate::RatioOfSums {
+                numerator,
+                denominator,
+            } => (
                 matches,
                 self.metric_value(numerator, view, now),
                 self.metric_value(denominator, view, now),
@@ -173,7 +178,11 @@ mod tests {
         let a = accum_with(&[(1, 2, true, 1.0, 0.0), (2, 2, true, 1.0, 0.0)], true);
         assert_eq!(a.finalize(&q), None, "no collision yet");
         let b = accum_with(
-            &[(1, 2, true, 1.0, 0.0), (1, 2, true, 1.0, 0.0), (2, 2, false, 0.0, 0.0)],
+            &[
+                (1, 2, true, 1.0, 0.0),
+                (1, 2, true, 1.0, 0.0),
+                (2, 2, false, 0.0, 0.0),
+            ],
             true,
         );
         // n̂ = (Σd)(Σ1/d)/(2Ψ) = (6)(1.5)/2 = 4.5; count = n̂ · (1/2+1/2)/(3/2) = 3.

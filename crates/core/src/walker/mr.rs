@@ -31,7 +31,11 @@ impl MrConfig {
     /// Defaults per the mark-and-recapture literature: long burn-in and
     /// wide sample spacing for independence.
     pub fn new(view: ViewKind) -> Self {
-        MrConfig { view, burn_in: 250, spacing: 25 }
+        MrConfig {
+            view,
+            burn_in: 250,
+            spacing: 25,
+        }
     }
 }
 
@@ -76,8 +80,13 @@ mod tests {
         let mut client =
             CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let err = estimate(&mut client, &q, &MrConfig::new(ViewKind::TermInduced), &mut rng)
-            .unwrap_err();
+        let err = estimate(
+            &mut client,
+            &q,
+            &MrConfig::new(ViewKind::TermInduced),
+            &mut rng,
+        )
+        .unwrap_err();
         assert!(matches!(err, EstimateError::Unsupported(_)));
     }
 

@@ -45,7 +45,14 @@ pub fn estimate_parallel(
             let api = api.clone();
             let query = query.clone();
             scope.spawn(move || {
-                *slot = Some(run_chain(platform, api, &query, algorithm, budget, seed + i as u64));
+                *slot = Some(run_chain(
+                    platform,
+                    api,
+                    &query,
+                    algorithm,
+                    budget,
+                    seed + i as u64,
+                ));
             });
         }
     });
@@ -90,22 +97,35 @@ fn run_chain(
     use microblog_api::{CachingClient, MicroblogClient};
     use rand::SeedableRng;
 
-    let mut client =
-        CachingClient::new(MicroblogClient::with_budget(platform, api, budget));
+    let mut client = CachingClient::new(MicroblogClient::with_budget(platform, api, budget));
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     match algorithm {
-        Algorithm::SrwFullGraph => {
-            srw::estimate(&mut client, query, &srw::SrwConfig::new(ViewKind::FullGraph), &mut rng)
-        }
-        Algorithm::SrwTermInduced => {
-            srw::estimate(&mut client, query, &srw::SrwConfig::new(ViewKind::TermInduced), &mut rng)
-        }
+        Algorithm::SrwFullGraph => srw::estimate(
+            &mut client,
+            query,
+            &srw::SrwConfig::new(ViewKind::FullGraph),
+            &mut rng,
+        ),
+        Algorithm::SrwTermInduced => srw::estimate(
+            &mut client,
+            query,
+            &srw::SrwConfig::new(ViewKind::TermInduced),
+            &mut rng,
+        ),
         Algorithm::MaSrw { interval } => {
             let t = interval.unwrap_or(microblog_platform::Duration::DAY);
-            srw::estimate(&mut client, query, &srw::SrwConfig::new(ViewKind::level(t)), &mut rng)
+            srw::estimate(
+                &mut client,
+                query,
+                &srw::SrwConfig::new(ViewKind::level(t)),
+                &mut rng,
+            )
         }
         Algorithm::MaTarw { interval } => {
-            let cfg = tarw::TarwConfig { interval, ..Default::default() };
+            let cfg = tarw::TarwConfig {
+                interval,
+                ..Default::default()
+            };
             tarw::estimate(&mut client, query, &cfg, &mut rng)
         }
         Algorithm::MarkRecapture { view } => {
@@ -118,7 +138,11 @@ fn run_chain(
             mhrw::estimate(&mut client, query, &mhrw::MhrwConfig::new(view), &mut rng)
         }
         Algorithm::Snowball { view, order } => {
-            let cfg = snowball::SnowballConfig { view, order, max_nodes: usize::MAX };
+            let cfg = snowball::SnowballConfig {
+                view,
+                order,
+                max_nodes: usize::MAX,
+            };
             snowball::estimate(&mut client, query, &cfg, &mut rng)
         }
     }
@@ -136,12 +160,17 @@ mod tests {
         let kw = s.keyword("new york").unwrap();
         let q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
         let truth = q.ground_truth(&s.platform).unwrap();
-        let cfg = ParallelConfig { chains: 4, total_budget: 30_000 };
+        let cfg = ParallelConfig {
+            chains: 4,
+            total_budget: 30_000,
+        };
         let est = estimate_parallel(
             &s.platform,
             &ApiProfile::twitter(),
             &q,
-            Algorithm::MaSrw { interval: Some(Duration::DAY) },
+            Algorithm::MaSrw {
+                interval: Some(Duration::DAY),
+            },
             &cfg,
             5,
         )
@@ -157,12 +186,17 @@ mod tests {
         let s = twitter_2013(Scale::Tiny, 122);
         let kw = s.keyword("privacy").unwrap();
         let q = AggregateQuery::count(kw).in_window(s.window);
-        let cfg = ParallelConfig { chains: 3, total_budget: 10 };
+        let cfg = ParallelConfig {
+            chains: 3,
+            total_budget: 10,
+        };
         let err = estimate_parallel(
             &s.platform,
             &ApiProfile::twitter(),
             &q,
-            Algorithm::MaTarw { interval: Some(Duration::DAY) },
+            Algorithm::MaTarw {
+                interval: Some(Duration::DAY),
+            },
             &cfg,
             6,
         )

@@ -43,12 +43,20 @@ pub struct SnowballConfig {
 impl SnowballConfig {
     /// BFS snowball over the given view.
     pub fn bfs(view: ViewKind) -> Self {
-        SnowballConfig { view, order: CrawlOrder::Bfs, max_nodes: 100_000 }
+        SnowballConfig {
+            view,
+            order: CrawlOrder::Bfs,
+            max_nodes: 100_000,
+        }
     }
 
     /// DFS snowball over the given view.
     pub fn dfs(view: ViewKind) -> Self {
-        SnowballConfig { view, order: CrawlOrder::Dfs, max_nodes: 100_000 }
+        SnowballConfig {
+            view,
+            order: CrawlOrder::Dfs,
+            max_nodes: 100_000,
+        }
     }
 }
 
@@ -131,7 +139,13 @@ pub fn estimate<R: Rng>(
             sum_num / sum_den
         }
     };
-    Ok(Estimate { value, std_err: None, cost: graph.cost(), samples, instances: 1 })
+    Ok(Estimate {
+        value,
+        std_err: None,
+        cost: graph.cost(),
+        samples,
+        instances: 1,
+    })
 }
 
 #[cfg(test)]
@@ -158,7 +172,11 @@ mod tests {
             QueryBudget::limited(budget),
         ));
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let cfg = SnowballConfig { view: ViewKind::TermInduced, order, max_nodes };
+        let cfg = SnowballConfig {
+            view: ViewKind::TermInduced,
+            order,
+            max_nodes,
+        };
         (estimate(&mut client, &q, &cfg, &mut rng), truth)
     }
 
@@ -170,7 +188,11 @@ mod tests {
         let (est, truth) = run(CrawlOrder::Bfs, 2_000_000, usize::MAX);
         let est = est.unwrap();
         assert!(est.value <= truth);
-        assert!(est.value > 0.4 * truth, "crawl found only {} of {truth}", est.value);
+        assert!(
+            est.value > 0.4 * truth,
+            "crawl found only {} of {truth}",
+            est.value
+        );
     }
 
     #[test]
@@ -198,11 +220,16 @@ mod tests {
         let kw = s.keyword("new york").unwrap();
         let q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
         let truth = q.ground_truth(&s.platform).unwrap();
-        let mut client = CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
+        let mut client =
+            CachingClient::new(MicroblogClient::new(&s.platform, ApiProfile::twitter()));
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let cfg = SnowballConfig::bfs(ViewKind::level(Duration::DAY));
         let est = estimate(&mut client, &q, &cfg, &mut rng).unwrap();
         // Name lengths are homogeneous, so even a biased sample is close.
-        assert!((est.value - truth).abs() / truth < 0.2, "est {} truth {truth}", est.value);
+        assert!(
+            (est.value - truth).abs() / truth < 0.2,
+            "est {} truth {truth}",
+            est.value
+        );
     }
 }

@@ -37,7 +37,13 @@ pub struct SrwConfig {
 impl SrwConfig {
     /// MA-SRW defaults over the given view.
     pub fn new(view: ViewKind) -> Self {
-        SrwConfig { view, burn_in: 100, thinning: 3, collision_spacing: 2, max_steps: 200_000 }
+        SrwConfig {
+            view,
+            burn_in: 100,
+            thinning: 3,
+            collision_spacing: 2,
+            max_steps: 200_000,
+        }
     }
 }
 
@@ -74,7 +80,7 @@ pub fn estimate<R: Rng>(
             Err(ApiError::BudgetExhausted { .. }) => break,
             Err(e) => return Err(e.into()),
         };
-        if step_in_chain >= config.burn_in && step_in_chain % config.thinning.max(1) == 0 {
+        if step_in_chain >= config.burn_in && step_in_chain.is_multiple_of(config.thinning.max(1)) {
             let view = match graph.view(current) {
                 Ok(v) => v,
                 Err(ApiError::BudgetExhausted { .. }) => break,
@@ -82,7 +88,7 @@ pub fn estimate<R: Rng>(
             };
             let (matches, num, den) = query.sample_values(&view, now);
             let collide =
-                query.needs_size_estimate() && kept % config.collision_spacing.max(1) == 0;
+                query.needs_size_estimate() && kept.is_multiple_of(config.collision_spacing.max(1));
             accum.push(current.0, nbrs.len(), matches, num, den, collide);
             batch_accum.push(current.0, nbrs.len(), matches, num, den, false);
             kept += 1;
@@ -106,7 +112,11 @@ pub fn estimate<R: Rng>(
     let value = accum.finalize(query).ok_or(EstimateError::NoSamples)?;
     Ok(Estimate {
         value,
-        std_err: if batch.count() >= 2 { batch.std_err() } else { None },
+        std_err: if batch.count() >= 2 {
+            batch.std_err()
+        } else {
+            None
+        },
         cost: graph.cost(),
         samples: accum.samples(),
         instances: 1,

@@ -245,7 +245,11 @@ impl ProbabilityEstimator {
             return Ok(p);
         }
         let s = self.seeds.len() as f64;
-        let mut p = if self.seed_set.contains(&u) { 1.0 / s } else { 0.0 };
+        let mut p = if self.seed_set.contains(&u) {
+            1.0 / s
+        } else {
+            0.0
+        };
         let (_, below) = graph.level_split(u)?;
         for v in below {
             let pv = self.exact_p_up(graph, v)?;
@@ -305,7 +309,12 @@ impl ProbabilityEstimator {
             };
             debug_assert!(pending);
             let draw = self.draw_up(graph, rng, u)?;
-            let entry = self.up_cache.as_mut().expect("cache enabled").entry(u).or_default();
+            let entry = self
+                .up_cache
+                .as_mut()
+                .expect("cache enabled")
+                .entry(u)
+                .or_default();
             entry.sum += draw;
             entry.n += 1;
         }
@@ -328,7 +337,12 @@ impl ProbabilityEstimator {
             };
             debug_assert!(pending);
             let draw = self.draw_down(graph, rng, u)?;
-            let entry = self.down_cache.as_mut().expect("cache enabled").entry(u).or_default();
+            let entry = self
+                .down_cache
+                .as_mut()
+                .expect("cache enabled")
+                .entry(u)
+                .or_default();
             entry.sum += draw;
             entry.n += 1;
         }
@@ -345,7 +359,11 @@ impl ProbabilityEstimator {
         u: UserId,
     ) -> Result<f64, ApiError> {
         let s = self.seeds.len() as f64;
-        let seed_mass = if self.seed_set.contains(&u) { 1.0 / s } else { 0.0 };
+        let seed_mass = if self.seed_set.contains(&u) {
+            1.0 / s
+        } else {
+            0.0
+        };
         let (_, below) = graph.level_split(u)?;
         if below.is_empty() {
             return Ok(seed_mass);
@@ -459,7 +477,12 @@ impl TarwWalker<'_, '_, '_> {
     }
 
     /// Probability estimate for one node, per the configured [`PMode`].
-    fn averaged_p<R: Rng>(&mut self, rng: &mut R, u: UserId, phase: Phase) -> Result<f64, ApiError> {
+    fn averaged_p<R: Rng>(
+        &mut self,
+        rng: &mut R,
+        u: UserId,
+        phase: Phase,
+    ) -> Result<f64, ApiError> {
         match self.p_mode {
             PMode::Exact => match phase {
                 Phase::Up => self.prob.exact_p_up(self.graph, u),
@@ -551,7 +574,10 @@ mod tests {
 
     #[test]
     fn interval_autoselection_works() {
-        let cfg = TarwConfig { interval: None, ..TarwConfig::default() };
+        let cfg = TarwConfig {
+            interval: None,
+            ..TarwConfig::default()
+        };
         let (est, truth) = run_tarw(63, 3, 50_000, cfg, |s| {
             AggregateQuery::avg(UserMetric::DisplayNameLength, s.keyword("privacy").unwrap())
                 .in_window(s.window)
@@ -564,13 +590,25 @@ mod tests {
 
     #[test]
     fn exact_mode_beats_uncached_sampling() {
-        let mk = |p_mode| TarwConfig { p_mode, max_instances: 40, ..day_config() };
+        let mk = |p_mode| TarwConfig {
+            p_mode,
+            max_instances: 40,
+            ..day_config()
+        };
         let q_of = |s: &microblog_platform::scenario::Scenario| {
             AggregateQuery::count(s.keyword("new york").unwrap()).in_window(s.window)
         };
         let (exact, truth) = run_tarw(64, 4, 1_000_000, mk(PMode::Exact), q_of);
-        let (sampled, _) =
-            run_tarw(64, 4, 1_000_000, mk(PMode::Sampled { draws: 2, cache: false }), q_of);
+        let (sampled, _) = run_tarw(
+            64,
+            4,
+            1_000_000,
+            mk(PMode::Sampled {
+                draws: 2,
+                cache: false,
+            }),
+            q_of,
+        );
         let truth = truth.unwrap();
         let exact_err = exact.unwrap().relative_error(truth);
         match sampled {

@@ -42,15 +42,27 @@ fn query_window() -> TimeWindow {
 fn path_world() -> Platform {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let graph = DirectedGraph::from_arcs(N, (0..N as u32 - 1).map(|i| (i, i + 1)));
-    let users = (0..N).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let users = (0..N)
+        .map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH))
+        .collect();
     let mut b = PlatformBuilder::new(graph, users, now());
     let kw = b.intern_keyword("ladder");
     for i in 0..N as u32 {
         // Noon of day i: user i's only in-chain keyword post; likes = i.
-        b.add_post_at(UserId(i), Some(kw), Timestamp::at_day(i as i64) + Duration::hours(12), i);
+        b.add_post_at(
+            UserId(i),
+            Some(kw),
+            Timestamp::at_day(i as i64) + Duration::hours(12),
+            i,
+        );
     }
     // The lone recent post that seeds the walk (0 likes: keeps sums clean).
-    b.add_post_at(UserId(N as u32 - 1), Some(kw), now() - Duration::hours(1), 0);
+    b.add_post_at(
+        UserId(N as u32 - 1),
+        Some(kw),
+        now() - Duration::hours(1),
+        0,
+    );
     b.build()
 }
 

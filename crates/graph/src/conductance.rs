@@ -112,7 +112,11 @@ pub fn cut_conductance(g: &CsrGraph, in_s: &[bool]) -> Option<f64> {
         let d = g.degree(u as NodeId);
         if in_s[u] {
             vol_s += d;
-            cut += g.neighbors(u as NodeId).iter().filter(|&&v| !in_s[v as usize]).count();
+            cut += g
+                .neighbors(u as NodeId)
+                .iter()
+                .filter(|&&v| !in_s[v as usize])
+                .count();
         }
     }
     let vol_rest = g.total_volume() - vol_s;
@@ -167,7 +171,9 @@ pub fn sweep_conductance(g: &CsrGraph, iterations: usize) -> Option<f64> {
     // Stationary distribution of the walk: pi(u) = d(u)/vol.
     let pi: Vec<f64> = (0..n).map(|u| g.degree(u as NodeId) as f64 / vol).collect();
     // Deterministic pseudo-random start orthogonal to constants.
-    let mut x: Vec<f64> = (0..n).map(|u| ((u * 2654435761) % 1000) as f64 / 1000.0 - 0.5).collect();
+    let mut x: Vec<f64> = (0..n)
+        .map(|u| ((u * 2654435761) % 1000) as f64 / 1000.0 - 0.5)
+        .collect();
     let mut next = vec![0.0f64; n];
     for _ in 0..iterations {
         // Deflate the top eigenvector (all-ones in the pi inner product).
@@ -253,8 +259,8 @@ mod tests {
     #[test]
     fn degenerate_cuts_are_none() {
         let g = barbell();
-        assert!(cut_conductance(&g, &vec![false; 8]).is_none());
-        assert!(cut_conductance(&g, &vec![true; 8]).is_none());
+        assert!(cut_conductance(&g, &[false; 8]).is_none());
+        assert!(cut_conductance(&g, &[true; 8]).is_none());
     }
 
     #[test]
@@ -269,7 +275,10 @@ mod tests {
         let g = barbell();
         let sweep = sweep_conductance(&g, 200).unwrap();
         let exact = min_conductance_exact(&g).unwrap();
-        assert!((sweep - exact).abs() < 1e-9, "sweep {sweep} vs exact {exact}");
+        assert!(
+            (sweep - exact).abs() < 1e-9,
+            "sweep {sweep} vs exact {exact}"
+        );
     }
 
     #[test]
@@ -296,7 +305,11 @@ mod tests {
 
     #[test]
     fn eq2_reduces_to_eq3_without_intra_edges() {
-        for &(n, h, d) in &[(1000.0, 10.0, 3.0), (5000.0, 25.0, 40.0), (600.0, 6.0, 70.0)] {
+        for &(n, h, d) in &[
+            (1000.0, 10.0, 3.0),
+            (5000.0, 25.0, 40.0),
+            (600.0, 6.0, 70.0),
+        ] {
             let with = conductance_with_intra(&LevelModel::new(n, h, d, 0.0));
             let without = conductance_level(n, h, d);
             assert!(

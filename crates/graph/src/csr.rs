@@ -27,7 +27,10 @@ impl CsrGraph {
     pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
         let mut pairs: Vec<(NodeId, NodeId)> = Vec::new();
         for (u, v) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge endpoint out of range"
+            );
             if u == v {
                 continue;
             }
@@ -132,7 +135,9 @@ impl CsrGraph {
             .collect();
         gone.sort_unstable();
         gone.dedup();
-        let edges = self.edges().filter(|&(u, v)| gone.binary_search(&(u, v)).is_err());
+        let edges = self
+            .edges()
+            .filter(|&(u, v)| gone.binary_search(&(u, v)).is_err());
         CsrGraph::from_edges(self.node_count(), edges)
     }
 }

@@ -28,7 +28,10 @@ fn mean_var(xs: &[f64]) -> (f64, f64) {
 /// # Panics
 /// Panics unless `0 < frac_a`, `0 < frac_b`, and `frac_a + frac_b <= 1`.
 pub fn geweke_z(chain: &[f64], frac_a: f64, frac_b: f64) -> Option<f64> {
-    assert!(frac_a > 0.0 && frac_b > 0.0 && frac_a + frac_b <= 1.0, "invalid window fractions");
+    assert!(
+        frac_a > 0.0 && frac_b > 0.0 && frac_a + frac_b <= 1.0,
+        "invalid window fractions"
+    );
     let n = chain.len();
     let na = ((n as f64) * frac_a).floor() as usize;
     let nb = ((n as f64) * frac_b).floor() as usize;
@@ -80,8 +83,10 @@ pub fn autocorrelation(chain: &[f64], lag: usize) -> Option<f64> {
         return None;
     }
     let n = chain.len() - lag;
-    let cov =
-        (0..n).map(|i| (chain[i] - mean) * (chain[i + lag] - mean)).sum::<f64>() / chain.len() as f64;
+    let cov = (0..n)
+        .map(|i| (chain[i] - mean) * (chain[i + lag] - mean))
+        .sum::<f64>()
+        / chain.len() as f64;
     Some(cov / var)
 }
 
@@ -148,7 +153,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_chain() {
-        let chain: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let chain: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let r1 = autocorrelation(&chain, 1).unwrap();
         assert!(r1 < -0.9);
         let r2 = autocorrelation(&chain, 2).unwrap();

@@ -33,7 +33,10 @@ impl DirectedGraph {
         let mut fwd: Vec<(NodeId, NodeId)> = arcs
             .into_iter()
             .inspect(|&(u, v)| {
-                assert!((u as usize) < n && (v as usize) < n, "arc endpoint out of range")
+                assert!(
+                    (u as usize) < n && (v as usize) < n,
+                    "arc endpoint out of range"
+                )
             })
             .filter(|&(u, v)| u != v)
             .collect();
@@ -44,7 +47,12 @@ impl DirectedGraph {
 
         let (out_offsets, out_targets) = csr_from_sorted(n, &fwd);
         let (in_offsets, in_targets) = csr_from_sorted(n, &rev);
-        DirectedGraph { out_offsets, out_targets, in_offsets, in_targets }
+        DirectedGraph {
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_targets,
+        }
     }
 
     /// Number of nodes.

@@ -47,7 +47,10 @@ pub fn degree_stats(g: &CsrGraph) -> Option<DegreeStats> {
 /// Number of common neighbors of `u` and `v` (linear merge of the two
 /// sorted adjacency slices).
 pub fn common_neighbors(g: &CsrGraph, u: NodeId, v: NodeId) -> usize {
-    let (mut a, mut b) = (g.neighbors(u).iter().peekable(), g.neighbors(v).iter().peekable());
+    let (mut a, mut b) = (
+        g.neighbors(u).iter().peekable(),
+        g.neighbors(v).iter().peekable(),
+    );
     let mut shared = 0;
     while let (Some(&&x), Some(&&y)) = (a.peek(), b.peek()) {
         match x.cmp(&y) {

@@ -21,12 +21,20 @@ use rand::Rng;
 /// # Panics
 /// Panics if `community.len() != g.node_count()`.
 pub fn modularity(g: &CsrGraph, community: &[u32]) -> f64 {
-    assert_eq!(community.len(), g.node_count(), "community labels length mismatch");
+    assert_eq!(
+        community.len(),
+        g.node_count(),
+        "community labels length mismatch"
+    );
     let m = g.edge_count();
     if m == 0 {
         return 0.0;
     }
-    let ncomm = community.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let ncomm = community
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
     let mut intra = vec![0usize; ncomm];
     let mut vol = vec![0usize; ncomm];
     for (u, v) in g.edges() {
@@ -66,8 +74,11 @@ pub fn label_propagation<R: Rng>(g: &CsrGraph, rng: &mut R, max_rounds: usize) -
                 *counts.entry(label[v as usize]).or_insert(0) += 1;
             }
             let best_count = *counts.values().max().expect("non-empty");
-            let mut best: Vec<u32> =
-                counts.iter().filter(|&(_, &c)| c == best_count).map(|(&l, _)| l).collect();
+            let mut best: Vec<u32> = counts
+                .iter()
+                .filter(|&(_, &c)| c == best_count)
+                .map(|(&l, _)| l)
+                .collect();
             best.sort_unstable();
             let pick = best[rng.gen_range(0..best.len())];
             if pick != label[u as usize] {

@@ -62,7 +62,12 @@ impl WalkTrace {
     /// remainder (`thinning >= 1`).
     pub fn samples(&self, burn_in: usize, thinning: usize) -> Vec<Visit> {
         let thinning = thinning.max(1);
-        self.visits.iter().skip(burn_in).step_by(thinning).copied().collect()
+        self.visits
+            .iter()
+            .skip(burn_in)
+            .step_by(thinning)
+            .copied()
+            .collect()
     }
 
     /// Number of steps taken (visits − 1, saturating).
@@ -86,14 +91,20 @@ pub fn simple_random_walk<S: NeighborSource, R: Rng>(
     let mut visits = Vec::with_capacity(steps + 1);
     let mut current = start;
     let mut degree = source.neighbors(current)?.len();
-    visits.push(Visit { node: current, degree });
+    visits.push(Visit {
+        node: current,
+        degree,
+    });
     for _ in 0..steps {
         let nbrs = source.neighbors(current)?;
         if !nbrs.is_empty() {
             current = nbrs[rng.gen_range(0..nbrs.len())];
             degree = source.neighbors(current)?.len();
         }
-        visits.push(Visit { node: current, degree });
+        visits.push(Visit {
+            node: current,
+            degree,
+        });
     }
     Ok(WalkTrace { visits })
 }
@@ -110,7 +121,10 @@ pub fn metropolis_hastings_walk<S: NeighborSource, R: Rng>(
     let mut visits = Vec::with_capacity(steps + 1);
     let mut current = start;
     let mut cur_deg = source.neighbors(current)?.len();
-    visits.push(Visit { node: current, degree: cur_deg });
+    visits.push(Visit {
+        node: current,
+        degree: cur_deg,
+    });
     for _ in 0..steps {
         if cur_deg > 0 {
             let proposal = {
@@ -128,7 +142,10 @@ pub fn metropolis_hastings_walk<S: NeighborSource, R: Rng>(
                 cur_deg = prop_deg;
             }
         }
-        visits.push(Visit { node: current, degree: cur_deg });
+        visits.push(Visit {
+            node: current,
+            degree: cur_deg,
+        });
     }
     Ok(WalkTrace { visits })
 }

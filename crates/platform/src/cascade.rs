@@ -55,7 +55,11 @@ impl Default for DelayModel {
 impl DelayModel {
     /// Samples one reaction delay (always >= 1 second).
     pub fn sample<R: Rng>(&self, rng: &mut R) -> Duration {
-        let mean = if rng.gen_bool(self.fast_fraction) { self.fast_mean } else { self.slow_mean };
+        let mean = if rng.gen_bool(self.fast_fraction) {
+            self.fast_mean
+        } else {
+            self.slow_mean
+        };
         Duration(exp_sample(rng, mean.0 as f64).max(1.0) as i64)
     }
 }
@@ -243,8 +247,11 @@ pub fn simulate<R: Rng>(rng: &mut R, graph: &DirectedGraph, cfg: &CascadeConfig)
     let mut queue: BinaryHeap<Reverse<(Timestamp, u32)>> = BinaryHeap::new();
 
     // Dynamic onset state (scheduled onsets + contagion ignitions).
-    let mut live_onset: Vec<Option<Timestamp>> =
-        cfg.affinity.as_ref().map(|a| a.onset.clone()).unwrap_or_default();
+    let mut live_onset: Vec<Option<Timestamp>> = cfg
+        .affinity
+        .as_ref()
+        .map(|a| a.onset.clone())
+        .unwrap_or_default();
     // Member lists per community, for affinity-directed seeding.
     let members: Option<Vec<Vec<u32>>> = cfg.affinity.as_ref().map(|aff| {
         let ncomm = aff.onset.len();
@@ -283,8 +290,7 @@ pub fn simulate<R: Rng>(rng: &mut R, graph: &DirectedGraph, cfg: &CascadeConfig)
                 // average community. Stale moments forward their seeds to
                 // the next burst — otherwise a constant background rate
                 // would smear a community's first mentions across weeks.
-                let ref_weight =
-                    (aff.labels.len() as f64 / aff.onset.len().max(1) as f64).max(1.0);
+                let ref_weight = (aff.labels.len() as f64 / aff.onset.len().max(1) as f64).max(1.0);
                 let stale = total / ref_weight < rng.gen::<f64>();
                 let (c, at) = if stale || total < 1e-9 {
                     // This seed belongs to the next burst instead
@@ -387,11 +393,19 @@ pub fn simulate<R: Rng>(rng: &mut R, graph: &DirectedGraph, cfg: &CascadeConfig)
         let mut post_time = t;
         let mut first = true;
         loop {
-            posts.push(make_post(rng, graph, UserId(u), post_time, cfg.keyword, !first));
+            posts.push(make_post(
+                rng,
+                graph,
+                UserId(u),
+                post_time,
+                cfg.keyword,
+                !first,
+            ));
             if !rng.gen_bool(cfg.repeat_post_prob) {
                 break;
             }
-            post_time = post_time + Duration(exp_sample(rng, cfg.repeat_gap_mean.0 as f64) as i64 + 1);
+            post_time =
+                post_time + Duration(exp_sample(rng, cfg.repeat_gap_mean.0 as f64) as i64 + 1);
             if !cfg.window.contains(post_time) {
                 break;
             }
@@ -399,8 +413,8 @@ pub fn simulate<R: Rng>(rng: &mut R, graph: &DirectedGraph, cfg: &CascadeConfig)
         }
         // Expose followers, with attention dilution for large audiences.
         let audience = graph.follower_count(u) as f64;
-        let eff_prob =
-            (cfg.adoption_prob * cfg.attention_ref / (cfg.attention_ref + audience)).clamp(0.0, 1.0);
+        let eff_prob = (cfg.adoption_prob * cfg.attention_ref / (cfg.attention_ref + audience))
+            .clamp(0.0, 1.0);
         for &f in graph.followers(u) {
             // Onset contagion: an exposure can ignite an eligible,
             // not-yet-onset community (see [`CommunityAffinity`]). The
@@ -418,9 +432,8 @@ pub fn simulate<R: Rng>(rng: &mut R, graph: &DirectedGraph, cfg: &CascadeConfig)
                     && quiet
                     && rng.gen_bool(aff.onset_contagion)
                 {
-                    let lag = Duration(
-                        exp_sample(rng, aff.ignition_lag_mean.0.max(1) as f64) as i64
-                    );
+                    let lag =
+                        Duration(exp_sample(rng, aff.ignition_lag_mean.0.max(1) as f64) as i64);
                     let onset_at = t + lag;
                     if cfg.window.contains(onset_at) {
                         live_onset[c] = Some(onset_at);
@@ -446,7 +459,11 @@ pub fn simulate<R: Rng>(rng: &mut R, graph: &DirectedGraph, cfg: &CascadeConfig)
         }
     }
 
-    CascadeOutcome { keyword: cfg.keyword, adoption_time, posts }
+    CascadeOutcome {
+        keyword: cfg.keyword,
+        adoption_time,
+        posts,
+    }
 }
 
 /// Guarantees the cascade has posts inside the trailing week of its window
@@ -508,7 +525,14 @@ fn make_post<R: Rng>(
     let lambda = followers * 0.02 + 0.2;
     let likes = poisson(rng, lambda.min(500.0)) as u32;
     let chars = rng.gen_range(20..140) as u16;
-    PostDraft { author, time, keywords: vec![keyword], likes, chars, is_repost }
+    PostDraft {
+        author,
+        time,
+        keywords: vec![keyword],
+        likes,
+        chars,
+        is_repost,
+    }
 }
 
 /// Exponential sample with the given mean.
@@ -553,7 +577,11 @@ mod tests {
 
     fn test_graph(seed: u64) -> DirectedGraph {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let cfg = CommunityGraphConfig { nodes: 3_000, communities: 15, ..Default::default() };
+        let cfg = CommunityGraphConfig {
+            nodes: 3_000,
+            communities: 15,
+            ..Default::default()
+        };
         community_preferential(&mut rng, &cfg).0
     }
 
@@ -596,9 +624,8 @@ mod tests {
         let dm = DelayModel::default();
         let n = 10_000;
         let samples: Vec<Duration> = (0..n).map(|_| dm.sample(&mut rng)).collect();
-        let frac_below = |d: Duration| {
-            samples.iter().filter(|&&s| s <= d).count() as f64 / n as f64
-        };
+        let frac_below =
+            |d: Duration| samples.iter().filter(|&&s| s <= d).count() as f64 / n as f64;
         // Fast mode: a visible same-hours reaction share.
         let hourly = frac_below(Duration::HOUR);
         assert!((0.10..0.35).contains(&hourly), "P(<1h) = {hourly}");
@@ -617,10 +644,17 @@ mod tests {
         let mut cfg = CascadeConfig::new(KeywordId(0), window());
         cfg.initial_seeds = 0;
         cfg.background_rate_per_day = 0.0;
-        cfg.spikes = vec![Spike { time: Timestamp::at_day(50), seeds: 100 }];
+        cfg.spikes = vec![Spike {
+            time: Timestamp::at_day(50),
+            seeds: 100,
+        }];
         let out = simulate(&mut rng, &g, &cfg);
-        let before =
-            out.adoption_time.iter().flatten().filter(|&&t| t < Timestamp::at_day(50)).count();
+        let before = out
+            .adoption_time
+            .iter()
+            .flatten()
+            .filter(|&&t| t < Timestamp::at_day(50))
+            .count();
         let after = out.adopter_count() - before;
         assert_eq!(before, 0, "nothing should happen before the spike");
         assert!(after >= 100);
@@ -662,7 +696,10 @@ mod tests {
             let n = 5_000;
             let total: u64 = (0..n).map(|_| poisson(&mut rng, lambda)).sum();
             let mean = total as f64 / n as f64;
-            assert!((mean - lambda).abs() < lambda * 0.1 + 0.1, "λ={lambda} mean={mean}");
+            assert!(
+                (mean - lambda).abs() < lambda * 0.1 + 0.1,
+                "λ={lambda} mean={mean}"
+            );
         }
         assert_eq!(poisson(&mut rng, 0.0), 0);
     }

@@ -22,7 +22,11 @@ pub struct BarabasiAlbertConfig {
 
 impl Default for BarabasiAlbertConfig {
     fn default() -> Self {
-        BarabasiAlbertConfig { nodes: 1000, arcs_per_node: 5, reciprocity: 0.3 }
+        BarabasiAlbertConfig {
+            nodes: 1000,
+            arcs_per_node: 5,
+            reciprocity: 0.3,
+        }
     }
 }
 
@@ -76,7 +80,11 @@ mod tests {
     #[test]
     fn produces_heavy_tail() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let cfg = BarabasiAlbertConfig { nodes: 3000, arcs_per_node: 4, reciprocity: 0.2 };
+        let cfg = BarabasiAlbertConfig {
+            nodes: 3000,
+            arcs_per_node: 4,
+            reciprocity: 0.2,
+        };
         let g = barabasi_albert(&mut rng, &cfg);
         let max_in = (0..3000u32).map(|u| g.follower_count(u)).max().unwrap();
         let mean_in = g.arc_count() as f64 / 3000.0;
@@ -91,11 +99,19 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let g = barabasi_albert(
             &mut rng,
-            &BarabasiAlbertConfig { nodes: 500, arcs_per_node: 3, reciprocity: 0.3 },
+            &BarabasiAlbertConfig {
+                nodes: 500,
+                arcs_per_node: 3,
+                reciprocity: 0.3,
+            },
         );
         let u = g.to_undirected();
         let cc = microblog_graph::components::connected_components(&u);
-        assert_eq!(cc.component_count(), 1, "BA graphs are connected by construction");
+        assert_eq!(
+            cc.component_count(),
+            1,
+            "BA graphs are connected by construction"
+        );
     }
 
     #[test]
@@ -103,11 +119,19 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let lo = barabasi_albert(
             &mut rng,
-            &BarabasiAlbertConfig { nodes: 800, arcs_per_node: 3, reciprocity: 0.0 },
+            &BarabasiAlbertConfig {
+                nodes: 800,
+                arcs_per_node: 3,
+                reciprocity: 0.0,
+            },
         );
         let hi = barabasi_albert(
             &mut rng,
-            &BarabasiAlbertConfig { nodes: 800, arcs_per_node: 3, reciprocity: 0.8 },
+            &BarabasiAlbertConfig {
+                nodes: 800,
+                arcs_per_node: 3,
+                reciprocity: 0.8,
+            },
         );
         let mutual = |g: &DirectedGraph| {
             (0..800u32)

@@ -67,7 +67,9 @@ pub fn community_preferential<R: Rng>(
     assert!(cfg.pareto_alpha > 1.0, "pareto_alpha must exceed 1");
 
     // Zipf community weights.
-    let weights: Vec<f64> = (0..cfg.communities).map(|c| 1.0 / (c as f64 + 1.0)).collect();
+    let weights: Vec<f64> = (0..cfg.communities)
+        .map(|c| 1.0 / (c as f64 + 1.0))
+        .collect();
     let total_w: f64 = weights.iter().sum();
     let mut community = Vec::with_capacity(cfg.nodes);
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); cfg.communities];
@@ -87,7 +89,9 @@ pub fn community_preferential<R: Rng>(
     // Guarantee no empty community (steal from the largest).
     for c in 0..cfg.communities {
         if members[c].is_empty() {
-            let donor = (0..cfg.communities).max_by_key(|&i| members[i].len()).expect("nonempty");
+            let donor = (0..cfg.communities)
+                .max_by_key(|&i| members[i].len())
+                .expect("nonempty");
             let node = members[donor].pop().expect("donor has members");
             members[c].push(node);
             community[node as usize] = c as u32;
@@ -99,7 +103,8 @@ pub fn community_preferential<R: Rng>(
     let mut comm_urn: Vec<Vec<u32>> = vec![Vec::new(); cfg.communities];
     // Pareto out-degrees with the requested mean.
     let x_m = cfg.mean_out_degree * (cfg.pareto_alpha - 1.0) / cfg.pareto_alpha;
-    let mut arcs: Vec<(u32, u32)> = Vec::with_capacity((cfg.nodes as f64 * cfg.mean_out_degree) as usize);
+    let mut arcs: Vec<(u32, u32)> =
+        Vec::with_capacity((cfg.nodes as f64 * cfg.mean_out_degree) as usize);
 
     // Out-adjacency so far, for triadic closure.
     let mut out: Vec<Vec<u32>> = vec![Vec::new(); cfg.nodes];
@@ -110,7 +115,15 @@ pub fn community_preferential<R: Rng>(
         for _ in 0..d {
             let v = triadic_target(rng, u, &out, cfg.triadic_closure).unwrap_or_else(|| {
                 let intra = rng.gen_bool(cfg.intra_prob);
-                pick_target(rng, u, intra.then_some(own), &members, &comm_urn, &global_urn, cfg.nodes)
+                pick_target(
+                    rng,
+                    u,
+                    intra.then_some(own),
+                    &members,
+                    &comm_urn,
+                    &global_urn,
+                    cfg.nodes,
+                )
             });
             arcs.push((u, v));
             out[u as usize].push(v);
@@ -240,17 +253,33 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let cfg = small_cfg();
         let (g, _) = community_preferential(&mut rng, &cfg);
-        let max_in = (0..cfg.nodes as u32).map(|u| g.follower_count(u)).max().unwrap();
+        let max_in = (0..cfg.nodes as u32)
+            .map(|u| g.follower_count(u))
+            .max()
+            .unwrap();
         let mean = g.arc_count() as f64 / cfg.nodes as f64;
-        assert!(max_in as f64 > 5.0 * mean, "max in-degree {max_in}, mean {mean:.1}");
-        let max_out = (0..cfg.nodes as u32).map(|u| g.followee_count(u)).max().unwrap();
-        assert!(max_out <= cfg.max_out_degree + 1, "out-degree cap violated: {max_out}");
+        assert!(
+            max_in as f64 > 5.0 * mean,
+            "max in-degree {max_in}, mean {mean:.1}"
+        );
+        let max_out = (0..cfg.nodes as u32)
+            .map(|u| g.followee_count(u))
+            .max()
+            .unwrap();
+        assert!(
+            max_out <= cfg.max_out_degree + 1,
+            "out-degree cap violated: {max_out}"
+        );
     }
 
     #[test]
     fn every_community_nonempty_and_labels_dense() {
         let mut rng = ChaCha8Rng::seed_from_u64(12);
-        let cfg = CommunityGraphConfig { nodes: 50, communities: 20, ..small_cfg() };
+        let cfg = CommunityGraphConfig {
+            nodes: 50,
+            communities: 20,
+            ..small_cfg()
+        };
         let (_, labels) = community_preferential(&mut rng, &cfg);
         for c in 0..20u32 {
             assert!(labels.contains(&c), "community {c} empty");
@@ -259,7 +288,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = CommunityGraphConfig { nodes: 300, ..small_cfg() };
+        let cfg = CommunityGraphConfig {
+            nodes: 300,
+            ..small_cfg()
+        };
         let mut a = ChaCha8Rng::seed_from_u64(5);
         let mut b = ChaCha8Rng::seed_from_u64(5);
         let (ga, la) = community_preferential(&mut a, &cfg);

@@ -29,7 +29,11 @@ mod tests {
         let g = erdos_renyi(&mut rng, 500, 3000);
         assert_eq!(g.node_count(), 500);
         // Collision losses are tiny at this density.
-        assert!(g.arc_count() > 2900 && g.arc_count() <= 3000, "arcs {}", g.arc_count());
+        assert!(
+            g.arc_count() > 2900 && g.arc_count() <= 3000,
+            "arcs {}",
+            g.arc_count()
+        );
     }
 
     #[test]

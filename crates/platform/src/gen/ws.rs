@@ -15,7 +15,7 @@ use rand::Rng;
 /// Panics if `n < 2 * k + 1` or `k == 0`.
 pub fn watts_strogatz<R: Rng>(rng: &mut R, n: usize, k: usize, beta: f64) -> DirectedGraph {
     assert!(k >= 1, "k must be positive");
-    assert!(n >= 2 * k + 1, "ring too small for k = {k}");
+    assert!(n > 2 * k, "ring too small for k = {k}");
     let mut arcs = Vec::with_capacity(2 * n * k);
     for u in 0..n {
         for j in 1..=k {

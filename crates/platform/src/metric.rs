@@ -62,16 +62,18 @@ pub fn evaluate_metric(
     keyword: Option<KeywordId>,
     window: Option<TimeWindow>,
 ) -> f64 {
-    let in_window = |p: &Post| window.map_or(true, |w| w.contains(p.time));
+    let in_window = |p: &Post| window.is_none_or(|w| w.contains(p.time));
     match metric {
         UserMetric::FollowerCount => inputs.follower_count as f64,
         UserMetric::FolloweeCount => inputs.followee_count as f64,
         UserMetric::DisplayNameLength => inputs.profile.display_name_len() as f64,
         UserMetric::One => 1.0,
         UserMetric::KeywordPostCount => match keyword {
-            Some(kw) => {
-                inputs.posts.iter().filter(|p| p.mentions(kw) && in_window(p)).count() as f64
-            }
+            Some(kw) => inputs
+                .posts
+                .iter()
+                .filter(|p| p.mentions(kw) && in_window(p))
+                .count() as f64,
             None => 0.0,
         },
         UserMetric::KeywordPostLikes => match keyword {
@@ -118,7 +120,7 @@ impl ProfilePredicate {
             ProfilePredicate::MinFollowers(k) => follower_count >= k,
             ProfilePredicate::MaxFollowers(k) => follower_count < k,
             ProfilePredicate::AgeDisclosed => profile.age.is_some(),
-            ProfilePredicate::MinAge(a) => profile.age.map_or(false, |x| x >= a),
+            ProfilePredicate::MinAge(a) => profile.age.is_some_and(|x| x >= a),
         }
     }
 }
@@ -155,35 +157,79 @@ mod tests {
     fn metrics_from_profile() {
         let p = profile();
         let posts = [post(5, &[1], 3)];
-        let inputs =
-            MetricInputs { profile: &p, follower_count: 7, followee_count: 4, posts: &posts };
-        assert_eq!(evaluate_metric(UserMetric::FollowerCount, &inputs, None, None), 7.0);
-        assert_eq!(evaluate_metric(UserMetric::FolloweeCount, &inputs, None, None), 4.0);
-        assert_eq!(evaluate_metric(UserMetric::DisplayNameLength, &inputs, None, None), 9.0);
+        let inputs = MetricInputs {
+            profile: &p,
+            follower_count: 7,
+            followee_count: 4,
+            posts: &posts,
+        };
+        assert_eq!(
+            evaluate_metric(UserMetric::FollowerCount, &inputs, None, None),
+            7.0
+        );
+        assert_eq!(
+            evaluate_metric(UserMetric::FolloweeCount, &inputs, None, None),
+            4.0
+        );
+        assert_eq!(
+            evaluate_metric(UserMetric::DisplayNameLength, &inputs, None, None),
+            9.0
+        );
         assert_eq!(evaluate_metric(UserMetric::One, &inputs, None, None), 1.0);
-        assert_eq!(evaluate_metric(UserMetric::TotalPostCount, &inputs, None, None), 1.0);
-        assert_eq!(evaluate_metric(UserMetric::AccountAgeDays, &inputs, None, None), 10.0);
+        assert_eq!(
+            evaluate_metric(UserMetric::TotalPostCount, &inputs, None, None),
+            1.0
+        );
+        assert_eq!(
+            evaluate_metric(UserMetric::AccountAgeDays, &inputs, None, None),
+            10.0
+        );
     }
 
     #[test]
     fn keyword_metrics_respect_window() {
         let p = profile();
-        let posts = [post(5, &[1], 3), post(50, &[1, 2], 10), post(500, &[1], 100)];
-        let inputs =
-            MetricInputs { profile: &p, follower_count: 0, followee_count: 0, posts: &posts };
+        let posts = [
+            post(5, &[1], 3),
+            post(50, &[1, 2], 10),
+            post(500, &[1], 100),
+        ];
+        let inputs = MetricInputs {
+            profile: &p,
+            follower_count: 0,
+            followee_count: 0,
+            posts: &posts,
+        };
         let kw = Some(KeywordId(1));
         let w = Some(TimeWindow::new(Timestamp(0), Timestamp(100)));
-        assert_eq!(evaluate_metric(UserMetric::KeywordPostCount, &inputs, kw, w), 2.0);
-        assert_eq!(evaluate_metric(UserMetric::KeywordPostLikes, &inputs, kw, w), 13.0);
+        assert_eq!(
+            evaluate_metric(UserMetric::KeywordPostCount, &inputs, kw, w),
+            2.0
+        );
+        assert_eq!(
+            evaluate_metric(UserMetric::KeywordPostLikes, &inputs, kw, w),
+            13.0
+        );
         // No window: all three count.
-        assert_eq!(evaluate_metric(UserMetric::KeywordPostCount, &inputs, kw, None), 3.0);
+        assert_eq!(
+            evaluate_metric(UserMetric::KeywordPostCount, &inputs, kw, None),
+            3.0
+        );
         // Wrong keyword.
         assert_eq!(
-            evaluate_metric(UserMetric::KeywordPostCount, &inputs, Some(KeywordId(9)), None),
+            evaluate_metric(
+                UserMetric::KeywordPostCount,
+                &inputs,
+                Some(KeywordId(9)),
+                None
+            ),
             0.0
         );
         // Keyword metric without keyword is zero.
-        assert_eq!(evaluate_metric(UserMetric::KeywordPostCount, &inputs, None, None), 0.0);
+        assert_eq!(
+            evaluate_metric(UserMetric::KeywordPostCount, &inputs, None, None),
+            0.0
+        );
     }
 
     #[test]
@@ -209,12 +255,27 @@ mod tests {
     #[test]
     fn age_metric() {
         let p = profile();
-        let inputs = MetricInputs { profile: &p, follower_count: 0, followee_count: 0, posts: &[] };
-        assert_eq!(evaluate_metric(UserMetric::AgeYears, &inputs, None, None), 27.0);
+        let inputs = MetricInputs {
+            profile: &p,
+            follower_count: 0,
+            followee_count: 0,
+            posts: &[],
+        };
+        assert_eq!(
+            evaluate_metric(UserMetric::AgeYears, &inputs, None, None),
+            27.0
+        );
         let mut anon = p.clone();
         anon.age = None;
-        let inputs =
-            MetricInputs { profile: &anon, follower_count: 0, followee_count: 0, posts: &[] };
-        assert_eq!(evaluate_metric(UserMetric::AgeYears, &inputs, None, None), 0.0);
+        let inputs = MetricInputs {
+            profile: &anon,
+            follower_count: 0,
+            followee_count: 0,
+            posts: &[],
+        };
+        assert_eq!(
+            evaluate_metric(UserMetric::AgeYears, &inputs, None, None),
+            0.0
+        );
     }
 }

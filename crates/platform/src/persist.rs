@@ -101,7 +101,9 @@ impl Platform {
         }
         if let Some(labels) = &snapshot.community {
             if labels.len() != snapshot.user_count {
-                return Err(PersistError::Format("community label count mismatch".into()));
+                return Err(PersistError::Format(
+                    "community label count mismatch".into(),
+                ));
             }
         }
         for &(u, v) in &snapshot.arcs {
@@ -119,7 +121,10 @@ impl Platform {
                 )));
             }
             if post.author.index() >= snapshot.user_count {
-                return Err(PersistError::Format(format!("post {} author out of range", post.id)));
+                return Err(PersistError::Format(format!(
+                    "post {} author out of range",
+                    post.id
+                )));
             }
             if i > 0 && snapshot.posts[i - 1].time > post.time {
                 return Err(PersistError::Format("posts not time-ordered".into()));
@@ -128,7 +133,9 @@ impl Platform {
             timelines[post.author.index()].push(post.id);
         }
         if max_kw > snapshot.keywords.len() {
-            return Err(PersistError::Format("post references unknown keyword".into()));
+            return Err(PersistError::Format(
+                "post references unknown keyword".into(),
+            ));
         }
         let mut keyword_index: Vec<Vec<PostId>> = vec![Vec::new(); snapshot.keywords.len()];
         for post in &snapshot.posts {
@@ -222,7 +229,10 @@ mod tests {
         let p = world();
         let mut snap = p.to_snapshot();
         snap.version = 99;
-        assert!(matches!(Platform::from_snapshot(snap), Err(PersistError::Format(_))));
+        assert!(matches!(
+            Platform::from_snapshot(snap),
+            Err(PersistError::Format(_))
+        ));
 
         let mut snap = p.to_snapshot();
         snap.users.pop();

@@ -129,7 +129,11 @@ impl PlatformBuilder {
     /// # Panics
     /// Panics if `users.len() != graph.node_count()`.
     pub fn new(graph: DirectedGraph, users: Vec<UserProfile>, now: Timestamp) -> Self {
-        assert_eq!(users.len(), graph.node_count(), "one profile per node required");
+        assert_eq!(
+            users.len(),
+            graph.node_count(),
+            "one profile per node required"
+        );
         PlatformBuilder {
             graph,
             users,
@@ -142,7 +146,11 @@ impl PlatformBuilder {
 
     /// Records planted community labels for later inspection.
     pub fn with_communities(mut self, labels: Vec<u32>) -> Self {
-        assert_eq!(labels.len(), self.users.len(), "one label per user required");
+        assert_eq!(
+            labels.len(),
+            self.users.len(),
+            "one label per user required"
+        );
         self.community = Some(labels);
         self
     }
@@ -236,7 +244,14 @@ impl PlatformBuilder {
     /// Finalizes the platform: sorts posts, assigns ids, builds timeline
     /// and keyword indexes.
     pub fn build(self) -> Platform {
-        let PlatformBuilder { graph, users, keywords, mut drafts, now, community } = self;
+        let PlatformBuilder {
+            graph,
+            users,
+            keywords,
+            mut drafts,
+            now,
+            community,
+        } = self;
         drafts.sort_by_key(|d| (d.time, d.author));
         let mut posts = Vec::with_capacity(drafts.len());
         let mut timelines: Vec<Vec<PostId>> = vec![Vec::new(); users.len()];
@@ -263,7 +278,16 @@ impl PlatformBuilder {
         for t in &mut timelines {
             t.reverse();
         }
-        Platform { graph, users, posts, timelines, keyword_index, keywords, now, community }
+        Platform {
+            graph,
+            users,
+            posts,
+            timelines,
+            keyword_index,
+            keywords,
+            now,
+            community,
+        }
     }
 }
 
@@ -278,10 +302,15 @@ mod tests {
 
     fn build_small(seed: u64) -> Platform {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let cfg = CommunityGraphConfig { nodes: 1_500, communities: 8, ..Default::default() };
+        let cfg = CommunityGraphConfig {
+            nodes: 1_500,
+            communities: 8,
+            ..Default::default()
+        };
         let (graph, labels) = community_preferential(&mut rng, &cfg);
-        let users =
-            (0..1_500).map(|_| generate_profile(&mut rng, 0.3, Timestamp::EPOCH)).collect();
+        let users = (0..1_500)
+            .map(|_| generate_profile(&mut rng, 0.3, Timestamp::EPOCH))
+            .collect();
         let now = Timestamp::at_day(100);
         let mut b = PlatformBuilder::new(graph, users, now).with_communities(labels);
         let kw = b.intern_keyword("privacy");
@@ -301,7 +330,10 @@ mod tests {
             let tl = p.timeline(UserId(u));
             total += tl.len();
             for pair in tl.windows(2) {
-                assert!(p.post(pair[0]).time >= p.post(pair[1]).time, "timeline not descending");
+                assert!(
+                    p.post(pair[0]).time >= p.post(pair[1]).time,
+                    "timeline not descending"
+                );
             }
             for &pid in tl {
                 assert_eq!(p.post(pid).author, UserId(u));
@@ -318,7 +350,10 @@ mod tests {
         let hits = p.search_posts(kw, window);
         assert!(!hits.is_empty(), "cascade produced no posts in window");
         for pair in hits.windows(2) {
-            assert!(p.post(pair[0]).time >= p.post(pair[1]).time, "search not recent-first");
+            assert!(
+                p.post(pair[0]).time >= p.post(pair[1]).time,
+                "search not recent-first"
+            );
         }
         for &pid in &hits {
             let post = p.post(pid);
@@ -349,7 +384,10 @@ mod tests {
             .map(UserId)
             .find(|&u| p.first_mention(u, kw, window).is_none())
             .expect("some user never mentioned the keyword");
-        assert!(p.timeline(silent).iter().all(|&pid| !p.post(pid).mentions(kw)));
+        assert!(p
+            .timeline(silent)
+            .iter()
+            .all(|&pid| !p.post(pid).mentions(kw)));
     }
 
     #[test]
@@ -371,7 +409,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let (graph, _) = community_preferential(
             &mut rng,
-            &CommunityGraphConfig { nodes: 10, communities: 2, ..Default::default() },
+            &CommunityGraphConfig {
+                nodes: 10,
+                communities: 2,
+                ..Default::default()
+            },
         );
         let _ = PlatformBuilder::new(graph, vec![], Timestamp::EPOCH);
     }

@@ -289,9 +289,18 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> Scenario {
         keyword_ids.push(kw);
         // Independent stream per keyword so cascades do not interact.
         let mut kw_rng = ChaCha8Rng::seed_from_u64(cfg.seed.wrapping_add(0xC0FFEE + i as u64));
-        let labels = builder.communities().expect("scenario keeps community labels").to_vec();
-        let affinity =
-            build_affinity(&mut kw_rng, builder.graph(), &labels, cfg.graph.communities, spec, window);
+        let labels = builder
+            .communities()
+            .expect("scenario keeps community labels")
+            .to_vec();
+        let affinity = build_affinity(
+            &mut kw_rng,
+            builder.graph(),
+            &labels,
+            cfg.graph.communities,
+            spec,
+            window,
+        );
         let cascade = CascadeConfig {
             keyword: kw,
             window,
@@ -318,12 +327,22 @@ pub fn build_scenario(cfg: &ScenarioConfig) -> Scenario {
             affinity: Some(affinity),
         };
         let mut outcome = simulate(&mut kw_rng, builder.graph(), &cascade);
-        crate::cascade::ensure_recent_activity(&mut kw_rng, builder.graph(), &cascade, &mut outcome);
+        crate::cascade::ensure_recent_activity(
+            &mut kw_rng,
+            builder.graph(),
+            &cascade,
+            &mut outcome,
+        );
         builder.add_cascade(outcome);
     }
     let mut chatter_rng = ChaCha8Rng::seed_from_u64(rng.gen());
     builder.add_chatter(&mut chatter_rng, cfg.chatter_mean, window);
-    Scenario { platform: builder.build(), keyword_ids, specs: cfg.keywords.clone(), window }
+    Scenario {
+        platform: builder.build(),
+        keyword_ids,
+        specs: cfg.keywords.clone(),
+        window,
+    }
 }
 
 /// Samples the keyword's community-affinity structure: which communities
@@ -349,7 +368,8 @@ fn build_affinity<R: Rng>(
     spec: &KeywordSpec,
     window: TimeWindow,
 ) -> CommunityAffinity {
-    let affine_count = ((communities as f64 * spec.affinity).round() as usize).clamp(2, communities);
+    let affine_count =
+        ((communities as f64 * spec.affinity).round() as usize).clamp(2, communities);
 
     // Community adjacency weights from inter-community arcs.
     let mut weight: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
@@ -428,8 +448,7 @@ fn build_affinity<R: Rng>(
     // Guaranteed fresh bottom-level burst inside the final search week —
     // a *re-ignition* of an already-onset community where possible, so the
     // recent burst connects upward through its community's older adopters.
-    let recent_at =
-        window.end - Duration::days(3) - Duration(rng.gen_range(0..Duration::DAY.0));
+    let recent_at = window.end - Duration::days(3) - Duration(rng.gen_range(0..Duration::DAY.0));
     let mut extra_onsets = Vec::new();
     match chosen.iter().find(|&&c| onset[c].is_some()) {
         Some(&c) => extra_onsets.push((c as u32, recent_at)),
@@ -474,11 +493,20 @@ mod tests {
         let s = twitter_2013(Scale::Tiny, 42);
         assert_eq!(s.platform.user_count(), 2_000);
         assert_eq!(s.keyword_ids.len(), standard_keywords().len());
-        assert!(s.platform.post_count() > 10_000, "posts: {}", s.platform.post_count());
+        assert!(
+            s.platform.post_count() > 10_000,
+            "posts: {}",
+            s.platform.post_count()
+        );
         // The popular keyword reaches more users than the obscure one.
-        let ny = exact_count(&s.platform, &Condition::keyword(s.keyword("new york").unwrap()));
-        let simva =
-            exact_count(&s.platform, &Condition::keyword(s.keyword("simvastatin").unwrap()));
+        let ny = exact_count(
+            &s.platform,
+            &Condition::keyword(s.keyword("new york").unwrap()),
+        );
+        let simva = exact_count(
+            &s.platform,
+            &Condition::keyword(s.keyword("simvastatin").unwrap()),
+        );
         assert!(ny > simva, "new york {ny} vs simvastatin {simva}");
         assert!(simva > 0.0, "even obscure keywords must appear");
         // Keyword selectivity stays small (the paper's premise).
@@ -498,8 +526,10 @@ mod tests {
         );
         let during = exact_count(
             &s.platform,
-            &Condition::keyword(kw)
-                .in_window(TimeWindow::new(Timestamp::at_day(104), Timestamp::at_day(118))),
+            &Condition::keyword(kw).in_window(TimeWindow::new(
+                Timestamp::at_day(104),
+                Timestamp::at_day(118),
+            )),
         );
         let pre_weekly = before / (104.0 / 7.0);
         let spike_weekly = during / 2.0;

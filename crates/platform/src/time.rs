@@ -157,7 +157,10 @@ mod tests {
         let t = Timestamp::at_day(3) + Duration::hours(5);
         assert_eq!(t.0, 3 * 86_400 + 5 * 3_600);
         assert_eq!((t - Duration::hours(5)), Timestamp::at_day(3));
-        assert_eq!(Timestamp::at_day(2).since(Timestamp::at_day(1)), Duration::DAY);
+        assert_eq!(
+            Timestamp::at_day(2).since(Timestamp::at_day(1)),
+            Duration::DAY
+        );
         assert_eq!(Duration::HOUR * 12, Duration::hours(12));
     }
 

@@ -27,7 +27,11 @@ pub struct Condition {
 impl Condition {
     /// Condition with only a keyword.
     pub fn keyword(kw: KeywordId) -> Self {
-        Condition { keyword: kw, window: None, predicates: Vec::new() }
+        Condition {
+            keyword: kw,
+            window: None,
+            predicates: Vec::new(),
+        }
     }
 
     /// Adds a time window.
@@ -72,15 +76,23 @@ pub fn matching_users(platform: &Platform, cond: &Condition) -> Vec<UserId> {
 /// Exact metric value for one user under `cond`'s keyword/window scope,
 /// computed from the user's full timeline.
 pub fn metric_value(platform: &Platform, u: UserId, metric: UserMetric, cond: &Condition) -> f64 {
-    let posts: Vec<Post> =
-        platform.timeline(u).iter().map(|&p| platform.post(p).clone()).collect();
+    let posts: Vec<Post> = platform
+        .timeline(u)
+        .iter()
+        .map(|&p| platform.post(p).clone())
+        .collect();
     let inputs = MetricInputs {
         profile: platform.profile(u),
         follower_count: platform.followers(u).len(),
         followee_count: platform.followees(u).len(),
         posts: &posts,
     };
-    evaluate_metric(metric, &inputs, Some(cond.keyword), Some(cond.effective_window(platform)))
+    evaluate_metric(
+        metric,
+        &inputs,
+        Some(cond.keyword),
+        Some(cond.effective_window(platform)),
+    )
 }
 
 /// Exact COUNT of users satisfying `cond`.
@@ -103,7 +115,10 @@ pub fn exact_avg(platform: &Platform, cond: &Condition, metric: UserMetric) -> O
     if users.is_empty() {
         return None;
     }
-    let sum: f64 = users.iter().map(|&u| metric_value(platform, u, metric, cond)).sum();
+    let sum: f64 = users
+        .iter()
+        .map(|&u| metric_value(platform, u, metric, cond))
+        .sum();
     Some(sum / users.len() as f64)
 }
 
@@ -120,10 +135,15 @@ mod tests {
 
     fn build(seed: u64) -> Platform {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let cfg = CommunityGraphConfig { nodes: 1_200, communities: 6, ..Default::default() };
+        let cfg = CommunityGraphConfig {
+            nodes: 1_200,
+            communities: 6,
+            ..Default::default()
+        };
         let (graph, _) = community_preferential(&mut rng, &cfg);
-        let users =
-            (0..1_200).map(|_| generate_profile(&mut rng, 0.9, Timestamp::EPOCH)).collect();
+        let users = (0..1_200)
+            .map(|_| generate_profile(&mut rng, 0.9, Timestamp::EPOCH))
+            .collect();
         let now = Timestamp::at_day(90);
         let mut b = PlatformBuilder::new(graph, users, now);
         let kw = b.intern_keyword("privacy");
@@ -148,7 +168,10 @@ mod tests {
         let matched_set: std::collections::HashSet<_> = matched.iter().copied().collect();
         for u in 0..p.user_count() as u32 {
             let u = UserId(u);
-            assert_eq!(p.first_mention(u, kw, window).is_some(), matched_set.contains(&u));
+            assert_eq!(
+                p.first_mention(u, kw, window).is_some(),
+                matched_set.contains(&u)
+            );
         }
     }
 
@@ -159,8 +182,10 @@ mod tests {
         let all = exact_count(&p, &Condition::keyword(kw));
         let narrow = exact_count(
             &p,
-            &Condition::keyword(kw)
-                .in_window(TimeWindow::new(Timestamp::at_day(40), Timestamp::at_day(45))),
+            &Condition::keyword(kw).in_window(TimeWindow::new(
+                Timestamp::at_day(40),
+                Timestamp::at_day(45),
+            )),
         );
         assert!(narrow <= all);
         assert!(narrow > 0.0, "cascade should be active mid-window");
@@ -181,8 +206,7 @@ mod tests {
         );
         let undisclosed = exact_count(
             &p,
-            &Condition::keyword(kw)
-                .with_predicate(ProfilePredicate::GenderIs(Gender::Undisclosed)),
+            &Condition::keyword(kw).with_predicate(ProfilePredicate::GenderIs(Gender::Undisclosed)),
         );
         assert_eq!(male + female + undisclosed, total);
     }
@@ -215,7 +239,10 @@ mod tests {
         let cond = Condition::keyword(kw);
         let posts = exact_sum(&p, &cond, UserMetric::KeywordPostCount);
         let users = exact_count(&p, &cond);
-        assert!(posts >= users, "every matching user has >= 1 qualifying post");
+        assert!(
+            posts >= users,
+            "every matching user has >= 1 qualifying post"
+        );
         // Cross-check against the search index.
         let window = cond.effective_window(&p);
         assert_eq!(posts, p.search_posts(kw, window).len() as f64);

@@ -97,7 +97,13 @@ pub fn generate_profile<R: Rng>(
     };
     // Accounts predate the scenario by up to ~5 years.
     let joined = scenario_start - crate::time::Duration::days(rng.gen_range(0..5 * 365));
-    UserProfile { display_name: name, gender, region: rng.gen_range(0..16), age, joined }
+    UserProfile {
+        display_name: name,
+        gender,
+        region: rng.gen_range(0..16),
+        age,
+        joined,
+    }
 }
 
 /// A cheap positive skewed sample (mean ≈ 1).
@@ -117,7 +123,11 @@ mod tests {
         for _ in 0..200 {
             let p = generate_profile(&mut rng, 0.5, Timestamp::EPOCH);
             let len = p.display_name_len();
-            assert!((3..=24).contains(&len), "odd name length {len}: {}", p.display_name);
+            assert!(
+                (3..=24).contains(&len),
+                "odd name length {len}: {}",
+                p.display_name
+            );
             assert!(p.display_name.chars().next().unwrap().is_uppercase());
             assert!(p.region < 16);
             assert!(p.joined <= Timestamp::EPOCH);

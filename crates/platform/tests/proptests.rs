@@ -19,7 +19,9 @@ fn build_world(seed: u64, nodes: usize, adoption: f64) -> microblog_platform::Pl
         ..Default::default()
     };
     let (graph, _) = community_preferential(&mut rng, &cfg);
-    let users = (0..nodes).map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH)).collect();
+    let users = (0..nodes)
+        .map(|_| generate_profile(&mut rng, 0.5, Timestamp::EPOCH))
+        .collect();
     let now = Timestamp::at_day(60);
     let mut b = PlatformBuilder::new(graph, users, now);
     let kw = b.intern_keyword("kw");

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! Usage: ma-cli [OPTIONS] <SQL-QUERY>
+//!        ma-cli serve [OPTIONS]
 //!
 //!   --platform twitter|google+|tumblr   world + API profile  [twitter]
 //!   --scale    tiny|small|medium|large  world size           [small]
@@ -14,20 +15,32 @@
 //!   --truth                             also print exact ground truth
 //!   --list-keywords                     print the scenario keywords
 //!
-//! Example:
+//! serve mode (JSON-lines requests in, JSON-lines results out):
+//!   --file PATH                         read requests from PATH [stdin]
+//!   --workers N                         worker threads       [4]
+//!   --global-quota N                    service-wide call cap [unlimited]
+//!   --cache-capacity N                  shared-cache entries  [100000]
+//!
+//! Examples:
 //!   ma-cli --budget 30000 --truth \
 //!     "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' \
 //!      AND TIME BETWEEN DAY 0 AND DAY 303"
+//!
+//!   echo '{"id":1,"query":"SELECT COUNT(*) FROM USERS WHERE KEYWORD = '\''privacy'\''"}' \
+//!     | ma-cli serve --workers 8 --global-quota 100000
 //! ```
 
 use microblog_analyzer::prelude::*;
 use microblog_analyzer::query::parse::parse_query;
-use microblog_analyzer::{Algorithm, ViewKind};
 use microblog_api::rate::{human_duration, wall_clock};
-use microblog_platform::scenario::{
-    google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario,
-};
+use microblog_platform::scenario::{google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario};
 use microblog_platform::Duration;
+use microblog_service::cache::SharedCacheConfig;
+use microblog_service::request::{parse_algorithm, parse_interval};
+use microblog_service::{run_batch, Service, ServiceConfig};
+use std::fs::File;
+use std::io::{BufReader, Write};
+use std::sync::Arc;
 
 fn main() {
     match run(std::env::args().skip(1).collect()) {
@@ -50,6 +63,11 @@ struct Options {
     seed: u64,
     truth: bool,
     list_keywords: bool,
+    serve: bool,
+    file: Option<String>,
+    workers: usize,
+    global_quota: Option<u64>,
+    cache_capacity: usize,
     query: Option<String>,
 }
 
@@ -65,6 +83,11 @@ impl Default for Options {
             seed: 7,
             truth: false,
             list_keywords: false,
+            serve: false,
+            file: None,
+            workers: 4,
+            global_quota: None,
+            cache_capacity: 100_000,
             query: None,
         }
     }
@@ -74,17 +97,16 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
     let mut opts = Options::default();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().ok_or_else(|| format!("{name} requires a value"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
         match arg.as_str() {
             "--help" | "-h" => {
                 // Reuse the module docs as help text.
                 println!("ma-cli — aggregate estimation over a synthetic microblog\n");
-                println!("see `cargo doc -p microblog-analyzer --bin ma-cli` or the");
+                println!("see `cargo doc -p microblog-service --bin ma-cli` or the");
                 println!("source header of src/bin/ma_cli.rs for full usage");
                 std::process::exit(0);
             }
+            "serve" => opts.serve = true,
             "--platform" => opts.platform = value("--platform")?.to_lowercase(),
             "--scale" => {
                 opts.scale = match value("--scale")?.to_lowercase().as_str() {
@@ -96,28 +118,32 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 }
             }
             "--world-seed" => {
-                opts.world_seed =
-                    value("--world-seed")?.parse().map_err(|_| "bad --world-seed")?
+                opts.world_seed = value("--world-seed")?
+                    .parse()
+                    .map_err(|_| "bad --world-seed")?
             }
             "--algorithm" => opts.algorithm = value("--algorithm")?.to_lowercase(),
             "--budget" => opts.budget = value("--budget")?.parse().map_err(|_| "bad --budget")?,
-            "--interval" => {
-                let v = value("--interval")?.to_lowercase();
-                opts.interval = match v.as_str() {
-                    "auto" => None,
-                    "2h" => Some(Duration::hours(2)),
-                    "4h" => Some(Duration::hours(4)),
-                    "12h" => Some(Duration::hours(12)),
-                    "1d" => Some(Duration::DAY),
-                    "2d" => Some(Duration::days(2)),
-                    "1w" => Some(Duration::WEEK),
-                    "1m" => Some(Duration::MONTH),
-                    other => return Err(format!("unknown interval '{other}'")),
-                };
-            }
+            "--interval" => opts.interval = parse_interval(&value("--interval")?)?,
             "--seed" => opts.seed = value("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--truth" => opts.truth = true,
             "--list-keywords" => opts.list_keywords = true,
+            "--file" => opts.file = Some(value("--file")?),
+            "--workers" => {
+                opts.workers = value("--workers")?.parse().map_err(|_| "bad --workers")?
+            }
+            "--global-quota" => {
+                opts.global_quota = Some(
+                    value("--global-quota")?
+                        .parse()
+                        .map_err(|_| "bad --global-quota")?,
+                )
+            }
+            "--cache-capacity" => {
+                opts.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "bad --cache-capacity")?
+            }
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             query => {
                 if opts.query.replace(query.to_string()).is_some() {
@@ -131,11 +157,18 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
 
 fn build_world(opts: &Options) -> Result<(Scenario, ApiProfile), String> {
     Ok(match opts.platform.as_str() {
-        "twitter" => (twitter_2013(opts.scale, opts.world_seed), ApiProfile::twitter()),
-        "google+" | "googleplus" | "gplus" => {
-            (google_plus_2013(opts.scale, opts.world_seed), ApiProfile::google_plus())
-        }
-        "tumblr" => (tumblr_2013(opts.scale, opts.world_seed), ApiProfile::tumblr()),
+        "twitter" => (
+            twitter_2013(opts.scale, opts.world_seed),
+            ApiProfile::twitter(),
+        ),
+        "google+" | "googleplus" | "gplus" => (
+            google_plus_2013(opts.scale, opts.world_seed),
+            ApiProfile::google_plus(),
+        ),
+        "tumblr" => (
+            tumblr_2013(opts.scale, opts.world_seed),
+            ApiProfile::tumblr(),
+        ),
         other => return Err(format!("unknown platform '{other}'")),
     })
 }
@@ -156,23 +189,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return Ok(());
     }
 
-    let query_text = opts.query.as_deref().ok_or("no query given")?;
-    let query = parse_query(query_text, scenario.platform.keywords())
-        .map_err(|e| e.to_string())?;
+    if opts.serve {
+        return serve(opts, scenario, api);
+    }
 
-    let algorithm = match opts.algorithm.as_str() {
-        "tarw" => Algorithm::MaTarw { interval: opts.interval },
-        "srw" => Algorithm::MaSrw { interval: opts.interval },
-        "mhrw" => Algorithm::Mhrw {
-            view: ViewKind::level(opts.interval.unwrap_or(Duration::DAY)),
-        },
-        "mr" => Algorithm::MarkRecapture {
-            view: ViewKind::level(opts.interval.unwrap_or(Duration::DAY)),
-        },
-        "srw-term" => Algorithm::SrwTermInduced,
-        "srw-full" => Algorithm::SrwFullGraph,
-        other => return Err(format!("unknown algorithm '{other}'")),
-    };
+    let query_text = opts.query.as_deref().ok_or("no query given")?;
+    let query = parse_query(query_text, scenario.platform.keywords()).map_err(|e| e.to_string())?;
+
+    let algorithm = parse_algorithm(&opts.algorithm, opts.interval)?;
 
     let analyzer = MicroblogAnalyzer::new(&scenario.platform, api);
     let est = analyzer
@@ -189,7 +213,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         human_duration(wall_clock(analyzer.api_profile(), est.cost)),
         opts.platform
     );
-    println!("samples    : {} across {} walk instance(s)", est.samples, est.instances);
+    println!(
+        "samples    : {} across {} walk instance(s)",
+        est.samples, est.instances
+    );
     if opts.truth {
         match analyzer.ground_truth(&query) {
             Some(truth) => println!(
@@ -203,6 +230,59 @@ fn run(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), String> {
+    let service = Service::new(
+        Arc::new(scenario.platform),
+        api,
+        ServiceConfig {
+            workers: opts.workers,
+            global_quota: opts.global_quota,
+            cache: SharedCacheConfig {
+                capacity: opts.cache_capacity,
+                ..SharedCacheConfig::default()
+            },
+        },
+    );
+    eprintln!(
+        "serving with {} worker(s), quota {}, cache capacity {}",
+        service.workers(),
+        match opts.global_quota {
+            Some(q) => q.to_string(),
+            None => "unlimited".into(),
+        },
+        opts.cache_capacity
+    );
+
+    let stdout = std::io::stdout();
+    let mut output = stdout.lock();
+    let summary = match &opts.file {
+        Some(path) => {
+            let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            run_batch(&service, BufReader::new(file), &mut output)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            run_batch(&service, stdin.lock(), &mut output)
+        }
+    }
+    .map_err(|e| e.to_string())?;
+    output.flush().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "\n{} request(s): {} ok, {} rejected, {} error(s)",
+        summary.requests, summary.ok, summary.rejected, summary.errors
+    );
+    let cache = service.cache_snapshot();
+    eprintln!(
+        "shared cache: {} entries, hit rate {:.1}%",
+        cache.entries,
+        100.0 * cache.hit_rate()
+    );
+    eprint!("{}", service.metrics_snapshot().render_text());
+    service.shutdown();
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,14 +293,14 @@ mod tests {
 
     #[test]
     fn defaults_hold() {
-        let o = parse_args(vec!["SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'x'".into()])
-            .unwrap();
+        let o = parse_args(vec!["SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'x'".into()]).unwrap();
         assert_eq!(o.platform, "twitter");
         assert_eq!(o.scale, Scale::Small);
         assert_eq!(o.budget, 25_000);
         assert_eq!(o.algorithm, "tarw");
         assert!(o.interval.is_none());
         assert!(!o.truth);
+        assert!(!o.serve);
         assert!(o.query.is_some());
     }
 
@@ -242,12 +322,26 @@ mod tests {
     }
 
     #[test]
+    fn parses_serve_options() {
+        let o = parse_args(args(
+            "serve --workers 8 --global-quota 50000 --cache-capacity 1024 --file reqs.jsonl",
+        ))
+        .unwrap();
+        assert!(o.serve);
+        assert_eq!(o.workers, 8);
+        assert_eq!(o.global_quota, Some(50_000));
+        assert_eq!(o.cache_capacity, 1024);
+        assert_eq!(o.file.as_deref(), Some("reqs.jsonl"));
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(args("--scale galactic")).is_err());
         assert!(parse_args(args("--interval fortnight")).is_err());
         assert!(parse_args(args("--budget lots")).is_err());
         assert!(parse_args(args("--unknown-flag")).is_err());
         assert!(parse_args(args("--budget")).is_err(), "missing value");
+        assert!(parse_args(args("serve --workers many")).is_err());
         let two = parse_args(vec!["a".into(), "b".into()]);
         assert!(two.is_err(), "two positional queries");
     }
@@ -264,6 +358,9 @@ mod tests {
             let o = parse_args(args(&format!("--interval {txt}"))).unwrap();
             assert_eq!(o.interval, Some(expect), "{txt}");
         }
-        assert!(parse_args(args("--interval auto")).unwrap().interval.is_none());
+        assert!(parse_args(args("--interval auto"))
+            .unwrap()
+            .interval
+            .is_none());
     }
 }

@@ -1,0 +1,477 @@
+//! The multi-query estimation engine.
+//!
+//! [`Service`] owns a worker pool, the [`SharedApiCache`], the
+//! [`GlobalQuota`], and a [`MetricsRegistry`]. [`Service::submit`]
+//! performs admission control — the job's full budget is reserved from
+//! the global quota up front, so an admitted job can always run to its
+//! budget — and hands back a [`JobHandle`] whose [`JobHandle::join`]
+//! blocks until a worker has finished the job.
+//!
+//! Workers pull jobs from a single `mpsc` channel behind a mutex (the
+//! classic shared-receiver pool), run the estimator with the shared
+//! cache layered under the per-query client, settle the quota
+//! reservation down to what the job actually charged, and publish the
+//! outcome through the handle's condvar.
+
+use crate::cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
+use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
+use crate::quota::{GlobalQuota, Reservation};
+use crate::request::JobSpec;
+use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer};
+use microblog_api::cache::{CacheLayer, CacheStats};
+use microblog_api::ApiProfile;
+use microblog_platform::Platform;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Service-wide API-call cap (`None` = unlimited; admission always
+    /// succeeds).
+    pub global_quota: Option<u64>,
+    /// Shared cache layout.
+    pub cache: SharedCacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            global_quota: None,
+            cache: SharedCacheConfig::default(),
+        }
+    }
+}
+
+/// Why a job produced no estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServiceError {
+    /// Admission control refused the job: the uncommitted quota cannot
+    /// cover its budget.
+    Rejected {
+        /// The budget the job asked for.
+        requested: u64,
+        /// Uncommitted calls left in the pool at refusal time.
+        available: u64,
+    },
+    /// The estimator ran and failed.
+    Estimation(EstimateError),
+    /// The estimator panicked; the payload is the panic message.
+    WorkerPanicked(String),
+    /// The service is shutting down and no longer accepts jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected {
+                requested,
+                available,
+            } => write!(
+                f,
+                "rejected: budget {requested} exceeds the {available} uncommitted \
+                 calls left in the global quota"
+            ),
+            ServiceError::Estimation(e) => write!(f, "estimation failed: {e}"),
+            ServiceError::WorkerPanicked(msg) => write!(f, "estimator panicked: {msg}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A finished job's results.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// The service-assigned job id.
+    pub job: u64,
+    /// The estimate.
+    pub estimate: Estimate,
+    /// The job client's cache traffic.
+    pub cache: CacheStats,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Time spent executing.
+    pub exec: Duration,
+}
+
+#[derive(Default)]
+struct JobState {
+    outcome: Mutex<Option<Result<JobOutput, ServiceError>>>,
+    ready: Condvar,
+}
+
+/// A ticket for an admitted job; [`join`](JobHandle::join) blocks until
+/// the outcome is in. Handles are cheap to clone and joinable from any
+/// thread, any number of times.
+#[derive(Clone)]
+pub struct JobHandle {
+    job: u64,
+    state: Arc<JobState>,
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("job", &self.job)
+            .field("finished", &self.state.outcome.lock().is_some())
+            .finish()
+    }
+}
+
+impl JobHandle {
+    /// The service-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.job
+    }
+
+    /// Blocks until the job finishes and returns its outcome.
+    pub fn join(&self) -> Result<JobOutput, ServiceError> {
+        let mut slot = self.state.outcome.lock();
+        while slot.is_none() {
+            self.state.ready.wait(&mut slot);
+        }
+        slot.as_ref().expect("outcome present").clone()
+    }
+
+    /// The outcome, if the job already finished.
+    pub fn try_outcome(&self) -> Option<Result<JobOutput, ServiceError>> {
+        self.state.outcome.lock().clone()
+    }
+}
+
+struct Job {
+    id: u64,
+    spec: JobSpec,
+    reservation: Reservation,
+    state: Arc<JobState>,
+    submitted: Instant,
+}
+
+/// The long-running engine. Dropping it (or calling
+/// [`shutdown`](Service::shutdown)) drains in-flight jobs and joins the
+/// workers.
+pub struct Service {
+    platform: Arc<Platform>,
+    api: ApiProfile,
+    cache: Arc<SharedApiCache>,
+    quota: GlobalQuota,
+    metrics: Arc<MetricsRegistry>,
+    sender: Option<mpsc::Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Service {
+    /// Starts a service over `platform` accessed through `api`.
+    pub fn new(platform: Arc<Platform>, api: ApiProfile, config: ServiceConfig) -> Self {
+        let cache = Arc::new(SharedApiCache::new(config.cache));
+        let quota = match config.global_quota {
+            Some(limit) => GlobalQuota::limited(limit),
+            None => GlobalQuota::unlimited(),
+        };
+        let metrics = Arc::new(MetricsRegistry::new());
+        let (sender, receiver) = mpsc::channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let platform = Arc::clone(&platform);
+                let api = api.clone();
+                let cache = Arc::clone(&cache);
+                let quota = quota.clone();
+                let metrics = Arc::clone(&metrics);
+                std::thread::spawn(move || {
+                    let analyzer = MicroblogAnalyzer::new(&platform, api);
+                    loop {
+                        // Hold the lock only to pull the next job; when the
+                        // channel closes (sender dropped) the worker exits.
+                        let job = match receiver.lock().recv() {
+                            Ok(job) => job,
+                            Err(_) => break,
+                        };
+                        run_job(&analyzer, &cache, &quota, &metrics, job);
+                    }
+                })
+            })
+            .collect();
+        Service {
+            platform,
+            api,
+            cache,
+            quota,
+            metrics,
+            sender: Some(sender),
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits `spec` if the global quota can cover its budget, queueing
+    /// it for the next free worker.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ServiceError> {
+        let reservation = self.quota.try_reserve(spec.budget).map_err(|available| {
+            self.metrics.record_rejected();
+            ServiceError::Rejected {
+                requested: spec.budget,
+                available,
+            }
+        })?;
+        self.metrics.record_submitted();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(JobState::default());
+        let handle = JobHandle {
+            job: id,
+            state: Arc::clone(&state),
+        };
+        let job = Job {
+            id,
+            spec,
+            reservation,
+            state,
+            submitted: Instant::now(),
+        };
+        let sender = self.sender.as_ref().ok_or(ServiceError::ShuttingDown)?;
+        if let Err(mpsc::SendError(job)) = sender.send(job) {
+            // Workers are gone; release the reservation untouched.
+            self.quota.settle(job.reservation, 0);
+            return Err(ServiceError::ShuttingDown);
+        }
+        Ok(handle)
+    }
+
+    /// Drains queued jobs and joins the workers.
+    pub fn shutdown(self) {
+        // Drop runs the actual shutdown.
+    }
+
+    /// The world being estimated over.
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.platform
+    }
+
+    /// The API profile in force.
+    pub fn api_profile(&self) -> &ApiProfile {
+        &self.api
+    }
+
+    /// The shared cross-query cache.
+    pub fn cache(&self) -> &Arc<SharedApiCache> {
+        &self.cache
+    }
+
+    /// A point-in-time view of the shared cache.
+    pub fn cache_snapshot(&self) -> SharedCacheSnapshot {
+        self.cache.snapshot()
+    }
+
+    /// The global quota accountant.
+    pub fn quota(&self) -> &GlobalQuota {
+        &self.quota
+    }
+
+    /// A point-in-time copy of the service counters.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Worker thread count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.sender.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn run_job(
+    analyzer: &MicroblogAnalyzer<'_>,
+    cache: &Arc<SharedApiCache>,
+    quota: &GlobalQuota,
+    metrics: &MetricsRegistry,
+    job: Job,
+) {
+    let queue_wait = job.submitted.elapsed();
+    let started = Instant::now();
+    let shared: Arc<dyn CacheLayer> = Arc::clone(cache) as Arc<dyn CacheLayer>;
+    // A panicking estimator must not strand joiners: catch it, settle the
+    // reservation, and surface it as an outcome like any other failure.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        analyzer.estimate_with_cache(
+            &job.spec.query,
+            job.spec.budget,
+            job.spec.algorithm,
+            job.spec.seed,
+            Some(shared),
+        )
+    }));
+    let exec = started.elapsed();
+    let outcome = match result {
+        Ok(Ok((estimate, stats))) => {
+            quota.settle(job.reservation, estimate.cost);
+            metrics.record_job(&JobMetrics {
+                succeeded: true,
+                charged_calls: estimate.cost,
+                samples: estimate.samples as u64,
+                cache: stats,
+                queue_wait,
+                exec,
+            });
+            Ok(JobOutput {
+                job: job.id,
+                estimate,
+                cache: stats,
+                queue_wait,
+                exec,
+            })
+        }
+        failed => {
+            let error = match failed {
+                Ok(Err(err)) => ServiceError::Estimation(err),
+                Err(panic) => ServiceError::WorkerPanicked(panic_message(panic.as_ref())),
+                Ok(Ok(_)) => unreachable!("success handled above"),
+            };
+            // The failure path cannot report how much it charged, so the
+            // whole reservation is conservatively treated as consumed.
+            let amount = job.reservation.amount();
+            quota.settle(job.reservation, amount);
+            metrics.record_job(&JobMetrics {
+                succeeded: false,
+                charged_calls: amount,
+                samples: 0,
+                cache: CacheStats::default(),
+                queue_wait,
+                exec,
+            });
+            Err(error)
+        }
+    };
+    let mut slot = job.state.outcome.lock();
+    *slot = Some(outcome);
+    job.state.ready.notify_all();
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::JobSpec;
+    use microblog_analyzer::query::parse::parse_query;
+    use microblog_analyzer::Algorithm;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+
+    fn tiny_service(quota: Option<u64>, workers: usize) -> Service {
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        Service::new(
+            Arc::new(scenario.platform),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers,
+                global_quota: quota,
+                cache: SharedCacheConfig {
+                    capacity: 4096,
+                    shards: 4,
+                },
+            },
+        )
+    }
+
+    fn spec(service: &Service, budget: u64, seed: u64) -> JobSpec {
+        let query = parse_query(
+            "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+            service.platform().keywords(),
+        )
+        .expect("query parses");
+        JobSpec {
+            query,
+            algorithm: Algorithm::MaTarw { interval: None },
+            budget,
+            seed,
+        }
+    }
+
+    #[test]
+    fn submit_join_produces_estimate_and_settles_quota() {
+        let service = tiny_service(Some(50_000), 2);
+        let spec = spec(&service, 4_000, 7);
+        let handle = service.submit(spec).expect("admitted");
+        let output = handle.join().expect("estimates");
+        assert!(output.estimate.cost <= 4_000);
+        assert_eq!(service.quota().consumed(), output.estimate.cost);
+        assert_eq!(service.quota().reserved(), 0);
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.jobs_submitted, 1);
+        assert_eq!(snap.jobs_succeeded, 1);
+        assert_eq!(snap.charged_calls, output.estimate.cost);
+        service.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_over_quota() {
+        let service = tiny_service(Some(1_000), 1);
+        let err = service.submit(spec(&service, 5_000, 7)).unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::Rejected {
+                requested: 5_000,
+                available: 1_000
+            }
+        );
+        assert_eq!(service.metrics_snapshot().jobs_rejected, 1);
+        // A job the quota can cover is still admitted afterwards.
+        let handle = service.submit(spec(&service, 1_000, 7)).expect("fits");
+        assert!(handle.join().is_ok());
+    }
+
+    #[test]
+    fn identical_jobs_share_the_cache() {
+        let service = tiny_service(None, 2);
+        let first = service.submit(spec(&service, 3_000, 11)).unwrap();
+        let a = first.join().expect("first run");
+        let second = service.submit(spec(&service, 3_000, 11)).unwrap();
+        let b = second.join().expect("second run");
+        // Logical charging keeps replays bit-identical...
+        assert_eq!(a.estimate.value.to_bits(), b.estimate.value.to_bits());
+        assert_eq!(a.estimate.cost, b.estimate.cost);
+        // ...while the platform sees strictly fewer actual calls.
+        assert!(b.cache.actual_calls < a.cache.actual_calls);
+        assert!(b.cache.shared_hits > 0);
+        assert!(service.cache_snapshot().hits() > 0);
+    }
+
+    #[test]
+    fn handle_is_joinable_multiple_times() {
+        let service = tiny_service(None, 1);
+        let handle = service.submit(spec(&service, 2_000, 3)).unwrap();
+        let first = handle.join().expect("ok");
+        let again = handle.join().expect("still ok");
+        assert_eq!(
+            first.estimate.value.to_bits(),
+            again.estimate.value.to_bits()
+        );
+        assert!(handle.try_outcome().is_some());
+    }
+}

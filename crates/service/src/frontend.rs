@@ -1,0 +1,237 @@
+//! The JSON-lines frontend behind `ma-cli serve`.
+//!
+//! Reads one [`QueryRequest`] per input line, submits every parseable
+//! request up front (so jobs run concurrently across the worker pool),
+//! then joins the handles and writes one [`QueryResponse`] per request,
+//! in input order.
+
+use crate::engine::{JobHandle, Service, ServiceError};
+use crate::request::{
+    parse_algorithm, parse_interval, JobSpec, QueryRequest, QueryResponse, DEFAULT_BUDGET,
+    DEFAULT_SEED,
+};
+use microblog_analyzer::query::parse::parse_query;
+use std::io::{self, BufRead, Write};
+
+/// What a batch run did, for the operator's closing summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Non-empty input lines.
+    pub requests: usize,
+    /// Jobs that produced an estimate.
+    pub ok: usize,
+    /// Jobs refused by admission control.
+    pub rejected: usize,
+    /// Malformed lines and failed estimations.
+    pub errors: usize,
+}
+
+enum Pending {
+    /// Failed before reaching the engine (parse error, rejection).
+    Immediate(Box<QueryResponse>),
+    /// Admitted; the response comes from joining the handle.
+    Running(Option<u64>, JobHandle),
+}
+
+/// Runs every request in `input` through `service`, writing one JSON
+/// response line per request to `output`.
+pub fn run_batch<R: BufRead, W: Write>(
+    service: &Service,
+    input: R,
+    output: &mut W,
+) -> io::Result<BatchSummary> {
+    let mut pending = Vec::new();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        pending.push(submit_line(service, &line));
+    }
+
+    let mut summary = BatchSummary {
+        requests: pending.len(),
+        ..BatchSummary::default()
+    };
+    for entry in pending {
+        let response = match entry {
+            Pending::Immediate(response) => *response,
+            Pending::Running(id, handle) => match handle.join() {
+                Ok(output) => QueryResponse {
+                    id,
+                    status: "ok".into(),
+                    estimate: Some(output.estimate),
+                    error: None,
+                    cache: Some(output.cache),
+                    queue_wait_micros: Some(output.queue_wait.as_micros() as u64),
+                    exec_micros: Some(output.exec.as_micros() as u64),
+                },
+                Err(err) => failure_response(id, &err),
+            },
+        };
+        match response.status.as_str() {
+            "ok" => summary.ok += 1,
+            "rejected" => summary.rejected += 1,
+            _ => summary.errors += 1,
+        }
+        let json = serde_json::to_string(&response)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(output, "{json}")?;
+    }
+    output.flush()?;
+    Ok(summary)
+}
+
+fn submit_line(service: &Service, line: &str) -> Pending {
+    let request: QueryRequest = match serde_json::from_str(line) {
+        Ok(request) => request,
+        Err(err) => {
+            return Pending::Immediate(Box::new(QueryResponse::failure(
+                None,
+                "error",
+                format!("bad request line: {err}"),
+            )))
+        }
+    };
+    let id = request.id;
+    match build_spec(service, request) {
+        Ok(spec) => match service.submit(spec) {
+            Ok(handle) => Pending::Running(id, handle),
+            Err(err) => Pending::Immediate(Box::new(failure_response(id, &err))),
+        },
+        Err(message) => Pending::Immediate(Box::new(QueryResponse::failure(id, "error", message))),
+    }
+}
+
+fn build_spec(service: &Service, request: QueryRequest) -> Result<JobSpec, String> {
+    let query = parse_query(&request.query, service.platform().keywords())
+        .map_err(|e| format!("bad query: {e}"))?;
+    let interval = match request.interval.as_deref() {
+        Some(text) => parse_interval(text)?,
+        None => None,
+    };
+    let algorithm = parse_algorithm(request.algorithm.as_deref().unwrap_or("tarw"), interval)?;
+    Ok(JobSpec {
+        query,
+        algorithm,
+        budget: request.budget.unwrap_or(DEFAULT_BUDGET),
+        seed: request.seed.unwrap_or(DEFAULT_SEED),
+    })
+}
+
+fn failure_response(id: Option<u64>, err: &ServiceError) -> QueryResponse {
+    let status = match err {
+        ServiceError::Rejected { .. } => "rejected",
+        _ => "error",
+    };
+    QueryResponse::failure(id, status, err.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::SharedCacheConfig;
+    use crate::engine::ServiceConfig;
+    use microblog_api::ApiProfile;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+    use std::sync::Arc;
+
+    fn tiny_service(global_quota: Option<u64>) -> Service {
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        Service::new(
+            Arc::new(scenario.platform),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers: 2,
+                global_quota,
+                cache: SharedCacheConfig {
+                    capacity: 4096,
+                    shards: 4,
+                },
+            },
+        )
+    }
+
+    fn response_lines(out: &[u8]) -> Vec<serde_json::Value> {
+        std::str::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::parse_value_str(l).unwrap())
+            .collect()
+    }
+
+    fn status_of(value: &serde_json::Value) -> String {
+        let map = value.as_map().unwrap();
+        match serde::value::field(map, "status") {
+            serde_json::Value::Str(s) => s.clone(),
+            other => panic!("status not a string: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_runs_and_keeps_input_order() {
+        let service = tiny_service(None);
+        let input = "\
+{\"id\": 1, \"query\": \"SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'\", \"budget\": 2000}\n\
+\n\
+{\"id\": 2, \"query\": \"SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'\", \"budget\": 2000, \"algorithm\": \"srw\"}\n";
+        let mut out = Vec::new();
+        let summary = run_batch(&service, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(
+            summary,
+            BatchSummary {
+                requests: 2,
+                ok: 2,
+                rejected: 0,
+                errors: 0
+            }
+        );
+        let lines = response_lines(&out);
+        assert_eq!(lines.len(), 2);
+        for (i, line) in lines.iter().enumerate() {
+            assert_eq!(status_of(line), "ok");
+            let map = line.as_map().unwrap();
+            assert_eq!(
+                *serde::value::field(map, "id"),
+                serde_json::Value::I64(i as i64 + 1),
+                "responses follow input order"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_lines_report_errors_without_sinking_the_batch() {
+        let service = tiny_service(None);
+        let input = "\
+this is not json\n\
+{\"id\": 9, \"query\": \"SELECT NONSENSE\"}\n\
+{\"id\": 10, \"query\": \"SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'\", \"budget\": 1500}\n";
+        let mut out = Vec::new();
+        let summary = run_batch(&service, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.errors, 2);
+        let lines = response_lines(&out);
+        assert_eq!(status_of(&lines[0]), "error");
+        assert_eq!(status_of(&lines[1]), "error");
+        assert_eq!(status_of(&lines[2]), "ok");
+    }
+
+    #[test]
+    fn over_quota_requests_are_rejected() {
+        // The first job claims the whole pool; whether it is still
+        // reserved or already settled (any run charges at least one
+        // call), the second full-pool request cannot fit.
+        let service = tiny_service(Some(1_000));
+        let input = "\
+{\"id\": 1, \"query\": \"SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'\", \"budget\": 1000}\n\
+{\"id\": 2, \"query\": \"SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'\", \"budget\": 1000}\n";
+        let mut out = Vec::new();
+        let summary = run_batch(&service, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.rejected, 1);
+        let lines = response_lines(&out);
+        assert_eq!(status_of(&lines[0]), "ok");
+        assert_eq!(status_of(&lines[1]), "rejected");
+    }
+}

@@ -1,0 +1,68 @@
+//! # microblog-service
+//!
+//! A long-running, concurrent multi-query estimation engine over the
+//! microblog analyzer.
+//!
+//! The paper's estimators ([MA-SRW, MA-TARW, Mark & Recapture][paper])
+//! are single-query: one walk, one budget, one answer. A real analytics
+//! deployment runs *many* queries against *one* rate-limited platform
+//! account, and those queries keep re-fetching the same hot users. This
+//! crate adds the serving layer:
+//!
+//! - [`Service`] — a worker pool executing [`JobSpec`]s concurrently,
+//!   with admission control against a service-wide [`GlobalQuota`]
+//!   (a job's full budget is reserved up front, so the service never
+//!   promises calls the account cannot cover).
+//! - [`SharedApiCache`] — a sharded, bounded, LRU-evicting store of
+//!   SEARCH / USER TIMELINE / USER CONNECTIONS responses shared across
+//!   all queries, layered under each job's `CachingClient`. Budgets are
+//!   still charged *logically* on shared hits (see
+//!   `microblog_api::cache`), so estimates stay bit-identical to
+//!   isolated runs while actual platform traffic drops.
+//! - [`MetricsRegistry`] — service-wide counters with text and JSON
+//!   exports.
+//! - [`run_batch`] — the JSON-lines frontend behind `ma-cli serve`.
+//!
+//! ```no_run
+//! use microblog_service::{JobSpec, Service, ServiceConfig};
+//! use microblog_analyzer::query::parse::parse_query;
+//! use microblog_analyzer::Algorithm;
+//! use microblog_api::ApiProfile;
+//! use microblog_platform::scenario::{twitter_2013, Scale};
+//! use std::sync::Arc;
+//!
+//! let scenario = twitter_2013(Scale::Small, 2014);
+//! let service = Service::new(
+//!     Arc::new(scenario.platform),
+//!     ApiProfile::twitter(),
+//!     ServiceConfig { workers: 4, global_quota: Some(200_000), ..Default::default() },
+//! );
+//! let query = parse_query(
+//!     "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+//!     service.platform().keywords(),
+//! ).unwrap();
+//! let handle = service
+//!     .submit(JobSpec { query, algorithm: Algorithm::MaTarw { interval: None }, budget: 25_000, seed: 7 })
+//!     .unwrap();
+//! let output = handle.join().unwrap();
+//! println!("estimate {:.3} for {} calls", output.estimate.value, output.estimate.cost);
+//! ```
+//!
+//! [paper]: https://doi.org/10.1145/2588555.2610517
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod frontend;
+pub mod lru;
+pub mod metrics;
+pub mod quota;
+pub mod request;
+
+pub use cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
+pub use engine::{JobHandle, JobOutput, Service, ServiceConfig, ServiceError};
+pub use frontend::{run_batch, BatchSummary};
+pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
+pub use quota::{GlobalQuota, Reservation};
+pub use request::{JobSpec, QueryRequest, QueryResponse};

@@ -1,0 +1,300 @@
+//! Service metrics.
+//!
+//! [`MetricsRegistry`] accumulates service-wide counters (jobs by
+//! outcome, charged vs actual API calls, cache traffic, walk samples,
+//! queue/execution time) from the per-job numbers each worker reports.
+//! [`MetricsSnapshot`] is the exportable point-in-time view, rendered as
+//! aligned text for terminals or JSON for machines.
+
+use microblog_api::cache::CacheStats;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One finished job's numbers, as reported by a worker.
+#[derive(Clone, Copy, Debug)]
+pub struct JobMetrics {
+    /// Whether the job produced an estimate.
+    pub succeeded: bool,
+    /// API calls charged to the job's budget (the paper's cost metric).
+    pub charged_calls: u64,
+    /// Samples the walk collected (0 on failure).
+    pub samples: u64,
+    /// Cache traffic of the job's client.
+    pub cache: CacheStats,
+    /// Time spent queued before a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Time spent executing.
+    pub exec: Duration,
+}
+
+/// Lock-free accumulating counters; all methods take `&self`.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    jobs_submitted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_succeeded: AtomicU64,
+    jobs_failed: AtomicU64,
+    estimates_produced: AtomicU64,
+    charged_calls: AtomicU64,
+    actual_calls: AtomicU64,
+    saved_calls: AtomicU64,
+    local_hits: AtomicU64,
+    shared_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    walk_samples: AtomicU64,
+    queue_wait_micros: AtomicU64,
+    exec_micros: AtomicU64,
+}
+
+impl MetricsRegistry {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Counts an admitted submission.
+    pub fn record_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a rejected submission (admission control).
+    pub fn record_rejected(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds one finished job into the totals.
+    pub fn record_job(&self, job: &JobMetrics) {
+        if job.succeeded {
+            self.jobs_succeeded.fetch_add(1, Ordering::Relaxed);
+            self.estimates_produced.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.charged_calls
+            .fetch_add(job.charged_calls, Ordering::Relaxed);
+        self.actual_calls
+            .fetch_add(job.cache.actual_calls, Ordering::Relaxed);
+        self.saved_calls
+            .fetch_add(job.cache.saved_calls, Ordering::Relaxed);
+        self.local_hits
+            .fetch_add(job.cache.local_hits, Ordering::Relaxed);
+        self.shared_hits
+            .fetch_add(job.cache.shared_hits, Ordering::Relaxed);
+        self.cache_misses
+            .fetch_add(job.cache.misses, Ordering::Relaxed);
+        self.walk_samples.fetch_add(job.samples, Ordering::Relaxed);
+        self.queue_wait_micros
+            .fetch_add(job.queue_wait.as_micros() as u64, Ordering::Relaxed);
+        self.exec_micros
+            .fetch_add(job.exec.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_succeeded: self.jobs_succeeded.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            estimates_produced: self.estimates_produced.load(Ordering::Relaxed),
+            charged_calls: self.charged_calls.load(Ordering::Relaxed),
+            actual_calls: self.actual_calls.load(Ordering::Relaxed),
+            saved_calls: self.saved_calls.load(Ordering::Relaxed),
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            shared_hits: self.shared_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            walk_samples: self.walk_samples.load(Ordering::Relaxed),
+            queue_wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
+            exec_micros: self.exec_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Exportable service totals. Times are totals across jobs, in
+/// microseconds, so the snapshot stays integer-exact.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MetricsSnapshot {
+    /// Jobs admitted.
+    pub jobs_submitted: u64,
+    /// Jobs refused at admission.
+    pub jobs_rejected: u64,
+    /// Jobs that produced an estimate.
+    pub jobs_succeeded: u64,
+    /// Jobs that errored.
+    pub jobs_failed: u64,
+    /// Estimates produced (== succeeded jobs).
+    pub estimates_produced: u64,
+    /// API calls charged to budgets.
+    pub charged_calls: u64,
+    /// API calls actually issued to the platform.
+    pub actual_calls: u64,
+    /// Calls absorbed by the shared cache.
+    pub saved_calls: u64,
+    /// Per-query memo hits.
+    pub local_hits: u64,
+    /// Shared-cache hits.
+    pub shared_hits: u64,
+    /// Requests that reached the platform.
+    pub cache_misses: u64,
+    /// Samples collected by all walks.
+    pub walk_samples: u64,
+    /// Total time jobs spent queued, µs.
+    pub queue_wait_micros: u64,
+    /// Total time jobs spent executing, µs.
+    pub exec_micros: u64,
+}
+
+impl MetricsSnapshot {
+    /// Mean queue wait per finished job.
+    pub fn mean_queue_wait(&self) -> Duration {
+        mean_micros(
+            self.queue_wait_micros,
+            self.jobs_succeeded + self.jobs_failed,
+        )
+    }
+
+    /// Mean execution time per finished job.
+    pub fn mean_exec(&self) -> Duration {
+        mean_micros(self.exec_micros, self.jobs_succeeded + self.jobs_failed)
+    }
+
+    /// Fraction of charged calls the shared cache absorbed.
+    pub fn savings_ratio(&self) -> f64 {
+        if self.charged_calls > 0 {
+            self.saved_calls as f64 / self.charged_calls as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// The JSON export.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// The aligned-text export.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(&format!("{k:<22}{v}\n"));
+        };
+        line("jobs submitted", self.jobs_submitted.to_string());
+        line("jobs rejected", self.jobs_rejected.to_string());
+        line("jobs succeeded", self.jobs_succeeded.to_string());
+        line("jobs failed", self.jobs_failed.to_string());
+        line("estimates produced", self.estimates_produced.to_string());
+        line("API calls charged", self.charged_calls.to_string());
+        line("API calls actual", self.actual_calls.to_string());
+        line(
+            "API calls saved",
+            format!(
+                "{} ({:.1}% of charged)",
+                self.saved_calls,
+                100.0 * self.savings_ratio()
+            ),
+        );
+        line(
+            "cache hits",
+            format!("{} local + {} shared", self.local_hits, self.shared_hits),
+        );
+        line("cache misses", self.cache_misses.to_string());
+        line("walk samples", self.walk_samples.to_string());
+        line("mean queue wait", format!("{:?}", self.mean_queue_wait()));
+        line("mean exec time", format!("{:?}", self.mean_exec()));
+        out
+    }
+}
+
+fn mean_micros(total_micros: u64, count: u64) -> Duration {
+    total_micros
+        .checked_div(count)
+        .map_or(Duration::ZERO, Duration::from_micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(succeeded: bool, charged: u64, saved: u64) -> JobMetrics {
+        JobMetrics {
+            succeeded,
+            charged_calls: charged,
+            samples: 10,
+            cache: CacheStats {
+                local_hits: 1,
+                shared_hits: 2,
+                misses: 3,
+                actual_calls: charged - saved,
+                saved_calls: saved,
+            },
+            queue_wait: Duration::from_micros(500),
+            exec: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let reg = MetricsRegistry::new();
+        reg.record_submitted();
+        reg.record_submitted();
+        reg.record_rejected();
+        reg.record_job(&job(true, 100, 40));
+        reg.record_job(&job(false, 50, 0));
+        let snap = reg.snapshot();
+        assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.jobs_rejected, 1);
+        assert_eq!(snap.jobs_succeeded, 1);
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.estimates_produced, 1);
+        assert_eq!(snap.charged_calls, 150);
+        assert_eq!(snap.actual_calls, 110);
+        assert_eq!(snap.saved_calls, 40);
+        assert_eq!(snap.walk_samples, 20);
+        assert_eq!(snap.mean_queue_wait(), Duration::from_micros(500));
+        assert_eq!(snap.mean_exec(), Duration::from_millis(2));
+        assert!((snap.savings_ratio() - 40.0 / 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exports_are_well_formed() {
+        let reg = MetricsRegistry::new();
+        reg.record_submitted();
+        reg.record_job(&job(true, 10, 5));
+        let snap = reg.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("jobs submitted        1"));
+        assert!(text.contains("API calls saved"));
+        let json = snap.to_json();
+        let value = serde_json::parse_value_str(&json).unwrap();
+        let map = value.as_map().unwrap();
+        // The reparse reads positive integers back as I64.
+        assert_eq!(
+            serde_json::Value::I64(10),
+            *serde::value::field(map, "charged_calls")
+        );
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..250 {
+                        reg.record_submitted();
+                        reg.record_job(&job(true, 4, 1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.jobs_submitted, 2000);
+        assert_eq!(snap.charged_calls, 8000);
+        assert_eq!(snap.saved_calls, 2000);
+    }
+}

@@ -1,0 +1,183 @@
+//! The service-wide platform quota.
+//!
+//! Real platforms rate-limit the *account*, not the query: every query
+//! the service runs draws from one pool of API calls. [`GlobalQuota`]
+//! models that pool with exact reserve/settle accounting: admission
+//! reserves a job's full budget up front (so the service never promises
+//! calls it cannot cover), and completion settles the reservation down to
+//! what the job actually charged, returning the rest to the pool.
+//!
+//! All mutation happens under one mutex, so concurrent submitters can
+//! never jointly over-admit (no lost updates, no check-then-act races).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Calls promised to admitted-but-unfinished jobs.
+    reserved: u64,
+    /// Calls charged by finished jobs.
+    consumed: u64,
+}
+
+/// Exact shared accounting of the platform call pool. Clones share state.
+#[derive(Clone, Debug)]
+pub struct GlobalQuota {
+    limit: Option<u64>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+/// A successful reservation; settle it once the job finishes.
+///
+/// The token is deliberately not `Clone` and must be passed back through
+/// [`GlobalQuota::settle`], making double-refunds a type error.
+#[derive(Debug)]
+#[must_use = "an unsettled reservation permanently holds quota"]
+pub struct Reservation {
+    amount: u64,
+}
+
+impl Reservation {
+    /// The reserved call count.
+    pub fn amount(&self) -> u64 {
+        self.amount
+    }
+}
+
+impl GlobalQuota {
+    /// A quota capped at `limit` total calls.
+    pub fn limited(limit: u64) -> Self {
+        GlobalQuota {
+            limit: Some(limit),
+            inner: Arc::default(),
+        }
+    }
+
+    /// An uncapped quota (admission always succeeds).
+    pub fn unlimited() -> Self {
+        GlobalQuota {
+            limit: None,
+            inner: Arc::default(),
+        }
+    }
+
+    /// The configured cap.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// Atomically reserves `amount` calls, or reports how many are left
+    /// uncommitted when the pool cannot cover the request.
+    pub fn try_reserve(&self, amount: u64) -> Result<Reservation, u64> {
+        let mut inner = self.inner.lock();
+        match self.limit {
+            Some(limit) => {
+                let committed = inner.reserved + inner.consumed;
+                let available = limit.saturating_sub(committed);
+                if amount <= available {
+                    inner.reserved += amount;
+                    Ok(Reservation { amount })
+                } else {
+                    Err(available)
+                }
+            }
+            // Unlimited: nothing to book — `settle` only ever adds to
+            // `consumed`, so `reserved` stays 0.
+            None => Ok(Reservation { amount }),
+        }
+    }
+
+    /// Settles a reservation: `used` calls (≤ the reservation) become
+    /// consumed, the remainder returns to the pool.
+    pub fn settle(&self, reservation: Reservation, used: u64) {
+        let used = used.min(reservation.amount);
+        let mut inner = self.inner.lock();
+        // Unlimited quotas never book reservations (see `try_reserve`),
+        // so there is nothing to release.
+        if self.limit.is_some() {
+            inner.reserved -= reservation.amount;
+        }
+        inner.consumed += used;
+    }
+
+    /// Calls charged by finished jobs.
+    pub fn consumed(&self) -> u64 {
+        self.inner.lock().consumed
+    }
+
+    /// Calls currently promised to running jobs.
+    pub fn reserved(&self) -> u64 {
+        self.inner.lock().reserved
+    }
+
+    /// Uncommitted calls left in the pool (`None` = unlimited).
+    pub fn remaining(&self) -> Option<u64> {
+        self.limit.map(|limit| {
+            let inner = self.inner.lock();
+            limit.saturating_sub(inner.reserved + inner.consumed)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_settle_cycle_is_exact() {
+        let q = GlobalQuota::limited(100);
+        let r = q.try_reserve(60).unwrap();
+        assert_eq!(q.remaining(), Some(40));
+        assert_eq!(q.try_reserve(50).unwrap_err(), 40, "reports what's left");
+        q.settle(r, 25);
+        assert_eq!(q.consumed(), 25);
+        assert_eq!(q.reserved(), 0);
+        assert_eq!(q.remaining(), Some(75));
+        let r2 = q.try_reserve(75).unwrap();
+        q.settle(r2, 75);
+        assert_eq!(q.remaining(), Some(0));
+        assert!(q.try_reserve(1).is_err());
+    }
+
+    #[test]
+    fn unlimited_always_admits() {
+        let q = GlobalQuota::unlimited();
+        let r = q.try_reserve(u64::MAX).unwrap();
+        assert_eq!(q.remaining(), None);
+        q.settle(r, 10);
+        assert_eq!(q.consumed(), 10);
+    }
+
+    #[test]
+    fn settle_caps_used_at_reservation() {
+        let q = GlobalQuota::limited(10);
+        let r = q.try_reserve(4).unwrap();
+        q.settle(r, 99);
+        assert_eq!(q.consumed(), 4, "cannot consume more than reserved");
+    }
+
+    #[test]
+    fn concurrent_reservations_never_over_admit() {
+        let q = GlobalQuota::limited(1000);
+        let admitted: Vec<_> = (0..16)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut wins = 0u64;
+                    for _ in 0..100 {
+                        if let Ok(r) = q.try_reserve(7) {
+                            wins += 1;
+                            q.settle(r, 7);
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect();
+        let total: u64 = admitted.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(q.consumed(), total * 7);
+        assert!(q.consumed() <= 1000);
+        assert_eq!(q.reserved(), 0);
+    }
+}

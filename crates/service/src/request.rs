@@ -1,0 +1,172 @@
+//! Job specifications and the JSON-lines wire format.
+//!
+//! Programmatic callers build a [`JobSpec`] directly; the `serve`
+//! frontend parses one [`QueryRequest`] per input line and writes one
+//! [`QueryResponse`] per job. The algorithm/interval spellings match
+//! `ma-cli`'s flags so the two entry points stay interchangeable.
+
+use microblog_analyzer::{AggregateQuery, Algorithm, Estimate, ViewKind};
+use microblog_api::cache::CacheStats;
+use microblog_platform::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Everything the engine needs to run one estimation job.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The parsed aggregate query.
+    pub query: AggregateQuery,
+    /// Which estimator to run.
+    pub algorithm: Algorithm,
+    /// Per-query API-call budget (also the amount reserved from the
+    /// global quota at admission).
+    pub budget: u64,
+    /// Estimator RNG seed.
+    pub seed: u64,
+}
+
+/// Default per-query budget when a request omits one.
+pub const DEFAULT_BUDGET: u64 = 25_000;
+
+/// Default estimator seed when a request omits one.
+pub const DEFAULT_SEED: u64 = 7;
+
+/// One line of `serve` input.
+#[derive(Clone, Debug, Deserialize)]
+pub struct QueryRequest {
+    /// Caller-chosen correlation id, echoed back in the response.
+    pub id: Option<u64>,
+    /// The aggregate query text (`SELECT ... FROM USERS WHERE ...`).
+    pub query: String,
+    /// Algorithm name (`tarw|srw|mhrw|mr|srw-term|srw-full`); default `tarw`.
+    pub algorithm: Option<String>,
+    /// Per-query API budget; default [`DEFAULT_BUDGET`].
+    pub budget: Option<u64>,
+    /// Estimator seed; default [`DEFAULT_SEED`].
+    pub seed: Option<u64>,
+    /// Level interval (`2h|4h|12h|1d|2d|1w|1m|auto`); default `auto`.
+    pub interval: Option<String>,
+}
+
+/// One line of `serve` output.
+#[derive(Clone, Debug, Serialize)]
+pub struct QueryResponse {
+    /// The request's correlation id, if it carried one.
+    pub id: Option<u64>,
+    /// `"ok"`, `"rejected"`, or `"error"`.
+    pub status: String,
+    /// The estimate, on success.
+    pub estimate: Option<Estimate>,
+    /// The failure message, when not `"ok"`.
+    pub error: Option<String>,
+    /// The job client's cache traffic, on success.
+    pub cache: Option<CacheStats>,
+    /// Time spent queued, in microseconds, on success.
+    pub queue_wait_micros: Option<u64>,
+    /// Time spent executing, in microseconds, on success.
+    pub exec_micros: Option<u64>,
+}
+
+impl QueryResponse {
+    /// A non-`ok` response carrying only a message.
+    pub fn failure(id: Option<u64>, status: &str, error: String) -> Self {
+        QueryResponse {
+            id,
+            status: status.into(),
+            estimate: None,
+            error: Some(error),
+            cache: None,
+            queue_wait_micros: None,
+            exec_micros: None,
+        }
+    }
+}
+
+/// Parses an interval spelling shared with `ma-cli`'s `--interval` flag.
+/// `auto`/`None` means "let the algorithm pick" (`None`).
+pub fn parse_interval(text: &str) -> Result<Option<Duration>, String> {
+    Ok(match text.to_lowercase().as_str() {
+        "auto" => None,
+        "2h" => Some(Duration::hours(2)),
+        "4h" => Some(Duration::hours(4)),
+        "12h" => Some(Duration::hours(12)),
+        "1d" => Some(Duration::DAY),
+        "2d" => Some(Duration::days(2)),
+        "1w" => Some(Duration::WEEK),
+        "1m" => Some(Duration::MONTH),
+        other => return Err(format!("unknown interval '{other}'")),
+    })
+}
+
+/// Maps an algorithm name (shared with `ma-cli`'s `--algorithm` flag)
+/// plus an optional level interval to an [`Algorithm`].
+pub fn parse_algorithm(name: &str, interval: Option<Duration>) -> Result<Algorithm, String> {
+    Ok(match name.to_lowercase().as_str() {
+        "tarw" => Algorithm::MaTarw { interval },
+        "srw" => Algorithm::MaSrw { interval },
+        "mhrw" => Algorithm::Mhrw {
+            view: ViewKind::level(interval.unwrap_or(Duration::DAY)),
+        },
+        "mr" => Algorithm::MarkRecapture {
+            view: ViewKind::level(interval.unwrap_or(Duration::DAY)),
+        },
+        "srw-term" => Algorithm::SrwTermInduced,
+        "srw-full" => Algorithm::SrwFullGraph,
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        assert_eq!(
+            parse_algorithm("tarw", None).unwrap(),
+            Algorithm::MaTarw { interval: None }
+        );
+        assert_eq!(
+            parse_algorithm("SRW", Some(Duration::WEEK)).unwrap(),
+            Algorithm::MaSrw {
+                interval: Some(Duration::WEEK)
+            }
+        );
+        assert_eq!(
+            parse_algorithm("srw-full", None).unwrap(),
+            Algorithm::SrwFullGraph
+        );
+        assert!(parse_algorithm("quantum", None).is_err());
+    }
+
+    #[test]
+    fn interval_spellings() {
+        assert_eq!(parse_interval("auto").unwrap(), None);
+        assert_eq!(parse_interval("1d").unwrap(), Some(Duration::DAY));
+        assert_eq!(parse_interval("2H").unwrap(), Some(Duration::hours(2)));
+        assert!(parse_interval("fortnight").is_err());
+    }
+
+    #[test]
+    fn request_line_parses_with_defaults() {
+        let line = r#"{"query": "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'x'"}"#;
+        let req: QueryRequest = serde_json::from_str(line).unwrap();
+        assert_eq!(req.id, None);
+        assert!(req.algorithm.is_none());
+        assert!(req.budget.is_none());
+        assert_eq!(req.query, "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'x'");
+    }
+
+    #[test]
+    fn response_line_serializes() {
+        let resp = QueryResponse::failure(Some(3), "rejected", "quota exhausted".into());
+        let line = serde_json::to_string(&resp).unwrap();
+        let value = serde_json::parse_value_str(&line).unwrap();
+        let map = value.as_map().unwrap();
+        // The reparse reads positive integers back as I64.
+        assert_eq!(*serde::value::field(map, "id"), serde_json::Value::I64(3));
+        assert_eq!(
+            *serde::value::field(map, "status"),
+            serde_json::Value::Str("rejected".into())
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! Property tests for the shared cross-query cache.
+//!
+//! The contract under test (see `microblog_api::cache`): layering the
+//! [`SharedApiCache`] under a batch of queries must be *invisible* to
+//! every individual query — same estimate bits, same charged cost, same
+//! error — while the platform sees at most (and with overlap, strictly
+//! fewer than) the API calls of the same batch run in isolation.
+
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::{Algorithm, EstimateError, MicroblogAnalyzer};
+use microblog_api::ApiProfile;
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_service::{JobSpec, Service, ServiceConfig, ServiceError, SharedCacheConfig};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+const KEYWORDS: [&str; 3] = ["privacy", "oprah winfrey", "tahrir"];
+const AGGREGATES: [&str; 3] = ["COUNT(*)", "AVG(FOLLOWERS)", "AVG(POSTS)"];
+
+fn world() -> &'static Scenario {
+    static WORLD: OnceLock<Scenario> = OnceLock::new();
+    WORLD.get_or_init(|| twitter_2013(Scale::Tiny, 2014))
+}
+
+fn spec(kw: usize, agg: usize, budget: u64, seed: u64) -> JobSpec {
+    let text = format!(
+        "SELECT {} FROM USERS WHERE KEYWORD = '{}'",
+        AGGREGATES[agg], KEYWORDS[kw]
+    );
+    JobSpec {
+        query: parse_query(&text, world().platform.keywords()).expect("query parses"),
+        algorithm: Algorithm::MaTarw { interval: None },
+        budget,
+        seed,
+    }
+}
+
+/// What one job did, in either execution mode.
+#[derive(Debug, PartialEq)]
+enum Outcome {
+    /// (value bits, charged cost, samples)
+    Ok(u64, u64, usize),
+    Err(EstimateError),
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn shared_cache_is_invisible_to_estimates_and_never_costs_more(
+        jobs in proptest::collection::vec(
+            (0usize..3, 0usize..3, 1_500u64..3_500, 0u64..500),
+            2..6,
+        ),
+    ) {
+        let specs: Vec<JobSpec> =
+            jobs.iter().map(|&(kw, agg, budget, seed)| spec(kw, agg, budget, seed)).collect();
+
+        // Isolated runs: every query on its own analyzer, no sharing.
+        let analyzer = MicroblogAnalyzer::new(&world().platform, ApiProfile::twitter());
+        let mut isolated = Vec::new();
+        let mut isolated_actual = 0u64;
+        for s in &specs {
+            match analyzer.estimate_with_cache(&s.query, s.budget, s.algorithm, s.seed, None) {
+                Ok((est, stats)) => {
+                    isolated_actual += stats.actual_calls;
+                    isolated.push(Outcome::Ok(est.value.to_bits(), est.cost, est.samples));
+                }
+                Err(err) => isolated.push(Outcome::Err(err)),
+            }
+        }
+
+        // The same batch through a shared-cache service.
+        let service = Service::new(
+            Arc::new(world().platform.clone()),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers: 4,
+                global_quota: None,
+                cache: SharedCacheConfig { capacity: 65_536, shards: 4 },
+            },
+        );
+        let handles: Vec<_> = specs
+            .into_iter()
+            .map(|s| service.submit(s).expect("unlimited quota admits"))
+            .collect();
+        let mut shared_actual = 0u64;
+        for (handle, expected) in handles.iter().zip(&isolated) {
+            let got = match handle.join() {
+                Ok(out) => {
+                    shared_actual += out.cache.actual_calls;
+                    prop_assert_eq!(
+                        out.cache.actual_calls + out.cache.saved_calls,
+                        out.estimate.cost,
+                        "every charged call is either actual or saved"
+                    );
+                    Outcome::Ok(out.estimate.value.to_bits(), out.estimate.cost, out.estimate.samples)
+                }
+                Err(ServiceError::Estimation(err)) => Outcome::Err(err),
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!("unexpected service error: {other}")))
+                }
+            };
+            prop_assert_eq!(&got, expected, "sharing must not change any job's outcome");
+        }
+
+        prop_assert!(
+            shared_actual <= isolated_actual,
+            "shared batch hit the platform {shared_actual} times, isolated {isolated_actual}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeating_a_job_costs_the_platform_nothing_new(
+        kw in 0usize..3,
+        agg in 0usize..3,
+        seed in 0u64..500,
+    ) {
+        let service = Service::new(
+            Arc::new(world().platform.clone()),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers: 1,
+                global_quota: None,
+                cache: SharedCacheConfig { capacity: 65_536, shards: 4 },
+            },
+        );
+        let first = service.submit(spec(kw, agg, 2_500, seed)).unwrap();
+        let first = first.join();
+        let second = service.submit(spec(kw, agg, 2_500, seed)).unwrap();
+        let second = second.join();
+        match (first, second) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.estimate.value.to_bits(), b.estimate.value.to_bits());
+                prop_assert_eq!(a.estimate.cost, b.estimate.cost);
+                // An identical replay is fully absorbed by the cache.
+                prop_assert_eq!(b.cache.actual_calls, 0);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b, "replayed failure must match"),
+            (a, b) => prop_assert!(false, "replay diverged: {a:?} vs {b:?}"),
+        }
+        service.shutdown();
+    }
+}

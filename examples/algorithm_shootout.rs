@@ -29,7 +29,9 @@ fn main() {
         (Algorithm::SrwTermInduced, &avg, t_avg),
         (Algorithm::MaTarw { interval: day }, &count, t_count),
         (
-            Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+            Algorithm::MarkRecapture {
+                view: ViewKind::level(Duration::DAY),
+            },
             &count,
             t_count,
         ),

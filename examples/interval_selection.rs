@@ -21,16 +21,28 @@ fn main() {
     let kw = scenario.keyword("boston").expect("scenario keyword");
     let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(scenario.window);
 
-    let mut client =
-        CachingClient::new(MicroblogClient::new(&scenario.platform, ApiProfile::twitter()));
+    let mut client = CachingClient::new(MicroblogClient::new(
+        &scenario.platform,
+        ApiProfile::twitter(),
+    ));
     let seeds = fetch_seeds(&mut client, &query).expect("seeds");
     println!("seed users from the search API: {}", seeds.len());
 
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
-    let scores = score_intervals(&mut client, &query, &seeds, &candidate_intervals(), 15, &mut rng)
-        .expect("interval scores");
+    let scores = score_intervals(
+        &mut client,
+        &query,
+        &seeds,
+        &candidate_intervals(),
+        15,
+        &mut rng,
+    )
+    .expect("interval scores");
     println!("\ncandidate intervals, best conductance first:");
-    println!("{:>4} {:>8} {:>8} {:>14}", "T", "h (est)", "d (est)", "conductance");
+    println!(
+        "{:>4} {:>8} {:>8} {:>14}",
+        "T", "h (est)", "d (est)", "conductance"
+    );
     for s in &scores {
         println!(
             "{:>4} {:>8.1} {:>8.2} {:>14.3e}",
@@ -56,7 +68,9 @@ fn main() {
         match analyzer.estimate(
             &query,
             25_000,
-            Algorithm::MaSrw { interval: Some(interval) },
+            Algorithm::MaSrw {
+                interval: Some(interval),
+            },
             3,
         ) {
             Ok(est) => println!(

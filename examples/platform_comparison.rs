@@ -21,8 +21,16 @@ fn main() {
     );
 
     let worlds = [
-        ("twitter", twitter_2013(Scale::Small, 5), ApiProfile::twitter()),
-        ("google+", google_plus_2013(Scale::Small, 5), ApiProfile::google_plus()),
+        (
+            "twitter",
+            twitter_2013(Scale::Small, 5),
+            ApiProfile::twitter(),
+        ),
+        (
+            "google+",
+            google_plus_2013(Scale::Small, 5),
+            ApiProfile::google_plus(),
+        ),
         ("tumblr", tumblr_2013(Scale::Small, 5), ApiProfile::tumblr()),
     ];
 

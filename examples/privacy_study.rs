@@ -23,10 +23,12 @@ fn main() {
     let kw = scenario.keyword("privacy").expect("scenario keyword");
     let leak_day = Timestamp::at_day(156);
 
-    let before = AggregateQuery::count(kw)
-        .in_window(TimeWindow::new(scenario.window.start, leak_day));
+    let before =
+        AggregateQuery::count(kw).in_window(TimeWindow::new(scenario.window.start, leak_day));
     let after = AggregateQuery::count(kw).in_window(TimeWindow::new(leak_day, scenario.window.end));
-    let after_male = after.clone().with_predicate(ProfilePredicate::GenderIs(Gender::Male));
+    let after_male = after
+        .clone()
+        .with_predicate(ProfilePredicate::GenderIs(Gender::Male));
 
     let analyzer = MicroblogAnalyzer::new(platform, ApiProfile::google_plus());
     let algo = Algorithm::MaTarw { interval: None };
@@ -37,10 +39,15 @@ fn main() {
     // always keeping "now" inside the window. For the pre-event count we
     // therefore estimate over the full period and subtract.
     let full = AggregateQuery::count(kw).in_window(scenario.window);
-    let est_full = analyzer.estimate(&full, budget, algo, 1).expect("full-period estimate");
-    let est_after = analyzer.estimate(&after, budget, algo, 2).expect("post-event estimate");
-    let est_after_male =
-        analyzer.estimate(&after_male, budget, algo, 3).expect("post-event male estimate");
+    let est_full = analyzer
+        .estimate(&full, budget, algo, 1)
+        .expect("full-period estimate");
+    let est_after = analyzer
+        .estimate(&after, budget, algo, 2)
+        .expect("post-event estimate");
+    let est_after_male = analyzer
+        .estimate(&after_male, budget, algo, 3)
+        .expect("post-event male estimate");
     let est_before = (est_full.value - est_after.value).max(0.0);
 
     let t_before = analyzer.ground_truth(&before).unwrap_or(0.0);
@@ -49,11 +56,19 @@ fn main() {
 
     println!("\nusers posting 'privacy' on Google+ (estimate vs truth):");
     println!("  before the leak (Jan–May):  {est_before:9.0}  vs {t_before:9.0}");
-    println!("  after the leak  (Jun–Oct):  {:9.0}  vs {t_after:9.0}", est_after.value);
-    println!("    of which male:            {:9.0}  vs {t_after_male:9.0}", est_after_male.value);
+    println!(
+        "  after the leak  (Jun–Oct):  {:9.0}  vs {t_after:9.0}",
+        est_after.value
+    );
+    println!(
+        "    of which male:            {:9.0}  vs {t_after_male:9.0}",
+        est_after_male.value
+    );
     let uplift_est = est_after.value / est_before.max(1.0);
     let uplift_truth = t_after / t_before.max(1.0);
-    println!("\nattention uplift after the event: {uplift_est:.1}x estimated ({uplift_truth:.1}x true)");
+    println!(
+        "\nattention uplift after the event: {uplift_est:.1}x estimated ({uplift_truth:.1}x true)"
+    );
     println!(
         "total query cost: {} API calls",
         est_full.cost + est_after.cost + est_after_male.cost

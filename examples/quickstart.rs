@@ -36,10 +36,18 @@ fn main() {
     // noisy on worlds this small; see the interval_selection example.)
     let day = Some(microblog_platform::Duration::DAY);
     for (algo, label) in [
-        (Algorithm::MaTarw { interval: day }, "MA-TARW (topology-aware walk)"),
-        (Algorithm::MaSrw { interval: day }, "MA-SRW  (level-by-level SRW)"),
+        (
+            Algorithm::MaTarw { interval: day },
+            "MA-TARW (topology-aware walk)",
+        ),
+        (
+            Algorithm::MaSrw { interval: day },
+            "MA-SRW  (level-by-level SRW)",
+        ),
     ] {
-        let est = analyzer.estimate(&query, budget, algo, 7).expect("estimation");
+        let est = analyzer
+            .estimate(&query, budget, algo, 7)
+            .expect("estimation");
         let wall = wall_clock(analyzer.api_profile(), est.cost);
         println!(
             "\n{label}\n  estimate {:.2}  (relative error {:.1}%)\n  cost {} API calls \

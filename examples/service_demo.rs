@@ -1,0 +1,148 @@
+//! Service demo: many concurrent queries, one shared API cache.
+//!
+//! Runs the same workload twice over a small "Twitter 2013" world:
+//!
+//! 1. **Isolated baseline** — each of the 8 queries runs on its own
+//!    analyzer, so every API call hits the platform.
+//! 2. **Through the service** — all 8 queries are submitted at once to a
+//!    4-worker [`Service`] with a [`SharedApiCache`] and a global quota.
+//!    Queries overlap on keywords, so later walks find the hot users and
+//!    search pages earlier walks already fetched.
+//!
+//! Logical charging keeps every estimate bit-identical between the two
+//! runs; the win shows up purely as *actual* platform traffic.
+//!
+//! Run with: `cargo run --release -p microblog-service --example service_demo`
+//!
+//! [`Service`]: microblog_service::Service
+//! [`SharedApiCache`]: microblog_service::SharedApiCache
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::query::parse::parse_query;
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_service::{JobSpec, Service, ServiceConfig};
+use std::sync::Arc;
+
+fn main() {
+    println!("building a synthetic Twitter-2013 world (Scale::Small)...");
+    let scenario = twitter_2013(Scale::Small, 2014);
+    let api = ApiProfile::twitter();
+
+    // Eight queries from two analysts: both teams care about the same
+    // hot topics, so their walks traverse overlapping users.
+    let texts = [
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+        "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'",
+        "SELECT AVG(POSTS) FROM USERS WHERE KEYWORD = 'privacy'",
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'oprah winfrey'",
+        "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'oprah winfrey'",
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'tahrir'",
+        "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'tahrir'",
+        "SELECT AVG(POSTS) FROM USERS WHERE KEYWORD = 'tahrir'",
+    ];
+    let budget = 6_000u64;
+    let specs: Vec<JobSpec> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, text)| JobSpec {
+            query: parse_query(text, scenario.platform.keywords()).expect("query parses"),
+            // T = 1 day, the paper's example segmentation; auto-selection
+            // pilots are noisy on worlds this small (see quickstart).
+            algorithm: Algorithm::MaTarw {
+                interval: Some(microblog_platform::Duration::DAY),
+            },
+            budget,
+            seed: 100 + i as u64,
+        })
+        .collect();
+
+    println!("\n── isolated baseline (no shared cache) ──");
+    let analyzer = MicroblogAnalyzer::new(&scenario.platform, api.clone());
+    let mut baseline = Vec::new();
+    let mut baseline_actual = 0u64;
+    for (i, spec) in specs.iter().enumerate() {
+        let (est, stats) = analyzer
+            .estimate_with_cache(&spec.query, spec.budget, spec.algorithm, spec.seed, None)
+            .expect("baseline estimation");
+        baseline_actual += stats.actual_calls;
+        println!(
+            "  q{}: estimate {:>12.3}  cost {:>5} calls (all actual)",
+            i, est.value, est.cost
+        );
+        baseline.push(est);
+    }
+    println!("  total actual platform calls: {baseline_actual}");
+
+    println!("\n── through the service (shared cache, global quota) ──");
+    let service = Service::new(
+        Arc::new(scenario.platform),
+        api,
+        ServiceConfig {
+            workers: 4,
+            global_quota: Some(texts.len() as u64 * budget),
+            ..ServiceConfig::default()
+        },
+    );
+    let handles: Vec<_> = specs
+        .into_iter()
+        .map(|spec| service.submit(spec).expect("quota covers every budget"))
+        .collect();
+    println!(
+        "  {} queries in flight on {} workers",
+        handles.len(),
+        service.workers()
+    );
+
+    let mut service_actual = 0u64;
+    for (i, handle) in handles.iter().enumerate() {
+        let out = handle.join().expect("service estimation");
+        service_actual += out.cache.actual_calls;
+        let identical = out.estimate.value.to_bits() == baseline[i].value.to_bits()
+            && out.estimate.cost == baseline[i].cost;
+        println!(
+            "  q{}: estimate {:>12.3}  charged {:>5}, actual {:>5}, {:>4} shared hits  \
+             [{}]",
+            i,
+            out.estimate.value,
+            out.estimate.cost,
+            out.cache.actual_calls,
+            out.cache.shared_hits,
+            if identical {
+                "bit-identical to baseline"
+            } else {
+                "DIVERGED"
+            },
+        );
+        assert!(
+            identical,
+            "logical charging must keep estimates bit-identical"
+        );
+    }
+
+    let cache = service.cache_snapshot();
+    let metrics = service.metrics_snapshot();
+    println!("\n── what sharing bought ──");
+    println!("  actual platform calls: {service_actual} vs {baseline_actual} isolated");
+    println!(
+        "  saved {} calls ({:.1}% of charged); shared-cache hit rate {:.1}% over {} entries",
+        metrics.saved_calls,
+        100.0 * metrics.savings_ratio(),
+        100.0 * cache.hit_rate(),
+        cache.entries,
+    );
+    println!(
+        "  global quota: {} consumed of {} (reserved now: {})",
+        service.quota().consumed(),
+        service.quota().limit().expect("limited"),
+        service.quota().reserved(),
+    );
+    println!("\nservice metrics:\n{}", metrics.render_text());
+
+    assert!(cache.hits() > 0, "demo must show a nonzero shared hit rate");
+    assert!(
+        service_actual < baseline_actual,
+        "shared cache must strictly reduce actual platform traffic"
+    );
+    println!("demo OK: nonzero hit rate, strictly fewer actual calls, identical estimates");
+    service.shutdown();
+}

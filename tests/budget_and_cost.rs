@@ -20,7 +20,12 @@ fn every_algorithm_respects_every_budget() {
         (Algorithm::MaSrw { interval: day }, &avg),
         (Algorithm::SrwTermInduced, &avg),
         (Algorithm::SrwFullGraph, &avg),
-        (Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) }, &count),
+        (
+            Algorithm::MarkRecapture {
+                view: ViewKind::level(Duration::DAY),
+            },
+            &count,
+        ),
     ];
     for (algo, q) in cases {
         for budget in [200u64, 2_000, 20_000] {
@@ -58,7 +63,11 @@ fn budget_is_shared_across_pipeline_stages() {
     let est = microblog_analyzer::walker::tarw::estimate(&mut client, &q, &cfg, &mut rng);
     match est {
         Ok(e) => {
-            assert_eq!(e.cost, budget.spent(), "estimate cost must equal budget spend");
+            assert_eq!(
+                e.cost,
+                budget.spent(),
+                "estimate cost must equal budget spend"
+            );
             assert!(budget.spent() <= 10_000);
         }
         Err(EstimateError::NoSamples) => assert!(budget.spent() <= 10_000),
@@ -74,9 +83,14 @@ fn exhausted_budget_blocks_all_endpoints() {
     let budget = QueryBudget::limited(2);
     let mut client =
         MicroblogClient::with_budget(&s.platform, ApiProfile::twitter(), budget.clone());
-    client.connections(microblog_platform::UserId(0)).expect("first request fits");
+    client
+        .connections(microblog_platform::UserId(0))
+        .expect("first request fits");
     assert_eq!(budget.remaining(), Some(0));
-    assert!(matches!(client.search(kw), Err(ApiError::BudgetExhausted { .. })));
+    assert!(matches!(
+        client.search(kw),
+        Err(ApiError::BudgetExhausted { .. })
+    ));
     assert!(matches!(
         client.user_timeline(microblog_platform::UserId(0)),
         Err(ApiError::BudgetExhausted { .. })
@@ -116,7 +130,14 @@ fn wall_clock_reporting_is_consistent() {
     let q = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
     let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
     let est = analyzer
-        .estimate(&q, 20_000, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 2)
+        .estimate(
+            &q,
+            20_000,
+            Algorithm::MaTarw {
+                interval: Some(Duration::DAY),
+            },
+            2,
+        )
         .unwrap();
     let twitter_time = wall_clock(&ApiProfile::twitter(), est.cost);
     let tumblr_time = wall_clock(&ApiProfile::tumblr(), est.cost);

@@ -13,7 +13,14 @@ fn run_avg_display_name(s: &Scenario, api: ApiProfile, budget: u64, seed: u64) -
     let analyzer = MicroblogAnalyzer::new(&s.platform, api);
     let truth = analyzer.ground_truth(&q).unwrap();
     let est = analyzer
-        .estimate(&q, budget, Algorithm::MaTarw { interval: Some(Duration::DAY) }, seed)
+        .estimate(
+            &q,
+            budget,
+            Algorithm::MaTarw {
+                interval: Some(Duration::DAY),
+            },
+            seed,
+        )
         .expect("estimation");
     (est.value, truth, est.cost)
 }
@@ -22,7 +29,10 @@ fn run_avg_display_name(s: &Scenario, api: ApiProfile, budget: u64, seed: u64) -
 fn twitter_pipeline_works() {
     let s = twitter_2013(Scale::Tiny, 2001);
     let (est, truth, _) = run_avg_display_name(&s, ApiProfile::twitter(), 30_000, 1);
-    assert!((est - truth).abs() / truth < 0.25, "est {est} truth {truth}");
+    assert!(
+        (est - truth).abs() / truth < 0.25,
+        "est {est} truth {truth}"
+    );
 }
 
 #[test]
@@ -31,14 +41,20 @@ fn google_plus_pipeline_works() {
     // sparser Google+ graph for a representative reachable closure.
     let s = google_plus_2013(Scale::Small, 2001);
     let (est, truth, _) = run_avg_display_name(&s, ApiProfile::google_plus(), 60_000, 2);
-    assert!((est - truth).abs() / truth < 0.25, "est {est} truth {truth}");
+    assert!(
+        (est - truth).abs() / truth < 0.25,
+        "est {est} truth {truth}"
+    );
 }
 
 #[test]
 fn tumblr_pipeline_works() {
     let s = tumblr_2013(Scale::Small, 2001);
     let (est, truth, _) = run_avg_display_name(&s, ApiProfile::tumblr(), 60_000, 3);
-    assert!((est - truth).abs() / truth < 0.25, "est {est} truth {truth}");
+    assert!(
+        (est - truth).abs() / truth < 0.25,
+        "est {est} truth {truth}"
+    );
 }
 
 #[test]
@@ -61,7 +77,10 @@ fn google_plus_costs_more_per_sample_than_twitter() {
     let gp = cost_for(ApiProfile::google_plus());
     // Mean chatter is ~25 posts/user: one 200-post Twitter page, but
     // usually two or more 20-post Google+ pages.
-    assert!(gp > tw, "google+ ({gp}) should cost more than twitter ({tw})");
+    assert!(
+        gp > tw,
+        "google+ ({gp}) should cost more than twitter ({tw})"
+    );
 }
 
 #[test]
@@ -75,15 +94,27 @@ fn gender_predicate_needs_disclosure() {
     let g = google_plus_2013(Scale::Small, 2003);
     let kw = g.keyword("new york").unwrap();
     let total = AggregateQuery::count(kw).in_window(g.window);
-    let male = total.clone().with_predicate(ProfilePredicate::GenderIs(Gender::Male));
+    let male = total
+        .clone()
+        .with_predicate(ProfilePredicate::GenderIs(Gender::Male));
     let truth_total = total.ground_truth(&g.platform).unwrap();
     let truth_male = male.ground_truth(&g.platform).unwrap();
-    assert!(truth_male > 0.2 * truth_total, "disclosure too low: {truth_male}/{truth_total}");
+    assert!(
+        truth_male > 0.2 * truth_total,
+        "disclosure too low: {truth_male}/{truth_total}"
+    );
     assert!(truth_male < 0.8 * truth_total);
 
     let analyzer = MicroblogAnalyzer::new(&g.platform, ApiProfile::google_plus());
     let est = analyzer
-        .estimate(&male, 80_000, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 4)
+        .estimate(
+            &male,
+            80_000,
+            Algorithm::MaTarw {
+                interval: Some(Duration::DAY),
+            },
+            4,
+        )
         .expect("estimation");
     let rel = est.relative_error(truth_male);
     assert!(rel < 0.6, "rel {rel}: est {} truth {truth_male}", est.value);

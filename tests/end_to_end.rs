@@ -27,7 +27,9 @@ fn check(
 ) {
     let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
     let truth = analyzer.ground_truth(q).expect("ground truth defined");
-    let est = analyzer.estimate(q, budget, algo, seed).expect("estimation succeeds");
+    let est = analyzer
+        .estimate(q, budget, algo, seed)
+        .expect("estimation succeeds");
     let rel = est.relative_error(truth);
     assert!(
         rel < tolerance,
@@ -45,14 +47,32 @@ fn ma_tarw_avg_followers() {
     let s = world();
     let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
         .in_window(s.window);
-    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 50_000, 0.5, 1);
+    check(
+        &s,
+        &q,
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        50_000,
+        0.5,
+        1,
+    );
 }
 
 #[test]
 fn ma_tarw_count_users() {
     let s = small_world();
     let q = AggregateQuery::count(s.keyword("boston").unwrap()).in_window(s.window);
-    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 60_000, 0.3, 2);
+    check(
+        &s,
+        &q,
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        60_000,
+        0.3,
+        2,
+    );
 }
 
 #[test]
@@ -60,7 +80,16 @@ fn ma_tarw_sum_posts() {
     let s = small_world();
     let q = AggregateQuery::sum(UserMetric::KeywordPostCount, s.keyword("boston").unwrap())
         .in_window(s.window);
-    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 60_000, 0.4, 3);
+    check(
+        &s,
+        &q,
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        60_000,
+        0.4,
+        3,
+    );
 }
 
 #[test]
@@ -72,7 +101,16 @@ fn ma_tarw_post_avg_likes() {
         s.keyword("new york").unwrap(),
     )
     .in_window(s.window);
-    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 50_000, 0.6, 4);
+    check(
+        &s,
+        &q,
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        50_000,
+        0.6,
+        4,
+    );
 }
 
 #[test]
@@ -81,7 +119,16 @@ fn ma_srw_avg_display_name() {
     let q = AggregateQuery::avg(UserMetric::DisplayNameLength, s.keyword("privacy").unwrap())
         .in_window(s.window);
     // Low-variance metric: tight tolerance at modest budget (Fig. 11).
-    check(&s, &q, Algorithm::MaSrw { interval: Some(Duration::DAY) }, 20_000, 0.15, 5);
+    check(
+        &s,
+        &q,
+        Algorithm::MaSrw {
+            interval: Some(Duration::DAY),
+        },
+        20_000,
+        0.15,
+        5,
+    );
 }
 
 #[test]
@@ -99,7 +146,9 @@ fn mark_recapture_count() {
     check(
         &s,
         &q,
-        Algorithm::MarkRecapture { view: ViewKind::level(Duration::DAY) },
+        Algorithm::MarkRecapture {
+            view: ViewKind::level(Duration::DAY),
+        },
         120_000,
         1.0,
         7,
@@ -112,7 +161,16 @@ fn windowed_query_estimates_subperiod() {
     // Jul–Oct window (still includes "now", so search can seed it).
     let w = TimeWindow::new(Timestamp::at_day(180), s.window.end);
     let q = AggregateQuery::count(s.keyword("new york").unwrap()).in_window(w);
-    check(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 60_000, 0.5, 8);
+    check(
+        &s,
+        &q,
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        60_000,
+        0.5,
+        8,
+    );
 }
 
 #[test]
@@ -128,9 +186,14 @@ fn estimates_improve_with_budget_on_average() {
         let mut total = 0.0;
         let mut n = 0;
         for seed in 0..4 {
-            if let Ok(e) =
-                analyzer.estimate(&q, budget, Algorithm::MaTarw { interval: Some(Duration::DAY) }, seed)
-            {
+            if let Ok(e) = analyzer.estimate(
+                &q,
+                budget,
+                Algorithm::MaTarw {
+                    interval: Some(Duration::DAY),
+                },
+                seed,
+            ) {
                 total += e.relative_error(truth);
                 n += 1;
             }

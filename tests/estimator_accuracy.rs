@@ -42,9 +42,14 @@ fn tarw_count_is_consistent_across_seeds() {
     let mut sum = 0.0;
     let mut n = 0;
     for seed in 0..6 {
-        if let Ok(e) =
-            analyzer.estimate(&q, 30_000, Algorithm::MaTarw { interval: Some(Duration::DAY) }, seed)
-        {
+        if let Ok(e) = analyzer.estimate(
+            &q,
+            30_000,
+            Algorithm::MaTarw {
+                interval: Some(Duration::DAY),
+            },
+            seed,
+        ) {
             sum += e.value;
             n += 1;
         }
@@ -52,7 +57,10 @@ fn tarw_count_is_consistent_across_seeds() {
     assert!(n >= 4, "only {n} successful runs");
     let mean = sum / n as f64;
     let rel = (mean - truth).abs() / truth;
-    assert!(rel < 0.3, "mean of {n} estimates {mean:.1} vs truth {truth} (rel {rel:.2})");
+    assert!(
+        rel < 0.3,
+        "mean of {n} estimates {mean:.1} vs truth {truth} (rel {rel:.2})"
+    );
 }
 
 #[test]
@@ -63,8 +71,24 @@ fn tarw_beats_srw_on_average() {
     let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
         .in_window(s.window);
     let budget = 12_000;
-    let tarw = mean_error(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, budget, 8);
-    let srw = mean_error(&s, &q, Algorithm::MaSrw { interval: Some(Duration::DAY) }, budget, 8);
+    let tarw = mean_error(
+        &s,
+        &q,
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        budget,
+        8,
+    );
+    let srw = mean_error(
+        &s,
+        &q,
+        Algorithm::MaSrw {
+            interval: Some(Duration::DAY),
+        },
+        budget,
+        8,
+    );
     assert!(
         tarw < srw * 1.25,
         "MA-TARW ({tarw:.3}) should not be clearly worse than MA-SRW ({srw:.3})"
@@ -80,7 +104,15 @@ fn level_view_no_worse_than_full_graph() {
     let q = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
         .in_window(s.window);
     let budget = 15_000;
-    let level = mean_error(&s, &q, Algorithm::MaSrw { interval: Some(Duration::DAY) }, budget, 6);
+    let level = mean_error(
+        &s,
+        &q,
+        Algorithm::MaSrw {
+            interval: Some(Duration::DAY),
+        },
+        budget,
+        6,
+    );
     let full = mean_error(&s, &q, Algorithm::SrwFullGraph, budget, 6);
     // On Tiny worlds the full-graph walk can do well in absolute terms
     // (everything is close); the claim is only that the level view is not
@@ -100,14 +132,19 @@ fn low_variance_metric_converges_faster() {
     let name_q = AggregateQuery::avg(UserMetric::DisplayNameLength, kw).in_window(s.window);
     let foll_q = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(s.window);
     let budget = 8_000;
-    let algo = Algorithm::MaTarw { interval: Some(Duration::DAY) };
+    let algo = Algorithm::MaTarw {
+        interval: Some(Duration::DAY),
+    };
     let name_err = mean_error(&s, &name_q, algo, budget, 6);
     let foll_err = mean_error(&s, &foll_q, algo, budget, 6);
     assert!(
         name_err < foll_err,
         "display-name error ({name_err:.3}) should beat follower error ({foll_err:.3})"
     );
-    assert!(name_err < 0.10, "display-name estimate too loose: {name_err:.3}");
+    assert!(
+        name_err < 0.10,
+        "display-name estimate too loose: {name_err:.3}"
+    );
 }
 
 #[test]

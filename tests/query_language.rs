@@ -18,7 +18,10 @@ fn parsed_queries_match_hand_built_ones() {
     .unwrap();
     let built = AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("boston").unwrap())
         .in_window(s.window);
-    assert_eq!(parsed.ground_truth(&s.platform), built.ground_truth(&s.platform));
+    assert_eq!(
+        parsed.ground_truth(&s.platform),
+        built.ground_truth(&s.platform)
+    );
 }
 
 #[test]
@@ -33,9 +36,20 @@ fn parsed_query_runs_through_the_analyzer() {
     let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
     let truth = analyzer.ground_truth(&q).unwrap();
     let est = analyzer
-        .estimate(&q, 25_000, Algorithm::MaSrw { interval: Some(Duration::DAY) }, 1)
+        .estimate(
+            &q,
+            25_000,
+            Algorithm::MaSrw {
+                interval: Some(Duration::DAY),
+            },
+            1,
+        )
         .unwrap();
-    assert!(est.relative_error(truth) < 0.2, "est {} truth {truth}", est.value);
+    assert!(
+        est.relative_error(truth) < 0.2,
+        "est {} truth {truth}",
+        est.value
+    );
 }
 
 #[test]
@@ -93,6 +107,9 @@ fn parse_errors_do_not_panic_estimation_path() {
         "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'no-such-keyword-at-all'",
         "DROP TABLE users",
     ] {
-        assert!(parse_query(bad, s.platform.keywords()).is_err(), "{bad:?} should not parse");
+        assert!(
+            parse_query(bad, s.platform.keywords()).is_err(),
+            "{bad:?} should not parse"
+        );
     }
 }

@@ -39,8 +39,15 @@ fn std_dev(xs: &[f64]) -> f64 {
 fn tarw_std_err_tracks_cross_run_spread() {
     let s = twitter_2013(Scale::Small, 8001);
     let q = AggregateQuery::count(s.keyword("boston").unwrap()).in_window(s.window);
-    let (values, errs) =
-        spread(&s, &q, Algorithm::MaTarw { interval: Some(Duration::DAY) }, 30_000, 8);
+    let (values, errs) = spread(
+        &s,
+        &q,
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        30_000,
+        8,
+    );
     assert!(values.len() >= 6, "too few successful runs");
     assert!(!errs.is_empty(), "TARW must report a standard error");
     let observed = std_dev(&values);
@@ -59,11 +66,21 @@ fn tarw_std_err_tracks_cross_run_spread() {
 #[test]
 fn srw_batch_std_err_is_reported_with_enough_samples() {
     let s = twitter_2013(Scale::Tiny, 8002);
-    let q = AggregateQuery::avg(UserMetric::DisplayNameLength, s.keyword("new york").unwrap())
-        .in_window(s.window);
+    let q = AggregateQuery::avg(
+        UserMetric::DisplayNameLength,
+        s.keyword("new york").unwrap(),
+    )
+    .in_window(s.window);
     let analyzer = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
     let est = analyzer
-        .estimate(&q, 30_000, Algorithm::MaSrw { interval: Some(Duration::DAY) }, 3)
+        .estimate(
+            &q,
+            30_000,
+            Algorithm::MaSrw {
+                interval: Some(Duration::DAY),
+            },
+            3,
+        )
         .unwrap();
     let se = est.std_err.expect("enough samples for batch means");
     // The truth should be within a few reported standard errors.

@@ -1,0 +1,273 @@
+//! Distributions: [`Standard`] plus the uniform-range machinery behind
+//! `Rng::gen_range`, reproducing rand 0.8's draws bit-for-bit.
+
+use crate::{Rng, RngCore};
+
+/// Types which can produce values of `T` given randomness.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" full-range / unit-interval distribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_via_u32 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u32() as $ty
+            }
+        }
+    )*}
+}
+standard_via_u32!(u8, u16, u32, i8, i16, i32);
+
+macro_rules! standard_via_u64 {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*}
+}
+standard_via_u64!(u64, i64, usize, isize, u128, i128);
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8 compares the sign bit of a u32 draw.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53-bit precision in [0, 1): (u64 >> 11) · 2⁻⁵³.
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        // 24-bit precision in [0, 1): (u32 >> 8) · 2⁻²⁴.
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling over ranges, matching rand 0.8's
+    //! `UniformInt::sample_single_inclusive` / `UniformFloat::sample_single`.
+
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Marker: `T` supports uniform range sampling.
+    pub trait SampleUniform: Sized {
+        /// Uniform draw from `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range types accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one value from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "gen_range: empty range");
+            T::sample_inclusive(start, end, rng)
+        }
+    }
+
+    /// Widening multiply returning (high, low) halves.
+    trait WideningMul: Copy {
+        fn wmul(self, other: Self) -> (Self, Self);
+    }
+
+    impl WideningMul for u32 {
+        fn wmul(self, other: u32) -> (u32, u32) {
+            let wide = self as u64 * other as u64;
+            ((wide >> 32) as u32, wide as u32)
+        }
+    }
+
+    impl WideningMul for u64 {
+        fn wmul(self, other: u64) -> (u64, u64) {
+            let wide = self as u128 * other as u128;
+            ((wide >> 64) as u64, wide as u64)
+        }
+    }
+
+    macro_rules! uniform_int_impl {
+        ($ty:ty, $unsigned:ty, $u_large:ty, $gen:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_half_open<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    Self::sample_inclusive(low, high - 1, rng)
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    let range = (high as $unsigned)
+                        .wrapping_sub(low as $unsigned)
+                        .wrapping_add(1) as $u_large;
+                    if range == 0 {
+                        // Full integer range: any draw is uniform.
+                        return rng.$gen() as $ty;
+                    }
+                    // rand 0.8: reject the final partial multiple of
+                    // `range` via the low half of a widening multiply.
+                    let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                    loop {
+                        let v = rng.$gen() as $u_large;
+                        let (hi, lo) = v.wmul(range);
+                        if lo <= zone {
+                            return low.wrapping_add(hi as $ty);
+                        }
+                    }
+                }
+            }
+        };
+    }
+
+    uniform_int_impl!(u8, u8, u32, next_u32);
+    uniform_int_impl!(u16, u16, u32, next_u32);
+    uniform_int_impl!(u32, u32, u32, next_u32);
+    uniform_int_impl!(i8, u8, u32, next_u32);
+    uniform_int_impl!(i16, u16, u32, next_u32);
+    uniform_int_impl!(i32, u32, u32, next_u32);
+    uniform_int_impl!(u64, u64, u64, next_u64);
+    uniform_int_impl!(i64, u64, u64, next_u64);
+    uniform_int_impl!(usize, usize, u64, next_u64);
+    uniform_int_impl!(isize, usize, u64, next_u64);
+
+    macro_rules! uniform_float_impl {
+        ($ty:ty, $uty:ty, $bits_to_discard:expr, $one_bits:expr, $gen:ident) => {
+            impl SampleUniform for $ty {
+                fn sample_half_open<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    let scale = high - low;
+                    loop {
+                        // Mantissa bits → a float in [1, 2), then shift to
+                        // [0, 1) — rand 0.8's `sample_single`.
+                        let mantissa = rng.$gen() >> $bits_to_discard;
+                        let value1_2 = <$ty>::from_bits($one_bits | mantissa);
+                        let res = (value1_2 - 1.0) * scale + low;
+                        if res < high {
+                            return res;
+                        }
+                        // `res == high` only under extreme rounding; redraw.
+                    }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(low: $ty, high: $ty, rng: &mut R) -> $ty {
+                    // Treat as half-open: measure-zero difference.
+                    if low == high {
+                        return low;
+                    }
+                    Self::sample_half_open(low, high, rng)
+                }
+            }
+        };
+    }
+
+    // f64: 12 bits discarded (52-bit mantissa), exponent bits of 1.0.
+    uniform_float_impl!(f64, u64, 12, 1023u64 << 52, next_u64);
+    // f32: 9 bits discarded (23-bit mantissa), exponent bits of 1.0.
+    uniform_float_impl!(f32, u32, 9, 127u32 << 23, next_u32);
+
+    /// Uniform draw of an index below `ubound`, matching rand 0.8's
+    /// `gen_index` (32-bit draws when the bound fits in a `u32`).
+    pub fn gen_index<R: Rng + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) + 1 {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::uniform::SampleUniform;
+    use super::*;
+    use crate::SeedableRng;
+
+    /// Tiny deterministic generator for distribution tests.
+    struct Lcg(u64);
+    impl SeedableRng for Lcg {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Self {
+            Lcg(u64::from_le_bytes(seed) | 1)
+        }
+    }
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_inside() {
+        let mut rng = Lcg::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let x = u32::sample_half_open(5, 15, &mut rng);
+            assert!((5..15).contains(&x));
+            seen[(x - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 10 values hit in 1000 draws");
+    }
+
+    #[test]
+    fn inclusive_hits_endpoint() {
+        let mut rng = Lcg::seed_from_u64(2);
+        let mut hit_hi = false;
+        for _ in 0..200 {
+            let x = i64::sample_inclusive(-3, 3, &mut rng);
+            assert!((-3..=3).contains(&x));
+            hit_hi |= x == 3;
+        }
+        assert!(hit_hi);
+    }
+
+    #[test]
+    fn float_range_excludes_high() {
+        let mut rng = Lcg::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = f64::sample_half_open(0.25, 0.75, &mut rng);
+            assert!((0.25..0.75).contains(&x));
+        }
+    }
+
+    #[test]
+    fn standard_bool_balanced() {
+        let mut rng = Lcg::seed_from_u64(4);
+        let trues = (0..2000)
+            .filter(|_| {
+                let b: bool = Standard.sample(&mut rng);
+                b
+            })
+            .count();
+        assert!((600..1400).contains(&trues), "{trues} not plausibly fair");
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the exact slice of `rand` it uses: [`RngCore`], [`SeedableRng`],
+//! [`Rng`] (`gen`, `gen_range`, `gen_bool`, `sample`), the [`Standard`]
+//! distribution, uniform ranges and [`seq::SliceRandom`].
+//!
+//! The value-generation algorithms reproduce rand 0.8 bit-for-bit:
+//! `seed_from_u64` uses the PCG32 seed filler, integer ranges use widening
+//! multiply with rejection (32-bit draws for ≤32-bit types, 64-bit
+//! otherwise), floats use the 52/53-bit mantissa constructions, and
+//! `gen_bool` compares a 64-bit draw against `p·2⁶⁴`. Experiments seeded
+//! under real `rand` therefore take identical walks here.
+
+#![forbid(unsafe_code)]
+
+pub mod distributions;
+pub mod seq;
+
+pub use distributions::{Distribution, Standard};
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u32().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator seedable from a fixed-size byte seed.
+pub trait SeedableRng: Sized {
+    /// The seed type (e.g. `[u8; 32]`).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 filler used by
+    /// rand_core 0.6, then seeds the generator — bit-identical streams.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// A random value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// A uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        // rand 0.8 Bernoulli: compare a 64-bit draw against p·2⁶⁴.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        self.gen::<u64>() < (p * SCALE) as u64
+    }
+
+    /// A sample from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    /// Fills an integer slice/array with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed-sequence RngCore for algorithm tests.
+    struct Script(Vec<u64>, usize);
+    impl RngCore for Script {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let v = self.0[self.1 % self.0.len()];
+            self.1 += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Script(vec![u64::MAX, 0], 0);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        // p = 1.0 consumes no draw; p = 0.0 consumed the MAX draw.
+        assert!(r.gen_bool(0.5), "0 < p·2⁶⁴ for the zero draw");
+    }
+
+    #[test]
+    fn standard_f64_is_unit_interval() {
+        let mut r = Script(vec![0, u64::MAX, 1 << 11], 0);
+        let a: f64 = r.gen();
+        let b: f64 = r.gen();
+        let c: f64 = r.gen();
+        assert_eq!(a, 0.0);
+        assert!(b < 1.0 && b > 0.999_999);
+        assert!((c - 1.0 / 9_007_199_254_740_992.0).abs() < 1e-30);
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Capture([u8; 32]);
+        impl SeedableRng for Capture {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Capture(seed)
+            }
+        }
+        let a = Capture::seed_from_u64(7).0;
+        let b = Capture::seed_from_u64(7).0;
+        let c = Capture::seed_from_u64(8).0;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, [0u8; 32], "filler expands, not copies");
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = Script(vec![0, u64::MAX / 2, u64::MAX - 1, 12345, 999_999], 0);
+        for _ in 0..40 {
+            let x: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = r.gen_range(0..3);
+            assert!(y < 3);
+            let f: f64 = r.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! The serialization data model: a JSON-shaped value tree.
+
+/// A dynamically-typed serialized value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (JSON numbers without fraction that fit `i64`).
+    I64(i64),
+    /// Unsigned integer beyond `i64::MAX`, or any non-negative integer.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object, insertion-ordered.
+    Map(Vec<(String, Value)>),
+}
+
+/// Shared `null` for missing-field lookups.
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// A short name of the value's kind (for error messages).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) => "integer",
+            Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// As a signed integer, when lossless.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// As an unsigned integer, when lossless.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) => u64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// As a float (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(x) => Some(x),
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+
+    /// As a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// As an object.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `name` in an object's entries; missing fields read as `null`
+/// (so `Option` fields deserialize to `None`, like upstream serde).
+pub fn field<'a>(entries: &'a [(String, Value)], name: &str) -> &'a Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::I64(-2).as_i64(), Some(-2));
+        assert_eq!(Value::I64(-2).as_u64(), None);
+        assert_eq!(Value::U64(7).as_i64(), Some(7));
+        assert_eq!(Value::U64(u64::MAX).as_i64(), None);
+        assert_eq!(Value::I64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert!(Value::Null.as_str().is_none());
+    }
+
+    #[test]
+    fn field_lookup_defaults_to_null() {
+        let entries = vec![("a".to_string(), Value::Bool(true))];
+        assert_eq!(field(&entries, "a"), &Value::Bool(true));
+        assert_eq!(field(&entries, "b"), &Value::Null);
+    }
+}

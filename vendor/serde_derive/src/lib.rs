@@ -1,0 +1,438 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored Value-model `serde` by hand-parsing the item token stream
+//! (the environment has no `syn`/`quote`). Supported shapes — everything
+//! the workspace derives on:
+//!
+//! * structs with named fields → JSON objects,
+//! * newtype structs → transparent,
+//! * tuple structs (≥ 2 fields) → arrays,
+//! * unit structs → `null`,
+//! * enums: unit variants → strings; tuple/struct variants →
+//!   externally-tagged `{ "Variant": payload }`.
+//!
+//! Generic parameters are not supported (none of the repo's serialized
+//! types are generic).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => struct_ser(name, fields),
+        Item::Enum { name, variants } => enum_ser(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+            fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item {
+        Item::Struct { name, fields } => struct_de(name, fields),
+        Item::Enum { name, variants } => enum_de(name, variants),
+    };
+    let name = item_name(&item);
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+            fn from_value(__v: &::serde::value::Value) \
+                -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+        }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+fn item_name(item: &Item) -> &str {
+    match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    }
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut tokens);
+    let keyword = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stand-in: generic type `{name}` not supported");
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: unexpected enum body {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive stand-in: cannot derive for `{other}`"),
+    }
+}
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips leading attributes (`#[...]`, doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &mut Tokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional pub(crate)/pub(super) scope group.
+                if matches!(tokens.peek(), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field-list token stream on top-level commas (tracking `<...>`
+/// depth so generic arguments don't split).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|field_tokens| {
+            let mut tokens = field_tokens.into_iter().peekable();
+            skip_attrs_and_vis_vec(&mut tokens);
+            match tokens.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|variant_tokens| {
+            let mut tokens = variant_tokens.into_iter().peekable();
+            skip_attrs_and_vis_vec(&mut tokens);
+            let name = match tokens.next() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive: expected variant name, got {other:?}"),
+            };
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                None => Fields::Unit,
+                other => panic!("serde_derive: unexpected variant body {other:?}"),
+            };
+            (name, fields)
+        })
+        .collect()
+}
+
+type VecTokens = std::iter::Peekable<std::vec::IntoIter<TokenTree>>;
+
+fn skip_attrs_and_vis_vec(tokens: &mut VecTokens) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if matches!(tokens.peek(), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    tokens.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+// ------------------------------------------------------------- generation
+
+fn struct_ser(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::value::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::value::Value::Map(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn struct_de(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                    format!(\"{name}: expected array, got {{}}\", __v.kind())))?;\n\
+                 if __seq.len() != {n} {{\n\
+                    return ::std::result::Result::Err(::serde::Error::custom(\
+                        format!(\"{name}: expected {n} elements, got {{}}\", __seq.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                            ::serde::value::field(__map, \"{f}\"))\
+                            .map_err(|e| ::serde::Error::custom(\
+                                format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                    format!(\"{name}: expected object, got {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+fn enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => format!(
+                "{name}::{v} => ::serde::value::Value::Str(::std::string::String::from(\"{v}\"))"
+            ),
+            Fields::Tuple(1) => format!(
+                "{name}::{v}(__f0) => ::serde::value::Value::Map(vec![\
+                    (::std::string::String::from(\"{v}\"), \
+                     ::serde::Serialize::to_value(__f0))])"
+            ),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                    .collect();
+                format!(
+                    "{name}::{v}({binds}) => ::serde::value::Value::Map(vec![\
+                        (::std::string::String::from(\"{v}\"), \
+                         ::serde::value::Value::Seq(vec![{items}]))])",
+                    binds = binds.join(", "),
+                    items = items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let binds = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from(\"{f}\"), \
+                             ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::value::Value::Map(vec![\
+                        (::std::string::String::from(\"{v}\"), \
+                         ::serde::value::Value::Map(vec![{entries}]))])",
+                    entries = entries.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!("match self {{\n{}\n}}", arms.join(",\n"))
+}
+
+fn enum_de(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .map(|(v, fields)| match fields {
+            Fields::Tuple(1) => format!(
+                "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                    ::serde::Deserialize::from_value(__payload)?))"
+            ),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                        let __seq = __payload.as_seq().ok_or_else(|| \
+                            ::serde::Error::custom(\"{name}::{v}: expected array\"))?;\n\
+                        if __seq.len() != {n} {{\n\
+                            return ::std::result::Result::Err(::serde::Error::custom(\
+                                \"{name}::{v}: wrong arity\"));\n\
+                        }}\n\
+                        ::std::result::Result::Ok({name}::{v}({items}))\n\
+                    }}",
+                    items = items.join(", ")
+                )
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::Deserialize::from_value(\
+                                ::serde::value::field(__fields, \"{f}\"))?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{v}\" => {{\n\
+                        let __fields = __payload.as_map().ok_or_else(|| \
+                            ::serde::Error::custom(\"{name}::{v}: expected object\"))?;\n\
+                        ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                    }}",
+                    inits = inits.join(", ")
+                )
+            }
+            Fields::Unit => unreachable!("filtered above"),
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+            ::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+                {unit_arms},\n\
+                __other => ::std::result::Result::Err(::serde::Error::custom(\
+                    format!(\"{name}: unknown variant {{__other}}\"))),\n\
+            }},\n\
+            ::serde::value::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                let (__tag, __payload) = &__entries[0];\n\
+                match __tag.as_str() {{\n\
+                    {tagged_arms},\n\
+                    __other => ::std::result::Result::Err(::serde::Error::custom(\
+                        format!(\"{name}: unknown variant {{__other}}\"))),\n\
+                }}\n\
+            }}\n\
+            __other => ::std::result::Result::Err(::serde::Error::custom(\
+                format!(\"{name}: expected variant, got {{}}\", __other.kind()))),\n\
+        }}",
+        unit_arms = if unit_arms.is_empty() {
+            "__never if false => unreachable!()".to_string()
+        } else {
+            unit_arms.join(",\n")
+        },
+        tagged_arms = if tagged_arms.is_empty() {
+            "__never if false => unreachable!()".to_string()
+        } else {
+            tagged_arms.join(",\n")
+        },
+    )
+}
