@@ -15,9 +15,11 @@ use crate::cache::{CacheLayer, CacheStats, Cached, CostReport};
 use crate::error::ApiError;
 use crate::meter::CostMeter;
 use crate::profile::ApiProfile;
+use crate::resilient::{ResilienceStats, ResilientClient};
 use microblog_platform::metric::MetricInputs;
 use microblog_platform::{
-    KeywordId, Platform, Post, PostId, TimeWindow, Timestamp, UserId, UserProfile,
+    ApiBackend, ApiEndpoint, Fault, KeywordId, Platform, Post, PostId, TimeWindow, Timestamp,
+    UserId, UserProfile,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -74,12 +76,15 @@ impl UserView {
 }
 
 /// The rate-limited client.
+///
+/// Fetches go through an [`ApiBackend`] — the pristine [`Platform`] or a
+/// fault-injecting wrapper — so the same client code runs against both.
 #[derive(Clone, Debug)]
 pub struct MicroblogClient<'a> {
-    platform: &'a Platform,
+    backend: &'a dyn ApiBackend,
     profile: ApiProfile,
-    meter: CostMeter,
-    budget: QueryBudget,
+    pub(crate) meter: CostMeter,
+    pub(crate) budget: QueryBudget,
 }
 
 impl<'a> MicroblogClient<'a> {
@@ -90,8 +95,18 @@ impl<'a> MicroblogClient<'a> {
 
     /// A client charging the given (possibly shared) budget.
     pub fn with_budget(platform: &'a Platform, profile: ApiProfile, budget: QueryBudget) -> Self {
+        Self::from_backend(platform, profile, budget)
+    }
+
+    /// A client over an arbitrary backend (e.g. a
+    /// [`microblog_platform::FaultyPlatform`]).
+    pub fn from_backend(
+        backend: &'a dyn ApiBackend,
+        profile: ApiProfile,
+        budget: QueryBudget,
+    ) -> Self {
         MicroblogClient {
-            platform,
+            backend,
             profile,
             meter: CostMeter::new(),
             budget,
@@ -115,14 +130,38 @@ impl<'a> MicroblogClient<'a> {
 
     /// The platform clock (public knowledge: "today").
     pub fn now(&self) -> Timestamp {
-        self.platform.now()
+        self.backend.store().now()
+    }
+
+    /// Maps an injected backend fault to its API-level error, pricing the
+    /// calls a truncated fetch burned before failing.
+    fn fault_error(&self, endpoint: ApiEndpoint, fault: Fault, page: usize) -> ApiError {
+        match fault {
+            Fault::Transient => ApiError::Transient { endpoint },
+            Fault::RateLimited { retry_after } => ApiError::RateLimited {
+                endpoint,
+                retry_after,
+            },
+            Fault::Timeout { latency } => ApiError::Timeout { endpoint, latency },
+            Fault::Truncated { served } => ApiError::TruncatedPage {
+                endpoint,
+                served_calls: ApiProfile::calls_for(served, page),
+            },
+        }
     }
 
     /// SEARCH: posts mentioning `kw` within the trailing search window,
     /// most recent first, truncated at the platform's search cap.
+    ///
+    /// A faulted fetch fails *before* charging the budget or meter: spend
+    /// that bought no data is waste, accounted by the resilience layer.
     pub fn search(&mut self, kw: KeywordId) -> Result<Vec<SearchHit>, ApiError> {
-        let window = TimeWindow::trailing(self.platform.now(), self.profile.search_window);
-        let mut ids = self.platform.search_posts(kw, window);
+        let store = self.backend.store();
+        let window = TimeWindow::trailing(store.now(), self.profile.search_window);
+        let mut ids = self
+            .backend
+            .fetch_search(kw, window)
+            .map_err(|f| self.fault_error(ApiEndpoint::Search, f, self.profile.search_page))?;
         if let Some(cap) = self.profile.search_cap {
             ids.truncate(cap);
         }
@@ -132,7 +171,7 @@ impl<'a> MicroblogClient<'a> {
         Ok(ids
             .into_iter()
             .map(|pid| {
-                let p = self.platform.post(pid);
+                let p = store.post(pid);
                 SearchHit {
                     post_id: pid,
                     author: p.author,
@@ -145,7 +184,11 @@ impl<'a> MicroblogClient<'a> {
     /// USER TIMELINE: profile plus visible posts (most recent first, capped).
     pub fn user_timeline(&mut self, u: UserId) -> Result<UserView, ApiError> {
         self.check_user(u)?;
-        let all = self.platform.timeline(u);
+        let all = self
+            .backend
+            .fetch_timeline(u)
+            .map_err(|f| self.fault_error(ApiEndpoint::Timeline, f, self.profile.timeline_page))?;
+        let store = self.backend.store();
         let visible = match self.profile.timeline_cap {
             Some(cap) => &all[..all.len().min(cap)],
             None => all,
@@ -155,13 +198,10 @@ impl<'a> MicroblogClient<'a> {
         self.meter.timeline += calls;
         Ok(UserView {
             user: u,
-            profile: self.platform.profile(u).clone(),
-            follower_count: self.platform.followers(u).len(),
-            followee_count: self.platform.followees(u).len(),
-            posts: visible
-                .iter()
-                .map(|&pid| self.platform.post(pid).clone())
-                .collect(),
+            profile: store.profile(u).clone(),
+            follower_count: store.followers(u).len(),
+            followee_count: store.followees(u).len(),
+            posts: visible.iter().map(|&pid| store.post(pid).clone()).collect(),
             truncated: visible.len() < all.len(),
         })
     }
@@ -171,8 +211,9 @@ impl<'a> MicroblogClient<'a> {
     /// paginated fetch sequences — §3.2).
     pub fn connections(&mut self, u: UserId) -> Result<Vec<UserId>, ApiError> {
         self.check_user(u)?;
-        let followers = self.platform.followers(u);
-        let followees = self.platform.followees(u);
+        let (followers, followees) = self.backend.fetch_connections(u).map_err(|f| {
+            self.fault_error(ApiEndpoint::Connections, f, self.profile.connections_page)
+        })?;
         let calls = if self.profile.asymmetric {
             ApiProfile::calls_for(followers.len(), self.profile.connections_page)
                 + ApiProfile::calls_for(followees.len(), self.profile.connections_page)
@@ -218,7 +259,7 @@ impl<'a> MicroblogClient<'a> {
     }
 
     fn check_user(&self, u: UserId) -> Result<(), ApiError> {
-        if u.index() < self.platform.user_count() {
+        if u.index() < self.backend.store().user_count() {
             Ok(())
         } else {
             Err(ApiError::UnknownUser(u))
@@ -231,9 +272,15 @@ impl<'a> MicroblogClient<'a> {
 /// a shared cross-query [`CacheLayer`]; shared hits skip the platform
 /// fetch but still charge the budget and meter what the fetch would have
 /// cost, so runs stay reproducible (see [`crate::cache`] for why).
+///
+/// The stack under the memo is a [`ResilientClient`], so misses are
+/// retried per the client's [`crate::resilient::RetryPolicy`] before a
+/// failure surfaces here. **Only successful responses are memoized or
+/// published to the shared layer** — a failed fetch can never poison a
+/// cache.
 #[derive(Clone)]
 pub struct CachingClient<'a> {
-    inner: MicroblogClient<'a>,
+    inner: ResilientClient<'a>,
     timelines: HashMap<UserId, Arc<UserView>>,
     connections: HashMap<UserId, Arc<Vec<UserId>>>,
     searches: HashMap<KeywordId, Arc<Vec<SearchHit>>>,
@@ -252,34 +299,44 @@ impl std::fmt::Debug for CachingClient<'_> {
 }
 
 impl<'a> CachingClient<'a> {
-    /// Wraps a client with no shared layer.
+    /// Wraps a client with no shared layer and no retries (a retryable
+    /// failure on the first attempt surfaces immediately).
     pub fn new(inner: MicroblogClient<'a>) -> Self {
-        CachingClient {
-            inner,
-            timelines: HashMap::new(),
-            connections: HashMap::new(),
-            searches: HashMap::new(),
-            shared: None,
-            stats: CacheStats::default(),
-        }
+        Self::resilient(ResilientClient::passthrough(inner), None)
     }
 
     /// Wraps a client over a shared cross-query cache. The layer must be
     /// dedicated to this client's platform and API profile.
     pub fn with_shared(inner: MicroblogClient<'a>, shared: Arc<dyn CacheLayer>) -> Self {
-        let mut client = CachingClient::new(inner);
-        client.shared = Some(shared);
-        client
+        Self::resilient(ResilientClient::passthrough(inner), Some(shared))
+    }
+
+    /// Wraps a retrying client, optionally over a shared cache — the full
+    /// production stack: memo → shared cache → retries → API.
+    pub fn resilient(inner: ResilientClient<'a>, shared: Option<Arc<dyn CacheLayer>>) -> Self {
+        CachingClient {
+            inner,
+            timelines: HashMap::new(),
+            connections: HashMap::new(),
+            searches: HashMap::new(),
+            shared,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The wrapped client (for meters/budget/profile access).
     pub fn client(&self) -> &MicroblogClient<'a> {
-        &self.inner
+        self.inner.client()
+    }
+
+    /// Retry/backoff/breaker accounting of the resilient layer.
+    pub fn resilience(&self) -> &ResilienceStats {
+        self.inner.stats()
     }
 
     /// Total API calls charged so far.
     pub fn cost(&self) -> u64 {
-        self.inner.meter().total()
+        self.inner.client().meter().total()
     }
 
     /// Cache hit/miss accounting for this client.
@@ -290,7 +347,7 @@ impl<'a> CachingClient<'a> {
     /// Combined meter + cache report for this client.
     pub fn report(&self) -> CostReport {
         CostReport {
-            meter: *self.inner.meter(),
+            meter: *self.inner.client().meter(),
             cache: self.stats,
         }
     }
@@ -307,16 +364,16 @@ impl<'a> CachingClient<'a> {
             return Ok(Arc::clone(hit));
         }
         if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_search(kw)) {
-            self.inner.budget.charge(entry.calls)?;
-            self.inner.meter.search += entry.calls;
+            self.inner
+                .absorb_shared_hit(ApiEndpoint::Search, entry.calls)?;
             self.stats.shared_hits += 1;
             self.stats.saved_calls += entry.calls;
             self.searches.insert(kw, Arc::clone(&entry.data));
             return Ok(entry.data);
         }
-        let before = self.inner.meter.search;
+        let before = self.inner.client().meter().search;
         let fresh = Arc::new(self.inner.search(kw)?);
-        let calls = self.inner.meter.search - before;
+        let calls = self.inner.client().meter().search - before;
         self.stats.misses += 1;
         self.stats.actual_calls += calls;
         if let Some(layer) = &self.shared {
@@ -339,16 +396,16 @@ impl<'a> CachingClient<'a> {
             return Ok(Arc::clone(hit));
         }
         if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_timeline(u)) {
-            self.inner.budget.charge(entry.calls)?;
-            self.inner.meter.timeline += entry.calls;
+            self.inner
+                .absorb_shared_hit(ApiEndpoint::Timeline, entry.calls)?;
             self.stats.shared_hits += 1;
             self.stats.saved_calls += entry.calls;
             self.timelines.insert(u, Arc::clone(&entry.data));
             return Ok(entry.data);
         }
-        let before = self.inner.meter.timeline;
+        let before = self.inner.client().meter().timeline;
         let fresh = Arc::new(self.inner.user_timeline(u)?);
-        let calls = self.inner.meter.timeline - before;
+        let calls = self.inner.client().meter().timeline - before;
         self.stats.misses += 1;
         self.stats.actual_calls += calls;
         if let Some(layer) = &self.shared {
@@ -375,16 +432,16 @@ impl<'a> CachingClient<'a> {
             .as_ref()
             .and_then(|layer| layer.get_connections(u))
         {
-            self.inner.budget.charge(entry.calls)?;
-            self.inner.meter.connections += entry.calls;
+            self.inner
+                .absorb_shared_hit(ApiEndpoint::Connections, entry.calls)?;
             self.stats.shared_hits += 1;
             self.stats.saved_calls += entry.calls;
             self.connections.insert(u, Arc::clone(&entry.data));
             return Ok(entry.data);
         }
-        let before = self.inner.meter.connections;
+        let before = self.inner.client().meter().connections;
         let fresh = Arc::new(self.inner.connections(u)?);
-        let calls = self.inner.meter.connections - before;
+        let calls = self.inner.client().meter().connections - before;
         self.stats.misses += 1;
         self.stats.actual_calls += calls;
         if let Some(layer) = &self.shared {

@@ -1,6 +1,14 @@
-//! API error type.
+//! API error type: the retryable-vs-fatal failure taxonomy.
+//!
+//! The original two variants ([`ApiError::BudgetExhausted`],
+//! [`ApiError::UnknownUser`]) model the happy path of §2 of the paper.
+//! Real platform APIs also fail *transiently* — HTTP 5xx, 429 rate-limit
+//! rejections, hung calls, truncated pagination — and the resilience layer
+//! ([`crate::resilient`]) needs to know which failures are worth retrying
+//! and which must end the walk. [`ApiError::is_retryable`] and
+//! [`ApiError::ends_walk`] encode that split.
 
-use microblog_platform::UserId;
+use microblog_platform::{ApiEndpoint, Duration, UserId};
 
 /// Failures surfaced by the data-access layer.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -14,6 +22,114 @@ pub enum ApiError {
     },
     /// The requested user does not exist on the platform.
     UnknownUser(UserId),
+    /// A transient server error (HTTP 5xx). Retryable.
+    Transient {
+        /// The endpoint that failed.
+        endpoint: ApiEndpoint,
+    },
+    /// A rate-limit rejection (HTTP 429). Retryable after the window.
+    RateLimited {
+        /// The endpoint that rejected the call.
+        endpoint: ApiEndpoint,
+        /// The server's requested cool-off.
+        retry_after: Duration,
+    },
+    /// The call hung past its latency budget and was abandoned. Retryable.
+    Timeout {
+        /// The endpoint that hung.
+        endpoint: ApiEndpoint,
+        /// How long it hung before being cut.
+        latency: Duration,
+    },
+    /// Pagination was cut short mid-fetch; the partial data is unusable
+    /// (inconsistent cursor) and the fetch must restart. Retryable.
+    TruncatedPage {
+        /// The endpoint that truncated.
+        endpoint: ApiEndpoint,
+        /// Calls burned serving the unusable prefix.
+        served_calls: u64,
+    },
+    /// The per-call deadline elapsed across retries. Fatal: ends the walk.
+    DeadlineExceeded {
+        /// The endpoint being retried when time ran out.
+        endpoint: ApiEndpoint,
+        /// Total (simulated) time waited on this logical call.
+        waited: Duration,
+    },
+    /// The endpoint's circuit breaker is open; the call failed fast
+    /// without touching the platform. Fatal: ends the walk.
+    CircuitOpen {
+        /// The endpoint whose breaker is open.
+        endpoint: ApiEndpoint,
+    },
+    /// The retry policy gave up on a retryable failure. Fatal: ends the
+    /// walk with whatever samples were collected.
+    RetriesExhausted {
+        /// The endpoint that kept failing.
+        endpoint: ApiEndpoint,
+        /// Attempts issued before giving up.
+        attempts: u32,
+        /// The last underlying failure.
+        last: Box<ApiError>,
+    },
+}
+
+impl ApiError {
+    /// Whether a retry could plausibly succeed. Retryable errors never
+    /// escape a [`crate::resilient::ResilientClient`]: they are either
+    /// absorbed by a successful retry or wrapped in
+    /// [`ApiError::RetriesExhausted`].
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ApiError::Transient { .. }
+                | ApiError::RateLimited { .. }
+                | ApiError::Timeout { .. }
+                | ApiError::TruncatedPage { .. }
+        )
+    }
+
+    /// Whether a walker should treat this error as the end of its walk —
+    /// finalize with the samples collected so far — rather than a hard
+    /// failure to propagate. Budget exhaustion has always worked this
+    /// way; the resilience give-ups extend the same contract.
+    pub fn ends_walk(&self) -> bool {
+        matches!(
+            self,
+            ApiError::BudgetExhausted { .. }
+                | ApiError::DeadlineExceeded { .. }
+                | ApiError::CircuitOpen { .. }
+                | ApiError::RetriesExhausted { .. }
+        )
+    }
+
+    /// API calls a *failed* attempt with this error burned against the
+    /// real platform — spend that bought no data. Logical budgets never
+    /// see these (estimates must not depend on fault luck); the waste
+    /// meter in [`crate::resilient::ResilienceStats`] does.
+    pub fn wasted_calls(&self) -> u64 {
+        match self {
+            ApiError::Transient { .. } | ApiError::Timeout { .. } => 1,
+            // A 429 is rejected before serving anything.
+            ApiError::RateLimited { .. } => 0,
+            ApiError::TruncatedPage { served_calls, .. } => *served_calls,
+            _ => 0,
+        }
+    }
+
+    /// The endpoint involved, when the error names one.
+    pub fn endpoint(&self) -> Option<ApiEndpoint> {
+        match self {
+            ApiError::Transient { endpoint }
+            | ApiError::RateLimited { endpoint, .. }
+            | ApiError::Timeout { endpoint, .. }
+            | ApiError::TruncatedPage { endpoint, .. }
+            | ApiError::DeadlineExceeded { endpoint, .. }
+            | ApiError::CircuitOpen { endpoint }
+            | ApiError::RetriesExhausted { endpoint, .. } => Some(*endpoint),
+            ApiError::BudgetExhausted { .. } | ApiError::UnknownUser(_) => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ApiError {
@@ -23,6 +139,38 @@ impl std::fmt::Display for ApiError {
                 write!(f, "query budget exhausted ({spent}/{limit} API calls)")
             }
             ApiError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            ApiError::Transient { endpoint } => {
+                write!(f, "{endpoint}: transient server error")
+            }
+            ApiError::RateLimited {
+                endpoint,
+                retry_after,
+            } => write!(
+                f,
+                "{endpoint}: rate limited (retry after {}s)",
+                retry_after.0
+            ),
+            ApiError::Timeout { endpoint, latency } => {
+                write!(f, "{endpoint}: timed out after {}s", latency.0)
+            }
+            ApiError::TruncatedPage {
+                endpoint,
+                served_calls,
+            } => write!(
+                f,
+                "{endpoint}: truncated page ({served_calls} calls wasted)"
+            ),
+            ApiError::DeadlineExceeded { endpoint, waited } => {
+                write!(f, "{endpoint}: deadline exceeded after {}s", waited.0)
+            }
+            ApiError::CircuitOpen { endpoint } => {
+                write!(f, "{endpoint}: circuit breaker open, failing fast")
+            }
+            ApiError::RetriesExhausted {
+                endpoint,
+                attempts,
+                last,
+            } => write!(f, "{endpoint}: gave up after {attempts} attempts ({last})"),
         }
     }
 }
@@ -43,6 +191,89 @@ mod tests {
         assert_eq!(
             ApiError::UnknownUser(UserId(3)).to_string(),
             "unknown user u3"
+        );
+        assert_eq!(
+            ApiError::RetriesExhausted {
+                endpoint: ApiEndpoint::Search,
+                attempts: 4,
+                last: Box::new(ApiError::Transient {
+                    endpoint: ApiEndpoint::Search
+                }),
+            }
+            .to_string(),
+            "search: gave up after 4 attempts (search: transient server error)"
+        );
+    }
+
+    #[test]
+    fn taxonomy_splits_retryable_from_fatal() {
+        let ep = ApiEndpoint::Timeline;
+        let retryable = [
+            ApiError::Transient { endpoint: ep },
+            ApiError::RateLimited {
+                endpoint: ep,
+                retry_after: Duration(60),
+            },
+            ApiError::Timeout {
+                endpoint: ep,
+                latency: Duration(5),
+            },
+            ApiError::TruncatedPage {
+                endpoint: ep,
+                served_calls: 2,
+            },
+        ];
+        for e in &retryable {
+            assert!(e.is_retryable(), "{e} must be retryable");
+            assert!(!e.ends_walk(), "{e} must not end a walk unretried");
+            assert_eq!(e.endpoint(), Some(ep));
+        }
+        let fatal = [
+            ApiError::BudgetExhausted { spent: 1, limit: 1 },
+            ApiError::DeadlineExceeded {
+                endpoint: ep,
+                waited: Duration(300),
+            },
+            ApiError::CircuitOpen { endpoint: ep },
+            ApiError::RetriesExhausted {
+                endpoint: ep,
+                attempts: 5,
+                last: Box::new(ApiError::Transient { endpoint: ep }),
+            },
+        ];
+        for e in &fatal {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+            assert!(e.ends_walk(), "{e} must end the walk gracefully");
+        }
+        // A hard programming error neither retries nor ends the walk.
+        let unknown = ApiError::UnknownUser(UserId(9));
+        assert!(!unknown.is_retryable());
+        assert!(!unknown.ends_walk());
+    }
+
+    #[test]
+    fn waste_accounting() {
+        let ep = ApiEndpoint::Connections;
+        assert_eq!(ApiError::Transient { endpoint: ep }.wasted_calls(), 1);
+        assert_eq!(
+            ApiError::RateLimited {
+                endpoint: ep,
+                retry_after: Duration(60)
+            }
+            .wasted_calls(),
+            0
+        );
+        assert_eq!(
+            ApiError::TruncatedPage {
+                endpoint: ep,
+                served_calls: 3
+            }
+            .wasted_calls(),
+            3
+        );
+        assert_eq!(
+            ApiError::BudgetExhausted { spent: 0, limit: 0 }.wasted_calls(),
+            0
         );
     }
 }

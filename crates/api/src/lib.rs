@@ -35,6 +35,7 @@ pub mod error;
 pub mod meter;
 pub mod profile;
 pub mod rate;
+pub mod resilient;
 
 pub use budget::QueryBudget;
 pub use cache::{
@@ -43,4 +44,6 @@ pub use cache::{
 pub use client::{CachingClient, MicroblogClient, SearchHit, UserView};
 pub use error::ApiError;
 pub use meter::CostMeter;
+pub use microblog_platform::ApiEndpoint;
 pub use profile::ApiProfile;
+pub use resilient::{BreakerConfig, BreakerState, ResilienceStats, ResilientClient, RetryPolicy};

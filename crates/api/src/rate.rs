@@ -23,6 +23,21 @@ pub fn wall_clock(profile: &ApiProfile, calls: u64) -> Duration {
     Duration(full_waits as i64 * profile.quota.per.0)
 }
 
+/// Wall-clock time for `calls` API calls when `rate_limited_hits` of the
+/// attempts were rejected with a 429 along the way.
+///
+/// Each rejection forces the client to wait out one full quota window
+/// (the platform's `retry_after`) before the retry can go through, on top
+/// of the steady-state pacing [`wall_clock`] models — so benches under
+/// fault injection report realistic wall-clock, not the happy-path one.
+pub fn wall_clock_with_retries(
+    profile: &ApiProfile,
+    calls: u64,
+    rate_limited_hits: u64,
+) -> Duration {
+    wall_clock(profile, calls) + Duration(profile.quota.per.0 * rate_limited_hits as i64)
+}
+
 /// Human-readable rendering of a duration (e.g. `"2d 3h"`, `"45m"`).
 pub fn human_duration(d: Duration) -> String {
     let secs = d.0.max(0);
@@ -63,6 +78,20 @@ mod tests {
         assert_eq!(wall_clock(&tb, 1), Duration(0));
         assert_eq!(wall_clock(&tb, 2), Duration(10));
         assert_eq!(wall_clock(&tb, 61), Duration(600));
+    }
+
+    #[test]
+    fn retries_add_full_quota_windows() {
+        let t = ApiProfile::twitter();
+        // No 429s: identical to the happy-path model.
+        assert_eq!(wall_clock_with_retries(&t, 181, 0), wall_clock(&t, 181));
+        // Each 429 waits out one 15-minute window.
+        assert_eq!(
+            wall_clock_with_retries(&t, 181, 3),
+            Duration(15 * 60 + 3 * 15 * 60)
+        );
+        let tb = ApiProfile::tumblr();
+        assert_eq!(wall_clock_with_retries(&tb, 2, 1), Duration(10 + 10));
     }
 
     #[test]

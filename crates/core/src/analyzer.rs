@@ -10,8 +10,11 @@ use crate::query::AggregateQuery;
 use crate::view::ViewKind;
 use crate::walker::{mhrw, mr, snowball, srw, tarw};
 use microblog_api::cache::{CacheLayer, CacheStats};
-use microblog_api::{ApiProfile, CachingClient, MicroblogClient, QueryBudget};
-use microblog_platform::{Duration, Platform};
+use microblog_api::{
+    ApiProfile, CachingClient, MicroblogClient, QueryBudget, ResilienceStats, ResilientClient,
+    RetryPolicy,
+};
+use microblog_platform::{ApiBackend, Duration, Platform};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -82,16 +85,42 @@ impl Algorithm {
     }
 }
 
+/// Everything one estimation run produced: the estimate (or why there is
+/// none), what it charged, and what the resilience layer absorbed along
+/// the way.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The estimate, or the failure that prevented one.
+    pub outcome: Result<Estimate, EstimateError>,
+    /// API calls actually charged to the run's budget (≤ the budget; the
+    /// unspent remainder is refundable by an admission controller).
+    pub charged: u64,
+    /// Cache hit/miss accounting.
+    pub cache: CacheStats,
+    /// Retry/backoff/breaker accounting.
+    pub resilience: ResilienceStats,
+    /// `true` when the walk ended early on a fatal resilience error but
+    /// still produced an estimate from the samples collected before it —
+    /// a partial answer, not a full-budget one.
+    pub degraded: bool,
+}
+
 /// The top-level system facade.
 pub struct MicroblogAnalyzer<'p> {
-    platform: &'p Platform,
+    backend: &'p dyn ApiBackend,
     api: ApiProfile,
 }
 
 impl<'p> MicroblogAnalyzer<'p> {
     /// Creates an analyzer over `platform` accessed through `api`.
     pub fn new(platform: &'p Platform, api: ApiProfile) -> Self {
-        MicroblogAnalyzer { platform, api }
+        Self::with_backend(platform, api)
+    }
+
+    /// Creates an analyzer over an arbitrary backend — e.g. a
+    /// [`microblog_platform::FaultyPlatform`] injecting failures.
+    pub fn with_backend(backend: &'p dyn ApiBackend, api: ApiProfile) -> Self {
+        MicroblogAnalyzer { backend, api }
     }
 
     /// The API profile in force.
@@ -126,12 +155,38 @@ impl<'p> MicroblogAnalyzer<'p> {
         seed: u64,
         shared: Option<Arc<dyn CacheLayer>>,
     ) -> Result<(Estimate, CacheStats), EstimateError> {
+        let report = self.run(query, budget, algorithm, seed, shared, &RetryPolicy::none());
+        let cache = report.cache;
+        report.outcome.map(|est| (est, cache))
+    }
+
+    /// The full-fidelity run: like
+    /// [`estimate_with_cache`](Self::estimate_with_cache) but with a
+    /// [`RetryPolicy`] absorbing retryable API failures, and returning a
+    /// [`RunReport`] with charge/cache/resilience accounting either way.
+    ///
+    /// Retries never touch the walk's budget or RNG (failed attempts
+    /// charge the report's waste meter instead), so when every fault is
+    /// absorbed the estimate is bit-identical to a fault-free run with
+    /// the same seed. When the policy gives up mid-walk — deadline,
+    /// retries exhausted, breaker open — the walk finalizes with the
+    /// samples it has and the report is marked [`RunReport::degraded`].
+    pub fn run(
+        &self,
+        query: &AggregateQuery,
+        budget: u64,
+        algorithm: Algorithm,
+        seed: u64,
+        shared: Option<Arc<dyn CacheLayer>>,
+        policy: &RetryPolicy,
+    ) -> RunReport {
         let budget = QueryBudget::limited(budget);
-        let inner = MicroblogClient::with_budget(self.platform, self.api.clone(), budget);
-        let mut client = match shared {
-            Some(layer) => CachingClient::with_shared(inner, layer),
-            None => CachingClient::new(inner),
-        };
+        let inner = MicroblogClient::from_backend(self.backend, self.api.clone(), budget.clone());
+        // Derive the jitter stream from the job seed so concurrent jobs
+        // don't share backoff sequences; the walk RNG is untouched.
+        let policy = policy.with_jitter_seed(policy.jitter_seed ^ seed.rotate_left(17));
+        let resilient = ResilientClient::new(inner, policy);
+        let mut client = CachingClient::resilient(resilient, shared);
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let result = match algorithm {
             Algorithm::SrwFullGraph => {
@@ -175,14 +230,22 @@ impl<'p> MicroblogAnalyzer<'p> {
                 snowball::estimate(&mut client, query, &cfg, &mut rng)
             }
         };
-        let stats = *client.cache_stats();
-        result.map(|est| (est, stats))
+        let cache = *client.cache_stats();
+        let resilience = client.resilience().clone();
+        let degraded = resilience.degraded() && result.is_ok();
+        RunReport {
+            outcome: result,
+            charged: budget.spent(),
+            cache,
+            resilience,
+            degraded,
+        }
     }
 
     /// Exact ground truth for `query` (from the simulator's omniscient
     /// view; used only for evaluation, never by the estimators).
     pub fn ground_truth(&self, query: &AggregateQuery) -> Option<f64> {
-        query.ground_truth(self.platform)
+        query.ground_truth(self.backend.store())
     }
 }
 

@@ -62,7 +62,7 @@ pub fn score_intervals<R: Rng>(
     for &interval in candidates {
         let (h, d) = match pilot(client, query, interval, seeds, pilot_steps, rng) {
             Ok(hd) => hd,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         // Reference size: common across candidates, far enough above d·h

@@ -74,7 +74,7 @@ pub mod walker;
 
 /// Convenience re-exports for downstream users.
 pub mod prelude {
-    pub use crate::analyzer::{Algorithm, MicroblogAnalyzer};
+    pub use crate::analyzer::{Algorithm, MicroblogAnalyzer, RunReport};
     pub use crate::error::EstimateError;
     pub use crate::estimate::Estimate;
     pub use crate::query::{Aggregate, AggregateQuery};
@@ -83,7 +83,7 @@ pub mod prelude {
     pub use microblog_platform::{Gender, TimeWindow, Timestamp, UserMetric};
 }
 
-pub use analyzer::{Algorithm, MicroblogAnalyzer};
+pub use analyzer::{Algorithm, MicroblogAnalyzer, RunReport};
 pub use error::EstimateError;
 pub use estimate::Estimate;
 pub use query::{Aggregate, AggregateQuery};

@@ -13,7 +13,7 @@ use crate::query::AggregateQuery;
 use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
 use crate::walker::srw::SrwConfig;
-use microblog_api::{ApiError, CachingClient};
+use microblog_api::CachingClient;
 use microblog_graph::diagnostics;
 use rand::Rng;
 
@@ -51,7 +51,7 @@ pub fn measure_burn_in<R: Rng>(
     for _ in 0..max_steps {
         let user_view = match graph.view(current) {
             Ok(v) => v,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         // The diagnostic runs on the chain of f(u) values — the quantity
@@ -60,7 +60,7 @@ pub fn measure_burn_in<R: Rng>(
         chain.push(num);
         let nbrs = match graph.neighbors(current) {
             Ok(n) => n,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         if nbrs.is_empty() {

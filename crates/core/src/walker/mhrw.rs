@@ -14,7 +14,7 @@ use crate::estimate::{Estimate, RunningStats};
 use crate::query::{Aggregate, AggregateQuery};
 use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
-use microblog_api::{ApiError, CachingClient};
+use microblog_api::CachingClient;
 use microblog_graph::sizing::CollisionCounter;
 use rand::Rng;
 
@@ -80,7 +80,7 @@ pub fn estimate<R: Rng>(
         total_steps += 1;
         let nbrs = match graph.neighbors(current) {
             Ok(n) => n,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         let d_u = nbrs.len();
@@ -88,7 +88,7 @@ pub fn estimate<R: Rng>(
         if step >= config.burn_in && step.is_multiple_of(config.thinning.max(1)) {
             let view = match graph.view(current) {
                 Ok(v) => v,
-                Err(ApiError::BudgetExhausted { .. }) => break,
+                Err(e) if e.ends_walk() => break,
                 Err(e) => return Err(e.into()),
             };
             let (matches, num, den) = query.sample_values(&view, now);
@@ -124,7 +124,7 @@ pub fn estimate<R: Rng>(
         let proposal = nbrs[rng.gen_range(0..nbrs.len())];
         let prop_nbrs = match graph.neighbors(proposal) {
             Ok(n) => n,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         let d_v = prop_nbrs.len();

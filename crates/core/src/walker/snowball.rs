@@ -13,7 +13,7 @@ use crate::estimate::Estimate;
 use crate::query::{Aggregate, AggregateQuery};
 use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
-use microblog_api::{ApiError, CachingClient};
+use microblog_api::CachingClient;
 use microblog_platform::UserId;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -95,7 +95,7 @@ pub fn estimate<R: Rng>(
         }
         let view = match graph.view(u) {
             Ok(v) => v,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         let (matched, num, den) = query.sample_values(&view, now);
@@ -108,7 +108,7 @@ pub fn estimate<R: Rng>(
         }
         let nbrs = match graph.neighbors(u) {
             Ok(n) => n,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         let mut nbrs = nbrs;

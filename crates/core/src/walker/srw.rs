@@ -13,7 +13,7 @@ use crate::estimate::{Estimate, RunningStats};
 use crate::query::AggregateQuery;
 use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
-use microblog_api::{ApiError, CachingClient};
+use microblog_api::CachingClient;
 use rand::Rng;
 
 /// Configuration of the simple-random-walk estimator.
@@ -77,13 +77,13 @@ pub fn estimate<R: Rng>(
         total_steps += 1;
         let nbrs = match graph.neighbors(current) {
             Ok(n) => n,
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
         if step_in_chain >= config.burn_in && step_in_chain.is_multiple_of(config.thinning.max(1)) {
             let view = match graph.view(current) {
                 Ok(v) => v,
-                Err(ApiError::BudgetExhausted { .. }) => break,
+                Err(e) if e.ends_walk() => break,
                 Err(e) => return Err(e.into()),
             };
             let (matches, num, den) = query.sample_values(&view, now);
@@ -126,7 +126,7 @@ pub fn estimate<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use microblog_api::{ApiProfile, MicroblogClient, QueryBudget};
+    use microblog_api::{ApiError, ApiProfile, MicroblogClient, QueryBudget};
     use microblog_platform::scenario::{twitter_2013, Scale};
     use microblog_platform::{Duration, UserMetric};
     use rand::SeedableRng;

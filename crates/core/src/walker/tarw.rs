@@ -121,7 +121,7 @@ pub fn estimate<R: Rng>(
         match walker.run_instance(rng) {
             Ok(Some(sums)) => instances.push(sums),
             Ok(None) => {} // degenerate instance (seed not a member)
-            Err(ApiError::BudgetExhausted { .. }) => break,
+            Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         }
     }

@@ -1,0 +1,137 @@
+//! Resilience-invisibility properties (the ISSUE 2 proptest satellite).
+//!
+//! The contract of the resilient client stack: for any seeded
+//! [`FaultPlan`] whose faults are all retryable and whose consecutive-run
+//! cap fits inside the retry budget, the estimate is **bit-identical** to
+//! the fault-free run with the same walk seed. Retries consume their own
+//! jitter RNG and charge a separate waste meter, so fault luck can never
+//! leak into the estimator.
+
+use microblog_analyzer::prelude::*;
+use microblog_api::RetryPolicy;
+use microblog_platform::{Duration, FaultPlan, FaultyPlatform};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn run_pair(
+    fault_seed: u64,
+    rate: f64,
+    walk_seed: u64,
+    algo: Algorithm,
+) -> (microblog_analyzer::RunReport, microblog_analyzer::RunReport) {
+    let s =
+        microblog_platform::scenario::twitter_2013(microblog_platform::scenario::Scale::Tiny, 77);
+    let kw = s.keyword("privacy").unwrap();
+    let query = AggregateQuery::count(kw).in_window(s.window);
+    const BUDGET: u64 = 4_000;
+
+    let clean = MicroblogAnalyzer::new(&s.platform, ApiProfile::twitter());
+    let base = clean.run(&query, BUDGET, algo, walk_seed, None, &RetryPolicy::none());
+
+    // All modes retryable; runs of faults capped at 2 < patient's 64
+    // attempts, so every logical call eventually succeeds.
+    let plan = FaultPlan::mixed(fault_seed, rate).with_max_consecutive(2);
+    let faulty = FaultyPlatform::new(Arc::new(s.platform.clone()), plan);
+    let hostile = MicroblogAnalyzer::with_backend(&faulty, ApiProfile::twitter());
+    let run = hostile.run(
+        &query,
+        BUDGET,
+        algo,
+        walk_seed,
+        None,
+        &RetryPolicy::patient(),
+    );
+    (base, run)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    #[test]
+    fn resilient_estimates_are_bit_identical_to_fault_free(
+        fault_seed in any::<u64>(),
+        rate in 0.05f64..0.45,
+        walk_seed in 0u64..1_000,
+    ) {
+        let algo = Algorithm::MaSrw { interval: None };
+        let (base, run) = run_pair(fault_seed, rate, walk_seed, algo);
+
+        prop_assert_eq!(run.resilience.fatal_errors, 0,
+            "capped retryable faults must never turn fatal");
+        prop_assert!(!run.degraded);
+        match (&base.outcome, &run.outcome) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.value.to_bits(), b.value.to_bits(),
+                    "estimate diverged: {} vs {}", a.value, b.value);
+                prop_assert_eq!(a.cost, b.cost);
+                prop_assert_eq!(a.samples, b.samples);
+                prop_assert_eq!(
+                    a.std_err.map(f64::to_bits),
+                    b.std_err.map(f64::to_bits)
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "outcomes diverged: {a:?} vs {b:?}"),
+        }
+        prop_assert_eq!(base.charged, run.charged,
+            "failed attempts must not charge the logical budget");
+        prop_assert_eq!(base.cache.actual_calls + run.resilience.wasted_calls() > 0, true);
+    }
+}
+
+#[test]
+fn tarw_is_also_fault_invisible() {
+    // One deterministic spot-check on the paper's headline algorithm.
+    let algo = Algorithm::MaTarw {
+        interval: Some(Duration::DAY),
+    };
+    let (base, run) = run_pair(2014, 0.3, 9, algo);
+    let a = base.outcome.expect("fault-free run succeeds");
+    let b = run.outcome.expect("hostile run succeeds");
+    assert_eq!(a.value.to_bits(), b.value.to_bits());
+    assert_eq!(a.cost, b.cost);
+    assert_eq!(a.samples, b.samples);
+    assert!(run.resilience.retries > 0, "a 30% plan must force retries");
+    assert!(run.resilience.wasted_calls() > 0);
+}
+
+#[test]
+fn outage_degrades_instead_of_hanging_or_erroring_hard() {
+    let s =
+        microblog_platform::scenario::twitter_2013(microblog_platform::scenario::Scale::Tiny, 78);
+    let kw = s.keyword("privacy").unwrap();
+    let query = AggregateQuery::count(kw).in_window(s.window);
+
+    // Timelines and connections fail forever; search stays clean so the
+    // walk gets seeds, then dies on its first neighbor fetch.
+    let plan = FaultPlan {
+        rates: microblog_platform::FaultRates {
+            transient: 1.0,
+            ..microblog_platform::FaultRates::NONE
+        },
+        max_consecutive: 0,
+        ..FaultPlan::none()
+    };
+    let faulty = FaultyPlatform::new(Arc::new(s.platform.clone()), plan);
+    let hostile = MicroblogAnalyzer::with_backend(&faulty, ApiProfile::twitter());
+    let policy = RetryPolicy::resilient().with_max_attempts(3);
+    let report = hostile.run(
+        &query,
+        4_000,
+        Algorithm::MaSrw { interval: None },
+        5,
+        None,
+        &policy,
+    );
+    // The walk ends on the fatal error with nothing sampled; either way
+    // the run terminates and the failure is visible in the stats.
+    assert!(report.resilience.fatal_errors > 0);
+    assert!(!report.resilience.trail.is_empty());
+    match report.outcome {
+        Ok(_) => assert!(report.degraded),
+        Err(e) => assert!(matches!(
+            e,
+            EstimateError::NoSamples | EstimateError::NoSeeds | EstimateError::Api(_)
+        )),
+    }
+}

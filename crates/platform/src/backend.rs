@@ -1,0 +1,72 @@
+//! The backend seam between the platform store and the API crate.
+//!
+//! [`ApiBackend`] is the narrow interface through which the rate-limited
+//! API fetches data. The pristine [`Platform`] implements it infallibly;
+//! [`crate::fault::FaultyPlatform`] wraps a platform and injects
+//! deterministic failures, so every walker, bench and service test can
+//! run against a hostile API without code changes.
+
+use crate::fault::Fault;
+use crate::ids::{KeywordId, PostId, UserId};
+use crate::platform::Platform;
+use crate::time::TimeWindow;
+
+/// The fetch surface the API crate consumes.
+///
+/// The three fetchers mirror the three API queries of §2 of the paper
+/// (search, timeline, connections) and are the *only* calls that can
+/// fail: metadata lookups (post payloads, the clock, the keyword catalog)
+/// go through [`ApiBackend::store`], which models data the client has
+/// already received.
+pub trait ApiBackend: std::fmt::Debug + Send + Sync {
+    /// The underlying platform store, for payload access and ground truth.
+    fn store(&self) -> &Platform;
+
+    /// Posts mentioning `kw` inside `window`, most recent first.
+    fn fetch_search(&self, kw: KeywordId, window: TimeWindow) -> Result<Vec<PostId>, Fault>;
+
+    /// Full timeline of `u`, most recent post first.
+    fn fetch_timeline(&self, u: UserId) -> Result<&[PostId], Fault>;
+
+    /// Followers and followees of `u`, as sorted id lists.
+    fn fetch_connections(&self, u: UserId) -> Result<(&[u32], &[u32]), Fault>;
+}
+
+impl ApiBackend for Platform {
+    fn store(&self) -> &Platform {
+        self
+    }
+
+    fn fetch_search(&self, kw: KeywordId, window: TimeWindow) -> Result<Vec<PostId>, Fault> {
+        Ok(self.search_posts(kw, window))
+    }
+
+    fn fetch_timeline(&self, u: UserId) -> Result<&[PostId], Fault> {
+        Ok(self.timeline(u))
+    }
+
+    fn fetch_connections(&self, u: UserId) -> Result<(&[u32], &[u32]), Fault> {
+        Ok((self.followers(u), self.followees(u)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{twitter_2013, Scale};
+
+    #[test]
+    fn pristine_platform_never_faults() {
+        let s = twitter_2013(Scale::Tiny, 9);
+        let backend: &dyn ApiBackend = &s.platform;
+        let kw = s.keyword("privacy").unwrap();
+        let hits = backend.fetch_search(kw, s.window).unwrap();
+        assert_eq!(hits, s.platform.search_posts(kw, s.window));
+        let u = UserId(0);
+        assert_eq!(backend.fetch_timeline(u).unwrap(), s.platform.timeline(u));
+        let (fols, fees) = backend.fetch_connections(u).unwrap();
+        assert_eq!(fols, s.platform.followers(u));
+        assert_eq!(fees, s.platform.followees(u));
+        assert_eq!(backend.store().now(), s.platform.now());
+    }
+}

@@ -1,0 +1,567 @@
+//! Deterministic fault injection for the platform API surface.
+//!
+//! The paper's premise is a flaky, rate-limited public API; real crawlers
+//! (twAwler, "Walk, Not Wait") spend most of their engineering on 429/5xx
+//! handling. [`FaultyPlatform`] wraps a pristine [`Platform`] behind the
+//! [`ApiBackend`] trait and injects configurable failure modes — transient
+//! server errors, rate-limit rejections with a retry-after window,
+//! latency/timeouts, and truncated pagination — so resilience code can be
+//! tested without a network.
+//!
+//! Injection is **deterministic**: whether attempt *n* on a given
+//! (endpoint, request key) faults is a pure function of the
+//! [`FaultPlan`] seed, so runs are reproducible per call-index and
+//! independent of thread interleaving *within* a key's attempt sequence.
+
+use crate::backend::ApiBackend;
+use crate::ids::{KeywordId, PostId, UserId};
+use crate::platform::Platform;
+use crate::time::{Duration, TimeWindow};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The three faultable API endpoints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ApiEndpoint {
+    /// Keyword search (`SEARCH(kw, window)`).
+    Search,
+    /// Follower/followee lists (`CONNECTIONS(u)`).
+    Connections,
+    /// User timelines (`TIMELINE(u)`).
+    Timeline,
+}
+
+impl ApiEndpoint {
+    /// All endpoints, in a fixed order.
+    pub const ALL: [ApiEndpoint; 3] = [
+        ApiEndpoint::Search,
+        ApiEndpoint::Connections,
+        ApiEndpoint::Timeline,
+    ];
+
+    /// Stable index of the endpoint (for per-endpoint tables).
+    pub fn index(self) -> usize {
+        match self {
+            ApiEndpoint::Search => 0,
+            ApiEndpoint::Connections => 1,
+            ApiEndpoint::Timeline => 2,
+        }
+    }
+
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ApiEndpoint::Search => "search",
+            ApiEndpoint::Connections => "connections",
+            ApiEndpoint::Timeline => "timeline",
+        }
+    }
+}
+
+impl std::fmt::Display for ApiEndpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One injected failure, as surfaced by a fetch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// A transient server error (HTTP 5xx): retry after backoff.
+    Transient,
+    /// A rate-limit rejection (HTTP 429) naming its cool-off window.
+    RateLimited {
+        /// How long the server asks the client to wait.
+        retry_after: Duration,
+    },
+    /// The call hung past its latency budget and was abandoned.
+    Timeout {
+        /// How long the call hung before being cut.
+        latency: Duration,
+    },
+    /// Pagination was cut short; only a prefix of the result came back.
+    /// The partial data is *discarded* (the cursor is inconsistent), so
+    /// the caller retries the fetch from scratch.
+    Truncated {
+        /// Items served before the cut (strictly fewer than the total).
+        served: usize,
+    },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Transient => write!(f, "transient server error"),
+            Fault::RateLimited { retry_after } => {
+                write!(f, "rate limited (retry after {}s)", retry_after.0)
+            }
+            Fault::Timeout { latency } => write!(f, "timed out after {}s", latency.0),
+            Fault::Truncated { served } => write!(f, "truncated page ({served} items served)"),
+        }
+    }
+}
+
+/// Per-mode injection probabilities, each in `[0, 1]`.
+///
+/// The modes are drawn exclusively: one uniform draw per attempt selects
+/// at most one fault, so `total()` must not exceed 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultRates {
+    /// Probability of a transient server error.
+    pub transient: f64,
+    /// Probability of a rate-limit rejection.
+    pub rate_limited: f64,
+    /// Probability of a timeout.
+    pub timeout: f64,
+    /// Probability of a truncated page.
+    pub truncated: f64,
+}
+
+impl FaultRates {
+    /// No faults at all.
+    pub const NONE: FaultRates = FaultRates {
+        transient: 0.0,
+        rate_limited: 0.0,
+        timeout: 0.0,
+        truncated: 0.0,
+    };
+
+    /// Sum of all mode probabilities.
+    pub fn total(&self) -> f64 {
+        self.transient + self.rate_limited + self.timeout + self.truncated
+    }
+}
+
+/// A seeded, declarative plan of which faults to inject.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-attempt fault draws.
+    pub seed: u64,
+    /// Per-mode probabilities.
+    pub rates: FaultRates,
+    /// The `retry_after` window attached to rate-limit rejections.
+    pub retry_after: Duration,
+    /// The hang time attached to timeouts.
+    pub latency: Duration,
+    /// Cap on *consecutive* faults per (endpoint, key): after this many
+    /// faulted attempts in a row the next attempt is forced to succeed,
+    /// so a caller whose retry budget exceeds the cap always gets the
+    /// data. `0` disables the cap (outage mode — breakers want this).
+    pub max_consecutive: u32,
+}
+
+impl FaultPlan {
+    /// A plan that never faults.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            rates: FaultRates::NONE,
+            retry_after: Duration::MINUTE,
+            latency: Duration(5),
+            max_consecutive: 3,
+        }
+    }
+
+    /// Transient errors only, at probability `rate`.
+    pub fn transient(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: FaultRates {
+                transient: rate,
+                ..FaultRates::NONE
+            },
+            ..FaultPlan::none()
+        }
+    }
+
+    /// All four modes, splitting `rate` equally among them.
+    pub fn mixed(seed: u64, rate: f64) -> FaultPlan {
+        let each = rate / 4.0;
+        FaultPlan {
+            seed,
+            rates: FaultRates {
+                transient: each,
+                rate_limited: each,
+                timeout: each,
+                truncated: each,
+            },
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A hard outage: every attempt fails with a transient error, with no
+    /// consecutive-fault cap. This is what trips circuit breakers.
+    pub fn outage(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            rates: FaultRates {
+                transient: 1.0,
+                ..FaultRates::NONE
+            },
+            max_consecutive: 0,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Overrides the consecutive-fault cap.
+    pub fn with_max_consecutive(mut self, cap: u32) -> FaultPlan {
+        self.max_consecutive = cap;
+        self
+    }
+
+    /// Parses a CLI-style spec like
+    /// `transient=0.05,rate_limited=0.02,timeout=0.01,truncated=0.01,seed=42`.
+    ///
+    /// Recognized keys: the four rate names, `seed`, `retry_after`
+    /// (seconds), `latency` (seconds), `max_consecutive`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan entry `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || format!("fault-plan `{key}` has invalid value `{value}`");
+            match key {
+                "transient" => plan.rates.transient = value.parse().map_err(|_| bad())?,
+                "rate_limited" => plan.rates.rate_limited = value.parse().map_err(|_| bad())?,
+                "timeout" => plan.rates.timeout = value.parse().map_err(|_| bad())?,
+                "truncated" => plan.rates.truncated = value.parse().map_err(|_| bad())?,
+                "seed" => plan.seed = value.parse().map_err(|_| bad())?,
+                "retry_after" => plan.retry_after = Duration(value.parse().map_err(|_| bad())?),
+                "latency" => plan.latency = Duration(value.parse().map_err(|_| bad())?),
+                "max_consecutive" => plan.max_consecutive = value.parse().map_err(|_| bad())?,
+                other => return Err(format!("unknown fault-plan key `{other}`")),
+            }
+        }
+        let total = plan.rates.total();
+        if !(0.0..=1.0).contains(&total) {
+            return Err(format!("fault rates sum to {total}, must be within [0, 1]"));
+        }
+        Ok(plan)
+    }
+}
+
+/// Totals of injected faults, by mode.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transient server errors injected.
+    pub transient: u64,
+    /// Rate-limit rejections injected.
+    pub rate_limited: u64,
+    /// Timeouts injected.
+    pub timeout: u64,
+    /// Truncated pages injected.
+    pub truncated: u64,
+}
+
+impl FaultCounts {
+    /// All injected faults.
+    pub fn total(&self) -> u64 {
+        self.transient + self.rate_limited + self.timeout + self.truncated
+    }
+}
+
+/// A [`Platform`] wrapper that injects the faults of a [`FaultPlan`].
+///
+/// Each (endpoint, request key) pair keeps an attempt counter; whether
+/// attempt *n* faults — and with which mode — is a pure function of
+/// `(plan.seed, endpoint, key, n)`. Retrying the same request therefore
+/// walks a deterministic fault sequence, and [`FaultPlan::max_consecutive`]
+/// bounds how long that sequence can stay hostile.
+#[derive(Debug)]
+pub struct FaultyPlatform {
+    inner: Arc<Platform>,
+    plan: FaultPlan,
+    attempts: Mutex<HashMap<(u8, u64), u64>>,
+    counts: [AtomicU64; 4],
+    calls: AtomicU64,
+}
+
+impl FaultyPlatform {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: Arc<Platform>, plan: FaultPlan) -> FaultyPlatform {
+        FaultyPlatform {
+            inner,
+            plan,
+            attempts: Mutex::new(HashMap::new()),
+            counts: Default::default(),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Totals of faults injected so far.
+    pub fn injected(&self) -> FaultCounts {
+        FaultCounts {
+            transient: self.counts[0].load(Ordering::Relaxed),
+            rate_limited: self.counts[1].load(Ordering::Relaxed),
+            timeout: self.counts[2].load(Ordering::Relaxed),
+            truncated: self.counts[3].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetch attempts observed so far (faulted or not).
+    pub fn fetches(&self) -> u64 {
+        self.calls.load(Ordering::Relaxed)
+    }
+
+    /// Draws the fault (if any) for the next attempt on (endpoint, key).
+    /// `len` is the full result size, used to size truncations.
+    fn draw(&self, endpoint: ApiEndpoint, key: u64, len: usize) -> Option<Fault> {
+        let n = {
+            let mut attempts = self.attempts.lock().expect("fault counter lock");
+            let slot = attempts.entry((endpoint.index() as u8, key)).or_insert(0);
+            let n = *slot;
+            *slot += 1;
+            n
+        };
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let fault = self.fault_at(endpoint, key, n, len)?;
+        let mode = match fault {
+            Fault::Transient => 0,
+            Fault::RateLimited { .. } => 1,
+            Fault::Timeout { .. } => 2,
+            Fault::Truncated { .. } => 3,
+        };
+        self.counts[mode].fetch_add(1, Ordering::Relaxed);
+        Some(fault)
+    }
+
+    /// Pure fault decision for attempt `n`, honoring the consecutive cap.
+    fn fault_at(&self, endpoint: ApiEndpoint, key: u64, n: u64, len: usize) -> Option<Fault> {
+        let cap = self.plan.max_consecutive as u64;
+        if cap > 0 && n >= cap {
+            let run_faulted = (n - cap..n).all(|i| self.raw_draw(endpoint, key, i, len).is_some());
+            if run_faulted {
+                return None; // forced success: the run hit the cap
+            }
+        }
+        self.raw_draw(endpoint, key, n, len)
+    }
+
+    /// The unclamped seeded draw for attempt `n`.
+    fn raw_draw(&self, endpoint: ApiEndpoint, key: u64, n: u64, len: usize) -> Option<Fault> {
+        let rates = &self.plan.rates;
+        if rates.total() <= 0.0 {
+            return None;
+        }
+        let h = mix(
+            self.plan.seed,
+            &[0x1517_u64, endpoint.index() as u64, key, n],
+        );
+        let u = unit_f64(h);
+        let mut edge = rates.transient;
+        if u < edge {
+            return Some(Fault::Transient);
+        }
+        edge += rates.rate_limited;
+        if u < edge {
+            return Some(Fault::RateLimited {
+                retry_after: self.plan.retry_after,
+            });
+        }
+        edge += rates.timeout;
+        if u < edge {
+            return Some(Fault::Timeout {
+                latency: self.plan.latency,
+            });
+        }
+        edge += rates.truncated;
+        if u < edge {
+            if len == 0 {
+                // Nothing to truncate; degrade to a transient error so the
+                // configured fault rate still applies.
+                return Some(Fault::Transient);
+            }
+            // A second, independent draw sizes the served prefix in [0, len).
+            let frac = unit_f64(mix(
+                self.plan.seed,
+                &[0x7C57, endpoint.index() as u64, key, n],
+            ));
+            return Some(Fault::Truncated {
+                served: ((len as f64) * frac) as usize,
+            });
+        }
+        None
+    }
+}
+
+impl ApiBackend for FaultyPlatform {
+    fn store(&self) -> &Platform {
+        &self.inner
+    }
+
+    fn fetch_search(&self, kw: KeywordId, window: TimeWindow) -> Result<Vec<PostId>, Fault> {
+        let full = self.inner.search_posts(kw, window);
+        let key = mix(
+            0x5EA2C4,
+            &[kw.0 as u64, window.start.0 as u64, window.end.0 as u64],
+        );
+        match self.draw(ApiEndpoint::Search, key, full.len()) {
+            Some(f) => Err(f),
+            None => Ok(full),
+        }
+    }
+
+    fn fetch_timeline(&self, u: UserId) -> Result<&[PostId], Fault> {
+        let full = self.inner.timeline(u);
+        match self.draw(ApiEndpoint::Timeline, u.0 as u64, full.len()) {
+            Some(f) => Err(f),
+            None => Ok(full),
+        }
+    }
+
+    fn fetch_connections(&self, u: UserId) -> Result<(&[u32], &[u32]), Fault> {
+        let followers = self.inner.followers(u);
+        let followees = self.inner.followees(u);
+        let len = followers.len() + followees.len();
+        match self.draw(ApiEndpoint::Connections, u.0 as u64, len) {
+            Some(f) => Err(f),
+            None => Ok((followers, followees)),
+        }
+    }
+}
+
+/// SplitMix64-style avalanche over a word sequence.
+fn mix(seed: u64, words: &[u64]) -> u64 {
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for &w in words {
+        state = state.wrapping_add(w).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        state = z ^ (z >> 31);
+    }
+    state
+}
+
+/// Maps a hash to the unit interval `[0, 1)`.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{twitter_2013, Scale};
+
+    fn faulty(seed: u64, plan: FaultPlan) -> (FaultyPlatform, KeywordId, TimeWindow) {
+        let s = twitter_2013(Scale::Tiny, seed);
+        let kw = s.keyword("privacy").unwrap();
+        let window = s.window;
+        (FaultyPlatform::new(Arc::new(s.platform), plan), kw, window)
+    }
+
+    #[test]
+    fn no_fault_plan_is_transparent() {
+        let (f, kw, window) = faulty(11, FaultPlan::none());
+        for _ in 0..50 {
+            assert!(f.fetch_search(kw, window).is_ok());
+            assert!(f.fetch_timeline(UserId(3)).is_ok());
+            assert!(f.fetch_connections(UserId(3)).is_ok());
+        }
+        assert_eq!(f.injected().total(), 0);
+        assert_eq!(f.fetches(), 150);
+    }
+
+    #[test]
+    fn fault_sequence_is_deterministic_per_attempt() {
+        let plan = FaultPlan::mixed(42, 0.5);
+        let (a, kw, window) = faulty(12, plan);
+        let (b, _, _) = faulty(12, plan);
+        for _ in 0..100 {
+            let ra = a.fetch_search(kw, window);
+            let rb = b.fetch_search(kw, window);
+            assert_eq!(ra.is_ok(), rb.is_ok());
+            if let (Err(fa), Err(fb)) = (ra, rb) {
+                assert_eq!(fa, fb);
+            }
+        }
+        assert_eq!(a.injected(), b.injected());
+        assert!(a.injected().total() > 10, "50% mixed plan must fault often");
+    }
+
+    #[test]
+    fn consecutive_cap_forces_eventual_success() {
+        // A savage plan, but capped: any run of 2 faults forces success.
+        let plan = FaultPlan::transient(7, 0.95).with_max_consecutive(2);
+        let (f, _, _) = faulty(13, plan);
+        let mut longest_run = 0u32;
+        let mut run = 0u32;
+        for _ in 0..200 {
+            match f.fetch_timeline(UserId(5)) {
+                Err(_) => run += 1,
+                Ok(_) => run = 0,
+            }
+            longest_run = longest_run.max(run);
+        }
+        assert!(longest_run <= 2, "run of {longest_run} exceeds cap");
+    }
+
+    #[test]
+    fn outage_never_recovers() {
+        let (f, kw, window) = faulty(14, FaultPlan::outage(1));
+        for _ in 0..50 {
+            assert!(f.fetch_search(kw, window).is_err());
+        }
+        assert_eq!(f.injected().transient, 50);
+    }
+
+    #[test]
+    fn truncation_serves_a_strict_prefix() {
+        let plan = FaultPlan {
+            rates: FaultRates {
+                truncated: 1.0,
+                ..FaultRates::NONE
+            },
+            max_consecutive: 0,
+            ..FaultPlan::none()
+        };
+        let (f, kw, window) = faulty(15, plan);
+        let full = f.store().search_posts(kw, window).len();
+        assert!(full > 0);
+        for _ in 0..20 {
+            match f.fetch_search(kw, window) {
+                Err(Fault::Truncated { served }) => assert!(served < full),
+                other => panic!("expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_the_cli_spec() {
+        let plan = FaultPlan::parse(
+            "transient=0.05, rate_limited=0.02, timeout=0.01, truncated=0.01, \
+             seed=42, retry_after=120, latency=9, max_consecutive=4",
+        )
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert!((plan.rates.total() - 0.09).abs() < 1e-12);
+        assert_eq!(plan.retry_after, Duration(120));
+        assert_eq!(plan.latency, Duration(9));
+        assert_eq!(plan.max_consecutive, 4);
+        assert!(FaultPlan::parse("bogus=1").is_err());
+        assert!(FaultPlan::parse("transient=0.9,timeout=0.9").is_err());
+        assert!(FaultPlan::parse("transient=x").is_err());
+    }
+
+    #[test]
+    fn rates_report_the_modes_injected() {
+        let (f, kw, window) = faulty(16, FaultPlan::mixed(3, 0.8).with_max_consecutive(0));
+        for u in 0..300u32 {
+            let _ = f.fetch_connections(UserId(u % 50));
+            let _ = f.fetch_search(kw, window);
+        }
+        let counts = f.injected();
+        assert!(counts.transient > 0);
+        assert!(counts.rate_limited > 0);
+        assert!(counts.timeout > 0);
+        assert!(counts.truncated > 0);
+    }
+}

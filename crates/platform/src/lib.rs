@@ -19,6 +19,10 @@
 //! * **The platform store** ([`platform`]): users, posts, per-user
 //!   timelines, keyword indexes and the *exact ground truth* for any
 //!   aggregate ([`truth`]) against which estimators are scored.
+//! * **Fault injection** ([`fault`]): a deterministic hostile-API wrapper
+//!   ([`FaultyPlatform`]) behind the [`ApiBackend`] seam, injecting
+//!   transient errors, rate limits, timeouts and truncated pages per a
+//!   seeded [`FaultPlan`] — the test substrate for the resilience layer.
 //! * **Scenarios** ([`scenario`]): preset "Twitter 2013"-style worlds with
 //!   the keyword mix of the paper's evaluation (perpetually popular,
 //!   low-frequency-with-spikes, single-event, obscure).
@@ -28,7 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cascade;
+pub mod fault;
 pub mod gen;
 pub mod ids;
 pub mod metric;
@@ -40,6 +46,8 @@ pub mod time;
 pub mod truth;
 pub mod user;
 
+pub use backend::ApiBackend;
+pub use fault::{ApiEndpoint, Fault, FaultCounts, FaultPlan, FaultRates, FaultyPlatform};
 pub use ids::{KeywordId, PostId, UserId};
 pub use metric::UserMetric;
 pub use platform::{Platform, PlatformBuilder};

@@ -20,6 +20,11 @@
 //!   --workers N                         worker threads       [4]
 //!   --global-quota N                    service-wide call cap [unlimited]
 //!   --cache-capacity N                  shared-cache entries  [100000]
+//!   --retry N                           attempts per API call [5]
+//!   --deadline SECS                     per-call deadline, simulated
+//!                                       seconds              [none]
+//!   --fault-plan SPEC                   inject faults, e.g.
+//!                                       'transient=0.05,rate_limited=0.02,seed=42'
 //!
 //! Examples:
 //!   ma-cli --budget 30000 --truth \
@@ -33,8 +38,9 @@
 use microblog_analyzer::prelude::*;
 use microblog_analyzer::query::parse::parse_query;
 use microblog_api::rate::{human_duration, wall_clock};
+use microblog_api::RetryPolicy;
 use microblog_platform::scenario::{google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario};
-use microblog_platform::Duration;
+use microblog_platform::{Duration, FaultPlan};
 use microblog_service::cache::SharedCacheConfig;
 use microblog_service::request::{parse_algorithm, parse_interval};
 use microblog_service::{run_batch, Service, ServiceConfig};
@@ -68,6 +74,9 @@ struct Options {
     workers: usize,
     global_quota: Option<u64>,
     cache_capacity: usize,
+    retry: Option<u32>,
+    deadline: Option<i64>,
+    fault_plan: Option<FaultPlan>,
     query: Option<String>,
 }
 
@@ -88,6 +97,9 @@ impl Default for Options {
             workers: 4,
             global_quota: None,
             cache_capacity: 100_000,
+            retry: None,
+            deadline: None,
+            fault_plan: None,
             query: None,
         }
     }
@@ -143,6 +155,16 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 opts.cache_capacity = value("--cache-capacity")?
                     .parse()
                     .map_err(|_| "bad --cache-capacity")?
+            }
+            "--retry" => opts.retry = Some(value("--retry")?.parse().map_err(|_| "bad --retry")?),
+            "--deadline" => {
+                opts.deadline = Some(value("--deadline")?.parse().map_err(|_| "bad --deadline")?)
+            }
+            "--fault-plan" => {
+                opts.fault_plan = Some(
+                    FaultPlan::parse(&value("--fault-plan")?)
+                        .map_err(|e| format!("bad --fault-plan: {e}"))?,
+                )
             }
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             query => {
@@ -231,6 +253,14 @@ fn run(args: Vec<String>) -> Result<(), String> {
 }
 
 fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), String> {
+    // Flags override pieces of the stock resilient policy.
+    let mut retry = RetryPolicy::resilient();
+    if let Some(attempts) = opts.retry {
+        retry = retry.with_max_attempts(attempts.max(1));
+    }
+    if let Some(deadline) = opts.deadline {
+        retry = retry.with_deadline(Duration(deadline.max(0)));
+    }
     let service = Service::new(
         Arc::new(scenario.platform),
         api,
@@ -241,6 +271,8 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
                 capacity: opts.cache_capacity,
                 ..SharedCacheConfig::default()
             },
+            retry,
+            fault_plan: opts.fault_plan,
         },
     );
     eprintln!(
@@ -252,6 +284,9 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
         },
         opts.cache_capacity
     );
+    if let Some(injector) = service.fault_injector() {
+        eprintln!("fault injection on: {:?}", injector.plan().rates);
+    }
 
     let stdout = std::io::stdout();
     let mut output = stdout.lock();
@@ -269,9 +304,21 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
     output.flush().map_err(|e| e.to_string())?;
 
     eprintln!(
-        "\n{} request(s): {} ok, {} rejected, {} error(s)",
-        summary.requests, summary.ok, summary.rejected, summary.errors
+        "\n{} request(s): {} ok, {} degraded, {} rejected, {} error(s)",
+        summary.requests, summary.ok, summary.degraded, summary.rejected, summary.errors
     );
+    if let Some(injector) = service.fault_injector() {
+        let injected = injector.injected();
+        eprintln!(
+            "faults injected: {} transient, {} rate-limited, {} timeout, {} truncated \
+             over {} platform fetches",
+            injected.transient,
+            injected.rate_limited,
+            injected.timeout,
+            injected.truncated,
+            injector.fetches(),
+        );
+    }
     let cache = service.cache_snapshot();
     eprintln!(
         "shared cache: {} entries, hit rate {:.1}%",
@@ -332,6 +379,22 @@ mod tests {
         assert_eq!(o.global_quota, Some(50_000));
         assert_eq!(o.cache_capacity, 1024);
         assert_eq!(o.file.as_deref(), Some("reqs.jsonl"));
+    }
+
+    #[test]
+    fn parses_resilience_options() {
+        let o = parse_args(args(
+            "serve --retry 8 --deadline 3600 --fault-plan transient=0.05,rate_limited=0.02,seed=42",
+        ))
+        .unwrap();
+        assert_eq!(o.retry, Some(8));
+        assert_eq!(o.deadline, Some(3600));
+        let plan = o.fault_plan.expect("plan parses");
+        assert_eq!(plan.seed, 42);
+        assert!((plan.rates.transient - 0.05).abs() < 1e-12);
+        assert!((plan.rates.rate_limited - 0.02).abs() < 1e-12);
+        assert!(parse_args(args("serve --fault-plan transient=2.0")).is_err());
+        assert!(parse_args(args("serve --retry lots")).is_err());
     }
 
     #[test]

@@ -17,10 +17,10 @@ use crate::cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
 use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use crate::quota::{GlobalQuota, Reservation};
 use crate::request::JobSpec;
-use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer};
+use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer, RunReport};
 use microblog_api::cache::{CacheLayer, CacheStats};
-use microblog_api::ApiProfile;
-use microblog_platform::Platform;
+use microblog_api::{ApiProfile, ResilienceStats, RetryPolicy};
+use microblog_platform::{FaultPlan, FaultyPlatform, Platform};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -37,6 +37,15 @@ pub struct ServiceConfig {
     pub global_quota: Option<u64>,
     /// Shared cache layout.
     pub cache: SharedCacheConfig,
+    /// Default retry policy for jobs that don't carry their own
+    /// ([`JobSpec::retry`]). Faults a policy absorbs never touch the
+    /// walk's budget or RNG, so estimates stay bit-identical to
+    /// fault-free runs.
+    pub retry: RetryPolicy,
+    /// When set, all platform traffic flows through a
+    /// [`FaultyPlatform`] injecting failures per this plan — the chaos
+    /// knob behind `ma-cli serve --fault-plan`.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServiceConfig {
@@ -45,6 +54,8 @@ impl Default for ServiceConfig {
             workers: 4,
             global_quota: None,
             cache: SharedCacheConfig::default(),
+            retry: RetryPolicy::resilient(),
+            fault_plan: None,
         }
     }
 }
@@ -95,17 +106,92 @@ pub struct JobOutput {
     pub job: u64,
     /// The estimate.
     pub estimate: Estimate,
+    /// API calls charged to the job's budget; the unspent remainder of
+    /// the reservation was refunded to the global quota.
+    pub charged: u64,
     /// The job client's cache traffic.
     pub cache: CacheStats,
+    /// Retry/backoff/breaker accounting for the job's client.
+    pub resilience: ResilienceStats,
     /// Time spent queued before a worker picked the job up.
     pub queue_wait: Duration,
     /// Time spent executing.
     pub exec: Duration,
 }
 
+/// How a job ended: fully, partially, or not at all. Every variant
+/// settles the job's quota reservation down to what it actually charged
+/// — unused calls go back to the pool either way.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// Ran to its budget (or cache exhaustion) without giving up.
+    Complete(JobOutput),
+    /// A fatal resilience error (retries exhausted, deadline, breaker)
+    /// ended the walk early, but the samples collected before it still
+    /// produced an estimate. The error trail is in
+    /// [`JobOutput::resilience`].
+    Degraded(JobOutput),
+    /// No estimate.
+    Failed {
+        /// The service-assigned job id.
+        job: u64,
+        /// What went wrong.
+        error: ServiceError,
+        /// API calls charged before the failure (the rest of the
+        /// reservation was refunded).
+        charged: u64,
+        /// Retry/backoff/breaker accounting up to the failure.
+        resilience: ResilienceStats,
+    },
+}
+
+impl JobOutcome {
+    /// The output, when an estimate exists (complete or degraded).
+    pub fn output(&self) -> Option<&JobOutput> {
+        match self {
+            JobOutcome::Complete(out) | JobOutcome::Degraded(out) => Some(out),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// `true` for [`JobOutcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, JobOutcome::Complete(_))
+    }
+
+    /// `true` for [`JobOutcome::Degraded`].
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, JobOutcome::Degraded(_))
+    }
+
+    /// API calls the job charged (and settled against the quota).
+    pub fn charged(&self) -> u64 {
+        match self {
+            JobOutcome::Complete(out) | JobOutcome::Degraded(out) => out.charged,
+            JobOutcome::Failed { charged, .. } => *charged,
+        }
+    }
+
+    /// The resilience accounting, whatever the ending.
+    pub fn resilience(&self) -> &ResilienceStats {
+        match self {
+            JobOutcome::Complete(out) | JobOutcome::Degraded(out) => &out.resilience,
+            JobOutcome::Failed { resilience, .. } => resilience,
+        }
+    }
+
+    /// Collapses to a `Result`, treating a degraded estimate as success.
+    pub fn into_result(self) -> Result<JobOutput, ServiceError> {
+        match self {
+            JobOutcome::Complete(out) | JobOutcome::Degraded(out) => Ok(out),
+            JobOutcome::Failed { error, .. } => Err(error),
+        }
+    }
+}
+
 #[derive(Default)]
 struct JobState {
-    outcome: Mutex<Option<Result<JobOutput, ServiceError>>>,
+    outcome: Mutex<Option<JobOutcome>>,
     ready: Condvar,
 }
 
@@ -134,7 +220,7 @@ impl JobHandle {
     }
 
     /// Blocks until the job finishes and returns its outcome.
-    pub fn join(&self) -> Result<JobOutput, ServiceError> {
+    pub fn join(&self) -> JobOutcome {
         let mut slot = self.state.outcome.lock();
         while slot.is_none() {
             self.state.ready.wait(&mut slot);
@@ -143,7 +229,7 @@ impl JobHandle {
     }
 
     /// The outcome, if the job already finished.
-    pub fn try_outcome(&self) -> Option<Result<JobOutput, ServiceError>> {
+    pub fn try_outcome(&self) -> Option<JobOutcome> {
         self.state.outcome.lock().clone()
     }
 }
@@ -165,6 +251,7 @@ pub struct Service {
     cache: Arc<SharedApiCache>,
     quota: GlobalQuota,
     metrics: Arc<MetricsRegistry>,
+    faulty: Option<Arc<FaultyPlatform>>,
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
     next_id: AtomicU64,
@@ -179,6 +266,11 @@ impl Service {
             None => GlobalQuota::unlimited(),
         };
         let metrics = Arc::new(MetricsRegistry::new());
+        // One injector shared by all workers, so fault counters and the
+        // per-key attempt history are service-wide.
+        let faulty = config
+            .fault_plan
+            .map(|plan| Arc::new(FaultyPlatform::new(Arc::clone(&platform), plan)));
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..config.workers.max(1))
@@ -189,8 +281,13 @@ impl Service {
                 let cache = Arc::clone(&cache);
                 let quota = quota.clone();
                 let metrics = Arc::clone(&metrics);
+                let faulty = faulty.clone();
+                let default_retry = config.retry;
                 std::thread::spawn(move || {
-                    let analyzer = MicroblogAnalyzer::new(&platform, api);
+                    let analyzer = match &faulty {
+                        Some(injector) => MicroblogAnalyzer::with_backend(&**injector, api),
+                        None => MicroblogAnalyzer::new(&platform, api),
+                    };
                     loop {
                         // Hold the lock only to pull the next job; when the
                         // channel closes (sender dropped) the worker exits.
@@ -198,7 +295,7 @@ impl Service {
                             Ok(job) => job,
                             Err(_) => break,
                         };
-                        run_job(&analyzer, &cache, &quota, &metrics, job);
+                        run_job(&analyzer, &cache, &quota, &metrics, &default_retry, job);
                     }
                 })
             })
@@ -209,6 +306,7 @@ impl Service {
             cache,
             quota,
             metrics,
+            faulty,
             sender: Some(sender),
             workers,
             next_id: AtomicU64::new(0),
@@ -273,6 +371,13 @@ impl Service {
         self.cache.snapshot()
     }
 
+    /// The fault injector, when the service was configured with a
+    /// [`ServiceConfig::fault_plan`]. Its counters report how many
+    /// failures the resilience stack had to absorb.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultyPlatform>> {
+        self.faulty.as_ref()
+    }
+
     /// The global quota accountant.
     pub fn quota(&self) -> &GlobalQuota {
         &self.quota
@@ -303,66 +408,122 @@ fn run_job(
     cache: &Arc<SharedApiCache>,
     quota: &GlobalQuota,
     metrics: &MetricsRegistry,
+    default_retry: &RetryPolicy,
     job: Job,
 ) {
     let queue_wait = job.submitted.elapsed();
     let started = Instant::now();
     let shared: Arc<dyn CacheLayer> = Arc::clone(cache) as Arc<dyn CacheLayer>;
+    let policy = job.spec.retry.unwrap_or(*default_retry);
     // A panicking estimator must not strand joiners: catch it, settle the
     // reservation, and surface it as an outcome like any other failure.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        analyzer.estimate_with_cache(
+        analyzer.run(
             &job.spec.query,
             job.spec.budget,
             job.spec.algorithm,
             job.spec.seed,
             Some(shared),
+            &policy,
         )
     }));
     let exec = started.elapsed();
     let outcome = match result {
-        Ok(Ok((estimate, stats))) => {
-            quota.settle(job.reservation, estimate.cost);
-            metrics.record_job(&JobMetrics {
-                succeeded: true,
-                charged_calls: estimate.cost,
-                samples: estimate.samples as u64,
-                cache: stats,
-                queue_wait,
-                exec,
-            });
-            Ok(JobOutput {
-                job: job.id,
-                estimate,
-                cache: stats,
-                queue_wait,
-                exec,
-            })
+        Ok(report) => {
+            // Settle down to what the run actually charged — success or
+            // not, the unused remainder goes back to the pool.
+            let refunded = job.reservation.amount().saturating_sub(report.charged);
+            quota.settle(job.reservation, report.charged);
+            metrics.record_job(&job_metrics(&report, refunded, queue_wait, exec));
+            let RunReport {
+                outcome,
+                charged,
+                cache,
+                resilience,
+                degraded,
+            } = report;
+            match outcome {
+                Ok(estimate) => {
+                    let output = JobOutput {
+                        job: job.id,
+                        estimate,
+                        charged,
+                        cache,
+                        resilience,
+                        queue_wait,
+                        exec,
+                    };
+                    if degraded {
+                        JobOutcome::Degraded(output)
+                    } else {
+                        JobOutcome::Complete(output)
+                    }
+                }
+                Err(err) => JobOutcome::Failed {
+                    job: job.id,
+                    error: ServiceError::Estimation(err),
+                    charged,
+                    resilience,
+                },
+            }
         }
-        failed => {
-            let error = match failed {
-                Ok(Err(err)) => ServiceError::Estimation(err),
-                Err(panic) => ServiceError::WorkerPanicked(panic_message(panic.as_ref())),
-                Ok(Ok(_)) => unreachable!("success handled above"),
-            };
-            // The failure path cannot report how much it charged, so the
+        Err(panic) => {
+            // A panic leaves no report, so nothing can be refunded: the
             // whole reservation is conservatively treated as consumed.
             let amount = job.reservation.amount();
             quota.settle(job.reservation, amount);
             metrics.record_job(&JobMetrics {
                 succeeded: false,
+                degraded: false,
                 charged_calls: amount,
+                refunded_calls: 0,
                 samples: 0,
                 cache: CacheStats::default(),
+                retries: 0,
+                wasted_calls: 0,
+                backoff_secs: 0,
+                rate_limited_hits: 0,
+                breaker_opens: 0,
+                breaker_fast_fails: 0,
                 queue_wait,
                 exec,
             });
-            Err(error)
+            JobOutcome::Failed {
+                job: job.id,
+                error: ServiceError::WorkerPanicked(panic_message(panic.as_ref())),
+                charged: amount,
+                resilience: ResilienceStats::default(),
+            }
         }
     };
     let mut slot = job.state.outcome.lock();
     *slot = Some(outcome);
     job.state.ready.notify_all();
+}
+
+fn job_metrics(
+    report: &RunReport,
+    refunded: u64,
+    queue_wait: Duration,
+    exec: Duration,
+) -> JobMetrics {
+    let r = &report.resilience;
+    JobMetrics {
+        succeeded: report.outcome.is_ok(),
+        degraded: report.degraded,
+        charged_calls: report.charged,
+        refunded_calls: refunded,
+        samples: report.outcome.as_ref().map_or(0, |est| est.samples as u64),
+        cache: report.cache,
+        retries: r.retries,
+        wasted_calls: r.wasted_calls(),
+        backoff_secs: r.total_wait().0.max(0) as u64,
+        rate_limited_hits: r.rate_limited_hits,
+        breaker_opens: r.breaker_opens,
+        breaker_fast_fails: r.breaker_fast_fails,
+        queue_wait,
+        exec,
+    }
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
@@ -395,6 +556,7 @@ mod tests {
                     capacity: 4096,
                     shards: 4,
                 },
+                ..ServiceConfig::default()
             },
         )
     }
@@ -405,12 +567,7 @@ mod tests {
             service.platform().keywords(),
         )
         .expect("query parses");
-        JobSpec {
-            query,
-            algorithm: Algorithm::MaTarw { interval: None },
-            budget,
-            seed,
-        }
+        JobSpec::new(query, Algorithm::MaTarw { interval: None }, budget, seed)
     }
 
     #[test]
@@ -418,14 +575,15 @@ mod tests {
         let service = tiny_service(Some(50_000), 2);
         let spec = spec(&service, 4_000, 7);
         let handle = service.submit(spec).expect("admitted");
-        let output = handle.join().expect("estimates");
+        let output = handle.join().into_result().expect("estimates");
         assert!(output.estimate.cost <= 4_000);
-        assert_eq!(service.quota().consumed(), output.estimate.cost);
+        assert_eq!(output.charged, output.estimate.cost);
+        assert_eq!(service.quota().consumed(), output.charged);
         assert_eq!(service.quota().reserved(), 0);
         let snap = service.metrics_snapshot();
         assert_eq!(snap.jobs_submitted, 1);
         assert_eq!(snap.jobs_succeeded, 1);
-        assert_eq!(snap.charged_calls, output.estimate.cost);
+        assert_eq!(snap.charged_calls, output.charged);
         service.shutdown();
     }
 
@@ -443,16 +601,16 @@ mod tests {
         assert_eq!(service.metrics_snapshot().jobs_rejected, 1);
         // A job the quota can cover is still admitted afterwards.
         let handle = service.submit(spec(&service, 1_000, 7)).expect("fits");
-        assert!(handle.join().is_ok());
+        assert!(handle.join().into_result().is_ok());
     }
 
     #[test]
     fn identical_jobs_share_the_cache() {
         let service = tiny_service(None, 2);
         let first = service.submit(spec(&service, 3_000, 11)).unwrap();
-        let a = first.join().expect("first run");
+        let a = first.join().into_result().expect("first run");
         let second = service.submit(spec(&service, 3_000, 11)).unwrap();
-        let b = second.join().expect("second run");
+        let b = second.join().into_result().expect("second run");
         // Logical charging keeps replays bit-identical...
         assert_eq!(a.estimate.value.to_bits(), b.estimate.value.to_bits());
         assert_eq!(a.estimate.cost, b.estimate.cost);
@@ -466,12 +624,89 @@ mod tests {
     fn handle_is_joinable_multiple_times() {
         let service = tiny_service(None, 1);
         let handle = service.submit(spec(&service, 2_000, 3)).unwrap();
-        let first = handle.join().expect("ok");
-        let again = handle.join().expect("still ok");
+        let first = handle.join().into_result().expect("ok");
+        let again = handle.join().into_result().expect("still ok");
         assert_eq!(
             first.estimate.value.to_bits(),
             again.estimate.value.to_bits()
         );
         assert!(handle.try_outcome().is_some());
+    }
+
+    #[test]
+    fn failed_jobs_refund_their_unused_reservation() {
+        // A total outage: every fetch faults forever, so the job fails
+        // before charging anything — the old behavior of burning the
+        // whole reservation would leave the pool at 12_000 consumed.
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        let service = Service::new(
+            Arc::new(scenario.platform),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers: 1,
+                global_quota: Some(20_000),
+                fault_plan: Some(FaultPlan::outage(7)),
+                retry: RetryPolicy::resilient().with_max_attempts(2),
+                ..ServiceConfig::default()
+            },
+        );
+        let handle = service.submit(spec(&service, 12_000, 3)).expect("admitted");
+        let outcome = handle.join();
+        match &outcome {
+            JobOutcome::Failed {
+                error,
+                charged,
+                resilience,
+                ..
+            } => {
+                assert!(matches!(error, ServiceError::Estimation(_)));
+                assert_eq!(*charged, 0, "failed attempts charge the waste meter");
+                assert!(resilience.fatal_errors > 0);
+                assert!(!resilience.trail.is_empty());
+            }
+            other => panic!("expected Failed under a total outage, got {other:?}"),
+        }
+        assert_eq!(service.quota().consumed(), 0, "full refund");
+        assert_eq!(service.quota().reserved(), 0);
+        assert_eq!(service.quota().remaining(), Some(20_000));
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.jobs_failed, 1);
+        assert_eq!(snap.refunded_calls, 12_000);
+        assert!(snap.retries > 0);
+    }
+
+    #[test]
+    fn absorbed_faults_leave_estimates_bit_identical() {
+        let clean = tiny_service(None, 1);
+        let baseline = clean
+            .submit(spec(&clean, 3_000, 21))
+            .unwrap()
+            .join()
+            .into_result()
+            .expect("clean run");
+
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        let service = Service::new(
+            Arc::new(scenario.platform),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers: 1,
+                fault_plan: Some(FaultPlan::mixed(5, 0.2).with_max_consecutive(2)),
+                retry: RetryPolicy::patient(),
+                ..ServiceConfig::default()
+            },
+        );
+        let outcome = service.submit(spec(&service, 3_000, 21)).unwrap().join();
+        assert!(outcome.is_complete(), "all faults absorbed: {outcome:?}");
+        let out = outcome.into_result().unwrap();
+        assert_eq!(
+            out.estimate.value.to_bits(),
+            baseline.estimate.value.to_bits()
+        );
+        assert_eq!(out.estimate.cost, baseline.estimate.cost);
+        assert_eq!(out.charged, baseline.charged);
+        assert!(out.resilience.retries > 0, "a 20% plan must force retries");
+        let injector = service.fault_injector().expect("configured");
+        assert!(injector.injected().total() > 0);
     }
 }

@@ -5,12 +5,14 @@
 //! then joins the handles and writes one [`QueryResponse`] per request,
 //! in input order.
 
-use crate::engine::{JobHandle, Service, ServiceError};
+use crate::engine::{JobHandle, JobOutcome, Service, ServiceError};
 use crate::request::{
     parse_algorithm, parse_interval, JobSpec, QueryRequest, QueryResponse, DEFAULT_BUDGET,
     DEFAULT_SEED,
 };
 use microblog_analyzer::query::parse::parse_query;
+use microblog_api::RetryPolicy;
+use microblog_platform::Duration;
 use std::io::{self, BufRead, Write};
 
 /// What a batch run did, for the operator's closing summary.
@@ -18,8 +20,11 @@ use std::io::{self, BufRead, Write};
 pub struct BatchSummary {
     /// Non-empty input lines.
     pub requests: usize,
-    /// Jobs that produced an estimate.
+    /// Jobs that produced a full estimate.
     pub ok: usize,
+    /// Jobs that produced a partial estimate (walk gave up early on a
+    /// fatal resilience error).
+    pub degraded: usize,
     /// Jobs refused by admission control.
     pub rejected: usize,
     /// Malformed lines and failed estimations.
@@ -56,21 +61,11 @@ pub fn run_batch<R: BufRead, W: Write>(
     for entry in pending {
         let response = match entry {
             Pending::Immediate(response) => *response,
-            Pending::Running(id, handle) => match handle.join() {
-                Ok(output) => QueryResponse {
-                    id,
-                    status: "ok".into(),
-                    estimate: Some(output.estimate),
-                    error: None,
-                    cache: Some(output.cache),
-                    queue_wait_micros: Some(output.queue_wait.as_micros() as u64),
-                    exec_micros: Some(output.exec.as_micros() as u64),
-                },
-                Err(err) => failure_response(id, &err),
-            },
+            Pending::Running(id, handle) => outcome_response(id, handle.join()),
         };
         match response.status.as_str() {
             "ok" => summary.ok += 1,
+            "degraded" => summary.degraded += 1,
             "rejected" => summary.rejected += 1,
             _ => summary.errors += 1,
         }
@@ -103,6 +98,27 @@ fn submit_line(service: &Service, line: &str) -> Pending {
     }
 }
 
+fn outcome_response(id: Option<u64>, outcome: JobOutcome) -> QueryResponse {
+    let degraded = outcome.is_degraded();
+    match outcome.into_result() {
+        Ok(output) => QueryResponse {
+            id,
+            status: if degraded { "degraded" } else { "ok" }.into(),
+            estimate: Some(output.estimate),
+            error: if degraded {
+                Some(output.resilience.trail.join("; "))
+            } else {
+                None
+            },
+            cache: Some(output.cache),
+            resilience: Some(output.resilience),
+            queue_wait_micros: Some(output.queue_wait.as_micros() as u64),
+            exec_micros: Some(output.exec.as_micros() as u64),
+        },
+        Err(err) => failure_response(id, &err),
+    }
+}
+
 fn build_spec(service: &Service, request: QueryRequest) -> Result<JobSpec, String> {
     let query = parse_query(&request.query, service.platform().keywords())
         .map_err(|e| format!("bad query: {e}"))?;
@@ -111,11 +127,27 @@ fn build_spec(service: &Service, request: QueryRequest) -> Result<JobSpec, Strin
         None => None,
     };
     let algorithm = parse_algorithm(request.algorithm.as_deref().unwrap_or("tarw"), interval)?;
+    // A per-request retry/deadline overrides the service default; the
+    // override starts from the stock resilient policy.
+    let retry = match (request.retry, request.deadline) {
+        (None, None) => None,
+        (attempts, deadline) => {
+            let mut policy = RetryPolicy::resilient();
+            if let Some(attempts) = attempts {
+                policy = policy.with_max_attempts(attempts.max(1));
+            }
+            if let Some(deadline) = deadline {
+                policy = policy.with_deadline(Duration(deadline.max(0)));
+            }
+            Some(policy)
+        }
+    };
     Ok(JobSpec {
         query,
         algorithm,
         budget: request.budget.unwrap_or(DEFAULT_BUDGET),
         seed: request.seed.unwrap_or(DEFAULT_SEED),
+        retry,
     })
 }
 
@@ -148,6 +180,7 @@ mod tests {
                     capacity: 4096,
                     shards: 4,
                 },
+                ..ServiceConfig::default()
             },
         )
     }
@@ -182,8 +215,7 @@ mod tests {
             BatchSummary {
                 requests: 2,
                 ok: 2,
-                rejected: 0,
-                errors: 0
+                ..BatchSummary::default()
             }
         );
         let lines = response_lines(&out);
@@ -233,5 +265,26 @@ this is not json\n\
         let lines = response_lines(&out);
         assert_eq!(status_of(&lines[0]), "ok");
         assert_eq!(status_of(&lines[1]), "rejected");
+    }
+
+    #[test]
+    fn per_request_retry_and_deadline_are_accepted() {
+        let service = tiny_service(None);
+        let input =
+            "{\"id\": 4, \"query\": \"SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'\", \
+                     \"budget\": 1500, \"retry\": 3, \"deadline\": 86400}\n";
+        let mut out = Vec::new();
+        let summary = run_batch(&service, input.as_bytes(), &mut out).unwrap();
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.errors, 0);
+        let lines = response_lines(&out);
+        assert_eq!(status_of(&lines[0]), "ok");
+        // The response carries the resilience accounting (all zero on a
+        // clean platform).
+        let map = lines[0].as_map().unwrap();
+        assert!(!matches!(
+            serde::value::field(map, "resilience"),
+            serde_json::Value::Null
+        ));
     }
 }

@@ -22,6 +22,14 @@
 //! - [`MetricsRegistry`] — service-wide counters with text and JSON
 //!   exports.
 //! - [`run_batch`] — the JSON-lines frontend behind `ma-cli serve`.
+//! - **Graceful degradation** — each job runs through the resilient
+//!   client stack (`microblog_api::ResilientClient`) under a
+//!   [`RetryPolicy`](microblog_api::RetryPolicy); a
+//!   [`ServiceConfig::fault_plan`] injects failures for chaos testing.
+//!   Jobs settle their quota reservation down to what they actually
+//!   charged — failed and degraded jobs refund the rest — and a
+//!   [`JobOutcome::Degraded`] carries the partial estimate plus the
+//!   error trail.
 //!
 //! ```no_run
 //! use microblog_service::{JobSpec, Service, ServiceConfig};
@@ -42,9 +50,9 @@
 //!     service.platform().keywords(),
 //! ).unwrap();
 //! let handle = service
-//!     .submit(JobSpec { query, algorithm: Algorithm::MaTarw { interval: None }, budget: 25_000, seed: 7 })
+//!     .submit(JobSpec::new(query, Algorithm::MaTarw { interval: None }, 25_000, 7))
 //!     .unwrap();
-//! let output = handle.join().unwrap();
+//! let output = handle.join().into_result().unwrap();
 //! println!("estimate {:.3} for {} calls", output.estimate.value, output.estimate.cost);
 //! ```
 //!
@@ -61,7 +69,7 @@ pub mod quota;
 pub mod request;
 
 pub use cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
-pub use engine::{JobHandle, JobOutput, Service, ServiceConfig, ServiceError};
+pub use engine::{JobHandle, JobOutcome, JobOutput, Service, ServiceConfig, ServiceError};
 pub use frontend::{run_batch, BatchSummary};
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 pub use quota::{GlobalQuota, Reservation};

@@ -16,12 +16,29 @@ use std::time::Duration;
 pub struct JobMetrics {
     /// Whether the job produced an estimate.
     pub succeeded: bool,
+    /// Whether that estimate is partial (the walk gave up early on a
+    /// fatal resilience error). Degraded jobs also count as succeeded.
+    pub degraded: bool,
     /// API calls charged to the job's budget (the paper's cost metric).
     pub charged_calls: u64,
+    /// Reserved calls returned to the global quota at settlement.
+    pub refunded_calls: u64,
     /// Samples the walk collected (0 on failure).
     pub samples: u64,
     /// Cache traffic of the job's client.
     pub cache: CacheStats,
+    /// Retried API attempts.
+    pub retries: u64,
+    /// Calls burned by failed attempts (never charged to the budget).
+    pub wasted_calls: u64,
+    /// Simulated seconds spent in backoff + rate-limit waits.
+    pub backoff_secs: u64,
+    /// Rate-limit rejections absorbed.
+    pub rate_limited_hits: u64,
+    /// Circuit-breaker trips.
+    pub breaker_opens: u64,
+    /// Calls rejected by an open breaker without touching the platform.
+    pub breaker_fast_fails: u64,
     /// Time spent queued before a worker picked the job up.
     pub queue_wait: Duration,
     /// Time spent executing.
@@ -34,15 +51,23 @@ pub struct MetricsRegistry {
     jobs_submitted: AtomicU64,
     jobs_rejected: AtomicU64,
     jobs_succeeded: AtomicU64,
+    jobs_degraded: AtomicU64,
     jobs_failed: AtomicU64,
     estimates_produced: AtomicU64,
     charged_calls: AtomicU64,
+    refunded_calls: AtomicU64,
     actual_calls: AtomicU64,
     saved_calls: AtomicU64,
     local_hits: AtomicU64,
     shared_hits: AtomicU64,
     cache_misses: AtomicU64,
     walk_samples: AtomicU64,
+    retries: AtomicU64,
+    wasted_calls: AtomicU64,
+    backoff_secs: AtomicU64,
+    rate_limited_hits: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_fast_fails: AtomicU64,
     queue_wait_micros: AtomicU64,
     exec_micros: AtomicU64,
 }
@@ -68,11 +93,27 @@ impl MetricsRegistry {
         if job.succeeded {
             self.jobs_succeeded.fetch_add(1, Ordering::Relaxed);
             self.estimates_produced.fetch_add(1, Ordering::Relaxed);
+            if job.degraded {
+                self.jobs_degraded.fetch_add(1, Ordering::Relaxed);
+            }
         } else {
             self.jobs_failed.fetch_add(1, Ordering::Relaxed);
         }
         self.charged_calls
             .fetch_add(job.charged_calls, Ordering::Relaxed);
+        self.refunded_calls
+            .fetch_add(job.refunded_calls, Ordering::Relaxed);
+        self.retries.fetch_add(job.retries, Ordering::Relaxed);
+        self.wasted_calls
+            .fetch_add(job.wasted_calls, Ordering::Relaxed);
+        self.backoff_secs
+            .fetch_add(job.backoff_secs, Ordering::Relaxed);
+        self.rate_limited_hits
+            .fetch_add(job.rate_limited_hits, Ordering::Relaxed);
+        self.breaker_opens
+            .fetch_add(job.breaker_opens, Ordering::Relaxed);
+        self.breaker_fast_fails
+            .fetch_add(job.breaker_fast_fails, Ordering::Relaxed);
         self.actual_calls
             .fetch_add(job.cache.actual_calls, Ordering::Relaxed);
         self.saved_calls
@@ -96,15 +137,23 @@ impl MetricsRegistry {
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             jobs_succeeded: self.jobs_succeeded.load(Ordering::Relaxed),
+            jobs_degraded: self.jobs_degraded.load(Ordering::Relaxed),
             jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
             estimates_produced: self.estimates_produced.load(Ordering::Relaxed),
             charged_calls: self.charged_calls.load(Ordering::Relaxed),
+            refunded_calls: self.refunded_calls.load(Ordering::Relaxed),
             actual_calls: self.actual_calls.load(Ordering::Relaxed),
             saved_calls: self.saved_calls.load(Ordering::Relaxed),
             local_hits: self.local_hits.load(Ordering::Relaxed),
             shared_hits: self.shared_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             walk_samples: self.walk_samples.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            wasted_calls: self.wasted_calls.load(Ordering::Relaxed),
+            backoff_secs: self.backoff_secs.load(Ordering::Relaxed),
+            rate_limited_hits: self.rate_limited_hits.load(Ordering::Relaxed),
+            breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
+            breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
             queue_wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
             exec_micros: self.exec_micros.load(Ordering::Relaxed),
         }
@@ -121,12 +170,17 @@ pub struct MetricsSnapshot {
     pub jobs_rejected: u64,
     /// Jobs that produced an estimate.
     pub jobs_succeeded: u64,
+    /// Succeeded jobs whose estimate is partial (walk gave up early on a
+    /// fatal resilience error).
+    pub jobs_degraded: u64,
     /// Jobs that errored.
     pub jobs_failed: u64,
     /// Estimates produced (== succeeded jobs).
     pub estimates_produced: u64,
     /// API calls charged to budgets.
     pub charged_calls: u64,
+    /// Reserved calls refunded to the global quota at settlement.
+    pub refunded_calls: u64,
     /// API calls actually issued to the platform.
     pub actual_calls: u64,
     /// Calls absorbed by the shared cache.
@@ -139,6 +193,18 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Samples collected by all walks.
     pub walk_samples: u64,
+    /// Retried API attempts across all jobs.
+    pub retries: u64,
+    /// Calls burned by failed attempts (never charged to budgets).
+    pub wasted_calls: u64,
+    /// Simulated seconds spent in backoff + rate-limit waits.
+    pub backoff_secs: u64,
+    /// Rate-limit rejections absorbed.
+    pub rate_limited_hits: u64,
+    /// Circuit-breaker trips.
+    pub breaker_opens: u64,
+    /// Calls rejected by an open breaker without touching the platform.
+    pub breaker_fast_fails: u64,
     /// Total time jobs spent queued, µs.
     pub queue_wait_micros: u64,
     /// Total time jobs spent executing, µs.
@@ -182,9 +248,11 @@ impl MetricsSnapshot {
         line("jobs submitted", self.jobs_submitted.to_string());
         line("jobs rejected", self.jobs_rejected.to_string());
         line("jobs succeeded", self.jobs_succeeded.to_string());
+        line("jobs degraded", self.jobs_degraded.to_string());
         line("jobs failed", self.jobs_failed.to_string());
         line("estimates produced", self.estimates_produced.to_string());
         line("API calls charged", self.charged_calls.to_string());
+        line("API calls refunded", self.refunded_calls.to_string());
         line("API calls actual", self.actual_calls.to_string());
         line(
             "API calls saved",
@@ -200,6 +268,19 @@ impl MetricsSnapshot {
         );
         line("cache misses", self.cache_misses.to_string());
         line("walk samples", self.walk_samples.to_string());
+        line(
+            "retries",
+            format!("{} ({} calls wasted)", self.retries, self.wasted_calls),
+        );
+        line("backoff time (sim)", format!("{}s", self.backoff_secs));
+        line("rate-limit hits", self.rate_limited_hits.to_string());
+        line(
+            "breaker",
+            format!(
+                "{} open(s), {} fast-fail(s)",
+                self.breaker_opens, self.breaker_fast_fails
+            ),
+        );
         line("mean queue wait", format!("{:?}", self.mean_queue_wait()));
         line("mean exec time", format!("{:?}", self.mean_exec()));
         out
@@ -219,7 +300,9 @@ mod tests {
     fn job(succeeded: bool, charged: u64, saved: u64) -> JobMetrics {
         JobMetrics {
             succeeded,
+            degraded: false,
             charged_calls: charged,
+            refunded_calls: 5,
             samples: 10,
             cache: CacheStats {
                 local_hits: 1,
@@ -228,6 +311,12 @@ mod tests {
                 actual_calls: charged - saved,
                 saved_calls: saved,
             },
+            retries: 2,
+            wasted_calls: 3,
+            backoff_secs: 60,
+            rate_limited_hits: 1,
+            breaker_opens: 0,
+            breaker_fast_fails: 0,
             queue_wait: Duration::from_micros(500),
             exec: Duration::from_millis(2),
         }
@@ -248,9 +337,15 @@ mod tests {
         assert_eq!(snap.jobs_failed, 1);
         assert_eq!(snap.estimates_produced, 1);
         assert_eq!(snap.charged_calls, 150);
+        assert_eq!(snap.refunded_calls, 10);
         assert_eq!(snap.actual_calls, 110);
         assert_eq!(snap.saved_calls, 40);
         assert_eq!(snap.walk_samples, 20);
+        assert_eq!(snap.retries, 4);
+        assert_eq!(snap.wasted_calls, 6);
+        assert_eq!(snap.backoff_secs, 120);
+        assert_eq!(snap.rate_limited_hits, 2);
+        assert_eq!(snap.jobs_degraded, 0);
         assert_eq!(snap.mean_queue_wait(), Duration::from_micros(500));
         assert_eq!(snap.mean_exec(), Duration::from_millis(2));
         assert!((snap.savings_ratio() - 40.0 / 150.0).abs() < 1e-12);
@@ -261,17 +356,30 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.record_submitted();
         reg.record_job(&job(true, 10, 5));
+        reg.record_job(&JobMetrics {
+            degraded: true,
+            ..job(true, 10, 0)
+        });
         let snap = reg.snapshot();
+        assert_eq!(snap.jobs_degraded, 1);
+        assert_eq!(snap.jobs_succeeded, 2);
         let text = snap.render_text();
         assert!(text.contains("jobs submitted        1"));
+        assert!(text.contains("jobs degraded         1"));
         assert!(text.contains("API calls saved"));
+        assert!(text.contains("retries               4 (6 calls wasted)"));
+        assert!(text.contains("breaker"));
         let json = snap.to_json();
         let value = serde_json::parse_value_str(&json).unwrap();
         let map = value.as_map().unwrap();
         // The reparse reads positive integers back as I64.
         assert_eq!(
-            serde_json::Value::I64(10),
+            serde_json::Value::I64(20),
             *serde::value::field(map, "charged_calls")
+        );
+        assert_eq!(
+            serde_json::Value::I64(1),
+            *serde::value::field(map, "jobs_degraded")
         );
     }
 

@@ -7,6 +7,7 @@
 
 use microblog_analyzer::{AggregateQuery, Algorithm, Estimate, ViewKind};
 use microblog_api::cache::CacheStats;
+use microblog_api::{ResilienceStats, RetryPolicy};
 use microblog_platform::Duration;
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,28 @@ pub struct JobSpec {
     pub budget: u64,
     /// Estimator RNG seed.
     pub seed: u64,
+    /// Job-level retry policy; `None` uses the service-wide default from
+    /// [`ServiceConfig::retry`](crate::ServiceConfig).
+    pub retry: Option<RetryPolicy>,
+}
+
+impl JobSpec {
+    /// A spec using the service's default retry policy.
+    pub fn new(query: AggregateQuery, algorithm: Algorithm, budget: u64, seed: u64) -> Self {
+        JobSpec {
+            query,
+            algorithm,
+            budget,
+            seed,
+            retry: None,
+        }
+    }
+
+    /// Overrides the service's default retry policy for this job.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
 }
 
 /// Default per-query budget when a request omits one.
@@ -45,6 +68,12 @@ pub struct QueryRequest {
     pub seed: Option<u64>,
     /// Level interval (`2h|4h|12h|1d|2d|1w|1m|auto`); default `auto`.
     pub interval: Option<String>,
+    /// Retry attempts per logical API call; overrides the service default
+    /// (`1` disables retries for this job).
+    pub retry: Option<u32>,
+    /// Per-call deadline in simulated seconds; overrides the service
+    /// default.
+    pub deadline: Option<i64>,
 }
 
 /// One line of `serve` output.
@@ -52,14 +81,17 @@ pub struct QueryRequest {
 pub struct QueryResponse {
     /// The request's correlation id, if it carried one.
     pub id: Option<u64>,
-    /// `"ok"`, `"rejected"`, or `"error"`.
+    /// `"ok"`, `"degraded"`, `"rejected"`, or `"error"`.
     pub status: String,
-    /// The estimate, on success.
+    /// The estimate, on success (partial when `"degraded"`).
     pub estimate: Option<Estimate>,
-    /// The failure message, when not `"ok"`.
+    /// The failure message, when `"rejected"`/`"error"`; the error trail,
+    /// when `"degraded"`.
     pub error: Option<String>,
     /// The job client's cache traffic, on success.
     pub cache: Option<CacheStats>,
+    /// Retry/backoff/breaker accounting, on success.
+    pub resilience: Option<ResilienceStats>,
     /// Time spent queued, in microseconds, on success.
     pub queue_wait_micros: Option<u64>,
     /// Time spent executing, in microseconds, on success.
@@ -75,6 +107,7 @@ impl QueryResponse {
             estimate: None,
             error: Some(error),
             cache: None,
+            resilience: None,
             queue_wait_micros: None,
             exec_micros: None,
         }

@@ -1,0 +1,169 @@
+//! Heavy chaos stress tests, behind the `chaos` feature:
+//!
+//! ```text
+//! cargo test -p microblog-service --features chaos
+//! ```
+//!
+//! Many submitter threads race admissions against a quota that cannot
+//! cover the demand, while every platform fetch runs a gauntlet of
+//! transient errors, rate limits, timeouts, and truncated pages. The
+//! service must come out with books that balance to the call.
+#![cfg(feature = "chaos")]
+
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::{Algorithm, MicroblogAnalyzer};
+use microblog_api::{ApiProfile, RetryPolicy};
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::FaultPlan;
+use microblog_service::{JobSpec, Service, ServiceConfig, ServiceError, SharedCacheConfig};
+use std::sync::Arc;
+
+const QUERIES: [&str; 6] = [
+    "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+    "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'",
+    "SELECT AVG(POSTS) FROM USERS WHERE KEYWORD = 'privacy'",
+    "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'tahrir'",
+    "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'tahrir'",
+    "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'oprah winfrey'",
+];
+
+fn spec(scenario: &Scenario, q: usize, budget: u64, seed: u64) -> JobSpec {
+    JobSpec::new(
+        parse_query(QUERIES[q % QUERIES.len()], scenario.platform.keywords())
+            .expect("query parses"),
+        Algorithm::MaTarw { interval: None },
+        budget,
+        seed,
+    )
+}
+
+/// The big one: 8 submitters × 6 jobs, quota sized for roughly half the
+/// demand, 20% mixed faults on every fetch. Exact settlement, no hangs,
+/// books balance.
+#[test]
+fn chaos_storm_settles_exactly_under_contention() {
+    const SUBMITTERS: u64 = 8;
+    const JOBS_PER_SUBMITTER: u64 = 6;
+    const BUDGET: u64 = 1_200;
+    const LIMIT: u64 = SUBMITTERS * JOBS_PER_SUBMITTER * BUDGET / 2;
+
+    let scenario = twitter_2013(Scale::Tiny, 2014);
+    let service = Arc::new(Service::new(
+        Arc::new(scenario.platform.clone()),
+        ApiProfile::twitter(),
+        ServiceConfig {
+            workers: 4,
+            global_quota: Some(LIMIT),
+            cache: SharedCacheConfig {
+                capacity: 65_536,
+                shards: 8,
+            },
+            fault_plan: Some(FaultPlan::mixed(23, 0.2).with_max_consecutive(2)),
+            retry: RetryPolicy::resilient().with_max_attempts(10),
+        },
+    ));
+    let threads: Vec<_> = (0..SUBMITTERS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let scenario = twitter_2013(Scale::Tiny, 2014);
+            std::thread::spawn(move || {
+                let mut settled = 0u64;
+                let mut admitted = 0u64;
+                let mut rejected = 0u64;
+                for j in 0..JOBS_PER_SUBMITTER {
+                    let spec = spec(&scenario, (t + j) as usize, BUDGET, t * 1_000 + j);
+                    match service.submit(spec) {
+                        Ok(handle) => {
+                            admitted += 1;
+                            settled += handle.join().charged();
+                        }
+                        Err(ServiceError::Rejected { available, .. }) => {
+                            rejected += 1;
+                            assert!(available < BUDGET);
+                        }
+                        Err(other) => panic!("unexpected submit error: {other}"),
+                    }
+                }
+                (settled, admitted, rejected)
+            })
+        })
+        .collect();
+
+    let mut settled_total = 0u64;
+    let mut admitted_total = 0u64;
+    let mut rejected_total = 0u64;
+    for t in threads {
+        let (settled, admitted, rejected) = t.join().expect("submitter terminates");
+        settled_total += settled;
+        admitted_total += admitted;
+        rejected_total += rejected;
+    }
+
+    assert_eq!(service.quota().consumed(), settled_total);
+    assert_eq!(service.quota().reserved(), 0, "everything settled");
+    assert!(service.quota().consumed() <= LIMIT);
+    assert!(admitted_total > 0);
+    assert!(
+        rejected_total > 0,
+        "a half-sized pool under full demand must reject someone"
+    );
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.jobs_submitted, admitted_total);
+    assert_eq!(snap.jobs_succeeded + snap.jobs_failed, admitted_total);
+    assert_eq!(snap.charged_calls, settled_total);
+    assert!(snap.retries > 0, "20% faults must force retries");
+    assert!(snap.wasted_calls > 0);
+    let injected = service.fault_injector().expect("configured").injected();
+    assert!(injected.total() > 0);
+}
+
+/// Chaos must stay invisible when absorbed: every query that completes
+/// (not degraded) under heavy faults is bit-identical to its fault-free
+/// twin, even with the shared cache in play.
+#[test]
+fn chaos_survivors_match_fault_free_runs_bit_for_bit() {
+    let scenario = twitter_2013(Scale::Tiny, 2014);
+    let analyzer = MicroblogAnalyzer::new(&scenario.platform, ApiProfile::twitter());
+    let baselines: Vec<_> = (0..QUERIES.len())
+        .map(|q| {
+            let s = spec(&scenario, q, 2_000, 41 + q as u64);
+            analyzer
+                .estimate_with_cache(&s.query, s.budget, s.algorithm, s.seed, None)
+                .expect("clean run")
+                .0
+        })
+        .collect();
+
+    let service = Service::new(
+        Arc::new(scenario.platform.clone()),
+        ApiProfile::twitter(),
+        ServiceConfig {
+            workers: 3,
+            fault_plan: Some(FaultPlan::mixed(31, 0.35).with_max_consecutive(2)),
+            retry: RetryPolicy::patient(),
+            ..ServiceConfig::default()
+        },
+    );
+    let handles: Vec<_> = (0..QUERIES.len())
+        .map(|q| {
+            service
+                .submit(spec(&scenario, q, 2_000, 41 + q as u64))
+                .expect("admitted")
+        })
+        .collect();
+    for (q, handle) in handles.iter().enumerate() {
+        let outcome = handle.join();
+        assert!(
+            outcome.is_complete(),
+            "q{q}: patient retries must absorb capped faults: {outcome:?}"
+        );
+        let out = outcome.into_result().unwrap();
+        assert_eq!(out.estimate.value.to_bits(), baselines[q].value.to_bits());
+        assert_eq!(out.estimate.cost, baselines[q].cost);
+        assert!(
+            out.resilience.retries > 0,
+            "q{q}: 35% faults, zero retries?"
+        );
+    }
+    service.shutdown();
+}

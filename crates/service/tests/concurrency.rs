@@ -6,8 +6,8 @@
 //!   limit — admitted budgets plus consumed calls stay within the cap at
 //!   every instant, so the final consumed total is within the cap too.
 //! - **No lost updates**: what the quota reports as consumed equals the
-//!   sum, over finished jobs, of what each job settled (its charged cost
-//!   on success, its full reservation on failure).
+//!   sum, over finished jobs, of what each job settled (the calls it
+//!   actually charged — unused reservation is refunded, success or not).
 //! - **Termination**: every handle joins; nothing deadlocks or is
 //!   dropped on the floor.
 
@@ -30,6 +30,7 @@ fn service(global_quota: Option<u64>, workers: usize) -> Service {
                 capacity: 65_536,
                 shards: 8,
             },
+            ..ServiceConfig::default()
         },
     )
 }
@@ -40,12 +41,7 @@ fn spec(service: &Service, budget: u64, seed: u64) -> JobSpec {
         service.platform().keywords(),
     )
     .expect("query parses");
-    JobSpec {
-        query,
-        algorithm: Algorithm::MaTarw { interval: None },
-        budget,
-        seed,
-    }
+    JobSpec::new(query, Algorithm::MaTarw { interval: None }, budget, seed)
 }
 
 #[test]
@@ -69,11 +65,9 @@ fn eight_submitters_respect_the_quota_exactly() {
                     match service.submit(spec) {
                         Ok(handle) => {
                             admitted += 1;
-                            settled += match handle.join() {
-                                Ok(out) => out.estimate.cost,
-                                // Failed jobs consume their reservation.
-                                Err(_) => BUDGET,
-                            };
+                            // Whatever the ending, the job settled exactly
+                            // what it charged; the rest was refunded.
+                            settled += handle.join().charged();
                         }
                         Err(ServiceError::Rejected {
                             requested,

@@ -1,0 +1,224 @@
+//! Resilience integration tests: the service engine over a faulty
+//! platform.
+//!
+//! Invariants:
+//!
+//! - **No cache poisoning**: only successful responses enter the
+//!   [`SharedApiCache`], so a transient error on the first fetch of a key
+//!   can never leak partial data to later jobs — replays through the
+//!   shared cache stay bit-identical to clean isolated runs.
+//! - **Exact settlement under chaos**: with faults flying, every job
+//!   still settles exactly what it charged; refunds from failed and
+//!   degraded jobs return to the pool; nothing hangs.
+
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::{Algorithm, MicroblogAnalyzer};
+use microblog_api::{ApiProfile, RetryPolicy};
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::FaultPlan;
+use microblog_service::{
+    JobOutcome, JobSpec, Service, ServiceConfig, ServiceError, SharedCacheConfig,
+};
+use std::sync::Arc;
+
+const QUERIES: [&str; 4] = [
+    "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+    "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'",
+    "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'tahrir'",
+    "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'oprah winfrey'",
+];
+
+fn world() -> Scenario {
+    twitter_2013(Scale::Tiny, 2014)
+}
+
+fn spec(scenario: &Scenario, q: usize, budget: u64, seed: u64) -> JobSpec {
+    JobSpec::new(
+        parse_query(QUERIES[q % QUERIES.len()], scenario.platform.keywords())
+            .expect("query parses"),
+        Algorithm::MaTarw { interval: None },
+        budget,
+        seed,
+    )
+}
+
+/// A transient error on the first fetch of a key must not poison the
+/// shared cache: the retry refetches, and only the good response is
+/// stored. Every job through the faulty shared-cache service — including
+/// replays served from the cache — must match the clean isolated run
+/// bit-for-bit.
+#[test]
+fn faults_never_poison_the_shared_cache() {
+    let scenario = world();
+    let analyzer = MicroblogAnalyzer::new(&scenario.platform, ApiProfile::twitter());
+    let baselines: Vec<_> = (0..QUERIES.len())
+        .map(|q| {
+            let s = spec(&scenario, q, 2_500, 31 + q as u64);
+            analyzer
+                .estimate_with_cache(&s.query, s.budget, s.algorithm, s.seed, None)
+                .expect("clean run")
+                .0
+        })
+        .collect();
+
+    // Heavy mixed faults (including truncated pages), capped so patient
+    // retries always get through. The first fetch of many keys faults.
+    let service = Service::new(
+        Arc::new(scenario.platform.clone()),
+        ApiProfile::twitter(),
+        ServiceConfig {
+            workers: 2,
+            fault_plan: Some(FaultPlan::mixed(9, 0.3).with_max_consecutive(2)),
+            retry: RetryPolicy::patient(),
+            ..ServiceConfig::default()
+        },
+    );
+    // Two rounds: the first populates the cache through retries, the
+    // second replays mostly from shared hits. Both must match baseline.
+    for round in 0..2 {
+        for (q, baseline) in baselines.iter().enumerate() {
+            let outcome = service
+                .submit(spec(&scenario, q, 2_500, 31 + q as u64))
+                .expect("admitted")
+                .join();
+            assert!(
+                outcome.is_complete(),
+                "round {round} q{q}: capped faults must be absorbed: {outcome:?}"
+            );
+            let out = outcome.into_result().unwrap();
+            assert_eq!(
+                out.estimate.value.to_bits(),
+                baseline.value.to_bits(),
+                "round {round} q{q}: a poisoned cache entry would shift the estimate"
+            );
+            assert_eq!(out.estimate.cost, baseline.cost);
+        }
+    }
+    let snap = service.cache_snapshot();
+    assert!(snap.hits() > 0, "round two must hit the shared cache");
+    let injected = service.fault_injector().expect("configured").injected();
+    assert!(injected.total() > 0, "the plan must actually inject faults");
+    assert!(injected.truncated > 0 || injected.transient > 0);
+    service.shutdown();
+}
+
+/// Eight concurrent jobs against a faulty platform with a tight quota:
+/// everything terminates, the quota settles exactly (refunds included),
+/// and the retry counters show the stack actually worked.
+#[test]
+fn chaos_jobs_settle_the_quota_exactly() {
+    const JOBS: u64 = 8;
+    const BUDGET: u64 = 1_500;
+    let scenario = world();
+    let service = Arc::new(Service::new(
+        Arc::new(scenario.platform.clone()),
+        ApiProfile::twitter(),
+        ServiceConfig {
+            workers: 4,
+            global_quota: Some(JOBS * BUDGET),
+            cache: SharedCacheConfig {
+                capacity: 65_536,
+                shards: 8,
+            },
+            fault_plan: Some(FaultPlan::mixed(17, 0.15).with_max_consecutive(2)),
+            retry: RetryPolicy::resilient().with_max_attempts(10),
+        },
+    ));
+    let threads: Vec<_> = (0..JOBS)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            let scenario = world();
+            std::thread::spawn(move || {
+                let handle = service
+                    .submit(spec(&scenario, i as usize, BUDGET, 7 * i))
+                    .expect("quota covers all budgets");
+                handle.join()
+            })
+        })
+        .collect();
+
+    let mut settled = 0u64;
+    let mut retries = 0u64;
+    for t in threads {
+        let outcome = t.join().expect("submitter terminates");
+        settled += outcome.charged();
+        retries += outcome.resilience().retries;
+        if let JobOutcome::Failed { error, .. } = &outcome {
+            assert!(
+                matches!(error, ServiceError::Estimation(_)),
+                "only estimation failures are acceptable: {error}"
+            );
+        }
+    }
+    // Exact settlement: consumed equals the sum of per-job charges, all
+    // reservations released, refunds visible in the metrics.
+    assert_eq!(service.quota().consumed(), settled);
+    assert_eq!(service.quota().reserved(), 0);
+    assert!(service.quota().consumed() <= JOBS * BUDGET);
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.jobs_submitted, JOBS);
+    assert_eq!(
+        snap.jobs_succeeded + snap.jobs_failed,
+        JOBS,
+        "every job reached a terminal state"
+    );
+    assert_eq!(snap.charged_calls, settled);
+    assert!(retries > 0, "a 15% fault plan must force retries");
+    assert_eq!(snap.retries, retries);
+    assert!(snap.wasted_calls > 0);
+}
+
+/// Degradation end-to-end: when the retry budget is too small for the
+/// fault rate, jobs either fail (with refunds) or degrade (partial
+/// estimate + error trail) — but always terminate and settle.
+#[test]
+fn overwhelmed_retries_degrade_or_fail_but_always_settle() {
+    let scenario = world();
+    let mut degraded_seen = false;
+    let mut failed_seen = false;
+    for fault_seed in 0..12 {
+        let service = Service::new(
+            Arc::new(scenario.platform.clone()),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers: 1,
+                global_quota: Some(10_000),
+                // Uncapped fault runs + a single attempt: the first fault
+                // a walk meets is fatal to it.
+                fault_plan: Some(FaultPlan::transient(fault_seed, 0.002).with_max_consecutive(0)),
+                retry: RetryPolicy::none(),
+                ..ServiceConfig::default()
+            },
+        );
+        let outcome = service
+            .submit(spec(&scenario, 0, 4_000, 5))
+            .expect("admitted")
+            .join();
+        match &outcome {
+            JobOutcome::Complete(out) => {
+                // The plan was sparse enough that the walk never met a
+                // fault at all.
+                assert_eq!(out.resilience.fatal_errors, 0);
+            }
+            JobOutcome::Degraded(out) => {
+                degraded_seen = true;
+                assert!(out.resilience.fatal_errors > 0);
+                assert!(!out.resilience.trail.is_empty());
+                assert!(out.estimate.samples > 0, "degraded still has samples");
+                assert!(out.charged <= 4_000);
+            }
+            JobOutcome::Failed { resilience, .. } => {
+                failed_seen = true;
+                assert!(resilience.fatal_errors > 0);
+            }
+        }
+        // Settlement is exact in every ending.
+        assert_eq!(service.quota().consumed(), outcome.charged());
+        assert_eq!(service.quota().reserved(), 0);
+        service.shutdown();
+    }
+    assert!(
+        degraded_seen || failed_seen,
+        "12 uncapped fault seeds must break at least one walk"
+    );
+}

@@ -27,12 +27,12 @@ fn spec(kw: usize, agg: usize, budget: u64, seed: u64) -> JobSpec {
         "SELECT {} FROM USERS WHERE KEYWORD = '{}'",
         AGGREGATES[agg], KEYWORDS[kw]
     );
-    JobSpec {
-        query: parse_query(&text, world().platform.keywords()).expect("query parses"),
-        algorithm: Algorithm::MaTarw { interval: None },
+    JobSpec::new(
+        parse_query(&text, world().platform.keywords()).expect("query parses"),
+        Algorithm::MaTarw { interval: None },
         budget,
         seed,
-    }
+    )
 }
 
 /// What one job did, in either execution mode.
@@ -78,6 +78,7 @@ proptest! {
                 workers: 4,
                 global_quota: None,
                 cache: SharedCacheConfig { capacity: 65_536, shards: 4 },
+                ..ServiceConfig::default()
             },
         );
         let handles: Vec<_> = specs
@@ -86,7 +87,7 @@ proptest! {
             .collect();
         let mut shared_actual = 0u64;
         for (handle, expected) in handles.iter().zip(&isolated) {
-            let got = match handle.join() {
+            let got = match handle.join().into_result() {
                 Ok(out) => {
                     shared_actual += out.cache.actual_calls;
                     prop_assert_eq!(
@@ -124,12 +125,13 @@ proptest! {
                 workers: 1,
                 global_quota: None,
                 cache: SharedCacheConfig { capacity: 65_536, shards: 4 },
+                ..ServiceConfig::default()
             },
         );
         let first = service.submit(spec(kw, agg, 2_500, seed)).unwrap();
-        let first = first.join();
+        let first = first.join().into_result();
         let second = service.submit(spec(kw, agg, 2_500, seed)).unwrap();
-        let second = second.join();
+        let second = second.join().into_result();
         match (first, second) {
             (Ok(a), Ok(b)) => {
                 prop_assert_eq!(a.estimate.value.to_bits(), b.estimate.value.to_bits());

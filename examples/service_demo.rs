@@ -44,15 +44,17 @@ fn main() {
     let specs: Vec<JobSpec> = texts
         .iter()
         .enumerate()
-        .map(|(i, text)| JobSpec {
-            query: parse_query(text, scenario.platform.keywords()).expect("query parses"),
-            // T = 1 day, the paper's example segmentation; auto-selection
-            // pilots are noisy on worlds this small (see quickstart).
-            algorithm: Algorithm::MaTarw {
-                interval: Some(microblog_platform::Duration::DAY),
-            },
-            budget,
-            seed: 100 + i as u64,
+        .map(|(i, text)| {
+            JobSpec::new(
+                parse_query(text, scenario.platform.keywords()).expect("query parses"),
+                // T = 1 day, the paper's example segmentation; auto-selection
+                // pilots are noisy on worlds this small (see quickstart).
+                Algorithm::MaTarw {
+                    interval: Some(microblog_platform::Duration::DAY),
+                },
+                budget,
+                100 + i as u64,
+            )
         })
         .collect();
 
@@ -95,7 +97,7 @@ fn main() {
 
     let mut service_actual = 0u64;
     for (i, handle) in handles.iter().enumerate() {
-        let out = handle.join().expect("service estimation");
+        let out = handle.join().into_result().expect("service estimation");
         service_actual += out.cache.actual_calls;
         let identical = out.estimate.value.to_bits() == baseline[i].value.to_bits()
             && out.estimate.cost == baseline[i].cost;
