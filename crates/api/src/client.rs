@@ -190,7 +190,7 @@ impl<'a> MicroblogClient<'a> {
             .map_err(|f| self.fault_error(ApiEndpoint::Timeline, f, self.profile.timeline_page))?;
         let store = self.backend.store();
         let visible = match self.profile.timeline_cap {
-            Some(cap) => &all[..all.len().min(cap)],
+            Some(cap) => &all[..all.len().min(cap)], // ma-lint: allow(panic-safety) reason="slice end is len().min(cap), never past the end"
             None => all,
         };
         let calls = ApiProfile::calls_for(visible.len(), self.profile.timeline_page);
@@ -251,7 +251,7 @@ impl<'a> MicroblogClient<'a> {
                     j += 1;
                     b
                 }
-                (None, None) => unreachable!("loop condition"),
+                (None, None) => unreachable!("loop condition"), // ma-lint: allow(panic-safety) reason="loop guard ensures at least one side still has items"
             };
             merged.push(UserId(next));
         }

@@ -304,7 +304,7 @@ impl<'a> ResilientClient<'a> {
 
     /// Current breaker state for `endpoint`.
     pub fn breaker_state(&self, endpoint: ApiEndpoint) -> BreakerState {
-        self.breakers[endpoint.index()].state
+        self.breakers[endpoint.index()].state // ma-lint: allow(panic-safety) reason="breakers is a fixed array indexed by the Endpoint enum"
     }
 
     /// The platform clock (public knowledge: "today").
@@ -357,7 +357,7 @@ impl<'a> ResilientClient<'a> {
         loop {
             // Breaker gate: fail fast while open, probe when cooled down.
             if self.policy.breaker.is_some() {
-                let b = &mut self.breakers[endpoint.index()];
+                let b = &mut self.breakers[endpoint.index()]; // ma-lint: allow(panic-safety) reason="breakers is a fixed array indexed by the Endpoint enum"
                 if b.state == BreakerState::Open {
                     if self.clock < b.open_until {
                         // Even fast-fails take a pacing beat, so the
@@ -449,7 +449,7 @@ impl<'a> ResilientClient<'a> {
         if self.policy.breaker.is_none() {
             return;
         }
-        let b = &mut self.breakers[endpoint.index()];
+        let b = &mut self.breakers[endpoint.index()]; // ma-lint: allow(panic-safety) reason="breakers is a fixed array indexed by the Endpoint enum"
         b.consecutive = 0;
         if b.state == BreakerState::HalfOpen {
             b.state = BreakerState::Closed;
@@ -460,7 +460,7 @@ impl<'a> ResilientClient<'a> {
         let Some(cfg) = self.policy.breaker else {
             return;
         };
-        let b = &mut self.breakers[endpoint.index()];
+        let b = &mut self.breakers[endpoint.index()]; // ma-lint: allow(panic-safety) reason="breakers is a fixed array indexed by the Endpoint enum"
         match b.state {
             BreakerState::HalfOpen => {
                 // Failed probe: back to open for another cooldown.

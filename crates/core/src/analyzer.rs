@@ -88,6 +88,7 @@ impl Algorithm {
 /// Everything one estimation run produced: the estimate (or why there is
 /// none), what it charged, and what the resilience layer absorbed along
 /// the way.
+#[must_use = "a RunReport accounts for spent API budget; dropping it discards the charge"]
 #[derive(Clone, Debug)]
 pub struct RunReport {
     /// The estimate, or the failure that prevented one.

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// The output of an estimation run.
+#[must_use = "an Estimate embodies spent API budget; dropping it discards the answer"]
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct Estimate {
     /// The estimated aggregate value.

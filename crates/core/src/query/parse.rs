@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="parser expects fire only after the matching token was peeked; grammar invariants"
 //! A small SQL-ish surface syntax for aggregate queries (§2 of the paper
 //! writes them as `SELECT AGGR(f(u)) FROM U WHERE CONDITION`).
 //!

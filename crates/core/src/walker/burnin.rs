@@ -47,7 +47,7 @@ pub fn measure_burn_in<R: Rng>(
     let now = client.now();
     let mut graph = QueryGraph::new(client, query, view);
     let mut chain: Vec<f64> = Vec::with_capacity(max_steps);
-    let mut current = seeds[rng.gen_range(0..seeds.len())];
+    let mut current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
     for _ in 0..max_steps {
         let user_view = match graph.view(current) {
             Ok(v) => v,
@@ -64,10 +64,10 @@ pub fn measure_burn_in<R: Rng>(
             Err(e) => return Err(e.into()),
         };
         if nbrs.is_empty() {
-            current = seeds[rng.gen_range(0..seeds.len())];
+            current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             continue;
         }
-        current = nbrs[rng.gen_range(0..nbrs.len())];
+        current = nbrs[rng.gen_range(0..nbrs.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
     }
     if chain.is_empty() {
         return Err(EstimateError::NoSamples);

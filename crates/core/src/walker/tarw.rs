@@ -312,7 +312,7 @@ impl ProbabilityEstimator {
             let entry = self
                 .up_cache
                 .as_mut()
-                .expect("cache enabled")
+                .expect("cache enabled") // ma-lint: allow(panic-safety) reason="guarded by the is_none early return above"
                 .entry(u)
                 .or_default();
             entry.sum += draw;
@@ -340,7 +340,7 @@ impl ProbabilityEstimator {
             let entry = self
                 .down_cache
                 .as_mut()
-                .expect("cache enabled")
+                .expect("cache enabled") // ma-lint: allow(panic-safety) reason="guarded by the is_none early return above"
                 .entry(u)
                 .or_default();
             entry.sum += draw;
@@ -368,7 +368,7 @@ impl ProbabilityEstimator {
         if below.is_empty() {
             return Ok(seed_mass);
         }
-        let v = below[rng.gen_range(0..below.len())];
+        let v = below[rng.gen_range(0..below.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
         let (v_above, _) = graph.level_split(v)?;
         debug_assert!(!v_above.is_empty(), "v has u above it");
         let pv = self.draw_up(graph, rng, v)?;
@@ -390,7 +390,7 @@ impl ProbabilityEstimator {
             // §5.2 root cache as a special case).
             return self.p_up(graph, rng, u);
         }
-        let v = above[rng.gen_range(0..above.len())];
+        let v = above[rng.gen_range(0..above.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
         let (_, v_below) = graph.level_split(v)?;
         debug_assert!(!v_below.is_empty(), "v has u below it");
         let pv = self.draw_down(graph, rng, v)?;
@@ -411,7 +411,7 @@ impl TarwWalker<'_, '_, '_> {
     /// One bottom-top-bottom instance; `Ok(None)` when the chosen seed is
     /// not a subgraph member (e.g. its qualifying post is cap-hidden).
     fn run_instance<R: Rng>(&mut self, rng: &mut R) -> Result<Option<InstanceSums>, ApiError> {
-        let start = self.seeds[rng.gen_range(0..self.seeds.len())];
+        let start = self.seeds[rng.gen_range(0..self.seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
         if self.graph.member_level(start)?.is_none() {
             return Ok(None);
         }
@@ -423,7 +423,7 @@ impl TarwWalker<'_, '_, '_> {
             if above.is_empty() {
                 break;
             }
-            current = above[rng.gen_range(0..above.len())];
+            current = above[rng.gen_range(0..above.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             up_path.push(current);
         }
         let root = current;
@@ -435,7 +435,7 @@ impl TarwWalker<'_, '_, '_> {
             if below.is_empty() {
                 break;
             }
-            current = below[rng.gen_range(0..below.len())];
+            current = below[rng.gen_range(0..below.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             down_path.push(current);
         }
 

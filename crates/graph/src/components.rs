@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="union-find and BFS arrays are sized to the node count"
 //! Connected components via union-find.
 //!
 //! The paper's Table 2 reports the *recall* of the term-induced subgraph as

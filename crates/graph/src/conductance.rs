@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="cut and volume accumulators are sized to the node count"
 //! Graph conductance: exact cut scores, brute-force and spectral sweep
 //! minimization, and the paper's closed forms for stylized level-by-level
 //! graphs (Theorem 4.1, Eq. 2/3) with Corollary 4.1's optimal degree.

@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="CSR offsets are constructed sorted and bounded by the edge count"
 //! Immutable compressed-sparse-row adjacency for undirected graphs.
 //!
 //! [`CsrGraph`] stores each undirected edge twice (once per endpoint) with

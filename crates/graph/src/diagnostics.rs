@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="diagnostic histograms index buckets computed from their own bounds"
 //! Markov-chain convergence diagnostics.
 //!
 //! The paper measures burn-in with the Geweke diagnostic [11] and a

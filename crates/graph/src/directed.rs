@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="in and out adjacency arrays are sized to the node count at build"
 //! Directed follower/followee graphs.
 //!
 //! Microblog relations are often asymmetric (Twitter follower/followee).

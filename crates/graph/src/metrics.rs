@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="degree arrays are sized to the node count"
 //! Degree statistics, common-neighbor counts, and clustering coefficients.
 //!
 //! Table 2 of the paper contrasts the average number of common neighbors

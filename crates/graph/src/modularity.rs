@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="degree and community vectors are sized to the node count at entry"
 //! Newman modularity and a simple label-propagation community detector.
 //!
 //! §4.1 of the paper measures the "tightly connected communities" of the

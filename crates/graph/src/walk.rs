@@ -98,7 +98,7 @@ pub fn simple_random_walk<S: NeighborSource, R: Rng>(
     for _ in 0..steps {
         let nbrs = source.neighbors(current)?;
         if !nbrs.is_empty() {
-            current = nbrs[rng.gen_range(0..nbrs.len())];
+            current = nbrs[rng.gen_range(0..nbrs.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             degree = source.neighbors(current)?.len();
         }
         visits.push(Visit {
@@ -129,7 +129,7 @@ pub fn metropolis_hastings_walk<S: NeighborSource, R: Rng>(
         if cur_deg > 0 {
             let proposal = {
                 let nbrs = source.neighbors(current)?;
-                nbrs[rng.gen_range(0..nbrs.len())]
+                nbrs[rng.gen_range(0..nbrs.len())] // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             };
             let prop_deg = source.neighbors(proposal)?.len();
             let accept = if prop_deg == 0 {

@@ -1,0 +1,172 @@
+//! The checked-in findings baseline.
+//!
+//! A baseline lets the gate start at **zero new findings** without first
+//! fixing every historical one: `lint-baseline.toml` records, per
+//! `rule:file` key, how many findings are grandfathered. The CI gate
+//! fails only when a key's live count exceeds its baselined count, and
+//! reports stale entries (live < baselined) so the file ratchets down to
+//! empty over time.
+//!
+//! The format is a deliberately tiny TOML subset — one `[counts]` table
+//! of `"rule:path" = n` entries — parsed by hand because the workspace
+//! is offline and the linter must stay dependency-free.
+
+use crate::context::Finding;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `rule:file` → grandfathered finding count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// The grandfathered counts.
+    pub counts: BTreeMap<String, u32>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format. Lines are comments (`#`), the
+    /// `[counts]` header, or `"rule:path" = n`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut counts = BTreeMap::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') || line == "[counts]" {
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| {
+                format!("baseline line {}: expected `\"rule:path\" = n`", lineno + 1)
+            })?;
+            let key = key.trim().trim_matches('"');
+            if !key.contains(':') {
+                return Err(format!(
+                    "baseline line {}: key `{key}` is not `rule:path`",
+                    lineno + 1
+                ));
+            }
+            let n: u32 = value.trim().parse().map_err(|_| {
+                format!(
+                    "baseline line {}: `{}` is not a count",
+                    lineno + 1,
+                    value.trim()
+                )
+            })?;
+            counts.insert(key.to_string(), n);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes back to the file format.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::from(
+            "# ma-lint baseline — grandfathered findings per rule:file.\n\
+             # Regenerate with `cargo run -p ma-lint -- --write-baseline`;\n\
+             # the goal is for this file to stay empty.\n\
+             [counts]\n",
+        );
+        for (key, n) in &self.counts {
+            out.push_str(&format!("\"{key}\" = {n}\n"));
+        }
+        out
+    }
+
+    /// Builds the baseline that would make `findings` pass exactly.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        for f in findings {
+            *counts.entry(format!("{}:{}", f.rule, f.file)).or_default() += 1;
+        }
+        Baseline { counts }
+    }
+}
+
+/// The result of gating `findings` against a baseline.
+#[derive(Clone, Debug, Default)]
+pub struct GateResult {
+    /// Findings not covered by the baseline — these fail the gate.
+    pub new: Vec<Finding>,
+    /// Findings absorbed by baseline counts.
+    pub baselined: usize,
+    /// Baseline keys whose live count dropped below the recorded one
+    /// (ratchet the file down).
+    pub stale: Vec<(String, u32, u32)>,
+}
+
+/// Applies `baseline` to `findings`. Within a `rule:file` key the first
+/// `n` findings (in line order) are absorbed; the rest are new.
+pub fn gate(findings: &[Finding], baseline: &Baseline) -> GateResult {
+    let mut live: BTreeMap<String, Vec<&Finding>> = BTreeMap::new();
+    for f in findings {
+        live.entry(format!("{}:{}", f.rule, f.file))
+            .or_default()
+            .push(f);
+    }
+    let mut result = GateResult::default();
+    for (key, group) in &live {
+        let allowed = baseline.counts.get(key).copied().unwrap_or(0) as usize;
+        result.baselined += group.len().min(allowed);
+        for f in group.iter().skip(allowed) {
+            result.new.push((*f).clone());
+        }
+    }
+    for (key, &n) in &baseline.counts {
+        let seen = live.get(key).map_or(0, |g| g.len()) as u32;
+        if seen < n {
+            result.stale.push((key.clone(), n, seen));
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let b = Baseline::parse(
+            "# comment\n[counts]\n\"panic-safety:crates/core/src/view.rs\" = 3\n\"wall-clock:a.rs\" = 1\n",
+        )
+        .unwrap();
+        assert_eq!(b.counts.len(), 2);
+        let again = Baseline::parse(&b.to_toml()).unwrap();
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("nonsense\n").is_err());
+        assert!(Baseline::parse("\"no-colon\" = 1\n").is_err());
+        assert!(Baseline::parse("\"a:b\" = many\n").is_err());
+    }
+
+    #[test]
+    fn gate_absorbs_up_to_count_and_flags_the_rest() {
+        let findings = vec![
+            finding("panic-safety", "a.rs", 1),
+            finding("panic-safety", "a.rs", 2),
+            finding("panic-safety", "a.rs", 3),
+            finding("wall-clock", "b.rs", 9),
+        ];
+        let baseline = Baseline::parse("\"panic-safety:a.rs\" = 2\n").unwrap();
+        let r = gate(&findings, &baseline);
+        assert_eq!(r.baselined, 2);
+        assert_eq!(r.new.len(), 2);
+        assert!(r.new.iter().any(|f| f.rule == "wall-clock"));
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn gate_reports_stale_entries() {
+        let baseline = Baseline::parse("\"charging:gone.rs\" = 4\n").unwrap();
+        let r = gate(&[], &baseline);
+        assert!(r.new.is_empty());
+        assert_eq!(r.stale, vec![("charging:gone.rs".to_string(), 4, 0)]);
+    }
+}

@@ -1,0 +1,140 @@
+//! What each rule applies to.
+//!
+//! `ma-lint` is a *workspace* linter: the rule set and its allowlists
+//! encode this repository's conventions (see DESIGN.md §9), so the
+//! defaults live in code rather than in a config file. Paths are
+//! workspace-relative with `/` separators; matching is by prefix, so
+//! `crates/bench/` covers every file under that crate.
+
+/// Rule identifiers, as used in findings, suppression comments and the
+/// baseline file.
+pub const RULES: [&str; 7] = [
+    "wall-clock",
+    "panic-safety",
+    "determinism",
+    "charging",
+    "lock-order",
+    "hygiene",
+    "suppression",
+];
+
+/// The analyzer's configuration. [`Config::default`] is the workspace
+/// policy; tests build custom ones to aim rules at fixture files.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Path prefixes never scanned at all.
+    pub skip: Vec<String>,
+    /// Path prefixes where wall-clock time is legitimate (benchmarks
+    /// time real hardware; everything else uses the simulated clock).
+    pub wall_clock_allowed: Vec<String>,
+    /// Crates whose library code must be panic-free (prefixes of the
+    /// form `crates/<name>/src/`).
+    pub panic_safety_paths: Vec<String>,
+    /// Estimator/walker/estimate paths where hash-order iteration can
+    /// feed arithmetic and is therefore forbidden.
+    pub determinism_paths: Vec<String>,
+    /// Paths that must route API traffic through the metered client
+    /// stack rather than calling `Platform`/`ApiBackend` directly.
+    pub charging_paths: Vec<String>,
+    /// Paths exempt from the charging rule *within* the above (the
+    /// metered stack itself).
+    pub charging_exempt: Vec<String>,
+    /// Paths whose `Mutex`/`RwLock` acquisitions feed the global
+    /// lock-order graph.
+    pub lock_order_paths: Vec<String>,
+    /// Crate-root files that must carry `#![forbid(unsafe_code)]`.
+    pub hygiene_lib_roots: Vec<String>,
+    /// Type names that must be declared `#[must_use]` (estimate-result
+    /// types: dropping one silently discards an estimate).
+    pub must_use_types: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let s = |v: &[&str]| v.iter().map(|p| p.to_string()).collect::<Vec<_>>();
+        Config {
+            skip: s(&[
+                "vendor/",
+                "target/",
+                // The linter's own fixtures deliberately violate every rule.
+                "crates/lint/tests/fixtures/",
+            ]),
+            wall_clock_allowed: s(&[
+                // Benchmarks measure real hardware time by definition.
+                "crates/bench/",
+            ]),
+            panic_safety_paths: s(&[
+                "crates/api/src/",
+                "crates/core/src/",
+                "crates/graph/src/",
+                "crates/platform/src/",
+                "crates/service/src/",
+            ]),
+            determinism_paths: s(&[
+                "crates/core/src/walker/",
+                "crates/core/src/analyzer.rs",
+                "crates/core/src/estimate.rs",
+                "crates/core/src/interval.rs",
+                "crates/core/src/level.rs",
+                "crates/core/src/seeds.rs",
+                "crates/core/src/view.rs",
+                "crates/graph/src/walk.rs",
+            ]),
+            charging_paths: s(&["crates/api/src/", "crates/core/src/", "crates/service/src/"]),
+            charging_exempt: s(&[
+                // The metered client stack is where direct backend calls
+                // are supposed to live.
+                "crates/api/src/client.rs",
+            ]),
+            lock_order_paths: s(&["crates/api/src/", "crates/service/src/"]),
+            hygiene_lib_roots: s(&[
+                "crates/api/src/lib.rs",
+                "crates/bench/src/lib.rs",
+                "crates/core/src/lib.rs",
+                "crates/graph/src/lib.rs",
+                "crates/lint/src/lib.rs",
+                "crates/platform/src/lib.rs",
+                "crates/service/src/lib.rs",
+            ]),
+            must_use_types: s(&["Estimate", "RunReport", "JobOutcome"]),
+        }
+    }
+}
+
+impl Config {
+    /// Whether `path` starts with any of `prefixes`.
+    pub fn matches(path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| path.starts_with(p.as_str()))
+    }
+}
+
+/// Where a file sits in the workspace — rules use this to skip test,
+/// binary and example code where the library invariants don't apply.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FileRole {
+    /// Under a crate's `tests/` directory (integration tests).
+    pub integration_test: bool,
+    /// A binary target (`src/bin/…` or `src/main.rs`).
+    pub binary: bool,
+    /// Under an `examples/` directory.
+    pub example: bool,
+    /// Under a `benches/` directory.
+    pub bench: bool,
+}
+
+impl FileRole {
+    /// Classifies a workspace-relative path.
+    pub fn of(path: &str) -> FileRole {
+        FileRole {
+            integration_test: path.contains("/tests/") || path.starts_with("tests/"),
+            binary: path.contains("/src/bin/") || path.ends_with("/main.rs"),
+            example: path.contains("/examples/") || path.starts_with("examples/"),
+            bench: path.contains("/benches/"),
+        }
+    }
+
+    /// Library code: the part of a crate other crates link against.
+    pub fn is_library(self) -> bool {
+        !self.integration_test && !self.binary && !self.example && !self.bench
+    }
+}

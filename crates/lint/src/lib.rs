@@ -1,0 +1,162 @@
+#![forbid(unsafe_code)]
+//! `ma-lint` — the workspace invariant analyzer.
+//!
+//! The repo's core guarantee is that estimates are bit-identical whether
+//! runs are isolated, cached or fault-injected. That guarantee rests on
+//! conventions — all time through the simulated clock, all API traffic
+//! through the metered client stack, no hash-order arithmetic in
+//! estimator paths — that the compiler cannot enforce. This crate turns
+//! them into CI-gated invariants with a self-contained token-level
+//! analyzer (no external dependencies; the workspace is offline).
+//!
+//! See DESIGN.md §9 for the rule catalog and the suppression/baseline
+//! workflow. The entry points are [`analyze_source`] (one in-memory
+//! file, used by the fixture self-tests) and [`analyze_workspace`]
+//! (walks `crates/*/src`, `crates/*/tests`, `examples/` and `tests/`).
+
+pub mod baseline;
+pub mod config;
+pub mod context;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use baseline::{gate, Baseline};
+use config::Config;
+use context::{FileCtx, Finding};
+use report::Report;
+use rules::lock_order::LockEdge;
+use std::path::{Path, PathBuf};
+
+/// Per-file analysis output: findings plus this file's contribution to
+/// the global lock graph.
+pub struct FileAnalysis {
+    /// Findings after inline suppression.
+    pub findings: Vec<Finding>,
+    /// Lock-acquisition edges (cycle detection happens globally).
+    pub lock_edges: Vec<LockEdge>,
+}
+
+/// Analyzes one file's source under `path` (workspace-relative, `/`
+/// separators). This is the unit the fixture tests drive directly.
+pub fn analyze_source(path: &str, source: &str, cfg: &Config) -> FileAnalysis {
+    let ctx = FileCtx::new(path, source);
+    let mut findings = Vec::new();
+    rules::wall_clock::check(&ctx, cfg, &mut findings);
+    rules::panic_safety::check(&ctx, cfg, &mut findings);
+    rules::determinism::check(&ctx, cfg, &mut findings);
+    rules::charging::check(&ctx, cfg, &mut findings);
+    rules::hygiene::check(&ctx, cfg, &mut findings);
+    let lock_edges = rules::lock_order::extract(&ctx, cfg);
+    // Malformed suppression directives are findings themselves: a typo'd
+    // allow would otherwise silently stop suppressing.
+    for (line, msg) in &ctx.bad_directives {
+        findings.push(Finding {
+            rule: "suppression",
+            file: path.to_string(),
+            line: *line,
+            message: msg.clone(),
+        });
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    FileAnalysis {
+        findings,
+        lock_edges,
+    }
+}
+
+/// Walks the workspace at `root`, analyzes every eligible `.rs` file and
+/// gates the result against `baseline`.
+pub fn analyze_workspace(
+    root: &Path,
+    cfg: &Config,
+    baseline: &Baseline,
+) -> std::io::Result<Report> {
+    let files = collect_files(root, cfg)?;
+    let mut findings = Vec::new();
+    let mut edges = Vec::new();
+    let files_scanned = files.len();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let mut analysis = analyze_source(&rel, &source, cfg);
+        findings.append(&mut analysis.findings);
+        edges.append(&mut analysis.lock_edges);
+    }
+    rules::lock_order::check_cycles(&edges, &mut findings);
+    findings
+        .sort_by(|a, b| (a.file.clone(), a.line, a.rule).cmp(&(b.file.clone(), b.line, b.rule)));
+    Ok(Report {
+        files_scanned,
+        gate: gate(&findings, baseline),
+        findings,
+    })
+}
+
+/// Collects workspace-relative paths of every `.rs` file to analyze:
+/// `crates/*/{src,tests,examples,benches}`, plus the workspace-level
+/// `examples/` and `tests/` directories, minus [`Config::skip`].
+pub fn collect_files(root: &Path, cfg: &Config) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "examples", "benches"] {
+                walk_rs(&dir.join(sub), root, cfg, &mut out)?;
+            }
+        }
+    }
+    for top in ["examples", "tests"] {
+        walk_rs(&root.join(top), root, cfg, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, root: &Path, cfg: &Config, out: &mut Vec<String>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut stack: Vec<PathBuf> = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                if !Config::matches(&rel, &cfg.skip) {
+                    out.push(rel);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_typo_is_itself_a_finding() {
+        let src = "// ma-lint: alow(panic-safety) reason=\"typo\"\nfn f() {}\n";
+        let a = analyze_source("crates/core/src/x.rs", src, &Config::default());
+        assert_eq!(a.findings.len(), 1);
+        assert_eq!(a.findings[0].rule, "suppression");
+    }
+
+    #[test]
+    fn clean_file_has_no_findings() {
+        let src = "fn f(x: Option<u32>) -> Option<u32> { x.map(|v| v + 1) }\n";
+        let a = analyze_source("crates/core/src/x.rs", src, &Config::default());
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+}

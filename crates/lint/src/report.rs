@@ -1,0 +1,200 @@
+//! Human-readable and JSON rendering of a lint run.
+//!
+//! JSON is hand-serialized (the linter is dependency-free by design);
+//! the schema is stable for CI consumption:
+//!
+//! ```json
+//! {
+//!   "files_scanned": 63,
+//!   "findings": [{"rule": "…", "file": "…", "line": 12, "message": "…", "baselined": false}],
+//!   "new_findings": 1,
+//!   "baselined_findings": 0,
+//!   "stale_baseline": ["rule:file (4 baselined, 2 live)"]
+//! }
+//! ```
+
+use crate::baseline::GateResult;
+use crate::context::Finding;
+
+/// Everything one run produced.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Files analyzed.
+    pub files_scanned: usize,
+    /// All findings after inline suppression, before the baseline gate.
+    pub findings: Vec<Finding>,
+    /// The baseline gate's verdict.
+    pub gate: GateResult,
+}
+
+impl Report {
+    /// Whether the gate passes (no unbaselined findings).
+    pub fn ok(&self) -> bool {
+        self.gate.new.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let newset: std::collections::BTreeSet<(String, u32, &'static str)> = self
+            .gate
+            .new
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.rule))
+            .collect();
+        for f in &self.findings {
+            let status = if newset.contains(&(f.file.clone(), f.line, f.rule)) {
+                "error"
+            } else {
+                "baselined"
+            };
+            out.push_str(&format!(
+                "{status}[{rule}] {file}:{line}: {msg}\n",
+                rule = f.rule,
+                file = f.file,
+                line = f.line,
+                msg = f.message
+            ));
+        }
+        for (key, baselined, live) in &self.gate.stale {
+            out.push_str(&format!(
+                "stale-baseline: {key} records {baselined} finding(s) but only {live} remain — \
+                 ratchet the baseline down\n"
+            ));
+        }
+        out.push_str(&format!(
+            "ma-lint: {files} file(s) scanned, {new} new finding(s), {base} baselined, \
+             {stale} stale baseline entr{ies}\n",
+            files = self.files_scanned,
+            new = self.gate.new.len(),
+            base = self.gate.baselined,
+            stale = self.gate.stale.len(),
+            ies = if self.gate.stale.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+        ));
+        out
+    }
+
+    /// Renders the JSON report.
+    pub fn render_json(&self) -> String {
+        let newset: std::collections::BTreeSet<(String, u32, &'static str)> = self
+            .gate
+            .new
+            .iter()
+            .map(|f| (f.file.clone(), f.line, f.rule))
+            .collect();
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let baselined = !newset.contains(&(f.file.clone(), f.line, f.rule));
+            out.push_str(&format!(
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"baselined\": {}}}",
+                json_str(f.rule),
+                json_str(&f.file),
+                f.line,
+                json_str(&f.message),
+                baselined
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str(&format!("  \"new_findings\": {},\n", self.gate.new.len()));
+        out.push_str(&format!(
+            "  \"baselined_findings\": {},\n",
+            self.gate.baselined
+        ));
+        out.push_str("  \"stale_baseline\": [");
+        for (i, (key, baselined, live)) in self.gate.stale.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(&format!(
+                "{key} ({baselined} baselined, {live} live)"
+            )));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{gate, Baseline};
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let findings = vec![Finding {
+            rule: "panic-safety",
+            file: "a \"b\".rs".to_string(),
+            line: 3,
+            message: "needs\nescaping\\here".to_string(),
+        }];
+        let report = Report {
+            files_scanned: 1,
+            gate: gate(&findings, &Baseline::default()),
+            findings,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\\\"b\\\""));
+        assert!(json.contains("needs\\nescaping\\\\here"));
+        assert!(json.contains("\"new_findings\": 1"));
+        assert!(!report.ok());
+    }
+
+    #[test]
+    fn text_marks_baselined_vs_error() {
+        let findings = vec![
+            Finding {
+                rule: "charging",
+                file: "x.rs".to_string(),
+                line: 1,
+                message: "m".to_string(),
+            },
+            Finding {
+                rule: "charging",
+                file: "x.rs".to_string(),
+                line: 2,
+                message: "m".to_string(),
+            },
+        ];
+        let baseline = Baseline::parse("\"charging:x.rs\" = 1\n").unwrap();
+        let report = Report {
+            files_scanned: 1,
+            gate: gate(&findings, &baseline),
+            findings,
+        };
+        let text = report.render_text();
+        assert!(text.contains("baselined[charging] x.rs:1"));
+        assert!(text.contains("error[charging] x.rs:2"));
+        assert!(text.contains("1 new finding(s), 1 baselined"));
+    }
+}

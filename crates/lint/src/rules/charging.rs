@@ -1,0 +1,58 @@
+//! Rule `charging`: all API traffic goes through the metered stack.
+//!
+//! Every platform fetch must be charged to a budget and meter
+//! (`MicroblogClient` → `ResilientClient` → `CachingClient`), or quota
+//! accounting, logical charging and the cost figures all silently drift.
+//! Outside the metered client itself, calling `ApiBackend` fetch methods
+//! or raw `Platform` accessors (`search_posts`, `timeline`, `followers`,
+//! `followees`) bypasses that discipline. Ground-truth oracles and tests
+//! are exempt (they deliberately read the world for free).
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+
+/// Uncharged data-access methods: `ApiBackend` fetches and raw
+/// `Platform` accessors.
+const RAW_METHODS: [&str; 7] = [
+    "fetch_search",
+    "fetch_timeline",
+    "fetch_connections",
+    "search_posts",
+    "timeline",
+    "followers",
+    "followees",
+];
+
+/// Scans for direct backend/platform calls outside the metered stack.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::matches(ctx.path, &cfg.charging_paths)
+        || Config::matches(ctx.path, &cfg.charging_exempt)
+        || !ctx.role.is_library()
+    {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_code(i) {
+            continue;
+        }
+        let Some(m) = t.ident().filter(|m| RAW_METHODS.contains(m)) else {
+            continue;
+        };
+        // Method call position: `recv.method(` — a field access or a
+        // definition (`fn timeline(`) doesn't match.
+        let is_call =
+            i >= 1 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if is_call {
+            ctx.emit(
+                out,
+                "charging",
+                t.line,
+                format!(
+                    "direct `.{m}(…)` bypasses the metered client stack; route \
+                     through CachingClient/ResilientClient so the call is charged"
+                ),
+            );
+        }
+    }
+}

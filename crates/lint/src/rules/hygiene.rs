@@ -1,0 +1,90 @@
+//! Rule `hygiene`: crate-level guard rails.
+//!
+//! Two checks: every crate root must carry `#![forbid(unsafe_code)]`
+//! (the whole workspace is safe Rust; keep it provable), and
+//! estimate-result types must be `#[must_use]` — dropping an `Estimate`
+//! or `JobOutcome` on the floor means an API budget was spent for
+//! nothing, which should never compile silently.
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+
+/// Runs both hygiene checks on `ctx`.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.hygiene_lib_roots.iter().any(|p| p == ctx.path) {
+        check_forbid_unsafe(ctx, out);
+    }
+    check_must_use(ctx, cfg, out);
+}
+
+/// `#![forbid(unsafe_code)]` must appear in the crate root.
+fn check_forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = &ctx.tokens;
+    let found = toks.iter().enumerate().any(|(i, t)| {
+        t.is_ident("forbid")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.is_ident("unsafe_code"))
+    });
+    if !found {
+        ctx.emit(
+            out,
+            "hygiene",
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}
+
+/// Estimate-result type declarations must carry `#[must_use]`.
+fn check_must_use(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if !ctx.role.is_library() {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("struct") || t.is_ident("enum")) || ctx.is_test_code(i) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
+            continue;
+        };
+        if !cfg.must_use_types.iter().any(|n| n == name) {
+            continue;
+        }
+        // A declaration is followed by `{`, `<`, `(` or `;` — a `use`
+        // or an expression mention is not.
+        if !toks.get(i + 2).is_some_and(|t| {
+            t.is_punct('{') || t.is_punct('<') || t.is_punct('(') || t.is_punct(';')
+        }) {
+            continue;
+        }
+        // Scan the attribute window before the declaration for
+        // `must_use`, stopping at the previous item boundary.
+        let mut j = i;
+        let mut found = false;
+        let mut steps = 0;
+        while j > 0 && steps < 120 {
+            j -= 1;
+            steps += 1;
+            let p = &toks[j];
+            if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+                break;
+            }
+            if p.is_ident("must_use") {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            ctx.emit(
+                out,
+                "hygiene",
+                t.line,
+                format!(
+                    "`{name}` is an estimate-result type and must be `#[must_use]` — \
+                     dropping one discards paid-for API spend"
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Rule `lock-order`: the global lock-acquisition graph must be acyclic.
+//!
+//! Per file, every `Mutex`/`RwLock`-typed field is a node. Inside each
+//! function body the rule replays acquisitions (`.lock()`, `.read()`,
+//! `.write()`) against a scope stack: a guard bound with `let` is held to
+//! the end of its enclosing block, an inline guard to the end of its
+//! statement. Acquiring B while A is held adds the edge A → B; a cycle in
+//! the union of all edges (including the self-loop A → A, a re-entrant
+//! acquisition) is a deadlock waiting for the right interleaving.
+//!
+//! Suppressing the *edge site* (`// ma-lint: allow(lock-order) …`)
+//! removes that edge from the graph, which is how a provably-ordered
+//! pair (e.g. shard locks taken in index order) is waived.
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One observed "acquired `to` while holding `from`" event.
+#[derive(Clone, Debug)]
+pub struct LockEdge {
+    /// The lock field already held.
+    pub from: String,
+    /// The lock field acquired under it.
+    pub to: String,
+    /// Where the second acquisition happened.
+    pub file: String,
+    /// 1-based line of the second acquisition.
+    pub line: u32,
+    /// The enclosing function's name, for the report.
+    pub in_fn: String,
+}
+
+/// Extracts this file's lock fields and acquisition edges. Edges whose
+/// acquisition line carries a `lock-order` suppression are dropped here,
+/// so an annotated site cannot contribute to a cycle.
+pub fn extract(ctx: &FileCtx, cfg: &Config) -> Vec<LockEdge> {
+    if !Config::matches(ctx.path, &cfg.lock_order_paths) {
+        return Vec::new();
+    }
+    let fields = lock_fields(ctx);
+    if fields.is_empty() {
+        return Vec::new();
+    }
+    let toks = &ctx.tokens;
+    let mut edges = Vec::new();
+    for f in &ctx.fns {
+        if ctx.is_test_code(f.fn_idx) {
+            continue;
+        }
+        let fn_name = toks
+            .get(f.fn_idx + 1)
+            .and_then(|t| t.ident())
+            .unwrap_or("?")
+            .to_string();
+        // (field, acquisition_depth, held_to_block_end)
+        let mut live: Vec<(String, i32, bool)> = Vec::new();
+        let mut depth = 0i32;
+        let mut i = f.body_open;
+        while i <= f.body_close {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                live.retain(|(_, d, _)| *d <= depth);
+            } else if t.is_punct(';') {
+                // Statement end: inline guards drop.
+                live.retain(|(_, d, held)| *held && *d <= depth);
+            } else if let Some(m) = t.ident() {
+                let acquiring = (m == "lock" || m == "read" || m == "write")
+                    && i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if acquiring {
+                    if let Some(field) = i
+                        .checked_sub(2)
+                        .and_then(|r| toks[r].ident())
+                        .filter(|f| fields.contains(*f))
+                    {
+                        for (held, _, _) in &live {
+                            edges.push(LockEdge {
+                                from: held.clone(),
+                                to: field.to_string(),
+                                file: ctx.path.to_string(),
+                                line: t.line,
+                                in_fn: fn_name.clone(),
+                            });
+                        }
+                        let held = statement_binds(toks, i, f.body_open);
+                        live.push((field.to_string(), depth, held));
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    edges
+        .into_iter()
+        .filter(|e| !ctx.suppressed("lock-order", e.line))
+        .collect()
+}
+
+/// Whether the statement containing token `i` starts with `let` (the
+/// guard is bound and lives to the end of its block).
+fn statement_binds(toks: &[crate::lexer::Token], i: usize, floor: usize) -> bool {
+    let mut j = i;
+    while j > floor {
+        j -= 1;
+        let t = &toks[j];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            return toks.get(j + 1).is_some_and(|t| t.is_ident("let"));
+        }
+    }
+    false
+}
+
+/// Field names declared with a `Mutex<…>`/`RwLock<…>` type, unwrapping
+/// wrappers like `Arc<Mutex<…>>`.
+fn lock_fields(ctx: &FileCtx) -> BTreeSet<String> {
+    let toks = &ctx.tokens;
+    let mut out = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("Mutex") || t.is_ident("RwLock")) {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+            continue;
+        }
+        // Walk back over wrapper generics (`Arc <`, `Box <`, paths) to
+        // the `name :` that introduces the field or binding.
+        let mut j = i;
+        while let Some(prev) = j.checked_sub(1) {
+            match () {
+                _ if toks[prev].is_punct('<') && prev >= 1 && toks[prev - 1].ident().is_some() => {
+                    j = prev - 1;
+                }
+                _ if toks[prev].is_punct(':') && prev >= 1 && toks[prev - 1].is_punct(':') => {
+                    // Path separator `foo::Mutex` — hop over the segment.
+                    if prev >= 2 && toks[prev - 2].ident().is_some() {
+                        j = prev - 2;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        if let Some(prev) = j.checked_sub(1) {
+            if toks[prev].is_punct(':') && !(prev >= 1 && toks[prev - 1].is_punct(':')) {
+                if let Some(name) = prev.checked_sub(1).and_then(|k| toks[k].ident()) {
+                    out.insert(name.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Finds cycles in the union of all files' edges and reports each once.
+pub fn check_cycles(edges: &[LockEdge], out: &mut Vec<Finding>) {
+    let mut graph: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        graph.entry(&e.from).or_default().insert(&e.to);
+    }
+    // Self-loops are immediate re-entrancy hazards.
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for e in edges {
+        if e.from == e.to && reported.insert(format!("self:{}", e.from)) {
+            out.push(Finding {
+                rule: "lock-order",
+                file: e.file.clone(),
+                line: e.line,
+                message: format!(
+                    "`{}` re-acquired in `{}` while already held — deadlock with a \
+                     non-reentrant mutex",
+                    e.from, e.in_fn
+                ),
+            });
+        }
+    }
+    // Longer cycles: DFS with a path stack over the field-name graph.
+    let nodes: Vec<&str> = graph.keys().copied().collect();
+    for &start in &nodes {
+        let mut stack = vec![(start, 0usize)];
+        let mut path = vec![start];
+        let mut on_path: BTreeSet<&str> = [start].into();
+        while let Some((node, child_idx)) = stack.last_mut() {
+            let succs: Vec<&str> = graph
+                .get(*node)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            if *child_idx >= succs.len() {
+                on_path.remove(*node);
+                path.pop();
+                stack.pop();
+                continue;
+            }
+            let next = succs[*child_idx];
+            *child_idx += 1;
+            if next == start && path.len() > 1 {
+                // A cycle through `start`; canonicalize to report once.
+                let mut cyc: Vec<&str> = path.clone();
+                cyc.sort_unstable();
+                let key = format!("cycle:{}", cyc.join("→"));
+                if reported.insert(key) {
+                    let witness = edges
+                        .iter()
+                        .find(|e| e.from == *path.last().expect("path non-empty") && e.to == start);
+                    let (file, line) = witness
+                        .map(|e| (e.file.clone(), e.line))
+                        .unwrap_or_else(|| ("<workspace>".to_string(), 0));
+                    out.push(Finding {
+                        rule: "lock-order",
+                        file,
+                        line,
+                        message: format!(
+                            "lock-order cycle: {} → {} — opposite acquisition orders \
+                             can deadlock",
+                            path.join(" → "),
+                            start
+                        ),
+                    });
+                }
+                continue;
+            }
+            if !on_path.contains(next) {
+                on_path.insert(next);
+                path.push(next);
+                stack.push((next, 0));
+            }
+        }
+    }
+}

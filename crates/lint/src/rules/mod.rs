@@ -1,0 +1,11 @@
+//! The rule catalog. Each rule is a pure function over a [`FileCtx`];
+//! `lock_order` additionally feeds a global graph checked once per run.
+//!
+//! [`FileCtx`]: crate::context::FileCtx
+
+pub mod charging;
+pub mod determinism;
+pub mod hygiene;
+pub mod lock_order;
+pub mod panic_safety;
+pub mod wall_clock;

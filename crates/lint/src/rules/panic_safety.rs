@@ -1,0 +1,100 @@
+//! Rule `panic-safety`: library code must not have casual panic paths.
+//!
+//! The service catches estimator panics (and forfeits the job's whole
+//! quota reservation when it does), so every `unwrap()` in a library
+//! crate is a latent availability and accounting bug. Flagged in
+//! non-test library code: `.unwrap()`, `.expect(…)`, `panic!(…)` and
+//! bracket indexing (`xs[i]`) that should be `.get(i)` unless the bound
+//! is an invariant — in which case the site carries an
+//! `// ma-lint: allow(panic-safety) reason="…"` annotation saying so.
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+use crate::lexer::TokenKind;
+
+/// Identifier-like tokens that legitimately precede `[` without it being
+/// an indexing expression (`let [a, b] = …`, `in [1, 2]`, …).
+const NON_INDEX_KEYWORDS: [&str; 12] = [
+    "let", "in", "return", "match", "if", "else", "mut", "ref", "as", "move", "box", "break",
+];
+
+/// Scans library code of the configured crates for panic paths.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::matches(ctx.path, &cfg.panic_safety_paths) || !ctx.role.is_library() {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_code(i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &toks[p]);
+        let at = |k: usize| toks.get(i + k);
+        if t.is_ident("unwrap")
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && at(1).is_some_and(|t| t.is_punct('('))
+        {
+            ctx.emit(
+                out,
+                "panic-safety",
+                t.line,
+                "`.unwrap()` in library code; return a typed error or justify the \
+                 invariant with an `expect` + allow annotation"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("expect")
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && at(1).is_some_and(|t| t.is_punct('('))
+        {
+            ctx.emit(
+                out,
+                "panic-safety",
+                t.line,
+                "`.expect(…)` in library code; either return a typed error or \
+                 annotate the documented invariant"
+                    .to_string(),
+            );
+        }
+        if (t.is_ident("panic")
+            || t.is_ident("unreachable")
+            || t.is_ident("todo")
+            || t.is_ident("unimplemented"))
+            && at(1).is_some_and(|t| t.is_punct('!'))
+            && at(2).is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+        {
+            ctx.emit(
+                out,
+                "panic-safety",
+                t.line,
+                format!(
+                    "`{}!` in library code aborts the walk; surface a typed error",
+                    { t.ident().unwrap_or("panic") }
+                ),
+            );
+        }
+        if t.is_punct('[') {
+            if let Some(p) = prev {
+                let indexing = match &p.kind {
+                    TokenKind::Ident(name) => !NON_INDEX_KEYWORDS.contains(&name.as_str()),
+                    TokenKind::Punct(c) => *c == ')' || *c == ']',
+                    _ => false,
+                };
+                // `xs[..]` (full-range slicing) cannot panic; skip it.
+                let full_range = at(1).is_some_and(|t| t.is_punct('.'))
+                    && at(2).is_some_and(|t| t.is_punct('.'))
+                    && at(3).is_some_and(|t| t.is_punct(']'));
+                if indexing && !full_range {
+                    ctx.emit(
+                        out,
+                        "panic-safety",
+                        t.line,
+                        "bracket indexing can panic on out-of-range; prefer `.get(…)` \
+                         or annotate the bound invariant"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Rule `wall-clock`: real time is forbidden outside approved modules.
+//!
+//! Estimates must be bit-identical across isolated, cached and
+//! fault-injected runs, which is only provable when every time source is
+//! the simulated clock (`microblog_platform::{Timestamp, Duration}`) or
+//! a deterministic logical clock. `Instant::now`, `SystemTime` and
+//! `thread::sleep` smuggle wall time in; benchmarks (which time real
+//! hardware) are the approved exception.
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+
+/// Scans for `Instant::now`, `SystemTime` usage and `thread::sleep` /
+/// imported `sleep` calls.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if Config::matches(ctx.path, &cfg.wall_clock_allowed) {
+        return;
+    }
+    let toks = &ctx.tokens;
+    let mut sleep_imported = false;
+    for (i, t) in toks.iter().enumerate() {
+        // `use std::thread::sleep;` makes bare `sleep(...)` calls wall
+        // time too.
+        if t.is_ident("use")
+            && toks[i..]
+                .iter()
+                .take_while(|t| !t.is_punct(';'))
+                .any(|t| t.is_ident("thread"))
+            && toks[i..]
+                .iter()
+                .take_while(|t| !t.is_punct(';'))
+                .any(|t| t.is_ident("sleep"))
+        {
+            sleep_imported = true;
+        }
+        let at = |k: usize| toks.get(i + k);
+        if t.is_ident("Instant")
+            && at(1).is_some_and(|t| t.is_punct(':'))
+            && at(2).is_some_and(|t| t.is_punct(':'))
+            && at(3).is_some_and(|t| t.is_ident("now"))
+        {
+            ctx.emit(
+                out,
+                "wall-clock",
+                t.line,
+                "`Instant::now()` reads wall time; use the simulated clock or a \
+                 deterministic telemetry clock (crates/service/src/clock.rs)"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("SystemTime")
+            && at(1).is_some_and(|t| t.is_punct(':'))
+            && at(2).is_some_and(|t| t.is_punct(':'))
+        {
+            ctx.emit(
+                out,
+                "wall-clock",
+                t.line,
+                "`SystemTime` reads wall time; all scenario time flows from the \
+                 simulated epoch"
+                    .to_string(),
+            );
+        }
+        if t.is_ident("thread")
+            && at(1).is_some_and(|t| t.is_punct(':'))
+            && at(2).is_some_and(|t| t.is_punct(':'))
+            && at(3).is_some_and(|t| t.is_ident("sleep"))
+        {
+            ctx.emit(
+                out,
+                "wall-clock",
+                t.line,
+                "`thread::sleep` stalls on wall time; backoff and pacing advance \
+                 the simulated clock instead"
+                    .to_string(),
+            );
+        }
+        if sleep_imported
+            && t.is_ident("sleep")
+            && at(1).is_some_and(|t| t.is_punct('('))
+            && !toks
+                .get(i.wrapping_sub(1))
+                .is_some_and(|p| p.is_punct('.') || p.is_punct(':'))
+        {
+            ctx.emit(
+                out,
+                "wall-clock",
+                t.line,
+                "imported `sleep(…)` stalls on wall time".to_string(),
+            );
+        }
+    }
+}

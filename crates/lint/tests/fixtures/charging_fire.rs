@@ -1,0 +1,8 @@
+// Fixture: direct backend/platform traffic that bypasses metering.
+fn peek(platform: &Platform, backend: &dyn ApiBackend, u: UserId) -> usize {
+    let posts = platform.timeline(u);
+    let followers = platform.followers(u);
+    let fetched = backend.fetch_connections(u);
+    let found = platform.search_posts(KeywordId(0), WINDOW);
+    posts.len() + followers.len() + fetched.iter().count() + found.len()
+}

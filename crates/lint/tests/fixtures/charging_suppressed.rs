@@ -1,0 +1,7 @@
+// Fixture: direct platform reads justified as ground-truth oracles.
+fn ground_truth(platform: &Platform, u: UserId) -> usize {
+    // ma-lint: allow(charging) reason="ground-truth oracle: deliberately free, never part of an estimate's cost"
+    let posts = platform.timeline(u);
+    let followers = platform.followers(u); // ma-lint: allow(charging) reason="truth computation outside any budget"
+    posts.len() + followers.len()
+}

@@ -1,0 +1,28 @@
+// Fixture: hash-order iteration feeding estimator arithmetic.
+use std::collections::{HashMap, HashSet};
+
+struct Walker {
+    corrections: HashMap<u32, f64>,
+}
+
+impl Walker {
+    fn fold(&self) -> f64 {
+        let mut total = 0.0;
+        for (_, v) in self.corrections.iter() {
+            total += v;
+        }
+        total
+    }
+
+    fn first_seed(&self, mut seen: HashSet<u32>) -> Option<u32> {
+        for u in seen.drain() {
+            return Some(u);
+        }
+        None
+    }
+
+    fn lookups_are_fine(&self) -> Option<f64> {
+        // Point lookups don't depend on order: must NOT be flagged.
+        self.corrections.get(&7).copied()
+    }
+}

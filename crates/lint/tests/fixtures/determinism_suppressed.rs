@@ -1,0 +1,17 @@
+// Fixture: hash iteration where order provably cannot feed arithmetic.
+use std::collections::HashMap;
+
+struct Walker {
+    corrections: HashMap<u32, f64>,
+}
+
+impl Walker {
+    fn fold(&self) -> f64 {
+        let mut total = 0.0;
+        // ma-lint: allow(determinism) reason="f64 addition reordering bounded: values summed into Kahan accumulator downstream"
+        for (_, v) in self.corrections.iter() {
+            total += v;
+        }
+        total
+    }
+}

@@ -1,0 +1,10 @@
+#![forbid(unsafe_code)]
+// Fixture: a compliant crate root.
+
+/// The estimate-result type, correctly marked.
+#[must_use = "an Estimate embodies spent API budget"]
+#[derive(Clone, Copy, Debug)]
+pub struct Estimate {
+    pub value: f64,
+    pub cost: u64,
+}

@@ -1,0 +1,8 @@
+// Fixture: a crate root with no unsafe-code forbid and a bare
+// estimate-result type.
+
+#[derive(Clone, Copy, Debug)]
+pub struct Estimate {
+    pub value: f64,
+    pub cost: u64,
+}

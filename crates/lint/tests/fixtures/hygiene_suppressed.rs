@@ -1,0 +1,8 @@
+// Fixture: hygiene findings carrying justifications.
+// ma-lint: allow-file(hygiene) reason="prototype crate root pending promotion; tracked in ROADMAP"
+
+#[derive(Clone, Copy, Debug)]
+pub struct Estimate {
+    pub value: f64,
+    pub cost: u64,
+}

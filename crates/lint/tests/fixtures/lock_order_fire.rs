@@ -1,0 +1,32 @@
+// Fixture: opposite acquisition orders plus a re-entrant acquisition.
+use parking_lot::Mutex;
+
+struct Engine {
+    queue: Mutex<Vec<u64>>,
+    ledger: Mutex<Vec<u64>>,
+}
+
+impl Engine {
+    fn forward(&self) {
+        let q = self.queue.lock();
+        let mut l = self.ledger.lock();
+        l.extend(q.iter());
+    }
+
+    fn backward(&self) {
+        let l = self.ledger.lock();
+        let mut q = self.queue.lock();
+        q.extend(l.iter());
+    }
+
+    fn reentrant(&self) -> usize {
+        let q = self.queue.lock();
+        q.len() + self.queue.lock().len()
+    }
+
+    fn sequential_is_fine(&self) {
+        // Inline guards drop at the statement end: no edge, no finding.
+        self.queue.lock().push(1);
+        self.ledger.lock().push(2);
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: the same pair, with one direction waived as provably ordered.
+use parking_lot::Mutex;
+
+struct Engine {
+    queue: Mutex<Vec<u64>>,
+    ledger: Mutex<Vec<u64>>,
+}
+
+impl Engine {
+    fn forward(&self) {
+        let q = self.queue.lock();
+        let mut l = self.ledger.lock();
+        l.extend(q.iter());
+    }
+
+    fn backward(&self) {
+        let l = self.ledger.lock();
+        // ma-lint: allow(lock-order) reason="single-threaded recovery path; engine workers are parked"
+        let mut q = self.queue.lock();
+        q.extend(l.iter());
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: the four panic paths in library code.
+fn panicky(xs: &[u64], opt: Option<u64>) -> u64 {
+    let a = opt.unwrap();
+    let b = opt.expect("present");
+    if xs.is_empty() {
+        panic!("no data");
+    }
+    a + b + xs[3]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this unwrap must NOT be flagged.
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        Some(1).unwrap();
+    }
+}

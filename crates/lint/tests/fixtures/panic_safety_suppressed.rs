@@ -1,0 +1,12 @@
+// Fixture: the same panic paths, justified as documented invariants.
+fn panicky(xs: &[u64], opt: Option<u64>) -> u64 {
+    // ma-lint: allow(panic-safety) reason="caller guarantees Some; checked at admission"
+    let a = opt.unwrap();
+    let b = opt.expect("present"); // ma-lint: allow(panic-safety) reason="invariant: set in constructor"
+    if xs.is_empty() {
+        // ma-lint: allow(panic-safety) reason="unreachable: len checked by caller"
+        panic!("no data");
+    }
+    // ma-lint: allow(panic-safety) reason="index bound by fixed-size table"
+    a + b + xs[3]
+}

@@ -1,0 +1,10 @@
+// Fixture: every wall-clock pattern the rule must catch.
+use std::thread;
+use std::time::{Duration, Instant, SystemTime};
+
+fn timing() -> Duration {
+    let started = Instant::now();
+    let _epoch = SystemTime::now();
+    thread::sleep(Duration::from_millis(1));
+    started.elapsed()
+}

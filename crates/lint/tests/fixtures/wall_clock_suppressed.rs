@@ -1,0 +1,12 @@
+// Fixture: the same patterns, each carrying a justification.
+use std::thread;
+use std::time::{Duration, Instant, SystemTime};
+
+fn timing() -> Duration {
+    // ma-lint: allow(wall-clock) reason="operator-facing latency probe; never feeds estimates"
+    let started = Instant::now();
+    let _epoch = SystemTime::now(); // ma-lint: allow(wall-clock) reason="log timestamping only"
+    // ma-lint: allow(wall-clock) reason="integration smoke pacing, not simulated time"
+    thread::sleep(Duration::from_millis(1));
+    started.elapsed()
+}

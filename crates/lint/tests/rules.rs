@@ -1,0 +1,204 @@
+//! Fixture self-tests: every rule is exercised twice — once firing on a
+//! violating fixture, once silenced by inline suppression on the same
+//! patterns. The fixtures live under `tests/fixtures/` (excluded from
+//! workspace scans by `Config::skip`) and are fed to [`ma_lint::analyze_source`]
+//! under synthetic workspace paths that put them in each rule's scope.
+
+use ma_lint::analyze_source;
+use ma_lint::config::Config;
+use ma_lint::context::Finding;
+use ma_lint::rules::lock_order;
+
+/// Findings for `rule` when the fixture is analyzed as library code of a
+/// crate the rule applies to.
+fn run(rule: &str, path: &str, source: &str) -> Vec<Finding> {
+    let analysis = analyze_source(path, source, &Config::default());
+    // A fixture must never trip a rule it isn't about (e.g. a stray
+    // unwrap in the determinism fixture) — that would mean the fixtures
+    // are entangled and a rule regression could hide.
+    for f in &analysis.findings {
+        assert!(
+            f.rule == rule,
+            "fixture for `{rule}` tripped unrelated rule `{}` at line {}: {}",
+            f.rule,
+            f.line,
+            f.message
+        );
+    }
+    analysis.findings
+}
+
+#[test]
+fn wall_clock_fires() {
+    let findings = run(
+        "wall-clock",
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/wall_clock_fire.rs"),
+    );
+    // Instant::now, SystemTime::now, thread::sleep.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn wall_clock_suppressed() {
+    let findings = run(
+        "wall-clock",
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/wall_clock_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn wall_clock_allowed_paths_are_exempt() {
+    let findings = run(
+        "wall-clock",
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/wall_clock_fire.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_safety_fires() {
+    let findings = run(
+        "panic-safety",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panic_safety_fire.rs"),
+    );
+    // unwrap, expect, panic!, xs[3] — and NOT the unwrap in #[cfg(test)].
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn panic_safety_suppressed() {
+    let findings = run(
+        "panic-safety",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/panic_safety_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn panic_safety_ignores_binaries() {
+    let findings = run(
+        "panic-safety",
+        "crates/core/src/bin/fixture.rs",
+        include_str!("fixtures/panic_safety_fire.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn determinism_fires() {
+    let findings = run(
+        "determinism",
+        "crates/core/src/walker/fixture.rs",
+        include_str!("fixtures/determinism_fire.rs"),
+    );
+    // `.iter()` on a HashMap field and `.drain()` on a HashSet binding;
+    // the `.get()` point lookup stays silent.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn determinism_suppressed() {
+    let findings = run(
+        "determinism",
+        "crates/core/src/walker/fixture.rs",
+        include_str!("fixtures/determinism_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn charging_fires() {
+    let findings = run(
+        "charging",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/charging_fire.rs"),
+    );
+    // timeline, followers, fetch_connections, search_posts.
+    assert_eq!(findings.len(), 4, "{findings:?}");
+}
+
+#[test]
+fn charging_suppressed() {
+    let findings = run(
+        "charging",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/charging_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn charging_exempts_the_metered_stack() {
+    let findings = run(
+        "charging",
+        "crates/api/src/client.rs",
+        include_str!("fixtures/charging_fire.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lock_order_fires() {
+    let analysis = analyze_source(
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/lock_order_fire.rs"),
+        &Config::default(),
+    );
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    let mut findings = Vec::new();
+    lock_order::check_cycles(&analysis.lock_edges, &mut findings);
+    // The queue↔ledger cycle plus the queue self-loop, each once.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().any(|f| f.message.contains("re-acquired")));
+    assert!(findings.iter().any(|f| f.message.contains("cycle")));
+}
+
+#[test]
+fn lock_order_suppressed() {
+    let analysis = analyze_source(
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/lock_order_suppressed.rs"),
+        &Config::default(),
+    );
+    let mut findings = Vec::new();
+    lock_order::check_cycles(&analysis.lock_edges, &mut findings);
+    // The annotated edge is removed from the graph: no cycle survives.
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hygiene_fires() {
+    let findings = run(
+        "hygiene",
+        "crates/core/src/lib.rs",
+        include_str!("fixtures/hygiene_fire.rs"),
+    );
+    // Missing forbid(unsafe_code) + Estimate without #[must_use].
+    assert_eq!(findings.len(), 2, "{findings:?}");
+}
+
+#[test]
+fn hygiene_suppressed() {
+    let findings = run(
+        "hygiene",
+        "crates/core/src/lib.rs",
+        include_str!("fixtures/hygiene_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn hygiene_clean_file_passes() {
+    let findings = run(
+        "hygiene",
+        "crates/core/src/lib.rs",
+        include_str!("fixtures/hygiene_clean.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}

@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="retweet cascade tables are indexed by ids minted during construction"
 //! Event-driven keyword cascade simulation.
 //!
 //! A cascade models how a term/hashtag propagates through the follower

@@ -214,26 +214,49 @@ impl FaultPlan {
     /// `transient=0.05,rate_limited=0.02,timeout=0.01,truncated=0.01,seed=42`.
     ///
     /// Recognized keys: the four rate names, `seed`, `retry_after`
-    /// (seconds), `latency` (seconds), `max_consecutive`.
+    /// (seconds), `latency` (seconds), `max_consecutive`. Each key may
+    /// appear at most once; rates must each lie in `[0, 1]` (and sum to
+    /// at most 1), and durations must be non-negative.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::none();
+        let mut seen: Vec<&str> = Vec::new();
         for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| format!("fault-plan entry `{part}` is not key=value"))?;
             let (key, value) = (key.trim(), value.trim());
             let bad = || format!("fault-plan `{key}` has invalid value `{value}`");
+            // A repeated key is almost certainly a typo'd plan; last-wins
+            // would silently discard the first rate.
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v.parse().map_err(|_| bad())?;
+                if !(0.0..=1.0).contains(&r) {
+                    return Err(format!("fault-plan `{key}` rate {r} is outside [0, 1]"));
+                }
+                Ok(r)
+            };
+            let secs = |v: &str| -> Result<Duration, String> {
+                let s: i64 = v.parse().map_err(|_| bad())?;
+                if s < 0 {
+                    return Err(format!("fault-plan `{key}` duration {s}s is negative"));
+                }
+                Ok(Duration(s))
+            };
             match key {
-                "transient" => plan.rates.transient = value.parse().map_err(|_| bad())?,
-                "rate_limited" => plan.rates.rate_limited = value.parse().map_err(|_| bad())?,
-                "timeout" => plan.rates.timeout = value.parse().map_err(|_| bad())?,
-                "truncated" => plan.rates.truncated = value.parse().map_err(|_| bad())?,
+                "transient" => plan.rates.transient = rate(value)?,
+                "rate_limited" => plan.rates.rate_limited = rate(value)?,
+                "timeout" => plan.rates.timeout = rate(value)?,
+                "truncated" => plan.rates.truncated = rate(value)?,
                 "seed" => plan.seed = value.parse().map_err(|_| bad())?,
-                "retry_after" => plan.retry_after = Duration(value.parse().map_err(|_| bad())?),
-                "latency" => plan.latency = Duration(value.parse().map_err(|_| bad())?),
+                "retry_after" => plan.retry_after = secs(value)?,
+                "latency" => plan.latency = secs(value)?,
                 "max_consecutive" => plan.max_consecutive = value.parse().map_err(|_| bad())?,
                 other => return Err(format!("unknown fault-plan key `{other}`")),
             }
+            if seen.contains(&key) {
+                return Err(format!("fault-plan key `{key}` given more than once"));
+            }
+            seen.push(key);
         }
         let total = plan.rates.total();
         if !(0.0..=1.0).contains(&total) {
@@ -299,10 +322,10 @@ impl FaultyPlatform {
     /// Totals of faults injected so far.
     pub fn injected(&self) -> FaultCounts {
         FaultCounts {
-            transient: self.counts[0].load(Ordering::Relaxed),
-            rate_limited: self.counts[1].load(Ordering::Relaxed),
-            timeout: self.counts[2].load(Ordering::Relaxed),
-            truncated: self.counts[3].load(Ordering::Relaxed),
+            transient: self.counts[0].load(Ordering::Relaxed), // ma-lint: allow(panic-safety) reason="counts is a fixed [AtomicU64; 4] indexed by constants"
+            rate_limited: self.counts[1].load(Ordering::Relaxed), // ma-lint: allow(panic-safety) reason="counts is a fixed [AtomicU64; 4] indexed by constants"
+            timeout: self.counts[2].load(Ordering::Relaxed), // ma-lint: allow(panic-safety) reason="counts is a fixed [AtomicU64; 4] indexed by constants"
+            truncated: self.counts[3].load(Ordering::Relaxed), // ma-lint: allow(panic-safety) reason="counts is a fixed [AtomicU64; 4] indexed by constants"
         }
     }
 
@@ -315,7 +338,9 @@ impl FaultyPlatform {
     /// `len` is the full result size, used to size truncations.
     fn draw(&self, endpoint: ApiEndpoint, key: u64, len: usize) -> Option<Fault> {
         let n = {
-            let mut attempts = self.attempts.lock().expect("fault counter lock");
+            // Poison only means a panicked holder mid-increment; the
+            // counters are still sound, so recover rather than abort.
+            let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
             let slot = attempts.entry((endpoint.index() as u8, key)).or_insert(0);
             let n = *slot;
             *slot += 1;
@@ -329,7 +354,7 @@ impl FaultyPlatform {
             Fault::Timeout { .. } => 2,
             Fault::Truncated { .. } => 3,
         };
-        self.counts[mode].fetch_add(1, Ordering::Relaxed);
+        self.counts[mode].fetch_add(1, Ordering::Relaxed); // ma-lint: allow(panic-safety) reason="mode is one of the four match arms above"
         Some(fault)
     }
 

@@ -51,7 +51,7 @@ pub fn barabasi_albert<R: Rng>(rng: &mut R, cfg: &BarabasiAlbertConfig) -> Direc
                 // Uniform smoothing so newcomers keep some followers.
                 rng.gen_range(0..u)
             } else {
-                urn[rng.gen_range(0..urn.len())]
+                urn[rng.gen_range(0..urn.len())] // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             };
             if !chosen.contains(&pick) {
                 chosen.push(pick);

@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="community generator indexes membership tables sized at allocation; expects guard generator-internal invariants"
 //! The workhorse generator: preferential attachment with planted
 //! communities.
 //!

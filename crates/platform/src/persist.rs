@@ -126,11 +126,12 @@ impl Platform {
                     post.id
                 )));
             }
+            // ma-lint: allow(panic-safety) reason="guarded by i > 0"
             if i > 0 && snapshot.posts[i - 1].time > post.time {
                 return Err(PersistError::Format("posts not time-ordered".into()));
             }
             max_kw = max_kw.max(post.keywords.last().map_or(0, |k| k.index() + 1));
-            timelines[post.author.index()].push(post.id);
+            timelines[post.author.index()].push(post.id); // ma-lint: allow(panic-safety) reason="table sized to the id space at construction"
         }
         if max_kw > snapshot.keywords.len() {
             return Err(PersistError::Format(
@@ -140,7 +141,7 @@ impl Platform {
         let mut keyword_index: Vec<Vec<PostId>> = vec![Vec::new(); snapshot.keywords.len()];
         for post in &snapshot.posts {
             for &kw in &post.keywords {
-                keyword_index[kw.index()].push(post.id);
+                keyword_index[kw.index()].push(post.id); // ma-lint: allow(panic-safety) reason="table sized to the id space at construction"
             }
         }
         for t in &mut timelines {

@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="timeline and keyword tables are densely indexed by ids the platform itself issued"
 //! The platform store: users, posts, timelines and indexes.
 //!
 //! [`Platform`] is the complete state of the simulated microblog service.

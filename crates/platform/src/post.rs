@@ -53,7 +53,7 @@ impl KeywordCatalog {
         if let Some(&id) = self.index.get(&key) {
             return id;
         }
-        let id = KeywordId(u16::try_from(self.names.len()).expect("keyword catalog overflow"));
+        let id = KeywordId(u16::try_from(self.names.len()).expect("keyword catalog overflow")); // ma-lint: allow(panic-safety) reason="catalog construction is bounded far below u16::MAX"
         self.names.push(key.clone());
         self.index.insert(key, id);
         id
@@ -66,7 +66,7 @@ impl KeywordCatalog {
 
     /// The canonical (lowercased) spelling of `id`.
     pub fn name(&self, id: KeywordId) -> &str {
-        &self.names[id.index()]
+        &self.names[id.index()] // ma-lint: allow(panic-safety) reason="KeywordId minted by this catalog, always a valid slot"
     }
 
     /// Number of interned keywords.

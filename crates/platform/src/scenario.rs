@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="scenario assembly indexes spec tables it just built"
 //! Preset worlds reproducing the paper's evaluation setting.
 //!
 //! The paper's ground truth covers Jan 1 – Oct 31, 2013 (303 days) and a

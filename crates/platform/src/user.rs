@@ -64,7 +64,7 @@ pub fn generate_profile<R: Rng>(
     let parts = rng.gen_range(2..=5);
     let mut name = String::new();
     for i in 0..parts {
-        let syl = SYLLABLES[rng.gen_range(0..SYLLABLES.len())];
+        let syl = SYLLABLES[rng.gen_range(0..SYLLABLES.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
         if i == 0 {
             let mut cs = syl.chars();
             if let Some(first) = cs.next() {

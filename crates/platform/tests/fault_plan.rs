@@ -1,0 +1,80 @@
+//! `FaultPlan::parse` rejection paths: a chaos run configured from a
+//! typo'd spec must die at the CLI boundary, not half-apply.
+
+use microblog_platform::{Duration, FaultPlan};
+
+fn err(spec: &str) -> String {
+    FaultPlan::parse(spec).expect_err(&format!("`{spec}` must be rejected"))
+}
+
+#[test]
+fn accepts_a_full_well_formed_spec() {
+    let plan = FaultPlan::parse(
+        "transient=0.05,rate_limited=0.02,timeout=0.01,truncated=0.01,\
+         seed=42,retry_after=120,latency=9,max_consecutive=5",
+    )
+    .expect("well-formed spec parses");
+    assert_eq!(plan.seed, 42);
+    assert_eq!(plan.rates.transient, 0.05);
+    assert_eq!(plan.rates.truncated, 0.01);
+    assert_eq!(plan.retry_after, Duration(120));
+    assert_eq!(plan.latency, Duration(9));
+    assert_eq!(plan.max_consecutive, 5);
+}
+
+#[test]
+fn accepts_empty_and_trailing_separators() {
+    assert_eq!(FaultPlan::parse("").expect("empty"), FaultPlan::none());
+    let plan = FaultPlan::parse("transient=0.1,,").expect("trailing commas");
+    assert_eq!(plan.rates.transient, 0.1);
+}
+
+#[test]
+fn rejects_entries_without_equals() {
+    assert!(err("transient").contains("not key=value"));
+    assert!(err("transient=0.1,oops").contains("not key=value"));
+}
+
+#[test]
+fn rejects_unknown_keys() {
+    assert!(err("transparent=0.1").contains("unknown fault-plan key"));
+    assert!(err("transient=0.1,SEED=4").contains("unknown fault-plan key"));
+}
+
+#[test]
+fn rejects_unparsable_values() {
+    assert!(err("transient=lots").contains("invalid value"));
+    assert!(err("seed=-1").contains("invalid value"));
+    assert!(err("max_consecutive=3.5").contains("invalid value"));
+    assert!(err("retry_after=soon").contains("invalid value"));
+}
+
+#[test]
+fn rejects_per_rate_out_of_range() {
+    // The sum check alone would accept a negative rate hidden under a
+    // compensating positive one.
+    assert!(err("transient=-0.5,rate_limited=0.7").contains("outside [0, 1]"));
+    assert!(err("timeout=1.5").contains("outside [0, 1]"));
+    assert!(err("truncated=-0.0001").contains("outside [0, 1]"));
+    assert!(err("transient=NaN").contains("outside [0, 1]"));
+}
+
+#[test]
+fn rejects_rate_sum_above_one() {
+    let msg = err("transient=0.6,rate_limited=0.6");
+    assert!(msg.contains("sum"), "{msg}");
+}
+
+#[test]
+fn rejects_negative_durations() {
+    assert!(err("retry_after=-30").contains("negative"));
+    assert!(err("latency=-1").contains("negative"));
+}
+
+#[test]
+fn rejects_duplicate_keys() {
+    assert!(err("transient=0.1,transient=0.2").contains("more than once"));
+    assert!(err("seed=1,seed=1").contains("more than once"));
+    // Whitespace around a repeated key still counts as the same key.
+    assert!(err("latency=3, latency =4").contains("more than once"));
+}

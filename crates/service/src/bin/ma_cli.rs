@@ -25,6 +25,9 @@
 //!                                       seconds              [none]
 //!   --fault-plan SPEC                   inject faults, e.g.
 //!                                       'transient=0.05,rate_limited=0.02,seed=42'
+//!   --wall-telemetry                    report real queue/exec latencies
+//!                                       instead of the deterministic
+//!                                       logical telemetry clock
 //!
 //! Examples:
 //!   ma-cli --budget 30000 --truth \
@@ -43,7 +46,7 @@ use microblog_platform::scenario::{google_plus_2013, tumblr_2013, twitter_2013, 
 use microblog_platform::{Duration, FaultPlan};
 use microblog_service::cache::SharedCacheConfig;
 use microblog_service::request::{parse_algorithm, parse_interval};
-use microblog_service::{run_batch, Service, ServiceConfig};
+use microblog_service::{run_batch, Service, ServiceConfig, TelemetryMode};
 use std::fs::File;
 use std::io::{BufReader, Write};
 use std::sync::Arc;
@@ -77,6 +80,7 @@ struct Options {
     retry: Option<u32>,
     deadline: Option<i64>,
     fault_plan: Option<FaultPlan>,
+    telemetry: TelemetryMode,
     query: Option<String>,
 }
 
@@ -100,6 +104,7 @@ impl Default for Options {
             retry: None,
             deadline: None,
             fault_plan: None,
+            telemetry: TelemetryMode::Logical,
             query: None,
         }
     }
@@ -166,6 +171,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                         .map_err(|e| format!("bad --fault-plan: {e}"))?,
                 )
             }
+            "--wall-telemetry" => opts.telemetry = TelemetryMode::Wall,
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             query => {
                 if opts.query.replace(query.to_string()).is_some() {
@@ -273,6 +279,7 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
             },
             retry,
             fault_plan: opts.fault_plan,
+            telemetry: opts.telemetry,
         },
     );
     eprintln!(

@@ -14,6 +14,7 @@
 //! outcome through the handle's condvar.
 
 use crate::cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
+use crate::clock::{TelemetryClock, TelemetryMode};
 use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use crate::quota::{GlobalQuota, Reservation};
 use crate::request::JobSpec;
@@ -25,7 +26,7 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Sizing of a [`Service`].
 #[derive(Clone, Debug)]
@@ -46,6 +47,10 @@ pub struct ServiceConfig {
     /// [`FaultyPlatform`] injecting failures per this plan — the chaos
     /// knob behind `ma-cli serve --fault-plan`.
     pub fault_plan: Option<FaultPlan>,
+    /// Time source for `queue_wait`/`exec` telemetry. The default
+    /// logical clock keeps serve runs deterministic; `ma-cli serve
+    /// --wall-telemetry` opts into real latencies.
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for ServiceConfig {
@@ -56,6 +61,7 @@ impl Default for ServiceConfig {
             cache: SharedCacheConfig::default(),
             retry: RetryPolicy::resilient(),
             fault_plan: None,
+            telemetry: TelemetryMode::default(),
         }
     }
 }
@@ -122,6 +128,7 @@ pub struct JobOutput {
 /// How a job ended: fully, partially, or not at all. Every variant
 /// settles the job's quota reservation down to what it actually charged
 /// — unused calls go back to the pool either way.
+#[must_use = "a JobOutcome carries the estimate (or failure) the job's budget paid for"]
 #[derive(Clone, Debug)]
 pub enum JobOutcome {
     /// Ran to its budget (or cache exhaustion) without giving up.
@@ -222,10 +229,12 @@ impl JobHandle {
     /// Blocks until the job finishes and returns its outcome.
     pub fn join(&self) -> JobOutcome {
         let mut slot = self.state.outcome.lock();
-        while slot.is_none() {
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
             self.state.ready.wait(&mut slot);
         }
-        slot.as_ref().expect("outcome present").clone()
     }
 
     /// The outcome, if the job already finished.
@@ -239,7 +248,8 @@ struct Job {
     spec: JobSpec,
     reservation: Reservation,
     state: Arc<JobState>,
-    submitted: Instant,
+    /// Telemetry-clock reading at admission.
+    submitted: Duration,
 }
 
 /// The long-running engine. Dropping it (or calling
@@ -251,6 +261,7 @@ pub struct Service {
     cache: Arc<SharedApiCache>,
     quota: GlobalQuota,
     metrics: Arc<MetricsRegistry>,
+    clock: Arc<TelemetryClock>,
     faulty: Option<Arc<FaultyPlatform>>,
     sender: Option<mpsc::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
@@ -266,6 +277,7 @@ impl Service {
             None => GlobalQuota::unlimited(),
         };
         let metrics = Arc::new(MetricsRegistry::new());
+        let clock = Arc::new(TelemetryClock::new(config.telemetry));
         // One injector shared by all workers, so fault counters and the
         // per-key attempt history are service-wide.
         let faulty = config
@@ -281,6 +293,7 @@ impl Service {
                 let cache = Arc::clone(&cache);
                 let quota = quota.clone();
                 let metrics = Arc::clone(&metrics);
+                let clock = Arc::clone(&clock);
                 let faulty = faulty.clone();
                 let default_retry = config.retry;
                 std::thread::spawn(move || {
@@ -295,7 +308,15 @@ impl Service {
                             Ok(job) => job,
                             Err(_) => break,
                         };
-                        run_job(&analyzer, &cache, &quota, &metrics, &default_retry, job);
+                        run_job(
+                            &analyzer,
+                            &cache,
+                            &quota,
+                            &metrics,
+                            &clock,
+                            &default_retry,
+                            job,
+                        );
                     }
                 })
             })
@@ -306,6 +327,7 @@ impl Service {
             cache,
             quota,
             metrics,
+            clock,
             faulty,
             sender: Some(sender),
             workers,
@@ -335,7 +357,7 @@ impl Service {
             spec,
             reservation,
             state,
-            submitted: Instant::now(),
+            submitted: self.clock.now(),
         };
         let sender = self.sender.as_ref().ok_or(ServiceError::ShuttingDown)?;
         if let Err(mpsc::SendError(job)) = sender.send(job) {
@@ -383,6 +405,11 @@ impl Service {
         &self.quota
     }
 
+    /// The time source behind `queue_wait`/`exec` telemetry.
+    pub fn telemetry_clock(&self) -> &Arc<TelemetryClock> {
+        &self.clock
+    }
+
     /// A point-in-time copy of the service counters.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
@@ -408,11 +435,12 @@ fn run_job(
     cache: &Arc<SharedApiCache>,
     quota: &GlobalQuota,
     metrics: &MetricsRegistry,
+    clock: &TelemetryClock,
     default_retry: &RetryPolicy,
     job: Job,
 ) {
-    let queue_wait = job.submitted.elapsed();
-    let started = Instant::now();
+    let started = clock.now();
+    let queue_wait = started.saturating_sub(job.submitted);
     let shared: Arc<dyn CacheLayer> = Arc::clone(cache) as Arc<dyn CacheLayer>;
     let policy = job.spec.retry.unwrap_or(*default_retry);
     // A panicking estimator must not strand joiners: catch it, settle the
@@ -427,7 +455,7 @@ fn run_job(
             &policy,
         )
     }));
-    let exec = started.elapsed();
+    let exec = clock.now().saturating_sub(started);
     let outcome = match result {
         Ok(report) => {
             // Settle down to what the run actually charged — success or
@@ -618,6 +646,23 @@ mod tests {
         assert!(b.cache.actual_calls < a.cache.actual_calls);
         assert!(b.cache.shared_hits > 0);
         assert!(service.cache_snapshot().hits() > 0);
+    }
+
+    #[test]
+    fn logical_telemetry_is_reproducible() {
+        let run = || {
+            let service = tiny_service(None, 1);
+            let out = service
+                .submit(spec(&service, 2_000, 5))
+                .unwrap()
+                .join()
+                .into_result()
+                .expect("estimates");
+            (out.queue_wait, out.exec)
+        };
+        let (first, second) = (run(), run());
+        assert_eq!(first, second, "logical telemetry must replay identically");
+        assert!(first.1 > Duration::ZERO);
     }
 
     #[test]

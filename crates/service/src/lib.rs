@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod clock;
 pub mod engine;
 pub mod frontend;
 pub mod lru;
@@ -69,6 +70,7 @@ pub mod quota;
 pub mod request;
 
 pub use cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
+pub use clock::{TelemetryClock, TelemetryMode};
 pub use engine::{JobHandle, JobOutcome, JobOutput, Service, ServiceConfig, ServiceError};
 pub use frontend::{run_batch, BatchSummary};
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};

@@ -1,3 +1,4 @@
+// ma-lint: allow-file(panic-safety) reason="intrusive LRU slots are validated indices into its own arena"
 //! A bounded LRU map.
 //!
 //! Safe-code doubly-linked list over a slab of nodes (indices instead of

@@ -122,6 +122,7 @@ fn chaos_jobs_settle_the_quota_exactly() {
             },
             fault_plan: Some(FaultPlan::mixed(17, 0.15).with_max_consecutive(2)),
             retry: RetryPolicy::resilient().with_max_attempts(10),
+            ..ServiceConfig::default()
         },
     ));
     let threads: Vec<_> = (0..JOBS)
