@@ -16,6 +16,7 @@ use crate::error::ApiError;
 use crate::meter::CostMeter;
 use crate::profile::ApiProfile;
 use crate::resilient::{ResilienceStats, ResilientClient};
+use microblog_obs::{Category, FieldValue, Tracer};
 use microblog_platform::metric::MetricInputs;
 use microblog_platform::{
     ApiBackend, ApiEndpoint, Fault, KeywordId, Platform, Post, PostId, TimeWindow, Timestamp,
@@ -23,6 +24,16 @@ use microblog_platform::{
 };
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Trace-field spelling of an endpoint; shared by charge, cache and
+/// resilience events so summaries group on one vocabulary.
+pub(crate) fn endpoint_name(endpoint: ApiEndpoint) -> &'static str {
+    match endpoint {
+        ApiEndpoint::Search => "search",
+        ApiEndpoint::Timeline => "timeline",
+        ApiEndpoint::Connections => "connections",
+    }
+}
 
 /// One SEARCH result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -85,6 +96,7 @@ pub struct MicroblogClient<'a> {
     profile: ApiProfile,
     pub(crate) meter: CostMeter,
     pub(crate) budget: QueryBudget,
+    pub(crate) tracer: Tracer,
 }
 
 impl<'a> MicroblogClient<'a> {
@@ -110,6 +122,35 @@ impl<'a> MicroblogClient<'a> {
             profile,
             meter: CostMeter::new(),
             budget,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a tracer; charge events flow into it from here on.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer charge events are recorded on (disabled by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records a budget charge as a trace event, attributed to the
+    /// ambient walk phase. `source` is `"fresh"` for real platform
+    /// fetches and `"shared"` for logically-charged shared-cache hits.
+    pub(crate) fn trace_charge(&self, endpoint: ApiEndpoint, calls: u64, source: &'static str) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                Category::Charge,
+                "charge",
+                &[
+                    ("endpoint", FieldValue::from(endpoint_name(endpoint))),
+                    ("calls", FieldValue::U64(calls)),
+                    ("source", FieldValue::from(source)),
+                ],
+            );
         }
     }
 
@@ -168,6 +209,7 @@ impl<'a> MicroblogClient<'a> {
         let calls = ApiProfile::calls_for(ids.len(), self.profile.search_page);
         self.budget.charge(calls)?;
         self.meter.search += calls;
+        self.trace_charge(ApiEndpoint::Search, calls, "fresh");
         Ok(ids
             .into_iter()
             .map(|pid| {
@@ -196,6 +238,7 @@ impl<'a> MicroblogClient<'a> {
         let calls = ApiProfile::calls_for(visible.len(), self.profile.timeline_page);
         self.budget.charge(calls)?;
         self.meter.timeline += calls;
+        self.trace_charge(ApiEndpoint::Timeline, calls, "fresh");
         Ok(UserView {
             user: u,
             profile: store.profile(u).clone(),
@@ -225,6 +268,7 @@ impl<'a> MicroblogClient<'a> {
         };
         self.budget.charge(calls)?;
         self.meter.connections += calls;
+        self.trace_charge(ApiEndpoint::Connections, calls, "fresh");
         // Merge the two sorted lists into the undirected neighbor set.
         let mut merged = Vec::with_capacity(followers.len() + followees.len());
         let (mut i, mut j) = (0, 0);
@@ -329,6 +373,24 @@ impl<'a> CachingClient<'a> {
         self.inner.client()
     }
 
+    /// The tracer attached to the underlying client; walkers publish
+    /// their phase/level context through this handle.
+    pub fn tracer(&self) -> &Tracer {
+        self.inner.client().tracer()
+    }
+
+    /// Records a memo/shared-cache outcome as a trace event.
+    fn trace_cache(&self, name: &'static str, endpoint: ApiEndpoint) {
+        let tracer = self.inner.client().tracer();
+        if tracer.is_enabled() {
+            tracer.emit(
+                Category::Cache,
+                name,
+                &[("endpoint", FieldValue::from(endpoint_name(endpoint)))],
+            );
+        }
+    }
+
     /// Retry/backoff/breaker accounting of the resilient layer.
     pub fn resilience(&self) -> &ResilienceStats {
         self.inner.stats()
@@ -360,10 +422,12 @@ impl<'a> CachingClient<'a> {
     /// Cached SEARCH.
     pub fn search(&mut self, kw: KeywordId) -> Result<Arc<Vec<SearchHit>>, ApiError> {
         if let Some(hit) = self.searches.get(&kw) {
+            self.trace_cache("local_hit", ApiEndpoint::Search);
             self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
         if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_search(kw)) {
+            self.trace_cache("shared_hit", ApiEndpoint::Search);
             self.inner
                 .absorb_shared_hit(ApiEndpoint::Search, entry.calls)?;
             self.stats.shared_hits += 1;
@@ -371,6 +435,7 @@ impl<'a> CachingClient<'a> {
             self.searches.insert(kw, Arc::clone(&entry.data));
             return Ok(entry.data);
         }
+        self.trace_cache("miss", ApiEndpoint::Search);
         let before = self.inner.client().meter().search;
         let fresh = Arc::new(self.inner.search(kw)?);
         let calls = self.inner.client().meter().search - before;
@@ -392,10 +457,12 @@ impl<'a> CachingClient<'a> {
     /// Cached USER TIMELINE.
     pub fn user_timeline(&mut self, u: UserId) -> Result<Arc<UserView>, ApiError> {
         if let Some(hit) = self.timelines.get(&u) {
+            self.trace_cache("local_hit", ApiEndpoint::Timeline);
             self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
         if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_timeline(u)) {
+            self.trace_cache("shared_hit", ApiEndpoint::Timeline);
             self.inner
                 .absorb_shared_hit(ApiEndpoint::Timeline, entry.calls)?;
             self.stats.shared_hits += 1;
@@ -403,6 +470,7 @@ impl<'a> CachingClient<'a> {
             self.timelines.insert(u, Arc::clone(&entry.data));
             return Ok(entry.data);
         }
+        self.trace_cache("miss", ApiEndpoint::Timeline);
         let before = self.inner.client().meter().timeline;
         let fresh = Arc::new(self.inner.user_timeline(u)?);
         let calls = self.inner.client().meter().timeline - before;
@@ -424,6 +492,7 @@ impl<'a> CachingClient<'a> {
     /// Cached USER CONNECTIONS.
     pub fn connections(&mut self, u: UserId) -> Result<Arc<Vec<UserId>>, ApiError> {
         if let Some(hit) = self.connections.get(&u) {
+            self.trace_cache("local_hit", ApiEndpoint::Connections);
             self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
@@ -432,6 +501,7 @@ impl<'a> CachingClient<'a> {
             .as_ref()
             .and_then(|layer| layer.get_connections(u))
         {
+            self.trace_cache("shared_hit", ApiEndpoint::Connections);
             self.inner
                 .absorb_shared_hit(ApiEndpoint::Connections, entry.calls)?;
             self.stats.shared_hits += 1;
@@ -439,6 +509,7 @@ impl<'a> CachingClient<'a> {
             self.connections.insert(u, Arc::clone(&entry.data));
             return Ok(entry.data);
         }
+        self.trace_cache("miss", ApiEndpoint::Connections);
         let before = self.inner.client().meter().connections;
         let fresh = Arc::new(self.inner.connections(u)?);
         let calls = self.inner.client().meter().connections - before;

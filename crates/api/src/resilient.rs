@@ -26,10 +26,11 @@
 //! (see [`crate::cache`]). The service layer reports both: what the
 //! estimate cost, and what the faults burned on top.
 
-use crate::client::{MicroblogClient, SearchHit, UserView};
+use crate::client::{endpoint_name, MicroblogClient, SearchHit, UserView};
 use crate::error::ApiError;
 use crate::meter::CostMeter;
 use crate::profile::ApiProfile;
+use microblog_obs::{Category, FieldValue};
 use microblog_platform::{ApiEndpoint, Duration, KeywordId, Timestamp, UserId};
 use serde::Serialize;
 
@@ -312,6 +313,24 @@ impl<'a> ResilientClient<'a> {
         self.inner.now()
     }
 
+    /// Records a resilience event (retry, breaker transition, waste)
+    /// against `endpoint`, plus any extra fields.
+    fn trace_res(
+        &self,
+        name: &'static str,
+        endpoint: ApiEndpoint,
+        extra: &[(&'static str, FieldValue)],
+    ) {
+        let tracer = self.inner.tracer();
+        if !tracer.is_enabled() {
+            return;
+        }
+        let mut fields = Vec::with_capacity(extra.len() + 1);
+        fields.push(("endpoint", FieldValue::from(endpoint_name(endpoint))));
+        fields.extend_from_slice(extra);
+        tracer.emit(Category::Resilience, name, &fields);
+    }
+
     /// Retried SEARCH.
     pub fn search(&mut self, kw: KeywordId) -> Result<Vec<SearchHit>, ApiError> {
         self.call(ApiEndpoint::Search, |c| c.search(kw))
@@ -341,6 +360,7 @@ impl<'a> ResilientClient<'a> {
             ApiEndpoint::Connections => self.inner.meter.connections += calls,
             ApiEndpoint::Timeline => self.inner.meter.timeline += calls,
         }
+        self.inner.trace_charge(endpoint, calls, "shared");
         Ok(())
     }
 
@@ -364,9 +384,11 @@ impl<'a> ResilientClient<'a> {
                         // cooldown eventually passes.
                         self.clock = self.clock + gap;
                         self.stats.breaker_fast_fails += 1;
+                        self.trace_res("breaker_fast_fail", endpoint, &[]);
                         return self.give_up(ApiError::CircuitOpen { endpoint });
                     }
                     b.state = BreakerState::HalfOpen;
+                    self.trace_res("breaker_probe", endpoint, &[]);
                 }
             }
             attempts += 1;
@@ -391,6 +413,11 @@ impl<'a> ResilientClient<'a> {
                             self.clock = self.clock + retry_after;
                             self.stats.rate_limit_wait = self.stats.rate_limit_wait + retry_after;
                             self.stats.rate_limited_hits += 1;
+                            self.trace_res(
+                                "rate_limited",
+                                endpoint,
+                                &[("wait_secs", FieldValue::I64(retry_after.0))],
+                            );
                         }
                         ApiError::Timeout { latency, .. } => {
                             self.clock = self.clock + latency;
@@ -426,6 +453,14 @@ impl<'a> ResilientClient<'a> {
                     self.clock = self.clock + sleep;
                     self.stats.backoff_wait = self.stats.backoff_wait + sleep;
                     self.stats.retries += 1;
+                    self.trace_res(
+                        "retry",
+                        endpoint,
+                        &[
+                            ("attempt", FieldValue::U64(u64::from(attempts))),
+                            ("backoff_secs", FieldValue::I64(sleep.0)),
+                        ],
+                    );
                     if let Some(deadline) = self.policy.deadline {
                         let waited = Duration(self.clock.0 - started.0);
                         if waited > deadline {
@@ -443,6 +478,9 @@ impl<'a> ResilientClient<'a> {
             ApiEndpoint::Connections => self.stats.wasted.connections += calls,
             ApiEndpoint::Timeline => self.stats.wasted.timeline += calls,
         }
+        if calls > 0 {
+            self.trace_res("waste", endpoint, &[("calls", FieldValue::U64(calls))]);
+        }
     }
 
     fn breaker_success(&mut self, endpoint: ApiEndpoint) {
@@ -453,6 +491,7 @@ impl<'a> ResilientClient<'a> {
         b.consecutive = 0;
         if b.state == BreakerState::HalfOpen {
             b.state = BreakerState::Closed;
+            self.trace_res("breaker_close", endpoint, &[]);
         }
     }
 
@@ -467,6 +506,7 @@ impl<'a> ResilientClient<'a> {
                 b.state = BreakerState::Open;
                 b.open_until = self.clock + cfg.cooldown;
                 self.stats.breaker_opens += 1;
+                self.trace_res("breaker_open", endpoint, &[]);
             }
             BreakerState::Closed => {
                 b.consecutive += 1;
@@ -475,6 +515,7 @@ impl<'a> ResilientClient<'a> {
                     b.open_until = self.clock + cfg.cooldown;
                     b.consecutive = 0;
                     self.stats.breaker_opens += 1;
+                    self.trace_res("breaker_open", endpoint, &[]);
                 }
             }
             BreakerState::Open => {}
@@ -486,6 +527,14 @@ impl<'a> ResilientClient<'a> {
         self.stats.fatal_errors += 1;
         if self.stats.trail.len() < TRAIL_CAP {
             self.stats.trail.push(err.to_string());
+        }
+        let tracer = self.inner.tracer();
+        if tracer.is_enabled() {
+            tracer.emit(
+                Category::Resilience,
+                "give_up",
+                &[("error", FieldValue::from(err.to_string()))],
+            );
         }
         Err(err)
     }

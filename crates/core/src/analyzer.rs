@@ -14,6 +14,7 @@ use microblog_api::{
     ApiProfile, CachingClient, MicroblogClient, QueryBudget, ResilienceStats, ResilientClient,
     RetryPolicy,
 };
+use microblog_obs::{Category, FieldValue, Tracer, WalkPhase};
 use microblog_platform::{ApiBackend, Duration, Platform};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -181,8 +182,51 @@ impl<'p> MicroblogAnalyzer<'p> {
         shared: Option<Arc<dyn CacheLayer>>,
         policy: &RetryPolicy,
     ) -> RunReport {
+        self.run_traced(
+            query,
+            budget,
+            algorithm,
+            seed,
+            shared,
+            policy,
+            Tracer::disabled(),
+        )
+    }
+
+    /// Like [`run`](Self::run), with a [`Tracer`] threaded through the
+    /// whole client stack and the walkers. Tracing is strictly
+    /// observational: the walk RNG, the budget charges and therefore the
+    /// estimate are bit-identical whether the tracer is enabled, disabled
+    /// or sampled. With a logical-tick [`microblog_obs::TelemetryClock`]
+    /// the recorded event stream is itself byte-for-byte reproducible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_traced(
+        &self,
+        query: &AggregateQuery,
+        budget: u64,
+        algorithm: Algorithm,
+        seed: u64,
+        shared: Option<Arc<dyn CacheLayer>>,
+        policy: &RetryPolicy,
+        tracer: Tracer,
+    ) -> RunReport {
+        let limit = budget;
         let budget = QueryBudget::limited(budget);
-        let inner = MicroblogClient::from_backend(self.backend, self.api.clone(), budget.clone());
+        let inner = MicroblogClient::from_backend(self.backend, self.api.clone(), budget.clone())
+            .with_tracer(tracer.clone());
+        let span = if tracer.is_enabled() {
+            tracer.span_start(
+                Category::Job,
+                "estimate",
+                &[
+                    ("algorithm", FieldValue::from(algorithm.name())),
+                    ("seed", FieldValue::U64(seed)),
+                    ("budget", FieldValue::U64(limit)),
+                ],
+            )
+        } else {
+            0
+        };
         // Derive the jitter stream from the job seed so concurrent jobs
         // don't share backoff sequences; the walk RNG is untouched.
         let policy = policy.with_jitter_seed(policy.jitter_seed ^ seed.rotate_left(17));
@@ -234,6 +278,24 @@ impl<'p> MicroblogAnalyzer<'p> {
         let cache = *client.cache_stats();
         let resilience = client.resilience().clone();
         let degraded = resilience.degraded() && result.is_ok();
+        tracer.set_phase(WalkPhase::Idle);
+        tracer.set_level(None);
+        if tracer.is_enabled() {
+            let outcome = match &result {
+                Ok(_) => FieldValue::from("ok"),
+                Err(e) => FieldValue::from(e.to_string()),
+            };
+            tracer.span_end(
+                Category::Job,
+                "estimate",
+                span,
+                &[
+                    ("charged", FieldValue::U64(budget.spent())),
+                    ("outcome", outcome),
+                    ("degraded", FieldValue::U64(u64::from(degraded))),
+                ],
+            );
+        }
         RunReport {
             outcome: result,
             charged: budget.spent(),

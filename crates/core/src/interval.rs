@@ -12,6 +12,7 @@ use crate::query::AggregateQuery;
 use crate::view::{QueryGraph, ViewKind};
 use microblog_api::{ApiError, CachingClient};
 use microblog_graph::conductance::conductance_level;
+use microblog_obs::{Category, FieldValue, WalkPhase};
 use microblog_platform::{Duration, UserId};
 use rand::Rng;
 
@@ -58,6 +59,8 @@ pub fn score_intervals<R: Rng>(
     if seeds.is_empty() {
         return Err(EstimateError::NoSeeds);
     }
+    let tracer = client.tracer().clone();
+    tracer.set_phase(WalkPhase::Pilot);
     let mut scores = Vec::with_capacity(candidates.len());
     for &interval in candidates {
         let (h, d) = match pilot(client, query, interval, seeds, pilot_steps, rng) {
@@ -65,6 +68,15 @@ pub fn score_intervals<R: Rng>(
             Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
+        tracer.emit(
+            Category::Walk,
+            "pilot",
+            &[
+                ("interval_secs", FieldValue::I64(interval.0)),
+                ("h", FieldValue::F64(h)),
+                ("d", FieldValue::F64(d)),
+            ],
+        );
         // Reference size: common across candidates, far enough above d·h
         // that Eq. (3)'s domain (d < n/h) holds for every candidate.
         scores.push(IntervalScore {
@@ -116,7 +128,16 @@ pub fn select_interval<R: Rng>(
         pilot_steps,
         rng,
     )?;
-    Ok(scores[0]) // ma-lint: allow(panic-safety) reason="score_intervals yields one score per candidate; the candidate list is non-empty"
+    let best = scores[0]; // ma-lint: allow(panic-safety) reason="score_intervals yields one score per candidate; the candidate list is non-empty"
+    client.tracer().emit(
+        Category::Walk,
+        "interval_selected",
+        &[
+            ("interval_secs", FieldValue::I64(best.interval.0)),
+            ("conductance", FieldValue::F64(best.conductance)),
+        ],
+    );
+    Ok(best)
 }
 
 /// One pilot walk: a short simple random walk over the level-by-level view

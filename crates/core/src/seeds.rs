@@ -8,6 +8,7 @@
 use crate::error::EstimateError;
 use crate::query::AggregateQuery;
 use microblog_api::CachingClient;
+use microblog_obs::{Category, FieldValue, WalkPhase};
 use microblog_platform::UserId;
 
 /// Fetches the deduplicated seed-user set for `query`.
@@ -19,6 +20,8 @@ pub fn fetch_seeds(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
 ) -> Result<Vec<UserId>, EstimateError> {
+    let tracer = client.tracer().clone();
+    tracer.set_phase(WalkPhase::Seed);
     let window = query.effective_window(client.now());
     let hits = client.search(query.keyword)?;
     let mut seeds: Vec<UserId> = hits
@@ -28,6 +31,14 @@ pub fn fetch_seeds(
         .collect();
     seeds.sort_unstable();
     seeds.dedup();
+    tracer.emit(
+        Category::Walk,
+        "seeds",
+        &[
+            ("hits", FieldValue::from(hits.len())),
+            ("seeds", FieldValue::from(seeds.len())),
+        ],
+    );
     if seeds.is_empty() {
         return Err(EstimateError::NoSeeds);
     }

@@ -16,6 +16,7 @@ use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
 use microblog_api::CachingClient;
 use microblog_graph::sizing::CollisionCounter;
+use microblog_obs::{Category, FieldValue, WalkPhase};
 use rand::Rng;
 
 /// Configuration of the MHRW estimator.
@@ -56,9 +57,16 @@ pub fn estimate<R: Rng>(
     config: &MhrwConfig,
     rng: &mut R,
 ) -> Result<Estimate, EstimateError> {
+    let tracer = client.tracer().clone();
     let seeds = fetch_seeds(client, query)?;
     let now = client.now();
     let mut graph = QueryGraph::new(client, query, config.view);
+    let mut phase = if config.burn_in > 0 {
+        WalkPhase::BurnIn
+    } else {
+        WalkPhase::Walk
+    };
+    tracer.set_phase(phase);
 
     let mut sum_num = 0.0;
     let mut sum_den = 0.0;
@@ -85,6 +93,18 @@ pub fn estimate<R: Rng>(
         };
         let d_u = nbrs.len();
         cur_deg = Some(d_u);
+        if phase == WalkPhase::BurnIn && step >= config.burn_in {
+            tracer.emit(
+                Category::Walk,
+                "burnin_end",
+                &[
+                    ("step", FieldValue::from(total_steps)),
+                    ("chain_step", FieldValue::from(step)),
+                ],
+            );
+            phase = WalkPhase::Walk;
+            tracer.set_phase(phase);
+        }
         if step >= config.burn_in && step.is_multiple_of(config.thinning.max(1)) {
             let view = match graph.view(current) {
                 Ok(v) => v,
@@ -97,6 +117,15 @@ pub fn estimate<R: Rng>(
             sum_match += matches as u8 as f64;
             samples += 1;
             collisions.push(current.0, 1);
+            tracer.emit(
+                Category::Walk,
+                "sample",
+                &[
+                    ("node", FieldValue::from(current.0)),
+                    ("degree", FieldValue::from(d_u)),
+                    ("matches", FieldValue::U64(u64::from(matches))),
+                ],
+            );
             batch_vals.push((
                 num,
                 if matches!(query.aggregate, Aggregate::RatioOfSums { .. }) {
@@ -115,9 +144,21 @@ pub fn estimate<R: Rng>(
             }
         }
         if d_u == 0 {
+            tracer.emit(
+                Category::Walk,
+                "restart",
+                &[
+                    ("node", FieldValue::from(current.0)),
+                    ("step", FieldValue::from(total_steps)),
+                ],
+            );
             current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             step = 0;
             cur_deg = None;
+            if config.burn_in > 0 && phase != WalkPhase::BurnIn {
+                phase = WalkPhase::BurnIn;
+                tracer.set_phase(phase);
+            }
             continue;
         }
         // Propose and accept/reject.
@@ -129,6 +170,16 @@ pub fn estimate<R: Rng>(
         };
         let d_v = prop_nbrs.len();
         let accept = d_v > 0 && rng.gen::<f64>() < (d_u as f64 / d_v as f64).min(1.0);
+        tracer.emit(
+            Category::Walk,
+            if accept { "mh_accept" } else { "mh_reject" },
+            &[
+                ("from", FieldValue::from(current.0)),
+                ("proposal", FieldValue::from(proposal.0)),
+                ("d_u", FieldValue::from(d_u)),
+                ("d_v", FieldValue::from(d_v)),
+            ],
+        );
         if accept {
             current = proposal;
             cur_deg = Some(d_v);

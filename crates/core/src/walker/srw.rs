@@ -14,7 +14,13 @@ use crate::query::AggregateQuery;
 use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
 use microblog_api::CachingClient;
+use microblog_graph::diagnostics::geweke_z_default;
+use microblog_obs::{Category, FieldValue, WalkPhase};
 use rand::Rng;
+
+/// Emit a running Geweke z-score every this many kept samples (tracing
+/// only; the chain history is not accumulated otherwise).
+const GEWEKE_EVERY: usize = 32;
 
 /// Configuration of the simple-random-walk estimator.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +63,7 @@ pub fn estimate<R: Rng>(
     config: &SrwConfig,
     rng: &mut R,
 ) -> Result<Estimate, EstimateError> {
+    let tracer = client.tracer().clone();
     let seeds = fetch_seeds(client, query)?;
     let now = client.now();
     let mut graph = QueryGraph::new(client, query, config.view);
@@ -70,6 +77,15 @@ pub fn estimate<R: Rng>(
     let mut step_in_chain = 0usize;
     let mut total_steps = 0usize;
     let mut kept = 0usize;
+    let mut phase = if config.burn_in > 0 {
+        WalkPhase::BurnIn
+    } else {
+        WalkPhase::Walk
+    };
+    tracer.set_phase(phase);
+    // Per-sample numerators for the running Geweke convergence check
+    // (only accumulated while tracing).
+    let mut chain: Vec<f64> = Vec::new();
     loop {
         if total_steps >= config.max_steps {
             break;
@@ -80,6 +96,18 @@ pub fn estimate<R: Rng>(
             Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
+        if phase == WalkPhase::BurnIn && step_in_chain >= config.burn_in {
+            tracer.emit(
+                Category::Walk,
+                "burnin_end",
+                &[
+                    ("step", FieldValue::from(total_steps)),
+                    ("chain_step", FieldValue::from(step_in_chain)),
+                ],
+            );
+            phase = WalkPhase::Walk;
+            tracer.set_phase(phase);
+        }
         if step_in_chain >= config.burn_in && step_in_chain.is_multiple_of(config.thinning.max(1)) {
             let view = match graph.view(current) {
                 Ok(v) => v,
@@ -92,6 +120,31 @@ pub fn estimate<R: Rng>(
             accum.push(current.0, nbrs.len(), matches, num, den, collide);
             batch_accum.push(current.0, nbrs.len(), matches, num, den, false);
             kept += 1;
+            tracer.emit(
+                Category::Walk,
+                "sample",
+                &[
+                    ("node", FieldValue::from(current.0)),
+                    ("degree", FieldValue::from(nbrs.len())),
+                    ("matches", FieldValue::U64(u64::from(matches))),
+                    ("collide", FieldValue::U64(u64::from(collide))),
+                ],
+            );
+            if tracer.is_enabled() {
+                chain.push(num);
+                if chain.len().is_multiple_of(GEWEKE_EVERY) {
+                    if let Some(z) = geweke_z_default(&chain) {
+                        tracer.emit(
+                            Category::Diag,
+                            "geweke",
+                            &[
+                                ("z", FieldValue::F64(z)),
+                                ("kept", FieldValue::from(chain.len())),
+                            ],
+                        );
+                    }
+                }
+            }
             if batch_accum.samples() >= BATCH {
                 if let Some(v) = batch_accum.finalize(query) {
                     batch.push(v);
@@ -101,11 +154,33 @@ pub fn estimate<R: Rng>(
         }
         if nbrs.is_empty() {
             // Dangling under this view: restart a fresh chain.
+            tracer.emit(
+                Category::Walk,
+                "restart",
+                &[
+                    ("node", FieldValue::from(current.0)),
+                    ("step", FieldValue::from(total_steps)),
+                ],
+            );
             current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
             step_in_chain = 0;
+            if config.burn_in > 0 && phase != WalkPhase::BurnIn {
+                phase = WalkPhase::BurnIn;
+                tracer.set_phase(phase);
+            }
             continue;
         }
-        current = nbrs[rng.gen_range(0..nbrs.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+        let next = nbrs[rng.gen_range(0..nbrs.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+        tracer.emit(
+            Category::Walk,
+            "step",
+            &[
+                ("from", FieldValue::from(current.0)),
+                ("to", FieldValue::from(next.0)),
+                ("degree", FieldValue::from(nbrs.len())),
+            ],
+        );
+        current = next;
         step_in_chain += 1;
     }
 

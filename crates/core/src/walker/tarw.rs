@@ -30,6 +30,7 @@ use crate::query::{Aggregate, AggregateQuery};
 use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
 use microblog_api::{ApiError, CachingClient};
+use microblog_obs::{Category, FieldValue, Tracer, WalkPhase};
 use microblog_platform::{Duration, UserId};
 use rand::Rng;
 use std::collections::{HashMap, HashSet};
@@ -101,6 +102,7 @@ pub fn estimate<R: Rng>(
     config: &TarwConfig,
     rng: &mut R,
 ) -> Result<Estimate, EstimateError> {
+    let tracer = client.tracer().clone();
     let seeds = fetch_seeds(client, query)?;
     let interval = match config.interval {
         Some(t) => t,
@@ -114,11 +116,31 @@ pub fn estimate<R: Rng>(
         seeds: &seeds,
         p_mode: config.p_mode,
         query,
+        tracer: tracer.clone(),
     };
 
     let mut instances: Vec<InstanceSums> = Vec::new();
-    for _ in 0..config.max_instances {
-        match walker.run_instance(rng) {
+    for i in 0..config.max_instances {
+        let span = tracer.span_start(
+            Category::Walk,
+            "tarw_instance",
+            &[("instance", FieldValue::from(i))],
+        );
+        let outcome = walker.run_instance(rng);
+        if tracer.is_enabled() {
+            let label = match &outcome {
+                Ok(Some(_)) => "ok",
+                Ok(None) => "degenerate",
+                Err(_) => "error",
+            };
+            tracer.span_end(
+                Category::Walk,
+                "tarw_instance",
+                span,
+                &[("outcome", FieldValue::from(label))],
+            );
+        }
+        match outcome {
             Ok(Some(sums)) => instances.push(sums),
             Ok(None) => {} // degenerate instance (seed not a member)
             Err(e) if e.ends_walk() => break,
@@ -405,6 +427,7 @@ struct TarwWalker<'g, 'c, 'p> {
     seeds: &'g [UserId],
     p_mode: PMode,
     query: &'g AggregateQuery,
+    tracer: Tracer,
 }
 
 impl TarwWalker<'_, '_, '_> {
@@ -412,9 +435,12 @@ impl TarwWalker<'_, '_, '_> {
     /// not a subgraph member (e.g. its qualifying post is cap-hidden).
     fn run_instance<R: Rng>(&mut self, rng: &mut R) -> Result<Option<InstanceSums>, ApiError> {
         let start = self.seeds[rng.gen_range(0..self.seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
-        if self.graph.member_level(start)?.is_none() {
-            return Ok(None);
-        }
+        let start_level = match self.graph.member_level(start)? {
+            Some(l) => l,
+            None => return Ok(None),
+        };
+        self.tracer.set_phase(WalkPhase::Up);
+        self.tracer.set_level(Some(start_level));
         // Up phase: strictly earlier levels until a root.
         let mut up_path = vec![start];
         let mut current = start;
@@ -423,10 +449,13 @@ impl TarwWalker<'_, '_, '_> {
             if above.is_empty() {
                 break;
             }
-            current = above[rng.gen_range(0..above.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+            let next = above[rng.gen_range(0..above.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+            self.trace_level_move("level_up", current, next)?;
+            current = next;
             up_path.push(current);
         }
         let root = current;
+        self.tracer.set_phase(WalkPhase::Down);
         // Down phase: strictly later levels until a sink. The root belongs
         // to both phases (p̂(root) = p̄(root)).
         let mut down_path = vec![root];
@@ -435,9 +464,13 @@ impl TarwWalker<'_, '_, '_> {
             if below.is_empty() {
                 break;
             }
-            current = below[rng.gen_range(0..below.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+            let next = below[rng.gen_range(0..below.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+            self.trace_level_move("level_down", current, next)?;
+            current = next;
             down_path.push(current);
         }
+        self.tracer.set_phase(WalkPhase::Probability);
+        self.tracer.set_level(None);
 
         let now = self.graph.client_mut().now();
         let mut sums = InstanceSums::default();
@@ -473,6 +506,40 @@ impl TarwWalker<'_, '_, '_> {
         sums.den += den / p;
         sums.count += matches as u8 as f64 / p;
         sums.used += 1;
+        self.tracer.emit(
+            Category::Walk,
+            "sample",
+            &[
+                ("node", FieldValue::from(u.0)),
+                ("p", FieldValue::F64(p)),
+                ("matches", FieldValue::U64(u64::from(matches))),
+            ],
+        );
+        Ok(())
+    }
+
+    /// Publishes the destination's level as ambient context and records
+    /// the transition. The level is already memoized by the `level_split`
+    /// that produced the candidate set, so this costs no API calls.
+    fn trace_level_move(
+        &mut self,
+        name: &'static str,
+        from: UserId,
+        to: UserId,
+    ) -> Result<(), ApiError> {
+        if !self.tracer.is_enabled() {
+            return Ok(());
+        }
+        let level = self.graph.member_level(to)?;
+        self.tracer.set_level(level);
+        self.tracer.emit(
+            Category::Walk,
+            name,
+            &[
+                ("from", FieldValue::from(from.0)),
+                ("to", FieldValue::from(to.0)),
+            ],
+        );
         Ok(())
     }
 

@@ -49,6 +49,7 @@ pub mod walk;
 
 pub use csr::CsrGraph;
 pub use directed::DirectedGraph;
+pub use walk::{Visit, WalkTrace};
 
 /// Node identifier used across the toolkit.
 pub type NodeId = u32;

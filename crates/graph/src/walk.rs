@@ -59,8 +59,17 @@ pub struct WalkTrace {
 
 impl WalkTrace {
     /// Drops the first `burn_in` visits and keeps every `thinning`-th of the
-    /// remainder (`thinning >= 1`).
+    /// remainder, starting with the first post-burn-in visit.
+    ///
+    /// Edge cases are total rather than panicking or surprising:
+    /// `burn_in >= visits.len()` yields an empty sample set (the whole
+    /// trace was burn-in), `thinning` of 0 is clamped to 1 (keep every
+    /// visit), and a `thinning` larger than the post-burn-in remainder
+    /// keeps exactly the first remaining visit.
     pub fn samples(&self, burn_in: usize, thinning: usize) -> Vec<Visit> {
+        if burn_in >= self.visits.len() {
+            return Vec::new();
+        }
         let thinning = thinning.max(1);
         self.visits
             .iter()
@@ -256,6 +265,41 @@ mod tests {
         assert_eq!(s[1], trace.visits[7]);
         // thinning 0 is clamped to 1
         assert_eq!(trace.samples(0, 0).len(), 11);
+    }
+
+    #[test]
+    fn samples_burn_in_at_or_past_the_end_is_empty() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let trace = simple_random_walk(&mut &g, &mut rng, 0, 4).unwrap();
+        assert_eq!(trace.visits.len(), 5);
+        assert!(trace.samples(5, 1).is_empty(), "burn_in == len");
+        assert!(trace.samples(6, 1).is_empty(), "burn_in > len");
+        assert!(trace.samples(usize::MAX, 3).is_empty());
+        // One visit left after burn-in: exactly one sample regardless of
+        // thinning.
+        assert_eq!(trace.samples(4, 1), vec![trace.visits[4]]);
+    }
+
+    #[test]
+    fn samples_thinning_larger_than_remainder_keeps_first_visit() {
+        let g = star();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let trace = simple_random_walk(&mut &g, &mut rng, 0, 10).unwrap();
+        // 8 visits remain after burn_in = 3; thinning beyond that keeps
+        // only visit 3.
+        assert_eq!(trace.samples(3, 8), vec![trace.visits[3]]);
+        assert_eq!(trace.samples(3, 100), vec![trace.visits[3]]);
+        assert_eq!(trace.samples(3, usize::MAX), vec![trace.visits[3]]);
+        // thinning == remainder - 1 still catches the last visit.
+        assert_eq!(trace.samples(3, 7), vec![trace.visits[3], trace.visits[10]]);
+    }
+
+    #[test]
+    fn samples_on_an_empty_trace_is_empty() {
+        let trace = WalkTrace::default();
+        assert!(trace.samples(0, 1).is_empty());
+        assert!(trace.samples(3, 2).is_empty());
     }
 
     #[test]

@@ -67,6 +67,7 @@ impl Default for Config {
                 "crates/api/src/",
                 "crates/core/src/",
                 "crates/graph/src/",
+                "crates/obs/src/",
                 "crates/platform/src/",
                 "crates/service/src/",
             ]),
@@ -86,13 +87,14 @@ impl Default for Config {
                 // are supposed to live.
                 "crates/api/src/client.rs",
             ]),
-            lock_order_paths: s(&["crates/api/src/", "crates/service/src/"]),
+            lock_order_paths: s(&["crates/api/src/", "crates/obs/src/", "crates/service/src/"]),
             hygiene_lib_roots: s(&[
                 "crates/api/src/lib.rs",
                 "crates/bench/src/lib.rs",
                 "crates/core/src/lib.rs",
                 "crates/graph/src/lib.rs",
                 "crates/lint/src/lib.rs",
+                "crates/obs/src/lib.rs",
                 "crates/platform/src/lib.rs",
                 "crates/service/src/lib.rs",
             ]),

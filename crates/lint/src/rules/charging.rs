@@ -7,6 +7,11 @@
 //! or raw `Platform` accessors (`search_posts`, `timeline`, `followers`,
 //! `followees`) bypasses that discipline. Ground-truth oracles and tests
 //! are exempt (they deliberately read the world for free).
+//!
+//! The same discipline covers instrumentation: inside estimator/walker
+//! code (the `determinism` path set) a raw `TraceSink::record(…)` write
+//! bypasses `Tracer::emit`, which is where phase/level attribution and
+//! per-category sampling happen — so `.record(` is banned there too.
 
 use crate::config::Config;
 use crate::context::{FileCtx, Finding};
@@ -23,12 +28,20 @@ const RAW_METHODS: [&str; 7] = [
     "followees",
 ];
 
-/// Scans for direct backend/platform calls outside the metered stack.
+/// Raw trace-sink writes. Estimator/walker instrumentation must go
+/// through `Tracer::emit` / span helpers (which stamp the ambient walk
+/// phase and level and honor per-category sampling); pushing an event
+/// straight into a `TraceSink` produces unattributable records that
+/// `ma-cli trace --summary` cannot charge to a phase.
+const RAW_SINK_METHODS: [&str; 1] = ["record"];
+
+/// Scans for direct backend/platform calls outside the metered stack,
+/// and for raw trace-sink writes inside estimator/walker code.
 pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
-    if !Config::matches(ctx.path, &cfg.charging_paths)
-        || Config::matches(ctx.path, &cfg.charging_exempt)
-        || !ctx.role.is_library()
-    {
+    let metered = Config::matches(ctx.path, &cfg.charging_paths)
+        && !Config::matches(ctx.path, &cfg.charging_exempt);
+    let sink_scope = Config::matches(ctx.path, &cfg.determinism_paths);
+    if (!metered && !sink_scope) || !ctx.role.is_library() {
         return;
     }
     let toks = &ctx.tokens;
@@ -36,14 +49,17 @@ pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
         if ctx.is_test_code(i) {
             continue;
         }
-        let Some(m) = t.ident().filter(|m| RAW_METHODS.contains(m)) else {
+        let Some(m) = t.ident() else {
             continue;
         };
         // Method call position: `recv.method(` — a field access or a
         // definition (`fn timeline(`) doesn't match.
         let is_call =
             i >= 1 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
-        if is_call {
+        if !is_call {
+            continue;
+        }
+        if metered && RAW_METHODS.contains(&m) {
             ctx.emit(
                 out,
                 "charging",
@@ -51,6 +67,17 @@ pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
                 format!(
                     "direct `.{m}(…)` bypasses the metered client stack; route \
                      through CachingClient/ResilientClient so the call is charged"
+                ),
+            );
+        } else if sink_scope && RAW_SINK_METHODS.contains(&m) {
+            ctx.emit(
+                out,
+                "charging",
+                t.line,
+                format!(
+                    "raw trace-sink `.{m}(…)` in walker code bypasses Tracer::emit; \
+                     emit through the tracer so the event carries phase/level \
+                     attribution and respects sampling"
                 ),
             );
         }

@@ -44,7 +44,7 @@ pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
                 "wall-clock",
                 t.line,
                 "`Instant::now()` reads wall time; use the simulated clock or a \
-                 deterministic telemetry clock (crates/service/src/clock.rs)"
+                 deterministic telemetry clock (crates/obs/src/clock.rs)"
                     .to_string(),
             );
         }

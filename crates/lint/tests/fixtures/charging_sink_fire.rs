@@ -1,0 +1,6 @@
+// Fixture: walker code writing straight to a trace sink, skipping the
+// tracer's phase/level stamping and sampling.
+fn step(sink: &dyn TraceSink, tracer: &Tracer, event: TraceEvent) {
+    sink.record(event);
+    tracer.emit(Category::Walk, "step", &[]);
+}

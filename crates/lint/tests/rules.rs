@@ -134,6 +134,41 @@ fn charging_suppressed() {
 }
 
 #[test]
+fn charging_sink_write_fires_in_walker_code() {
+    let findings = run(
+        "charging",
+        "crates/core/src/walker/fixture.rs",
+        include_str!("fixtures/charging_sink_fire.rs"),
+    );
+    // The raw `sink.record(…)`; the `tracer.emit(…)` on the next line is
+    // the sanctioned route and stays silent.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("Tracer::emit"), "{findings:?}");
+}
+
+#[test]
+fn charging_sink_write_suppressed() {
+    let findings = run(
+        "charging",
+        "crates/core/src/walker/fixture.rs",
+        include_str!("fixtures/charging_sink_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn charging_sink_ban_is_scoped_to_walker_code() {
+    // Histogram `.record(…)` in the service metrics registry is not a
+    // trace-sink write; the ban only covers estimator/walker paths.
+    let findings = run(
+        "charging",
+        "crates/service/src/fixture.rs",
+        "fn observe(h: &Log2Histogram, v: u64) { h.record(v); }\n",
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn charging_exempts_the_metered_stack() {
     let findings = run(
         "charging",

@@ -1,0 +1,316 @@
+//! The trace record: categories, kinds, walk phases and typed fields.
+//!
+//! A [`TraceEvent`] is deliberately flat — a timestamp, a global sequence
+//! number, a small closed set of categories, a `&'static str` name and a
+//! short list of typed fields — so that serialization is a fixed-order
+//! byte-for-byte deterministic rendering (see [`crate::export`]) and the
+//! hot-path cost of recording one is a handful of copies.
+
+/// What part of the stack an event describes. Categories shard the
+/// recorder and carry independent sampling rates: walk steps are
+/// high-volume and may be downsampled while charge events are always
+/// kept, because cost attribution must account for every charged call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Category {
+    /// Walker transitions: steps, MH accept/reject, samples, restarts,
+    /// burn-in boundaries, level moves.
+    Walk,
+    /// Budget charges in the metered client stack (fresh calls and
+    /// logically-charged shared hits).
+    Charge,
+    /// Cache activity: local/shared hits, misses, evictions.
+    Cache,
+    /// Resilience: retries, backoff, breaker transitions, fast-fails,
+    /// waste-meter charges, give-ups.
+    Resilience,
+    /// Job lifecycle spans in the service engine.
+    Job,
+    /// Diagnostics: running Geweke z-scores, accumulator snapshots.
+    Diag,
+}
+
+impl Category {
+    /// Number of categories; sizes per-category arrays.
+    pub const COUNT: usize = 6;
+
+    /// All categories, in shard/index order.
+    pub const ALL: [Category; Category::COUNT] = [
+        Category::Walk,
+        Category::Charge,
+        Category::Cache,
+        Category::Resilience,
+        Category::Job,
+        Category::Diag,
+    ];
+
+    /// Stable shard index for this category.
+    pub fn index(self) -> usize {
+        match self {
+            Category::Walk => 0,
+            Category::Charge => 1,
+            Category::Cache => 2,
+            Category::Resilience => 3,
+            Category::Job => 4,
+            Category::Diag => 5,
+        }
+    }
+
+    /// Short lowercase name used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Walk => "walk",
+            Category::Charge => "charge",
+            Category::Cache => "cache",
+            Category::Resilience => "resilience",
+            Category::Job => "job",
+            Category::Diag => "diag",
+        }
+    }
+}
+
+/// Whether a record is a point event or one end of a span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A point-in-time event.
+    Event,
+    /// The opening edge of a span; carries the span id.
+    SpanStart,
+    /// The closing edge of a span; carries the same span id.
+    SpanEnd,
+}
+
+impl EventKind {
+    /// Name used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Event => "event",
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+        }
+    }
+}
+
+/// The walk phase a charge or event is attributed to. Walkers publish
+/// their current phase on the [`crate::Tracer`]; the client stack stamps
+/// it onto every charge it records, which is how `ma-cli trace --summary`
+/// builds its per-phase cost tree without the client knowing anything
+/// about walk structure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WalkPhase {
+    /// No walk phase published (engine bookkeeping, setup, teardown).
+    #[default]
+    Idle,
+    /// Fetching seed users through the SEARCH API.
+    Seed,
+    /// Pilot walks used to pick the MA-TARW time interval.
+    Pilot,
+    /// Burn-in steps of a random walk (samples discarded).
+    BurnIn,
+    /// Post-burn-in sampling steps of SRW / MHRW / M&R walks.
+    Walk,
+    /// MA-TARW bottom-to-top path construction.
+    Up,
+    /// MA-TARW top-to-bottom path construction.
+    Down,
+    /// MA-TARW visit-probability estimation (the Eq. (6) recursion).
+    Probability,
+}
+
+impl WalkPhase {
+    /// All phases, in display order.
+    pub const ALL: [WalkPhase; 8] = [
+        WalkPhase::Idle,
+        WalkPhase::Seed,
+        WalkPhase::Pilot,
+        WalkPhase::BurnIn,
+        WalkPhase::Walk,
+        WalkPhase::Up,
+        WalkPhase::Down,
+        WalkPhase::Probability,
+    ];
+
+    /// Short lowercase name used in JSON exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WalkPhase::Idle => "idle",
+            WalkPhase::Seed => "seed",
+            WalkPhase::Pilot => "pilot",
+            WalkPhase::BurnIn => "burn_in",
+            WalkPhase::Walk => "walk",
+            WalkPhase::Up => "up",
+            WalkPhase::Down => "down",
+            WalkPhase::Probability => "probability",
+        }
+    }
+
+    /// Stable index into [`WalkPhase::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            WalkPhase::Idle => 0,
+            WalkPhase::Seed => 1,
+            WalkPhase::Pilot => 2,
+            WalkPhase::BurnIn => 3,
+            WalkPhase::Walk => 4,
+            WalkPhase::Up => 5,
+            WalkPhase::Down => 6,
+            WalkPhase::Probability => 7,
+        }
+    }
+}
+
+/// A typed field value. Floats are rendered with Rust's shortest
+/// round-trip formatting, which is deterministic across runs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// An unsigned counter or identifier.
+    U64(u64),
+    /// A signed quantity.
+    I64(i64),
+    /// A measurement (probabilities, z-scores).
+    F64(f64),
+    /// A short label (endpoint or algorithm names).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One trace record. Produced by [`crate::Tracer`], buffered by a
+/// [`crate::TraceSink`], exported by [`crate::export`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Timestamp in telemetry-clock microseconds (logical ticks by
+    /// default — see [`crate::TelemetryClock`]).
+    pub tick: u64,
+    /// Global sequence number; total order over one tracer's output.
+    pub seq: u64,
+    /// Point event or span edge.
+    pub kind: EventKind,
+    /// Which part of the stack emitted it.
+    pub category: Category,
+    /// Event name, from a closed per-category vocabulary (see
+    /// DESIGN.md §10).
+    pub name: &'static str,
+    /// Span id for span edges; `None` for point events outside a span.
+    pub span: Option<u64>,
+    /// Ambient walk phase at record time.
+    pub phase: WalkPhase,
+    /// Ambient level-graph level at record time, if the walker published
+    /// one (MA-TARW only).
+    pub level: Option<i64>,
+    /// Typed payload fields, in emission order.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl TraceEvent {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| *k == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a `U64` field by name.
+    pub fn u64_field(&self, name: &str) -> Option<u64> {
+        match self.field(name) {
+            Some(FieldValue::U64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up an `F64` field by name.
+    pub fn f64_field(&self, name: &str) -> Option<f64> {
+        match self.field(name) {
+            Some(FieldValue::F64(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Looks up a `Str` field by name.
+    pub fn str_field(&self, name: &str) -> Option<&str> {
+        match self.field(name) {
+            Some(FieldValue::Str(v)) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn category_index_matches_all_order() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn phase_index_matches_all_order() {
+        for (i, p) in WalkPhase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn field_lookup_by_name_and_type() {
+        let ev = TraceEvent {
+            tick: 1,
+            seq: 0,
+            kind: EventKind::Event,
+            category: Category::Charge,
+            name: "charge",
+            span: None,
+            phase: WalkPhase::Walk,
+            level: None,
+            fields: vec![
+                ("calls", FieldValue::U64(3)),
+                ("endpoint", FieldValue::from("search")),
+                ("z", FieldValue::F64(0.25)),
+            ],
+        };
+        assert_eq!(ev.u64_field("calls"), Some(3));
+        assert_eq!(ev.str_field("endpoint"), Some("search"));
+        assert_eq!(ev.f64_field("z"), Some(0.25));
+        assert_eq!(ev.u64_field("missing"), None);
+        assert_eq!(ev.u64_field("endpoint"), None);
+    }
+}

@@ -1,0 +1,184 @@
+//! JSON-lines serialization with a fixed, documented field order.
+//!
+//! The determinism acceptance test diffs two recorded traces *as bytes*,
+//! so the writer is hand-rolled rather than going through a generic
+//! serializer: keys always appear in the same order
+//! (`tick`, `seq`, `kind`, `cat`, `name`, `span`, `phase`, `level`,
+//! `fields`), absent span/level render as `null` to keep the schema
+//! fixed, and floats use Rust's shortest-round-trip `Display`, which is
+//! deterministic across runs and platforms.
+
+use std::fmt::Write as _;
+
+use crate::event::{FieldValue, TraceEvent};
+
+/// Serializes one event as a single JSON object (no trailing newline).
+pub fn to_json_line(event: &TraceEvent) -> String {
+    let mut out = String::with_capacity(128);
+    // Writing to a String is infallible; `let _ =` keeps fmt's Result
+    // discipline without a panic path.
+    let _ = write!(
+        out,
+        "{{\"tick\":{},\"seq\":{},\"kind\":\"{}\",\"cat\":\"{}\",\"name\":",
+        event.tick,
+        event.seq,
+        event.kind.as_str(),
+        event.category.as_str(),
+    );
+    push_json_str(&mut out, event.name);
+    out.push_str(",\"span\":");
+    match event.span {
+        Some(id) => {
+            let _ = write!(out, "{id}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\"phase\":\"{}\",\"level\":", event.phase.as_str());
+    match event.level {
+        Some(level) => {
+            let _ = write!(out, "{level}");
+        }
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"fields\":{");
+    for (i, (key, value)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, key);
+        out.push(':');
+        push_field(&mut out, value);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serializes a drained event stream as JSON lines (one object per line,
+/// trailing newline after the last).
+pub fn render_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str(&to_json_line(event));
+        out.push('\n');
+    }
+    out
+}
+
+fn push_field(out: &mut String, value: &FieldValue) {
+    match value {
+        FieldValue::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        FieldValue::F64(v) if v.is_finite() => {
+            // Shortest round-trip Display; force a `.0` onto integral
+            // values so the field parses back as a float.
+            let mut s = format!("{v}");
+            if !s.contains(['.', 'e', 'E']) {
+                s.push_str(".0");
+            }
+            out.push_str(&s);
+        }
+        // NaN / infinities have no JSON spelling.
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Str(s) => push_json_str(out, s),
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Category, EventKind, WalkPhase};
+
+    fn sample() -> TraceEvent {
+        TraceEvent {
+            tick: 7,
+            seq: 3,
+            kind: EventKind::SpanStart,
+            category: Category::Job,
+            name: "job",
+            span: Some(1),
+            phase: WalkPhase::Walk,
+            level: Some(2),
+            fields: vec![
+                ("calls", FieldValue::U64(12)),
+                ("delta", FieldValue::I64(-4)),
+                ("z", FieldValue::F64(0.5)),
+                ("whole", FieldValue::F64(3.0)),
+                ("endpoint", FieldValue::from("search")),
+            ],
+        }
+    }
+
+    #[test]
+    fn field_order_is_fixed() {
+        let line = to_json_line(&sample());
+        assert_eq!(
+            line,
+            "{\"tick\":7,\"seq\":3,\"kind\":\"span_start\",\"cat\":\"job\",\
+             \"name\":\"job\",\"span\":1,\"phase\":\"walk\",\"level\":2,\
+             \"fields\":{\"calls\":12,\"delta\":-4,\"z\":0.5,\"whole\":3.0,\
+             \"endpoint\":\"search\"}}"
+        );
+    }
+
+    #[test]
+    fn absent_span_and_level_render_as_null() {
+        let mut ev = sample();
+        ev.kind = EventKind::Event;
+        ev.span = None;
+        ev.level = None;
+        ev.fields.clear();
+        let line = to_json_line(&ev);
+        assert!(line.contains("\"span\":null"), "line: {line}");
+        assert!(line.contains("\"level\":null"), "line: {line}");
+        assert!(line.ends_with("\"fields\":{}}"), "line: {line}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut ev = sample();
+        ev.fields = vec![("s", FieldValue::Str("a\"b\\c\nd\u{1}".to_string()))];
+        let line = to_json_line(&ev);
+        assert!(
+            line.contains("\"s\":\"a\\\"b\\\\c\\nd\\u0001\""),
+            "line: {line}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut ev = sample();
+        ev.fields = vec![("z", FieldValue::F64(f64::NAN))];
+        assert!(to_json_line(&ev).contains("\"z\":null"));
+    }
+
+    #[test]
+    fn jsonl_is_one_line_per_event_with_trailing_newline() {
+        let events = vec![sample(), sample()];
+        let text = render_jsonl(&events);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        assert_eq!(render_jsonl(&[]), "");
+    }
+}

@@ -1,0 +1,154 @@
+//! Lock-free log2-bucket histograms for latency- and cost-shaped data.
+//!
+//! Means hide the paper's pathologies: one breaker-open backoff of 2¹⁴
+//! simulated seconds disappears inside ten thousand 1-tick waits. A
+//! power-of-two histogram keeps the tail visible at a fixed 65 × 8-byte
+//! cost, and its snapshot is a plain `[u64; 65]`, so
+//! `MetricsSnapshot` stays `Copy` after growing four of them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit of a `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A concurrent histogram over `u64` values with power-of-two buckets:
+/// bucket 0 holds zeros, bucket `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Log2Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// The bucket a value lands in.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// `[low, high]` inclusive value bounds of bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        if index == 0 {
+            (0, 0)
+        } else {
+            let low = 1u64 << (index - 1).min(63);
+            let high = low.checked_mul(2).map_or(u64::MAX, |h| h - 1);
+            (low, high)
+        }
+    }
+
+    /// Counts one observation.
+    pub fn record(&self, value: u64) {
+        if let Some(bucket) = self.buckets.get(Self::bucket_index(value)) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A copyable snapshot of the bucket counts.
+    pub fn snapshot(&self) -> [u64; BUCKETS] {
+        let mut out = [0u64; BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Log2Histogram")
+            .field("count", &self.snapshot().iter().sum::<u64>())
+            .finish()
+    }
+}
+
+/// Renders the non-empty buckets of a snapshot as `lo..=hi  count` rows,
+/// one per line, each indented two spaces — the shared presentation for
+/// metrics text output and trace summaries. Empty histograms render as
+/// an empty string.
+pub fn render_buckets(counts: &[u64; BUCKETS]) -> String {
+    let mut out = String::new();
+    for (i, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let (lo, hi) = Log2Histogram::bucket_bounds(i);
+        let range = if lo == hi {
+            format!("{lo}")
+        } else {
+            format!("{lo}..={hi}")
+        };
+        out.push_str(&format!("  {range:<24}{n}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bounds_cover_the_domain_without_gaps() {
+        let mut next = 0u64;
+        for i in 0..BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            assert_eq!(lo, next, "bucket {i} starts where the previous ended");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKETS - 1);
+                return;
+            }
+            next = hi + 1;
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        let h = Log2Histogram::new();
+        for v in [0, 1, 1, 3, 200, 200, 200] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap[0], 1, "one zero");
+        assert_eq!(snap[1], 2, "two ones");
+        assert_eq!(snap[2], 1, "one value in [2, 3]");
+        assert_eq!(snap[8], 3, "three values in [128, 255]");
+        assert_eq!(snap.iter().sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn render_shows_only_nonzero_buckets() {
+        let h = Log2Histogram::new();
+        h.record(0);
+        h.record(5);
+        let text = render_buckets(&h.snapshot());
+        assert!(text.contains("0                       1"), "text: {text}");
+        assert!(text.contains("4..=7                   1"), "text: {text}");
+        assert_eq!(text.lines().count(), 2);
+        assert!(render_buckets(&Log2Histogram::new().snapshot()).is_empty());
+    }
+}

@@ -1,0 +1,252 @@
+//! A bounded, sharded, deterministically-sampled ring-buffer recorder.
+//!
+//! One shard per [`Category`] keeps high-volume walk steps from evicting
+//! rare-but-precious resilience or job events, and keeps hot-path
+//! contention low: a walker writing step events and a client writing
+//! charge events never touch the same mutex. Sampling is counter-based —
+//! keep every Nth event of a category — so the kept subset is a pure
+//! function of the event stream, never of wall time or an RNG: a sampled
+//! trace replays byte-identically just like a full one.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::event::{Category, TraceEvent};
+use crate::sink::TraceSink;
+
+/// Recorder limits and per-category sampling rates.
+#[derive(Clone, Copy, Debug)]
+pub struct RecorderConfig {
+    /// Maximum buffered events per category; the oldest event of that
+    /// category is dropped (and counted) when full.
+    pub capacity_per_category: usize,
+    /// Keep one event in `sample_every[cat.index()]` for each category
+    /// (1 = keep all, 0 behaves as 1). Indexed by [`Category::index`].
+    pub sample_every: [u64; Category::COUNT],
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            capacity_per_category: 1 << 16,
+            sample_every: [1; Category::COUNT],
+        }
+    }
+}
+
+impl RecorderConfig {
+    /// Sets the sampling rate for one category.
+    pub fn with_sampling(mut self, category: Category, every: u64) -> Self {
+        if let Some(slot) = self.sample_every.get_mut(category.index()) {
+            *slot = every.max(1);
+        }
+        self
+    }
+}
+
+/// Per-category occupancy and loss counters; see [`RingRecorder::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecorderStats {
+    /// Events offered per category (before sampling).
+    pub seen: [u64; Category::COUNT],
+    /// Events skipped by the sampling rate.
+    pub sampled_out: [u64; Category::COUNT],
+    /// Buffered events evicted because the shard was full.
+    pub dropped: [u64; Category::COUNT],
+}
+
+impl RecorderStats {
+    /// Total events offered across categories.
+    pub fn total_seen(&self) -> u64 {
+        self.seen.iter().sum()
+    }
+
+    /// Total events lost to sampling or eviction.
+    pub fn total_lost(&self) -> u64 {
+        self.sampled_out.iter().sum::<u64>() + self.dropped.iter().sum::<u64>()
+    }
+}
+
+struct Shard {
+    every: u64,
+    capacity: usize,
+    seen: AtomicU64,
+    sampled_out: AtomicU64,
+    dropped: AtomicU64,
+    buf: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl Shard {
+    fn new(every: u64, capacity: usize) -> Self {
+        Shard {
+            every: every.max(1),
+            capacity: capacity.max(1),
+            seen: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            buf: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, event: TraceEvent) {
+        let n = self.seen.fetch_add(1, Ordering::Relaxed);
+        if self.every > 1 && !n.is_multiple_of(self.every) {
+            self.sampled_out.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if buf.len() >= self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        buf.push_back(event);
+    }
+
+    fn drain(&self) -> Vec<TraceEvent> {
+        let mut buf = self
+            .buf
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        buf.drain(..).collect()
+    }
+}
+
+/// The standard in-memory [`TraceSink`]: one bounded ring buffer per
+/// [`Category`], drained into a single seq-ordered stream.
+pub struct RingRecorder {
+    shards: Vec<Shard>,
+}
+
+impl RingRecorder {
+    /// A recorder with the given limits and sampling rates.
+    pub fn new(config: RecorderConfig) -> Self {
+        let shards = Category::ALL
+            .iter()
+            .map(|c| {
+                let every = config.sample_every.get(c.index()).copied().unwrap_or(1);
+                Shard::new(every, config.capacity_per_category)
+            })
+            .collect();
+        RingRecorder { shards }
+    }
+
+    /// Removes and returns every buffered event, ordered by sequence
+    /// number (the tracer's emission order).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = self.shards.iter().flat_map(Shard::drain).collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Current counters, for loss reporting in summaries.
+    pub fn stats(&self) -> RecorderStats {
+        let mut stats = RecorderStats::default();
+        for (i, shard) in self.shards.iter().enumerate() {
+            if let Some(slot) = stats.seen.get_mut(i) {
+                *slot = shard.seen.load(Ordering::Relaxed);
+            }
+            if let Some(slot) = stats.sampled_out.get_mut(i) {
+                *slot = shard.sampled_out.load(Ordering::Relaxed);
+            }
+            if let Some(slot) = stats.dropped.get_mut(i) {
+                *slot = shard.dropped.load(Ordering::Relaxed);
+            }
+        }
+        stats
+    }
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        RingRecorder::new(RecorderConfig::default())
+    }
+}
+
+impl std::fmt::Debug for RingRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingRecorder")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl TraceSink for RingRecorder {
+    fn record(&self, event: TraceEvent) {
+        if let Some(shard) = self.shards.get(event.category.index()) {
+            shard.push(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, WalkPhase};
+
+    fn ev(seq: u64, category: Category) -> TraceEvent {
+        TraceEvent {
+            tick: seq + 1,
+            seq,
+            kind: EventKind::Event,
+            category,
+            name: "t",
+            span: None,
+            phase: WalkPhase::Idle,
+            level: None,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn drain_merges_shards_in_seq_order() {
+        let rec = RingRecorder::default();
+        rec.record(ev(2, Category::Walk));
+        rec.record(ev(0, Category::Charge));
+        rec.record(ev(1, Category::Walk));
+        let seqs: Vec<u64> = rec.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert!(rec.drain().is_empty(), "drain removes events");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_and_counts_drops() {
+        let rec = RingRecorder::new(RecorderConfig {
+            capacity_per_category: 2,
+            ..RecorderConfig::default()
+        });
+        for seq in 0..5 {
+            rec.record(ev(seq, Category::Walk));
+        }
+        let seqs: Vec<u64> = rec.drain().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![3, 4], "oldest evicted first");
+        let stats = rec.stats();
+        assert_eq!(stats.dropped[Category::Walk.index()], 3);
+        assert_eq!(stats.seen[Category::Walk.index()], 5);
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_deterministically() {
+        let run = || {
+            let rec = RingRecorder::new(RecorderConfig::default().with_sampling(Category::Walk, 3));
+            for seq in 0..10 {
+                rec.record(ev(seq, Category::Walk));
+            }
+            rec.drain().iter().map(|e| e.seq).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), vec![0, 3, 6, 9]);
+        assert_eq!(run(), run(), "sampling is a pure function of the stream");
+    }
+
+    #[test]
+    fn sampling_is_per_category() {
+        let rec = RingRecorder::new(RecorderConfig::default().with_sampling(Category::Walk, 1000));
+        for seq in 0..10 {
+            rec.record(ev(seq, Category::Charge));
+        }
+        assert_eq!(rec.drain().len(), 10, "charge events are never sampled out");
+    }
+}

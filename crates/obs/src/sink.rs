@@ -1,0 +1,23 @@
+//! The sink trait trace events flow into.
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events. Implementations must be cheap and
+/// non-blocking on the hot path — walkers emit from inside their step
+/// loop. The workspace's charging lint bans raw `.record(…)` calls in
+/// estimator code: instrumentation goes through [`crate::Tracer`], which
+/// stamps phase/level attribution on every event, never straight to a
+/// sink.
+pub trait TraceSink: Send + Sync {
+    /// Accepts one event. Must not panic; sinks under backpressure drop
+    /// (and count) rather than block.
+    fn record(&self, event: TraceEvent);
+}
+
+/// A sink that discards everything; backs disabled tracers in tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _event: TraceEvent) {}
+}

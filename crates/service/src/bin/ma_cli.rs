@@ -4,6 +4,7 @@
 //! ```text
 //! Usage: ma-cli [OPTIONS] <SQL-QUERY>
 //!        ma-cli serve [OPTIONS]
+//!        ma-cli trace [OPTIONS] <SQL-QUERY>
 //!
 //!   --platform twitter|google+|tumblr   world + API profile  [twitter]
 //!   --scale    tiny|small|medium|large  world size           [small]
@@ -29,6 +30,17 @@
 //!                                       instead of the deterministic
 //!                                       logical telemetry clock
 //!
+//! trace mode (record one query's structured trace):
+//!   --out PATH                          write JSON-lines events to PATH
+//!                                       [trace.jsonl]
+//!   --summary                           print the cost-attribution tree
+//!                                       (per-phase/per-endpoint/per-level
+//!                                       budget, acceptance + collision
+//!                                       rates, Geweke checkpoints)
+//!
+//!   Two trace runs with the same options and the default logical
+//!   telemetry produce byte-identical .jsonl files.
+//!
 //! Examples:
 //!   ma-cli --budget 30000 --truth \
 //!     "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy' \
@@ -36,16 +48,21 @@
 //!
 //!   echo '{"id":1,"query":"SELECT COUNT(*) FROM USERS WHERE KEYWORD = '\''privacy'\''"}' \
 //!     | ma-cli serve --workers 8 --global-quota 100000
+//!
+//!   ma-cli trace --scale tiny --budget 5000 --summary --out run.jsonl \
+//!     "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'"
 //! ```
 
 use microblog_analyzer::prelude::*;
 use microblog_analyzer::query::parse::parse_query;
 use microblog_api::rate::{human_duration, wall_clock};
 use microblog_api::RetryPolicy;
+use microblog_obs::{render_jsonl, RecorderConfig};
 use microblog_platform::scenario::{google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario};
 use microblog_platform::{Duration, FaultPlan};
 use microblog_service::cache::SharedCacheConfig;
-use microblog_service::request::{parse_algorithm, parse_interval};
+use microblog_service::request::{parse_algorithm, parse_interval, JobSpec};
+use microblog_service::traceview::{record_job, TraceSummary};
 use microblog_service::{run_batch, Service, ServiceConfig, TelemetryMode};
 use std::fs::File;
 use std::io::{BufReader, Write};
@@ -73,6 +90,9 @@ struct Options {
     truth: bool,
     list_keywords: bool,
     serve: bool,
+    trace: bool,
+    out: String,
+    summary: bool,
     file: Option<String>,
     workers: usize,
     global_quota: Option<u64>,
@@ -97,6 +117,9 @@ impl Default for Options {
             truth: false,
             list_keywords: false,
             serve: false,
+            trace: false,
+            out: "trace.jsonl".into(),
+            summary: false,
             file: None,
             workers: 4,
             global_quota: None,
@@ -124,6 +147,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 std::process::exit(0);
             }
             "serve" => opts.serve = true,
+            "trace" => opts.trace = true,
+            "--out" => opts.out = value("--out")?,
+            "--summary" => opts.summary = true,
             "--platform" => opts.platform = value("--platform")?.to_lowercase(),
             "--scale" => {
                 opts.scale = match value("--scale")?.to_lowercase().as_str() {
@@ -221,6 +247,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         return serve(opts, scenario, api);
     }
 
+    if opts.trace {
+        return trace(opts, scenario, api);
+    }
+
     let query_text = opts.query.as_deref().ok_or("no query given")?;
     let query = parse_query(query_text, scenario.platform.keywords()).map_err(|e| e.to_string())?;
 
@@ -258,6 +288,49 @@ fn run(args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn trace(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), String> {
+    let query_text = opts.query.as_deref().ok_or("no query given")?;
+    let query = parse_query(query_text, scenario.platform.keywords()).map_err(|e| e.to_string())?;
+    let algorithm = parse_algorithm(&opts.algorithm, opts.interval)?;
+    let spec = JobSpec::new(query, algorithm, opts.budget, opts.seed);
+    let run = record_job(
+        Arc::new(scenario.platform),
+        api,
+        spec,
+        opts.telemetry,
+        RecorderConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(&opts.out, render_jsonl(&run.events))
+        .map_err(|e| format!("cannot write {}: {e}", opts.out))?;
+    eprintln!(
+        "recorded {} event(s) to {} ({} offered, {} lost to sampling/eviction)",
+        run.events.len(),
+        opts.out,
+        run.stats.total_seen(),
+        run.stats.total_lost(),
+    );
+    match run.outcome.output() {
+        Some(out) => {
+            println!("estimate   : {:.3}", out.estimate.value);
+            println!("query cost : {} API calls", out.charged);
+            println!(
+                "samples    : {} across {} walk instance(s)",
+                out.estimate.samples, out.estimate.instances
+            );
+        }
+        None => {
+            if let microblog_service::JobOutcome::Failed { error, .. } = &run.outcome {
+                eprintln!("job failed: {error}");
+            }
+        }
+    }
+    if opts.summary {
+        print!("{}", TraceSummary::from_events(&run.events).render_text());
+    }
+    Ok(())
+}
+
 fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), String> {
     // Flags override pieces of the stock resilient policy.
     let mut retry = RetryPolicy::resilient();
@@ -280,6 +353,7 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
             retry,
             fault_plan: opts.fault_plan,
             telemetry: opts.telemetry,
+            ..ServiceConfig::default()
         },
     );
     eprintln!(

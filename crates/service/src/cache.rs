@@ -15,6 +15,7 @@
 
 use crate::lru::LruCache;
 use microblog_api::cache::{CacheLayer, CachedConnections, CachedSearch, CachedTimeline};
+use microblog_obs::{Category, FieldValue, Tracer};
 use microblog_platform::{KeywordId, UserId};
 use parking_lot::Mutex;
 use serde::Serialize;
@@ -127,6 +128,7 @@ pub struct SharedApiCache {
     search_stats: EndpointCounters,
     timeline_stats: EndpointCounters,
     connections_stats: EndpointCounters,
+    tracer: Tracer,
 }
 
 impl SharedApiCache {
@@ -149,7 +151,27 @@ impl SharedApiCache {
             search_stats: EndpointCounters::default(),
             timeline_stats: EndpointCounters::default(),
             connections_stats: EndpointCounters::default(),
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a tracer; evictions then surface as `shared_evict`
+    /// events. (Hit/miss events come from the per-query
+    /// `CachingClient` layer above, which sees every lookup.)
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    fn trace_evict(&self, endpoint: &'static str) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.emit(
+            Category::Cache,
+            "shared_evict",
+            &[("endpoint", FieldValue::from(endpoint))],
+        );
     }
 
     fn shard_for(&self, key: u64) -> &Mutex<Shard> {
@@ -199,6 +221,9 @@ impl CacheLayer for SharedApiCache {
             .searches
             .insert(kw, entry);
         count_insert(&self.search_stats, evicted);
+        if evicted {
+            self.trace_evict("search");
+        }
     }
 
     fn get_timeline(&self, u: UserId) -> Option<CachedTimeline> {
@@ -210,6 +235,9 @@ impl CacheLayer for SharedApiCache {
     fn put_timeline(&self, u: UserId, entry: CachedTimeline) {
         let evicted = self.shard_for(u.0 as u64).lock().timelines.insert(u, entry);
         count_insert(&self.timeline_stats, evicted);
+        if evicted {
+            self.trace_evict("timeline");
+        }
     }
 
     fn get_connections(&self, u: UserId) -> Option<CachedConnections> {
@@ -230,6 +258,9 @@ impl CacheLayer for SharedApiCache {
             .connections
             .insert(u, entry);
         count_insert(&self.connections_stats, evicted);
+        if evicted {
+            self.trace_evict("connections");
+        }
     }
 }
 

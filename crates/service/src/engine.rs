@@ -21,6 +21,7 @@ use crate::request::JobSpec;
 use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer, RunReport};
 use microblog_api::cache::{CacheLayer, CacheStats};
 use microblog_api::{ApiProfile, ResilienceStats, RetryPolicy};
+use microblog_obs::{Category, FieldValue, Tracer};
 use microblog_platform::{FaultPlan, FaultyPlatform, Platform};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -51,6 +52,12 @@ pub struct ServiceConfig {
     /// logical clock keeps serve runs deterministic; `ma-cli serve
     /// --wall-telemetry` opts into real latencies.
     pub telemetry: TelemetryMode,
+    /// Structured-trace handle. The default disabled tracer costs
+    /// nothing; `ma-cli trace` passes an enabled one to record every
+    /// job's walk/charge/resilience events. When the tracer is enabled
+    /// its clock also drives `queue_wait`/`exec` telemetry, so traces
+    /// and metrics share one tick stream.
+    pub tracer: Tracer,
 }
 
 impl Default for ServiceConfig {
@@ -62,6 +69,7 @@ impl Default for ServiceConfig {
             retry: RetryPolicy::resilient(),
             fault_plan: None,
             telemetry: TelemetryMode::default(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -271,13 +279,19 @@ pub struct Service {
 impl Service {
     /// Starts a service over `platform` accessed through `api`.
     pub fn new(platform: Arc<Platform>, api: ApiProfile, config: ServiceConfig) -> Self {
-        let cache = Arc::new(SharedApiCache::new(config.cache));
+        let cache = Arc::new(SharedApiCache::new(config.cache).with_tracer(config.tracer.clone()));
         let quota = match config.global_quota {
             Some(limit) => GlobalQuota::limited(limit),
             None => GlobalQuota::unlimited(),
         };
-        let metrics = Arc::new(MetricsRegistry::new());
-        let clock = Arc::new(TelemetryClock::new(config.telemetry));
+        let metrics = Arc::new(MetricsRegistry::with_mode(config.telemetry));
+        // An enabled tracer's clock doubles as the telemetry clock, so
+        // trace ticks and queue/exec totals come from one stream.
+        let clock = config
+            .tracer
+            .clock()
+            .cloned()
+            .unwrap_or_else(|| Arc::new(TelemetryClock::new(config.telemetry)));
         // One injector shared by all workers, so fault counters and the
         // per-key attempt history are service-wide.
         let faulty = config
@@ -296,6 +310,7 @@ impl Service {
                 let clock = Arc::clone(&clock);
                 let faulty = faulty.clone();
                 let default_retry = config.retry;
+                let tracer = config.tracer.clone();
                 std::thread::spawn(move || {
                     let analyzer = match &faulty {
                         Some(injector) => MicroblogAnalyzer::with_backend(&**injector, api),
@@ -315,6 +330,7 @@ impl Service {
                             &metrics,
                             &clock,
                             &default_retry,
+                            &tracer,
                             job,
                         );
                     }
@@ -430,6 +446,7 @@ impl Drop for Service {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_job(
     analyzer: &MicroblogAnalyzer<'_>,
     cache: &Arc<SharedApiCache>,
@@ -437,25 +454,68 @@ fn run_job(
     metrics: &MetricsRegistry,
     clock: &TelemetryClock,
     default_retry: &RetryPolicy,
+    tracer: &Tracer,
     job: Job,
 ) {
     let started = clock.now();
     let queue_wait = started.saturating_sub(job.submitted);
     let shared: Arc<dyn CacheLayer> = Arc::clone(cache) as Arc<dyn CacheLayer>;
     let policy = job.spec.retry.unwrap_or(*default_retry);
+    let span = if tracer.is_enabled() {
+        tracer.span_start(
+            Category::Job,
+            "job",
+            &[
+                ("job_id", FieldValue::U64(job.id)),
+                ("algorithm", FieldValue::from(job.spec.algorithm.name())),
+                ("budget", FieldValue::U64(job.spec.budget)),
+                ("seed", FieldValue::U64(job.spec.seed)),
+                (
+                    "queue_wait_micros",
+                    FieldValue::U64(queue_wait.as_micros() as u64),
+                ),
+            ],
+        )
+    } else {
+        0
+    };
     // A panicking estimator must not strand joiners: catch it, settle the
     // reservation, and surface it as an outcome like any other failure.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        analyzer.run(
+        analyzer.run_traced(
             &job.spec.query,
             job.spec.budget,
             job.spec.algorithm,
             job.spec.seed,
             Some(shared),
             &policy,
+            tracer.clone(),
         )
     }));
     let exec = clock.now().saturating_sub(started);
+    if tracer.is_enabled() {
+        let (outcome, charged) = match &result {
+            Ok(report) => (
+                match &report.outcome {
+                    Ok(_) => "ok".to_string(),
+                    Err(e) => e.to_string(),
+                },
+                report.charged,
+            ),
+            Err(_) => ("panic".to_string(), job.reservation.amount()),
+        };
+        tracer.span_end(
+            Category::Job,
+            "job",
+            span,
+            &[
+                ("job_id", FieldValue::U64(job.id)),
+                ("charged", FieldValue::U64(charged)),
+                ("outcome", FieldValue::Str(outcome)),
+                ("exec_micros", FieldValue::U64(exec.as_micros() as u64)),
+            ],
+        );
+    }
     let outcome = match result {
         Ok(report) => {
             // Settle down to what the run actually charged — success or

@@ -68,6 +68,7 @@ pub mod lru;
 pub mod metrics;
 pub mod quota;
 pub mod request;
+pub mod traceview;
 
 pub use cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
 pub use clock::{TelemetryClock, TelemetryMode};
@@ -76,3 +77,4 @@ pub use frontend::{run_batch, BatchSummary};
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 pub use quota::{GlobalQuota, Reservation};
 pub use request::{JobSpec, QueryRequest, QueryResponse};
+pub use traceview::{record_job, PhaseCost, TraceRun, TraceSummary};

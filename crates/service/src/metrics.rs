@@ -2,14 +2,29 @@
 //!
 //! [`MetricsRegistry`] accumulates service-wide counters (jobs by
 //! outcome, charged vs actual API calls, cache traffic, walk samples,
-//! queue/execution time) from the per-job numbers each worker reports.
-//! [`MetricsSnapshot`] is the exportable point-in-time view, rendered as
-//! aligned text for terminals or JSON for machines.
+//! queue/execution time) from the per-job numbers each worker reports,
+//! plus four log2-bucket histograms (charged-calls-per-sample, backoff,
+//! queue wait, execution time) that keep tail behaviour visible where
+//! means would hide it. [`MetricsSnapshot`] is the exportable
+//! point-in-time view, rendered as aligned text for terminals or JSON
+//! for machines.
+//!
+//! Duration totals are expressed in the units of the registry's
+//! [`TelemetryMode`]: logical **ticks** (1 tick = 1µs of the logical
+//! clock) under the default deterministic mode, **milliseconds** under
+//! wall mode. Text and JSON renderings use the same unit, and the JSON
+//! keys carry it (`queue_wait_total_ticks` vs `queue_wait_total_millis`)
+//! so a consumer can never misread one for the other.
 
+use crate::clock::TelemetryMode;
 use microblog_api::cache::CacheStats;
-use serde::Serialize;
+use microblog_obs::{render_buckets, Log2Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Number of log2 buckets in each histogram (re-exported from
+/// `microblog-obs` for sizing snapshot arrays).
+pub const HIST_BUCKETS: usize = microblog_obs::histogram::BUCKETS;
 
 /// One finished job's numbers, as reported by a worker.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +63,7 @@ pub struct JobMetrics {
 /// Lock-free accumulating counters; all methods take `&self`.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
+    mode: TelemetryMode,
     jobs_submitted: AtomicU64,
     jobs_rejected: AtomicU64,
     jobs_succeeded: AtomicU64,
@@ -68,14 +84,37 @@ pub struct MetricsRegistry {
     rate_limited_hits: AtomicU64,
     breaker_opens: AtomicU64,
     breaker_fast_fails: AtomicU64,
-    queue_wait_micros: AtomicU64,
-    exec_micros: AtomicU64,
+    queue_wait_total: AtomicU64,
+    exec_total: AtomicU64,
+    charged_per_sample_hist: Log2Histogram,
+    backoff_secs_hist: Log2Histogram,
+    queue_wait_hist: Log2Histogram,
+    exec_hist: Log2Histogram,
+}
+
+/// Converts a telemetry duration into the mode's integer unit: logical
+/// ticks (1µs each) under [`TelemetryMode::Logical`], milliseconds under
+/// [`TelemetryMode::Wall`].
+fn duration_units(mode: TelemetryMode, d: Duration) -> u64 {
+    match mode {
+        TelemetryMode::Logical => d.as_micros() as u64,
+        TelemetryMode::Wall => d.as_millis() as u64,
+    }
 }
 
 impl MetricsRegistry {
-    /// A zeroed registry.
+    /// A zeroed registry in the default (logical) telemetry mode.
     pub fn new() -> Self {
         MetricsRegistry::default()
+    }
+
+    /// A zeroed registry whose duration totals and histograms use the
+    /// units of `mode` (ticks when logical, millis when wall).
+    pub fn with_mode(mode: TelemetryMode) -> Self {
+        MetricsRegistry {
+            mode,
+            ..MetricsRegistry::default()
+        }
     }
 
     /// Counts an admitted submission.
@@ -125,15 +164,22 @@ impl MetricsRegistry {
         self.cache_misses
             .fetch_add(job.cache.misses, Ordering::Relaxed);
         self.walk_samples.fetch_add(job.samples, Ordering::Relaxed);
-        self.queue_wait_micros
-            .fetch_add(job.queue_wait.as_micros() as u64, Ordering::Relaxed);
-        self.exec_micros
-            .fetch_add(job.exec.as_micros() as u64, Ordering::Relaxed);
+        let queue = duration_units(self.mode, job.queue_wait);
+        let exec = duration_units(self.mode, job.exec);
+        self.queue_wait_total.fetch_add(queue, Ordering::Relaxed);
+        self.exec_total.fetch_add(exec, Ordering::Relaxed);
+        if let Some(per_sample) = job.charged_calls.checked_div(job.samples) {
+            self.charged_per_sample_hist.record(per_sample);
+        }
+        self.backoff_secs_hist.record(job.backoff_secs);
+        self.queue_wait_hist.record(queue);
+        self.exec_hist.record(exec);
     }
 
     /// A point-in-time copy of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
+            mode: self.mode,
             jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
             jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
             jobs_succeeded: self.jobs_succeeded.load(Ordering::Relaxed),
@@ -154,16 +200,27 @@ impl MetricsRegistry {
             rate_limited_hits: self.rate_limited_hits.load(Ordering::Relaxed),
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
-            queue_wait_micros: self.queue_wait_micros.load(Ordering::Relaxed),
-            exec_micros: self.exec_micros.load(Ordering::Relaxed),
+            queue_wait_total: self.queue_wait_total.load(Ordering::Relaxed),
+            exec_total: self.exec_total.load(Ordering::Relaxed),
+            charged_per_sample_hist: self.charged_per_sample_hist.snapshot(),
+            backoff_secs_hist: self.backoff_secs_hist.snapshot(),
+            queue_wait_hist: self.queue_wait_hist.snapshot(),
+            exec_hist: self.exec_hist.snapshot(),
         }
     }
 }
 
-/// Exportable service totals. Times are totals across jobs, in
-/// microseconds, so the snapshot stays integer-exact.
-#[derive(Clone, Copy, Debug, Serialize)]
+/// Exportable service totals.
+///
+/// Duration totals ([`MetricsSnapshot::queue_wait_total`],
+/// [`MetricsSnapshot::exec_total`]) and the queue/exec histograms are in
+/// the units of [`MetricsSnapshot::mode`]: logical ticks (1 tick = 1µs)
+/// when logical, milliseconds when wall. Both renderings state the unit;
+/// the JSON key embeds it.
+#[derive(Clone, Copy, Debug)]
 pub struct MetricsSnapshot {
+    /// The telemetry mode durations were measured under.
+    pub mode: TelemetryMode,
     /// Jobs admitted.
     pub jobs_submitted: u64,
     /// Jobs refused at admission.
@@ -205,24 +262,47 @@ pub struct MetricsSnapshot {
     pub breaker_opens: u64,
     /// Calls rejected by an open breaker without touching the platform.
     pub breaker_fast_fails: u64,
-    /// Total time jobs spent queued, µs.
-    pub queue_wait_micros: u64,
-    /// Total time jobs spent executing, µs.
-    pub exec_micros: u64,
+    /// Total time jobs spent queued, in mode units (ticks or millis).
+    pub queue_wait_total: u64,
+    /// Total time jobs spent executing, in mode units (ticks or millis).
+    pub exec_total: u64,
+    /// Log2 histogram of charged-calls-per-sample across succeeded jobs.
+    pub charged_per_sample_hist: [u64; HIST_BUCKETS],
+    /// Log2 histogram of per-job backoff time (simulated seconds).
+    pub backoff_secs_hist: [u64; HIST_BUCKETS],
+    /// Log2 histogram of per-job queue wait, in mode units.
+    pub queue_wait_hist: [u64; HIST_BUCKETS],
+    /// Log2 histogram of per-job execution time, in mode units.
+    pub exec_hist: [u64; HIST_BUCKETS],
 }
 
 impl MetricsSnapshot {
+    /// The duration unit implied by the snapshot's mode, as it appears
+    /// in JSON keys and text headings.
+    pub fn duration_unit(&self) -> &'static str {
+        match self.mode {
+            TelemetryMode::Logical => "ticks",
+            TelemetryMode::Wall => "millis",
+        }
+    }
+
+    fn units_to_duration(&self, value: u64) -> Duration {
+        match self.mode {
+            TelemetryMode::Logical => Duration::from_micros(value),
+            TelemetryMode::Wall => Duration::from_millis(value),
+        }
+    }
+
     /// Mean queue wait per finished job.
     pub fn mean_queue_wait(&self) -> Duration {
-        mean_micros(
-            self.queue_wait_micros,
-            self.jobs_succeeded + self.jobs_failed,
-        )
+        let jobs = self.jobs_succeeded + self.jobs_failed;
+        self.units_to_duration(self.queue_wait_total.checked_div(jobs).unwrap_or(0))
     }
 
     /// Mean execution time per finished job.
     pub fn mean_exec(&self) -> Duration {
-        mean_micros(self.exec_micros, self.jobs_succeeded + self.jobs_failed)
+        let jobs = self.jobs_succeeded + self.jobs_failed;
+        self.units_to_duration(self.exec_total.checked_div(jobs).unwrap_or(0))
     }
 
     /// Fraction of charged calls the shared cache absorbed.
@@ -234,9 +314,83 @@ impl MetricsSnapshot {
         }
     }
 
-    /// The JSON export.
+    /// Every scalar counter as `(json_key, value)`, in export order.
+    /// Duration totals carry the mode's unit in the key, so logical and
+    /// wall exports can never be conflated.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        let unit = self.duration_unit();
+        vec![
+            ("jobs_submitted".into(), self.jobs_submitted),
+            ("jobs_rejected".into(), self.jobs_rejected),
+            ("jobs_succeeded".into(), self.jobs_succeeded),
+            ("jobs_degraded".into(), self.jobs_degraded),
+            ("jobs_failed".into(), self.jobs_failed),
+            ("estimates_produced".into(), self.estimates_produced),
+            ("charged_calls".into(), self.charged_calls),
+            ("refunded_calls".into(), self.refunded_calls),
+            ("actual_calls".into(), self.actual_calls),
+            ("saved_calls".into(), self.saved_calls),
+            ("local_hits".into(), self.local_hits),
+            ("shared_hits".into(), self.shared_hits),
+            ("cache_misses".into(), self.cache_misses),
+            ("walk_samples".into(), self.walk_samples),
+            ("retries".into(), self.retries),
+            ("wasted_calls".into(), self.wasted_calls),
+            ("backoff_secs".into(), self.backoff_secs),
+            ("rate_limited_hits".into(), self.rate_limited_hits),
+            ("breaker_opens".into(), self.breaker_opens),
+            ("breaker_fast_fails".into(), self.breaker_fast_fails),
+            (format!("queue_wait_total_{unit}"), self.queue_wait_total),
+            (format!("exec_total_{unit}"), self.exec_total),
+        ]
+    }
+
+    /// Histogram sections as `(json_key, text_heading, buckets)`, in
+    /// export order. Duration histograms carry the unit in both names.
+    pub fn histograms(&self) -> Vec<(String, String, [u64; HIST_BUCKETS])> {
+        let unit = self.duration_unit();
+        vec![
+            (
+                "charged_per_sample_hist".into(),
+                "charged calls per sample (log2)".into(),
+                self.charged_per_sample_hist,
+            ),
+            (
+                "backoff_secs_hist".into(),
+                "backoff secs (log2)".into(),
+                self.backoff_secs_hist,
+            ),
+            (
+                format!("queue_wait_hist_{unit}"),
+                format!("queue wait {unit} (log2)"),
+                self.queue_wait_hist,
+            ),
+            (
+                format!("exec_hist_{unit}"),
+                format!("exec {unit} (log2)"),
+                self.exec_hist,
+            ),
+        ]
+    }
+
+    /// The JSON export. Keys are emitted in a fixed order; duration keys
+    /// embed the mode's unit.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("snapshot serializes") // ma-lint: allow(panic-safety) reason="serializing a plain counter struct cannot fail"
+        let mut out = String::from("{\n");
+        let mode = match self.mode {
+            TelemetryMode::Logical => "logical",
+            TelemetryMode::Wall => "wall",
+        };
+        out.push_str(&format!("  \"telemetry_mode\": \"{mode}\""));
+        for (key, value) in self.counters() {
+            out.push_str(&format!(",\n  \"{key}\": {value}"));
+        }
+        for (key, _, buckets) in self.histograms() {
+            let cells: Vec<String> = buckets.iter().map(u64::to_string).collect();
+            out.push_str(&format!(",\n  \"{key}\": [{}]", cells.join(",")));
+        }
+        out.push_str("\n}\n");
+        out
     }
 
     /// The aligned-text export.
@@ -245,6 +399,7 @@ impl MetricsSnapshot {
         let mut line = |k: &str, v: String| {
             out.push_str(&format!("{k:<22}{v}\n"));
         };
+        line("telemetry mode", format!("{:?}", self.mode).to_lowercase());
         line("jobs submitted", self.jobs_submitted.to_string());
         line("jobs rejected", self.jobs_rejected.to_string());
         line("jobs succeeded", self.jobs_succeeded.to_string());
@@ -281,16 +436,27 @@ impl MetricsSnapshot {
                 self.breaker_opens, self.breaker_fast_fails
             ),
         );
-        line("mean queue wait", format!("{:?}", self.mean_queue_wait()));
-        line("mean exec time", format!("{:?}", self.mean_exec()));
+        let unit = self.duration_unit();
+        line(
+            &format!("queue wait ({unit})"),
+            format!(
+                "{} total, {:?} mean",
+                self.queue_wait_total,
+                self.mean_queue_wait()
+            ),
+        );
+        line(
+            &format!("exec time ({unit})"),
+            format!("{} total, {:?} mean", self.exec_total, self.mean_exec()),
+        );
+        for (_, heading, buckets) in self.histograms() {
+            let body = render_buckets(&buckets);
+            if !body.is_empty() {
+                out.push_str(&format!("{heading}:\n{body}"));
+            }
+        }
         out
     }
-}
-
-fn mean_micros(total_micros: u64, count: u64) -> Duration {
-    total_micros
-        .checked_div(count)
-        .map_or(Duration::ZERO, Duration::from_micros)
 }
 
 #[cfg(test)]
@@ -352,6 +518,44 @@ mod tests {
     }
 
     #[test]
+    fn histograms_bucket_per_job_values() {
+        let reg = MetricsRegistry::new();
+        // 100 charged / 10 samples = 10 per sample → bucket [8, 15].
+        reg.record_job(&job(true, 100, 0));
+        // Failed job: samples = 10 too, still bucketed (charge accounting
+        // does not depend on success).
+        reg.record_job(&job(false, 50, 0));
+        let snap = reg.snapshot();
+        let idx_10 = Log2Histogram::bucket_index(10);
+        let idx_5 = Log2Histogram::bucket_index(5);
+        assert_eq!(snap.charged_per_sample_hist[idx_10], 1);
+        assert_eq!(snap.charged_per_sample_hist[idx_5], 1);
+        // Both jobs waited 60 simulated seconds in backoff.
+        assert_eq!(snap.backoff_secs_hist[Log2Histogram::bucket_index(60)], 2);
+        // Logical mode: ticks = micros (500 queue, 2000 exec).
+        assert_eq!(snap.queue_wait_hist[Log2Histogram::bucket_index(500)], 2);
+        assert_eq!(snap.exec_hist[Log2Histogram::bucket_index(2000)], 2);
+    }
+
+    #[test]
+    fn wall_mode_totals_are_in_millis() {
+        let reg = MetricsRegistry::with_mode(TelemetryMode::Wall);
+        reg.record_job(&job(true, 10, 0));
+        let snap = reg.snapshot();
+        assert_eq!(snap.duration_unit(), "millis");
+        // 500µs queue wait truncates to 0ms; 2ms exec stays 2.
+        assert_eq!(snap.queue_wait_total, 0);
+        assert_eq!(snap.exec_total, 2);
+        assert_eq!(snap.mean_exec(), Duration::from_millis(2));
+        let json = snap.to_json();
+        assert!(json.contains("\"exec_total_millis\": 2"));
+        assert!(json.contains("\"telemetry_mode\": \"wall\""));
+        assert!(!json.contains("ticks"));
+        let text = snap.render_text();
+        assert!(text.contains("exec time (millis)"));
+    }
+
+    #[test]
     fn exports_are_well_formed() {
         let reg = MetricsRegistry::new();
         reg.record_submitted();
@@ -364,11 +568,14 @@ mod tests {
         assert_eq!(snap.jobs_degraded, 1);
         assert_eq!(snap.jobs_succeeded, 2);
         let text = snap.render_text();
+        assert!(text.contains("telemetry mode        logical"));
         assert!(text.contains("jobs submitted        1"));
         assert!(text.contains("jobs degraded         1"));
         assert!(text.contains("API calls saved"));
         assert!(text.contains("retries               4 (6 calls wasted)"));
         assert!(text.contains("breaker"));
+        assert!(text.contains("queue wait (ticks)"));
+        assert!(text.contains("charged calls per sample (log2):"));
         let json = snap.to_json();
         let value = serde_json::parse_value_str(&json).unwrap();
         let map = value.as_map().unwrap();
@@ -381,6 +588,48 @@ mod tests {
             serde_json::Value::I64(1),
             *serde::value::field(map, "jobs_degraded")
         );
+        assert_eq!(
+            serde_json::Value::Str("logical".into()),
+            *serde::value::field(map, "telemetry_mode")
+        );
+    }
+
+    /// Golden round-trip: every counter the snapshot exports must come
+    /// back out of the JSON unchanged, and the histogram arrays must
+    /// reparse bucket-for-bucket.
+    #[test]
+    fn json_round_trips_every_counter() {
+        let reg = MetricsRegistry::new();
+        reg.record_submitted();
+        reg.record_rejected();
+        reg.record_job(&job(true, 123, 45));
+        reg.record_job(&job(false, 67, 0));
+        let snap = reg.snapshot();
+        let value = serde_json::parse_value_str(&snap.to_json()).unwrap();
+        let map = value.as_map().unwrap();
+        for (key, expected) in snap.counters() {
+            let got = serde::value::field(map, &key);
+            assert_eq!(
+                *got,
+                serde_json::Value::I64(expected as i64),
+                "counter {key} must round-trip"
+            );
+        }
+        for (key, _, buckets) in snap.histograms() {
+            match serde::value::field(map, &key) {
+                serde_json::Value::Seq(items) => {
+                    assert_eq!(items.len(), HIST_BUCKETS, "{key} length");
+                    for (i, item) in items.iter().enumerate() {
+                        assert_eq!(
+                            *item,
+                            serde_json::Value::I64(buckets[i] as i64),
+                            "{key}[{i}] must round-trip"
+                        );
+                    }
+                }
+                other => panic!("{key} must reparse as an array, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -404,5 +653,10 @@ mod tests {
         assert_eq!(snap.jobs_submitted, 2000);
         assert_eq!(snap.charged_calls, 8000);
         assert_eq!(snap.saved_calls, 2000);
+        assert_eq!(
+            snap.charged_per_sample_hist.iter().sum::<u64>(),
+            2000,
+            "every job lands one charged-per-sample observation"
+        );
     }
 }

@@ -1,0 +1,432 @@
+//! Record one job's structured trace and explain where its budget went.
+//!
+//! [`record_job`] runs a single [`JobSpec`] through a one-worker
+//! [`Service`] with an enabled [`Tracer`] writing into a
+//! [`RingRecorder`], then drains the recorder into a seq-ordered event
+//! stream. Under the default logical telemetry the stream is a pure
+//! function of the job spec and world seed — two identical runs export
+//! byte-identical JSON lines.
+//!
+//! [`TraceSummary`] folds that stream into the questions an operator
+//! actually asks: *which walk phase (and, for MA-TARW, which level)
+//! spent the budget, on which endpoint?* — plus acceptance/collision
+//! rates, the running Geweke z-scores the walkers emitted, cache
+//! traffic, and the resilience trail.
+
+use crate::engine::{JobOutcome, Service, ServiceConfig};
+use crate::request::JobSpec;
+use microblog_api::ApiProfile;
+use microblog_obs::{
+    Category, EventKind, RecorderConfig, RecorderStats, RingRecorder, TelemetryClock,
+    TelemetryMode, TraceEvent, Tracer, WalkPhase,
+};
+use microblog_platform::Platform;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Everything one traced job produced.
+#[derive(Debug)]
+pub struct TraceRun {
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// The recorded events, ordered by sequence number.
+    pub events: Vec<TraceEvent>,
+    /// Recorder loss counters (sampling + ring eviction).
+    pub stats: RecorderStats,
+}
+
+/// Runs `spec` on a dedicated one-worker service with tracing enabled
+/// and returns the outcome together with the drained event stream.
+///
+/// With `mode == TelemetryMode::Logical` (the default everywhere) the
+/// event stream is deterministic: one worker, one job, and a logical
+/// clock shared between the tracer and the service's queue/exec
+/// telemetry leave no room for scheduling noise.
+pub fn record_job(
+    platform: Arc<Platform>,
+    api: ApiProfile,
+    spec: JobSpec,
+    mode: TelemetryMode,
+    recorder: RecorderConfig,
+) -> Result<TraceRun, crate::engine::ServiceError> {
+    let sink = Arc::new(RingRecorder::new(recorder));
+    let clock = Arc::new(TelemetryClock::new(mode));
+    let tracer = Tracer::new(sink.clone(), clock);
+    let service = Service::new(
+        platform,
+        api,
+        ServiceConfig {
+            workers: 1,
+            telemetry: mode,
+            tracer,
+            ..ServiceConfig::default()
+        },
+    );
+    let outcome = service.submit(spec)?.join();
+    service.shutdown();
+    Ok(TraceRun {
+        outcome,
+        events: sink.drain(),
+        stats: sink.stats(),
+    })
+}
+
+/// Budget spent inside one walk phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseCost {
+    /// Charged calls attributed to this phase.
+    pub calls: u64,
+    /// The same calls, split by endpoint name.
+    pub by_endpoint: BTreeMap<String, u64>,
+    /// The same calls, split by published MA-TARW level (empty for
+    /// phases that never publish one).
+    pub by_level: BTreeMap<i64, u64>,
+}
+
+/// The operator-facing digest of a trace; see the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Events summarized.
+    pub events: usize,
+    /// Total charged calls seen in `charge` events.
+    pub charged_calls: u64,
+    /// Charged calls carrying a non-idle walk phase.
+    pub attributed_calls: u64,
+    /// Charged calls served from the shared cache (still charged, per
+    /// the logical-charging doctrine).
+    pub shared_sourced_calls: u64,
+    /// Cost per phase, keyed by [`WalkPhase::index`] so iteration
+    /// follows the walk's natural order.
+    pub phases: BTreeMap<usize, PhaseCost>,
+    /// Samples the walkers kept.
+    pub samples: u64,
+    /// Samples that revisited an already-sampled node (`collide = 1`).
+    pub collisions: u64,
+    /// Accepted MH proposals.
+    pub mh_accepts: u64,
+    /// Rejected MH proposals.
+    pub mh_rejects: u64,
+    /// Walk restarts from a dangling node.
+    pub restarts: u64,
+    /// Running Geweke z-scores, in emission order.
+    pub geweke_zs: Vec<f64>,
+    /// Per-query memo hits.
+    pub local_hits: u64,
+    /// Shared-cache hits.
+    pub shared_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Shared-cache evictions.
+    pub shared_evictions: u64,
+    /// Retried API attempts.
+    pub retries: u64,
+    /// Calls wasted by failed attempts.
+    pub wasted_calls: u64,
+    /// Circuit-breaker trips.
+    pub breaker_opens: u64,
+    /// Calls fast-failed by an open breaker.
+    pub breaker_fast_fails: u64,
+}
+
+impl TraceSummary {
+    /// Folds a seq-ordered event stream into a summary.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut s = TraceSummary {
+            events: events.len(),
+            ..TraceSummary::default()
+        };
+        for e in events {
+            match (e.category, e.name) {
+                (Category::Charge, "charge") => {
+                    let calls = e.u64_field("calls").unwrap_or(0);
+                    s.charged_calls += calls;
+                    if e.phase != WalkPhase::Idle {
+                        s.attributed_calls += calls;
+                    }
+                    if e.str_field("source") == Some("shared") {
+                        s.shared_sourced_calls += calls;
+                    }
+                    let phase = s.phases.entry(e.phase.index()).or_default();
+                    phase.calls += calls;
+                    if let Some(endpoint) = e.str_field("endpoint") {
+                        *phase.by_endpoint.entry(endpoint.to_string()).or_default() += calls;
+                    }
+                    if let Some(level) = e.level {
+                        *phase.by_level.entry(level).or_default() += calls;
+                    }
+                }
+                (Category::Walk, "sample") => {
+                    s.samples += 1;
+                    if e.u64_field("collide") == Some(1) {
+                        s.collisions += 1;
+                    }
+                }
+                (Category::Walk, "mh_accept") => s.mh_accepts += 1,
+                (Category::Walk, "mh_reject") => s.mh_rejects += 1,
+                (Category::Walk, "restart") => s.restarts += 1,
+                (Category::Diag, "geweke") => {
+                    if let Some(z) = e.f64_field("z") {
+                        s.geweke_zs.push(z);
+                    }
+                }
+                (Category::Cache, "local_hit") => s.local_hits += 1,
+                (Category::Cache, "shared_hit") => s.shared_hits += 1,
+                (Category::Cache, "miss") => s.cache_misses += 1,
+                (Category::Cache, "shared_evict") => s.shared_evictions += 1,
+                (Category::Resilience, "retry") => s.retries += 1,
+                (Category::Resilience, "waste") => {
+                    s.wasted_calls += e.u64_field("calls").unwrap_or(0);
+                }
+                (Category::Resilience, "breaker_open") => s.breaker_opens += 1,
+                (Category::Resilience, "breaker_fast_fail") => s.breaker_fast_fails += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Fraction of charged calls attributed to a non-idle walk phase
+    /// (1.0 when nothing was charged).
+    pub fn attribution(&self) -> f64 {
+        if self.charged_calls == 0 {
+            1.0
+        } else {
+            self.attributed_calls as f64 / self.charged_calls as f64
+        }
+    }
+
+    /// MH acceptance rate, when the trace contains MH proposals.
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        let total = self.mh_accepts + self.mh_rejects;
+        (total > 0).then(|| self.mh_accepts as f64 / total as f64)
+    }
+
+    /// Fraction of samples that were collisions, when any were kept.
+    pub fn collision_rate(&self) -> Option<f64> {
+        (self.samples > 0).then(|| self.collisions as f64 / self.samples as f64)
+    }
+
+    /// The aligned-text cost tree and rate report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(&format!("{k:<22}{v}\n"));
+        };
+        line("trace events", self.events.to_string());
+        line(
+            "charged calls",
+            format!(
+                "{} ({:.1}% attributed to walk phases)",
+                self.charged_calls,
+                100.0 * self.attribution()
+            ),
+        );
+        if self.shared_sourced_calls > 0 {
+            line(
+                "  served by cache",
+                format!("{} (charged logically)", self.shared_sourced_calls),
+            );
+        }
+        // Levels are raw `level_of_time` quotients; an unbounded query
+        // window makes them huge. Display them relative to the lowest
+        // level seen, stating the base once.
+        let base = self
+            .phases
+            .values()
+            .flat_map(|c| c.by_level.keys().copied())
+            .min();
+        if let Some(base) = base {
+            if base != 0 {
+                line("level base", base.to_string());
+            }
+        }
+        for (&idx, cost) in &self.phases {
+            let name = WalkPhase::ALL
+                .get(idx)
+                .copied()
+                .unwrap_or_default()
+                .as_str();
+            line(&format!("phase {name}"), format!("{} calls", cost.calls));
+            for (endpoint, calls) in &cost.by_endpoint {
+                line(&format!("  {endpoint}"), calls.to_string());
+            }
+            for (&level, calls) in &cost.by_level {
+                let rel = level - base.unwrap_or(0);
+                line(&format!("  level +{rel}"), format!("{calls} calls"));
+            }
+        }
+        line(
+            "samples",
+            match self.collision_rate() {
+                Some(rate) => format!(
+                    "{} ({} collisions, {:.1}%)",
+                    self.samples,
+                    self.collisions,
+                    100.0 * rate
+                ),
+                None => self.samples.to_string(),
+            },
+        );
+        if let Some(rate) = self.acceptance_rate() {
+            line(
+                "mh acceptance",
+                format!(
+                    "{:.1}% ({}/{})",
+                    100.0 * rate,
+                    self.mh_accepts,
+                    self.mh_accepts + self.mh_rejects
+                ),
+            );
+        }
+        if self.restarts > 0 {
+            line("restarts", self.restarts.to_string());
+        }
+        if let Some(z) = self.geweke_zs.last() {
+            line(
+                "geweke z",
+                format!("{z:.3} (final of {} checkpoints)", self.geweke_zs.len()),
+            );
+        }
+        line(
+            "cache",
+            format!(
+                "{} local + {} shared hits, {} misses, {} evictions",
+                self.local_hits, self.shared_hits, self.cache_misses, self.shared_evictions
+            ),
+        );
+        line(
+            "resilience",
+            format!(
+                "{} retries, {} wasted calls, {} breaker opens, {} fast-fails",
+                self.retries, self.wasted_calls, self.breaker_opens, self.breaker_fast_fails
+            ),
+        );
+        out
+    }
+}
+
+/// `true` for the span-end event that closes a job, useful when slicing
+/// a multi-job stream into per-job segments.
+pub fn is_job_end(event: &TraceEvent) -> bool {
+    event.category == Category::Job && event.kind == EventKind::SpanEnd && event.name == "job"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microblog_analyzer::query::parse::parse_query;
+    use microblog_analyzer::Algorithm;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+
+    fn traced_run(algorithm: Algorithm, budget: u64, seed: u64) -> TraceRun {
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        let platform = Arc::new(scenario.platform);
+        let query = parse_query(
+            "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+            platform.keywords(),
+        )
+        .expect("query parses");
+        record_job(
+            platform,
+            ApiProfile::twitter(),
+            JobSpec::new(query, algorithm, budget, seed),
+            TelemetryMode::Logical,
+            RecorderConfig::default(),
+        )
+        .expect("admitted")
+    }
+
+    #[test]
+    fn traced_job_attributes_charges_to_phases() {
+        // Explicit interval: no pilot phase, so the instance walks fetch
+        // fresh neighbors and the per-level cost split is populated.
+        let run = traced_run(
+            Algorithm::MaTarw {
+                interval: Some(microblog_platform::Duration::DAY),
+            },
+            4_000,
+            7,
+        );
+        let output = run.outcome.output().expect("estimates").clone();
+        assert!(!run.events.is_empty());
+        let summary = TraceSummary::from_events(&run.events);
+        assert_eq!(
+            summary.charged_calls, output.charged,
+            "charge events must cover exactly what the job was billed"
+        );
+        assert!(
+            summary.attribution() >= 0.95,
+            "attribution {} below the 95% bar",
+            summary.attribution()
+        );
+        // MA-TARW publishes levels during its up/down phases.
+        let leveled = summary
+            .phases
+            .values()
+            .any(|cost| !cost.by_level.is_empty());
+        assert!(leveled, "no per-level cost recorded: {:?}", summary.phases);
+        let text = summary.render_text();
+        assert!(text.contains("charged calls"));
+        assert!(text.contains("phase "));
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_estimate() {
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        let platform = Arc::new(scenario.platform);
+        let query = parse_query(
+            "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+            platform.keywords(),
+        )
+        .expect("query parses");
+        let spec = || {
+            JobSpec::new(
+                query.clone(),
+                Algorithm::MaTarw { interval: None },
+                3_000,
+                21,
+            )
+        };
+        let untraced = Service::new(
+            Arc::clone(&platform),
+            ApiProfile::twitter(),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let baseline = untraced
+            .submit(spec())
+            .expect("admitted")
+            .join()
+            .into_result()
+            .expect("estimates");
+        let traced = record_job(
+            platform,
+            ApiProfile::twitter(),
+            spec(),
+            TelemetryMode::Logical,
+            RecorderConfig::default(),
+        )
+        .expect("admitted");
+        let out = traced.outcome.into_result().expect("estimates");
+        assert_eq!(
+            out.estimate.value.to_bits(),
+            baseline.estimate.value.to_bits(),
+            "tracing must be purely observational"
+        );
+        assert_eq!(out.charged, baseline.charged);
+    }
+
+    #[test]
+    fn srw_trace_reports_collisions_and_geweke() {
+        let run = traced_run(Algorithm::MaSrw { interval: None }, 6_000, 11);
+        let summary = TraceSummary::from_events(&run.events);
+        assert!(summary.samples > 0);
+        assert!(
+            !summary.geweke_zs.is_empty(),
+            "SRW emits running Geweke checkpoints"
+        );
+        assert!(summary.attribution() >= 0.95);
+    }
+}

@@ -1,0 +1,113 @@
+//! Trace acceptance tests: identical runs export byte-identical JSON
+//! lines under logical telemetry, and the summary attributes (nearly)
+//! every charged call to a walk phase.
+
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::{Algorithm, ViewKind};
+use microblog_api::ApiProfile;
+use microblog_obs::{render_jsonl, RecorderConfig, TelemetryMode};
+use microblog_platform::scenario::{twitter_2013, Scale};
+use microblog_service::request::JobSpec;
+use microblog_service::traceview::{record_job, TraceRun, TraceSummary};
+use std::sync::Arc;
+
+fn traced(algorithm: Algorithm, budget: u64, seed: u64) -> TraceRun {
+    let scenario = twitter_2013(Scale::Tiny, 2014);
+    let platform = Arc::new(scenario.platform);
+    let query = parse_query(
+        "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy' \
+         AND TIME BETWEEN DAY 0 AND DAY 303",
+        platform.keywords(),
+    )
+    .expect("query parses");
+    record_job(
+        platform,
+        ApiProfile::twitter(),
+        JobSpec::new(query, algorithm, budget, seed),
+        TelemetryMode::Logical,
+        RecorderConfig::default(),
+    )
+    .expect("admitted")
+}
+
+#[test]
+fn identical_runs_export_byte_identical_jsonl() {
+    let algorithms = [
+        Algorithm::MaTarw { interval: None },
+        Algorithm::MaSrw { interval: None },
+    ];
+    for algorithm in algorithms {
+        let first = traced(algorithm, 5_000, 7);
+        let second = traced(algorithm, 5_000, 7);
+        let a = render_jsonl(&first.events);
+        let b = render_jsonl(&second.events);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "{algorithm:?}: logical traces must replay exactly");
+        // And a different seed must actually change the trace.
+        let third = traced(algorithm, 5_000, 8);
+        assert_ne!(
+            a,
+            render_jsonl(&third.events),
+            "{algorithm:?}: the trace must depend on the walk"
+        );
+    }
+}
+
+#[test]
+fn summary_attributes_charged_calls_to_walk_phases() {
+    for algorithm in [
+        Algorithm::MaTarw { interval: None },
+        Algorithm::MaSrw { interval: None },
+        Algorithm::Mhrw {
+            view: ViewKind::TermInduced,
+        },
+    ] {
+        let run = traced(algorithm, 6_000, 11);
+        let charged = run.outcome.charged();
+        let summary = TraceSummary::from_events(&run.events);
+        assert_eq!(
+            summary.charged_calls, charged,
+            "{algorithm:?}: charge events must cover the bill exactly"
+        );
+        assert!(
+            summary.attribution() >= 0.95,
+            "{algorithm:?}: attribution {:.3} below the 95% bar",
+            summary.attribution()
+        );
+    }
+}
+
+#[test]
+fn sampled_trace_is_still_deterministic() {
+    let config = RecorderConfig::default().with_sampling(microblog_obs::Category::Walk, 5);
+    let run_with = |cfg| {
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        let platform = Arc::new(scenario.platform);
+        let query = parse_query(
+            "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+            platform.keywords(),
+        )
+        .expect("query parses");
+        record_job(
+            platform,
+            ApiProfile::twitter(),
+            JobSpec::new(query, Algorithm::MaSrw { interval: None }, 4_000, 3),
+            TelemetryMode::Logical,
+            cfg,
+        )
+        .expect("admitted")
+    };
+    let full = run_with(RecorderConfig::default());
+    let sampled = run_with(config);
+    let sampled_again = run_with(config);
+    assert_eq!(
+        render_jsonl(&sampled.events),
+        render_jsonl(&sampled_again.events),
+        "sampling is a pure function of the stream"
+    );
+    assert!(sampled.events.len() < full.events.len());
+    // Sampling is observational: the estimate is untouched.
+    let a = full.outcome.output().expect("estimates").estimate.value;
+    let b = sampled.outcome.output().expect("estimates").estimate.value;
+    assert_eq!(a.to_bits(), b.to_bits());
+}
