@@ -11,7 +11,7 @@
 //! the standard practice in the crawling literature the paper builds on.
 
 use crate::budget::QueryBudget;
-use crate::cache::{CacheLayer, CacheStats, Cached, CostReport};
+use crate::cache::{CacheLayer, CacheStats, Cached, CostReport, Flight};
 use crate::error::ApiError;
 use crate::meter::CostMeter;
 use crate::profile::ApiProfile;
@@ -426,7 +426,11 @@ impl<'a> CachingClient<'a> {
             self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
-        if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_search(kw)) {
+        let flight = match &self.shared {
+            Some(layer) => layer.join_search(kw),
+            None => Flight::Lead,
+        };
+        if let Flight::Ready(entry) = flight {
             self.trace_cache("shared_hit", ApiEndpoint::Search);
             self.inner
                 .absorb_shared_hit(ApiEndpoint::Search, entry.calls)?;
@@ -437,7 +441,17 @@ impl<'a> CachingClient<'a> {
         }
         self.trace_cache("miss", ApiEndpoint::Search);
         let before = self.inner.client().meter().search;
-        let fresh = Arc::new(self.inner.search(kw)?);
+        let fresh = match self.inner.search(kw) {
+            Ok(hits) => Arc::new(hits),
+            Err(e) => {
+                // Release the flight so parked waiters re-elect a leader
+                // instead of stalling on a fetch that will never publish.
+                if let Some(layer) = &self.shared {
+                    layer.abort_search(kw);
+                }
+                return Err(e);
+            }
+        };
         let calls = self.inner.client().meter().search - before;
         self.stats.misses += 1;
         self.stats.actual_calls += calls;
@@ -461,7 +475,11 @@ impl<'a> CachingClient<'a> {
             self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
-        if let Some(entry) = self.shared.as_ref().and_then(|layer| layer.get_timeline(u)) {
+        let flight = match &self.shared {
+            Some(layer) => layer.join_timeline(u),
+            None => Flight::Lead,
+        };
+        if let Flight::Ready(entry) = flight {
             self.trace_cache("shared_hit", ApiEndpoint::Timeline);
             self.inner
                 .absorb_shared_hit(ApiEndpoint::Timeline, entry.calls)?;
@@ -472,7 +490,15 @@ impl<'a> CachingClient<'a> {
         }
         self.trace_cache("miss", ApiEndpoint::Timeline);
         let before = self.inner.client().meter().timeline;
-        let fresh = Arc::new(self.inner.user_timeline(u)?);
+        let fresh = match self.inner.user_timeline(u) {
+            Ok(view) => Arc::new(view),
+            Err(e) => {
+                if let Some(layer) = &self.shared {
+                    layer.abort_timeline(u);
+                }
+                return Err(e);
+            }
+        };
         let calls = self.inner.client().meter().timeline - before;
         self.stats.misses += 1;
         self.stats.actual_calls += calls;
@@ -496,11 +522,11 @@ impl<'a> CachingClient<'a> {
             self.stats.local_hits += 1;
             return Ok(Arc::clone(hit));
         }
-        if let Some(entry) = self
-            .shared
-            .as_ref()
-            .and_then(|layer| layer.get_connections(u))
-        {
+        let flight = match &self.shared {
+            Some(layer) => layer.join_connections(u),
+            None => Flight::Lead,
+        };
+        if let Flight::Ready(entry) = flight {
             self.trace_cache("shared_hit", ApiEndpoint::Connections);
             self.inner
                 .absorb_shared_hit(ApiEndpoint::Connections, entry.calls)?;
@@ -511,7 +537,15 @@ impl<'a> CachingClient<'a> {
         }
         self.trace_cache("miss", ApiEndpoint::Connections);
         let before = self.inner.client().meter().connections;
-        let fresh = Arc::new(self.inner.connections(u)?);
+        let fresh = match self.inner.connections(u) {
+            Ok(merged) => Arc::new(merged),
+            Err(e) => {
+                if let Some(layer) = &self.shared {
+                    layer.abort_connections(u);
+                }
+                return Err(e);
+            }
+        };
         let calls = self.inner.client().meter().connections - before;
         self.stats.misses += 1;
         self.stats.actual_calls += calls;

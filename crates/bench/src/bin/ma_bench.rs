@@ -1,0 +1,429 @@
+//! `ma-bench` — the repo's reproducible perf harness.
+//!
+//! `ma-bench perf` drives the service with a fixed seeded workload
+//! (mixed concurrent queries against a shared world, cold and warm
+//! cache, coalescing on and off) plus a direct walker step-loop
+//! measurement, and writes the numbers to `BENCH_5.json` at the repo
+//! root. That file is the perf trajectory later PRs append to, so the
+//! schema is stable and `ma-bench check FILE` verifies it — CI fails on
+//! schema drift, never on absolute numbers (which depend on hardware).
+//!
+//! The workload is deterministic (fixed world seed, fixed job seeds);
+//! only the wall-clock rates and the coalescing race outcomes vary
+//! run-to-run. `--smoke` shrinks everything for CI.
+
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::walker::srw::{self, SrwConfig};
+use microblog_api::{CachingClient, MicroblogClient, QueryBudget};
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::{
+    ApiBackend, Duration, Fault, KeywordId, Platform, PostId, TimeWindow, UserId,
+};
+use microblog_service::{JobSpec, Service, ServiceConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// World seed shared by every `perf` invocation, so runs are comparable.
+const WORLD_SEED: u64 = 2014;
+
+/// Simulated network round-trip per platform fetch in the service
+/// scenarios. The in-memory store answers in microseconds — no real
+/// microblog API does — so without a realistic in-flight window,
+/// concurrent misses would never overlap and coalescing (or its
+/// absence) would be invisible. 1ms keeps the full run under a few
+/// seconds while dwarfing scheduler jitter.
+const SIMULATED_RTT: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// [`ApiBackend`] wrapper stalling every fetch by [`SIMULATED_RTT`].
+/// The stall is a wall-clock sleep — the bench crate is exempt from
+/// the wall-clock lint, and the charged/logical accounting never sees
+/// it. Only the fetch itself is slow; cache hits stay instant.
+#[derive(Debug)]
+struct SlowBackend {
+    inner: Arc<Platform>,
+}
+
+impl ApiBackend for SlowBackend {
+    fn store(&self) -> &Platform {
+        &self.inner
+    }
+
+    fn fetch_search(&self, kw: KeywordId, window: TimeWindow) -> Result<Vec<PostId>, Fault> {
+        std::thread::sleep(SIMULATED_RTT);
+        self.inner.fetch_search(kw, window)
+    }
+
+    fn fetch_timeline(&self, u: UserId) -> Result<&[PostId], Fault> {
+        std::thread::sleep(SIMULATED_RTT);
+        self.inner.fetch_timeline(u)
+    }
+
+    fn fetch_connections(&self, u: UserId) -> Result<(&[u32], &[u32]), Fault> {
+        std::thread::sleep(SIMULATED_RTT);
+        self.inner.fetch_connections(u)
+    }
+}
+
+/// Keys every BENCH_5.json must carry, with their JSON kind. `check`
+/// fails on a missing key or a kind mismatch — that is the schema gate.
+const SCHEMA: &[(&str, &str)] = &[
+    ("schema_version", "integer"),
+    ("smoke", "bool"),
+    ("world_scale", "string"),
+    ("world_seed", "integer"),
+    ("workers", "integer"),
+    ("jobs", "integer"),
+    ("budget_per_job", "integer"),
+    ("simulated_rtt_ms", "integer"),
+    ("queries_per_sec_cold", "number"),
+    ("queries_per_sec_warm", "number"),
+    ("walker_steps_measured", "integer"),
+    ("walker_steps_per_sec", "number"),
+    ("charged_calls", "integer"),
+    ("actual_calls", "integer"),
+    ("baseline_actual_calls", "integer"),
+    ("actual_call_reduction", "number"),
+    ("coalesce_leads", "integer"),
+    ("coalesce_waits", "integer"),
+    ("coalesce_aborts", "integer"),
+    ("coalesced_miss_ratio", "number"),
+    ("peak_inflight_dedup", "integer"),
+];
+
+struct PerfParams {
+    smoke: bool,
+    workers: usize,
+    /// Same-seed replicas per keyword — the stampede half of the mix.
+    replicas: usize,
+    /// Distinct-seed jobs per keyword — the overlapping-but-not-identical half.
+    varied: usize,
+    budget: u64,
+    walker_steps: usize,
+    walker_trials: usize,
+}
+
+impl PerfParams {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            PerfParams {
+                smoke,
+                workers: 4,
+                replicas: 3,
+                varied: 1,
+                budget: 1_500,
+                walker_steps: 20_000,
+                walker_trials: 1,
+            }
+        } else {
+            PerfParams {
+                smoke,
+                workers: 8,
+                replicas: 4,
+                varied: 4,
+                budget: 4_000,
+                walker_steps: 150_000,
+                walker_trials: 3,
+            }
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("perf") => perf(&args[1..]),
+        Some("check") => check(&args[1..]),
+        _ => {
+            eprintln!("usage: ma-bench perf [--smoke] [--out PATH] | ma-bench check PATH");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn perf(args: &[String]) -> i32 {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_5.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return 2;
+                }
+            },
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return 2;
+            }
+        }
+    }
+    let params = PerfParams::new(smoke);
+    let scenario = twitter_2013(Scale::Tiny, WORLD_SEED);
+    eprintln!(
+        "[perf] world: {} users, {} posts (seed {WORLD_SEED})",
+        scenario.platform.user_count(),
+        scenario.platform.post_count()
+    );
+    let json = run_perf(&params, &scenario);
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("cannot write {out}: {e}");
+        return 1;
+    }
+    eprintln!("[perf] wrote {out}");
+    0
+}
+
+/// The seeded job mix: per keyword, `replicas` jobs sharing one seed
+/// (identical trajectories racing on identical keys — the stampede) and
+/// `varied` jobs with distinct seeds (overlapping hot nodes). Keywords
+/// alternate algorithms so the queues mix walk shapes.
+fn workload(scenario: &Scenario, params: &PerfParams) -> Vec<JobSpec> {
+    let day = Some(Duration::DAY);
+    let keywords = ["privacy", "new york", "boston"];
+    let algorithms = [
+        Algorithm::MaSrw { interval: day },
+        Algorithm::SrwFullGraph,
+        Algorithm::MaTarw { interval: day },
+    ];
+    let mut specs = Vec::new();
+    for (k, name) in keywords.iter().enumerate() {
+        let kw = match scenario.keyword(name) {
+            Some(kw) => kw,
+            None => continue,
+        };
+        let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(scenario.window);
+        let algorithm = algorithms[k % algorithms.len()];
+        for r in 0..params.replicas {
+            let _ = r;
+            specs.push(JobSpec::new(query.clone(), algorithm, params.budget, 1));
+        }
+        for v in 0..params.varied {
+            specs.push(JobSpec::new(
+                query.clone(),
+                algorithm,
+                params.budget,
+                2 + v as u64,
+            ));
+        }
+    }
+    specs
+}
+
+struct ScenarioResult {
+    elapsed_secs: f64,
+    snapshot: microblog_service::MetricsSnapshot,
+}
+
+/// Submits the whole workload at once against a fresh service (cold
+/// cache) and joins every job. With `coalesce` off this is the
+/// no-coalescing baseline the reduction is measured against.
+fn run_cold(scenario: &Scenario, params: &PerfParams, coalesce: bool) -> (Service, ScenarioResult) {
+    let platform = Arc::new(scenario.platform.clone());
+    let service = Service::new(
+        Arc::clone(&platform),
+        ApiProfile::twitter(),
+        ServiceConfig {
+            workers: params.workers,
+            coalesce,
+            backend: Some(Arc::new(SlowBackend { inner: platform })),
+            ..ServiceConfig::default()
+        },
+    );
+    let specs = workload(scenario, params);
+    let start = Instant::now();
+    let handles: Vec<_> = specs
+        .into_iter()
+        .map(|spec| service.submit(spec).expect("unlimited quota admits"))
+        .collect();
+    for handle in &handles {
+        handle
+            .join()
+            .into_result()
+            .expect("fault-free workload estimates");
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let snapshot = service.metrics_snapshot();
+    (
+        service,
+        ScenarioResult {
+            elapsed_secs,
+            snapshot,
+        },
+    )
+}
+
+/// Re-runs the same workload on the already-warm service.
+fn run_warm(service: &Service, scenario: &Scenario, params: &PerfParams) -> f64 {
+    let specs = workload(scenario, params);
+    let start = Instant::now();
+    let handles: Vec<_> = specs
+        .into_iter()
+        .map(|spec| service.submit(spec).expect("unlimited quota admits"))
+        .collect();
+    for handle in &handles {
+        handle
+            .join()
+            .into_result()
+            .expect("fault-free workload estimates");
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Times the SRW step loop directly: unlimited budget, hard step cap, so
+/// the walk performs exactly `steps` transitions and the rate isolates
+/// per-step cost (neighbor lookup + sampling), not budget accounting.
+fn walker_steps_per_sec(scenario: &Scenario, steps: usize, trials: usize) -> f64 {
+    let kw = scenario.keyword("privacy").expect("world has 'privacy'");
+    let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(scenario.window);
+    let mut best = 0.0f64;
+    for trial in 0..trials.max(1) {
+        let mut client = CachingClient::new(MicroblogClient::with_budget(
+            &scenario.platform,
+            ApiProfile::twitter(),
+            QueryBudget::unlimited(),
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(7 + trial as u64);
+        let mut cfg = SrwConfig::new(ViewKind::level(Duration::DAY));
+        cfg.max_steps = steps;
+        let start = Instant::now();
+        let est = srw::estimate(&mut client, &query, &cfg, &mut rng);
+        let rate = steps as f64 / start.elapsed().as_secs_f64();
+        assert!(est.is_ok(), "walker measurement run failed: {est:?}");
+        best = best.max(rate);
+    }
+    best
+}
+
+fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
+    eprintln!("[perf] cold run, coalescing off (baseline)...");
+    let (_, baseline) = run_cold(scenario, params, false);
+    eprintln!(
+        "[perf]   baseline: {} actual calls in {:.2}s",
+        baseline.snapshot.actual_calls, baseline.elapsed_secs
+    );
+    eprintln!("[perf] cold run, coalescing on...");
+    let (service, cold) = run_cold(scenario, params, true);
+    eprintln!(
+        "[perf]   coalesced: {} actual calls in {:.2}s ({} waits, peak {})",
+        cold.snapshot.actual_calls,
+        cold.elapsed_secs,
+        cold.snapshot.coalesce_waits,
+        cold.snapshot.coalesce_peak_inflight
+    );
+    eprintln!("[perf] warm run...");
+    let warm_secs = run_warm(&service, scenario, params);
+    eprintln!("[perf] walker step loop ({} steps)...", params.walker_steps);
+    let steps_rate = walker_steps_per_sec(scenario, params.walker_steps, params.walker_trials);
+    eprintln!("[perf]   {steps_rate:.0} steps/sec");
+
+    let jobs = workload(scenario, params).len();
+    let snap = &cold.snapshot;
+    let reduction = if baseline.snapshot.actual_calls > 0 {
+        1.0 - snap.actual_calls as f64 / baseline.snapshot.actual_calls as f64
+    } else {
+        0.0
+    };
+    let misses = snap.coalesce_leads + snap.coalesce_waits;
+    let miss_ratio = if misses > 0 {
+        snap.coalesce_waits as f64 / misses as f64
+    } else {
+        0.0
+    };
+    let mut out = String::from("{\n");
+    let mut first = true;
+    let mut put = |key: &str, value: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{key}\": {value}"));
+    };
+    put("schema_version", "1".into());
+    put("smoke", params.smoke.to_string());
+    put("world_scale", "\"tiny\"".into());
+    put("world_seed", WORLD_SEED.to_string());
+    put("workers", params.workers.to_string());
+    put("jobs", jobs.to_string());
+    put("budget_per_job", params.budget.to_string());
+    put("simulated_rtt_ms", SIMULATED_RTT.as_millis().to_string());
+    put(
+        "queries_per_sec_cold",
+        format!("{:.3}", jobs as f64 / cold.elapsed_secs),
+    );
+    put(
+        "queries_per_sec_warm",
+        format!("{:.3}", jobs as f64 / warm_secs),
+    );
+    put("walker_steps_measured", params.walker_steps.to_string());
+    put("walker_steps_per_sec", format!("{steps_rate:.1}"));
+    put("charged_calls", snap.charged_calls.to_string());
+    put("actual_calls", snap.actual_calls.to_string());
+    put(
+        "baseline_actual_calls",
+        baseline.snapshot.actual_calls.to_string(),
+    );
+    put("actual_call_reduction", format!("{reduction:.4}"));
+    put("coalesce_leads", snap.coalesce_leads.to_string());
+    put("coalesce_waits", snap.coalesce_waits.to_string());
+    put("coalesce_aborts", snap.coalesce_aborts.to_string());
+    put("coalesced_miss_ratio", format!("{miss_ratio:.4}"));
+    put(
+        "peak_inflight_dedup",
+        snap.coalesce_peak_inflight.to_string(),
+    );
+    out.push_str("\n}\n");
+    out
+}
+
+/// Validates a BENCH_5.json against [`SCHEMA`]: every key present, every
+/// kind right. Absolute numbers are deliberately not checked.
+fn check(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("usage: ma-bench check PATH");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return 1;
+        }
+    };
+    let value = match serde_json::parse_value_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{path}: not valid JSON: {e:?}");
+            return 1;
+        }
+    };
+    let Some(entries) = value.as_map() else {
+        eprintln!("{path}: top level must be an object");
+        return 1;
+    };
+    let mut problems = Vec::new();
+    for &(key, kind) in SCHEMA {
+        let field = serde::value::field(entries, key);
+        let actual = field.kind();
+        let matches = match kind {
+            // Integers widen to "number" slots but not the reverse.
+            "number" => actual == "number" || actual == "integer",
+            other => actual == other,
+        };
+        if !matches {
+            problems.push(format!("  {key}: expected {kind}, found {actual}"));
+        }
+    }
+    if problems.is_empty() {
+        eprintln!("{path}: schema ok ({} keys)", SCHEMA.len());
+        0
+    } else {
+        eprintln!("{path}: schema drift:\n{}", problems.join("\n"));
+        1
+    }
+}

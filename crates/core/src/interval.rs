@@ -156,6 +156,7 @@ fn pilot<R: Rng>(
     let mut max_level = i64::MIN;
     let mut degree_sum = 0.0f64;
     let mut visited = 0usize;
+    let mut nbrs = Vec::new();
     for _ in 0..steps.max(1) {
         let level = match graph.member_level(current)? {
             Some(l) => l,
@@ -163,12 +164,12 @@ fn pilot<R: Rng>(
         };
         min_level = min_level.min(level);
         max_level = max_level.max(level);
-        let (above, below) = graph.level_split(current)?;
+        let split = graph.level_split(current)?;
         // Adjacent-level degree in the stylized model is per-direction;
         // average the two directions.
-        degree_sum += (above.len() + below.len()) as f64 / 2.0;
+        degree_sum += (split.0.len() + split.1.len()) as f64 / 2.0;
         visited += 1;
-        let nbrs = graph.neighbors(current)?;
+        graph.neighbors_into(current, &mut nbrs)?;
         if nbrs.is_empty() {
             // Dangling: restart from another seed.
             current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"

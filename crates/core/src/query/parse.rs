@@ -121,17 +121,21 @@ impl Parser {
         self.tokens.get(self.pos).map(|s| s.as_str())
     }
 
-    fn next(&mut self) -> Result<&str, ParseError> {
+    /// Consumes and returns the next token. Each position is consumed at
+    /// most once, so the token is *moved* out of its slot — no caller
+    /// needs to copy it just to keep borrowing rules happy.
+    fn next(&mut self) -> Result<String, ParseError> {
         let t = self
             .tokens
-            .get(self.pos)
+            .get_mut(self.pos)
+            .map(std::mem::take)
             .ok_or_else(|| ParseError("unexpected end".into()))?;
         self.pos += 1;
         Ok(t)
     }
 
     fn expect(&mut self, token: &str) -> Result<(), ParseError> {
-        let got = self.next()?.to_string();
+        let got = self.next()?;
         if got == token {
             Ok(())
         } else {
@@ -140,13 +144,13 @@ impl Parser {
     }
 
     fn number(&mut self) -> Result<i64, ParseError> {
-        let t = self.next()?.to_string();
+        let t = self.next()?;
         t.parse()
             .map_err(|_| ParseError(format!("expected a number, got '{t}'")))
     }
 
     fn metric(&mut self) -> Result<UserMetric, ParseError> {
-        let t = self.next()?.to_string();
+        let t = self.next()?;
         Ok(match t.as_str() {
             "FOLLOWERS" => UserMetric::FollowerCount,
             "FOLLOWEES" => UserMetric::FolloweeCount,
@@ -178,10 +182,10 @@ pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQue
     let mut window = None;
     let mut predicates = Vec::new();
     loop {
-        match p.next()?.to_string().as_str() {
+        match p.next()?.as_str() {
             "KEYWORD" => {
                 p.expect("=")?;
-                let lit = p.next()?.to_string();
+                let lit = p.next()?;
                 let text = lit
                     .strip_prefix('\'')
                     .ok_or_else(|| ParseError("KEYWORD needs a quoted string".into()))?;
@@ -209,7 +213,7 @@ pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQue
             }
             "GENDER" => {
                 p.expect("=")?;
-                let g = match p.next()?.to_string().as_str() {
+                let g = match p.next()?.as_str() {
                     "MALE" => Gender::Male,
                     "FEMALE" => Gender::Female,
                     "UNDISCLOSED" => Gender::Undisclosed,
@@ -226,7 +230,7 @@ pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQue
                 predicates.push(ProfilePredicate::RegionIs(r as u8));
             }
             "AGE" => {
-                let op = p.next()?.to_string();
+                let op = p.next()?;
                 match op.as_str() {
                     "DISCLOSED" => predicates.push(ProfilePredicate::AgeDisclosed),
                     ">=" => {
@@ -240,7 +244,7 @@ pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQue
                 }
             }
             "FOLLOWERS" => {
-                let op = p.next()?.to_string();
+                let op = p.next()?;
                 let n = p.number()?;
                 if n < 0 {
                     return err("FOLLOWERS bound must be non-negative");
@@ -275,11 +279,11 @@ pub fn parse_query(input: &str, catalog: &KeywordCatalog) -> Result<AggregateQue
 }
 
 fn parse_aggregate(p: &mut Parser) -> Result<Aggregate, ParseError> {
-    let head = p.next()?.to_string();
+    let head = p.next()?;
     p.expect("(")?;
     let agg = match head.as_str() {
         "COUNT" => {
-            let arg = p.next()?.to_string();
+            let arg = p.next()?;
             if arg != "*" && arg != "USERS" {
                 return err(format!("COUNT takes * or USERS, got '{arg}'"));
             }

@@ -47,6 +47,11 @@ impl ViewKind {
     }
 }
 
+/// A node's level-split neighbor lists: `(above, below)`. Shared via
+/// `Arc` so repeat visits to a hot node hand out the memoized split
+/// without cloning both vectors.
+pub type LevelSplit = Arc<(Vec<UserId>, Vec<UserId>)>;
+
 /// A lazily-materialized, API-backed graph view scoped to one query.
 pub struct QueryGraph<'c, 'p> {
     client: &'c mut CachingClient<'p>,
@@ -61,7 +66,7 @@ pub struct QueryGraph<'c, 'p> {
     /// cost is already paid once through the caching client).
     level_memo: std::collections::HashMap<UserId, Option<i64>>,
     /// Memoized `(above, below)` splits for the level walks.
-    split_memo: std::collections::HashMap<UserId, (Vec<UserId>, Vec<UserId>)>,
+    split_memo: std::collections::HashMap<UserId, LevelSplit>,
 }
 
 impl<'c, 'p> QueryGraph<'c, 'p> {
@@ -150,24 +155,31 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
     /// fetched (and charged, once) to test membership — this is the real
     /// cost structure the paper pays during its walks.
     pub fn neighbors(&mut self, u: UserId) -> Result<Vec<UserId>, ApiError> {
+        let mut out = Vec::new();
+        self.neighbors_into(u, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::neighbors`] into a caller-owned buffer, so the step loops
+    /// can reuse one allocation for the whole walk. Clears `out` first;
+    /// on error `out` holds an unspecified prefix.
+    pub fn neighbors_into(&mut self, u: UserId, out: &mut Vec<UserId>) -> Result<(), ApiError> {
+        out.clear();
         let conns = self.client.connections(u)?;
         match self.kind {
-            ViewKind::FullGraph => Ok(conns.to_vec()),
+            ViewKind::FullGraph => out.extend_from_slice(&conns),
             ViewKind::TermInduced => {
-                let mut out = Vec::new();
                 for &v in conns.iter() {
                     if self.is_member(v)? {
                         out.push(v);
                     }
                 }
-                Ok(out)
             }
             ViewKind::LevelByLevel { keep_intra, .. } => {
                 let lu = match self.member_level(u)? {
                     Some(l) => l,
-                    None => return Ok(Vec::new()),
+                    None => return Ok(()),
                 };
-                let mut out = Vec::new();
                 for &v in conns.iter() {
                     if let Some(lv) = self.member_level(v)? {
                         if lv != lu || self.keep_intra_edge(u, v, keep_intra) {
@@ -175,9 +187,9 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
                         }
                     }
                 }
-                Ok(out)
             }
         }
+        Ok(())
     }
 
     /// Partition of `u`'s view-neighbors into `(above, below)` levels:
@@ -187,17 +199,21 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
     ///
     /// # Panics
     /// Panics if called on a non-level view.
-    pub fn level_split(&mut self, u: UserId) -> Result<(Vec<UserId>, Vec<UserId>), ApiError> {
+    pub fn level_split(&mut self, u: UserId) -> Result<LevelSplit, ApiError> {
         assert!(
             self.assigner.is_some(),
             "level_split requires a level-by-level view"
         );
         if let Some(cached) = self.split_memo.get(&u) {
-            return Ok(cached.clone());
+            return Ok(Arc::clone(cached));
         }
         let lu = match self.member_level(u)? {
             Some(l) => l,
-            None => return Ok((Vec::new(), Vec::new())),
+            None => {
+                let empty = Arc::new((Vec::new(), Vec::new()));
+                self.split_memo.insert(u, Arc::clone(&empty));
+                return Ok(empty);
+            }
         };
         let conns = self.client.connections(u)?;
         let mut above = Vec::new();
@@ -211,8 +227,9 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
                 }
             }
         }
-        self.split_memo.insert(u, (above.clone(), below.clone()));
-        Ok((above, below))
+        let split = Arc::new((above, below));
+        self.split_memo.insert(u, Arc::clone(&split));
+        Ok(split)
     }
 
     /// Deterministic coin for the Fig. 4 ablation: whether the intra-level
@@ -230,8 +247,9 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
     }
 }
 
-/// SplitMix64 — cheap deterministic hashing for the edge coin.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64 — cheap deterministic hashing for the edge coin and the
+/// parallel chains' per-chain seed stream.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -361,9 +379,12 @@ mod tests {
         let mut g = QueryGraph::new(&mut client, &q, ViewKind::level(Duration::DAY));
         let u = seeds[0].author;
         let lu = g.member_level(u).unwrap().unwrap();
-        let (above, below) = g.level_split(u).unwrap();
+        let split = g.level_split(u).unwrap();
+        let (above, below) = (split.0.clone(), split.1.clone());
         let merged = g.neighbors(u).unwrap();
         assert_eq!(above.len() + below.len(), merged.len());
+        // Repeat lookups hand out the same memoized split, not a copy.
+        assert!(Arc::ptr_eq(&split, &g.level_split(u).unwrap()));
         for v in &above {
             assert!(g.member_level(*v).unwrap().unwrap() < lu);
         }

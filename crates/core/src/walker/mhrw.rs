@@ -17,6 +17,7 @@ use crate::view::{QueryGraph, ViewKind};
 use microblog_api::CachingClient;
 use microblog_graph::sizing::CollisionCounter;
 use microblog_obs::{Category, FieldValue, WalkPhase};
+use microblog_platform::UserId;
 use rand::Rng;
 
 /// Configuration of the MHRW estimator.
@@ -81,13 +82,17 @@ pub fn estimate<R: Rng>(
     let mut cur_deg: Option<usize> = None;
     let mut step = 0usize;
     let mut total_steps = 0usize;
+    // Two neighbor buffers (current node + proposal) reused across the
+    // whole walk, so each MH transition allocates nothing.
+    let mut nbrs: Vec<UserId> = Vec::new();
+    let mut prop_nbrs: Vec<UserId> = Vec::new();
     loop {
         if total_steps >= config.max_steps {
             break;
         }
         total_steps += 1;
-        let nbrs = match graph.neighbors(current) {
-            Ok(n) => n,
+        match graph.neighbors_into(current, &mut nbrs) {
+            Ok(()) => {}
             Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
@@ -163,8 +168,8 @@ pub fn estimate<R: Rng>(
         }
         // Propose and accept/reject.
         let proposal = nbrs[rng.gen_range(0..nbrs.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
-        let prop_nbrs = match graph.neighbors(proposal) {
-            Ok(n) => n,
+        match graph.neighbors_into(proposal, &mut prop_nbrs) {
+            Ok(()) => {}
             Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };

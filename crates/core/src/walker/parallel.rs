@@ -43,15 +43,14 @@ pub fn estimate_parallel(
         for (i, slot) in results.iter_mut().enumerate() {
             let budget = budget.clone();
             let api = api.clone();
-            let query = query.clone();
             scope.spawn(move || {
                 *slot = Some(run_chain(
                     platform,
                     api,
-                    &query,
+                    query,
                     algorithm,
                     budget,
-                    seed + i as u64,
+                    chain_seed(seed, i as u64),
                 ));
             });
         }
@@ -81,6 +80,17 @@ pub fn estimate_parallel(
         samples,
         instances,
     })
+}
+
+/// RNG seed for chain `chain` of a run seeded with `run_seed`.
+///
+/// Chains draw from a SplitMix64 stream instead of the naive
+/// `run_seed + chain`, which aliased across runs: chain 1 of run 7 was
+/// chain 0 of run 8, so adjacent run seeds shared all but one
+/// trajectory and "independent" repetitions were anything but.
+fn chain_seed(run_seed: u64, chain: u64) -> u64 {
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+    crate::view::splitmix64(run_seed.wrapping_add(GAMMA.wrapping_mul(chain)))
 }
 
 /// One chain: a fresh client cache charging the shared budget.
@@ -153,6 +163,22 @@ mod tests {
     use super::*;
     use microblog_platform::scenario::{twitter_2013, Scale};
     use microblog_platform::{Duration, UserMetric};
+
+    #[test]
+    fn chain_seeds_do_not_alias_across_runs() {
+        // The old `run_seed + chain` derivation made these two equal.
+        assert_ne!(chain_seed(7, 1), chain_seed(8, 0));
+        // And all chains of nearby runs stay pairwise distinct.
+        let mut seen = std::collections::HashSet::new();
+        for run in 0..32u64 {
+            for chain in 0..8u64 {
+                assert!(
+                    seen.insert(chain_seed(run, chain)),
+                    "aliased seed at run {run} chain {chain}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn parallel_chains_share_the_budget_and_pool() {

@@ -85,6 +85,8 @@ pub fn estimate<R: Rng>(
     let mut sum_den = 0.0;
     let mut matches_count = 0usize;
     let mut samples = 0usize;
+    // One neighbor buffer for the whole crawl.
+    let mut nbrs: Vec<UserId> = Vec::new();
 
     while let Some(u) = match config.order {
         CrawlOrder::Bfs => frontier.pop_front(),
@@ -106,14 +108,13 @@ pub fn estimate<R: Rng>(
         if samples >= config.max_nodes {
             break;
         }
-        let nbrs = match graph.neighbors(u) {
-            Ok(n) => n,
+        match graph.neighbors_into(u, &mut nbrs) {
+            Ok(()) => {}
             Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };
-        let mut nbrs = nbrs;
         nbrs.shuffle(rng);
-        for v in nbrs {
+        for &v in &nbrs {
             if !visited.contains(&v) {
                 frontier.push_back(v);
             }

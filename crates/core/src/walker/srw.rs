@@ -16,6 +16,7 @@ use crate::view::{QueryGraph, ViewKind};
 use microblog_api::CachingClient;
 use microblog_graph::diagnostics::geweke_z_default;
 use microblog_obs::{Category, FieldValue, WalkPhase};
+use microblog_platform::UserId;
 use rand::Rng;
 
 /// Emit a running Geweke z-score every this many kept samples (tracing
@@ -86,13 +87,16 @@ pub fn estimate<R: Rng>(
     // Per-sample numerators for the running Geweke convergence check
     // (only accumulated while tracing).
     let mut chain: Vec<f64> = Vec::new();
+    // One neighbor buffer for the whole walk — the step loop allocates
+    // nothing once the buffer has grown to the view's maximum degree.
+    let mut nbrs: Vec<UserId> = Vec::new();
     loop {
         if total_steps >= config.max_steps {
             break;
         }
         total_steps += 1;
-        let nbrs = match graph.neighbors(current) {
-            Ok(n) => n,
+        match graph.neighbors_into(current, &mut nbrs) {
+            Ok(()) => {}
             Err(e) if e.ends_walk() => break,
             Err(e) => return Err(e.into()),
         };

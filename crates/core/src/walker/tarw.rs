@@ -117,6 +117,8 @@ pub fn estimate<R: Rng>(
         p_mode: config.p_mode,
         query,
         tracer: tracer.clone(),
+        up_path: Vec::new(),
+        down_path: Vec::new(),
     };
 
     let mut instances: Vec<InstanceSums> = Vec::new();
@@ -272,12 +274,12 @@ impl ProbabilityEstimator {
         } else {
             0.0
         };
-        let (_, below) = graph.level_split(u)?;
-        for v in below {
+        let split = graph.level_split(u)?;
+        for &v in &split.1 {
             let pv = self.exact_p_up(graph, v)?;
             if pv > 0.0 {
-                let (v_above, _) = graph.level_split(v)?;
-                p += pv / v_above.len().max(1) as f64;
+                let v_above_len = graph.level_split(v)?.0.len();
+                p += pv / v_above_len.max(1) as f64;
             }
         }
         self.exact_up.insert(u, p);
@@ -293,16 +295,16 @@ impl ProbabilityEstimator {
         if let Some(&p) = self.exact_down.get(&u) {
             return Ok(p);
         }
-        let (above, _) = graph.level_split(u)?;
-        let p = if above.is_empty() {
+        let split = graph.level_split(u)?;
+        let p = if split.0.is_empty() {
             self.exact_p_up(graph, u)?
         } else {
             let mut p = 0.0;
-            for v in above {
+            for &v in &split.0 {
                 let pv = self.exact_p_down(graph, v)?;
                 if pv > 0.0 {
-                    let (_, v_below) = graph.level_split(v)?;
-                    p += pv / v_below.len().max(1) as f64;
+                    let v_below_len = graph.level_split(v)?.1.len();
+                    p += pv / v_below_len.max(1) as f64;
                 }
             }
             p
@@ -386,15 +388,17 @@ impl ProbabilityEstimator {
         } else {
             0.0
         };
-        let (_, below) = graph.level_split(u)?;
+        let split = graph.level_split(u)?;
+        let below = &split.1;
         if below.is_empty() {
             return Ok(seed_mass);
         }
         let v = below[rng.gen_range(0..below.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
-        let (v_above, _) = graph.level_split(v)?;
-        debug_assert!(!v_above.is_empty(), "v has u above it");
+        let below_len = below.len();
+        let v_above_len = graph.level_split(v)?.0.len();
+        debug_assert!(v_above_len > 0, "v has u above it");
         let pv = self.draw_up(graph, rng, v)?;
-        Ok(seed_mass + below.len() as f64 * pv / v_above.len().max(1) as f64)
+        Ok(seed_mass + below_len as f64 * pv / v_above_len.max(1) as f64)
     }
 
     /// One unbiased draw of the down-phase visit probability `p̂(u)`
@@ -406,17 +410,19 @@ impl ProbabilityEstimator {
         rng: &mut R,
         u: UserId,
     ) -> Result<f64, ApiError> {
-        let (above, _) = graph.level_split(u)?;
+        let split = graph.level_split(u)?;
+        let above = &split.0;
         if above.is_empty() {
             // Root: p̂ = p̄ (averaged when the cache is on — the paper's
             // §5.2 root cache as a special case).
             return self.p_up(graph, rng, u);
         }
         let v = above[rng.gen_range(0..above.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
-        let (_, v_below) = graph.level_split(v)?;
-        debug_assert!(!v_below.is_empty(), "v has u below it");
+        let above_len = above.len();
+        let v_below_len = graph.level_split(v)?.1.len();
+        debug_assert!(v_below_len > 0, "v has u below it");
         let pv = self.draw_down(graph, rng, v)?;
-        Ok(above.len() as f64 * pv / v_below.len().max(1) as f64)
+        Ok(above_len as f64 * pv / v_below_len.max(1) as f64)
     }
 }
 
@@ -428,6 +434,10 @@ struct TarwWalker<'g, 'c, 'p> {
     p_mode: PMode,
     query: &'g AggregateQuery,
     tracer: Tracer,
+    /// Path buffers reused across instances, so a bottom-top-bottom pass
+    /// allocates nothing once the walker has warmed up.
+    up_path: Vec<UserId>,
+    down_path: Vec<UserId>,
 }
 
 impl TarwWalker<'_, '_, '_> {
@@ -441,11 +451,17 @@ impl TarwWalker<'_, '_, '_> {
         };
         self.tracer.set_phase(WalkPhase::Up);
         self.tracer.set_level(Some(start_level));
-        // Up phase: strictly earlier levels until a root.
-        let mut up_path = vec![start];
+        // Up phase: strictly earlier levels until a root. The path buffers
+        // are taken out of `self` (and handed back at the end) so the walk
+        // below can borrow `self` freely while reusing their allocations
+        // across instances.
+        let mut up_path = std::mem::take(&mut self.up_path);
+        up_path.clear();
+        up_path.push(start);
         let mut current = start;
         loop {
-            let (above, _) = self.graph.level_split(current)?;
+            let split = self.graph.level_split(current)?;
+            let above = &split.0;
             if above.is_empty() {
                 break;
             }
@@ -458,9 +474,12 @@ impl TarwWalker<'_, '_, '_> {
         self.tracer.set_phase(WalkPhase::Down);
         // Down phase: strictly later levels until a sink. The root belongs
         // to both phases (p̂(root) = p̄(root)).
-        let mut down_path = vec![root];
+        let mut down_path = std::mem::take(&mut self.down_path);
+        down_path.clear();
+        down_path.push(root);
         loop {
-            let (_, below) = self.graph.level_split(current)?;
+            let split = self.graph.level_split(current)?;
+            let below = &split.1;
             if below.is_empty() {
                 break;
             }
@@ -487,6 +506,8 @@ impl TarwWalker<'_, '_, '_> {
             let p_down = self.averaged_p(rng, u, Phase::Down)?;
             self.accumulate(&mut sums, u, p_up + p_down, now)?;
         }
+        self.up_path = up_path;
+        self.down_path = down_path;
         Ok(Some(sums))
     }
 

@@ -8,12 +8,13 @@
 
 /// Rule identifiers, as used in findings, suppression comments and the
 /// baseline file.
-pub const RULES: [&str; 7] = [
+pub const RULES: [&str; 8] = [
     "wall-clock",
     "panic-safety",
     "determinism",
     "charging",
     "lock-order",
+    "lock-across-call",
     "hygiene",
     "suppression",
 ];
@@ -42,6 +43,10 @@ pub struct Config {
     /// Paths whose `Mutex`/`RwLock` acquisitions feed the global
     /// lock-order graph.
     pub lock_order_paths: Vec<String>,
+    /// Paths where a lock guard may not be held across a
+    /// `Platform`/`ApiBackend` fetch (a stalled backend call would block
+    /// every thread contending for the lock).
+    pub lock_across_call_paths: Vec<String>,
     /// Crate-root files that must carry `#![forbid(unsafe_code)]`.
     pub hygiene_lib_roots: Vec<String>,
     /// Type names that must be declared `#[must_use]` (estimate-result
@@ -88,6 +93,7 @@ impl Default for Config {
                 "crates/api/src/client.rs",
             ]),
             lock_order_paths: s(&["crates/api/src/", "crates/obs/src/", "crates/service/src/"]),
+            lock_across_call_paths: s(&["crates/api/src/", "crates/service/src/"]),
             hygiene_lib_roots: s(&[
                 "crates/api/src/lib.rs",
                 "crates/bench/src/lib.rs",

@@ -1,0 +1,105 @@
+//! Rule `lock-across-call`: no `Mutex`/`RwLock` guard held across a
+//! `Platform`/`ApiBackend` fetch.
+//!
+//! A backend fetch is the slowest thing the service/API stack does — a
+//! real deployment pays a network round trip per call. Holding a lock
+//! guard across one turns that latency into contention: every thread
+//! that touches the same lock (other workers, the coalescer, metrics
+//! readers) stalls for the duration of the fetch, and the singleflight
+//! liveness check can misread the stall as a crashed leader. The
+//! workspace convention is therefore *resolve under the lock, fetch
+//! outside it* — see the coalescing layer, which releases the flight
+//! table before the leader's fetch and only re-locks to publish.
+//!
+//! The replay reuses `lock-order`'s guard model: a `let`-bound guard is
+//! held to the end of its block, an inline guard to the end of its
+//! statement. Any backend-method call token reached while at least one
+//! guard is live is a finding at the call site.
+
+use super::lock_order;
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+
+/// The backend surface: `ApiBackend` fetches and the raw `Platform`
+/// accessors they wrap (the same set the `charging` rule meters).
+const BACKEND_METHODS: [&str; 7] = [
+    "fetch_search",
+    "fetch_timeline",
+    "fetch_connections",
+    "search_posts",
+    "timeline",
+    "followers",
+    "followees",
+];
+
+/// Replays guard acquisitions per function and flags backend calls made
+/// while any guard is live.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::matches(ctx.path, &cfg.lock_across_call_paths) || !ctx.role.is_library() {
+        return;
+    }
+    let fields = lock_order::lock_fields(ctx);
+    if fields.is_empty() {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for f in &ctx.fns {
+        if ctx.is_test_code(f.fn_idx) {
+            continue;
+        }
+        let fn_name = toks
+            .get(f.fn_idx + 1)
+            .and_then(|t| t.ident())
+            .unwrap_or("?");
+        // (field, acquisition_depth, held_to_block_end) — same guard
+        // lifetime model as `lock-order`.
+        let mut live: Vec<(String, i32, bool)> = Vec::new();
+        let mut depth = 0i32;
+        let mut i = f.body_open;
+        while i <= f.body_close {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                live.retain(|(_, d, _)| *d <= depth);
+            } else if t.is_punct(';') {
+                // Statement end: inline guards drop.
+                live.retain(|(_, d, held)| *held && *d <= depth);
+            } else if let Some(m) = t.ident() {
+                // Method call position: `recv.method(`.
+                let is_call = i >= 1
+                    && toks[i - 1].is_punct('.')
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+                if !is_call {
+                    i += 1;
+                    continue;
+                }
+                if m == "lock" || m == "read" || m == "write" {
+                    if let Some(field) = i
+                        .checked_sub(2)
+                        .and_then(|r| toks[r].ident())
+                        .filter(|f| fields.contains(*f))
+                    {
+                        let held = lock_order::statement_binds(toks, i, f.body_open);
+                        live.push((field.to_string(), depth, held));
+                    }
+                } else if BACKEND_METHODS.contains(&m) && !live.is_empty() {
+                    let held: Vec<&str> = live.iter().map(|(f, _, _)| f.as_str()).collect();
+                    ctx.emit(
+                        out,
+                        "lock-across-call",
+                        t.line,
+                        format!(
+                            "`.{m}(…)` in `{fn_name}` while holding guard(s) `{}` — a \
+                             stalled backend call blocks every thread contending for \
+                             the lock; drop the guard before fetching",
+                            held.join("`, `")
+                        ),
+                    );
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -102,8 +102,9 @@ pub fn extract(ctx: &FileCtx, cfg: &Config) -> Vec<LockEdge> {
 }
 
 /// Whether the statement containing token `i` starts with `let` (the
-/// guard is bound and lives to the end of its block).
-fn statement_binds(toks: &[crate::lexer::Token], i: usize, floor: usize) -> bool {
+/// guard is bound and lives to the end of its block). Shared with
+/// `lock-across-call`, which replays the same guard lifetimes.
+pub(crate) fn statement_binds(toks: &[crate::lexer::Token], i: usize, floor: usize) -> bool {
     let mut j = i;
     while j > floor {
         j -= 1;
@@ -116,8 +117,8 @@ fn statement_binds(toks: &[crate::lexer::Token], i: usize, floor: usize) -> bool
 }
 
 /// Field names declared with a `Mutex<…>`/`RwLock<…>` type, unwrapping
-/// wrappers like `Arc<Mutex<…>>`.
-fn lock_fields(ctx: &FileCtx) -> BTreeSet<String> {
+/// wrappers like `Arc<Mutex<…>>`. Shared with `lock-across-call`.
+pub(crate) fn lock_fields(ctx: &FileCtx) -> BTreeSet<String> {
     let toks = &ctx.tokens;
     let mut out = BTreeSet::new();
     for (i, t) in toks.iter().enumerate() {

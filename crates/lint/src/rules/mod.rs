@@ -6,6 +6,7 @@
 pub mod charging;
 pub mod determinism;
 pub mod hygiene;
+pub mod lock_across_call;
 pub mod lock_order;
 pub mod panic_safety;
 pub mod wall_clock;

@@ -1,0 +1,37 @@
+// Fixture: backend fetches made while a lock guard is live, plus the
+// sanctioned shapes (guard dropped at block/statement end) that must
+// stay silent.
+use parking_lot::Mutex;
+
+struct Layer {
+    flights: Mutex<Vec<u64>>,
+}
+
+impl Layer {
+    fn held_across_fetch(&self, backend: &dyn ApiBackend, u: UserId) {
+        let g = self.flights.lock();
+        let t = backend.fetch_timeline(u); // finding: guard `flights` live
+        g.push(t.len() as u64);
+    }
+
+    fn inline_guard_same_statement(&self, store: &Platform, u: UserId) {
+        // An inline guard lives to the end of its statement, so the
+        // fetch inside the same expression is under the lock.
+        self.flights.lock().push(store.followers(u).len() as u64); // finding
+    }
+
+    fn scoped_then_fetch(&self, backend: &dyn ApiBackend, u: UserId) {
+        {
+            let mut g = self.flights.lock();
+            g.clear();
+        }
+        // Guard dropped with its block: fetching here is fine.
+        let _ = backend.fetch_connections(u);
+    }
+
+    fn sequential_is_fine(&self, store: &Platform, u: UserId) {
+        self.flights.lock().push(1);
+        // Inline guard dropped at the previous statement's end.
+        let _ = store.followees(u);
+    }
+}

@@ -1,0 +1,19 @@
+// Fixture: the same held-across-fetch shapes, waived with justifications.
+use parking_lot::Mutex;
+
+struct Layer {
+    flights: Mutex<Vec<u64>>,
+}
+
+impl Layer {
+    fn held_across_fetch(&self, backend: &dyn ApiBackend, u: UserId) {
+        let g = self.flights.lock();
+        // ma-lint: allow(lock-across-call) reason="single-threaded recovery path; no contention possible"
+        let t = backend.fetch_timeline(u);
+        g.push(t.len() as u64);
+    }
+
+    fn inline_guard_same_statement(&self, store: &Platform, u: UserId) {
+        self.flights.lock().push(store.followers(u).len() as u64); // ma-lint: allow(lock-across-call) reason="in-memory store; the fetch cannot stall"
+    }
+}

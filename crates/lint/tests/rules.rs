@@ -208,6 +208,42 @@ fn lock_order_suppressed() {
 }
 
 #[test]
+fn lock_across_call_fires() {
+    // Analyzed as the metered client (charging-exempt), which is exactly
+    // where raw backend calls legitimately live — and where holding a
+    // guard across one would hurt the most.
+    let findings = run(
+        "lock-across-call",
+        "crates/api/src/client.rs",
+        include_str!("fixtures/lock_across_call_fire.rs"),
+    );
+    // The let-bound guard across `.fetch_timeline(` and the inline guard
+    // enclosing `.followers(`; the scoped and sequential shapes are silent.
+    assert_eq!(findings.len(), 2, "{findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("`flights`")));
+}
+
+#[test]
+fn lock_across_call_suppressed() {
+    let findings = run(
+        "lock-across-call",
+        "crates/api/src/client.rs",
+        include_str!("fixtures/lock_across_call_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lock_across_call_is_scoped_to_service_and_api() {
+    let findings = run(
+        "lock-across-call",
+        "crates/graph/src/fixture.rs",
+        include_str!("fixtures/lock_across_call_fire.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
 fn hygiene_fires() {
     let findings = run(
         "hygiene",

@@ -27,11 +27,14 @@ pub enum Category {
     Job,
     /// Diagnostics: running Geweke z-scores, accumulator snapshots.
     Diag,
+    /// Miss coalescing: in-flight leader elections, waiter joins,
+    /// aborted flights handed back for re-election.
+    Coalesce,
 }
 
 impl Category {
     /// Number of categories; sizes per-category arrays.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// All categories, in shard/index order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -41,6 +44,7 @@ impl Category {
         Category::Resilience,
         Category::Job,
         Category::Diag,
+        Category::Coalesce,
     ];
 
     /// Stable shard index for this category.
@@ -52,6 +56,7 @@ impl Category {
             Category::Resilience => 3,
             Category::Job => 4,
             Category::Diag => 5,
+            Category::Coalesce => 6,
         }
     }
 
@@ -64,6 +69,7 @@ impl Category {
             Category::Resilience => "resilience",
             Category::Job => "job",
             Category::Diag => "diag",
+            Category::Coalesce => "coalesce",
         }
     }
 }

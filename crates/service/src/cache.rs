@@ -14,12 +14,21 @@
 //! [`CachingClient`]: microblog_api::CachingClient
 
 use crate::lru::LruCache;
-use microblog_api::cache::{CacheLayer, CachedConnections, CachedSearch, CachedTimeline};
+use microblog_api::cache::{
+    CacheLayer, CachedConnections, CachedSearch, CachedTimeline, CoalescingLayer,
+};
 use microblog_obs::{Category, FieldValue, Tracer};
 use microblog_platform::{KeywordId, UserId};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The service's production cache stack: a singleflight
+/// [`CoalescingLayer`] over the shared sharded store, so N concurrent
+/// misses on one key cost one platform fetch (every requester is still
+/// charged logically — see `microblog_api::cache`).
+pub type CoalescingSharedCache = CoalescingLayer<Arc<SharedApiCache>>;
 
 /// Sizing and layout of the shared cache.
 #[derive(Clone, Copy, Debug)]
@@ -357,6 +366,46 @@ mod tests {
         let snap = cache.snapshot();
         assert_eq!(snap.connections.insertions, 4000);
         assert_eq!(snap.connections.hits, 4000);
+    }
+
+    #[test]
+    fn stampede_on_one_key_costs_one_insertion() {
+        use microblog_api::cache::Flight;
+        let layer = Arc::new(CoalescingSharedCache::new(Arc::new(SharedApiCache::new(
+            SharedCacheConfig {
+                capacity: 64,
+                shards: 4,
+            },
+        ))));
+        let u = UserId(42);
+        // Main thread is the leader; the stampede parks behind it.
+        assert!(matches!(layer.join_connections(u), Flight::Lead));
+        const STAMPEDE: u64 = 6;
+        let waiters: Vec<_> = (0..STAMPEDE)
+            .map(|_| {
+                let layer = Arc::clone(&layer);
+                std::thread::spawn(move || match layer.join_connections(u) {
+                    Flight::Ready(entry) => entry.calls,
+                    Flight::Lead => panic!("stampede must coalesce behind the leader"),
+                })
+            })
+            .collect();
+        while layer.stats().waits < STAMPEDE {
+            std::thread::yield_now();
+        }
+        layer.put_connections(u, connections_entry(5));
+        for w in waiters {
+            assert_eq!(w.join().expect("waiter"), 5);
+        }
+        let stats = layer.stats();
+        assert_eq!(stats.leads, 1);
+        assert_eq!(stats.waits, STAMPEDE);
+        assert_eq!(stats.peak_inflight, STAMPEDE + 1);
+        // One actual insertion reached the store: the whole stampede
+        // resolved from a single fetch.
+        let snap = layer.inner().snapshot();
+        assert_eq!(snap.connections.insertions, 1);
+        assert_eq!(snap.entries, 1);
     }
 
     fn make_view(u: UserId) -> microblog_api::UserView {

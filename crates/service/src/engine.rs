@@ -13,16 +13,16 @@
 //! reservation down to what the job actually charged, and publish the
 //! outcome through the handle's condvar.
 
-use crate::cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
+use crate::cache::{CoalescingSharedCache, SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
 use crate::clock::{TelemetryClock, TelemetryMode};
 use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use crate::quota::{GlobalQuota, Reservation};
 use crate::request::JobSpec;
 use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer, RunReport};
-use microblog_api::cache::{CacheLayer, CacheStats};
+use microblog_api::cache::{CacheLayer, CacheStats, CoalesceStats, CoalescingLayer};
 use microblog_api::{ApiProfile, ResilienceStats, RetryPolicy};
 use microblog_obs::{Category, FieldValue, Tracer};
-use microblog_platform::{FaultPlan, FaultyPlatform, Platform};
+use microblog_platform::{ApiBackend, FaultPlan, FaultyPlatform, Platform};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
@@ -58,6 +58,17 @@ pub struct ServiceConfig {
     /// its clock also drives `queue_wait`/`exec` telemetry, so traces
     /// and metrics share one tick stream.
     pub tracer: Tracer,
+    /// Coalesce concurrent misses on the same cache key into one
+    /// platform fetch (waiters park and receive the filled entry,
+    /// charged exactly as a shared hit). On by default; the bench
+    /// harness turns it off to measure the uncoalesced baseline.
+    pub coalesce: bool,
+    /// Override backend all platform traffic flows through — the bench
+    /// harness plugs in a latency-simulating wrapper here so in-flight
+    /// windows are as wide as a real network round-trip would make
+    /// them. `fault_plan` takes precedence when both are set; `None`
+    /// means the pristine platform.
+    pub backend: Option<Arc<dyn ApiBackend>>,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +81,8 @@ impl Default for ServiceConfig {
             fault_plan: None,
             telemetry: TelemetryMode::default(),
             tracer: Tracer::disabled(),
+            coalesce: true,
+            backend: None,
         }
     }
 }
@@ -267,6 +280,7 @@ pub struct Service {
     platform: Arc<Platform>,
     api: ApiProfile,
     cache: Arc<SharedApiCache>,
+    coalescer: Option<Arc<CoalescingSharedCache>>,
     quota: GlobalQuota,
     metrics: Arc<MetricsRegistry>,
     clock: Arc<TelemetryClock>,
@@ -280,6 +294,16 @@ impl Service {
     /// Starts a service over `platform` accessed through `api`.
     pub fn new(platform: Arc<Platform>, api: ApiProfile, config: ServiceConfig) -> Self {
         let cache = Arc::new(SharedApiCache::new(config.cache).with_tracer(config.tracer.clone()));
+        // When coalescing is on, every job sees the cache through one
+        // shared singleflight combinator, so concurrent misses on a key
+        // collapse into a single platform fetch service-wide.
+        let coalescer = config.coalesce.then(|| {
+            Arc::new(CoalescingLayer::new(Arc::clone(&cache)).with_tracer(config.tracer.clone()))
+        });
+        let shared_layer: Arc<dyn CacheLayer> = match &coalescer {
+            Some(layer) => Arc::clone(layer) as Arc<dyn CacheLayer>,
+            None => Arc::clone(&cache) as Arc<dyn CacheLayer>,
+        };
         let quota = match config.global_quota {
             Some(limit) => GlobalQuota::limited(limit),
             None => GlobalQuota::unlimited(),
@@ -297,6 +321,7 @@ impl Service {
         let faulty = config
             .fault_plan
             .map(|plan| Arc::new(FaultyPlatform::new(Arc::clone(&platform), plan)));
+        let custom_backend = config.backend.clone();
         let (sender, receiver) = mpsc::channel::<Job>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers = (0..config.workers.max(1))
@@ -304,17 +329,19 @@ impl Service {
                 let receiver = Arc::clone(&receiver);
                 let platform = Arc::clone(&platform);
                 let api = api.clone();
-                let cache = Arc::clone(&cache);
+                let shared_layer = Arc::clone(&shared_layer);
                 let quota = quota.clone();
                 let metrics = Arc::clone(&metrics);
                 let clock = Arc::clone(&clock);
                 let faulty = faulty.clone();
+                let custom_backend = custom_backend.clone();
                 let default_retry = config.retry;
                 let tracer = config.tracer.clone();
                 std::thread::spawn(move || {
-                    let analyzer = match &faulty {
-                        Some(injector) => MicroblogAnalyzer::with_backend(&**injector, api),
-                        None => MicroblogAnalyzer::new(&platform, api),
+                    let analyzer = match (&faulty, &custom_backend) {
+                        (Some(injector), _) => MicroblogAnalyzer::with_backend(&**injector, api),
+                        (None, Some(custom)) => MicroblogAnalyzer::with_backend(&**custom, api),
+                        (None, None) => MicroblogAnalyzer::new(&platform, api),
                     };
                     loop {
                         // Hold the lock only to pull the next job; when the
@@ -325,7 +352,7 @@ impl Service {
                         };
                         run_job(
                             &analyzer,
-                            &cache,
+                            &shared_layer,
                             &quota,
                             &metrics,
                             &clock,
@@ -341,6 +368,7 @@ impl Service {
             platform,
             api,
             cache,
+            coalescer,
             quota,
             metrics,
             clock,
@@ -426,9 +454,23 @@ impl Service {
         &self.clock
     }
 
-    /// A point-in-time copy of the service counters.
+    /// Miss-coalescing counters, when coalescing is enabled.
+    pub fn coalesce_stats(&self) -> Option<CoalesceStats> {
+        self.coalescer.as_ref().map(|layer| layer.stats())
+    }
+
+    /// A point-in-time copy of the service counters. Coalescing counters
+    /// live on the singleflight layer (they are service-wide, not
+    /// per-job), so the snapshot overlays them here.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        if let Some(stats) = self.coalesce_stats() {
+            snap.coalesce_leads = stats.leads;
+            snap.coalesce_waits = stats.waits;
+            snap.coalesce_aborts = stats.aborts;
+            snap.coalesce_peak_inflight = stats.peak_inflight;
+        }
+        snap
     }
 
     /// Worker thread count.
@@ -449,7 +491,7 @@ impl Drop for Service {
 #[allow(clippy::too_many_arguments)]
 fn run_job(
     analyzer: &MicroblogAnalyzer<'_>,
-    cache: &Arc<SharedApiCache>,
+    shared_layer: &Arc<dyn CacheLayer>,
     quota: &GlobalQuota,
     metrics: &MetricsRegistry,
     clock: &TelemetryClock,
@@ -459,7 +501,7 @@ fn run_job(
 ) {
     let started = clock.now();
     let queue_wait = started.saturating_sub(job.submitted);
-    let shared: Arc<dyn CacheLayer> = Arc::clone(cache) as Arc<dyn CacheLayer>;
+    let shared: Arc<dyn CacheLayer> = Arc::clone(shared_layer);
     let policy = job.spec.retry.unwrap_or(*default_retry);
     let span = if tracer.is_enabled() {
         tracer.span_start(

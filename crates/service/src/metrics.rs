@@ -200,6 +200,13 @@ impl MetricsRegistry {
             rate_limited_hits: self.rate_limited_hits.load(Ordering::Relaxed),
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            // Coalescing counters live on the service's singleflight
+            // layer, not in the per-job fold; `Service::metrics_snapshot`
+            // overlays them.
+            coalesce_leads: 0,
+            coalesce_waits: 0,
+            coalesce_aborts: 0,
+            coalesce_peak_inflight: 0,
             queue_wait_total: self.queue_wait_total.load(Ordering::Relaxed),
             exec_total: self.exec_total.load(Ordering::Relaxed),
             charged_per_sample_hist: self.charged_per_sample_hist.snapshot(),
@@ -262,6 +269,15 @@ pub struct MetricsSnapshot {
     pub breaker_opens: u64,
     /// Calls rejected by an open breaker without touching the platform.
     pub breaker_fast_fails: u64,
+    /// Cache misses that led a singleflight fetch.
+    pub coalesce_leads: u64,
+    /// Cache misses absorbed by parking on an in-flight fetch of the
+    /// same key instead of issuing a duplicate platform call.
+    pub coalesce_waits: u64,
+    /// In-flight fetches released after a failed platform call.
+    pub coalesce_aborts: u64,
+    /// Most requesters ever coalesced onto one in-flight fetch.
+    pub coalesce_peak_inflight: u64,
     /// Total time jobs spent queued, in mode units (ticks or millis).
     pub queue_wait_total: u64,
     /// Total time jobs spent executing, in mode units (ticks or millis).
@@ -340,6 +356,10 @@ impl MetricsSnapshot {
             ("rate_limited_hits".into(), self.rate_limited_hits),
             ("breaker_opens".into(), self.breaker_opens),
             ("breaker_fast_fails".into(), self.breaker_fast_fails),
+            ("coalesce_leads".into(), self.coalesce_leads),
+            ("coalesce_waits".into(), self.coalesce_waits),
+            ("coalesce_aborts".into(), self.coalesce_aborts),
+            ("coalesce_peak_inflight".into(), self.coalesce_peak_inflight),
             (format!("queue_wait_total_{unit}"), self.queue_wait_total),
             (format!("exec_total_{unit}"), self.exec_total),
         ]
@@ -434,6 +454,16 @@ impl MetricsSnapshot {
             format!(
                 "{} open(s), {} fast-fail(s)",
                 self.breaker_opens, self.breaker_fast_fails
+            ),
+        );
+        line(
+            "coalesced misses",
+            format!(
+                "{} led + {} waited (peak {} in flight, {} aborted)",
+                self.coalesce_leads,
+                self.coalesce_waits,
+                self.coalesce_peak_inflight,
+                self.coalesce_aborts
             ),
         );
         let unit = self.duration_unit();
