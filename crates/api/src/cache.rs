@@ -27,7 +27,7 @@ use crate::meter::CostMeter;
 use microblog_obs::{Category, FieldValue, Tracer};
 use microblog_platform::{ApiEndpoint, KeywordId, UserId};
 use parking_lot::{Condvar, Mutex};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -163,7 +163,7 @@ pub enum Flight<T> {
 
 /// Per-client cache accounting, kept by
 /// [`CachingClient`](crate::client::CachingClient).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Requests served from this query's own memo at zero cost.
     pub local_hits: u64,

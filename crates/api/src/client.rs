@@ -22,8 +22,32 @@ use microblog_platform::{
     ApiBackend, ApiEndpoint, Fault, KeywordId, Platform, Post, PostId, TimeWindow, Timestamp,
     UserId, UserProfile,
 };
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The serializable cache/accounting state of a [`CachingClient`],
+/// captured into walker checkpoints and rebuilt on crash recovery.
+///
+/// Memoized *responses* are not stored — only the keys. Restore
+/// re-fetches each key from the pristine platform at zero charge (the
+/// data is deterministic) and then overwrites the accounting so the
+/// restored client reports exactly what the checkpointed one did.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClientState {
+    /// Keywords with a memoized SEARCH response, sorted.
+    pub searches: Vec<KeywordId>,
+    /// Users with a memoized TIMELINE response, sorted.
+    pub timelines: Vec<UserId>,
+    /// Users with a memoized CONNECTIONS response, sorted.
+    pub connections: Vec<UserId>,
+    /// Cache hit/miss accounting at capture time.
+    pub stats: CacheStats,
+    /// Per-endpoint charged calls at capture time.
+    pub meter: CostMeter,
+    /// Budget spend at capture time.
+    pub charged: u64,
+}
 
 /// Trace-field spelling of an endpoint; shared by charge, cache and
 /// resilience events so summaries group on one vocabulary.
@@ -565,5 +589,47 @@ impl<'a> CachingClient<'a> {
     /// Number of distinct users whose timeline was fetched.
     pub fn distinct_timelines(&self) -> usize {
         self.timelines.len()
+    }
+
+    /// Captures the memo keys and accounting for a walker checkpoint.
+    pub fn checkpoint_state(&self) -> ClientState {
+        let mut searches: Vec<KeywordId> = self.searches.keys().copied().collect();
+        searches.sort_unstable_by_key(|k| k.0);
+        let mut timelines: Vec<UserId> = self.timelines.keys().copied().collect();
+        timelines.sort_unstable_by_key(|u| u.0);
+        let mut connections: Vec<UserId> = self.connections.keys().copied().collect();
+        connections.sort_unstable_by_key(|u| u.0);
+        ClientState {
+            searches,
+            timelines,
+            connections,
+            stats: self.stats,
+            meter: *self.inner.client().meter(),
+            charged: self.inner.client().budget().spent(),
+        }
+    }
+
+    /// Installs a memoized SEARCH response without charging or touching
+    /// the shared layer (checkpoint restore only).
+    pub fn install_search(&mut self, kw: KeywordId, data: Arc<Vec<SearchHit>>) {
+        self.searches.insert(kw, data);
+    }
+
+    /// Installs a memoized TIMELINE response without charging (restore).
+    pub fn install_timeline(&mut self, u: UserId, data: Arc<UserView>) {
+        self.timelines.insert(u, data);
+    }
+
+    /// Installs a memoized CONNECTIONS response without charging (restore).
+    pub fn install_connections(&mut self, u: UserId, data: Arc<Vec<UserId>>) {
+        self.connections.insert(u, data);
+    }
+
+    /// Overwrites the cache stats and cost meter so a restored client
+    /// reports exactly the checkpointed accounting (the restore-time
+    /// fetches that repopulated the memo were free and unmetered).
+    pub fn restore_accounting(&mut self, stats: CacheStats, meter: CostMeter) {
+        self.stats = stats;
+        self.inner.client_mut().meter = meter;
     }
 }

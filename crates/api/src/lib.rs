@@ -41,7 +41,7 @@ pub use budget::QueryBudget;
 pub use cache::{
     CacheLayer, CacheStats, Cached, CachedConnections, CachedSearch, CachedTimeline, CostReport,
 };
-pub use client::{CachingClient, MicroblogClient, SearchHit, UserView};
+pub use client::{CachingClient, ClientState, MicroblogClient, SearchHit, UserView};
 pub use error::ApiError;
 pub use meter::CostMeter;
 pub use microblog_platform::ApiEndpoint;

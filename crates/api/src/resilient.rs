@@ -32,10 +32,10 @@ use crate::meter::CostMeter;
 use crate::profile::ApiProfile;
 use microblog_obs::{Category, FieldValue};
 use microblog_platform::{ApiEndpoint, Duration, KeywordId, Timestamp, UserId};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Per-endpoint circuit-breaker parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BreakerConfig {
     /// Consecutive failures that trip the breaker open.
     pub failure_threshold: u32,
@@ -64,7 +64,7 @@ pub enum BreakerState {
 }
 
 /// How a client reacts to retryable failures.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Attempts per logical call (1 = no retries).
     pub max_attempts: u32,
@@ -285,6 +285,11 @@ impl<'a> ResilientClient<'a> {
     /// The wrapped client (for meters/budget/profile access).
     pub fn client(&self) -> &MicroblogClient<'a> {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped client (checkpoint restore only).
+    pub(crate) fn client_mut(&mut self) -> &mut MicroblogClient<'a> {
+        &mut self.inner
     }
 
     /// The policy in force.

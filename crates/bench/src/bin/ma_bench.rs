@@ -3,7 +3,9 @@
 //! `ma-bench perf` drives the service with a fixed seeded workload
 //! (mixed concurrent queries against a shared world, cold and warm
 //! cache, coalescing on and off) plus a direct walker step-loop
-//! measurement, and writes the numbers to `BENCH_5.json` at the repo
+//! measurement and a recovery section — checkpoint-cadence step-rate
+//! overhead (off/1k/10k) and cold journal replay of 100 in-flight
+//! jobs — and writes the numbers to `BENCH_5.json` at the repo
 //! root. That file is the perf trajectory later PRs append to, so the
 //! schema is stable and `ma-bench check FILE` verifies it — CI fails on
 //! schema drift, never on absolute numbers (which depend on hardware).
@@ -14,15 +16,19 @@
 
 use microblog_analyzer::prelude::*;
 use microblog_analyzer::walker::srw::{self, SrwConfig};
+use microblog_analyzer::{CheckpointCtl, CheckpointSink, WalkerCheckpoint};
 use microblog_api::{CachingClient, MicroblogClient, QueryBudget};
 use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
 use microblog_platform::{
     ApiBackend, Duration, Fault, KeywordId, Platform, PostId, TimeWindow, UserId,
 };
-use microblog_service::{JobSpec, Service, ServiceConfig};
+use microblog_service::{
+    JobSpec, Journal, JournalRecord, Service, ServiceConfig, TelemetryClock, TelemetryMode,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// World seed shared by every `perf` invocation, so runs are comparable.
@@ -90,6 +96,18 @@ const SCHEMA: &[(&str, &str)] = &[
     ("coalesce_aborts", "integer"),
     ("coalesced_miss_ratio", "number"),
     ("peak_inflight_dedup", "integer"),
+    // Recovery section: checkpoint-cadence step-rate overhead and
+    // cold-recovery (journal replay + resumed-job drain) timings.
+    ("recovery_walker_steps", "integer"),
+    ("recovery_steps_per_sec_no_checkpoint", "number"),
+    ("recovery_steps_per_sec_every_1k", "number"),
+    ("recovery_steps_per_sec_every_10k", "number"),
+    ("recovery_checkpoint_overhead_1k", "number"),
+    ("recovery_checkpoint_overhead_10k", "number"),
+    ("recovery_cold_jobs", "integer"),
+    ("recovery_cold_start_secs", "number"),
+    ("recovery_cold_drain_secs", "number"),
+    ("recovery_cold_resumed_jobs", "integer"),
 ];
 
 struct PerfParams {
@@ -112,7 +130,10 @@ impl PerfParams {
                 workers: 4,
                 replicas: 3,
                 varied: 1,
-                budget: 1_500,
+                // TARW's time-bucket seeding needs ~2,250 calls on the
+                // tiny world before its first sample; anything lower
+                // fails the workload's 'boston' jobs with NoSamples.
+                budget: 2_500,
                 walker_steps: 20_000,
                 walker_trials: 1,
             }
@@ -300,6 +321,178 @@ fn walker_steps_per_sec(scenario: &Scenario, steps: usize, trials: usize) -> f64
     best
 }
 
+/// A fresh scratch directory under the system temp dir; any leftover
+/// from an earlier run is removed first.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ma-bench-recovery-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch directory creates");
+    dir
+}
+
+/// [`CheckpointSink`] journaling every checkpoint — the same durable
+/// path the service's workers pay, fsync batching included.
+struct JournalSink {
+    journal: Journal,
+}
+
+impl CheckpointSink for JournalSink {
+    fn record(&self, cp: &WalkerCheckpoint) {
+        self.journal
+            .append(&JournalRecord::Checkpoint {
+                job: 0,
+                checkpoint: Box::new(cp.clone()),
+            })
+            .expect("scratch journal appends");
+    }
+}
+
+/// [`CheckpointSink`] keeping only the first checkpoint it sees.
+struct CaptureFirst(Mutex<Option<WalkerCheckpoint>>);
+
+impl CheckpointSink for CaptureFirst {
+    fn record(&self, cp: &WalkerCheckpoint) {
+        let mut slot = self.0.lock().expect("capture lock");
+        if slot.is_none() {
+            *slot = Some(cp.clone());
+        }
+    }
+}
+
+/// The walker step loop of [`walker_steps_per_sec`], with checkpoints
+/// flowing into a real journal every `every` safe points (`0` disables
+/// checkpointing entirely — the baseline the overhead is measured
+/// against).
+fn walker_rate_at_cadence(scenario: &Scenario, steps: usize, trials: usize, every: u64) -> f64 {
+    let kw = scenario.keyword("privacy").expect("world has 'privacy'");
+    let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(scenario.window);
+    let dir = scratch_dir(&format!("cadence-{every}"));
+    let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+    let (journal, _) = Journal::open(&dir, clock).expect("scratch journal opens");
+    let sink = JournalSink { journal };
+    let mut best = 0.0f64;
+    for trial in 0..trials.max(1) {
+        let mut client = CachingClient::new(MicroblogClient::with_budget(
+            &scenario.platform,
+            ApiProfile::twitter(),
+            QueryBudget::unlimited(),
+        ));
+        let mut rng = ChaCha8Rng::seed_from_u64(7 + trial as u64);
+        let mut cfg = SrwConfig::new(ViewKind::level(Duration::DAY));
+        cfg.max_steps = steps;
+        let mut ctl = if every > 0 {
+            CheckpointCtl::new(every, &sink)
+        } else {
+            CheckpointCtl::disabled()
+        };
+        ctl.set_job("srw", 7 + trial as u64);
+        let start = Instant::now();
+        let est = srw::estimate_recoverable(&mut client, &query, &cfg, &mut rng, &mut ctl, None);
+        let rate = steps as f64 / start.elapsed().as_secs_f64();
+        assert!(est.is_ok(), "cadence measurement run failed: {est:?}");
+        best = best.max(rate);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    best
+}
+
+struct ColdRecovery {
+    jobs: usize,
+    start_secs: f64,
+    drain_secs: f64,
+    resumed: usize,
+}
+
+/// Synthesizes the journal a crashed process would leave — `jobs`
+/// admitted, reserved, mid-walk-checkpointed jobs, none settled — and
+/// times a cold [`Service::start`] over it (replay + requeue) plus the
+/// drain of every resumed job to completion.
+fn cold_recovery(scenario: &Scenario, params: &PerfParams, jobs: usize) -> ColdRecovery {
+    let kw = scenario.keyword("privacy").expect("world has 'privacy'");
+    let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(scenario.window);
+    let algorithm = Algorithm::MaSrw {
+        interval: Some(Duration::DAY),
+    };
+    // Capture one genuine mid-walk checkpoint by replaying exactly the
+    // run the service would execute for this spec (seed 1, limited
+    // budget, level-day view).
+    let capture = CaptureFirst(Mutex::new(None));
+    let mut client = CachingClient::new(MicroblogClient::with_budget(
+        &scenario.platform,
+        ApiProfile::twitter(),
+        QueryBudget::limited(params.budget),
+    ));
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let cfg = SrwConfig::new(ViewKind::level(Duration::DAY));
+    let mut ctl = CheckpointCtl::new(100, &capture);
+    ctl.set_job(algorithm.name(), 1);
+    let est = srw::estimate_recoverable(&mut client, &query, &cfg, &mut rng, &mut ctl, None);
+    assert!(est.is_ok(), "checkpoint capture run failed: {est:?}");
+    let checkpoint = capture
+        .0
+        .into_inner()
+        .expect("capture lock")
+        .expect("walk reached the checkpoint cadence");
+
+    let spec = JobSpec::new(query, algorithm, params.budget, 1);
+    let dir = scratch_dir("cold");
+    {
+        let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+        let (journal, _) = Journal::open(&dir, clock).expect("scratch journal opens");
+        for job in 0..jobs as u64 {
+            journal
+                .append(&JournalRecord::Admit {
+                    job,
+                    spec: spec.clone(),
+                })
+                .expect("append");
+            journal
+                .append(&JournalRecord::Reserve {
+                    job,
+                    amount: params.budget,
+                })
+                .expect("append");
+            journal
+                .append(&JournalRecord::Checkpoint {
+                    job,
+                    checkpoint: Box::new(checkpoint.clone()),
+                })
+                .expect("append");
+        }
+        journal.sync().expect("sync");
+    }
+
+    let start = Instant::now();
+    let service = Service::start(
+        Arc::new(scenario.platform.clone()),
+        ApiProfile::twitter(),
+        ServiceConfig {
+            workers: params.workers,
+            journal: Some(dir.clone()),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("recovery journal opens");
+    let start_secs = start.elapsed().as_secs_f64();
+    let resumed = service.recovery().map_or(0, |r| r.resumed_jobs) as usize;
+    let drain = Instant::now();
+    for handle in service.recovered_jobs() {
+        handle
+            .join()
+            .into_result()
+            .expect("recovered job completes");
+    }
+    let drain_secs = drain.elapsed().as_secs_f64();
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    ColdRecovery {
+        jobs,
+        start_secs,
+        drain_secs,
+        resumed,
+    }
+}
+
 fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
     eprintln!("[perf] cold run, coalescing off (baseline)...");
     let (_, baseline) = run_cold(scenario, params, false);
@@ -321,6 +514,34 @@ fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
     eprintln!("[perf] walker step loop ({} steps)...", params.walker_steps);
     let steps_rate = walker_steps_per_sec(scenario, params.walker_steps, params.walker_trials);
     eprintln!("[perf]   {steps_rate:.0} steps/sec");
+    eprintln!("[perf] checkpoint cadence sweep (off, 1k, 10k)...");
+    let rate_off = walker_rate_at_cadence(scenario, params.walker_steps, params.walker_trials, 0);
+    let rate_1k =
+        walker_rate_at_cadence(scenario, params.walker_steps, params.walker_trials, 1_000);
+    let rate_10k =
+        walker_rate_at_cadence(scenario, params.walker_steps, params.walker_trials, 10_000);
+    let overhead = |rate: f64| {
+        if rate_off > 0.0 {
+            1.0 - rate / rate_off
+        } else {
+            0.0
+        }
+    };
+    eprintln!(
+        "[perf]   off {:.0}/s, 1k {:.0}/s ({:+.2}%), 10k {:.0}/s ({:+.2}%)",
+        rate_off,
+        rate_1k,
+        100.0 * overhead(rate_1k),
+        rate_10k,
+        100.0 * overhead(rate_10k),
+    );
+    let cold_jobs = if params.smoke { 20 } else { 100 };
+    eprintln!("[perf] cold recovery of {cold_jobs} in-flight jobs...");
+    let recovered = cold_recovery(scenario, params, cold_jobs);
+    eprintln!(
+        "[perf]   replay+requeue {:.3}s, drain {:.2}s ({} resumed)",
+        recovered.start_secs, recovered.drain_secs, recovered.resumed
+    );
 
     let jobs = workload(scenario, params).len();
     let snap = &cold.snapshot;
@@ -344,7 +565,7 @@ fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
         first = false;
         out.push_str(&format!("  \"{key}\": {value}"));
     };
-    put("schema_version", "1".into());
+    put("schema_version", "2".into());
     put("smoke", params.smoke.to_string());
     put("world_scale", "\"tiny\"".into());
     put("world_seed", WORLD_SEED.to_string());
@@ -377,6 +598,31 @@ fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
         "peak_inflight_dedup",
         snap.coalesce_peak_inflight.to_string(),
     );
+    put("recovery_walker_steps", params.walker_steps.to_string());
+    put(
+        "recovery_steps_per_sec_no_checkpoint",
+        format!("{rate_off:.1}"),
+    );
+    put("recovery_steps_per_sec_every_1k", format!("{rate_1k:.1}"));
+    put("recovery_steps_per_sec_every_10k", format!("{rate_10k:.1}"));
+    put(
+        "recovery_checkpoint_overhead_1k",
+        format!("{:.4}", overhead(rate_1k)),
+    );
+    put(
+        "recovery_checkpoint_overhead_10k",
+        format!("{:.4}", overhead(rate_10k)),
+    );
+    put("recovery_cold_jobs", recovered.jobs.to_string());
+    put(
+        "recovery_cold_start_secs",
+        format!("{:.4}", recovered.start_secs),
+    );
+    put(
+        "recovery_cold_drain_secs",
+        format!("{:.4}", recovered.drain_secs),
+    );
+    put("recovery_cold_resumed_jobs", recovered.resumed.to_string());
     out.push_str("\n}\n");
     out
 }

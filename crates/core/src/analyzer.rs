@@ -4,6 +4,7 @@
 //! returns an [`Estimate`]. All platform access goes through a fresh
 //! budget-limited [`CachingClient`].
 
+use crate::checkpoint::{self, CheckpointCtl, SamplerState, WalkerCheckpoint};
 use crate::error::EstimateError;
 use crate::estimate::Estimate;
 use crate::query::AggregateQuery;
@@ -18,10 +19,11 @@ use microblog_obs::{Category, FieldValue, Tracer, WalkPhase};
 use microblog_platform::{ApiBackend, Duration, Platform};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which estimation algorithm to run.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum Algorithm {
     /// Simple random walk over the full social graph (Fig. 2/3 baseline).
     SrwFullGraph,
@@ -210,6 +212,39 @@ impl<'p> MicroblogAnalyzer<'p> {
         policy: &RetryPolicy,
         tracer: Tracer,
     ) -> RunReport {
+        self.run_recoverable(
+            query,
+            budget,
+            algorithm,
+            seed,
+            shared,
+            policy,
+            tracer,
+            &mut CheckpointCtl::disabled(),
+            None,
+        )
+    }
+
+    /// The crash-safe run: like [`run_traced`](Self::run_traced), plus a
+    /// [`CheckpointCtl`] through which the walk emits checkpoints at the
+    /// control's cadence, and an optional [`WalkerCheckpoint`] to resume
+    /// from. A resumed run restores the client memo from the pristine
+    /// platform, pre-charges the budget with the checkpointed spend, and
+    /// repositions the RNG — so its estimate, total charge and sample
+    /// counts are **bit-identical** to the uninterrupted run's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_recoverable(
+        &self,
+        query: &AggregateQuery,
+        budget: u64,
+        algorithm: Algorithm,
+        seed: u64,
+        shared: Option<Arc<dyn CacheLayer>>,
+        policy: &RetryPolicy,
+        tracer: Tracer,
+        ctl: &mut CheckpointCtl<'_>,
+        resume: Option<&WalkerCheckpoint>,
+    ) -> RunReport {
         let limit = budget;
         let budget = QueryBudget::limited(budget);
         let inner = MicroblogClient::from_backend(self.backend, self.api.clone(), budget.clone())
@@ -232,48 +267,124 @@ impl<'p> MicroblogAnalyzer<'p> {
         let policy = policy.with_jitter_seed(policy.jitter_seed ^ seed.rotate_left(17));
         let resilient = ResilientClient::new(inner, policy);
         let mut client = CachingClient::resilient(resilient, shared);
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let result = match algorithm {
-            Algorithm::SrwFullGraph => {
-                let cfg = srw::SrwConfig::new(ViewKind::FullGraph);
-                srw::estimate(&mut client, query, &cfg, &mut rng)
-            }
-            Algorithm::SrwTermInduced => {
-                let cfg = srw::SrwConfig::new(ViewKind::TermInduced);
-                srw::estimate(&mut client, query, &cfg, &mut rng)
-            }
-            Algorithm::MaSrw { interval } => {
-                let t = interval.unwrap_or(Duration::DAY);
-                let cfg = srw::SrwConfig::new(ViewKind::level(t));
-                srw::estimate(&mut client, query, &cfg, &mut rng)
-            }
-            Algorithm::MaTarw { interval } => {
-                let cfg = tarw::TarwConfig {
-                    interval,
-                    ..Default::default()
-                };
-                tarw::estimate(&mut client, query, &cfg, &mut rng)
-            }
-            Algorithm::MarkRecapture { view } => {
-                let cfg = mr::MrConfig::new(view);
-                mr::estimate(&mut client, query, &cfg, &mut rng)
-            }
-            Algorithm::SrwView { view } => {
-                let cfg = srw::SrwConfig::new(view);
-                srw::estimate(&mut client, query, &cfg, &mut rng)
-            }
-            Algorithm::Mhrw { view } => {
-                let cfg = mhrw::MhrwConfig::new(view);
-                mhrw::estimate(&mut client, query, &cfg, &mut rng)
-            }
-            Algorithm::Snowball { view, order } => {
-                let cfg = snowball::SnowballConfig {
-                    view,
-                    order,
-                    max_nodes: usize::MAX,
-                };
-                snowball::estimate(&mut client, query, &cfg, &mut rng)
-            }
+        ctl.set_job(algorithm.name(), seed);
+        // Rebuild the checkpointed context, if resuming: memo from the
+        // pristine platform, budget pre-charged with the checkpointed
+        // spend, RNG repositioned on its stream.
+        let setup: Result<(ChaCha8Rng, Option<&SamplerState>), EstimateError> = match resume {
+            Some(cp) => (|| {
+                if cp.seed != seed {
+                    return Err(EstimateError::Unsupported(
+                        "checkpoint seed does not match the job",
+                    ));
+                }
+                let rng = cp.rng.to_chacha8().ok_or(EstimateError::Unsupported(
+                    "checkpoint carries a malformed RNG state",
+                ))?;
+                checkpoint::restore_client(
+                    &mut client,
+                    &cp.client,
+                    self.backend.store(),
+                    &self.api,
+                )?;
+                client.client().budget().charge(cp.client.charged)?;
+                Ok((rng, Some(&cp.sampler)))
+            })(),
+            None => Ok((ChaCha8Rng::seed_from_u64(seed), None)),
+        };
+        let result = match setup {
+            Err(e) => Err(e),
+            Ok((mut rng, state)) => match algorithm {
+                Algorithm::SrwFullGraph => {
+                    let cfg = srw::SrwConfig::new(ViewKind::FullGraph);
+                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                }
+                Algorithm::SrwTermInduced => {
+                    let cfg = srw::SrwConfig::new(ViewKind::TermInduced);
+                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                }
+                Algorithm::MaSrw { interval } => {
+                    let t = interval.unwrap_or(Duration::DAY);
+                    let cfg = srw::SrwConfig::new(ViewKind::level(t));
+                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                }
+                Algorithm::MaTarw { interval } => {
+                    let cfg = tarw::TarwConfig {
+                        interval,
+                        ..Default::default()
+                    };
+                    tarw::estimate_recoverable(&mut client, query, &cfg, &mut rng, ctl, state)
+                }
+                Algorithm::MarkRecapture { view } => {
+                    let cfg = mr::MrConfig::new(view);
+                    match state {
+                        None => {
+                            mr::estimate_recoverable(&mut client, query, &cfg, &mut rng, ctl, None)
+                        }
+                        Some(SamplerState::Srw(s)) => mr::estimate_recoverable(
+                            &mut client,
+                            query,
+                            &cfg,
+                            &mut rng,
+                            ctl,
+                            Some(s),
+                        ),
+                        Some(_) => Err(mismatch()),
+                    }
+                }
+                Algorithm::SrwView { view } => {
+                    let cfg = srw::SrwConfig::new(view);
+                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                }
+                Algorithm::Mhrw { view } => {
+                    let cfg = mhrw::MhrwConfig::new(view);
+                    match state {
+                        None => mhrw::estimate_recoverable(
+                            &mut client,
+                            query,
+                            &cfg,
+                            &mut rng,
+                            ctl,
+                            None,
+                        ),
+                        Some(SamplerState::Mhrw(s)) => mhrw::estimate_recoverable(
+                            &mut client,
+                            query,
+                            &cfg,
+                            &mut rng,
+                            ctl,
+                            Some(s),
+                        ),
+                        Some(_) => Err(mismatch()),
+                    }
+                }
+                Algorithm::Snowball { view, order } => {
+                    let cfg = snowball::SnowballConfig {
+                        view,
+                        order,
+                        max_nodes: usize::MAX,
+                    };
+                    match state {
+                        None => snowball::estimate_recoverable(
+                            &mut client,
+                            query,
+                            &cfg,
+                            &mut rng,
+                            ctl,
+                            None,
+                        ),
+                        Some(SamplerState::Snowball(s)) => snowball::estimate_recoverable(
+                            &mut client,
+                            query,
+                            &cfg,
+                            &mut rng,
+                            ctl,
+                            Some(s),
+                        ),
+                        Some(_) => Err(mismatch()),
+                    }
+                }
+            },
         };
         let cache = *client.cache_stats();
         let resilience = client.resilience().clone();
@@ -310,6 +421,28 @@ impl<'p> MicroblogAnalyzer<'p> {
     pub fn ground_truth(&self, query: &AggregateQuery) -> Option<f64> {
         query.ground_truth(self.backend.store())
     }
+}
+
+/// Dispatches an SRW-family run, matching the checkpoint variant.
+fn run_srw(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    cfg: &srw::SrwConfig,
+    rng: &mut ChaCha8Rng,
+    ctl: &mut CheckpointCtl<'_>,
+    state: Option<&SamplerState>,
+) -> Result<Estimate, EstimateError> {
+    match state {
+        None => srw::estimate_recoverable(client, query, cfg, rng, ctl, None),
+        Some(SamplerState::Srw(s)) => {
+            srw::estimate_recoverable(client, query, cfg, rng, ctl, Some(s))
+        }
+        Some(_) => Err(mismatch()),
+    }
+}
+
+fn mismatch() -> EstimateError {
+    EstimateError::Unsupported("checkpoint does not match the job's algorithm")
 }
 
 #[cfg(test)]

@@ -1,0 +1,504 @@
+//! Walker checkpoints: serializable mid-walk state for crash recovery.
+//!
+//! Every sampler can snapshot its complete resumable state — RNG stream
+//! position, walk position/path buffers, accumulated samples, and
+//! charged-call accounting — into a [`WalkerCheckpoint`] every N safe
+//! points, emitted through a [`CheckpointSink`]. A run resumed from any
+//! checkpoint produces **bit-identical** estimates and charged totals to
+//! an uninterrupted run: the RNG restores to the exact stream position,
+//! the client memo restores from the pristine platform (responses are
+//! deterministic, so only the *keys* are stored), and every floating
+//! accumulator round-trips as raw IEEE-754 bits.
+//!
+//! What is deliberately *not* checkpointed:
+//!
+//! * memoized API responses — recomputed from the platform at restore,
+//!   at zero charge (see [`restore_client`]);
+//! * MA-TARW's exact probability memos — pure functions of the restored
+//!   memo, recomputed free with no RNG use;
+//! * diagnostics (the Geweke chain) and resilience counters — they feed
+//!   traces and health reporting, not estimates.
+
+use crate::error::EstimateError;
+use microblog_api::{ApiProfile, CachingClient, ClientState, MicroblogClient};
+use microblog_graph::sizing::CollisionState;
+use microblog_platform::{Platform, UserId};
+use rand::Rng;
+use rand_chacha::{ChaCha12Rng, ChaCha20Rng, ChaCha8Rng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Serializable ChaCha generator state: the buffered keystream is a pure
+/// function of `(key, stream, counter)`, so only the position is stored.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngState {
+    /// The 8-word ChaCha key.
+    pub key: Vec<u32>,
+    /// Stream (nonce) id.
+    pub stream: u64,
+    /// Block counter of the next buffer refill.
+    pub counter: u64,
+    /// Next unconsumed word in the 64-word buffer (64 = empty).
+    pub index: u64,
+}
+
+impl RngState {
+    /// Rebuilds a [`ChaCha8Rng`] positioned exactly where the snapshot
+    /// was taken; `None` if the snapshot is malformed.
+    pub fn to_chacha8(&self) -> Option<ChaCha8Rng> {
+        let key: [u32; 8] = self.key.as_slice().try_into().ok()?;
+        Some(ChaCha8Rng::from_state((
+            key,
+            self.stream,
+            self.counter,
+            self.index as usize,
+        )))
+    }
+}
+
+/// RNGs whose stream position can be captured into a checkpoint.
+///
+/// Samplers take `R: CheckpointRng` so one generic walk loop serves both
+/// plain and recoverable runs; generators without snapshot support can
+/// still drive walks, they just cannot emit checkpoints.
+pub trait CheckpointRng: Rng {
+    /// The serializable generator state, if supported.
+    fn rng_state(&self) -> Option<RngState>;
+}
+
+macro_rules! checkpoint_chacha {
+    ($($ty:ty),*) => {$(
+        impl CheckpointRng for $ty {
+            fn rng_state(&self) -> Option<RngState> {
+                let (key, stream, counter, index) = self.state();
+                Some(RngState {
+                    key: key.to_vec(),
+                    stream,
+                    counter,
+                    index: index as u64,
+                })
+            }
+        }
+    )*}
+}
+checkpoint_chacha!(ChaCha8Rng, ChaCha12Rng, ChaCha20Rng);
+
+/// Serialized [`SampleAccumulator`](crate::walker) state; floats as raw
+/// IEEE-754 bits.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccumState {
+    /// `Σ 1/d`.
+    pub s0_bits: u64,
+    /// `Σ match/d`.
+    pub s_match_bits: u64,
+    /// `Σ num/d`.
+    pub s_num_bits: u64,
+    /// `Σ den/d`.
+    pub s_den_bits: u64,
+    /// Collision-counter state.
+    pub collisions: CollisionState,
+    /// Samples accepted.
+    pub samples: u64,
+}
+
+/// Mid-walk state of the SRW estimator, captured at the top of its step
+/// loop.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SrwState {
+    /// Current walk position.
+    pub current: UserId,
+    /// Steps taken in the current chain (resets on restart).
+    pub step_in_chain: u64,
+    /// Total transitions taken.
+    pub total_steps: u64,
+    /// Samples kept so far.
+    pub kept: u64,
+    /// The main sample accumulator.
+    pub accum: AccumState,
+    /// Batch-mean statistics `(count, mean_bits, m2_bits)`.
+    pub batch: (u64, u64, u64),
+    /// The in-progress batch accumulator.
+    pub batch_accum: AccumState,
+}
+
+/// Mid-walk state of the MHRW estimator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MhrwState {
+    /// Current walk position.
+    pub current: UserId,
+    /// Steps taken in the current chain (resets on restart).
+    pub step: u64,
+    /// Total transitions taken.
+    pub total_steps: u64,
+    /// `Σ num` over kept samples, as bits.
+    pub sum_num_bits: u64,
+    /// `Σ den` over kept samples, as bits.
+    pub sum_den_bits: u64,
+    /// `Σ match` over kept samples, as bits.
+    pub sum_match_bits: u64,
+    /// Samples kept.
+    pub samples: u64,
+    /// Collision-counter state (fed with degree 1 under MHRW).
+    pub collisions: CollisionState,
+    /// Batch-mean statistics `(count, mean_bits, m2_bits)`.
+    pub batch: (u64, u64, u64),
+    /// The in-progress batch values `(num_bits, den_bits)`.
+    pub batch_vals: Vec<(u64, u64)>,
+}
+
+/// Mid-crawl state of the snowball baseline.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SnowballState {
+    /// The crawl frontier, front to back.
+    pub frontier: Vec<UserId>,
+    /// Visited set, sorted.
+    pub visited: Vec<UserId>,
+    /// `Σ num`, as bits.
+    pub sum_num_bits: u64,
+    /// `Σ den`, as bits.
+    pub sum_den_bits: u64,
+    /// Matching users crawled.
+    pub matches_count: u64,
+    /// Users sampled.
+    pub samples: u64,
+}
+
+/// One finished MA-TARW instance's Hansen–Hurwitz sums.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceState {
+    /// `Σ f(u)/p(u)`, as bits.
+    pub num_bits: u64,
+    /// `Σ den(u)/p(u)`, as bits.
+    pub den_bits: u64,
+    /// `Σ match(u)/p(u)`, as bits.
+    pub count_bits: u64,
+    /// Nodes with a usable probability estimate.
+    pub used: u64,
+}
+
+/// Between-instances state of MA-TARW, captured after each finished
+/// instance (and after interval selection).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TarwState {
+    /// The resolved level interval, in seconds (resume skips selection).
+    pub interval_secs: i64,
+    /// Index of the next instance to run.
+    pub next_instance: u64,
+    /// Finished instances' sums.
+    pub instances: Vec<InstanceState>,
+    /// Sampled-mode up-phase draw cache `(node, sum_bits, draws)`,
+    /// sorted; `None` when the mode keeps no cache. Exact-mode memos are
+    /// *not* stored — they recompute free from the restored client memo
+    /// and consume no randomness.
+    pub up_cache: Option<Vec<(UserId, u64, u32)>>,
+    /// Sampled-mode down-phase draw cache, like `up_cache`.
+    pub down_cache: Option<Vec<(UserId, u64, u32)>>,
+}
+
+/// One scored pilot candidate: `(interval_secs, h_bits, d_bits)`.
+pub type PilotScore = (i64, u64, u64);
+
+/// Mid-pilot state of MA-TARW interval selection: candidates already
+/// scored, in candidate order. Resume skips them (their pilot walks
+/// already consumed the RNG draws reflected in the checkpoint's
+/// [`RngState`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PilotState {
+    /// Scores of completed candidates.
+    pub done: Vec<PilotScore>,
+}
+
+/// Which sampler a checkpoint belongs to, with its mid-walk state.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SamplerState {
+    /// Simple random walk (MA-SRW and baselines).
+    Srw(SrwState),
+    /// Metropolis–Hastings random walk.
+    Mhrw(MhrwState),
+    /// BFS/DFS snowball crawl.
+    Snowball(SnowballState),
+    /// MA-TARW between instances.
+    Tarw(TarwState),
+    /// MA-TARW interval-selection pilot.
+    Pilot(PilotState),
+}
+
+/// A complete, serializable mid-run snapshot: resuming from it yields
+/// bit-identical estimates and charged totals to the uninterrupted run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WalkerCheckpoint {
+    /// Algorithm name (informational; the [`SamplerState`] variant is
+    /// what resume dispatches on).
+    pub algorithm: String,
+    /// The run's RNG seed (sanity-checked at resume).
+    pub seed: u64,
+    /// Safe points passed when the checkpoint was taken (progress
+    /// marker for logs and metrics).
+    pub steps: u64,
+    /// RNG stream position.
+    pub rng: RngState,
+    /// Client memo keys and charged-call accounting.
+    pub client: ClientState,
+    /// Sampler-specific mid-walk state.
+    pub sampler: SamplerState,
+}
+
+/// Where emitted checkpoints go. The service journals them; tests keep
+/// the latest in memory.
+pub trait CheckpointSink {
+    /// Records one checkpoint. Implementations must not assume
+    /// checkpoints arrive at any particular cadence.
+    fn record(&self, cp: &WalkerCheckpoint);
+}
+
+/// Checkpoint cadence control threaded through a recoverable run.
+///
+/// Samplers call [`CheckpointCtl::tick`] once per safe point; every
+/// `every`-th tick builds a checkpoint (lazily — disabled runs never pay
+/// for capture) and hands it to the sink.
+pub struct CheckpointCtl<'a> {
+    every: u64,
+    since: u64,
+    emitted: u64,
+    algorithm: &'static str,
+    seed: u64,
+    sink: Option<&'a dyn CheckpointSink>,
+}
+
+impl<'a> CheckpointCtl<'a> {
+    /// A control that never checkpoints — what plain `estimate` wrappers
+    /// pass.
+    pub fn disabled() -> CheckpointCtl<'static> {
+        CheckpointCtl {
+            every: 0,
+            since: 0,
+            emitted: 0,
+            algorithm: "",
+            seed: 0,
+            sink: None,
+        }
+    }
+
+    /// Checkpoints every `every` safe points into `sink` (`0` disables).
+    pub fn new(every: u64, sink: &'a dyn CheckpointSink) -> CheckpointCtl<'a> {
+        CheckpointCtl {
+            every,
+            since: 0,
+            emitted: 0,
+            algorithm: "",
+            seed: 0,
+            sink: (every > 0).then_some(sink),
+        }
+    }
+
+    /// Stamps the job identity onto emitted checkpoints.
+    pub fn set_job(&mut self, algorithm: &'static str, seed: u64) {
+        self.algorithm = algorithm;
+        self.seed = seed;
+    }
+
+    /// Whether ticks can ever emit.
+    pub fn is_enabled(&self) -> bool {
+        self.every > 0 && self.sink.is_some()
+    }
+
+    /// Checkpoints emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Counts one safe point; on every `every`-th, builds and records a
+    /// checkpoint. The builder returns `(steps, rng, client, sampler)`,
+    /// or `None` when the RNG cannot snapshot.
+    pub fn tick<F>(&mut self, build: F)
+    where
+        F: FnOnce() -> Option<(u64, RngState, ClientState, SamplerState)>,
+    {
+        let Some(sink) = self.sink else { return };
+        self.since += 1;
+        if self.since < self.every {
+            return;
+        }
+        self.since = 0;
+        if let Some((steps, rng, client, sampler)) = build() {
+            sink.record(&WalkerCheckpoint {
+                algorithm: self.algorithm.to_string(),
+                seed: self.seed,
+                steps,
+                rng,
+                client,
+                sampler,
+            });
+            self.emitted += 1;
+        }
+    }
+}
+
+/// Rebuilds a client memo from checkpointed `state`: every key is
+/// re-fetched from the pristine platform through an unmetered scratch
+/// client (responses are deterministic, so the restored memo is
+/// identical to the lost one), then the accounting is overwritten so the
+/// restored client reports exactly the checkpointed stats and meter.
+///
+/// The caller separately pre-charges the real budget with
+/// `state.charged` so budget-exhaustion behaviour replays identically.
+pub fn restore_client(
+    client: &mut CachingClient<'_>,
+    state: &ClientState,
+    store: &Platform,
+    profile: &ApiProfile,
+) -> Result<(), EstimateError> {
+    let mut scratch = MicroblogClient::new(store, profile.clone());
+    for &kw in &state.searches {
+        let hits = scratch.search(kw)?;
+        client.install_search(kw, Arc::new(hits));
+    }
+    for &u in &state.timelines {
+        let view = scratch.user_timeline(u)?;
+        client.install_timeline(u, Arc::new(view));
+    }
+    for &u in &state.connections {
+        let merged = scratch.connections(u)?;
+        client.install_connections(u, Arc::new(merged));
+    }
+    client.restore_accounting(state.stats, state.meter);
+    Ok(())
+}
+
+/// In-memory sink keeping only the most recent checkpoint — the shape
+/// recovery needs (each checkpoint supersedes its predecessors).
+#[derive(Default)]
+pub struct LatestCheckpoint {
+    latest: std::sync::Mutex<Option<WalkerCheckpoint>>,
+    count: std::sync::atomic::AtomicU64,
+}
+
+impl LatestCheckpoint {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The most recent checkpoint, if any was recorded.
+    pub fn take(&self) -> Option<WalkerCheckpoint> {
+        self.latest
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Checkpoints recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+impl CheckpointSink for LatestCheckpoint {
+    fn record(&self, cp: &WalkerCheckpoint) {
+        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = Some(cp.clone());
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// `f64` → checkpoint bits.
+#[inline]
+pub fn bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+/// Checkpoint bits → `f64`.
+#[inline]
+pub fn unbits(b: u64) -> f64 {
+    f64::from_bits(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn rng_state_round_trips_through_serde() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..37 {
+            rng.next_u32();
+        }
+        let state = rng.rng_state().unwrap();
+        let json = serde_json::to_string(&state).unwrap();
+        let back: RngState = serde_json::from_str(&json).unwrap();
+        let mut restored = back.to_chacha8().unwrap();
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), restored.next_u64());
+        }
+    }
+
+    #[test]
+    fn malformed_rng_state_is_rejected() {
+        let state = RngState {
+            key: vec![1, 2, 3],
+            stream: 0,
+            counter: 0,
+            index: 64,
+        };
+        assert!(state.to_chacha8().is_none());
+    }
+
+    #[test]
+    fn disabled_ctl_never_builds() {
+        let mut ctl = CheckpointCtl::disabled();
+        for _ in 0..1000 {
+            ctl.tick(|| panic!("disabled ctl must not call the builder"));
+        }
+        assert_eq!(ctl.emitted(), 0);
+    }
+
+    #[test]
+    fn ctl_emits_on_cadence() {
+        let sink = LatestCheckpoint::new();
+        let mut ctl = CheckpointCtl::new(10, &sink);
+        ctl.set_job("srw", 7);
+        for step in 0..35u64 {
+            ctl.tick(|| {
+                Some((
+                    step,
+                    RngState::default(),
+                    ClientState::default(),
+                    SamplerState::Pilot(PilotState::default()),
+                ))
+            });
+        }
+        assert_eq!(ctl.emitted(), 3);
+        assert_eq!(sink.count(), 3);
+        let cp = sink.take().unwrap();
+        assert_eq!(cp.algorithm, "srw");
+        assert_eq!(cp.seed, 7);
+        assert_eq!(cp.steps, 29); // ticks 10, 20, 30 → steps 9, 19, 29
+    }
+
+    #[test]
+    fn checkpoint_serde_round_trips_bit_exactly() {
+        let cp = WalkerCheckpoint {
+            algorithm: "ma-tarw".into(),
+            seed: 42,
+            steps: 1234,
+            rng: ChaCha8Rng::seed_from_u64(42).rng_state().unwrap(),
+            client: ClientState::default(),
+            sampler: SamplerState::Tarw(TarwState {
+                interval_secs: 86_400,
+                next_instance: 3,
+                instances: vec![InstanceState {
+                    num_bits: bits(1.5),
+                    den_bits: bits(0.1 + 0.2), // a value with a long mantissa
+                    count_bits: bits(-0.0),
+                    used: 4,
+                }],
+                up_cache: Some(vec![(UserId(9), bits(0.25), 12)]),
+                down_cache: None,
+            }),
+        };
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: WalkerCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cp);
+    }
+}

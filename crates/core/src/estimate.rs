@@ -61,6 +61,21 @@ impl RunningStats {
         self.n
     }
 
+    /// Snapshot as `(count, mean_bits, m2_bits)` for walker checkpoints
+    /// (floats as raw IEEE-754 bits, so serialization is bit-exact).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (self.n, self.mean.to_bits(), self.m2.to_bits())
+    }
+
+    /// Rebuilds the accumulator from a [`RunningStats::snapshot`].
+    pub fn restore(state: (u64, u64, u64)) -> Self {
+        RunningStats {
+            n: state.0,
+            mean: f64::from_bits(state.1),
+            m2: f64::from_bits(state.2),
+        }
+    }
+
     /// Sample mean (0.0 when empty).
     pub fn mean(&self) -> f64 {
         self.mean

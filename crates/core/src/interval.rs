@@ -7,6 +7,7 @@
 //! and pick the maximum. Only the ranking matters, so the unknown graph
 //! size `n` is fixed to a common reference value across candidates.
 
+use crate::checkpoint::{CheckpointCtl, CheckpointRng, PilotState, SamplerState};
 use crate::error::EstimateError;
 use crate::query::AggregateQuery;
 use crate::view::{QueryGraph, ViewKind};
@@ -48,7 +49,7 @@ pub struct IntervalScore {
 /// Budget exhaustion mid-pilot is tolerated: candidates already scored are
 /// used, and the current candidate is scored from whatever the partial
 /// pilot saw.
-pub fn score_intervals<R: Rng>(
+pub fn score_intervals<R: CheckpointRng>(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     seeds: &[UserId],
@@ -56,13 +57,62 @@ pub fn score_intervals<R: Rng>(
     pilot_steps: usize,
     rng: &mut R,
 ) -> Result<Vec<IntervalScore>, EstimateError> {
+    score_intervals_recoverable(
+        client,
+        query,
+        seeds,
+        candidates,
+        pilot_steps,
+        rng,
+        &mut CheckpointCtl::disabled(),
+        None,
+    )
+}
+
+/// [`score_intervals`] with checkpointing: a [`SamplerState::Pilot`]
+/// checkpoint is offered before each candidate's pilot walk, and `resume`
+/// skips candidates whose scores the checkpoint already carries (their
+/// pilot walks' RNG draws are reflected in the restored RNG state).
+#[allow(clippy::too_many_arguments)]
+pub fn score_intervals_recoverable<R: CheckpointRng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    seeds: &[UserId],
+    candidates: &[Duration],
+    pilot_steps: usize,
+    rng: &mut R,
+    ctl: &mut CheckpointCtl<'_>,
+    resume: Option<&PilotState>,
+) -> Result<Vec<IntervalScore>, EstimateError> {
     if seeds.is_empty() {
         return Err(EstimateError::NoSeeds);
     }
     let tracer = client.tracer().clone();
     tracer.set_phase(WalkPhase::Pilot);
     let mut scores = Vec::with_capacity(candidates.len());
-    for &interval in candidates {
+    let mut done: Vec<(i64, u64, u64)> = Vec::new();
+    if let Some(state) = resume {
+        for &(secs, h_bits, d_bits) in &state.done {
+            scores.push(IntervalScore {
+                interval: Duration(secs),
+                h: f64::from_bits(h_bits),
+                d: f64::from_bits(d_bits),
+                conductance: f64::NAN,
+            });
+        }
+        done.clone_from(&state.done);
+    }
+    for &interval in candidates.iter().skip(done.len()) {
+        // Safe point between candidates: completed scores plus the RNG
+        // position fully determine the remaining pilots.
+        ctl.tick(|| {
+            Some((
+                done.len() as u64,
+                rng.rng_state()?,
+                client.checkpoint_state(),
+                SamplerState::Pilot(PilotState { done: done.clone() }),
+            ))
+        });
         let (h, d) = match pilot(client, query, interval, seeds, pilot_steps, rng) {
             Ok(hd) => hd,
             Err(e) if e.ends_walk() => break,
@@ -77,6 +127,7 @@ pub fn score_intervals<R: Rng>(
                 ("d", FieldValue::F64(d)),
             ],
         );
+        done.push((interval.0, h.to_bits(), d.to_bits()));
         // Reference size: common across candidates, far enough above d·h
         // that Eq. (3)'s domain (d < n/h) holds for every candidate.
         scores.push(IntervalScore {
@@ -113,20 +164,44 @@ pub fn score_intervals<R: Rng>(
 }
 
 /// Picks the best interval (first of [`score_intervals`]).
-pub fn select_interval<R: Rng>(
+pub fn select_interval<R: CheckpointRng>(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     seeds: &[UserId],
     pilot_steps: usize,
     rng: &mut R,
 ) -> Result<IntervalScore, EstimateError> {
-    let scores = score_intervals(
+    select_interval_recoverable(
+        client,
+        query,
+        seeds,
+        pilot_steps,
+        rng,
+        &mut CheckpointCtl::disabled(),
+        None,
+    )
+}
+
+/// [`select_interval`] with checkpointing (see
+/// [`score_intervals_recoverable`]).
+pub fn select_interval_recoverable<R: CheckpointRng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    seeds: &[UserId],
+    pilot_steps: usize,
+    rng: &mut R,
+    ctl: &mut CheckpointCtl<'_>,
+    resume: Option<&PilotState>,
+) -> Result<IntervalScore, EstimateError> {
+    let scores = score_intervals_recoverable(
         client,
         query,
         seeds,
         &candidate_intervals(),
         pilot_steps,
         rng,
+        ctl,
+        resume,
     )?;
     let best = scores[0]; // ma-lint: allow(panic-safety) reason="score_intervals yields one score per candidate; the candidate list is non-empty"
     client.tracer().emit(

@@ -63,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod analyzer;
+pub mod checkpoint;
 pub mod error;
 pub mod estimate;
 pub mod interval;
@@ -84,6 +85,10 @@ pub mod prelude {
 }
 
 pub use analyzer::{Algorithm, MicroblogAnalyzer, RunReport};
+pub use checkpoint::{
+    CheckpointCtl, CheckpointRng, CheckpointSink, LatestCheckpoint, RngState, SamplerState,
+    WalkerCheckpoint,
+};
 pub use error::EstimateError;
 pub use estimate::Estimate;
 pub use query::{Aggregate, AggregateQuery};

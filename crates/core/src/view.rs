@@ -17,11 +17,12 @@ use crate::level::LevelAssigner;
 use crate::query::AggregateQuery;
 use microblog_api::{ApiError, CachingClient, UserView};
 use microblog_platform::{Duration, TimeWindow, UserId};
+use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::sync::Arc;
 
 /// Which subgraph the walker sees.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub enum ViewKind {
     /// The whole undirected social graph.
     FullGraph,
@@ -121,6 +122,11 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
 
     /// Mutable access to the underlying client (seed search etc.).
     pub fn client_mut(&mut self) -> &mut CachingClient<'p> {
+        self.client
+    }
+
+    /// Shared access to the underlying client (checkpoint capture).
+    pub fn client(&self) -> &CachingClient<'p> {
         self.client
     }
 

@@ -9,6 +9,7 @@
 //! proposal costs a neighbor fetch of `v` whether accepted or not, and
 //! rejected proposals stall the chain.
 
+use crate::checkpoint::{CheckpointCtl, CheckpointRng, MhrwState, SamplerState};
 use crate::error::EstimateError;
 use crate::estimate::{Estimate, RunningStats};
 use crate::query::{Aggregate, AggregateQuery};
@@ -18,7 +19,6 @@ use microblog_api::CachingClient;
 use microblog_graph::sizing::CollisionCounter;
 use microblog_obs::{Category, FieldValue, WalkPhase};
 use microblog_platform::UserId;
-use rand::Rng;
 
 /// Configuration of the MHRW estimator.
 #[derive(Clone, Copy, Debug)]
@@ -52,41 +52,116 @@ impl MhrwConfig {
 /// population-size estimate, for which the collision counter is fed with
 /// degree 1 for every node (uniform sampling is the `d ≡ const` special
 /// case of the Katzir estimator).
-pub fn estimate<R: Rng>(
+pub fn estimate<R: CheckpointRng>(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     config: &MhrwConfig,
     rng: &mut R,
 ) -> Result<Estimate, EstimateError> {
+    estimate_recoverable(
+        client,
+        query,
+        config,
+        rng,
+        &mut CheckpointCtl::disabled(),
+        None,
+    )
+}
+
+/// [`estimate`] with checkpointing: emits [`SamplerState::Mhrw`]
+/// checkpoints through `ctl` and resumes bit-identically from `resume`
+/// (client memo and RNG restored by the caller).
+pub fn estimate_recoverable<R: CheckpointRng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    config: &MhrwConfig,
+    rng: &mut R,
+    ctl: &mut CheckpointCtl<'_>,
+    resume: Option<&MhrwState>,
+) -> Result<Estimate, EstimateError> {
     let tracer = client.tracer().clone();
     let seeds = fetch_seeds(client, query)?;
     let now = client.now();
     let mut graph = QueryGraph::new(client, query, config.view);
-    let mut phase = if config.burn_in > 0 {
+
+    let mut sum_num;
+    let mut sum_den;
+    let mut sum_match;
+    let mut samples;
+    let mut collisions;
+    let mut batch;
+    let mut batch_vals: Vec<(f64, f64)>; // (num, den-equivalent)
+    const BATCH: usize = 64;
+
+    let mut current;
+    let mut cur_deg: Option<usize> = None;
+    let mut step;
+    let mut total_steps;
+    match resume {
+        Some(state) => {
+            sum_num = f64::from_bits(state.sum_num_bits);
+            sum_den = f64::from_bits(state.sum_den_bits);
+            sum_match = f64::from_bits(state.sum_match_bits);
+            samples = state.samples as usize;
+            collisions = CollisionCounter::restore(&state.collisions);
+            batch = RunningStats::restore(state.batch);
+            batch_vals = state
+                .batch_vals
+                .iter()
+                .map(|&(n, d)| (f64::from_bits(n), f64::from_bits(d)))
+                .collect();
+            current = state.current;
+            step = state.step as usize;
+            total_steps = state.total_steps as usize;
+        }
+        None => {
+            sum_num = 0.0;
+            sum_den = 0.0;
+            sum_match = 0.0;
+            samples = 0usize;
+            collisions = CollisionCounter::new();
+            batch = RunningStats::new();
+            batch_vals = Vec::new();
+            current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+            step = 0usize;
+            total_steps = 0usize;
+        }
+    }
+    let mut phase = if config.burn_in > 0 && step < config.burn_in {
         WalkPhase::BurnIn
     } else {
         WalkPhase::Walk
     };
     tracer.set_phase(phase);
-
-    let mut sum_num = 0.0;
-    let mut sum_den = 0.0;
-    let mut sum_match = 0.0;
-    let mut samples = 0usize;
-    let mut collisions = CollisionCounter::new();
-    let mut batch = RunningStats::new();
-    let mut batch_vals: Vec<(f64, f64)> = Vec::new(); // (num, den-equivalent)
-    const BATCH: usize = 64;
-
-    let mut current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
-    let mut cur_deg: Option<usize> = None;
-    let mut step = 0usize;
-    let mut total_steps = 0usize;
     // Two neighbor buffers (current node + proposal) reused across the
     // whole walk, so each MH transition allocates nothing.
     let mut nbrs: Vec<UserId> = Vec::new();
     let mut prop_nbrs: Vec<UserId> = Vec::new();
     loop {
+        // Safe point: the captured tuple fully determines the rest of
+        // the walk (`cur_deg` is recomputed every iteration).
+        ctl.tick(|| {
+            Some((
+                total_steps as u64,
+                rng.rng_state()?,
+                graph.client().checkpoint_state(),
+                SamplerState::Mhrw(MhrwState {
+                    current,
+                    step: step as u64,
+                    total_steps: total_steps as u64,
+                    sum_num_bits: sum_num.to_bits(),
+                    sum_den_bits: sum_den.to_bits(),
+                    sum_match_bits: sum_match.to_bits(),
+                    samples: samples as u64,
+                    collisions: collisions.snapshot(),
+                    batch: batch.snapshot(),
+                    batch_vals: batch_vals
+                        .iter()
+                        .map(|&(n, d)| (n.to_bits(), d.to_bits()))
+                        .collect(),
+                }),
+            ))
+        });
         if total_steps >= config.max_steps {
             break;
         }

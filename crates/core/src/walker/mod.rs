@@ -118,6 +118,31 @@ impl SampleAccumulator {
         self.samples
     }
 
+    /// Serializes the accumulator for a walker checkpoint (floats as
+    /// raw bits so resume is bit-identical).
+    pub(crate) fn snapshot(&self) -> crate::checkpoint::AccumState {
+        crate::checkpoint::AccumState {
+            s0_bits: self.s0.to_bits(),
+            s_match_bits: self.s_match.to_bits(),
+            s_num_bits: self.s_num.to_bits(),
+            s_den_bits: self.s_den.to_bits(),
+            collisions: self.collisions.snapshot(),
+            samples: self.samples as u64,
+        }
+    }
+
+    /// Rebuilds an accumulator from checkpointed state.
+    pub(crate) fn restore(state: &crate::checkpoint::AccumState) -> Self {
+        SampleAccumulator {
+            s0: f64::from_bits(state.s0_bits),
+            s_match: f64::from_bits(state.s_match_bits),
+            s_num: f64::from_bits(state.s_num_bits),
+            s_den: f64::from_bits(state.s_den_bits),
+            collisions: CollisionCounter::restore(&state.collisions),
+            samples: state.samples as usize,
+        }
+    }
+
     /// The Katzir population-size estimate of the *walked graph*.
     pub(crate) fn size_estimate(&self) -> Option<f64> {
         self.collisions.estimate()

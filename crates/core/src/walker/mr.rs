@@ -7,13 +7,13 @@
 //! expensive than MA-SRW's reuse of every post-burn-in visit — the
 //! separation visible in Figures 10 and 13.
 
+use crate::checkpoint::CheckpointRng;
 use crate::error::EstimateError;
 use crate::estimate::Estimate;
 use crate::query::{Aggregate, AggregateQuery};
 use crate::view::ViewKind;
 use crate::walker::srw::{estimate as srw_estimate, SrwConfig};
 use microblog_api::CachingClient;
-use rand::Rng;
 
 /// Configuration of the M&R baseline.
 #[derive(Clone, Copy, Debug)]
@@ -37,6 +37,17 @@ impl MrConfig {
             spacing: 25,
         }
     }
+
+    /// The underlying SRW configuration M&R runs with.
+    fn srw(&self) -> SrwConfig {
+        SrwConfig {
+            view: self.view,
+            burn_in: self.burn_in,
+            thinning: self.spacing,
+            collision_spacing: 1,
+            max_steps: 400_000,
+        }
+    }
 }
 
 /// Runs M&R until the client's budget is exhausted.
@@ -44,7 +55,7 @@ impl MrConfig {
 /// Only COUNT queries are supported — the method estimates population
 /// sizes (the paper adapted [15], which "does not directly support"
 /// anything else).
-pub fn estimate<R: Rng>(
+pub fn estimate<R: CheckpointRng>(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     config: &MrConfig,
@@ -53,14 +64,23 @@ pub fn estimate<R: Rng>(
     if !matches!(query.aggregate, Aggregate::Count) {
         return Err(EstimateError::Unsupported("M&R only estimates COUNT"));
     }
-    let srw = SrwConfig {
-        view: config.view,
-        burn_in: config.burn_in,
-        thinning: config.spacing,
-        collision_spacing: 1,
-        max_steps: 400_000,
-    };
-    srw_estimate(client, query, &srw, rng)
+    srw_estimate(client, query, &config.srw(), rng)
+}
+
+/// [`estimate`] with checkpointing — M&R is an SRW configuration, so its
+/// checkpoints are [`crate::checkpoint::SamplerState::Srw`] states.
+pub fn estimate_recoverable<R: CheckpointRng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    config: &MrConfig,
+    rng: &mut R,
+    ctl: &mut crate::checkpoint::CheckpointCtl<'_>,
+    resume: Option<&crate::checkpoint::SrwState>,
+) -> Result<Estimate, EstimateError> {
+    if !matches!(query.aggregate, Aggregate::Count) {
+        return Err(EstimateError::Unsupported("M&R only estimates COUNT"));
+    }
+    crate::walker::srw::estimate_recoverable(client, query, &config.srw(), rng, ctl, resume)
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 //! why the paper's estimators are walk-based. This module provides them as
 //! baselines so that bias is demonstrable.
 
+use crate::checkpoint::{CheckpointCtl, CheckpointRng, SamplerState, SnowballState};
 use crate::error::EstimateError;
 use crate::estimate::Estimate;
 use crate::query::{Aggregate, AggregateQuery};
@@ -16,11 +17,11 @@ use crate::view::{QueryGraph, ViewKind};
 use microblog_api::CachingClient;
 use microblog_platform::UserId;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashSet, VecDeque};
 
 /// Crawl order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CrawlOrder {
     /// Breadth-first (queue).
     Bfs,
@@ -66,32 +67,93 @@ impl SnowballConfig {
 /// COUNT is estimated as the number of *distinct matching users crawled*,
 /// a lower bound that only becomes exact when the crawl exhausts the
 /// subgraph. AVG/ratio aggregates are plain sample means.
-pub fn estimate<R: Rng>(
+pub fn estimate<R: CheckpointRng>(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     config: &SnowballConfig,
     rng: &mut R,
+) -> Result<Estimate, EstimateError> {
+    estimate_recoverable(
+        client,
+        query,
+        config,
+        rng,
+        &mut CheckpointCtl::disabled(),
+        None,
+    )
+}
+
+/// [`estimate`] with checkpointing: emits [`SamplerState::Snowball`]
+/// checkpoints through `ctl` and resumes bit-identically from `resume`
+/// (client memo and RNG restored by the caller).
+pub fn estimate_recoverable<R: CheckpointRng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    config: &SnowballConfig,
+    rng: &mut R,
+    ctl: &mut CheckpointCtl<'_>,
+    resume: Option<&SnowballState>,
 ) -> Result<Estimate, EstimateError> {
     let seeds = fetch_seeds(client, query)?;
     let now = client.now();
     let mut graph = QueryGraph::new(client, query, config.view);
 
     let mut frontier: VecDeque<UserId> = VecDeque::new();
-    let mut shuffled = seeds.clone();
-    shuffled.shuffle(rng);
-    frontier.extend(shuffled);
-    let mut visited: HashSet<UserId> = HashSet::new();
-    let mut sum_num = 0.0;
-    let mut sum_den = 0.0;
-    let mut matches_count = 0usize;
-    let mut samples = 0usize;
+    let mut visited: HashSet<UserId>;
+    let mut sum_num;
+    let mut sum_den;
+    let mut matches_count;
+    let mut samples;
+    match resume {
+        Some(state) => {
+            frontier.extend(state.frontier.iter().copied());
+            // ma-lint: allow(determinism) reason="state.visited is the checkpoint's sorted Vec, not the hash set; Vec iteration is ordered"
+            visited = state.visited.iter().copied().collect();
+            sum_num = f64::from_bits(state.sum_num_bits);
+            sum_den = f64::from_bits(state.sum_den_bits);
+            matches_count = state.matches_count as usize;
+            samples = state.samples as usize;
+        }
+        None => {
+            let mut shuffled = seeds.clone();
+            shuffled.shuffle(rng);
+            frontier.extend(shuffled);
+            visited = HashSet::new();
+            sum_num = 0.0;
+            sum_den = 0.0;
+            matches_count = 0usize;
+            samples = 0usize;
+        }
+    }
     // One neighbor buffer for the whole crawl.
     let mut nbrs: Vec<UserId> = Vec::new();
 
-    while let Some(u) = match config.order {
-        CrawlOrder::Bfs => frontier.pop_front(),
-        CrawlOrder::Dfs => frontier.pop_back(),
-    } {
+    loop {
+        // Safe point, before the next frontier pop.
+        ctl.tick(|| {
+            // ma-lint: allow(determinism) reason="collected then sorted on the next line; hash order cannot reach the checkpoint bytes"
+            let mut sorted: Vec<UserId> = visited.iter().copied().collect();
+            sorted.sort_unstable_by_key(|u| u.0);
+            Some((
+                samples as u64,
+                rng.rng_state()?,
+                graph.client().checkpoint_state(),
+                SamplerState::Snowball(SnowballState {
+                    frontier: frontier.iter().copied().collect(),
+                    visited: sorted,
+                    sum_num_bits: sum_num.to_bits(),
+                    sum_den_bits: sum_den.to_bits(),
+                    matches_count: matches_count as u64,
+                    samples: samples as u64,
+                }),
+            ))
+        });
+        let Some(u) = (match config.order {
+            CrawlOrder::Bfs => frontier.pop_front(),
+            CrawlOrder::Dfs => frontier.pop_back(),
+        }) else {
+            break;
+        };
         if !visited.insert(u) {
             continue;
         }

@@ -8,6 +8,7 @@
 //! paper's **MA-SRW**; over [`ViewKind::TermInduced`] /
 //! [`ViewKind::FullGraph`] it is the respective baseline of Figures 2–3.
 
+use crate::checkpoint::{CheckpointCtl, CheckpointRng, SamplerState, SrwState};
 use crate::error::EstimateError;
 use crate::estimate::{Estimate, RunningStats};
 use crate::query::AggregateQuery;
@@ -17,7 +18,6 @@ use microblog_api::CachingClient;
 use microblog_graph::diagnostics::geweke_z_default;
 use microblog_obs::{Category, FieldValue, WalkPhase};
 use microblog_platform::UserId;
-use rand::Rng;
 
 /// Emit a running Geweke z-score every this many kept samples (tracing
 /// only; the chain history is not accumulated otherwise).
@@ -58,27 +58,69 @@ impl SrwConfig {
 ///
 /// Dangling nodes (no neighbors under the view) restart the chain from a
 /// fresh random seed, paying that chain's burn-in again.
-pub fn estimate<R: Rng>(
+pub fn estimate<R: CheckpointRng>(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     config: &SrwConfig,
     rng: &mut R,
 ) -> Result<Estimate, EstimateError> {
+    estimate_recoverable(
+        client,
+        query,
+        config,
+        rng,
+        &mut CheckpointCtl::disabled(),
+        None,
+    )
+}
+
+/// [`estimate`] with checkpointing: emits a [`SamplerState::Srw`]
+/// checkpoint through `ctl` at its cadence, and resumes bit-identically
+/// from `resume` (the caller must have restored the client memo and RNG
+/// from the same checkpoint first).
+pub fn estimate_recoverable<R: CheckpointRng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    config: &SrwConfig,
+    rng: &mut R,
+    ctl: &mut CheckpointCtl<'_>,
+    resume: Option<&SrwState>,
+) -> Result<Estimate, EstimateError> {
     let tracer = client.tracer().clone();
     let seeds = fetch_seeds(client, query)?;
     let now = client.now();
     let mut graph = QueryGraph::new(client, query, config.view);
-    let mut accum = super::SampleAccumulator::new();
+    let mut accum;
     // Batch means for a standard error on AVG-style outputs.
-    let mut batch = RunningStats::new();
-    let mut batch_accum = super::SampleAccumulator::new();
+    let mut batch;
+    let mut batch_accum;
     const BATCH: usize = 64;
 
-    let mut current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
-    let mut step_in_chain = 0usize;
-    let mut total_steps = 0usize;
-    let mut kept = 0usize;
-    let mut phase = if config.burn_in > 0 {
+    let mut current;
+    let mut step_in_chain;
+    let mut total_steps;
+    let mut kept;
+    match resume {
+        Some(state) => {
+            accum = super::SampleAccumulator::restore(&state.accum);
+            batch = RunningStats::restore(state.batch);
+            batch_accum = super::SampleAccumulator::restore(&state.batch_accum);
+            current = state.current;
+            step_in_chain = state.step_in_chain as usize;
+            total_steps = state.total_steps as usize;
+            kept = state.kept as usize;
+        }
+        None => {
+            accum = super::SampleAccumulator::new();
+            batch = RunningStats::new();
+            batch_accum = super::SampleAccumulator::new();
+            current = seeds[rng.gen_range(0..seeds.len())]; // ma-lint: allow(panic-safety) reason="index sampled from gen_range(0..len), in range by construction"
+            step_in_chain = 0usize;
+            total_steps = 0usize;
+            kept = 0usize;
+        }
+    }
+    let mut phase = if config.burn_in > 0 && step_in_chain < config.burn_in {
         WalkPhase::BurnIn
     } else {
         WalkPhase::Walk
@@ -91,6 +133,24 @@ pub fn estimate<R: Rng>(
     // nothing once the buffer has grown to the view's maximum degree.
     let mut nbrs: Vec<UserId> = Vec::new();
     loop {
+        // The top of the loop is the safe point: the captured tuple fully
+        // determines the remainder of the walk.
+        ctl.tick(|| {
+            Some((
+                total_steps as u64,
+                rng.rng_state()?,
+                graph.client().checkpoint_state(),
+                SamplerState::Srw(SrwState {
+                    current,
+                    step_in_chain: step_in_chain as u64,
+                    total_steps: total_steps as u64,
+                    kept: kept as u64,
+                    accum: accum.snapshot(),
+                    batch: batch.snapshot(),
+                    batch_accum: batch_accum.snapshot(),
+                }),
+            ))
+        });
         if total_steps >= config.max_steps {
             break;
         }

@@ -23,9 +23,10 @@
 //! COUNT totals across instances. Root probabilities can be cached and
 //! reused across instances (§5.2's "single cache" optimization).
 
+use crate::checkpoint::{CheckpointCtl, CheckpointRng, InstanceState, SamplerState, TarwState};
 use crate::error::EstimateError;
 use crate::estimate::{Estimate, RunningStats};
-use crate::interval::select_interval;
+use crate::interval::select_interval_recoverable;
 use crate::query::{Aggregate, AggregateQuery};
 use crate::seeds::fetch_seeds;
 use crate::view::{QueryGraph, ViewKind};
@@ -95,18 +96,99 @@ struct InstanceSums {
     used: usize,
 }
 
+impl InstanceSums {
+    fn snapshot(&self) -> InstanceState {
+        InstanceState {
+            num_bits: self.num.to_bits(),
+            den_bits: self.den.to_bits(),
+            count_bits: self.count.to_bits(),
+            used: self.used as u64,
+        }
+    }
+
+    fn restore(state: &InstanceState) -> Self {
+        InstanceSums {
+            num: f64::from_bits(state.num_bits),
+            den: f64::from_bits(state.den_bits),
+            count: f64::from_bits(state.count_bits),
+            used: state.used as usize,
+        }
+    }
+}
+
 /// Runs MA-TARW until the budget is exhausted (or `max_instances`).
-pub fn estimate<R: Rng>(
+pub fn estimate<R: CheckpointRng>(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     config: &TarwConfig,
     rng: &mut R,
 ) -> Result<Estimate, EstimateError> {
+    estimate_recoverable(
+        client,
+        query,
+        config,
+        rng,
+        &mut CheckpointCtl::disabled(),
+        None,
+    )
+}
+
+/// [`estimate`] with checkpointing: emits [`SamplerState::Pilot`]
+/// checkpoints during interval selection and [`SamplerState::Tarw`]
+/// checkpoints between walk instances, and resumes bit-identically from
+/// either (client memo and RNG restored by the caller).
+pub fn estimate_recoverable<R: CheckpointRng>(
+    client: &mut CachingClient<'_>,
+    query: &AggregateQuery,
+    config: &TarwConfig,
+    rng: &mut R,
+    ctl: &mut CheckpointCtl<'_>,
+    resume: Option<&SamplerState>,
+) -> Result<Estimate, EstimateError> {
     let tracer = client.tracer().clone();
     let seeds = fetch_seeds(client, query)?;
-    let interval = match config.interval {
-        Some(t) => t,
-        None => select_interval(client, query, &seeds, config.pilot_steps, rng)?.interval,
+    let (interval, tarw_resume) = match resume {
+        Some(SamplerState::Tarw(state)) => {
+            // Interval selection (if any) already happened before the
+            // checkpoint; its RNG draws are baked into the restored RNG.
+            (Duration(state.interval_secs), Some(state))
+        }
+        Some(SamplerState::Pilot(pilot)) => {
+            let interval = select_interval_recoverable(
+                client,
+                query,
+                &seeds,
+                config.pilot_steps,
+                rng,
+                ctl,
+                Some(pilot),
+            )?
+            .interval;
+            (interval, None)
+        }
+        Some(_) => {
+            return Err(EstimateError::Unsupported(
+                "checkpoint does not belong to MA-TARW",
+            ))
+        }
+        None => {
+            let interval = match config.interval {
+                Some(t) => t,
+                None => {
+                    select_interval_recoverable(
+                        client,
+                        query,
+                        &seeds,
+                        config.pilot_steps,
+                        rng,
+                        ctl,
+                        None,
+                    )?
+                    .interval
+                }
+            };
+            (interval, None)
+        }
     };
     let mut graph = QueryGraph::new(client, query, ViewKind::level(interval));
     let cache = matches!(config.p_mode, PMode::Sampled { cache: true, .. });
@@ -122,7 +204,33 @@ pub fn estimate<R: Rng>(
     };
 
     let mut instances: Vec<InstanceSums> = Vec::new();
-    for i in 0..config.max_instances {
+    let mut start = 0usize;
+    if let Some(state) = tarw_resume {
+        instances = state.instances.iter().map(InstanceSums::restore).collect();
+        start = state.next_instance as usize;
+        // Exact-mode memos are *not* checkpointed: they recompute free
+        // from the restored client memo and consume no randomness. The
+        // sampled-mode draw caches do consume RNG, so they round-trip.
+        walker
+            .prob
+            .restore_caches(&state.up_cache, &state.down_cache);
+    }
+    for i in start..config.max_instances {
+        // Safe point between instances.
+        ctl.tick(|| {
+            Some((
+                i as u64,
+                rng.rng_state()?,
+                walker.graph.client().checkpoint_state(),
+                SamplerState::Tarw(TarwState {
+                    interval_secs: interval.0,
+                    next_instance: i as u64,
+                    instances: instances.iter().map(InstanceSums::snapshot).collect(),
+                    up_cache: walker.prob.up_cache_state(),
+                    down_cache: walker.prob.down_cache_state(),
+                }),
+            ))
+        });
         let span = tracer.span_start(
             Category::Walk,
             "tarw_instance",
@@ -255,6 +363,58 @@ impl ProbabilityEstimator {
             exact_down: HashMap::new(),
             target_draws: 12,
         }
+    }
+
+    /// Serializes the up-phase draw cache for a checkpoint (sorted by
+    /// node; `None` when draw caching is off).
+    pub(crate) fn up_cache_state(&self) -> Option<Vec<(UserId, u64, u32)>> {
+        Self::cache_state(&self.up_cache)
+    }
+
+    /// Serializes the down-phase draw cache for a checkpoint.
+    pub(crate) fn down_cache_state(&self) -> Option<Vec<(UserId, u64, u32)>> {
+        Self::cache_state(&self.down_cache)
+    }
+
+    fn cache_state(cache: &Option<HashMap<UserId, PAverage>>) -> Option<Vec<(UserId, u64, u32)>> {
+        cache.as_ref().map(|c| {
+            let mut entries: Vec<(UserId, u64, u32)> = c
+                .iter()
+                .map(|(&u, avg)| (u, avg.sum.to_bits(), avg.n))
+                .collect();
+            entries.sort_unstable_by_key(|e| e.0 .0);
+            entries
+        })
+    }
+
+    /// Restores both draw caches from checkpointed state (the cached
+    /// draws consumed RNG, so dropping them would desynchronize resume).
+    pub(crate) fn restore_caches(
+        &mut self,
+        up: &Option<Vec<(UserId, u64, u32)>>,
+        down: &Option<Vec<(UserId, u64, u32)>>,
+    ) {
+        if let Some(entries) = up {
+            self.up_cache = Some(Self::cache_from(entries));
+        }
+        if let Some(entries) = down {
+            self.down_cache = Some(Self::cache_from(entries));
+        }
+    }
+
+    fn cache_from(entries: &[(UserId, u64, u32)]) -> HashMap<UserId, PAverage> {
+        entries
+            .iter()
+            .map(|&(u, sum_bits, n)| {
+                (
+                    u,
+                    PAverage {
+                        sum: f64::from_bits(sum_bits),
+                        n,
+                    },
+                )
+            })
+            .collect()
     }
 
     /// Exact up-phase visit probability `p̄(u)` via the memoized Eq. (6)

@@ -1,0 +1,297 @@
+//! Crash-resume bit-identity: a run resumed from **any** checkpoint must
+//! produce the same estimate, charged total and sample counts — to the
+//! bit — as the uninterrupted run, for every sampler, with and without
+//! injected API faults.
+//!
+//! The harness runs each algorithm once end-to-end with a
+//! capture-everything sink, then re-runs the job from a spread of its
+//! checkpoints (after a JSON round trip, so serialization is part of the
+//! property) and compares outcomes via `f64::to_bits`. Fault-plan runs
+//! rebuild a fresh [`FaultyPlatform`] for the resumed run — crash
+//! recovery restarts the process, and fault draws are pure functions of
+//! `(seed, endpoint, key, attempt)`, so per-key attempt counters replay
+//! identically.
+
+use microblog_analyzer::checkpoint::{CheckpointSink, WalkerCheckpoint};
+use microblog_analyzer::prelude::*;
+use microblog_analyzer::walker::snowball::CrawlOrder;
+use microblog_analyzer::{Algorithm, CheckpointCtl};
+use microblog_api::RetryPolicy;
+use microblog_obs::Tracer;
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::{ApiBackend, Duration, FaultPlan, FaultyPlatform, UserMetric};
+use std::sync::{Arc, Mutex};
+
+/// Sink keeping every emitted checkpoint.
+#[derive(Default)]
+struct CaptureAll(Mutex<Vec<WalkerCheckpoint>>);
+
+impl CheckpointSink for CaptureAll {
+    fn record(&self, cp: &WalkerCheckpoint) {
+        self.0
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(cp.clone());
+    }
+}
+
+fn scenario() -> Scenario {
+    twitter_2013(Scale::Tiny, 2014)
+}
+
+fn avg_query(s: &Scenario) -> AggregateQuery {
+    AggregateQuery::avg(UserMetric::FollowerCount, s.keyword("privacy").unwrap())
+        .in_window(s.window)
+}
+
+fn count_query(s: &Scenario) -> AggregateQuery {
+    AggregateQuery::count(s.keyword("new york").unwrap()).in_window(s.window)
+}
+
+/// Picks a spread of checkpoints: earliest, a middle one, and the last.
+fn spread(cps: &[WalkerCheckpoint]) -> Vec<&WalkerCheckpoint> {
+    match cps.len() {
+        0 => Vec::new(),
+        1 => vec![&cps[0]],
+        2 => vec![&cps[0], &cps[1]],
+        n => vec![&cps[0], &cps[n / 2], &cps[n - 1]],
+    }
+}
+
+/// Runs `algorithm` uninterrupted with checkpointing, then resumes from a
+/// spread of checkpoints and asserts bit-identical outcomes.
+fn assert_resume_bit_identical(
+    backend_of: &dyn Fn() -> Box<dyn ApiBackend>,
+    policy: &RetryPolicy,
+    query: &AggregateQuery,
+    algorithm: Algorithm,
+    budget: u64,
+    seed: u64,
+    every: u64,
+) {
+    let sink = CaptureAll::default();
+    let base_backend = backend_of();
+    let analyzer =
+        microblog_analyzer::MicroblogAnalyzer::with_backend(&*base_backend, ApiProfile::twitter());
+    let mut ctl = CheckpointCtl::new(every, &sink);
+    let base = analyzer.run_recoverable(
+        query,
+        budget,
+        algorithm,
+        seed,
+        None,
+        policy,
+        Tracer::disabled(),
+        &mut ctl,
+        None,
+    );
+    let cps = sink.0.into_inner().unwrap_or_else(|e| e.into_inner());
+    assert!(
+        !cps.is_empty(),
+        "{} emitted no checkpoints (cadence {every})",
+        algorithm.name()
+    );
+    for cp in spread(&cps) {
+        // Serialization is part of the property: resume from the JSON
+        // round trip of the checkpoint, not the in-memory object.
+        let json = serde_json::to_string(cp).expect("checkpoint serializes");
+        let restored: WalkerCheckpoint = serde_json::from_str(&json).expect("checkpoint parses");
+        assert_eq!(&restored, cp, "checkpoint JSON round trip drifted");
+
+        // A crash restarts the process: fresh backend, fresh client.
+        let resumed_backend = backend_of();
+        let resumed_analyzer = microblog_analyzer::MicroblogAnalyzer::with_backend(
+            &*resumed_backend,
+            ApiProfile::twitter(),
+        );
+        let resumed = resumed_analyzer.run_recoverable(
+            query,
+            budget,
+            algorithm,
+            seed,
+            None,
+            policy,
+            Tracer::disabled(),
+            &mut CheckpointCtl::disabled(),
+            Some(&restored),
+        );
+        let ctx = format!("{} from checkpoint at steps={}", algorithm.name(), cp.steps);
+        assert_eq!(
+            base.charged, resumed.charged,
+            "{ctx}: charged totals diverged"
+        );
+        match (&base.outcome, &resumed.outcome) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(
+                    a.value.to_bits(),
+                    b.value.to_bits(),
+                    "{ctx}: estimate diverged ({} vs {})",
+                    a.value,
+                    b.value
+                );
+                assert_eq!(
+                    a.std_err.map(f64::to_bits),
+                    b.std_err.map(f64::to_bits),
+                    "{ctx}: std_err diverged"
+                );
+                assert_eq!(a.cost, b.cost, "{ctx}: cost diverged");
+                assert_eq!(a.samples, b.samples, "{ctx}: samples diverged");
+                assert_eq!(a.instances, b.instances, "{ctx}: instances diverged");
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b, "{ctx}: errors diverged"),
+            (a, b) => panic!("{ctx}: outcomes diverged: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+fn pristine_backend() -> Box<dyn ApiBackend> {
+    Box::new(scenario().platform)
+}
+
+#[test]
+fn srw_resumes_bit_identically() {
+    let s = scenario();
+    assert_resume_bit_identical(
+        &pristine_backend,
+        &RetryPolicy::none(),
+        &avg_query(&s),
+        Algorithm::MaSrw { interval: None },
+        8_000,
+        7,
+        400,
+    );
+}
+
+#[test]
+fn srw_count_resumes_bit_identically() {
+    // COUNT exercises the collision counter through the checkpoint.
+    let s = scenario();
+    assert_resume_bit_identical(
+        &pristine_backend,
+        &RetryPolicy::none(),
+        &count_query(&s),
+        Algorithm::MaSrw { interval: None },
+        10_000,
+        11,
+        500,
+    );
+}
+
+#[test]
+fn mhrw_resumes_bit_identically() {
+    let s = scenario();
+    assert_resume_bit_identical(
+        &pristine_backend,
+        &RetryPolicy::none(),
+        &avg_query(&s),
+        Algorithm::Mhrw {
+            view: ViewKind::level(Duration::DAY),
+        },
+        8_000,
+        13,
+        300,
+    );
+}
+
+#[test]
+fn snowball_resumes_bit_identically() {
+    let s = scenario();
+    assert_resume_bit_identical(
+        &pristine_backend,
+        &RetryPolicy::none(),
+        &count_query(&s),
+        Algorithm::Snowball {
+            view: ViewKind::TermInduced,
+            order: CrawlOrder::Bfs,
+        },
+        20_000,
+        17,
+        25,
+    );
+}
+
+#[test]
+fn tarw_resumes_bit_identically() {
+    let s = scenario();
+    assert_resume_bit_identical(
+        &pristine_backend,
+        &RetryPolicy::none(),
+        &avg_query(&s),
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        20_000,
+        19,
+        5,
+    );
+}
+
+#[test]
+fn tarw_pilot_resumes_bit_identically() {
+    // interval: None exercises the interval-selection pilot: cadence 1
+    // checkpoints after every candidate, so the spread includes resuming
+    // from mid-pilot states.
+    let s = scenario();
+    assert_resume_bit_identical(
+        &pristine_backend,
+        &RetryPolicy::none(),
+        &avg_query(&s),
+        Algorithm::MaTarw { interval: None },
+        20_000,
+        23,
+        1,
+    );
+}
+
+#[test]
+fn mark_recapture_resumes_bit_identically() {
+    let s = scenario();
+    assert_resume_bit_identical(
+        &pristine_backend,
+        &RetryPolicy::none(),
+        &count_query(&s),
+        Algorithm::MarkRecapture {
+            view: ViewKind::level(Duration::DAY),
+        },
+        12_000,
+        29,
+        400,
+    );
+}
+
+fn faulty_backend() -> Box<dyn ApiBackend> {
+    // Retryable faults at a rate the retry policy fully absorbs
+    // (max_consecutive caps hostile runs below max_attempts).
+    let plan = FaultPlan::mixed(99, 0.10).with_max_consecutive(2);
+    Box::new(FaultyPlatform::new(Arc::new(scenario().platform), plan))
+}
+
+#[test]
+fn srw_resumes_bit_identically_under_faults() {
+    let s = scenario();
+    assert_resume_bit_identical(
+        &faulty_backend,
+        &RetryPolicy::resilient().without_breaker(),
+        &avg_query(&s),
+        Algorithm::MaSrw { interval: None },
+        8_000,
+        31,
+        400,
+    );
+}
+
+#[test]
+fn tarw_resumes_bit_identically_under_faults() {
+    let s = scenario();
+    assert_resume_bit_identical(
+        &faulty_backend,
+        &RetryPolicy::resilient().without_breaker(),
+        &avg_query(&s),
+        Algorithm::MaTarw {
+            interval: Some(Duration::DAY),
+        },
+        15_000,
+        37,
+        5,
+    );
+}

@@ -15,7 +15,25 @@
 //! the Figure 3/10 benchmarks.
 
 use crate::NodeId;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Serializable snapshot of a [`CollisionCounter`], used by walker
+/// checkpoints. Floating sums are stored as raw IEEE-754 bits so a
+/// round trip through JSON is bit-exact.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollisionState {
+    /// Distinct `(node, occurrences)` pairs, sorted by node id.
+    pub seen: Vec<(NodeId, u64)>,
+    /// Unordered colliding pairs counted so far.
+    pub collisions: u64,
+    /// `Σ degree`, as `f64::to_bits`.
+    pub sum_degree_bits: u64,
+    /// `Σ 1/degree`, as `f64::to_bits`.
+    pub sum_inv_degree_bits: u64,
+    /// Samples accepted so far.
+    pub samples: u64,
+}
 
 /// Incremental collision counter over degree-weighted samples.
 ///
@@ -63,6 +81,31 @@ impl CollisionCounter {
     /// Number of distinct nodes observed.
     pub fn distinct(&self) -> usize {
         self.seen.len()
+    }
+
+    /// Snapshots the counter for a walker checkpoint.
+    pub fn snapshot(&self) -> CollisionState {
+        let mut seen: Vec<(NodeId, u64)> = self.seen.iter().map(|(&u, &c)| (u, c as u64)).collect();
+        seen.sort_unstable();
+        CollisionState {
+            seen,
+            collisions: self.collisions,
+            sum_degree_bits: self.sum_degree.to_bits(),
+            sum_inv_degree_bits: self.sum_inv_degree.to_bits(),
+            samples: self.samples as u64,
+        }
+    }
+
+    /// Rebuilds a counter from a [`CollisionCounter::snapshot`]; the
+    /// restored counter produces bit-identical estimates.
+    pub fn restore(state: &CollisionState) -> CollisionCounter {
+        CollisionCounter {
+            seen: state.seen.iter().map(|&(u, c)| (u, c as usize)).collect(),
+            collisions: state.collisions,
+            sum_degree: f64::from_bits(state.sum_degree_bits),
+            sum_inv_degree: f64::from_bits(state.sum_inv_degree_bits),
+            samples: state.samples as usize,
+        }
     }
 
     /// The Katzir size estimate; `None` until the first collision.

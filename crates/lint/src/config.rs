@@ -8,7 +8,7 @@
 
 /// Rule identifiers, as used in findings, suppression comments and the
 /// baseline file.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     "wall-clock",
     "panic-safety",
     "determinism",
@@ -16,6 +16,7 @@ pub const RULES: [&str; 8] = [
     "lock-order",
     "lock-across-call",
     "hygiene",
+    "fs-write",
     "suppression",
 ];
 
@@ -47,6 +48,13 @@ pub struct Config {
     /// `Platform`/`ApiBackend` fetch (a stalled backend call would block
     /// every thread contending for the lock).
     pub lock_across_call_paths: Vec<String>,
+    /// Paths whose library code may not mutate the filesystem directly
+    /// (durable state must flow through the write-ahead journal, or
+    /// crash recovery cannot replay it).
+    pub fs_write_paths: Vec<String>,
+    /// Paths exempt from the fs-write rule *within* the above (the
+    /// journal writer itself).
+    pub fs_write_exempt: Vec<String>,
     /// Crate-root files that must carry `#![forbid(unsafe_code)]`.
     pub hygiene_lib_roots: Vec<String>,
     /// Type names that must be declared `#[must_use]` (estimate-result
@@ -94,6 +102,11 @@ impl Default for Config {
             ]),
             lock_order_paths: s(&["crates/api/src/", "crates/obs/src/", "crates/service/src/"]),
             lock_across_call_paths: s(&["crates/api/src/", "crates/service/src/"]),
+            fs_write_paths: s(&["crates/core/src/", "crates/service/src/"]),
+            fs_write_exempt: s(&[
+                // The journal *is* the sanctioned durable-state writer.
+                "crates/service/src/journal.rs",
+            ]),
             hygiene_lib_roots: s(&[
                 "crates/api/src/lib.rs",
                 "crates/bench/src/lib.rs",

@@ -46,6 +46,7 @@ pub fn analyze_source(path: &str, source: &str, cfg: &Config) -> FileAnalysis {
     rules::panic_safety::check(&ctx, cfg, &mut findings);
     rules::determinism::check(&ctx, cfg, &mut findings);
     rules::charging::check(&ctx, cfg, &mut findings);
+    rules::fs_write::check(&ctx, cfg, &mut findings);
     rules::lock_across_call::check(&ctx, cfg, &mut findings);
     rules::hygiene::check(&ctx, cfg, &mut findings);
     let lock_edges = rules::lock_order::extract(&ctx, cfg);

@@ -1,0 +1,77 @@
+//! Rule `fs-write`: filesystem mutation is the journal's monopoly.
+//!
+//! The crash-recovery story (DESIGN.md §12) holds only if every byte the
+//! estimation stack persists flows through the write-ahead journal's
+//! framed, checksummed, torn-tail-tolerant writer. A stray `fs::write`
+//! or hand-opened `File` in core or service library code creates durable
+//! state that recovery knows nothing about — it won't be replayed, won't
+//! be repaired after a torn tail, and can disagree with the journal
+//! after a crash. Binaries, tests, examples and benches stay free to
+//! touch the filesystem (CLIs write traces, tests build fixtures).
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+
+/// `std::fs` free functions that mutate the filesystem. Read-side
+/// functions (`read`, `read_to_string`, `metadata`, …) are fine — the
+/// invariant is about creating durable state, not observing it.
+const FS_WRITE_FNS: [&str; 9] = [
+    "write",
+    "create_dir",
+    "create_dir_all",
+    "remove_file",
+    "remove_dir",
+    "remove_dir_all",
+    "rename",
+    "copy",
+    "set_permissions",
+];
+
+/// Scans for `fs::<mutator>`, `File::create` / `File::create_new`, and
+/// `OpenOptions::new` in library code of the journaled crates, outside
+/// the journal module itself.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    let scoped = Config::matches(ctx.path, &cfg.fs_write_paths)
+        && !Config::matches(ctx.path, &cfg.fs_write_exempt);
+    if !scoped || !ctx.role.is_library() {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_code(i) {
+            continue;
+        }
+        let Some(head) = t.ident() else {
+            continue;
+        };
+        // Path-call position: `head::tail(…)`.
+        let at = |k: usize| toks.get(i + k);
+        let path_call = at(1).is_some_and(|t| t.is_punct(':'))
+            && at(2).is_some_and(|t| t.is_punct(':'))
+            && at(4).is_some_and(|t| t.is_punct('('));
+        if !path_call {
+            continue;
+        }
+        let Some(tail) = at(3).and_then(|t| t.ident()) else {
+            continue;
+        };
+        let banned = match head {
+            "fs" => FS_WRITE_FNS.contains(&tail),
+            "File" => tail == "create" || tail == "create_new",
+            "OpenOptions" => tail == "new",
+            _ => false,
+        };
+        if banned {
+            ctx.emit(
+                out,
+                "fs-write",
+                t.line,
+                format!(
+                    "direct `{head}::{tail}(…)` writes the filesystem outside the \
+                     journal; durable state that recovery cannot replay breaks the \
+                     crash-only model — persist through crates/service/src/journal.rs"
+                ),
+            );
+        }
+    }
+}

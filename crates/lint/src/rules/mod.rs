@@ -5,6 +5,7 @@
 
 pub mod charging;
 pub mod determinism;
+pub mod fs_write;
 pub mod hygiene;
 pub mod lock_across_call;
 pub mod lock_order;

@@ -1,0 +1,15 @@
+// Fixture: durable state written outside the journal module.
+fn persist(dir: &Path, payload: &[u8]) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("state.bin"), payload)?;
+    let _spill = File::create(dir.join("spill.tmp"))?;
+    let _log = OpenOptions::new().append(true).open(dir.join("side.log"))?;
+    fs::rename(dir.join("spill.tmp"), dir.join("spill.bin"))?;
+    Ok(())
+}
+// Read-side access is fine: observing the filesystem creates nothing
+// recovery would have to replay.
+fn inspect(dir: &Path) -> io::Result<Vec<u8>> {
+    let bytes = fs::read(dir.join("state.bin"))?;
+    Ok(bytes)
+}

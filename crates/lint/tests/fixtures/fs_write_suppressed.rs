@@ -1,0 +1,12 @@
+// Fixture: the same writes, each justified inline.
+fn persist(dir: &Path, payload: &[u8]) -> io::Result<()> {
+    // ma-lint: allow(fs-write) reason="one-shot cache warmup file, rebuilt from scratch on boot; never read by recovery"
+    fs::create_dir_all(dir)?;
+    fs::write(dir.join("state.bin"), payload)?; // ma-lint: allow(fs-write) reason="ditto: throwaway warmup artifact"
+    // ma-lint: allow(fs-write) reason="scratch spill file, deleted before shutdown"
+    let _spill = File::create(dir.join("spill.tmp"))?;
+    // ma-lint: allow(fs-write) reason="operator-facing side log, explicitly excluded from the recovery contract"
+    let _log = OpenOptions::new().append(true).open(dir.join("side.log"))?;
+    fs::rename(dir.join("spill.tmp"), dir.join("spill.bin"))?; // ma-lint: allow(fs-write) reason="atomic publish of the scratch spill"
+    Ok(())
+}

@@ -179,6 +179,51 @@ fn charging_exempts_the_metered_stack() {
 }
 
 #[test]
+fn fs_write_fires() {
+    let findings = run(
+        "fs-write",
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/fs_write_fire.rs"),
+    );
+    // create_dir_all, write, File::create, OpenOptions::new, rename —
+    // and NOT the read-side `fs::read`.
+    assert_eq!(findings.len(), 5, "{findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("journal")));
+}
+
+#[test]
+fn fs_write_suppressed() {
+    let findings = run(
+        "fs-write",
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/fs_write_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn fs_write_exempts_the_journal_module() {
+    let findings = run(
+        "fs-write",
+        "crates/service/src/journal.rs",
+        include_str!("fixtures/fs_write_fire.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn fs_write_is_scoped_to_core_and_service_libraries() {
+    for path in [
+        "crates/obs/src/fixture.rs",
+        "crates/service/src/bin/fixture.rs",
+        "crates/service/tests/fixture.rs",
+    ] {
+        let findings = run("fs-write", path, include_str!("fixtures/fs_write_fire.rs"));
+        assert!(findings.is_empty(), "{path}: {findings:?}");
+    }
+}
+
+#[test]
 fn lock_order_fires() {
     let analysis = analyze_source(
         "crates/service/src/fixture.rs",

@@ -30,11 +30,15 @@ pub enum Category {
     /// Miss coalescing: in-flight leader elections, waiter joins,
     /// aborted flights handed back for re-election.
     Coalesce,
+    /// Walker checkpoints: cadence emissions and journal appends.
+    Checkpoint,
+    /// Crash recovery: journal replay, worker respawns, job requeues.
+    Recovery,
 }
 
 impl Category {
     /// Number of categories; sizes per-category arrays.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// All categories, in shard/index order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -45,6 +49,8 @@ impl Category {
         Category::Job,
         Category::Diag,
         Category::Coalesce,
+        Category::Checkpoint,
+        Category::Recovery,
     ];
 
     /// Stable shard index for this category.
@@ -57,6 +63,8 @@ impl Category {
             Category::Job => 4,
             Category::Diag => 5,
             Category::Coalesce => 6,
+            Category::Checkpoint => 7,
+            Category::Recovery => 8,
         }
     }
 
@@ -70,6 +78,8 @@ impl Category {
             Category::Job => "job",
             Category::Diag => "diag",
             Category::Coalesce => "coalesce",
+            Category::Checkpoint => "checkpoint",
+            Category::Recovery => "recovery",
         }
     }
 }

@@ -1,0 +1,251 @@
+//! Deterministic crash injection for crash-recovery testing.
+//!
+//! [`FaultPlan`](crate::FaultPlan) makes the *API* hostile; [`CrashPlan`]
+//! makes the *process* hostile. A plan names a crashpoint — a labelled
+//! spot in the service engine or journal writer — and arms a single shot
+//! that either kills the worker (a panic carrying
+//! [`CRASH_PANIC_PREFIX`]) or tears the journal tail (the writer drops
+//! the final bytes of the record it just appended, then dies), so
+//! recovery paths can be exercised reproducibly in-process without
+//! `kill -9`.
+//!
+//! Injection is deterministic: the shot fires on the `hit`-th arrival at
+//! the named point, counted per point, independent of thread timing for
+//! a single-job pipeline (the crash-recovery tests run one job at a
+//! time through the crashpoint).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Prefix of panic payloads raised by crash injection. Supervisors use
+/// it to tell a deliberate kill (requeue from checkpoint) from a real
+/// worker bug (fail the job).
+pub const CRASH_PANIC_PREFIX: &str = "ma-crash:";
+
+/// The named crashpoints the service engine and journal writer expose,
+/// in job-lifecycle order. CI's chaos-recovery matrix iterates this.
+pub const CRASH_POINTS: [&str; 5] = [
+    "post_admit",
+    "post_reserve",
+    "checkpoint",
+    "pre_settle",
+    "post_settle",
+];
+
+/// What happens when an armed crashpoint fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Panic with [`CRASH_PANIC_PREFIX`], killing the worker thread.
+    Kill,
+    /// Tear the journal: the writer truncates the final `drop` bytes it
+    /// wrote, simulating a crash mid-append, then dies.
+    TornTail {
+        /// Bytes to chop off the journal tail.
+        drop: u64,
+    },
+}
+
+/// A declarative, single-shot crash plan: fire `mode` on the `hit`-th
+/// arrival at crashpoint `point`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The named crashpoint to arm (see [`CRASH_POINTS`]).
+    pub point: String,
+    /// Which arrival fires the shot (1-based; 1 = the first arrival).
+    pub hit: u64,
+    /// What to do when it fires.
+    pub mode: CrashMode,
+}
+
+impl CrashPlan {
+    /// Kills the worker on the first arrival at `point`.
+    pub fn kill(point: &str) -> CrashPlan {
+        CrashPlan {
+            point: point.to_string(),
+            hit: 1,
+            mode: CrashMode::Kill,
+        }
+    }
+
+    /// Tears `drop` bytes off the journal tail at `point`, then dies.
+    pub fn torn_tail(point: &str, drop: u64) -> CrashPlan {
+        CrashPlan {
+            point: point.to_string(),
+            hit: 1,
+            mode: CrashMode::TornTail { drop },
+        }
+    }
+
+    /// Fires on the `hit`-th arrival instead of the first.
+    pub fn with_hit(mut self, hit: u64) -> CrashPlan {
+        self.hit = hit.max(1);
+        self
+    }
+
+    /// Parses a CLI-style spec like `point=pre_settle,hit=2,mode=kill`
+    /// or `point=checkpoint,mode=torn,drop=7`.
+    ///
+    /// Recognized keys: `point` (required), `hit` (1-based arrival
+    /// count, default 1), `mode` (`kill` | `torn`, default `kill`),
+    /// `drop` (tail bytes for `torn`, default 1). Each key may appear at
+    /// most once.
+    pub fn parse(spec: &str) -> Result<CrashPlan, String> {
+        let mut point: Option<String> = None;
+        let mut hit: u64 = 1;
+        let mut torn = false;
+        let mut drop: u64 = 1;
+        let mut seen: Vec<&str> = Vec::new();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("crash-plan entry `{part}` is not key=value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = || format!("crash-plan `{key}` has invalid value `{value}`");
+            match key {
+                "point" => point = Some(value.to_string()),
+                "hit" => {
+                    hit = value.parse().map_err(|_| bad())?;
+                    if hit == 0 {
+                        return Err("crash-plan `hit` is 1-based; 0 never fires".to_string());
+                    }
+                }
+                "mode" => match value {
+                    "kill" => torn = false,
+                    "torn" | "torn_tail" => torn = true,
+                    _ => return Err(bad()),
+                },
+                "drop" => drop = value.parse().map_err(|_| bad())?,
+                other => return Err(format!("unknown crash-plan key `{other}`")),
+            }
+            if seen.contains(&key) {
+                return Err(format!("crash-plan key `{key}` given more than once"));
+            }
+            seen.push(key);
+        }
+        let point = point.ok_or_else(|| "crash-plan needs a `point`".to_string())?;
+        Ok(CrashPlan {
+            point,
+            hit,
+            mode: if torn {
+                CrashMode::TornTail { drop }
+            } else {
+                CrashMode::Kill
+            },
+        })
+    }
+}
+
+/// The armed runtime of a [`CrashPlan`]: counts arrivals per crashpoint
+/// and reports when the shot fires. Shared by reference between the
+/// engine (kill points) and the journal writer (torn-tail points).
+#[derive(Debug)]
+pub struct CrashInjector {
+    plan: CrashPlan,
+    hits: Mutex<HashMap<String, u64>>,
+}
+
+impl CrashInjector {
+    /// Arms `plan`.
+    pub fn new(plan: CrashPlan) -> CrashInjector {
+        CrashInjector {
+            plan,
+            hits: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &CrashPlan {
+        &self.plan
+    }
+
+    /// Records an arrival at `point` and returns the crash mode if this
+    /// arrival is the one the plan fires on (single shot: exactly one
+    /// arrival ever returns `Some`).
+    pub fn check(&self, point: &str) -> Option<CrashMode> {
+        if point != self.plan.point {
+            return None;
+        }
+        // Poison only means another worker died at this point — which is
+        // exactly what crash injection does; the counter is still sound.
+        let mut hits = self.hits.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = hits.entry(point.to_string()).or_insert(0);
+        *slot += 1;
+        (*slot == self.plan.hit).then_some(self.plan.mode)
+    }
+
+    /// Records an arrival at `point` and kills the calling thread with a
+    /// [`CRASH_PANIC_PREFIX`] panic if a `Kill` shot fires. `TornTail`
+    /// shots are ignored here — only the journal writer consumes them.
+    pub fn crash_if_armed(&self, point: &str) {
+        if let Some(CrashMode::Kill) = self.check(point) {
+            // ma-lint: allow(panic-safety) reason="deliberate crash injection: the supervisor catches this panic by prefix"
+            panic!("{CRASH_PANIC_PREFIX}{point}");
+        }
+    }
+}
+
+/// Extracts the crashpoint name from a panic payload raised by
+/// [`CrashInjector::crash_if_armed`], or `None` for ordinary panics.
+pub fn crash_point(payload: &(dyn std::any::Any + Send)) -> Option<&str> {
+    let msg: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        return None;
+    };
+    msg.strip_prefix(CRASH_PANIC_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_once_on_the_named_hit() {
+        let inj = CrashInjector::new(CrashPlan::kill("pre_settle").with_hit(3));
+        assert_eq!(inj.check("post_admit"), None);
+        assert_eq!(inj.check("pre_settle"), None);
+        assert_eq!(inj.check("pre_settle"), None);
+        assert_eq!(inj.check("pre_settle"), Some(CrashMode::Kill));
+        assert_eq!(inj.check("pre_settle"), None);
+    }
+
+    #[test]
+    fn crash_panic_carries_the_point_name() {
+        let inj = CrashInjector::new(CrashPlan::kill("checkpoint"));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inj.crash_if_armed("checkpoint");
+        }))
+        .unwrap_err();
+        assert_eq!(crash_point(err.as_ref()), Some("checkpoint"));
+    }
+
+    #[test]
+    fn ordinary_panics_are_not_crash_points() {
+        let err = std::panic::catch_unwind(|| panic!("index out of bounds: whatever")).unwrap_err();
+        assert_eq!(crash_point(err.as_ref()), None);
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_panicked() {
+        let inj = CrashInjector::new(CrashPlan::torn_tail("checkpoint", 7));
+        assert_eq!(
+            inj.check("checkpoint"),
+            Some(CrashMode::TornTail { drop: 7 })
+        );
+        inj.crash_if_armed("checkpoint"); // must not panic
+    }
+
+    #[test]
+    fn parse_round_trips_the_cli_spec() {
+        let p = CrashPlan::parse("point=pre_settle, hit=2, mode=kill").unwrap();
+        assert_eq!(p, CrashPlan::kill("pre_settle").with_hit(2));
+        let t = CrashPlan::parse("point=checkpoint,mode=torn,drop=9").unwrap();
+        assert_eq!(t, CrashPlan::torn_tail("checkpoint", 9));
+        assert!(CrashPlan::parse("mode=kill").is_err(), "point is required");
+        assert!(CrashPlan::parse("point=x,hit=0").is_err());
+        assert!(CrashPlan::parse("point=x,bogus=1").is_err());
+        assert!(CrashPlan::parse("point=x,point=y").is_err());
+    }
+}

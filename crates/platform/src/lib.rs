@@ -34,6 +34,7 @@
 
 pub mod backend;
 pub mod cascade;
+pub mod crash;
 pub mod fault;
 pub mod gen;
 pub mod ids;
@@ -47,6 +48,9 @@ pub mod truth;
 pub mod user;
 
 pub use backend::ApiBackend;
+pub use crash::{
+    crash_point, CrashInjector, CrashMode, CrashPlan, CRASH_PANIC_PREFIX, CRASH_POINTS,
+};
 pub use fault::{ApiEndpoint, Fault, FaultCounts, FaultPlan, FaultRates, FaultyPlatform};
 pub use ids::{KeywordId, PostId, UserId};
 pub use metric::UserMetric;

@@ -29,6 +29,16 @@
 //!   --wall-telemetry                    report real queue/exec latencies
 //!                                       instead of the deterministic
 //!                                       logical telemetry clock
+//!   --journal DIR                       write-ahead job journal; replayed
+//!                                       on startup to recover in-flight
+//!                                       jobs                  [off]
+//!   --checkpoint-every N                walker steps between checkpoints,
+//!                                       0 disables            [1000]
+//!   --drain-timeout SECS                shutdown drain deadline; stragglers
+//!                                       are journaled as interrupted [none]
+//!   --crash-plan SPEC                   deterministic crash injection, e.g.
+//!                                       'point=pre_settle,hit=2' or
+//!                                       'point=checkpoint,mode=torn,drop=7'
 //!
 //! trace mode (record one query's structured trace):
 //!   --out PATH                          write JSON-lines events to PATH
@@ -59,7 +69,7 @@ use microblog_api::rate::{human_duration, wall_clock};
 use microblog_api::RetryPolicy;
 use microblog_obs::{render_jsonl, RecorderConfig};
 use microblog_platform::scenario::{google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario};
-use microblog_platform::{Duration, FaultPlan};
+use microblog_platform::{CrashPlan, Duration, FaultPlan};
 use microblog_service::cache::SharedCacheConfig;
 use microblog_service::request::{parse_algorithm, parse_interval, JobSpec};
 use microblog_service::traceview::{record_job, TraceSummary};
@@ -101,6 +111,10 @@ struct Options {
     deadline: Option<i64>,
     fault_plan: Option<FaultPlan>,
     telemetry: TelemetryMode,
+    journal: Option<String>,
+    checkpoint_every: u64,
+    drain_timeout: Option<u64>,
+    crash_plan: Option<CrashPlan>,
     query: Option<String>,
 }
 
@@ -128,6 +142,10 @@ impl Default for Options {
             deadline: None,
             fault_plan: None,
             telemetry: TelemetryMode::Logical,
+            journal: None,
+            checkpoint_every: 1_000,
+            drain_timeout: None,
+            crash_plan: None,
             query: None,
         }
     }
@@ -198,6 +216,25 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 )
             }
             "--wall-telemetry" => opts.telemetry = TelemetryMode::Wall,
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every")?
+            }
+            "--drain-timeout" => {
+                opts.drain_timeout = Some(
+                    value("--drain-timeout")?
+                        .parse()
+                        .map_err(|_| "bad --drain-timeout")?,
+                )
+            }
+            "--crash-plan" => {
+                opts.crash_plan = Some(
+                    CrashPlan::parse(&value("--crash-plan")?)
+                        .map_err(|e| format!("bad --crash-plan: {e}"))?,
+                )
+            }
             other if other.starts_with("--") => return Err(format!("unknown option '{other}'")),
             query => {
                 if opts.query.replace(query.to_string()).is_some() {
@@ -340,7 +377,7 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
     if let Some(deadline) = opts.deadline {
         retry = retry.with_deadline(Duration(deadline.max(0)));
     }
-    let service = Service::new(
+    let service = Service::start(
         Arc::new(scenario.platform),
         api,
         ServiceConfig {
@@ -353,9 +390,14 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
             retry,
             fault_plan: opts.fault_plan,
             telemetry: opts.telemetry,
+            journal: opts.journal.as_ref().map(std::path::PathBuf::from),
+            checkpoint_every: opts.checkpoint_every,
+            crash_plan: opts.crash_plan,
+            drain_timeout: opts.drain_timeout.map(std::time::Duration::from_secs),
             ..ServiceConfig::default()
         },
-    );
+    )
+    .map_err(|e| format!("cannot open journal: {e}"))?;
     eprintln!(
         "serving with {} worker(s), quota {}, cache capacity {}",
         service.workers(),
@@ -367,6 +409,28 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
     );
     if let Some(injector) = service.fault_injector() {
         eprintln!("fault injection on: {:?}", injector.plan().rates);
+    }
+    if let Some(injector) = service.crash_injector() {
+        eprintln!("crash injection on: {:?}", injector.plan());
+    }
+    if let Some(recovery) = service.recovery() {
+        eprintln!(
+            "journal replay: {} record(s), {} settled job(s) ({} calls adopted), \
+             {} resumed, {} abandoned{}",
+            recovery.records,
+            recovery.settled_jobs,
+            recovery.adopted_calls,
+            recovery.resumed_jobs,
+            recovery.abandoned_jobs,
+            if recovery.dropped_bytes > 0 {
+                format!(
+                    ", torn tail repaired ({} byte(s) dropped)",
+                    recovery.dropped_bytes
+                )
+            } else {
+                String::new()
+            }
+        );
     }
 
     let stdout = std::io::stdout();
@@ -407,7 +471,13 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
         100.0 * cache.hit_rate()
     );
     eprint!("{}", service.metrics_snapshot().render_text());
-    service.shutdown();
+    let report = service.shutdown();
+    if !report.clean {
+        eprintln!(
+            "drain deadline expired: {} job(s) journaled as interrupted",
+            report.interrupted.len()
+        );
+    }
     Ok(())
 }
 
@@ -476,6 +546,35 @@ mod tests {
         assert!((plan.rates.rate_limited - 0.02).abs() < 1e-12);
         assert!(parse_args(args("serve --fault-plan transient=2.0")).is_err());
         assert!(parse_args(args("serve --retry lots")).is_err());
+    }
+
+    #[test]
+    fn parses_recovery_options() {
+        let o = parse_args(args(
+            "serve --journal /tmp/j --checkpoint-every 500 --drain-timeout 30 \
+             --crash-plan point=pre_settle,hit=2",
+        ))
+        .unwrap();
+        assert_eq!(o.journal.as_deref(), Some("/tmp/j"));
+        assert_eq!(o.checkpoint_every, 500);
+        assert_eq!(o.drain_timeout, Some(30));
+        let plan = o.crash_plan.expect("plan parses");
+        assert_eq!(plan.point, "pre_settle");
+        assert_eq!(plan.hit, 2);
+        let torn = parse_args(args("serve --crash-plan point=checkpoint,mode=torn,drop=7"))
+            .unwrap()
+            .crash_plan
+            .unwrap();
+        assert!(matches!(
+            torn.mode,
+            microblog_platform::CrashMode::TornTail { drop: 7 }
+        ));
+        assert!(
+            parse_args(args("serve --crash-plan hit=2")).is_err(),
+            "no point"
+        );
+        assert!(parse_args(args("serve --checkpoint-every sometimes")).is_err());
+        assert!(parse_args(args("serve --drain-timeout soon")).is_err());
     }
 
     #[test]

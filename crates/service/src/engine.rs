@@ -12,18 +12,48 @@
 //! cache layered under the per-query client, settle the quota
 //! reservation down to what the job actually charged, and publish the
 //! outcome through the handle's condvar.
+//!
+//! # Crash-only operation
+//!
+//! With [`ServiceConfig::journal`] set, the engine is crash-safe:
+//! admission, reservation, walker checkpoints (every
+//! [`ServiceConfig::checkpoint_every`] steps), and settlement are
+//! journaled write-ahead (see [`crate::journal`]), and
+//! [`Service::start`] replays the journal on boot — settled jobs adopt
+//! their consumption into the quota, unsettled jobs are requeued from
+//! their latest checkpoint. A resumed job produces bit-identical
+//! estimates, charged totals, and quota settlement to an uninterrupted
+//! run, and settle records are idempotent, so a crash can never
+//! double-charge.
+//!
+//! In-process, a supervisor thread watches for workers killed by crash
+//! injection ([`ServiceConfig::crash_plan`]): it respawns the dead
+//! worker and requeues its job from the last in-memory checkpoint —
+//! the job's reservation travels with it, so recovery needs no quota
+//! surgery. [`Service::shutdown`] drains with an optional
+//! [`ServiceConfig::drain_timeout`]; jobs still running at the deadline
+//! are journaled as interrupted and their handles fail with
+//! [`ServiceError::Interrupted`] instead of blocking shutdown forever.
 
 use crate::cache::{CoalescingSharedCache, SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
 use crate::clock::{TelemetryClock, TelemetryMode};
+use crate::journal::{Journal, JournalRecord, ReplaySummary};
 use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use crate::quota::{GlobalQuota, Reservation};
 use crate::request::JobSpec;
-use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer, RunReport};
+use microblog_analyzer::checkpoint::{CheckpointCtl, CheckpointSink};
+use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer, RunReport, WalkerCheckpoint};
 use microblog_api::cache::{CacheLayer, CacheStats, CoalesceStats, CoalescingLayer};
 use microblog_api::{ApiProfile, ResilienceStats, RetryPolicy};
 use microblog_obs::{Category, FieldValue, Tracer};
-use microblog_platform::{ApiBackend, FaultPlan, FaultyPlatform, Platform};
+use microblog_platform::{
+    crash_point, ApiBackend, CrashInjector, CrashMode, CrashPlan, FaultPlan, FaultyPlatform,
+    Platform, CRASH_PANIC_PREFIX,
+};
 use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -69,6 +99,24 @@ pub struct ServiceConfig {
     /// them. `fault_plan` takes precedence when both are set; `None`
     /// means the pristine platform.
     pub backend: Option<Arc<dyn ApiBackend>>,
+    /// Directory of the write-ahead job journal; `None` runs without
+    /// durability. `ma-cli serve --journal <dir>` sets it; on startup
+    /// the journal is replayed and unsettled jobs are requeued from
+    /// their latest checkpoint.
+    pub journal: Option<PathBuf>,
+    /// Walker steps between checkpoints (0 disables checkpointing).
+    /// Checkpoints flow to the journal (when configured) and to the
+    /// in-memory slot crash requeues resume from.
+    pub checkpoint_every: u64,
+    /// Deterministic crash injection: kill a worker (or tear the
+    /// journal tail) at a named crashpoint. The chaos knob behind
+    /// `ma-cli serve --crash-plan`.
+    pub crash_plan: Option<CrashPlan>,
+    /// Shutdown drain deadline: jobs still running when it expires are
+    /// journaled as interrupted and their handles fail with
+    /// [`ServiceError::Interrupted`]. `None` waits forever (the
+    /// pre-deadline behavior — a hung estimator blocks shutdown).
+    pub drain_timeout: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -83,6 +131,10 @@ impl Default for ServiceConfig {
             tracer: Tracer::disabled(),
             coalesce: true,
             backend: None,
+            journal: None,
+            checkpoint_every: 1_000,
+            crash_plan: None,
+            drain_timeout: None,
         }
     }
 }
@@ -104,6 +156,10 @@ pub enum ServiceError {
     WorkerPanicked(String),
     /// The service is shutting down and no longer accepts jobs.
     ShuttingDown,
+    /// The job was interrupted (shutdown drain deadline or a torn
+    /// journal) before finishing; with a journal configured it will be
+    /// recovered on the next startup.
+    Interrupted,
 }
 
 impl std::fmt::Display for ServiceError {
@@ -120,6 +176,12 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Estimation(e) => write!(f, "estimation failed: {e}"),
             ServiceError::WorkerPanicked(msg) => write!(f, "estimator panicked: {msg}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Interrupted => {
+                write!(
+                    f,
+                    "interrupted before finishing; recoverable from the journal"
+                )
+            }
         }
     }
 }
@@ -271,6 +333,118 @@ struct Job {
     state: Arc<JobState>,
     /// Telemetry-clock reading at admission.
     submitted: Duration,
+    /// Checkpoint to resume from (journal replay or crash requeue).
+    resume: Option<Box<WalkerCheckpoint>>,
+}
+
+/// Tracks in-flight jobs so shutdown can wait for the pool to drain
+/// (and fail the stragglers when the deadline expires).
+#[derive(Default)]
+struct Outstanding {
+    count: Mutex<u64>,
+    zero: Condvar,
+}
+
+impl Outstanding {
+    fn inc(&self) {
+        *self.count.lock() += 1;
+    }
+
+    fn dec(&self) {
+        let mut count = self.count.lock();
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    /// Waits until no jobs are in flight; with a deadline, returns
+    /// whether the pool actually drained.
+    fn wait_drained(&self, timeout: Option<Duration>) -> bool {
+        let mut count = self.count.lock();
+        match timeout {
+            None => {
+                while *count > 0 {
+                    self.zero.wait(&mut count);
+                }
+                true
+            }
+            Some(timeout) => {
+                // ma-lint: allow(wall-clock) reason="the drain deadline is an operator real-time bound; it never feeds estimates"
+                let deadline = std::time::Instant::now() + timeout;
+                while *count > 0 {
+                    // ma-lint: allow(wall-clock) reason="the drain deadline is an operator real-time bound; it never feeds estimates"
+                    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                    if remaining.is_zero() {
+                        return false;
+                    }
+                    self.zero.wait_for(&mut count, remaining);
+                }
+                true
+            }
+        }
+    }
+}
+
+/// What [`Service::shutdown`] did.
+#[derive(Clone, Debug, Default)]
+pub struct ShutdownReport {
+    /// Whether every in-flight job finished before the deadline.
+    pub clean: bool,
+    /// Jobs journaled as interrupted when the drain deadline expired;
+    /// their handles failed with [`ServiceError::Interrupted`].
+    pub interrupted: Vec<u64>,
+}
+
+/// What startup journal replay recovered; see [`Service::recovery`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Valid journal records replayed.
+    pub records: u64,
+    /// Bytes dropped repairing a torn tail.
+    pub dropped_bytes: u64,
+    /// Jobs the journal showed as settled.
+    pub settled_jobs: u64,
+    /// Calls those settled jobs had consumed (adopted into the quota).
+    pub adopted_calls: u64,
+    /// Unsettled jobs requeued (from their latest checkpoint, when one
+    /// was journaled).
+    pub resumed_jobs: u64,
+    /// Unsettled jobs that could not be re-admitted (quota shrank);
+    /// they stay unsettled in the journal for the next startup.
+    pub abandoned_jobs: u64,
+}
+
+/// Everything a worker (and the supervisor that respawns workers) needs,
+/// shared behind one `Arc` so respawning is a single clone + spawn.
+struct WorkerCtx {
+    receiver: Arc<Mutex<mpsc::Receiver<Job>>>,
+    platform: Arc<Platform>,
+    api: ApiProfile,
+    shared_layer: Arc<dyn CacheLayer>,
+    quota: GlobalQuota,
+    metrics: Arc<MetricsRegistry>,
+    clock: Arc<TelemetryClock>,
+    faulty: Option<Arc<FaultyPlatform>>,
+    custom_backend: Option<Arc<dyn ApiBackend>>,
+    default_retry: RetryPolicy,
+    tracer: Tracer,
+    journal: Option<Arc<Journal>>,
+    injector: Option<Arc<CrashInjector>>,
+    checkpoint_every: u64,
+    outstanding: Arc<Outstanding>,
+    inflight: Arc<Mutex<HashMap<u64, Arc<JobState>>>>,
+    supervisor: mpsc::Sender<SupervisorMsg>,
+}
+
+enum SupervisorMsg {
+    /// A worker died at a crashpoint; `job` is present unless the job
+    /// had already published its outcome (post-settlement crash).
+    Crashed {
+        point: String,
+        job: Option<Box<Job>>,
+    },
+    Shutdown,
 }
 
 /// The long-running engine. Dropping it (or calling
@@ -285,14 +459,37 @@ pub struct Service {
     metrics: Arc<MetricsRegistry>,
     clock: Arc<TelemetryClock>,
     faulty: Option<Arc<FaultyPlatform>>,
+    tracer: Tracer,
+    journal: Option<Arc<Journal>>,
+    injector: Option<Arc<CrashInjector>>,
     sender: Option<mpsc::Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<(mpsc::Sender<SupervisorMsg>, JoinHandle<()>)>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    outstanding: Arc<Outstanding>,
+    inflight: Arc<Mutex<HashMap<u64, Arc<JobState>>>>,
     next_id: AtomicU64,
+    drain_timeout: Option<Duration>,
+    recovery: Option<RecoveryReport>,
+    recovered_handles: Vec<JobHandle>,
+    drained: bool,
 }
 
 impl Service {
-    /// Starts a service over `platform` accessed through `api`.
+    /// Starts a service over `platform` accessed through `api`,
+    /// panicking if the journal directory cannot be opened; use
+    /// [`Service::start`] to handle journal I/O errors.
     pub fn new(platform: Arc<Platform>, api: ApiProfile, config: ServiceConfig) -> Self {
+        // ma-lint: allow(panic-safety) reason="documented contract: new() panics when the journal cannot open; start() is the fallible path"
+        Service::start(platform, api, config).expect("journal directory opens")
+    }
+
+    /// Starts a service, replaying the journal (when configured) and
+    /// requeueing the jobs a previous process left unsettled.
+    pub fn start(
+        platform: Arc<Platform>,
+        api: ApiProfile,
+        config: ServiceConfig,
+    ) -> io::Result<Self> {
         let cache = Arc::new(SharedApiCache::new(config.cache).with_tracer(config.tracer.clone()));
         // When coalescing is on, every job sees the cache through one
         // shared singleflight combinator, so concurrent misses on a key
@@ -321,50 +518,50 @@ impl Service {
         let faulty = config
             .fault_plan
             .map(|plan| Arc::new(FaultyPlatform::new(Arc::clone(&platform), plan)));
-        let custom_backend = config.backend.clone();
+        let injector = config
+            .crash_plan
+            .map(|plan| Arc::new(CrashInjector::new(plan)));
+        let (journal, replayed): (Option<Arc<Journal>>, Option<ReplaySummary>) =
+            match &config.journal {
+                Some(dir) => {
+                    let (journal, summary) = Journal::open(dir, Arc::clone(&clock))?;
+                    (Some(Arc::new(journal)), Some(summary))
+                }
+                None => (None, None),
+            };
         let (sender, receiver) = mpsc::channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let receiver = Arc::clone(&receiver);
-                let platform = Arc::clone(&platform);
-                let api = api.clone();
-                let shared_layer = Arc::clone(&shared_layer);
-                let quota = quota.clone();
-                let metrics = Arc::clone(&metrics);
-                let clock = Arc::clone(&clock);
-                let faulty = faulty.clone();
-                let custom_backend = custom_backend.clone();
-                let default_retry = config.retry;
-                let tracer = config.tracer.clone();
-                std::thread::spawn(move || {
-                    let analyzer = match (&faulty, &custom_backend) {
-                        (Some(injector), _) => MicroblogAnalyzer::with_backend(&**injector, api),
-                        (None, Some(custom)) => MicroblogAnalyzer::with_backend(&**custom, api),
-                        (None, None) => MicroblogAnalyzer::new(&platform, api),
-                    };
-                    loop {
-                        // Hold the lock only to pull the next job; when the
-                        // channel closes (sender dropped) the worker exits.
-                        let job = match receiver.lock().recv() {
-                            Ok(job) => job,
-                            Err(_) => break,
-                        };
-                        run_job(
-                            &analyzer,
-                            &shared_layer,
-                            &quota,
-                            &metrics,
-                            &clock,
-                            &default_retry,
-                            &tracer,
-                            job,
-                        );
-                    }
-                })
-            })
-            .collect();
-        Service {
+        let (sup_sender, sup_receiver) = mpsc::channel::<SupervisorMsg>();
+        let ctx = Arc::new(WorkerCtx {
+            receiver: Arc::new(Mutex::new(receiver)),
+            platform: Arc::clone(&platform),
+            api: api.clone(),
+            shared_layer,
+            quota: quota.clone(),
+            metrics: Arc::clone(&metrics),
+            clock: Arc::clone(&clock),
+            faulty: faulty.clone(),
+            custom_backend: config.backend.clone(),
+            default_retry: config.retry,
+            tracer: config.tracer.clone(),
+            journal: journal.clone(),
+            injector: injector.clone(),
+            checkpoint_every: config.checkpoint_every,
+            outstanding: Arc::new(Outstanding::default()),
+            inflight: Arc::new(Mutex::new(HashMap::new())),
+            supervisor: sup_sender.clone(),
+        });
+        let workers = Arc::new(Mutex::new(
+            (0..config.workers.max(1))
+                .map(|_| spawn_worker(Arc::clone(&ctx)))
+                .collect::<Vec<_>>(),
+        ));
+        let supervisor_handle = {
+            let ctx = Arc::clone(&ctx);
+            let workers = Arc::clone(&workers);
+            let jobs = sender.clone();
+            std::thread::spawn(move || supervisor_loop(ctx, sup_receiver, workers, jobs))
+        };
+        let mut service = Service {
             platform,
             api,
             cache,
@@ -373,10 +570,90 @@ impl Service {
             metrics,
             clock,
             faulty,
+            tracer: config.tracer,
+            journal,
+            injector,
             sender: Some(sender),
+            supervisor: Some((sup_sender, supervisor_handle)),
             workers,
+            outstanding: Arc::clone(&ctx.outstanding),
+            inflight: Arc::clone(&ctx.inflight),
             next_id: AtomicU64::new(0),
+            drain_timeout: config.drain_timeout,
+            recovery: None,
+            recovered_handles: Vec::new(),
+            drained: false,
+        };
+        if let Some(summary) = replayed {
+            service.recover(summary);
         }
+        Ok(service)
+    }
+
+    /// Folds a journal replay into the running service: adopt consumed
+    /// quota for settled jobs, requeue unsettled jobs from their latest
+    /// checkpoint.
+    fn recover(&mut self, summary: ReplaySummary) {
+        self.next_id.store(summary.next_job_id, Ordering::Relaxed);
+        self.quota.adopt(summary.consumed);
+        if summary.dropped_bytes > 0 {
+            self.metrics.record_journal_dropped(1);
+        }
+        let mut report = RecoveryReport {
+            records: summary.records,
+            dropped_bytes: summary.dropped_bytes,
+            settled_jobs: summary.settled_jobs,
+            adopted_calls: summary.consumed,
+            ..RecoveryReport::default()
+        };
+        for recovered in summary.recovered {
+            let Ok(reservation) = self.quota.try_reserve(recovered.spec.budget) else {
+                // The quota shrank under the journal; leave the job
+                // unsettled so the next startup can retry it.
+                report.abandoned_jobs += 1;
+                self.metrics.record_interrupted();
+                continue;
+            };
+            self.metrics.record_submitted();
+            self.metrics.record_resumed();
+            let state = Arc::new(JobState::default());
+            self.recovered_handles.push(JobHandle {
+                job: recovered.job,
+                state: Arc::clone(&state),
+            });
+            self.inflight
+                .lock()
+                .insert(recovered.job, Arc::clone(&state));
+            self.outstanding.inc();
+            report.resumed_jobs += 1;
+            let job = Job {
+                id: recovered.job,
+                spec: recovered.spec,
+                reservation,
+                state,
+                submitted: self.clock.now(),
+                resume: recovered.checkpoint,
+            };
+            if let Some(sender) = &self.sender {
+                if let Err(mpsc::SendError(job)) = sender.send(job) {
+                    self.quota.settle(job.reservation, 0);
+                    self.outstanding.dec();
+                }
+            }
+        }
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                Category::Recovery,
+                "replay",
+                &[
+                    ("records", FieldValue::U64(report.records)),
+                    ("dropped_bytes", FieldValue::U64(report.dropped_bytes)),
+                    ("settled_jobs", FieldValue::U64(report.settled_jobs)),
+                    ("resumed_jobs", FieldValue::U64(report.resumed_jobs)),
+                ],
+            );
+        }
+        self.recovery = Some(report);
     }
 
     /// Admits `spec` if the global quota can cover its budget, queueing
@@ -391,30 +668,107 @@ impl Service {
         })?;
         self.metrics.record_submitted();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Write-ahead: admission and reservation are journaled before
+        // the job can run, so a crash at any later point finds them.
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&JournalRecord::Admit {
+                job: id,
+                spec: spec.clone(),
+            });
+            let _ = journal.append(&JournalRecord::Reserve {
+                job: id,
+                amount: reservation.amount(),
+            });
+        }
         let state = Arc::new(JobState::default());
         let handle = JobHandle {
             job: id,
             state: Arc::clone(&state),
         };
+        self.inflight.lock().insert(id, Arc::clone(&state));
+        self.outstanding.inc();
         let job = Job {
             id,
             spec,
             reservation,
             state,
             submitted: self.clock.now(),
+            resume: None,
         };
-        let sender = self.sender.as_ref().ok_or(ServiceError::ShuttingDown)?;
-        if let Err(mpsc::SendError(job)) = sender.send(job) {
+        let send_failed = |job: Job| {
             // Workers are gone; release the reservation untouched.
+            self.inflight.lock().remove(&job.id);
+            self.outstanding.dec();
             self.quota.settle(job.reservation, 0);
-            return Err(ServiceError::ShuttingDown);
+            ServiceError::ShuttingDown
+        };
+        let Some(sender) = self.sender.as_ref() else {
+            return Err(send_failed(job));
+        };
+        if let Err(mpsc::SendError(job)) = sender.send(job) {
+            return Err(send_failed(job));
         }
         Ok(handle)
     }
 
-    /// Drains queued jobs and joins the workers.
-    pub fn shutdown(self) {
-        // Drop runs the actual shutdown.
+    /// Drains queued jobs and joins the workers. With a
+    /// [`ServiceConfig::drain_timeout`], jobs still running at the
+    /// deadline are journaled as interrupted and their handles fail with
+    /// [`ServiceError::Interrupted`] instead of blocking forever.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.drain()
+    }
+
+    fn drain(&mut self) -> ShutdownReport {
+        self.drained = true;
+        // Closing the channel lets workers finish the queue and exit.
+        self.sender.take();
+        let clean = self.outstanding.wait_drained(self.drain_timeout);
+        let mut interrupted = Vec::new();
+        if !clean {
+            // Deadline expired: fail the stragglers' handles and journal
+            // them as interrupted so the next startup recovers them.
+            // Their reservations are owned by hung workers and stay
+            // booked — accurate, since the work may still be running.
+            let stranded: Vec<(u64, Arc<JobState>)> = self.inflight.lock().drain().collect();
+            for (id, state) in stranded {
+                let failed = JobOutcome::Failed {
+                    job: id,
+                    error: ServiceError::Interrupted,
+                    charged: 0,
+                    resilience: ResilienceStats::default(),
+                };
+                // ma-lint: allow(lock-order) reason="the inflight guard above is a temporary released when `stranded` finishes collecting; only the Vec outlives that statement"
+                let mut slot = state.outcome.lock();
+                if slot.is_none() {
+                    *slot = Some(failed);
+                    state.ready.notify_all();
+                    drop(slot);
+                    if let Some(journal) = &self.journal {
+                        let _ = journal.append(&JournalRecord::Interrupted { job: id });
+                    }
+                    self.metrics.record_interrupted();
+                    self.outstanding.dec();
+                    interrupted.push(id);
+                }
+            }
+        }
+        if let Some((sender, handle)) = self.supervisor.take() {
+            let _ = sender.send(SupervisorMsg::Shutdown);
+            let _ = handle.join();
+        }
+        let workers = std::mem::take(&mut *self.workers.lock());
+        if interrupted.is_empty() {
+            for worker in workers {
+                let _ = worker.join();
+            }
+        }
+        // else: some workers are hung on interrupted jobs — detach them;
+        // the process is exiting and the journal has what recovery needs.
+        if let Some(journal) = &self.journal {
+            let _ = journal.sync();
+        }
+        ShutdownReport { clean, interrupted }
     }
 
     /// The world being estimated over.
@@ -444,6 +798,29 @@ impl Service {
         self.faulty.as_ref()
     }
 
+    /// The crash injector, when the service was configured with a
+    /// [`ServiceConfig::crash_plan`].
+    pub fn crash_injector(&self) -> Option<&Arc<CrashInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// The write-ahead journal, when configured.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// What startup journal replay recovered, when a journal was
+    /// configured.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Handles of the jobs startup replay requeued, in admission order;
+    /// join them like freshly submitted jobs.
+    pub fn recovered_jobs(&self) -> &[JobHandle] {
+        &self.recovered_handles
+    }
+
     /// The global quota accountant.
     pub fn quota(&self) -> &GlobalQuota {
         &self.quota
@@ -460,8 +837,9 @@ impl Service {
     }
 
     /// A point-in-time copy of the service counters. Coalescing counters
-    /// live on the singleflight layer (they are service-wide, not
-    /// per-job), so the snapshot overlays them here.
+    /// live on the singleflight layer and journal drop counters on the
+    /// journal (they are service-wide, not per-job), so the snapshot
+    /// overlays them here.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
         if let Some(stats) = self.coalesce_stats() {
@@ -470,39 +848,224 @@ impl Service {
             snap.coalesce_aborts = stats.aborts;
             snap.coalesce_peak_inflight = stats.peak_inflight;
         }
+        if let Some(journal) = &self.journal {
+            snap.journal_records_dropped += journal.dropped_appends();
+        }
         snap
     }
 
-    /// Worker thread count.
+    /// Worker thread count (including supervisor respawns).
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.workers.lock().len()
     }
 }
 
 impl Drop for Service {
     fn drop(&mut self) {
-        self.sender.take();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        if !self.drained {
+            let _ = self.drain();
         }
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_job(
-    analyzer: &MicroblogAnalyzer<'_>,
-    shared_layer: &Arc<dyn CacheLayer>,
-    quota: &GlobalQuota,
-    metrics: &MetricsRegistry,
-    clock: &TelemetryClock,
-    default_retry: &RetryPolicy,
-    tracer: &Tracer,
-    job: Job,
+fn spawn_worker(ctx: Arc<WorkerCtx>) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let analyzer = match (&ctx.faulty, &ctx.custom_backend) {
+            (Some(injector), _) => MicroblogAnalyzer::with_backend(&**injector, ctx.api.clone()),
+            (None, Some(custom)) => MicroblogAnalyzer::with_backend(&**custom, ctx.api.clone()),
+            (None, None) => MicroblogAnalyzer::new(&ctx.platform, ctx.api.clone()),
+        };
+        loop {
+            // Hold the lock only to pull the next job; when the channel
+            // closes (all senders dropped) the worker exits.
+            let job = match ctx.receiver.lock().recv() {
+                Ok(job) => job,
+                Err(_) => break,
+            };
+            match run_job(&analyzer, &ctx, job) {
+                RunEnd::Done => {}
+                RunEnd::Crashed { point, job } => {
+                    // A crashpoint killed this worker: hand the job to
+                    // the supervisor (which respawns a replacement) and
+                    // die.
+                    let _ = ctx.supervisor.send(SupervisorMsg::Crashed { point, job });
+                    return;
+                }
+            }
+        }
+    })
+}
+
+/// Watches for crashed workers: respawns each one and requeues its job
+/// from the last checkpoint. Exits on [`SupervisorMsg::Shutdown`],
+/// dropping its job-sender clone so draining workers can see the
+/// channel close.
+fn supervisor_loop(
+    ctx: Arc<WorkerCtx>,
+    inbox: mpsc::Receiver<SupervisorMsg>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    jobs: mpsc::Sender<Job>,
 ) {
-    let started = clock.now();
+    while let Ok(msg) = inbox.recv() {
+        let SupervisorMsg::Crashed { point, job } = msg else {
+            break;
+        };
+        ctx.metrics.record_respawned();
+        workers.lock().push(spawn_worker(Arc::clone(&ctx)));
+        if ctx.tracer.is_enabled() {
+            ctx.tracer.emit(
+                Category::Recovery,
+                "respawn",
+                &[
+                    ("point", FieldValue::Str(point.clone())),
+                    (
+                        "job_id",
+                        FieldValue::U64(job.as_ref().map_or(u64::MAX, |j| j.id)),
+                    ),
+                ],
+            );
+        }
+        let Some(job) = job else { continue };
+        if job.state.outcome.lock().is_some() {
+            continue; // settled and published before dying
+        }
+        // A torn-tail crash invalidates the journal for this process:
+        // requeueing would run the job without durable settlement, so
+        // park it for the next startup instead.
+        let torn = ctx.injector.as_ref().is_some_and(|inj| {
+            inj.plan().point == point && matches!(inj.plan().mode, CrashMode::TornTail { .. })
+        });
+        if torn {
+            let job = *job;
+            interrupt_job(&ctx, job.id, &job.state);
+            ctx.quota.settle(job.reservation, 0);
+            continue;
+        }
+        if let Err(mpsc::SendError(job)) = jobs.send(*job) {
+            // Shutdown raced the requeue; park the job for recovery.
+            interrupt_job(&ctx, job.id, &job.state);
+            ctx.quota.settle(job.reservation, 0);
+        }
+    }
+}
+
+/// Fails a job's handle with [`ServiceError::Interrupted`] and journals
+/// the interruption so the next startup recovers it.
+fn interrupt_job(ctx: &WorkerCtx, id: u64, state: &Arc<JobState>) {
+    let mut slot = state.outcome.lock();
+    if slot.is_some() {
+        return;
+    }
+    *slot = Some(JobOutcome::Failed {
+        job: id,
+        error: ServiceError::Interrupted,
+        charged: 0,
+        resilience: ResilienceStats::default(),
+    });
+    state.ready.notify_all();
+    drop(slot);
+    if let Some(journal) = &ctx.journal {
+        let _ = journal.append(&JournalRecord::Interrupted { job: id });
+    }
+    ctx.metrics.record_interrupted();
+    ctx.inflight.lock().remove(&id);
+    ctx.outstanding.dec();
+}
+
+/// The per-job checkpoint sink: journals every checkpoint, keeps the
+/// latest in memory for crash requeues, and hosts the `checkpoint`
+/// crashpoint.
+struct JobSink {
+    job: u64,
+    journal: Option<Arc<Journal>>,
+    injector: Option<Arc<CrashInjector>>,
+    metrics: Arc<MetricsRegistry>,
+    tracer: Tracer,
+    latest: std::sync::Mutex<Option<Box<WalkerCheckpoint>>>,
+}
+
+impl JobSink {
+    fn new(job: u64, ctx: &WorkerCtx) -> Self {
+        JobSink {
+            job,
+            journal: ctx.journal.clone(),
+            injector: ctx.injector.clone(),
+            metrics: Arc::clone(&ctx.metrics),
+            tracer: ctx.tracer.clone(),
+            latest: std::sync::Mutex::new(None),
+        }
+    }
+
+    fn take_latest(&self) -> Option<Box<WalkerCheckpoint>> {
+        // The sink's own panics (crash injection) can poison this lock;
+        // the checkpoint inside is still whole.
+        self.latest.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+impl CheckpointSink for JobSink {
+    fn record(&self, checkpoint: &WalkerCheckpoint) {
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&JournalRecord::Checkpoint {
+                job: self.job,
+                checkpoint: Box::new(checkpoint.clone()),
+            });
+        }
+        self.metrics.record_checkpoint();
+        if self.tracer.is_enabled() {
+            self.tracer.emit(
+                Category::Checkpoint,
+                "checkpoint",
+                &[
+                    ("job_id", FieldValue::U64(self.job)),
+                    ("steps", FieldValue::U64(checkpoint.steps)),
+                ],
+            );
+        }
+        *self.latest.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(checkpoint.clone()));
+        // The checkpoint is durable (journaled above) before the
+        // crashpoint fires, so a kill here resumes from *this*
+        // checkpoint.
+        crash_check(&self.injector, &self.journal, "checkpoint");
+    }
+}
+
+/// Evaluates a crashpoint: kills the calling thread (and, for torn-tail
+/// shots, tears the journal first) when the armed plan fires.
+fn crash_check(injector: &Option<Arc<CrashInjector>>, journal: &Option<Arc<Journal>>, point: &str) {
+    let Some(injector) = injector else { return };
+    match injector.check(point) {
+        None => {}
+        Some(CrashMode::Kill) => {
+            // ma-lint: allow(panic-safety) reason="deliberate crash injection; the supervisor catches this panic by prefix"
+            panic!("{CRASH_PANIC_PREFIX}{point}");
+        }
+        Some(CrashMode::TornTail { drop }) => {
+            if let Some(journal) = journal {
+                let _ = journal.truncate_tail(drop);
+            }
+            // ma-lint: allow(panic-safety) reason="deliberate crash injection; the supervisor catches this panic by prefix"
+            panic!("{CRASH_PANIC_PREFIX}{point}");
+        }
+    }
+}
+
+enum RunEnd {
+    Done,
+    /// A crashpoint killed the job mid-run; `job` is `None` when the
+    /// outcome was already published (nothing to requeue).
+    Crashed {
+        point: String,
+        job: Option<Box<Job>>,
+    },
+}
+
+fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> RunEnd {
+    let started = ctx.clock.now();
     let queue_wait = started.saturating_sub(job.submitted);
-    let shared: Arc<dyn CacheLayer> = Arc::clone(shared_layer);
-    let policy = job.spec.retry.unwrap_or(*default_retry);
+    let shared: Arc<dyn CacheLayer> = Arc::clone(&ctx.shared_layer);
+    let policy = job.spec.retry.unwrap_or(ctx.default_retry);
+    let tracer = &ctx.tracer;
     let span = if tracer.is_enabled() {
         tracer.span_start(
             Category::Job,
@@ -516,15 +1079,28 @@ fn run_job(
                     "queue_wait_micros",
                     FieldValue::U64(queue_wait.as_micros() as u64),
                 ),
+                ("resumed", FieldValue::U64(job.resume.is_some() as u64)),
             ],
         )
     } else {
         0
     };
+    let sink = JobSink::new(job.id, ctx);
+    let checkpoints_on =
+        ctx.checkpoint_every > 0 && (ctx.journal.is_some() || ctx.injector.is_some());
     // A panicking estimator must not strand joiners: catch it, settle the
     // reservation, and surface it as an outcome like any other failure.
+    // Crash-injection panics are the exception — they unwind through
+    // here and are handed to the supervisor for requeue.
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        analyzer.run_traced(
+        crash_check(&ctx.injector, &ctx.journal, "post_admit");
+        crash_check(&ctx.injector, &ctx.journal, "post_reserve");
+        let mut ctl = if checkpoints_on {
+            CheckpointCtl::new(ctx.checkpoint_every, &sink)
+        } else {
+            CheckpointCtl::disabled()
+        };
+        let report = analyzer.run_recoverable(
             &job.spec.query,
             job.spec.budget,
             job.spec.algorithm,
@@ -532,9 +1108,13 @@ fn run_job(
             Some(shared),
             &policy,
             tracer.clone(),
-        )
+            &mut ctl,
+            job.resume.as_deref(),
+        );
+        crash_check(&ctx.injector, &ctx.journal, "pre_settle");
+        report
     }));
-    let exec = clock.now().saturating_sub(started);
+    let exec = ctx.clock.now().saturating_sub(started);
     if tracer.is_enabled() {
         let (outcome, charged) = match &result {
             Ok(report) => (
@@ -544,7 +1124,10 @@ fn run_job(
                 },
                 report.charged,
             ),
-            Err(_) => ("panic".to_string(), job.reservation.amount()),
+            Err(payload) => match crash_point(payload.as_ref()) {
+                Some(point) => (format!("crash:{point}"), 0),
+                None => ("panic".to_string(), job.reservation.amount()),
+            },
         };
         tracer.span_end(
             Category::Job,
@@ -561,10 +1144,19 @@ fn run_job(
     let outcome = match result {
         Ok(report) => {
             // Settle down to what the run actually charged — success or
-            // not, the unused remainder goes back to the pool.
+            // not, the unused remainder goes back to the pool. The
+            // settle record is journaled before the outcome is
+            // published, so recovery and the caller agree.
             let refunded = job.reservation.amount().saturating_sub(report.charged);
-            quota.settle(job.reservation, report.charged);
-            metrics.record_job(&job_metrics(&report, refunded, queue_wait, exec));
+            ctx.quota.settle(job.reservation, report.charged);
+            if let Some(journal) = &ctx.journal {
+                let _ = journal.append(&JournalRecord::Settle {
+                    job: job.id,
+                    used: report.charged,
+                });
+            }
+            ctx.metrics
+                .record_job(&job_metrics(&report, refunded, queue_wait, exec));
             let RunReport {
                 outcome,
                 charged,
@@ -598,11 +1190,29 @@ fn run_job(
             }
         }
         Err(panic) => {
-            // A panic leaves no report, so nothing can be refunded: the
-            // whole reservation is conservatively treated as consumed.
+            if let Some(point) = crash_point(panic.as_ref()) {
+                // Deliberate crash: resume from the freshest checkpoint
+                // this run emitted, falling back to the one it started
+                // from. The reservation travels with the job — never
+                // settled, so recovery cannot double-charge.
+                let point = point.to_string();
+                job.resume = sink.take_latest().or(job.resume);
+                return RunEnd::Crashed {
+                    point,
+                    job: Some(Box::new(job)),
+                };
+            }
+            // A real panic leaves no report, so nothing can be refunded:
+            // the whole reservation is conservatively treated as consumed.
             let amount = job.reservation.amount();
-            quota.settle(job.reservation, amount);
-            metrics.record_job(&JobMetrics {
+            ctx.quota.settle(job.reservation, amount);
+            if let Some(journal) = &ctx.journal {
+                let _ = journal.append(&JournalRecord::Settle {
+                    job: job.id,
+                    used: amount,
+                });
+            }
+            ctx.metrics.record_job(&JobMetrics {
                 succeeded: false,
                 degraded: false,
                 charged_calls: amount,
@@ -627,8 +1237,28 @@ fn run_job(
         }
     };
     let mut slot = job.state.outcome.lock();
-    *slot = Some(outcome);
-    job.state.ready.notify_all();
+    let fresh = slot.is_none();
+    if fresh {
+        *slot = Some(outcome);
+        job.state.ready.notify_all();
+    }
+    drop(slot);
+    if fresh {
+        ctx.inflight.lock().remove(&job.id);
+        ctx.outstanding.dec();
+    }
+    // The worker may still be shot after full completion; recovery then
+    // sees a settled job and reruns nothing.
+    let post = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crash_check(&ctx.injector, &ctx.journal, "post_settle");
+    }));
+    if post.is_err() {
+        return RunEnd::Crashed {
+            point: "post_settle".to_string(),
+            job: None,
+        };
+    }
+    RunEnd::Done
 }
 
 fn job_metrics(
@@ -714,7 +1344,9 @@ mod tests {
         assert_eq!(snap.jobs_submitted, 1);
         assert_eq!(snap.jobs_succeeded, 1);
         assert_eq!(snap.charged_calls, output.charged);
-        service.shutdown();
+        let report = service.shutdown();
+        assert!(report.clean);
+        assert!(report.interrupted.is_empty());
     }
 
     #[test]

@@ -1,0 +1,684 @@
+//! The write-ahead job journal.
+//!
+//! Crash-only operation needs one durable artifact: an append-only log
+//! of every job's lifecycle — admission, quota reservation, walker
+//! checkpoints, settlement — from which a restarted service can rebuild
+//! exactly the in-flight work it lost. [`Journal`] is that log:
+//!
+//! - **Record format.** Each record is `[len: u32 LE][crc32: u32 LE]
+//!   [payload]`, where the payload is the JSON encoding of a
+//!   [`JournalRecord`]. Length-prefixing makes the stream seekable
+//!   without parsing; the CRC makes torn or bit-flipped tails
+//!   detectable.
+//! - **Torn-tail tolerance.** A crash mid-append leaves a partial (or
+//!   corrupt) final record. [`decode_records`] stops at the first record
+//!   that fails its length, checksum, or parse check and reports how
+//!   many bytes it dropped; [`Journal::open`] truncates the file back to
+//!   the last good boundary so the writer never appends after garbage.
+//! - **Batched durability.** Appends buffer in the OS and are fsync'd in
+//!   batches: every [`SYNC_BATCH`] records, and immediately for the
+//!   records recovery correctness depends on ([`JournalRecord::Settle`],
+//!   [`JournalRecord::Interrupted`]). Each sync is stamped with a
+//!   logical-clock tick so trace timelines can order durability points
+//!   against job events.
+//! - **Replay.** [`replay`] folds a record stream into a
+//!   [`ReplaySummary`]: which jobs settled (and what they consumed, for
+//!   [`GlobalQuota::adopt`](crate::GlobalQuota::adopt)), and which were
+//!   in flight — each with its latest checkpoint — for the service to
+//!   requeue. Duplicate settle records are idempotent: a job settles
+//!   once no matter how often the record appears, so replay can never
+//!   double-charge the quota.
+//!
+//! This module is the only place in `crates/service` (and `crates/core`)
+//! allowed to touch `std::fs` for writing — the `fs-write` lint rule
+//! keeps every other durable side effect out of the estimation stack.
+
+use crate::clock::TelemetryClock;
+use crate::request::JobSpec;
+use microblog_analyzer::WalkerCheckpoint;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One journaled lifecycle event.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum JournalRecord {
+    /// A job passed admission control.
+    Admit {
+        /// The service-assigned job id.
+        job: u64,
+        /// The full job specification, enough to re-run it.
+        spec: JobSpec,
+    },
+    /// The job's budget was reserved from the global quota.
+    Reserve {
+        /// The job id.
+        job: u64,
+        /// Reserved call count (the job's budget).
+        amount: u64,
+    },
+    /// A walker checkpoint was taken.
+    Checkpoint {
+        /// The job id.
+        job: u64,
+        /// The resumable walker state, boxed so this variant does not
+        /// dwarf the others (a checkpoint is a few kilobytes).
+        checkpoint: Box<WalkerCheckpoint>,
+    },
+    /// The job finished and its reservation was settled.
+    Settle {
+        /// The job id.
+        job: u64,
+        /// Calls actually charged (the rest of the reservation was
+        /// refunded).
+        used: u64,
+    },
+    /// The job was journaled as interrupted (shutdown drain deadline or
+    /// a torn-journal crash); it is still unsettled and will be
+    /// recovered on restart.
+    Interrupted {
+        /// The job id.
+        job: u64,
+    },
+}
+
+impl JournalRecord {
+    /// The job id the record belongs to.
+    pub fn job(&self) -> u64 {
+        match self {
+            JournalRecord::Admit { job, .. }
+            | JournalRecord::Reserve { job, .. }
+            | JournalRecord::Checkpoint { job, .. }
+            | JournalRecord::Settle { job, .. }
+            | JournalRecord::Interrupted { job } => *job,
+        }
+    }
+
+    /// Records recovery correctness depends on; these force an fsync.
+    fn is_critical(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::Settle { .. } | JournalRecord::Interrupted { .. }
+        )
+    }
+}
+
+/// Appends per fsync batch (critical records sync immediately).
+pub const SYNC_BATCH: u64 = 32;
+
+/// Upper bound on a single record's payload; anything larger is treated
+/// as corruption (a real checkpoint is a few kilobytes).
+const MAX_RECORD: u32 = 64 << 20;
+
+/// The journal file name inside the journal directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+const CRC_TABLE: [u32; 256] = crc32_table();
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                0xEDB8_8320 ^ (crc >> 1)
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        // ma-lint: allow(panic-safety) reason="const loop bounds i < 256 over a [u32; 256] table"
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes` (the checksum in every record header).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        // ma-lint: allow(panic-safety) reason="index masked to 0..=255; the table has 256 entries"
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// What decoding a journal byte stream produced.
+#[derive(Debug)]
+pub struct DecodedJournal {
+    /// Every record up to the first corrupt or partial one.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the valid prefix (the repair truncation point).
+    pub valid_len: u64,
+    /// Bytes after the valid prefix that were dropped.
+    pub dropped_bytes: u64,
+}
+
+/// Decodes a journal byte stream, stopping — never panicking — at the
+/// first torn, truncated, oversized, checksum-mismatched, or unparseable
+/// record. Everything after the first bad record is dropped: a torn
+/// write makes the rest of the stream untrustworthy.
+pub fn decode_records(bytes: &[u8]) -> DecodedJournal {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while let Some(len) = le_u32_at(bytes, offset) {
+        let Some(crc) = le_u32_at(bytes, offset + 4) else {
+            break;
+        };
+        if len > MAX_RECORD {
+            break;
+        }
+        let start = offset + 8;
+        let Some(payload) = bytes.get(start..start + len as usize) else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(text) = std::str::from_utf8(payload) else {
+            break;
+        };
+        let Ok(record) = serde_json::from_str::<JournalRecord>(text) else {
+            break;
+        };
+        records.push(record);
+        offset = start + len as usize;
+    }
+    DecodedJournal {
+        records,
+        valid_len: offset as u64,
+        dropped_bytes: (bytes.len() - offset) as u64,
+    }
+}
+
+/// Little-endian `u32` at byte offset `at`, or `None` past the end —
+/// decoding must stay panic-free on arbitrary bytes.
+fn le_u32_at(bytes: &[u8], at: usize) -> Option<u32> {
+    let field = bytes.get(at..at.checked_add(4)?)?;
+    let mut word = 0u32;
+    for (shift, &b) in field.iter().enumerate() {
+        word |= (b as u32) << (8 * shift as u32);
+    }
+    Some(word)
+}
+
+/// A job the journal shows as admitted but never settled; the service
+/// requeues it at startup.
+#[derive(Clone, Debug)]
+pub struct RecoveredJob {
+    /// The job id (reused, so its later records extend the same trail).
+    pub job: u64,
+    /// The job specification to re-run.
+    pub spec: JobSpec,
+    /// The latest checkpoint, when the walker got far enough to emit
+    /// one; `None` restarts the job from scratch.
+    pub checkpoint: Option<Box<WalkerCheckpoint>>,
+    /// Whether the job was journaled as interrupted at shutdown.
+    pub interrupted: bool,
+}
+
+/// The outcome of replaying a journal.
+#[derive(Debug, Default)]
+pub struct ReplaySummary {
+    /// Valid records replayed.
+    pub records: u64,
+    /// Bytes dropped off a torn or corrupt tail.
+    pub dropped_bytes: u64,
+    /// Jobs the journal shows as settled.
+    pub settled_jobs: u64,
+    /// Calls those settled jobs consumed (adopted into the quota).
+    pub consumed: u64,
+    /// Unsettled jobs to requeue, in admission order.
+    pub recovered: Vec<RecoveredJob>,
+    /// First job id the restarted service may assign without colliding
+    /// with a journaled one.
+    pub next_job_id: u64,
+}
+
+/// Folds a decoded record stream into the state a restarted service
+/// needs. Settle records are idempotent per job — replay counts a job's
+/// consumption exactly once however often its settle appears, so a
+/// journal can never double-charge the quota.
+pub fn replay(decoded: &DecodedJournal) -> ReplaySummary {
+    #[derive(Default)]
+    struct JobFold {
+        spec: Option<JobSpec>,
+        checkpoint: Option<Box<WalkerCheckpoint>>,
+        settled: Option<u64>,
+        interrupted: bool,
+        order: u64,
+    }
+    let mut jobs: std::collections::BTreeMap<u64, JobFold> = std::collections::BTreeMap::new();
+    let mut admitted = 0u64;
+    let mut next_job_id = 0u64;
+    for record in &decoded.records {
+        next_job_id = next_job_id.max(record.job() + 1);
+        let fold = jobs.entry(record.job()).or_default();
+        match record {
+            JournalRecord::Admit { spec, .. } => {
+                if fold.spec.is_none() {
+                    fold.spec = Some(spec.clone());
+                    fold.order = admitted;
+                    admitted += 1;
+                }
+            }
+            JournalRecord::Reserve { .. } => {}
+            JournalRecord::Checkpoint { checkpoint, .. } => {
+                fold.checkpoint = Some(checkpoint.clone());
+            }
+            JournalRecord::Settle { used, .. } => {
+                // First settle wins; duplicates are replay noise.
+                fold.settled.get_or_insert(*used);
+            }
+            JournalRecord::Interrupted { .. } => fold.interrupted = true,
+        }
+    }
+    let mut summary = ReplaySummary {
+        records: decoded.records.len() as u64,
+        dropped_bytes: decoded.dropped_bytes,
+        next_job_id,
+        ..ReplaySummary::default()
+    };
+    let mut recovered: Vec<(u64, RecoveredJob)> = Vec::new();
+    for (job, fold) in jobs {
+        if let Some(used) = fold.settled {
+            summary.settled_jobs += 1;
+            summary.consumed += used;
+        } else if let Some(spec) = fold.spec {
+            recovered.push((
+                fold.order,
+                RecoveredJob {
+                    job,
+                    spec,
+                    checkpoint: fold.checkpoint,
+                    interrupted: fold.interrupted,
+                },
+            ));
+        }
+    }
+    recovered.sort_by_key(|(order, _)| *order);
+    summary.recovered = recovered.into_iter().map(|(_, job)| job).collect();
+    summary
+}
+
+struct Writer {
+    file: File,
+    len: u64,
+    pending: u64,
+    /// Set by crash injection tearing the tail: the stream past `len` is
+    /// untrustworthy, so further appends are discarded instead of being
+    /// written after garbage.
+    torn: bool,
+}
+
+/// The append side of the write-ahead journal. Thread-safe: workers
+/// append concurrently under one mutex; the file is the only shared
+/// state.
+pub struct Journal {
+    path: PathBuf,
+    writer: Mutex<Writer>,
+    clock: Arc<TelemetryClock>,
+    appended: AtomicU64,
+    syncs: AtomicU64,
+    last_sync_tick: AtomicU64,
+    dropped_appends: AtomicU64,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal in `dir`, repairs any torn
+    /// tail, and returns the replay summary of what the log contained.
+    pub fn open(dir: &Path, clock: Arc<TelemetryClock>) -> io::Result<(Journal, ReplaySummary)> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let decoded = decode_records(&bytes);
+        if decoded.dropped_bytes > 0 {
+            // Repair: chop the torn tail so appends restart at the last
+            // good record boundary.
+            file.set_len(decoded.valid_len)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(decoded.valid_len))?;
+        let summary = replay(&decoded);
+        let journal = Journal {
+            path,
+            writer: Mutex::new(Writer {
+                file,
+                len: decoded.valid_len,
+                pending: 0,
+                torn: false,
+            }),
+            clock,
+            appended: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            last_sync_tick: AtomicU64::new(0),
+            dropped_appends: AtomicU64::new(0),
+        };
+        Ok((journal, summary))
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record, fsyncing per the batching policy (immediately
+    /// for critical records, every [`SYNC_BATCH`] otherwise). After a
+    /// torn tail the append is counted as dropped instead of written —
+    /// the stream past the tear is already untrustworthy.
+    pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
+        let payload = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let payload = payload.as_bytes();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        // Crash injection poisons this mutex when it kills a worker
+        // mid-append path; the inner state is still consistent (writes
+        // are whole-frame), so recover the guard rather than propagate.
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if writer.torn {
+            self.dropped_appends.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        writer.file.write_all(&frame)?;
+        writer.len += frame.len() as u64;
+        writer.pending += 1;
+        self.appended.fetch_add(1, Ordering::Relaxed);
+        if record.is_critical() || writer.pending >= SYNC_BATCH {
+            self.sync_locked(&mut writer)?;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync of everything appended so far.
+    pub fn sync(&self) -> io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        if writer.pending > 0 {
+            self.sync_locked(&mut writer)?;
+        }
+        Ok(())
+    }
+
+    fn sync_locked(&self, writer: &mut Writer) -> io::Result<()> {
+        writer.file.sync_data()?;
+        writer.pending = 0;
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        // Stamp the durability point on the logical clock so traces can
+        // order it against job events.
+        self.last_sync_tick
+            .store(self.clock.now().as_micros() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Crash injection: tears `drop` bytes off the journal tail,
+    /// simulating a crash mid-append. Subsequent appends are discarded
+    /// (and counted) until the journal is reopened and repaired.
+    pub fn truncate_tail(&self, drop: u64) -> io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        writer.len = writer.len.saturating_sub(drop);
+        writer.file.set_len(writer.len)?;
+        writer.file.sync_data()?;
+        writer.torn = true;
+        Ok(())
+    }
+
+    /// Records appended (excluding drops) since this handle opened.
+    pub fn appended(&self) -> u64 {
+        self.appended.load(Ordering::Relaxed)
+    }
+
+    /// Fsync batches flushed.
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::Relaxed)
+    }
+
+    /// Logical-clock tick (µs) of the most recent fsync.
+    pub fn last_sync_tick(&self) -> u64 {
+        self.last_sync_tick.load(Ordering::Relaxed)
+    }
+
+    /// Appends discarded after a torn tail.
+    pub fn dropped_appends(&self) -> u64 {
+        self.dropped_appends.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("appended", &self.appended())
+            .field("syncs", &self.syncs())
+            .finish()
+    }
+}
+
+impl Drop for Journal {
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{TelemetryClock, TelemetryMode};
+    use microblog_analyzer::query::parse::parse_query;
+    use microblog_analyzer::Algorithm;
+    use microblog_platform::scenario::{twitter_2013, Scale};
+
+    fn clock() -> Arc<TelemetryClock> {
+        Arc::new(TelemetryClock::new(TelemetryMode::Logical))
+    }
+
+    fn spec(budget: u64, seed: u64) -> JobSpec {
+        let scenario = twitter_2013(Scale::Tiny, 2014);
+        let query = parse_query(
+            "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+            scenario.platform.keywords(),
+        )
+        .unwrap();
+        JobSpec::new(query, Algorithm::MaTarw { interval: None }, budget, seed)
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ma-journal-{tag}-{}",
+            std::process::id() as u64 ^ (tag.as_ptr() as u64)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_round_trip_through_the_file() {
+        let dir = tempdir("roundtrip");
+        let records = vec![
+            JournalRecord::Admit {
+                job: 0,
+                spec: spec(1_000, 7),
+            },
+            JournalRecord::Reserve {
+                job: 0,
+                amount: 1_000,
+            },
+            JournalRecord::Settle { job: 0, used: 412 },
+        ];
+        {
+            let (journal, summary) = Journal::open(&dir, clock()).unwrap();
+            assert_eq!(summary.records, 0);
+            for r in &records {
+                journal.append(r).unwrap();
+            }
+        }
+        let (_, summary) = Journal::open(&dir, clock()).unwrap();
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.settled_jobs, 1);
+        assert_eq!(summary.consumed, 412);
+        assert!(summary.recovered.is_empty());
+        assert_eq!(summary.next_job_id, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsettled_jobs_are_recovered_in_admission_order() {
+        let decoded = DecodedJournal {
+            records: vec![
+                JournalRecord::Admit {
+                    job: 3,
+                    spec: spec(500, 1),
+                },
+                JournalRecord::Admit {
+                    job: 1,
+                    spec: spec(700, 2),
+                },
+                JournalRecord::Interrupted { job: 1 },
+                JournalRecord::Admit {
+                    job: 2,
+                    spec: spec(900, 3),
+                },
+                JournalRecord::Settle { job: 2, used: 900 },
+            ],
+            valid_len: 0,
+            dropped_bytes: 0,
+        };
+        let summary = replay(&decoded);
+        assert_eq!(summary.settled_jobs, 1);
+        assert_eq!(summary.consumed, 900);
+        assert_eq!(summary.next_job_id, 4);
+        let ids: Vec<u64> = summary.recovered.iter().map(|r| r.job).collect();
+        assert_eq!(ids, vec![3, 1], "admission order, not id order");
+        assert!(summary.recovered[1].interrupted);
+    }
+
+    #[test]
+    fn duplicate_settles_count_once() {
+        let decoded = DecodedJournal {
+            records: vec![
+                JournalRecord::Admit {
+                    job: 5,
+                    spec: spec(400, 9),
+                },
+                JournalRecord::Settle { job: 5, used: 100 },
+                JournalRecord::Settle { job: 5, used: 100 },
+                JournalRecord::Settle { job: 5, used: 999 },
+            ],
+            valid_len: 0,
+            dropped_bytes: 0,
+        };
+        let summary = replay(&decoded);
+        assert_eq!(summary.settled_jobs, 1);
+        assert_eq!(summary.consumed, 100, "first settle wins, exactly once");
+        assert!(summary.recovered.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_on_reopen() {
+        let dir = tempdir("torn");
+        let good_len;
+        {
+            let (journal, _) = Journal::open(&dir, clock()).unwrap();
+            journal
+                .append(&JournalRecord::Admit {
+                    job: 0,
+                    spec: spec(1_000, 7),
+                })
+                .unwrap();
+            journal.sync().unwrap();
+            good_len = std::fs::metadata(journal.path()).unwrap().len();
+            journal
+                .append(&JournalRecord::Reserve {
+                    job: 0,
+                    amount: 1_000,
+                })
+                .unwrap();
+            // Crash mid-append: lose the tail of the reserve record.
+            journal.truncate_tail(5).unwrap();
+            // Post-tear appends are discarded, not written after garbage.
+            journal
+                .append(&JournalRecord::Settle { job: 0, used: 1 })
+                .unwrap();
+            assert_eq!(journal.dropped_appends(), 1);
+        }
+        let (journal, summary) = Journal::open(&dir, clock()).unwrap();
+        assert_eq!(summary.records, 1, "only the admit survived");
+        assert!(summary.dropped_bytes > 0);
+        assert_eq!(summary.recovered.len(), 1, "job is still in flight");
+        assert_eq!(
+            std::fs::metadata(journal.path()).unwrap().len(),
+            good_len,
+            "reopen truncates back to the last good boundary"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flips_stop_decoding_without_panic() {
+        let mut bytes = Vec::new();
+        for (i, record) in [
+            JournalRecord::Admit {
+                job: 0,
+                spec: spec(100, 1),
+            },
+            JournalRecord::Settle { job: 0, used: 50 },
+        ]
+        .iter()
+        .enumerate()
+        {
+            let payload = serde_json::to_string(record).unwrap();
+            let payload = payload.as_bytes();
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+            bytes.extend_from_slice(payload);
+            if i == 0 {
+                // Flip a bit in the middle of the first record's payload.
+                let at = bytes.len() - payload.len() / 2;
+                bytes[at] ^= 0x10;
+            }
+        }
+        let decoded = decode_records(&bytes);
+        assert_eq!(decoded.records.len(), 0, "corrupt first record drops all");
+        assert_eq!(decoded.valid_len, 0);
+        assert_eq!(decoded.dropped_bytes, bytes.len() as u64);
+        let summary = replay(&decoded);
+        assert_eq!(summary.settled_jobs, 0);
+    }
+
+    #[test]
+    fn critical_records_sync_immediately() {
+        let dir = tempdir("sync");
+        let (journal, _) = Journal::open(&dir, clock()).unwrap();
+        journal
+            .append(&JournalRecord::Reserve { job: 0, amount: 1 })
+            .unwrap();
+        assert_eq!(journal.syncs(), 0, "plain records batch");
+        journal
+            .append(&JournalRecord::Settle { job: 0, used: 1 })
+            .unwrap();
+        assert_eq!(journal.syncs(), 1, "settle forces the batch out");
+        assert!(journal.last_sync_tick() > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32/ISO-HDLC check: crc32(b"123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -30,6 +30,14 @@
 //!   charged — failed and degraded jobs refund the rest — and a
 //!   [`JobOutcome::Degraded`] carries the partial estimate plus the
 //!   error trail.
+//! - **Crash-only recovery** — with [`ServiceConfig::journal`] set, a
+//!   write-ahead [`Journal`] records every job's lifecycle (admit,
+//!   reserve, walker checkpoints, settle) and [`Service::start`]
+//!   replays it: settled consumption is adopted into the quota exactly
+//!   once and unfinished jobs are requeued from their latest
+//!   checkpoint, with estimates, charges and settlement bit-identical
+//!   to the uninterrupted run. An in-process supervisor respawns
+//!   crashed workers the same way (DESIGN.md §12).
 //!
 //! ```no_run
 //! use microblog_service::{JobSpec, Service, ServiceConfig};
@@ -64,6 +72,7 @@ pub mod cache;
 pub mod clock;
 pub mod engine;
 pub mod frontend;
+pub mod journal;
 pub mod lru;
 pub mod metrics;
 pub mod quota;
@@ -72,8 +81,12 @@ pub mod traceview;
 
 pub use cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
 pub use clock::{TelemetryClock, TelemetryMode};
-pub use engine::{JobHandle, JobOutcome, JobOutput, Service, ServiceConfig, ServiceError};
+pub use engine::{
+    JobHandle, JobOutcome, JobOutput, RecoveryReport, Service, ServiceConfig, ServiceError,
+    ShutdownReport,
+};
 pub use frontend::{run_batch, BatchSummary};
+pub use journal::{Journal, JournalRecord, RecoveredJob, ReplaySummary};
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 pub use quota::{GlobalQuota, Reservation};
 pub use request::{JobSpec, QueryRequest, QueryResponse};

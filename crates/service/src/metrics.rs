@@ -84,6 +84,11 @@ pub struct MetricsRegistry {
     rate_limited_hits: AtomicU64,
     breaker_opens: AtomicU64,
     breaker_fast_fails: AtomicU64,
+    checkpoints_written: AtomicU64,
+    jobs_resumed: AtomicU64,
+    workers_respawned: AtomicU64,
+    jobs_interrupted: AtomicU64,
+    journal_records_dropped: AtomicU64,
     queue_wait_total: AtomicU64,
     exec_total: AtomicU64,
     charged_per_sample_hist: Log2Histogram,
@@ -125,6 +130,33 @@ impl MetricsRegistry {
     /// Counts a rejected submission (admission control).
     pub fn record_rejected(&self) {
         self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a walker checkpoint written to the sink/journal.
+    pub fn record_checkpoint(&self) {
+        self.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job resumed from the journal at startup.
+    pub fn record_resumed(&self) {
+        self.jobs_resumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a worker the supervisor respawned after a crash.
+    pub fn record_respawned(&self) {
+        self.workers_respawned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a job journaled as interrupted (drain deadline or torn
+    /// journal).
+    pub fn record_interrupted(&self) {
+        self.jobs_interrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts journal records dropped (torn-tail repair and discarded
+    /// post-tear appends).
+    pub fn record_journal_dropped(&self, n: u64) {
+        self.journal_records_dropped.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Folds one finished job into the totals.
@@ -200,6 +232,11 @@ impl MetricsRegistry {
             rate_limited_hits: self.rate_limited_hits.load(Ordering::Relaxed),
             breaker_opens: self.breaker_opens.load(Ordering::Relaxed),
             breaker_fast_fails: self.breaker_fast_fails.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            jobs_resumed: self.jobs_resumed.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            jobs_interrupted: self.jobs_interrupted.load(Ordering::Relaxed),
+            journal_records_dropped: self.journal_records_dropped.load(Ordering::Relaxed),
             // Coalescing counters live on the service's singleflight
             // layer, not in the per-job fold; `Service::metrics_snapshot`
             // overlays them.
@@ -269,6 +306,16 @@ pub struct MetricsSnapshot {
     pub breaker_opens: u64,
     /// Calls rejected by an open breaker without touching the platform.
     pub breaker_fast_fails: u64,
+    /// Walker checkpoints written to the sink/journal.
+    pub checkpoints_written: u64,
+    /// Jobs resumed from the journal at startup.
+    pub jobs_resumed: u64,
+    /// Workers the supervisor respawned after crashes.
+    pub workers_respawned: u64,
+    /// Jobs journaled as interrupted (drain deadline or torn journal).
+    pub jobs_interrupted: u64,
+    /// Journal records dropped (torn-tail repair + post-tear appends).
+    pub journal_records_dropped: u64,
     /// Cache misses that led a singleflight fetch.
     pub coalesce_leads: u64,
     /// Cache misses absorbed by parking on an in-flight fetch of the
@@ -356,6 +403,14 @@ impl MetricsSnapshot {
             ("rate_limited_hits".into(), self.rate_limited_hits),
             ("breaker_opens".into(), self.breaker_opens),
             ("breaker_fast_fails".into(), self.breaker_fast_fails),
+            ("checkpoints_written".into(), self.checkpoints_written),
+            ("jobs_resumed".into(), self.jobs_resumed),
+            ("workers_respawned".into(), self.workers_respawned),
+            ("jobs_interrupted".into(), self.jobs_interrupted),
+            (
+                "journal_records_dropped".into(),
+                self.journal_records_dropped,
+            ),
             ("coalesce_leads".into(), self.coalesce_leads),
             ("coalesce_waits".into(), self.coalesce_waits),
             ("coalesce_aborts".into(), self.coalesce_aborts),
@@ -454,6 +509,20 @@ impl MetricsSnapshot {
             format!(
                 "{} open(s), {} fast-fail(s)",
                 self.breaker_opens, self.breaker_fast_fails
+            ),
+        );
+        line(
+            "checkpoints",
+            format!(
+                "{} written, {} jobs resumed",
+                self.checkpoints_written, self.jobs_resumed
+            ),
+        );
+        line(
+            "recovery",
+            format!(
+                "{} respawn(s), {} interrupted, {} journal record(s) dropped",
+                self.workers_respawned, self.jobs_interrupted, self.journal_records_dropped
             ),
         );
         line(

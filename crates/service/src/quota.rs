@@ -101,6 +101,14 @@ impl GlobalQuota {
         inner.consumed += used;
     }
 
+    /// Adopts `used` calls as already consumed — journal replay calls
+    /// this at startup for jobs a previous process settled, so a
+    /// restarted service resumes accounting where the old one stopped
+    /// without ever re-reserving for finished work.
+    pub fn adopt(&self, used: u64) {
+        self.inner.lock().consumed += used;
+    }
+
     /// Calls charged by finished jobs.
     pub fn consumed(&self) -> u64 {
         self.inner.lock().consumed

@@ -12,7 +12,7 @@ use microblog_platform::Duration;
 use serde::{Deserialize, Serialize};
 
 /// Everything the engine needs to run one estimation job.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct JobSpec {
     /// The parsed aggregate query.
     pub query: AggregateQuery,

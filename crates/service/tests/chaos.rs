@@ -60,6 +60,7 @@ fn chaos_storm_settles_exactly_under_contention() {
             },
             fault_plan: Some(FaultPlan::mixed(23, 0.2).with_max_consecutive(2)),
             retry: RetryPolicy::resilient().with_max_attempts(10),
+            ..ServiceConfig::default()
         },
     ));
     let threads: Vec<_> = (0..SUBMITTERS)

@@ -1,0 +1,365 @@
+//! Crash-injection and recovery integration tests: the headline
+//! invariant of the crash-only engine is that a job resumed from any
+//! checkpoint — by the in-process supervisor or by journal replay in a
+//! fresh process — produces bit-identical estimates, charged totals,
+//! and quota settlement to an uninterrupted run, and that no crash at
+//! any point can double-charge the global quota.
+
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::Algorithm;
+use microblog_api::{ApiProfile, RetryPolicy};
+use microblog_platform::ids::{KeywordId, PostId, UserId};
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::time::TimeWindow;
+use microblog_platform::{ApiBackend, CrashPlan, Fault, FaultPlan, Platform, CRASH_POINTS};
+use microblog_service::{
+    JobOutcome, JobOutput, JobSpec, Service, ServiceConfig, ServiceError, SharedCacheConfig,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+const QUOTA: u64 = 50_000;
+const BUDGET: u64 = 4_000;
+const SEED: u64 = 7;
+
+fn scenario() -> Scenario {
+    twitter_2013(Scale::Tiny, 2014)
+}
+
+fn spec(scenario: &Scenario) -> JobSpec {
+    JobSpec::new(
+        parse_query(
+            "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'",
+            scenario.platform.keywords(),
+        )
+        .expect("query parses"),
+        Algorithm::MaTarw { interval: None },
+        BUDGET,
+        SEED,
+    )
+}
+
+fn journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ma-crash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 2,
+        global_quota: Some(QUOTA),
+        cache: SharedCacheConfig {
+            capacity: 8_192,
+            shards: 4,
+        },
+        // A low cadence guarantees even short TARW runs emit several
+        // checkpoints, so the `checkpoint` crashpoint always arms.
+        checkpoint_every: 2,
+        ..ServiceConfig::default()
+    }
+}
+
+fn run_uninterrupted(extra: impl FnOnce(&mut ServiceConfig)) -> JobOutput {
+    let s = scenario();
+    let mut cfg = config();
+    extra(&mut cfg);
+    let service = Service::new(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg);
+    let out = service
+        .submit(spec(&s))
+        .expect("admitted")
+        .join()
+        .into_result()
+        .expect("uninterrupted run estimates");
+    let report = service.shutdown();
+    assert!(report.clean);
+    out
+}
+
+fn start(dir: &Path, extra: impl FnOnce(&mut ServiceConfig)) -> (Service, Scenario) {
+    let s = scenario();
+    let mut cfg = config();
+    cfg.journal = Some(dir.to_path_buf());
+    extra(&mut cfg);
+    let service = Service::start(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg)
+        .expect("journal opens");
+    (service, s)
+}
+
+/// The supervisor acknowledges a crash asynchronously (a post-settle
+/// crash publishes the outcome before the worker dies), so wait for the
+/// respawn without wall-clock sleeps.
+fn await_respawn(service: &Service, point: &str) {
+    for _ in 0..50_000_000u64 {
+        if service.metrics_snapshot().workers_respawned > 0 {
+            return;
+        }
+        std::thread::yield_now();
+    }
+    panic!("supervisor never respawned after a kill at {point}");
+}
+
+/// Kill a worker at every crashpoint in turn: the supervisor respawns
+/// it, requeues the job from the last checkpoint, and the final answer
+/// is bit-identical to an uninterrupted run — with the quota settled
+/// exactly once. A restart afterwards finds the job settled and has
+/// nothing to recover.
+#[test]
+fn kill_at_every_crashpoint_recovers_bit_identically() {
+    let baseline = run_uninterrupted(|_| {});
+    for point in CRASH_POINTS {
+        let dir = journal_dir(&format!("kill-{point}"));
+        let (service, s) = start(&dir, |cfg| cfg.crash_plan = Some(CrashPlan::kill(point)));
+        let out = service
+            .submit(spec(&s))
+            .expect("admitted")
+            .join()
+            .into_result()
+            .unwrap_or_else(|e| panic!("kill at {point} must still estimate: {e}"));
+        assert_eq!(
+            out.estimate.value.to_bits(),
+            baseline.estimate.value.to_bits(),
+            "estimate drifted after a kill at {point}"
+        );
+        assert_eq!(out.charged, baseline.charged, "charge drifted at {point}");
+        assert_eq!(
+            service.quota().consumed(),
+            baseline.charged,
+            "quota double-charged (or leaked) after a kill at {point}"
+        );
+        assert_eq!(
+            service.quota().reserved(),
+            0,
+            "reservation leaked at {point}"
+        );
+        await_respawn(&service, point);
+        let snap = service.metrics_snapshot();
+        assert_eq!(
+            snap.workers_respawned, 1,
+            "supervisor must respawn at {point}"
+        );
+        assert!(snap.checkpoints_written > 0);
+        assert_eq!(service.workers(), 3, "respawn joins the pool");
+        let report = service.shutdown();
+        assert!(report.clean, "{point}");
+
+        // A fresh process sees the settled job and reruns nothing.
+        let (restarted, _) = start(&dir, |_| {});
+        let recovery = restarted.recovery().expect("journal replayed").clone();
+        assert_eq!(recovery.settled_jobs, 1, "{point}");
+        assert_eq!(recovery.resumed_jobs, 0, "{point}");
+        assert_eq!(
+            restarted.quota().consumed(),
+            baseline.charged,
+            "adopted consumption drifted at {point}"
+        );
+        restarted.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A torn-tail crash invalidates the in-process journal, so the job is
+/// interrupted rather than requeued; the next startup repairs the tail,
+/// resumes the job from its last durable checkpoint, and lands on the
+/// uninterrupted answer without double-charging.
+#[test]
+fn torn_tail_crash_recovers_across_restart() {
+    let baseline = run_uninterrupted(|_| {});
+    let dir = journal_dir("torn");
+    {
+        let (service, s) = start(&dir, |cfg| {
+            cfg.crash_plan = Some(CrashPlan::torn_tail("pre_settle", 9));
+        });
+        let outcome = service.submit(spec(&s)).expect("admitted").join();
+        match &outcome {
+            JobOutcome::Failed {
+                error: ServiceError::Interrupted,
+                charged: 0,
+                ..
+            } => {}
+            other => panic!("torn-tail crash must interrupt, got {other:?}"),
+        }
+        assert_eq!(
+            service.quota().consumed(),
+            0,
+            "nothing settles on a torn tail"
+        );
+        assert_eq!(service.quota().reserved(), 0);
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.jobs_interrupted, 1);
+        assert!(
+            snap.journal_records_dropped > 0,
+            "torn journal drops appends"
+        );
+        assert!(service.shutdown().clean);
+    }
+
+    let (service, _) = start(&dir, |_| {});
+    let recovery = service.recovery().expect("journal replayed").clone();
+    assert!(recovery.dropped_bytes > 0, "the torn tail was repaired");
+    assert_eq!(recovery.resumed_jobs, 1);
+    assert_eq!(recovery.settled_jobs, 0);
+    let handle = service.recovered_jobs()[0].clone();
+    let out = handle
+        .join()
+        .into_result()
+        .expect("recovered job estimates");
+    assert_eq!(
+        out.estimate.value.to_bits(),
+        baseline.estimate.value.to_bits(),
+        "recovery from a durable checkpoint must be bit-identical"
+    );
+    assert_eq!(out.charged, baseline.charged);
+    assert_eq!(
+        service.quota().consumed(),
+        baseline.charged,
+        "exactly one settlement across crash + restart"
+    );
+    assert_eq!(service.metrics_snapshot().jobs_resumed, 1);
+    assert!(service.shutdown().clean);
+
+    // Third start: now the journal shows the job settled.
+    let (third, _) = start(&dir, |_| {});
+    let recovery = third.recovery().expect("journal replayed").clone();
+    assert_eq!(recovery.settled_jobs, 1);
+    assert_eq!(recovery.resumed_jobs, 0);
+    assert_eq!(third.quota().consumed(), baseline.charged);
+    third.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash recovery composes with fault injection: a worker killed at a
+/// checkpoint while the platform is throwing retryable faults still
+/// lands on the fault-free run's bits (absorbed faults never touch the
+/// walk, and the resumed walk re-reads memoized state, not the API).
+#[test]
+fn kill_under_faults_stays_bit_identical() {
+    let faults = || Some(FaultPlan::mixed(99, 0.10).with_max_consecutive(2));
+    let policy = RetryPolicy::resilient().without_breaker();
+    let baseline = run_uninterrupted(|cfg| {
+        cfg.fault_plan = faults();
+        cfg.retry = policy;
+    });
+    let dir = journal_dir("faulty-kill");
+    let (service, s) = start(&dir, |cfg| {
+        cfg.fault_plan = faults();
+        cfg.retry = policy;
+        cfg.crash_plan = Some(CrashPlan::kill("checkpoint").with_hit(3));
+    });
+    let out = service
+        .submit(spec(&s))
+        .expect("admitted")
+        .join()
+        .into_result()
+        .expect("faulty crashed run estimates");
+    assert_eq!(
+        out.estimate.value.to_bits(),
+        baseline.estimate.value.to_bits()
+    );
+    assert_eq!(out.charged, baseline.charged);
+    assert_eq!(service.quota().consumed(), baseline.charged);
+    assert_eq!(service.metrics_snapshot().workers_respawned, 1);
+    assert!(service.shutdown().clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A backend whose fetchers block forever once `open` stays false —
+/// the regression stand-in for a hung estimator.
+#[derive(Debug)]
+struct HangingBackend {
+    inner: Platform,
+    open: std::sync::Mutex<bool>,
+    gate: std::sync::Condvar,
+}
+
+impl HangingBackend {
+    fn new(inner: Platform) -> Self {
+        HangingBackend {
+            inner,
+            open: std::sync::Mutex::new(false),
+            gate: std::sync::Condvar::new(),
+        }
+    }
+
+    fn wait_open(&self) {
+        let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        while !*open {
+            open = self.gate.wait(open).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+impl ApiBackend for HangingBackend {
+    fn store(&self) -> &Platform {
+        &self.inner
+    }
+
+    fn fetch_search(&self, kw: KeywordId, window: TimeWindow) -> Result<Vec<PostId>, Fault> {
+        self.wait_open();
+        self.inner.fetch_search(kw, window)
+    }
+
+    fn fetch_timeline(&self, u: UserId) -> Result<&[PostId], Fault> {
+        self.wait_open();
+        self.inner.fetch_timeline(u)
+    }
+
+    fn fetch_connections(&self, u: UserId) -> Result<(&[u32], &[u32]), Fault> {
+        self.wait_open();
+        self.inner.fetch_connections(u)
+    }
+}
+
+/// Without a drain deadline a hung estimator blocks `shutdown` forever.
+/// With one, shutdown returns on time, the handle fails with
+/// `Interrupted`, the straggler is journaled — and a restart with a
+/// healthy backend runs it to completion.
+#[test]
+fn drain_deadline_interrupts_hung_jobs_and_restart_recovers_them() {
+    let dir = journal_dir("drain");
+    let s = scenario();
+    let backend = Arc::new(HangingBackend::new(s.platform.clone()));
+    let mut cfg = config();
+    cfg.workers = 1;
+    cfg.journal = Some(dir.clone());
+    cfg.backend = Some(Arc::clone(&backend) as Arc<dyn ApiBackend>);
+    cfg.drain_timeout = Some(Duration::from_millis(250));
+    let service = Service::start(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg)
+        .expect("journal opens");
+    let handle = service.submit(spec(&s)).expect("admitted");
+    let job = handle.id();
+
+    // Run shutdown on a helper thread behind a watchdog: if the drain
+    // deadline regresses, the test fails fast instead of hanging CI.
+    let (done, watchdog) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = done.send(service.shutdown());
+    });
+    let report = watchdog
+        .recv_timeout(Duration::from_secs(60))
+        .expect("drain deadline must bound shutdown");
+    assert!(!report.clean);
+    assert_eq!(report.interrupted, vec![job]);
+    match handle.join() {
+        JobOutcome::Failed {
+            error: ServiceError::Interrupted,
+            ..
+        } => {}
+        other => panic!("hung job must be interrupted, got {other:?}"),
+    }
+    // Unblock the detached worker so the test process can exit cleanly.
+    *backend.open.lock().unwrap_or_else(|e| e.into_inner()) = true;
+    backend.gate.notify_all();
+
+    let (restarted, _) = start(&dir, |_| {});
+    let recovery = restarted.recovery().expect("journal replayed").clone();
+    assert_eq!(recovery.resumed_jobs, 1);
+    let out = restarted.recovered_jobs()[0]
+        .join()
+        .into_result()
+        .expect("recovered after restart");
+    assert!(out.charged > 0);
+    assert!(restarted.shutdown().clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}

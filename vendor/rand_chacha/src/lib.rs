@@ -98,6 +98,40 @@ macro_rules! chacha_rng {
                 self.index = 0;
             }
 
+            /// Snapshots the generator as `(key, stream, counter, index)`.
+            ///
+            /// The tuple is enough to rebuild a bit-identical generator
+            /// with [`Self::from_state`]: the buffered keystream words are
+            /// not stored because they are a pure function of
+            /// `(key, stream, counter)` and can be recomputed on restore.
+            pub fn state(&self) -> ([u32; 8], u64, u64, usize) {
+                (self.key, self.stream, self.counter, self.index)
+            }
+
+            /// Rebuilds a generator from a [`Self::state`] snapshot.
+            ///
+            /// The restored generator produces exactly the same output
+            /// sequence as the snapshotted one would have from that point.
+            pub fn from_state(state: ([u32; 8], u64, u64, usize)) -> Self {
+                let (key, stream, counter, index) = state;
+                let mut rng = $name {
+                    key,
+                    stream,
+                    counter,
+                    buf: [0; BUF_WORDS],
+                    index: BUF_WORDS,
+                };
+                if index < BUF_WORDS {
+                    // Mid-buffer snapshot: `counter` already points past
+                    // the buffered blocks, so step it back one refill,
+                    // recompute the same buffer, then reposition.
+                    rng.counter = counter - (BUF_WORDS / BLOCK_WORDS) as u64;
+                    rng.refill();
+                    rng.index = index;
+                }
+                rng
+            }
+
             /// Selects the keystream (nonce); resets buffered output.
             pub fn set_stream(&mut self, stream: u64) {
                 self.stream = stream;
@@ -238,6 +272,63 @@ mod tests {
         assert_ne!(xs, zs);
         // Crossing the 64-word buffer boundary yields fresh blocks.
         assert_ne!(&xs[..64], &xs[64..128]);
+    }
+
+    #[test]
+    fn state_round_trips_mid_buffer() {
+        let mut r = ChaCha8Rng::seed_from_u64(2014);
+        for _ in 0..17 {
+            r.next_u32();
+        }
+        let mut s = ChaCha8Rng::from_state(r.state());
+        let expect: Vec<u64> = (0..200).map(|_| r.next_u64()).collect();
+        let got: Vec<u64> = (0..200).map(|_| s.next_u64()).collect();
+        assert_eq!(expect, got);
+    }
+
+    #[test]
+    fn state_round_trips_fresh_and_at_boundary() {
+        // Fresh generator: nothing buffered yet.
+        let r = ChaCha8Rng::seed_from_u64(9);
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::from_state(r.state());
+        assert_eq!(a.next_u64(), b.next_u64());
+        // Exactly exhausted buffer (index == BUF_WORDS after 64 words).
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..BUF_WORDS {
+            r.next_u32();
+        }
+        let mut s = ChaCha8Rng::from_state(r.state());
+        for _ in 0..130 {
+            assert_eq!(r.next_u64(), s.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trips_straddling_word() {
+        // Park the index on the last buffered word so the next_u64 takes
+        // the straddling path.
+        let mut r = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..BUF_WORDS - 1 {
+            r.next_u32();
+        }
+        let mut s = ChaCha8Rng::from_state(r.state());
+        for _ in 0..10 {
+            assert_eq!(r.next_u64(), s.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trips_nonzero_stream() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        r.set_stream(7);
+        for _ in 0..33 {
+            r.next_u32();
+        }
+        let mut s = ChaCha8Rng::from_state(r.state());
+        for _ in 0..100 {
+            assert_eq!(r.next_u64(), s.next_u64());
+        }
     }
 
     #[test]
