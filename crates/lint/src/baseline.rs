@@ -7,40 +7,56 @@
 //! reports stale entries (live < baselined) so the file ratchets down to
 //! empty over time.
 //!
-//! The format is a deliberately tiny TOML subset — one `[counts]` table
-//! of `"rule:path" = n` entries — parsed by hand because the workspace
-//! is offline and the linter must stay dependency-free.
+//! Since v2 the file also carries a `[rule-totals]` table: a hard
+//! per-rule ceiling on the *total* live findings for that rule across
+//! the workspace. The per-file `[counts]` gate alone has a loophole —
+//! re-running `--write-baseline` after moving code shuffles findings
+//! between keys without anyone noticing the total crept up. The ceiling
+//! closes it: a rule's workspace total may never exceed its recorded
+//! cap, regardless of how the findings are distributed. Legacy baselines
+//! without a `[rule-totals]` table get an implicit cap equal to the sum
+//! of that rule's `[counts]` entries.
+//!
+//! The format is a deliberately tiny TOML subset — two tables of
+//! `"key" = n` entries — parsed by hand because the workspace is offline
+//! and the linter must stay dependency-free.
 
 use crate::context::Finding;
 use std::collections::BTreeMap;
 
-/// Parsed baseline: `rule:file` → grandfathered finding count.
+/// Parsed baseline: grandfathered per-file counts plus per-rule caps.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Baseline {
-    /// The grandfathered counts.
+    /// `rule:file` → grandfathered finding count.
     pub counts: BTreeMap<String, u32>,
+    /// `rule` → hard ceiling on the workspace-wide live total.
+    pub rule_totals: BTreeMap<String, u32>,
 }
 
 impl Baseline {
-    /// Parses the baseline file format. Lines are comments (`#`), the
-    /// `[counts]` header, or `"rule:path" = n`.
+    /// Parses the baseline file format. Lines are comments (`#`), a
+    /// `[counts]` / `[rule-totals]` table header, or `"key" = n`.
     pub fn parse(text: &str) -> Result<Baseline, String> {
         let mut counts = BTreeMap::new();
+        let mut rule_totals = BTreeMap::new();
+        let mut in_totals = false;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') || line == "[counts]" {
+            if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (key, value) = line.split_once('=').ok_or_else(|| {
-                format!("baseline line {}: expected `\"rule:path\" = n`", lineno + 1)
-            })?;
-            let key = key.trim().trim_matches('"');
-            if !key.contains(':') {
-                return Err(format!(
-                    "baseline line {}: key `{key}` is not `rule:path`",
-                    lineno + 1
-                ));
+            if line == "[counts]" {
+                in_totals = false;
+                continue;
             }
+            if line == "[rule-totals]" {
+                in_totals = true;
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("baseline line {}: expected `\"key\" = n`", lineno + 1))?;
+            let key = key.trim().trim_matches('"');
             let n: u32 = value.trim().parse().map_err(|_| {
                 format!(
                     "baseline line {}: `{}` is not a count",
@@ -48,15 +64,49 @@ impl Baseline {
                     value.trim()
                 )
             })?;
-            counts.insert(key.to_string(), n);
+            if in_totals {
+                if key.contains(':') {
+                    return Err(format!(
+                        "baseline line {}: rule-totals key `{key}` must be a bare rule name",
+                        lineno + 1
+                    ));
+                }
+                rule_totals.insert(key.to_string(), n);
+            } else {
+                if !key.contains(':') {
+                    return Err(format!(
+                        "baseline line {}: key `{key}` is not `rule:path`",
+                        lineno + 1
+                    ));
+                }
+                counts.insert(key.to_string(), n);
+            }
         }
-        Ok(Baseline { counts })
+        Ok(Baseline {
+            counts,
+            rule_totals,
+        })
     }
 
-    /// Serializes back to the file format.
+    /// The ceiling for `rule`: the recorded `[rule-totals]` entry, or —
+    /// for legacy baselines without one — the sum of the rule's
+    /// `[counts]` entries.
+    pub fn rule_cap(&self, rule: &str) -> u32 {
+        if let Some(&cap) = self.rule_totals.get(rule) {
+            return cap;
+        }
+        self.counts
+            .iter()
+            .filter(|(k, _)| k.split_once(':').is_some_and(|(r, _)| r == rule))
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Serializes back to the file format (always the v2 per-rule form).
     pub fn to_toml(&self) -> String {
         let mut out = String::from(
-            "# ma-lint baseline — grandfathered findings per rule:file.\n\
+            "# ma-lint baseline — grandfathered findings per rule:file, plus a\n\
+             # hard per-rule ceiling on the workspace-wide total.\n\
              # Regenerate with `cargo run -p ma-lint -- --write-baseline`;\n\
              # the goal is for this file to stay empty.\n\
              [counts]\n",
@@ -64,16 +114,25 @@ impl Baseline {
         for (key, n) in &self.counts {
             out.push_str(&format!("\"{key}\" = {n}\n"));
         }
+        out.push_str("\n[rule-totals]\n");
+        for (rule, n) in &self.rule_totals {
+            out.push_str(&format!("\"{rule}\" = {n}\n"));
+        }
         out
     }
 
     /// Builds the baseline that would make `findings` pass exactly.
     pub fn from_findings(findings: &[Finding]) -> Baseline {
         let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        let mut rule_totals: BTreeMap<String, u32> = BTreeMap::new();
         for f in findings {
             *counts.entry(format!("{}:{}", f.rule, f.file)).or_default() += 1;
+            *rule_totals.entry(f.rule.to_string()).or_default() += 1;
         }
-        Baseline { counts }
+        Baseline {
+            counts,
+            rule_totals,
+        }
     }
 }
 
@@ -87,16 +146,23 @@ pub struct GateResult {
     /// Baseline keys whose live count dropped below the recorded one
     /// (ratchet the file down).
     pub stale: Vec<(String, u32, u32)>,
+    /// Rules whose workspace-wide live total exceeds the per-rule cap:
+    /// `(rule, cap, live)`. These fail the gate even when every finding
+    /// is individually baselined.
+    pub rule_regressions: Vec<(String, u32, u32)>,
 }
 
 /// Applies `baseline` to `findings`. Within a `rule:file` key the first
-/// `n` findings (in line order) are absorbed; the rest are new.
+/// `n` findings (in line order) are absorbed; the rest are new. On top
+/// of that, each rule's live total is checked against its ceiling.
 pub fn gate(findings: &[Finding], baseline: &Baseline) -> GateResult {
     let mut live: BTreeMap<String, Vec<&Finding>> = BTreeMap::new();
+    let mut per_rule: BTreeMap<&'static str, u32> = BTreeMap::new();
     for f in findings {
         live.entry(format!("{}:{}", f.rule, f.file))
             .or_default()
             .push(f);
+        *per_rule.entry(f.rule).or_default() += 1;
     }
     let mut result = GateResult::default();
     for (key, group) in &live {
@@ -110,6 +176,12 @@ pub fn gate(findings: &[Finding], baseline: &Baseline) -> GateResult {
         let seen = live.get(key).map_or(0, |g| g.len()) as u32;
         if seen < n {
             result.stale.push((key.clone(), n, seen));
+        }
+    }
+    for (&rule, &total) in &per_rule {
+        let cap = baseline.rule_cap(rule);
+        if total > cap {
+            result.rule_regressions.push((rule.to_string(), cap, total));
         }
     }
     result
@@ -131,10 +203,11 @@ mod tests {
     #[test]
     fn parse_roundtrip() {
         let b = Baseline::parse(
-            "# comment\n[counts]\n\"panic-safety:crates/core/src/view.rs\" = 3\n\"wall-clock:a.rs\" = 1\n",
+            "# comment\n[counts]\n\"panic-safety:crates/core/src/view.rs\" = 3\n\"wall-clock:a.rs\" = 1\n\n[rule-totals]\n\"panic-safety\" = 3\n\"wall-clock\" = 1\n",
         )
         .unwrap();
         assert_eq!(b.counts.len(), 2);
+        assert_eq!(b.rule_totals.len(), 2);
         let again = Baseline::parse(&b.to_toml()).unwrap();
         assert_eq!(b, again);
     }
@@ -144,6 +217,7 @@ mod tests {
         assert!(Baseline::parse("nonsense\n").is_err());
         assert!(Baseline::parse("\"no-colon\" = 1\n").is_err());
         assert!(Baseline::parse("\"a:b\" = many\n").is_err());
+        assert!(Baseline::parse("[rule-totals]\n\"rule:with-path\" = 1\n").is_err());
     }
 
     #[test]
@@ -168,5 +242,45 @@ mod tests {
         let r = gate(&[], &baseline);
         assert!(r.new.is_empty());
         assert_eq!(r.stale, vec![("charging:gone.rs".to_string(), 4, 0)]);
+    }
+
+    #[test]
+    fn legacy_cap_is_sum_of_counts() {
+        let baseline = Baseline::parse("\"charging:a.rs\" = 2\n\"charging:b.rs\" = 1\n").unwrap();
+        assert_eq!(baseline.rule_cap("charging"), 3);
+        assert_eq!(baseline.rule_cap("wall-clock"), 0);
+    }
+
+    #[test]
+    fn rule_total_ceiling_catches_shuffled_findings() {
+        // Three live findings, all individually covered by per-file
+        // counts — but the recorded rule total says two. The ratchet
+        // fires even though `new` is empty.
+        let findings = vec![
+            finding("charging", "a.rs", 1),
+            finding("charging", "a.rs", 2),
+            finding("charging", "b.rs", 3),
+        ];
+        let baseline = Baseline::parse(
+            "[counts]\n\"charging:a.rs\" = 2\n\"charging:b.rs\" = 1\n\n[rule-totals]\n\"charging\" = 2\n",
+        )
+        .unwrap();
+        let r = gate(&findings, &baseline);
+        assert!(r.new.is_empty());
+        assert_eq!(r.rule_regressions, vec![("charging".to_string(), 2, 3)]);
+    }
+
+    #[test]
+    fn from_findings_records_rule_totals() {
+        let findings = vec![
+            finding("charging", "a.rs", 1),
+            finding("charging", "b.rs", 2),
+            finding("fs-write", "c.rs", 3),
+        ];
+        let b = Baseline::from_findings(&findings);
+        assert_eq!(b.rule_totals.get("charging"), Some(&2));
+        assert_eq!(b.rule_totals.get("fs-write"), Some(&1));
+        let r = gate(&findings, &b);
+        assert!(r.new.is_empty() && r.rule_regressions.is_empty());
     }
 }

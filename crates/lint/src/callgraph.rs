@@ -1,0 +1,384 @@
+//! Workspace call graph: resolution heuristics + transitive summaries.
+//!
+//! Built from every file's [`FileSymbols`], the graph resolves call
+//! sites to definitions and propagates the per-function effect facts
+//! ([`crate::symbols`]) transitively, breadth-first, so each reachable
+//! fact carries a shortest witness chain ("`a` → `b` → `.timeline(…)`").
+//!
+//! ## Resolution heuristics (and their known unsoundness)
+//!
+//! * `self.m(…)` → the caller's `impl` type's `m`. Misses trait-default
+//!   methods inherited from another type.
+//! * `x.m(…)` with `x` typed by a parameter/`let`/field → `(type, m)`.
+//!   Wrapper generics are unwrapped one layer (`Arc<T>` → `T`); trait
+//!   objects resolve only when the *trait* block defines `m` with a body.
+//! * `module::f(…)` → `f` in the file whose derived module name matches;
+//!   falls back to a globally unique `f`.
+//! * `f(…)` bare → same file first, then globally unique.
+//! * Opaque receivers (chains, temporaries) resolve only when the name
+//!   is globally unique **and** not a common std method name — the
+//!   blocklist below keeps `.clone()`/`.len()` from wiring everything to
+//!   whatever happens to define them.
+//!
+//! Both error directions exist: missed edges (trait dispatch through a
+//! `dyn` object, closures, macro bodies) make the interprocedural rules
+//! under-report; name-collision edges could over-report. The workspace
+//! gate plus the fixture suite bound the damage in practice, and every
+//! propagated finding prints its witness chain so a false edge is
+//! auditable at a glance.
+
+use crate::symbols::{FileSymbols, FnSym, Receiver, FACT_COUNT};
+use std::collections::BTreeMap;
+
+/// Method names too generic to resolve through an opaque receiver.
+const COMMON_METHODS: [&str; 58] = [
+    "new",
+    "clone",
+    "len",
+    "is_empty",
+    "iter",
+    "into_iter",
+    "next",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "contains",
+    "contains_key",
+    "entry",
+    "or_default",
+    "or_insert",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "expect",
+    "map",
+    "and_then",
+    "ok",
+    "err",
+    "ok_or",
+    "push_str",
+    "to_string",
+    "into",
+    "from",
+    "as_ref",
+    "as_str",
+    "as_bytes",
+    "collect",
+    "extend",
+    "sort",
+    "retain",
+    "drain",
+    "clear",
+    "take",
+    "replace",
+    "min",
+    "max",
+    "abs",
+    "fmt",
+    "cmp",
+    "hash",
+    "default",
+    "lock",
+    "read",
+    "write",
+    "record",
+    "emit",
+    "send",
+    "recv",
+    "flush",
+];
+
+/// A resolved edge: caller → callee at a call site.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Index of the calling function.
+    pub caller: usize,
+    /// Index of the called function.
+    pub callee: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// Why a propagated fact holds for a function.
+#[derive(Clone, Debug)]
+pub struct Reach {
+    /// Hop count from this function to the direct evidence (0 = direct).
+    pub hops: u32,
+    /// Next hop toward the evidence: `(callee index, call line)`.
+    pub via: Option<(usize, u32)>,
+    /// The direct evidence description at the chain's end.
+    pub evidence: String,
+}
+
+/// The assembled workspace call graph.
+pub struct CallGraph {
+    /// All functions, flattened in file order; indices are stable ids.
+    pub fns: Vec<FnSym>,
+    /// Resolved edges.
+    pub edges: Vec<Edge>,
+    /// `edges` indexed by callee, as `(caller, line)` — the direction
+    /// facts propagate.
+    callers_of: Vec<Vec<(usize, u32)>>,
+    /// Per caller, per call-site index: resolved callee ids.
+    resolved: Vec<Vec<Vec<usize>>>,
+}
+
+impl CallGraph {
+    /// Builds the graph from per-file symbols.
+    pub fn build(files: &[FileSymbols]) -> CallGraph {
+        let mut fns: Vec<FnSym> = Vec::new();
+        for fs in files {
+            fns.extend(fs.fns.iter().cloned());
+        }
+        // Lookup maps. Values are sorted fn indices (deterministic).
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_module_fn: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_file_fn: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (id, f) in fns.iter().enumerate() {
+            if let Some(ty) = &f.impl_type {
+                by_type_method.entry((ty, &f.name)).or_default().push(id);
+            }
+            by_module_fn
+                .entry((&f.module, &f.name))
+                .or_default()
+                .push(id);
+            by_file_fn.entry((&f.file, &f.name)).or_default().push(id);
+            by_name.entry(&f.name).or_default().push(id);
+        }
+        let unique = |name: &str| -> Vec<usize> {
+            if COMMON_METHODS.contains(&name) {
+                return Vec::new();
+            }
+            match by_name.get(name) {
+                Some(ids) if ids.len() == 1 => ids.clone(),
+                _ => Vec::new(),
+            }
+        };
+        let mut edges = Vec::new();
+        let mut resolved: Vec<Vec<Vec<usize>>> = Vec::with_capacity(fns.len());
+        for (caller, f) in fns.iter().enumerate() {
+            let mut per_call = Vec::with_capacity(f.calls.len());
+            for c in &f.calls {
+                let targets: Vec<usize> = match &c.recv {
+                    Receiver::SelfType => f
+                        .impl_type
+                        .as_deref()
+                        .and_then(|ty| by_type_method.get(&(ty, c.name.as_str())).cloned())
+                        .unwrap_or_default(),
+                    Receiver::Typed(ty) => by_type_method
+                        .get(&(ty.as_str(), c.name.as_str()))
+                        .cloned()
+                        .unwrap_or_default(),
+                    Receiver::Module(m) => by_module_fn
+                        .get(&(m.as_str(), c.name.as_str()))
+                        .cloned()
+                        .unwrap_or_else(|| unique(&c.name)),
+                    Receiver::Bare => by_file_fn
+                        .get(&(f.file.as_str(), c.name.as_str()))
+                        .cloned()
+                        .unwrap_or_else(|| unique(&c.name)),
+                    Receiver::Opaque => unique(&c.name),
+                };
+                for &callee in &targets {
+                    edges.push(Edge {
+                        caller,
+                        callee,
+                        line: c.line,
+                    });
+                }
+                per_call.push(targets);
+            }
+            resolved.push(per_call);
+        }
+        let mut callers_of = vec![Vec::new(); fns.len()];
+        for e in &edges {
+            callers_of[e.callee].push((e.caller, e.line));
+        }
+        CallGraph {
+            fns,
+            edges,
+            callers_of,
+            resolved,
+        }
+    }
+
+    /// A function's display name: `Type::name` or `module::name`.
+    pub fn display(&self, id: usize) -> String {
+        let f = &self.fns[id];
+        match &f.impl_type {
+            Some(ty) => format!("{ty}::{}", f.name),
+            None => format!("{}::{}", f.module, f.name),
+        }
+    }
+
+    /// Propagates fact `fact` transitively over reversed edges.
+    ///
+    /// `sealed(fn)` marks boundary functions: they neither seed nor relay
+    /// the fact, which is how exempt files (the metered client for
+    /// fetches, the journal for fs writes) terminate chains — a fetch
+    /// *behind* the seal is by definition the sanctioned path.
+    ///
+    /// BFS by hop count yields shortest witness chains deterministically.
+    pub fn propagate(&self, fact: usize, sealed: impl Fn(&FnSym) -> bool) -> Vec<Option<Reach>> {
+        assert!(fact < FACT_COUNT);
+        let mut reach: Vec<Option<Reach>> = vec![None; self.fns.len()];
+        let mut frontier: Vec<usize> = Vec::new();
+        for (id, f) in self.fns.iter().enumerate() {
+            if f.facts.has(fact) && !sealed(f) {
+                reach[id] = Some(Reach {
+                    hops: 0,
+                    via: None,
+                    evidence: f.why[fact]
+                        .clone()
+                        .unwrap_or_else(|| format!("direct evidence in `{}`", self.display(id))),
+                });
+                frontier.push(id);
+            }
+        }
+        let mut hops = 0u32;
+        while !frontier.is_empty() {
+            hops += 1;
+            let mut next = Vec::new();
+            for &g in &frontier {
+                let evidence = reach[g]
+                    .as_ref()
+                    .map(|r| r.evidence.clone())
+                    .unwrap_or_default();
+                for &(caller, line) in &self.callers_of[g] {
+                    if reach[caller].is_some() || sealed(&self.fns[caller]) {
+                        continue;
+                    }
+                    reach[caller] = Some(Reach {
+                        hops,
+                        via: Some((g, line)),
+                        evidence: evidence.clone(),
+                    });
+                    next.push(caller);
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        reach
+    }
+
+    /// Renders the witness chain for function `id` under a `reach` map:
+    /// `a → b → <evidence>`. The chain is capped for readability.
+    pub fn chain(&self, reach: &[Option<Reach>], id: usize) -> String {
+        let mut parts = Vec::new();
+        let mut cur = id;
+        let mut guard = 0;
+        while let Some(r) = reach.get(cur).and_then(|r| r.as_ref()) {
+            guard += 1;
+            if guard > 8 {
+                parts.push("…".to_string());
+                break;
+            }
+            match r.via {
+                Some((next, _)) => {
+                    parts.push(format!("`{}`", self.display(cur)));
+                    cur = next;
+                }
+                None => {
+                    parts.push(format!("`{}`", self.display(cur)));
+                    parts.push(r.evidence.clone());
+                    break;
+                }
+            }
+        }
+        parts.join(" → ")
+    }
+
+    /// Resolved callee ids for call site `call_idx` of function
+    /// `caller` (indices into `fns[caller].calls`).
+    pub fn callees_at(&self, caller: usize, call_idx: usize) -> &[usize] {
+        &self.resolved[caller][call_idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileCtx;
+    use crate::symbols::{extract, FACT_FETCH};
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let syms: Vec<FileSymbols> = files
+            .iter()
+            .map(|(p, s)| extract(&FileCtx::new(p, s)))
+            .collect();
+        CallGraph::build(&syms)
+    }
+
+    #[test]
+    fn two_hop_fetch_reaches_caller() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn outer(p: &Platform) { middle(p); }\n\
+             fn middle(p: &Platform) { inner(p); }\n\
+             fn inner(p: &Platform) { p.timeline(0); }\n",
+        )]);
+        let reach = g.propagate(FACT_FETCH, |_| false);
+        let outer = g.fns.iter().position(|f| f.name == "outer").unwrap();
+        let r = reach[outer].as_ref().expect("outer reaches fetch");
+        assert_eq!(r.hops, 2);
+        let chain = g.chain(&reach, outer);
+        assert!(
+            chain.contains("outer") && chain.contains("timeline"),
+            "{chain}"
+        );
+    }
+
+    #[test]
+    fn seal_terminates_propagation() {
+        let g = graph_of(&[
+            (
+                "crates/api/src/client.rs",
+                "impl MicroblogClient { fn degree(&self, p: &Platform) -> usize { p.followers(0).len() } }\n",
+            ),
+            (
+                "crates/core/src/walk.rs",
+                "fn step(c: &MicroblogClient, p: &Platform) { c.degree(p); }\n",
+            ),
+        ]);
+        let sealed = |f: &FnSym| f.file == "crates/api/src/client.rs";
+        let reach = g.propagate(FACT_FETCH, sealed);
+        let step = g.fns.iter().position(|f| f.name == "step").unwrap();
+        assert!(reach[step].is_none(), "sealed callee must not propagate");
+        let open = g.propagate(FACT_FETCH, |_| false);
+        assert!(open[step].is_some(), "without the seal the fact flows");
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let g = graph_of(&[(
+            "crates/core/src/a.rs",
+            "fn a(p: &Platform) { b(p); }\nfn b(p: &Platform) { a(p); p.followers(1); }\n",
+        )]);
+        let reach = g.propagate(FACT_FETCH, |_| false);
+        assert!(reach.iter().filter(|r| r.is_some()).count() == 2);
+    }
+
+    #[test]
+    fn common_method_names_do_not_wire_through_opaque_receivers() {
+        let g = graph_of(&[
+            (
+                "crates/core/src/a.rs",
+                "impl Thing { fn clone(&self) -> Thing { raw(self.p) } }\nfn raw(p: &Platform) { p.timeline(0); }\n",
+            ),
+            (
+                "crates/service/src/b.rs",
+                "fn tidy(x: &Unknowable) { x.make().clone(); }\n",
+            ),
+        ]);
+        let reach = g.propagate(FACT_FETCH, |_| false);
+        let tidy = g.fns.iter().position(|f| f.name == "tidy").unwrap();
+        assert!(reach[tidy].is_none());
+    }
+}

@@ -1,14 +1,14 @@
 //! What each rule applies to.
 //!
 //! `ma-lint` is a *workspace* linter: the rule set and its allowlists
-//! encode this repository's conventions (see DESIGN.md §9), so the
-//! defaults live in code rather than in a config file. Paths are
+//! encode this repository's conventions (see DESIGN.md §9 and §13), so
+//! the defaults live in code rather than in a config file. Paths are
 //! workspace-relative with `/` separators; matching is by prefix, so
 //! `crates/bench/` covers every file under that crate.
 
 /// Rule identifiers, as used in findings, suppression comments and the
 /// baseline file.
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 11] = [
     "wall-clock",
     "panic-safety",
     "determinism",
@@ -17,6 +17,8 @@ pub const RULES: [&str; 9] = [
     "lock-across-call",
     "hygiene",
     "fs-write",
+    "rng-confinement",
+    "checkpoint-coverage",
     "suppression",
 ];
 
@@ -39,7 +41,9 @@ pub struct Config {
     /// stack rather than calling `Platform`/`ApiBackend` directly.
     pub charging_paths: Vec<String>,
     /// Paths exempt from the charging rule *within* the above (the
-    /// metered stack itself).
+    /// metered stack itself). These are also the call-graph *boundary*:
+    /// a fetch reached through a function defined here counts as
+    /// charged, so the interprocedural rule does not cross into it.
     pub charging_exempt: Vec<String>,
     /// Paths whose `Mutex`/`RwLock` acquisitions feed the global
     /// lock-order graph.
@@ -53,8 +57,30 @@ pub struct Config {
     /// crash recovery cannot replay it).
     pub fs_write_paths: Vec<String>,
     /// Paths exempt from the fs-write rule *within* the above (the
-    /// journal writer itself).
+    /// journal writer itself). Like `charging_exempt`, this seals the
+    /// call graph: filesystem mutation behind these functions is the
+    /// sanctioned durable-state path.
     pub fs_write_exempt: Vec<String>,
+    /// Paths scanned by the `rng-confinement` rule: library code here
+    /// may not construct or draw from RNGs unless also under
+    /// `rng_allowed_paths`. Randomness outside the sampler seams breaks
+    /// seeded reproducibility (checkpoint resume, byte-identical
+    /// traces).
+    pub rng_scope_paths: Vec<String>,
+    /// Sampler modules and deliberate randomness seams *within*
+    /// `rng_scope_paths` where RNG use is the point: the walker family,
+    /// the checkpoint RNG capture/restore, interval-selection pilots,
+    /// the analyzer's run-RNG construction, and the resilient client's
+    /// seeded jitter.
+    pub rng_allowed_paths: Vec<String>,
+    /// Files defining the checkpoint state structs the
+    /// `checkpoint-coverage` rule guards (struct names ending in
+    /// `State` plus `WalkerCheckpoint` itself).
+    pub checkpoint_state_files: Vec<String>,
+    /// Paths where constructions/destructurings of those state structs
+    /// must be field-exhaustive (no `..` rest patterns that would let a
+    /// newly added field silently default or be dropped on resume).
+    pub checkpoint_use_paths: Vec<String>,
     /// Crate-root files that must carry `#![forbid(unsafe_code)]`.
     pub hygiene_lib_roots: Vec<String>,
     /// Type names that must be declared `#[must_use]` (estimate-result
@@ -71,10 +97,14 @@ impl Default for Config {
                 "target/",
                 // The linter's own fixtures deliberately violate every rule.
                 "crates/lint/tests/fixtures/",
+                "crates/verify/tests/fixtures/",
             ]),
             wall_clock_allowed: s(&[
                 // Benchmarks measure real hardware time by definition.
                 "crates/bench/",
+                // The linter times its own scan (reported in --json);
+                // nothing estimate-bearing runs here.
+                "crates/lint/",
             ]),
             panic_safety_paths: s(&[
                 "crates/api/src/",
@@ -99,6 +129,11 @@ impl Default for Config {
                 // The metered client stack is where direct backend calls
                 // are supposed to live.
                 "crates/api/src/client.rs",
+                // The ground-truth oracle reads the simulator's omniscient
+                // view for free by design (evaluation only, never inside an
+                // estimator); it also seals interprocedural propagation so
+                // `ground_truth` callers are not flagged.
+                "crates/platform/src/truth.rs",
             ]),
             lock_order_paths: s(&["crates/api/src/", "crates/obs/src/", "crates/service/src/"]),
             lock_across_call_paths: s(&["crates/api/src/", "crates/service/src/"]),
@@ -107,6 +142,26 @@ impl Default for Config {
                 // The journal *is* the sanctioned durable-state writer.
                 "crates/service/src/journal.rs",
             ]),
+            rng_scope_paths: s(&[
+                "crates/api/src/",
+                "crates/core/src/",
+                "crates/obs/src/",
+                "crates/service/src/",
+            ]),
+            rng_allowed_paths: s(&[
+                // The sampler family: randomness is the algorithm.
+                "crates/core/src/walker/",
+                // RNG stream capture/restore for crash recovery.
+                "crates/core/src/checkpoint.rs",
+                // Pilot walks during MA-TARW interval selection.
+                "crates/core/src/interval.rs",
+                // The run-RNG construction seam (seed → ChaCha stream).
+                "crates/core/src/analyzer.rs",
+                // Seeded SplitMix64 jitter for decorrelated backoff.
+                "crates/api/src/resilient.rs",
+            ]),
+            checkpoint_state_files: s(&["crates/core/src/checkpoint.rs"]),
+            checkpoint_use_paths: s(&["crates/core/src/"]),
             hygiene_lib_roots: s(&[
                 "crates/api/src/lib.rs",
                 "crates/bench/src/lib.rs",
@@ -116,6 +171,7 @@ impl Default for Config {
                 "crates/obs/src/lib.rs",
                 "crates/platform/src/lib.rs",
                 "crates/service/src/lib.rs",
+                "crates/verify/src/lib.rs",
             ]),
             must_use_types: s(&["Estimate", "RunReport", "JobOutcome"]),
         }

@@ -135,7 +135,11 @@ pub fn lex(source: &str) -> Lexed {
                         j += 1;
                     }
                 }
-                let end = j.saturating_sub(2).max(start);
+                // Terminated: `j` sits just past `*/`, so `j - 2` is the
+                // `*` (ASCII, always a char boundary). Unterminated at
+                // EOF: take everything — backing up two *bytes* could
+                // split a multibyte character and panic the slice.
+                let end = if depth == 0 { j - 2 } else { j }.max(start);
                 comments.push(Comment {
                     text: source[start..end].trim().to_string(),
                     line: start_line,
@@ -159,6 +163,16 @@ pub fn lex(source: &str) -> Lexed {
                     line,
                 });
                 i = skip_raw_or_byte_string(bytes, i, &mut line);
+            }
+            'b' if bytes.get(i + 1) == Some(&b'\'') => {
+                // Byte-char literal `b'x'` / `b'\''`: one opaque token,
+                // not an ident `b` followed by whatever the quote starts.
+                line_has_code = true;
+                tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line,
+                });
+                i = skip_char_literal(bytes, i + 1, &mut line);
             }
             '\'' => {
                 line_has_code = true;
@@ -198,6 +212,13 @@ pub fn lex(source: &str) -> Lexed {
                 }
             }
             c if is_ident_start(c as u8) => {
+                // Escape skips (`\x` is two bytes whatever follows) can
+                // leave `i` inside a multibyte character; resynchronize
+                // before slicing or the index panics.
+                if !source.is_char_boundary(i) {
+                    i += 1;
+                    continue;
+                }
                 line_has_code = true;
                 let start = i;
                 i += 1;
@@ -423,5 +444,58 @@ mod tests {
         let lx = lex("for i in 0..10 { a[i]; }");
         let dots = lx.tokens.iter().filter(|t| t.is_punct('.')).count();
         assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_multi_hash_guards() {
+        // The inner `"#` must not close a `##`-guarded raw string.
+        assert_eq!(
+            idents(r###"let s = r##"contains "# and unwrap()"##; end"###),
+            vec!["let", "s", "end"]
+        );
+        assert_eq!(
+            idents(r###"let s = br##"bytes "# unwrap()"##; end"###),
+            vec!["let", "s", "end"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lx = lex("/* outer /* inner unwrap() */ still comment */ let after;");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.contains("inner"));
+        assert_eq!(idents("/* a /* b */ c */ let after;"), vec!["let", "after"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_with_multibyte_tail_does_not_panic() {
+        // Regression: slicing `j - 2` bytes back at EOF could split a
+        // multibyte character and panic.
+        let lx = lex("let a; /* déjà‑vu");
+        assert_eq!(lx.comments.len(), 1);
+        assert!(lx.comments[0].text.starts_with("déjà"));
+        let lx = lex("/*é");
+        assert_eq!(lx.comments.len(), 1);
+    }
+
+    #[test]
+    fn quote_bearing_char_and_byte_literals() {
+        // A char literal holding a double quote must not open a string.
+        assert_eq!(
+            idents(r#"let c = '"'; let s = "x"; end"#),
+            vec!["let", "c", "let", "s", "end"]
+        );
+        // Byte-char literals are one opaque token, not ident + char.
+        assert_eq!(idents(r#"let c = b'"'; end"#), vec!["let", "c", "end"]);
+        assert_eq!(idents(r#"let c = b'\''; end"#), vec!["let", "c", "end"]);
+        let lx = lex(r#"let c = b'x';"#);
+        assert!(!lx.tokens.iter().any(|t| t.is_ident("b")));
+        assert_eq!(
+            lx.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            1
+        );
     }
 }

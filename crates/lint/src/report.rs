@@ -6,10 +6,13 @@
 //! ```json
 //! {
 //!   "files_scanned": 63,
+//!   "workers": 4,
+//!   "wall_ms": 41.502,
 //!   "findings": [{"rule": "…", "file": "…", "line": 12, "message": "…", "baselined": false}],
 //!   "new_findings": 1,
 //!   "baselined_findings": 0,
-//!   "stale_baseline": ["rule:file (4 baselined, 2 live)"]
+//!   "stale_baseline": ["rule:file (4 baselined, 2 live)"],
+//!   "rule_regressions": [{"rule": "…", "cap": 2, "live": 3}]
 //! }
 //! ```
 
@@ -21,6 +24,10 @@ use crate::context::Finding;
 pub struct Report {
     /// Files analyzed.
     pub files_scanned: usize,
+    /// Worker threads used for the per-file phase.
+    pub workers: usize,
+    /// End-to-end wall time of the run, in milliseconds.
+    pub wall_ms: f64,
     /// All findings after inline suppression, before the baseline gate.
     pub findings: Vec<Finding>,
     /// The baseline gate's verdict.
@@ -28,9 +35,10 @@ pub struct Report {
 }
 
 impl Report {
-    /// Whether the gate passes (no unbaselined findings).
+    /// Whether the gate passes (no unbaselined findings and no rule
+    /// over its per-rule ceiling).
     pub fn ok(&self) -> bool {
-        self.gate.new.is_empty()
+        self.gate.new.is_empty() && self.gate.rule_regressions.is_empty()
     }
 
     /// Renders the human-readable report.
@@ -62,10 +70,19 @@ impl Report {
                  ratchet the baseline down\n"
             ));
         }
+        for (rule, cap, live) in &self.gate.rule_regressions {
+            out.push_str(&format!(
+                "rule-regression: `{rule}` has {live} live finding(s) but its ceiling is \
+                 {cap} — the workspace total for this rule may not grow\n"
+            ));
+        }
         out.push_str(&format!(
-            "ma-lint: {files} file(s) scanned, {new} new finding(s), {base} baselined, \
-             {stale} stale baseline entr{ies}\n",
+            "ma-lint: {files} file(s) scanned in {ms:.1} ms ({workers} worker(s)), \
+             {new} new finding(s), {base} baselined, {stale} stale baseline entr{ies}, \
+             {regress} rule regression(s)\n",
             files = self.files_scanned,
+            ms = self.wall_ms,
+            workers = self.workers,
             new = self.gate.new.len(),
             base = self.gate.baselined,
             stale = self.gate.stale.len(),
@@ -74,6 +91,7 @@ impl Report {
             } else {
                 "ies"
             },
+            regress = self.gate.rule_regressions.len(),
         ));
         out
     }
@@ -88,6 +106,8 @@ impl Report {
             .collect();
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"wall_ms\": {:.3},\n", self.wall_ms));
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -120,6 +140,17 @@ impl Report {
             out.push_str(&json_str(&format!(
                 "{key} ({baselined} baselined, {live} live)"
             )));
+        }
+        out.push_str("],\n");
+        out.push_str("  \"rule_regressions\": [");
+        for (i, (rule, cap, live)) in self.gate.rule_regressions.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"rule\": {}, \"cap\": {cap}, \"live\": {live}}}",
+                json_str(rule)
+            ));
         }
         out.push_str("]\n}\n");
         out
@@ -160,6 +191,8 @@ mod tests {
         }];
         let report = Report {
             files_scanned: 1,
+            workers: 2,
+            wall_ms: 1.25,
             gate: gate(&findings, &Baseline::default()),
             findings,
         };
@@ -167,6 +200,9 @@ mod tests {
         assert!(json.contains("\\\"b\\\""));
         assert!(json.contains("needs\\nescaping\\\\here"));
         assert!(json.contains("\"new_findings\": 1"));
+        assert!(json.contains("\"workers\": 2"));
+        assert!(json.contains("\"wall_ms\": 1.250"));
+        assert!(json.contains("{\"rule\": \"panic-safety\", \"cap\": 0, \"live\": 1}"));
         assert!(!report.ok());
     }
 
@@ -189,6 +225,8 @@ mod tests {
         let baseline = Baseline::parse("\"charging:x.rs\" = 1\n").unwrap();
         let report = Report {
             files_scanned: 1,
+            workers: 1,
+            wall_ms: 0.5,
             gate: gate(&findings, &baseline),
             findings,
         };
@@ -196,5 +234,7 @@ mod tests {
         assert!(text.contains("baselined[charging] x.rs:1"));
         assert!(text.contains("error[charging] x.rs:2"));
         assert!(text.contains("1 new finding(s), 1 baselined"));
+        assert!(text.contains("rule-regression: `charging` has 2 live finding(s)"));
+        assert!(!report.ok());
     }
 }

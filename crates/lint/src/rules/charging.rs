@@ -15,18 +15,7 @@
 
 use crate::config::Config;
 use crate::context::{FileCtx, Finding};
-
-/// Uncharged data-access methods: `ApiBackend` fetches and raw
-/// `Platform` accessors.
-const RAW_METHODS: [&str; 7] = [
-    "fetch_search",
-    "fetch_timeline",
-    "fetch_connections",
-    "search_posts",
-    "timeline",
-    "followers",
-    "followees",
-];
+use crate::symbols::RAW_METHODS;
 
 /// Raw trace-sink writes. Estimator/walker instrumentation must go
 /// through `Tracer::emit` / span helpers (which stamp the ambient walk

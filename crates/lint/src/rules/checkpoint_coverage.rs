@@ -1,0 +1,110 @@
+//! Rule `checkpoint-coverage`: sampler state must checkpoint completely.
+//!
+//! Crash recovery (DESIGN.md §12) resumes a walker from its serialized
+//! `SamplerState`, and resume is proven bit-identical *given that the
+//! checkpoint captures the whole state*. The compiler enforces literal
+//! exhaustiveness — adding a field to `SrwState` breaks every
+//! `SrwState { … }` construction — **unless** someone weakens that seam.
+//! This rule guards the two ways the seam weakens silently:
+//!
+//! * a guarded state struct (name ending in `State`, plus
+//!   `WalkerCheckpoint`) missing `Serialize`/`Deserialize` derives, or a
+//!   field carrying a `serde`-`skip` attribute: the field exists in
+//!   memory but vanishes from every checkpoint, so a resumed run starts
+//!   from a silently defaulted value;
+//! * a `..` rest in a guarded struct's literal or pattern inside
+//!   `crates/core`: `SrwState { node, ..Default::default() }` compiles
+//!   fine after a new field is added — with the new field silently
+//!   defaulted at the capture or resume site. Field-exhaustive literals
+//!   keep the compiler in the loop.
+//!
+//! Component structs nested inside states (`RngState`, `AccumState`,
+//! `ClientState`, …) match the `State` suffix too and get the same
+//! guarantees; the `SamplerState` *enum* itself is covered by serde's
+//! derive on its variants' payloads.
+
+use crate::config::Config;
+use crate::context::Finding;
+use crate::symbols::FileSymbols;
+use std::collections::BTreeSet;
+
+/// Whether a struct name is part of the checkpoint state surface.
+fn guarded_name(name: &str) -> bool {
+    name == "WalkerCheckpoint" || (name.ends_with("State") && name.len() > "State".len())
+}
+
+/// Runs the check over all files (workspace phase: definitions come from
+/// `checkpoint_state_files`, uses from anywhere under
+/// `checkpoint_use_paths`).
+pub fn check(files: &[FileSymbols], cfg: &Config, out: &mut Vec<Finding>) {
+    let mut guarded: BTreeSet<&str> = BTreeSet::new();
+    for fs in files {
+        if !Config::matches(&fs.file, &cfg.checkpoint_state_files) {
+            continue;
+        }
+        for d in &fs.structs {
+            if !guarded_name(&d.name) {
+                continue;
+            }
+            guarded.insert(&d.name);
+            let has = |want: &str| d.attr_idents.iter().any(|a| a == want);
+            if (!has("Serialize") || !has("Deserialize"))
+                && !fs.suppressed("checkpoint-coverage", d.line)
+            {
+                out.push(Finding {
+                    rule: "checkpoint-coverage",
+                    file: fs.file.clone(),
+                    line: d.line,
+                    message: format!(
+                        "checkpoint state struct `{}` must derive Serialize and \
+                         Deserialize — un-serialized sampler state cannot survive a \
+                         crash, so resume would silently diverge",
+                        d.name
+                    ),
+                });
+            }
+            for &l in &d.skip_attr_lines {
+                if !fs.suppressed("checkpoint-coverage", l) {
+                    out.push(Finding {
+                        rule: "checkpoint-coverage",
+                        file: fs.file.clone(),
+                        line: l,
+                        message: format!(
+                            "field attribute skips serialization inside `{}` — the field \
+                             exists in memory but not in checkpoints, so a resumed run \
+                             starts from a default and drifts",
+                            d.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    if guarded.is_empty() {
+        return;
+    }
+    for fs in files {
+        if !Config::matches(&fs.file, &cfg.checkpoint_use_paths) || !fs.role.is_library() {
+            continue;
+        }
+        for u in &fs.struct_uses {
+            if u.in_test || !u.has_rest || !guarded.contains(u.name.as_str()) {
+                continue;
+            }
+            if !fs.suppressed("checkpoint-coverage", u.line) {
+                out.push(Finding {
+                    rule: "checkpoint-coverage",
+                    file: fs.file.clone(),
+                    line: u.line,
+                    message: format!(
+                        "`{} {{ …, .. }}` uses a rest pattern/functional update on a \
+                         checkpoint state struct — when a field is added, this site \
+                         silently defaults it instead of failing to compile; list every \
+                         field so checkpoint coverage stays compiler-enforced",
+                        u.name
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -11,21 +11,7 @@
 
 use crate::config::Config;
 use crate::context::{FileCtx, Finding};
-
-/// `std::fs` free functions that mutate the filesystem. Read-side
-/// functions (`read`, `read_to_string`, `metadata`, …) are fine — the
-/// invariant is about creating durable state, not observing it.
-const FS_WRITE_FNS: [&str; 9] = [
-    "write",
-    "create_dir",
-    "create_dir_all",
-    "remove_file",
-    "remove_dir",
-    "remove_dir_all",
-    "rename",
-    "copy",
-    "set_permissions",
-];
+use crate::symbols::FS_WRITE_FNS;
 
 /// Scans for `fs::<mutator>`, `File::create` / `File::create_new`, and
 /// `OpenOptions::new` in library code of the journaled crates, outside

@@ -1,0 +1,157 @@
+//! Workspace-phase interprocedural checks: the `charging`,
+//! `lock-across-call` and `fs-write` rules re-grounded on the call graph.
+//!
+//! The token-level halves of these rules (in their own modules) catch
+//! *direct* violations — a raw `.timeline(…)`, an `fs::write` — but the
+//! invariants are reachability properties: a raw fetch hidden two helper
+//! calls deep bypasses charging just as thoroughly. This module
+//! propagates the per-function effect facts transitively and flags the
+//! *call sites* whose callees reach the effect, printing the witness
+//! chain so the hop path is auditable.
+//!
+//! Sealing: a fact chain terminates at exempt files (`charging_exempt`,
+//! `fs_write_exempt`) and at functions whose direct evidence line
+//! carries an inline suppression — annotating the source of a sanctioned
+//! raw access silences its entire caller cone, which is the intended
+//! granularity (justify the access once, where it happens).
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::context::Finding;
+use crate::symbols::{FileSymbols, FnSym, FACT_FETCH, FACT_FSWRITE, RAW_METHODS};
+use std::collections::BTreeMap;
+
+/// Runs the three interprocedural checks over the assembled graph.
+pub fn check(files: &[FileSymbols], graph: &CallGraph, cfg: &Config, out: &mut Vec<Finding>) {
+    let by_file: BTreeMap<&str, &FileSymbols> =
+        files.iter().map(|f| (f.file.as_str(), f)).collect();
+    // A direct fact whose evidence line is suppressed for `rule` is a
+    // sanctioned seam: seal it so it neither fires nor propagates.
+    let src_suppressed = |f: &FnSym, fact: usize, rule: &str| -> bool {
+        let Some(line) = f.fact_line[fact] else {
+            return false;
+        };
+        by_file
+            .get(f.file.as_str())
+            .is_some_and(|fs| fs.suppressed(rule, line))
+    };
+    // Uncharged-fetch reachability: sealed at the metered client.
+    let uncharged = graph.propagate(FACT_FETCH, |f| {
+        Config::matches(&f.file, &cfg.charging_exempt) || src_suppressed(f, FACT_FETCH, "charging")
+    });
+    // Any-fetch reachability (for lock-across-call, charging is beside
+    // the point: even a charged fetch behind the metered client stalls
+    // whoever contends for a guard held across it). Chains still stop at
+    // suppressed sources so an annotated oracle doesn't taint callers.
+    let any_fetch = graph.propagate(FACT_FETCH, |f| {
+        src_suppressed(f, FACT_FETCH, "charging")
+            || src_suppressed(f, FACT_FETCH, "lock-across-call")
+    });
+    // Fs-mutation reachability: sealed at the journal.
+    let fs_mut = graph.propagate(FACT_FSWRITE, |f| {
+        Config::matches(&f.file, &cfg.fs_write_exempt)
+            || src_suppressed(f, FACT_FSWRITE, "fs-write")
+    });
+
+    let mut found: Vec<Finding> = Vec::new();
+    for (id, f) in graph.fns.iter().enumerate() {
+        if f.is_test || !f.library {
+            continue;
+        }
+        let Some(fs) = by_file.get(f.file.as_str()) else {
+            continue;
+        };
+        let charging_scope = Config::matches(&f.file, &cfg.charging_paths)
+            && !Config::matches(&f.file, &cfg.charging_exempt);
+        let lock_scope = Config::matches(&f.file, &cfg.lock_across_call_paths);
+        let fs_scope = Config::matches(&f.file, &cfg.fs_write_paths)
+            && !Config::matches(&f.file, &cfg.fs_write_exempt);
+        if !charging_scope && !lock_scope && !fs_scope {
+            continue;
+        }
+        for (ci, c) in f.calls.iter().enumerate() {
+            if c.in_test {
+                continue;
+            }
+            // Direct raw calls are the token rules' findings; here we
+            // only report *indirect* reachability, so skip the raw names
+            // to avoid double-reporting the same line.
+            let raw_name = RAW_METHODS.contains(&c.name.as_str());
+            for &callee in graph.callees_at(id, ci) {
+                if callee == id {
+                    continue;
+                }
+                if charging_scope && !raw_name {
+                    if let Some(r) = &uncharged[callee] {
+                        if !fs.suppressed("charging", c.line) {
+                            found.push(Finding {
+                                rule: "charging",
+                                file: f.file.clone(),
+                                line: c.line,
+                                message: format!(
+                                    "`{}(…)` reaches a raw backend fetch {} hop(s) away \
+                                     ({} → {}) without passing the metered client; charge \
+                                     the fetch or route through CachingClient",
+                                    c.name,
+                                    r.hops + 1,
+                                    graph.display(id),
+                                    graph.chain(&uncharged, callee),
+                                ),
+                            });
+                        }
+                    }
+                }
+                if lock_scope && !c.guards.is_empty() && !raw_name {
+                    if let Some(r) = &any_fetch[callee] {
+                        if !fs.suppressed("lock-across-call", c.line) {
+                            found.push(Finding {
+                                rule: "lock-across-call",
+                                file: f.file.clone(),
+                                line: c.line,
+                                message: format!(
+                                    "`{}(…)` called while holding guard(s) `{}` reaches a \
+                                     backend fetch {} hop(s) away ({} → {}) — a stalled \
+                                     fetch blocks every thread contending for the lock; \
+                                     drop the guard before calling",
+                                    c.name,
+                                    c.guards.join("`, `"),
+                                    r.hops + 1,
+                                    graph.display(id),
+                                    graph.chain(&any_fetch, callee),
+                                ),
+                            });
+                        }
+                    }
+                }
+                if fs_scope {
+                    if let Some(r) = &fs_mut[callee] {
+                        if !fs.suppressed("fs-write", c.line) {
+                            found.push(Finding {
+                                rule: "fs-write",
+                                file: f.file.clone(),
+                                line: c.line,
+                                message: format!(
+                                    "`{}(…)` reaches a filesystem mutation {} hop(s) away \
+                                     ({} → {}) outside the journal; that creates durable \
+                                     state recovery cannot replay — persist through \
+                                     crates/service/src/journal.rs",
+                                    c.name,
+                                    r.hops + 1,
+                                    graph.display(id),
+                                    graph.chain(&fs_mut, callee),
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // One call site can resolve to several candidate callees that all
+    // reach the same effect; keep one finding per (rule, file, line).
+    found.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.message).cmp(&(&b.file, b.line, b.rule, &b.message))
+    });
+    found.dedup_by(|a, b| a.rule == b.rule && a.file == b.file && a.line == b.line);
+    out.append(&mut found);
+}

@@ -22,15 +22,7 @@ use crate::context::{FileCtx, Finding};
 
 /// The backend surface: `ApiBackend` fetches and the raw `Platform`
 /// accessors they wrap (the same set the `charging` rule meters).
-const BACKEND_METHODS: [&str; 7] = [
-    "fetch_search",
-    "fetch_timeline",
-    "fetch_connections",
-    "search_posts",
-    "timeline",
-    "followers",
-    "followees",
-];
+use crate::symbols::RAW_METHODS as BACKEND_METHODS;
 
 /// Replays guard acquisitions per function and flags backend calls made
 /// while any guard is live.

@@ -105,6 +105,16 @@ pub fn extract(ctx: &FileCtx, cfg: &Config) -> Vec<LockEdge> {
 /// guard is bound and lives to the end of its block). Shared with
 /// `lock-across-call`, which replays the same guard lifetimes.
 pub(crate) fn statement_binds(toks: &[crate::lexer::Token], i: usize, floor: usize) -> bool {
+    // A chained call on the guard (`x.lock().recv()`) makes it a
+    // temporary: the statement binds the *chain's* result, not the
+    // guard, which drops at the statement's end. `i` is the lock method
+    // ident, `i + 1` its `(`; the empty-args case (`i + 2` is `)`) is
+    // the only shape these acquisition methods take.
+    if toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('.'))
+    {
+        return false;
+    }
     let mut j = i;
     while j > floor {
         j -= 1;

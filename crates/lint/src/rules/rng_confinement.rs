@@ -1,0 +1,83 @@
+//! Rule `rng-confinement`: randomness lives only in the sampler seams.
+//!
+//! Reproducibility is the repo's load-bearing guarantee: the same seed
+//! must yield bit-identical estimates, traces and checkpoints across
+//! isolated, cached, fault-injected and resumed runs. Every RNG
+//! construction or draw outside the sanctioned seams (the walker family,
+//! the checkpoint RNG capture, interval-selection pilots, the analyzer's
+//! seed→stream construction, the resilient client's SplitMix64 jitter)
+//! is a place where nondeterminism can leak into an estimate — or where
+//! a resumed run can silently diverge because the extra draw isn't part
+//! of the checkpointed stream position.
+//!
+//! Two tiers:
+//! * **unseedable constructors** (`thread_rng`, `from_entropy`) are
+//!   banned everywhere in scope, sanctioned seams included — there is no
+//!   seed to reproduce;
+//! * **seeded constructors and draw methods** are banned outside
+//!   `rng_allowed_paths`.
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+use crate::symbols::{RNG_CONSTRUCTORS, RNG_DRAWS};
+
+/// Constructors with no reproducible seed: banned even in sampler code.
+const UNSEEDABLE: [&str; 2] = ["thread_rng", "from_entropy"];
+
+/// Scans for RNG constructions/draws outside the sampler seams.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::matches(ctx.path, &cfg.rng_scope_paths) || !ctx.role.is_library() {
+        return;
+    }
+    let allowed = Config::matches(ctx.path, &cfg.rng_allowed_paths);
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_code(i) {
+            continue;
+        }
+        let Some(m) = t.ident() else {
+            continue;
+        };
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            continue;
+        }
+        // A definition (`fn gen_range(`) is not a use.
+        if i >= 1 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        let method_pos = i >= 1 && toks[i - 1].is_punct('.');
+        let construct = RNG_CONSTRUCTORS.contains(&m);
+        let draw = method_pos && RNG_DRAWS.contains(&m);
+        if !construct && !draw {
+            continue;
+        }
+        if UNSEEDABLE.contains(&m) {
+            ctx.emit(
+                out,
+                "rng-confinement",
+                t.line,
+                format!(
+                    "`{m}(…)` has no seed to reproduce — every RNG in this workspace \
+                     must be constructed from the run seed (ChaCha8/SplitMix64 streams)"
+                ),
+            );
+        } else if !allowed {
+            let what = if construct {
+                "constructs an RNG"
+            } else {
+                "draws from an RNG"
+            };
+            ctx.emit(
+                out,
+                "rng-confinement",
+                t.line,
+                format!(
+                    "`{m}(…)` {what} outside the sampler seams; randomness here can \
+                     diverge from the checkpointed stream position and break seeded \
+                     reproducibility — confine RNG use to the walker/checkpoint/\
+                     analyzer seams or thread draws through a sampler"
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Checkpoint-coverage fixture: a state struct without serde derives, a
+//! serde-skipped field, and a rest-pattern construction that would
+//! silently default a newly added field.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug)]
+pub struct BrokenState {
+    pub node: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SkippyState {
+    pub node: u64,
+    #[serde(skip)]
+    pub scratch: u64,
+}
+
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OkState {
+    pub node: u64,
+    pub steps: u64,
+}
+
+pub fn resume(node: u64) -> OkState {
+    OkState {
+        node,
+        ..Default::default()
+    }
+}

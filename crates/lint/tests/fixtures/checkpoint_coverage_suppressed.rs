@@ -1,0 +1,31 @@
+//! Every checkpoint-coverage deviation carries a reasoned annotation.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug)]
+// ma-lint: allow(checkpoint-coverage) reason="fixture: in-memory only, never checkpointed"
+pub struct BrokenState {
+    pub node: u64,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SkippyState {
+    pub node: u64,
+    // ma-lint: allow(checkpoint-coverage) reason="fixture: scratch is rebuilt on resume"
+    #[serde(skip)]
+    pub scratch: u64,
+}
+
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct OkState {
+    pub node: u64,
+    pub steps: u64,
+}
+
+pub fn resume(node: u64) -> OkState {
+    // ma-lint: allow(checkpoint-coverage) reason="fixture: defaults are the documented resume semantics here"
+    OkState {
+        node,
+        ..Default::default()
+    }
+}

@@ -1,0 +1,15 @@
+//! Interprocedural charging fixture: the raw fetch hides two helpers
+//! deep, so the direct-call rule sees one site while the call-graph
+//! propagation must flag both callers above it.
+
+fn helper_two(p: &Platform) -> usize {
+    p.timeline(7).len()
+}
+
+fn helper_one(p: &Platform) -> usize {
+    helper_two(p)
+}
+
+pub fn outer(p: &Platform) -> usize {
+    helper_one(p)
+}

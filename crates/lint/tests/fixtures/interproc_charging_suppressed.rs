@@ -1,0 +1,15 @@
+//! Suppressing the raw fetch at its source seals the whole caller cone:
+//! neither the direct rule nor the interprocedural propagation may fire.
+
+fn helper_two(p: &Platform) -> usize {
+    // ma-lint: allow(charging) reason="fixture: sanctioned oracle read"
+    p.timeline(7).len()
+}
+
+fn helper_one(p: &Platform) -> usize {
+    helper_two(p)
+}
+
+pub fn outer(p: &Platform) -> usize {
+    helper_one(p)
+}

@@ -1,0 +1,14 @@
+//! Interprocedural fs-write fixture: the `fs::write` sits at the bottom
+//! of a two-helper chain; every caller above it must be flagged too.
+
+fn leaf(path: &str) {
+    let _ = std::fs::write(path, b"x");
+}
+
+fn mid(path: &str) {
+    leaf(path)
+}
+
+pub fn save(path: &str) {
+    mid(path)
+}

@@ -1,0 +1,14 @@
+//! Annotating the write at its source seals the caller cone.
+
+fn leaf(path: &str) {
+    // ma-lint: allow(fs-write) reason="fixture: scratch file outside the journaled state"
+    let _ = std::fs::write(path, b"x");
+}
+
+fn mid(path: &str) {
+    leaf(path)
+}
+
+pub fn save(path: &str) {
+    mid(path)
+}

@@ -1,0 +1,31 @@
+//! Interprocedural lock-across-call fixture: the guard is held while
+//! calling a helper whose *callee* performs the backend fetch. The
+//! scoped variant releases the guard before the call and stays clean.
+
+pub struct Flights {
+    table: Mutex<Vec<u64>>,
+}
+
+fn fetch_helper(api: &Api) -> usize {
+    deep_fetch(api)
+}
+
+fn deep_fetch(api: &Api) -> usize {
+    api.fetch_timeline(3).len()
+}
+
+impl Flights {
+    pub fn orchestrate(&self, api: &Api) -> usize {
+        let guard = self.table.lock();
+        let n = fetch_helper(api);
+        drop(guard);
+        n
+    }
+
+    pub fn sequential(&self, api: &Api) -> usize {
+        {
+            let _guard = self.table.lock();
+        }
+        fetch_helper(api)
+    }
+}

@@ -1,0 +1,20 @@
+//! The guarded helper call is annotated at the call site, so the
+//! interprocedural lock rule stays quiet.
+
+pub struct Flights {
+    table: Mutex<Vec<u64>>,
+}
+
+fn fetch_helper(api: &Api) -> usize {
+    api.fetch_timeline(3).len()
+}
+
+impl Flights {
+    pub fn orchestrate(&self, api: &Api) -> usize {
+        let guard = self.table.lock();
+        // ma-lint: allow(lock-across-call) reason="fixture: simulated backend, no real latency"
+        let n = fetch_helper(api);
+        drop(guard);
+        n
+    }
+}

@@ -1,0 +1,8 @@
+//! RNG-confinement fixture: an unseedable constructor, a seeded
+//! constructor and a draw, all outside the sampler seams.
+
+pub fn sample(n: u64) -> u64 {
+    let raw = rand::thread_rng();
+    let mut rng = ChaCha8Rng::seed_from_u64(n);
+    rng.gen_range(0..n)
+}

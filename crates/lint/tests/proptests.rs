@@ -1,0 +1,97 @@
+//! Property tests: the analysis pipeline must never panic, whatever
+//! bytes it is fed. The lexer is the front line (it slices the source by
+//! byte offsets), and the symbol/call-graph builders replay token
+//! streams with hand-rolled cursors — both are exercised end to end
+//! through `analyze_source`, which runs every rule.
+
+use ma_lint::callgraph::CallGraph;
+use ma_lint::config::Config;
+use ma_lint::context::FileCtx;
+use ma_lint::lexer::lex;
+use ma_lint::symbols;
+use proptest::prelude::*;
+
+/// Adversarial source fragments: literal/comment openers without their
+/// closers, multibyte text, and shapes the symbol walker cares about.
+const FRAGMENTS: [&str; 16] = [
+    "fn f() {",
+    "}",
+    "r#\"",
+    "r##\"x\"#",
+    "/*",
+    "/* é /*",
+    "*/",
+    "b'\\''",
+    "'\"'",
+    "\"esc \\",
+    "é字🦀",
+    "x.lock().unwrap();",
+    "let s = ",
+    "impl T for",
+    "#[derive(Serialize)] struct QState {",
+    "S { a, .. }",
+];
+
+/// Arbitrary (lossily valid UTF-8) strings from raw bytes.
+fn arb_source() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Concatenations of adversarial fragments.
+fn arb_fragments() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..FRAGMENTS.len(), 0..24).prop_map(|picks| {
+        picks
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join("\n")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(src in arb_source()) {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_adversarial_fragments(src in arb_fragments()) {
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn full_analysis_never_panics_on_arbitrary_source(src in arb_source()) {
+        let _ = ma_lint::analyze_source("crates/core/src/fuzz.rs", &src, &Config::default());
+    }
+
+    #[test]
+    fn full_analysis_never_panics_on_adversarial_fragments(src in arb_fragments()) {
+        let _ = ma_lint::analyze_source("crates/core/src/fuzz.rs", &src, &Config::default());
+    }
+
+    #[test]
+    fn call_graph_builder_never_panics(
+        picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..FRAGMENTS.len(), 0..12),
+            1..4,
+        )
+    ) {
+        let files: Vec<symbols::FileSymbols> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, parts)| {
+                let src = parts.iter().map(|&p| FRAGMENTS[p]).collect::<Vec<_>>().join("\n");
+                let path = format!("crates/core/src/f{i}.rs");
+                let ctx = FileCtx::new(&path, &src);
+                symbols::extract(&ctx)
+            })
+            .collect();
+        let graph = CallGraph::build(&files);
+        for fact in 0..symbols::FACT_COUNT {
+            let _ = graph.propagate(fact, |_| false);
+        }
+    }
+}

@@ -318,3 +318,155 @@ fn hygiene_clean_file_passes() {
     );
     assert!(findings.is_empty(), "{findings:?}");
 }
+
+#[test]
+fn interproc_charging_flags_every_caller_in_the_chain() {
+    let findings = run(
+        "charging",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/interproc_charging_fire.rs"),
+    );
+    // The direct `.timeline(` plus the two helper call sites above it.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("2 hop(s)")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("helper_one") && f.message.contains("helper_two")),
+        "witness chain must name the path: {findings:?}"
+    );
+}
+
+#[test]
+fn interproc_charging_source_annotation_seals_the_cone() {
+    let findings = run(
+        "charging",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/interproc_charging_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn interproc_lock_flags_guarded_call_into_fetching_helper() {
+    let findings = run(
+        "lock-across-call",
+        "crates/api/src/client.rs",
+        include_str!("fixtures/interproc_lock_fire.rs"),
+    );
+    // Only `orchestrate` holds a guard at its helper call; the scoped
+    // variant released the guard first and stays clean.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("`table`"), "{findings:?}");
+    assert!(findings[0].message.contains("hop"), "{findings:?}");
+}
+
+#[test]
+fn interproc_lock_suppressed_at_call_site() {
+    let findings = run(
+        "lock-across-call",
+        "crates/api/src/client.rs",
+        include_str!("fixtures/interproc_lock_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn interproc_fs_write_flags_every_caller_in_the_chain() {
+    let findings = run(
+        "fs-write",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/interproc_fs_fire.rs"),
+    );
+    // The direct `fs::write` plus the two callers above it.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(findings.iter().all(|f| f.message.contains("journal")));
+}
+
+#[test]
+fn interproc_fs_write_source_annotation_seals_the_cone() {
+    let findings = run(
+        "fs-write",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/interproc_fs_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn rng_confinement_fires_outside_sampler_seams() {
+    let findings = run(
+        "rng-confinement",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/rng_confinement_fire.rs"),
+    );
+    // thread_rng (unseedable), seed_from_u64 (constructor), gen_range (draw).
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn rng_confinement_allows_seeded_rng_in_sampler_paths() {
+    // Inside the walker seam the seeded constructor and the draw are
+    // sanctioned — but the unseedable `thread_rng` still fires.
+    let findings = run(
+        "rng-confinement",
+        "crates/core/src/walker/fixture.rs",
+        include_str!("fixtures/rng_confinement_fire.rs"),
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert!(findings[0].message.contains("thread_rng"), "{findings:?}");
+}
+
+#[test]
+fn rng_confinement_suppressed() {
+    let findings = run(
+        "rng-confinement",
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/rng_confinement_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn checkpoint_coverage_fires_on_drift_prone_state() {
+    let findings = run(
+        "checkpoint-coverage",
+        "crates/core/src/checkpoint.rs",
+        include_str!("fixtures/checkpoint_coverage_fire.rs"),
+    );
+    // Missing derives on BrokenState, the serde-skip field, the `..` use.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(
+        findings.iter().any(|f| f.message.contains("BrokenState")),
+        "{findings:?}"
+    );
+    assert!(
+        findings.iter().any(|f| f.message.contains("rest pattern")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn checkpoint_coverage_suppressed() {
+    let findings = run(
+        "checkpoint-coverage",
+        "crates/core/src/checkpoint.rs",
+        include_str!("fixtures/checkpoint_coverage_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn lexer_hardening_literals_are_opaque_to_rules() {
+    let findings = run(
+        "wall-clock",
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/lexer_hardening_fire.rs"),
+    );
+    // Only the real `Instant::now()`; the raw-string/comment/char-literal
+    // decoys must stay opaque.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}

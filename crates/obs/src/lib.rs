@@ -44,6 +44,7 @@ pub mod event;
 pub mod export;
 pub mod histogram;
 pub mod recorder;
+pub mod schema;
 pub mod sink;
 pub mod tracer;
 

@@ -636,8 +636,10 @@ impl Service {
             };
             if let Some(sender) = &self.sender {
                 if let Err(mpsc::SendError(job)) = sender.send(job) {
+                    let id = job.id;
                     self.quota.settle(job.reservation, 0);
                     self.outstanding.dec();
+                    trace_settle(&self.tracer, id, 0, "send_failed");
                 }
             }
         }
@@ -699,7 +701,9 @@ impl Service {
             // Workers are gone; release the reservation untouched.
             self.inflight.lock().remove(&job.id);
             self.outstanding.dec();
+            let id = job.id;
             self.quota.settle(job.reservation, 0);
+            trace_settle(&self.tracer, id, 0, "send_failed");
             ServiceError::ShuttingDown
         };
         let Some(sender) = self.sender.as_ref() else {
@@ -911,6 +915,7 @@ fn supervisor_loop(
             break;
         };
         ctx.metrics.record_respawned();
+        // ma-lint: allow(lock-across-call) reason="spawn_worker only spawns; the fetch it reaches runs on the new worker thread, not under this guard"
         workers.lock().push(spawn_worker(Arc::clone(&ctx)));
         if ctx.tracer.is_enabled() {
             ctx.tracer.emit(
@@ -937,16 +942,39 @@ fn supervisor_loop(
         });
         if torn {
             let job = *job;
-            interrupt_job(&ctx, job.id, &job.state);
+            let id = job.id;
+            interrupt_job(&ctx, id, &job.state);
             ctx.quota.settle(job.reservation, 0);
+            trace_settle(&ctx.tracer, id, 0, "torn_tail");
             continue;
         }
         if let Err(mpsc::SendError(job)) = jobs.send(*job) {
             // Shutdown raced the requeue; park the job for recovery.
-            interrupt_job(&ctx, job.id, &job.state);
+            let id = job.id;
+            interrupt_job(&ctx, id, &job.state);
             ctx.quota.settle(job.reservation, 0);
+            trace_settle(&ctx.tracer, id, 0, "requeue_raced");
         }
     }
+}
+
+/// Emits the `settle` job event right after the quota settlement. A job
+/// id settles at most once per process lifetime (crash requeues carry
+/// the reservation instead of settling it) — `ma-verify` replays traces
+/// and asserts exactly that.
+fn trace_settle(tracer: &Tracer, job: u64, used: u64, reason: &str) {
+    if !tracer.is_enabled() {
+        return;
+    }
+    tracer.emit(
+        Category::Job,
+        "settle",
+        &[
+            ("job_id", FieldValue::U64(job)),
+            ("used", FieldValue::U64(used)),
+            ("reason", FieldValue::Str(reason.to_string())),
+        ],
+    );
 }
 
 /// Fails a job's handle with [`ServiceError::Interrupted`] and journals
@@ -1019,6 +1047,12 @@ impl CheckpointSink for JobSink {
                 &[
                     ("job_id", FieldValue::U64(self.job)),
                     ("steps", FieldValue::U64(checkpoint.steps)),
+                    // `steps` is a per-phase marker (pilot candidates,
+                    // then walk instances); `charged` is the cumulative
+                    // budget spend at capture — the counter that must
+                    // never run backwards, across phases and resumes
+                    // alike. `ma-verify` audits it.
+                    ("charged", FieldValue::U64(checkpoint.client.charged)),
                 ],
             );
         }
@@ -1149,6 +1183,7 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
             // published, so recovery and the caller agree.
             let refunded = job.reservation.amount().saturating_sub(report.charged);
             ctx.quota.settle(job.reservation, report.charged);
+            trace_settle(tracer, job.id, report.charged, "completed");
             if let Some(journal) = &ctx.journal {
                 let _ = journal.append(&JournalRecord::Settle {
                     job: job.id,
@@ -1206,6 +1241,7 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
             // the whole reservation is conservatively treated as consumed.
             let amount = job.reservation.amount();
             ctx.quota.settle(job.reservation, amount);
+            trace_settle(tracer, job.id, amount, "panic");
             if let Some(journal) = &ctx.journal {
                 let _ = journal.append(&JournalRecord::Settle {
                     job: job.id,

@@ -1,0 +1,40 @@
+//! # ma-verify
+//!
+//! A trace-replay invariant auditor for the MICROBLOG-ANALYZER stack.
+//!
+//! The service emits deterministic structured traces (`microblog-obs`
+//! JSONL); this crate replays them and asserts the runtime invariants
+//! the tests can only sample:
+//!
+//! * **Charge attribution** — every `charge` event names an endpoint,
+//!   carries positive calls, and lands in a real walk phase (never
+//!   `idle`); fresh backend fetches never exceed charged calls.
+//! * **Job conservation** — a `job` span's reported `charged` equals the
+//!   sum of the charge events inside it (`≥` for panics, where the full
+//!   reservation is conservatively consumed).
+//! * **Settle exactly once** — each job id settles at most once per
+//!   process; finished jobs must settle; crashed jobs must not settle
+//!   from the worker (the reservation travels with the requeue).
+//! * **Checkpoint monotonicity** — per-job checkpoint step counters
+//!   never run backwards.
+//! * **Breaker legality** — per-endpoint circuit breakers only move
+//!   along `Closed → Open → HalfOpen → {Closed, Open}`, and fast-fails
+//!   only happen while open.
+//! * **Stream sanity** — frames decode, seq strictly increases, ticks
+//!   never run backwards, the event vocabulary matches
+//!   [`microblog_obs::schema`], and spans pair up.
+//!
+//! The decoder ([`frame`]) is hand-rolled and never panics — property
+//! tests feed it arbitrary bytes. CI replays the `trace_demo` artifact
+//! through the `ma-verify` binary and fails on any violation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod frame;
+pub mod report;
+
+pub use checks::{audit, Audit, Violation};
+pub use frame::{DecodeError, Frame};
+pub use report::{FileAudit, Report};

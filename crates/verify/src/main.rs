@@ -1,0 +1,74 @@
+//! `ma-verify` — replay structured traces and audit runtime invariants.
+//!
+//! ```text
+//! ma-verify <trace.jsonl>... [--json] [--json-out <path>]
+//! ```
+//!
+//! Exit codes: `0` all invariants hold, `1` violations found, `2` usage
+//! or I/O error.
+
+use ma_verify::{audit, FileAudit, Report};
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut paths: Vec<String> = Vec::new();
+    let mut json = false;
+    let mut json_out: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--json-out" => match it.next() {
+                Some(path) => json_out = Some(path),
+                None => {
+                    eprintln!("ma-verify: --json-out needs a path");
+                    return 2;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: ma-verify <trace.jsonl>... [--json] [--json-out <path>]");
+                return 0;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("ma-verify: unknown flag `{flag}`");
+                return 2;
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: ma-verify <trace.jsonl>... [--json] [--json-out <path>]");
+        return 2;
+    }
+
+    let mut report = Report::default();
+    for path in paths {
+        let input = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("ma-verify: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        report.files.push(FileAudit {
+            path,
+            audit: audit(&input),
+        });
+    }
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("ma-verify: cannot write {path}: {e}");
+            return 2;
+        }
+    }
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    i32::from(!report.ok())
+}

@@ -1,0 +1,176 @@
+//! Rendering audits for humans and for CI.
+
+use crate::checks::Audit;
+
+/// The audit of one trace file.
+#[derive(Clone, Debug)]
+pub struct FileAudit {
+    /// Path as given on the command line.
+    pub path: String,
+    /// The audit result.
+    pub audit: Audit,
+}
+
+/// All audited files of one invocation.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Per-file results, in argument order.
+    pub files: Vec<FileAudit>,
+}
+
+impl Report {
+    /// True when no file produced a violation.
+    pub fn ok(&self) -> bool {
+        self.files.iter().all(|f| f.audit.ok())
+    }
+
+    /// Total violations across all files.
+    pub fn total_violations(&self) -> usize {
+        self.files.iter().map(|f| f.audit.violations.len()).sum()
+    }
+
+    /// Human-readable rendering.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for file in &self.files {
+            let a = &file.audit;
+            for v in &a.violations {
+                out.push_str(&format!(
+                    "{}:{}: [{}] {}\n",
+                    file.path, v.line, v.check, v.message
+                ));
+            }
+            out.push_str(&format!(
+                "{}: {} frame(s), {} charged call(s) ({} fresh), {} job(s) conserved, {} violation(s)",
+                file.path,
+                a.frames,
+                a.charged_calls,
+                a.fresh_calls,
+                a.conserved_jobs,
+                a.violations.len()
+            ));
+            if !a.skipped.is_empty() {
+                out.push_str(&format!(
+                    " — skipped on concurrent trace: {}",
+                    a.skipped.join(", ")
+                ));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "ma-verify: {} file(s), {} violation(s)\n",
+            self.files.len(),
+            self.total_violations()
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (stable key order, hand-rolled like
+    /// the trace export itself).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"files\": [");
+        for (i, file) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let a = &file.audit;
+            out.push_str(&format!(
+                "\n    {{\"path\": {}, \"frames\": {}, \"charged_calls\": {}, \"fresh_calls\": {}, \"conserved_jobs\": {}, \"skipped\": [{}], \"violations\": [",
+                json_str(&file.path),
+                a.frames,
+                a.charged_calls,
+                a.fresh_calls,
+                a.conserved_jobs,
+                a.skipped
+                    .iter()
+                    .map(|s| json_str(s))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            for (j, v) in a.violations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n      {{\"line\": {}, \"check\": {}, \"message\": {}}}",
+                    v.line,
+                    json_str(v.check),
+                    json_str(&v.message)
+                ));
+            }
+            if !a.violations.is_empty() {
+                out.push_str("\n    ");
+            }
+            out.push_str("]}");
+        }
+        if !self.files.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"total_violations\": {},\n  \"ok\": {}\n}}\n",
+            self.total_violations(),
+            self.ok()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the obs exporter).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::Violation;
+
+    fn sample() -> Report {
+        let mut audit = Audit {
+            frames: 3,
+            charged_calls: 5,
+            fresh_calls: 4,
+            ..Audit::default()
+        };
+        audit.violations.push(Violation {
+            line: 2,
+            check: "settle-once",
+            message: "job 1 settled 2 times — \"twice\"".to_string(),
+        });
+        Report {
+            files: vec![FileAudit {
+                path: "trace.jsonl".to_string(),
+                audit,
+            }],
+        }
+    }
+
+    #[test]
+    fn text_cites_file_line_and_check() {
+        let text = sample().render_text();
+        assert!(text.contains("trace.jsonl:2: [settle-once]"), "{text}");
+        assert!(text.contains("1 violation(s)"), "{text}");
+    }
+
+    #[test]
+    fn json_escapes_and_totals() {
+        let json = sample().render_json();
+        assert!(json.contains("\\\"twice\\\""), "{json}");
+        assert!(json.contains("\"total_violations\": 1"), "{json}");
+        assert!(json.contains("\"ok\": false"), "{json}");
+    }
+}

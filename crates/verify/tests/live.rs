@@ -1,0 +1,108 @@
+//! Replay real traces through the auditor: an uninterrupted job (the
+//! `trace_demo` shape) and a crash→respawn→resume run must both come out
+//! violation-free.
+
+use ma_verify::audit;
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::Algorithm;
+use microblog_api::ApiProfile;
+use microblog_obs::{
+    render_jsonl, Category, RecorderConfig, RingRecorder, TelemetryClock, TelemetryMode, Tracer,
+};
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::CrashPlan;
+use microblog_service::traceview::record_job;
+use microblog_service::{JobSpec, Service, ServiceConfig};
+use std::sync::Arc;
+
+const BUDGET: u64 = 4_000;
+const SEED: u64 = 7;
+
+fn scenario() -> Scenario {
+    twitter_2013(Scale::Tiny, 2014)
+}
+
+fn spec(s: &Scenario) -> JobSpec {
+    JobSpec::new(
+        parse_query(
+            "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'",
+            s.platform.keywords(),
+        )
+        .expect("query parses"),
+        Algorithm::MaTarw { interval: None },
+        BUDGET,
+        SEED,
+    )
+}
+
+#[test]
+fn uninterrupted_job_trace_is_violation_free() {
+    let s = scenario();
+    let run = record_job(
+        Arc::new(s.platform.clone()),
+        ApiProfile::twitter(),
+        spec(&s),
+        TelemetryMode::Logical,
+        RecorderConfig::default(),
+    )
+    .expect("within quota");
+    assert!(run.outcome.output().is_some(), "job estimates");
+    let jsonl = render_jsonl(&run.events);
+    let a = audit(&jsonl);
+    assert!(a.ok(), "violations in live trace: {:#?}", a.violations);
+    assert!(a.frames > 100, "trace too small to mean anything");
+    assert!(a.charged_calls > 0);
+    assert_eq!(a.conserved_jobs, 1, "the one job span must be conserved");
+    // The settle emitted by the engine must be part of the stream.
+    assert!(
+        run.events
+            .iter()
+            .any(|e| e.category == Category::Job && e.name == "settle"),
+        "trace carries the settle event"
+    );
+}
+
+#[test]
+fn crash_recovery_trace_is_violation_free() {
+    let dir = std::env::temp_dir().join(format!("ma-verify-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let s = scenario();
+    let sink = Arc::new(RingRecorder::new(RecorderConfig::default()));
+    let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+    let tracer = Tracer::new(sink.clone(), clock);
+    let cfg = ServiceConfig {
+        workers: 1,
+        global_quota: Some(50_000),
+        checkpoint_every: 2,
+        crash_plan: Some(CrashPlan::kill("pre_settle")),
+        journal: Some(dir.clone()),
+        telemetry: TelemetryMode::Logical,
+        tracer,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg)
+        .expect("journal opens");
+    let out = service
+        .submit(spec(&s))
+        .expect("admitted")
+        .join()
+        .into_result()
+        .expect("resumed run completes");
+    assert!(out.charged > 0);
+    service.shutdown();
+    let events = sink.drain();
+    let jsonl = render_jsonl(&events);
+    let a = audit(&jsonl);
+    assert!(a.ok(), "violations in crash trace: {:#?}", a.violations);
+    // The trace must actually contain the crash machinery it certifies:
+    // a crashed span, a respawn, a resumed span, exactly one settle.
+    assert!(jsonl.contains("crash:pre_settle"), "crashed span recorded");
+    assert!(jsonl.contains("\"respawn\""), "supervisor respawn recorded");
+    assert!(jsonl.contains("\"resumed\":1"), "requeued run is resumed");
+    let settles = events
+        .iter()
+        .filter(|e| e.category == Category::Job && e.name == "settle")
+        .count();
+    assert_eq!(settles, 1, "exactly one settle for the whole job");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,69 @@
+//! Property tests: the frame decoder and the auditor must never panic,
+//! whatever bytes they are fed — traces come from files, and a torn
+//! write or hostile edit must surface as a violation, not a crash.
+
+use ma_verify::{audit, Frame};
+use proptest::prelude::*;
+
+/// Fragments biased toward the JSONL grammar: real keys, enum strings,
+/// broken escapes, unclosed brackets.
+const FRAGMENTS: [&str; 18] = [
+    "{\"tick\":1,",
+    "\"seq\":0,",
+    "\"kind\":\"event\",",
+    "\"kind\":\"span_start\",",
+    "\"cat\":\"charge\",",
+    "\"cat\":\"job\",",
+    "\"name\":\"settle\",",
+    "\"span\":null,",
+    "\"span\":7,",
+    "\"phase\":\"walk\",",
+    "\"level\":-3,",
+    "\"fields\":{}}",
+    "\"fields\":{\"calls\":2}}",
+    "{{[[",
+    "\\u12",
+    "\"esc \\",
+    "1e309",
+    "é字🦀",
+];
+
+fn arb_bytes() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+fn arb_fragments() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..FRAGMENTS.len(), 0..16)
+        .prop_map(|picks| picks.iter().map(|&i| FRAGMENTS[i]).collect::<String>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn frame_decoder_never_panics_on_arbitrary_bytes(line in arb_bytes()) {
+        let _ = Frame::decode(&line);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_grammar_fragments(line in arb_fragments()) {
+        let _ = Frame::decode(&line);
+    }
+
+    #[test]
+    fn auditor_never_panics_on_arbitrary_streams(
+        lines in proptest::collection::vec(arb_fragments(), 0..8)
+    ) {
+        let _ = audit(&lines.join("\n"));
+    }
+
+    #[test]
+    fn truncating_a_valid_line_errors_cleanly(cut in 0usize..200) {
+        let line = r#"{"tick":42,"seq":7,"kind":"event","cat":"charge","name":"charge","span":null,"phase":"walk","level":2,"fields":{"endpoint":"search","calls":3,"source":"fresh"}}"#;
+        let cut = cut.min(line.len());
+        if line.is_char_boundary(cut) {
+            let _ = Frame::decode(&line[..cut]);
+        }
+    }
+}
