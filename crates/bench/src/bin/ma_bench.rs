@@ -72,8 +72,13 @@ impl ApiBackend for SlowBackend {
     }
 }
 
+/// Current BENCH_5.json schema version. v3 added the queue/exec
+/// latency-percentile columns.
+const SCHEMA_VERSION: u64 = 3;
+
 /// Keys every BENCH_5.json must carry, with their JSON kind. `check`
-/// fails on a missing key or a kind mismatch — that is the schema gate.
+/// fails on a missing key, a kind mismatch, or a stale
+/// `schema_version` — that is the schema gate.
 const SCHEMA: &[(&str, &str)] = &[
     ("schema_version", "integer"),
     ("smoke", "bool"),
@@ -96,6 +101,15 @@ const SCHEMA: &[(&str, &str)] = &[
     ("coalesce_aborts", "integer"),
     ("coalesced_miss_ratio", "number"),
     ("peak_inflight_dedup", "integer"),
+    // Latency section (schema v3): per-stage percentiles over the cold
+    // coalesced run, read from the service's log2 histograms. Values are
+    // inclusive bucket upper bounds in microseconds (logical telemetry).
+    ("queue_wait_us_p50", "integer"),
+    ("queue_wait_us_p95", "integer"),
+    ("queue_wait_us_p99", "integer"),
+    ("exec_us_p50", "integer"),
+    ("exec_us_p95", "integer"),
+    ("exec_us_p99", "integer"),
     // Recovery section: checkpoint-cadence step-rate overhead and
     // cold-recovery (journal replay + resumed-job drain) timings.
     ("recovery_walker_steps", "integer"),
@@ -565,7 +579,7 @@ fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
         first = false;
         out.push_str(&format!("  \"{key}\": {value}"));
     };
-    put("schema_version", "2".into());
+    put("schema_version", SCHEMA_VERSION.to_string());
     put("smoke", params.smoke.to_string());
     put("world_scale", "\"tiny\"".into());
     put("world_seed", WORLD_SEED.to_string());
@@ -598,6 +612,22 @@ fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
         "peak_inflight_dedup",
         snap.coalesce_peak_inflight.to_string(),
     );
+    let pct = microblog_obs::window::percentile;
+    put(
+        "queue_wait_us_p50",
+        pct(&snap.queue_wait_hist, 0.50).to_string(),
+    );
+    put(
+        "queue_wait_us_p95",
+        pct(&snap.queue_wait_hist, 0.95).to_string(),
+    );
+    put(
+        "queue_wait_us_p99",
+        pct(&snap.queue_wait_hist, 0.99).to_string(),
+    );
+    put("exec_us_p50", pct(&snap.exec_hist, 0.50).to_string());
+    put("exec_us_p95", pct(&snap.exec_hist, 0.95).to_string());
+    put("exec_us_p99", pct(&snap.exec_hist, 0.99).to_string());
     put("recovery_walker_steps", params.walker_steps.to_string());
     put(
         "recovery_steps_per_sec_no_checkpoint",
@@ -664,6 +694,12 @@ fn check(args: &[String]) -> i32 {
         if !matches {
             problems.push(format!("  {key}: expected {kind}, found {actual}"));
         }
+    }
+    let version = serde::value::field(entries, "schema_version").as_u64();
+    if version != Some(SCHEMA_VERSION) {
+        problems.push(format!(
+            "  schema_version: expected {SCHEMA_VERSION}, found {version:?}"
+        ));
     }
     if problems.is_empty() {
         eprintln!("{path}: schema ok ({} keys)", SCHEMA.len());

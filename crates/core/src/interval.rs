@@ -89,6 +89,13 @@ pub fn score_intervals_recoverable<R: CheckpointRng>(
     }
     let tracer = client.tracer().clone();
     tracer.set_phase(WalkPhase::Pilot);
+    // Bracket the whole candidate sweep so live telemetry can attribute
+    // wall-to-wall pilot latency to the `pilot` pipeline stage.
+    let pilot_span = tracer.span_start(
+        Category::Walk,
+        "pilot",
+        &[("candidates", FieldValue::from(candidates.len()))],
+    );
     let mut scores = Vec::with_capacity(candidates.len());
     let mut done: Vec<(i64, u64, u64)> = Vec::new();
     if let Some(state) = resume {
@@ -116,7 +123,15 @@ pub fn score_intervals_recoverable<R: CheckpointRng>(
         let (h, d) = match pilot(client, query, interval, seeds, pilot_steps, rng) {
             Ok(hd) => hd,
             Err(e) if e.ends_walk() => break,
-            Err(e) => return Err(e.into()),
+            Err(e) => {
+                tracer.span_end(
+                    Category::Walk,
+                    "pilot",
+                    pilot_span,
+                    &[("scored", FieldValue::from(scores.len()))],
+                );
+                return Err(e.into());
+            }
         };
         tracer.emit(
             Category::Walk,
@@ -137,6 +152,12 @@ pub fn score_intervals_recoverable<R: CheckpointRng>(
             conductance: f64::NAN,
         });
     }
+    tracer.span_end(
+        Category::Walk,
+        "pilot",
+        pilot_span,
+        &[("scored", FieldValue::from(scores.len()))],
+    );
     if scores.is_empty() {
         return Err(EstimateError::NoSamples);
     }

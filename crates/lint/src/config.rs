@@ -8,7 +8,7 @@
 
 /// Rule identifiers, as used in findings, suppression comments and the
 /// baseline file.
-pub const RULES: [&str; 11] = [
+pub const RULES: [&str; 12] = [
     "wall-clock",
     "panic-safety",
     "determinism",
@@ -19,6 +19,7 @@ pub const RULES: [&str; 11] = [
     "fs-write",
     "rng-confinement",
     "checkpoint-coverage",
+    "schema-closed",
     "suppression",
 ];
 
@@ -73,6 +74,13 @@ pub struct Config {
     /// the analyzer's run-RNG construction, and the resilient client's
     /// seeded jitter.
     pub rng_allowed_paths: Vec<String>,
+    /// Files whose `event_names` / `span_names` tables publish the
+    /// closed trace vocabulary (the obs schema module).
+    pub schema_vocab_files: Vec<String>,
+    /// Paths whose tracer call sites (`emit` / `span_start` /
+    /// `span_end` with literal category + name) must stay inside that
+    /// vocabulary.
+    pub schema_use_paths: Vec<String>,
     /// Files defining the checkpoint state structs the
     /// `checkpoint-coverage` rule guards (struct names ending in
     /// `State` plus `WalkerCheckpoint` itself).
@@ -159,6 +167,13 @@ impl Default for Config {
                 "crates/core/src/analyzer.rs",
                 // Seeded SplitMix64 jitter for decorrelated backoff.
                 "crates/api/src/resilient.rs",
+            ]),
+            schema_vocab_files: s(&["crates/obs/src/schema.rs"]),
+            schema_use_paths: s(&[
+                "crates/api/src/",
+                "crates/core/src/",
+                "crates/obs/src/",
+                "crates/service/src/",
             ]),
             checkpoint_state_files: s(&["crates/core/src/checkpoint.rs"]),
             checkpoint_use_paths: s(&["crates/core/src/"]),

@@ -117,6 +117,7 @@ fn assemble(per: Vec<PerFile>, cfg: &Config) -> WorkspaceAnalysis {
     let graph = CallGraph::build(&files);
     rules::interproc::check(&files, &graph, cfg, &mut findings);
     rules::checkpoint_coverage::check(&files, cfg, &mut findings);
+    rules::schema_closed::check(&files, cfg, &mut findings);
     findings
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     WorkspaceAnalysis {

@@ -1,0 +1,187 @@
+//! Rule `schema-closed`: the trace vocabulary stays closed.
+//!
+//! `ma-verify` rejects any trace frame whose category/name pair is not
+//! registered in `microblog_obs::schema` — so an event recorded under an
+//! unregistered name compiles fine, runs fine, and then fails the CI
+//! replay gate the first time it appears in a trace. This rule moves
+//! that failure to lint time: every `emit` / `span_start` / `span_end`
+//! call site in the instrumented crates whose category variant and name
+//! are both literals must name a pair the schema tables publish.
+//!
+//! Two-phase like `checkpoint-coverage`: phase 1 harvests, per file, the
+//! vocabulary tables (from the schema file's `event_names` /
+//! `span_names` match arms) and the tracer call sites; phase 2
+//! cross-references them over the assembled workspace. Call sites that
+//! pass the category or name through a variable are skipped — the
+//! runtime gate still covers those.
+
+use crate::config::Config;
+use crate::context::{matching_brace, FileCtx, Finding};
+use crate::symbols::FileSymbols;
+use std::collections::BTreeSet;
+
+/// Whether a call site records a point event or a span boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SchemaKind {
+    /// `emit(…)` — validated against `event_names`.
+    Event,
+    /// `span_start(…)` / `span_end(…)` — validated against `span_names`.
+    Span,
+}
+
+/// One tracer call site with a literal `Category::X` and name.
+#[derive(Clone, Debug)]
+pub struct SchemaUse {
+    /// Event or span position.
+    pub kind: SchemaKind,
+    /// The category variant ident (`Stats`, `Walk`, …).
+    pub category: String,
+    /// The event/span name literal.
+    pub name: String,
+    /// 1-based line of the call.
+    pub line: u32,
+}
+
+/// Per-file facts for the workspace phase.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaFacts {
+    /// `(kind, category variant, name)` triples harvested from
+    /// `event_names` / `span_names` table bodies (empty in files that
+    /// define neither).
+    pub vocab: Vec<(SchemaKind, String, String)>,
+    /// Tracer call sites carrying literal category + name, in non-test
+    /// code.
+    pub uses: Vec<SchemaUse>,
+}
+
+/// Phase 1: harvests vocabulary tables and tracer call sites from one
+/// file's token stream.
+pub fn harvest(ctx: &FileCtx) -> SchemaFacts {
+    let toks = &ctx.tokens;
+    let mut facts = SchemaFacts::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Vocabulary tables: `fn event_names(…) … { match category { Category::Walk => &["step", …], … } }`.
+        if toks[i].is_ident("fn") {
+            let kind = match toks.get(i + 1).and_then(|t| t.ident()) {
+                Some("event_names") => Some(SchemaKind::Event),
+                Some("span_names") => Some(SchemaKind::Span),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                let open = (i + 2..toks.len()).find(|&j| toks[j].is_punct('{'));
+                if let Some(open) = open {
+                    let close = matching_brace(toks, open).unwrap_or(toks.len());
+                    let mut cat: Option<String> = None;
+                    let mut j = open;
+                    while j < close {
+                        if let Some(found) = category_variant(toks, j) {
+                            cat = Some(found);
+                            j += 4;
+                            continue;
+                        }
+                        if let (Some(name), Some(cat)) = (toks[j].literal_str(), &cat) {
+                            facts.vocab.push((kind, cat.clone(), name.to_string()));
+                        }
+                        j += 1;
+                    }
+                    i = close;
+                    continue;
+                }
+            }
+        }
+        // Call sites: `emit(Category::X, "name", …)` and the span pair.
+        let kind = match toks[i].ident() {
+            Some("emit") => Some(SchemaKind::Event),
+            Some("span_start") | Some("span_end") => Some(SchemaKind::Span),
+            _ => None,
+        };
+        if let Some(kind) = kind {
+            let call = toks.get(i + 1).is_some_and(|t| t.is_punct('(')) && !ctx.is_test_code(i);
+            let category = if call {
+                category_variant(toks, i + 2)
+            } else {
+                None
+            };
+            let name = if toks.get(i + 6).is_some_and(|t| t.is_punct(',')) {
+                toks.get(i + 7).and_then(|t| t.literal_str())
+            } else {
+                None
+            };
+            if let (Some(category), Some(name)) = (category, name) {
+                facts.uses.push(SchemaUse {
+                    kind,
+                    category,
+                    name: name.to_string(),
+                    line: toks[i].line,
+                });
+            }
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Matches `Category :: <Variant>` starting at token `at`, returning the
+/// variant ident.
+fn category_variant(toks: &[crate::lexer::Token], at: usize) -> Option<String> {
+    if toks.get(at)?.is_ident("Category")
+        && toks.get(at + 1)?.is_punct(':')
+        && toks.get(at + 2)?.is_punct(':')
+    {
+        toks.get(at + 3)?.ident().map(str::to_string)
+    } else {
+        None
+    }
+}
+
+/// Phase 2: checks every harvested call site against the assembled
+/// vocabulary. When no file in `schema_vocab_files` contributed a
+/// vocabulary (single-file analyses outside the schema), the rule stays
+/// silent rather than flagging everything.
+pub fn check(files: &[FileSymbols], cfg: &Config, out: &mut Vec<Finding>) {
+    let mut events: BTreeSet<(&str, &str)> = BTreeSet::new();
+    let mut spans: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for fs in files {
+        if !Config::matches(&fs.file, &cfg.schema_vocab_files) {
+            continue;
+        }
+        for (kind, cat, name) in &fs.schema.vocab {
+            match kind {
+                SchemaKind::Event => events.insert((cat, name)),
+                SchemaKind::Span => spans.insert((cat, name)),
+            };
+        }
+    }
+    if events.is_empty() && spans.is_empty() {
+        return;
+    }
+    for fs in files {
+        if !Config::matches(&fs.file, &cfg.schema_use_paths) {
+            continue;
+        }
+        for u in &fs.schema.uses {
+            let (table, which) = match u.kind {
+                SchemaKind::Event => (&events, "event_names"),
+                SchemaKind::Span => (&spans, "span_names"),
+            };
+            if table.contains(&(u.category.as_str(), u.name.as_str())) {
+                continue;
+            }
+            if fs.suppressed("schema-closed", u.line) {
+                continue;
+            }
+            out.push(Finding {
+                rule: "schema-closed",
+                file: fs.file.clone(),
+                line: u.line,
+                message: format!(
+                    "`Category::{}` / \"{}\" is not in the `{which}` vocabulary of \
+                     microblog_obs::schema — register it there, or every trace \
+                     carrying it fails ma-verify's vocab check",
+                    u.category, u.name
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: tracer call sites outside the closed schema vocabulary. The
+// registered `window` event and `job` span stay silent, as does the
+// call passing its name through a variable (runtime-gated only); the
+// unregistered event name, the misfiled category and the unregistered
+// span all fire.
+fn report(tracer: &Tracer, dynamic_name: &str) {
+    tracer.emit(Category::Stats, "window", &[]);
+    tracer.emit(Category::Stats, dynamic_name, &[]);
+    tracer.emit(Category::Stats, "not_a_real_event", &[]);
+    tracer.emit(Category::Cache, "settle", &[]);
+    let id = tracer.span_start(Category::Job, "job", &[]);
+    tracer.span_end(Category::Job, "job", id, &[]);
+    tracer.span_start(Category::Walk, "detour", &[]);
+}

@@ -1,0 +1,10 @@
+// Fixture: the same unregistered call sites, each justified inline
+// (e.g. an experiment branch whose traces are never replayed in CI).
+fn report(tracer: &Tracer) {
+    // ma-lint: allow(schema-closed) reason="experimental event; trace never reaches the CI replay gate"
+    tracer.emit(Category::Stats, "not_a_real_event", &[]);
+    // ma-lint: allow(schema-closed) reason="experimental event; trace never reaches the CI replay gate"
+    tracer.emit(Category::Cache, "settle", &[]);
+    // ma-lint: allow(schema-closed) reason="experimental span; trace never reaches the CI replay gate"
+    tracer.span_start(Category::Walk, "detour", &[]);
+}

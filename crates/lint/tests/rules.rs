@@ -459,6 +459,76 @@ fn checkpoint_coverage_suppressed() {
     assert!(findings.is_empty(), "{findings:?}");
 }
 
+/// Findings when `fixture` is analyzed as service library code alongside
+/// the real obs schema module (which supplies the vocabulary tables).
+fn run_schema_closed(fixture: &str) -> Vec<Finding> {
+    let analysis = ma_lint::analyze_sources(
+        &[
+            (
+                "crates/obs/src/schema.rs",
+                include_str!("../../obs/src/schema.rs"),
+            ),
+            ("crates/service/src/fixture.rs", fixture),
+        ],
+        &Config::default(),
+    );
+    for f in &analysis.findings {
+        assert!(
+            f.rule == "schema-closed",
+            "schema fixture tripped unrelated rule `{}` at {}:{}: {}",
+            f.rule,
+            f.file,
+            f.line,
+            f.message
+        );
+    }
+    analysis.findings
+}
+
+#[test]
+fn schema_closed_fires_on_unregistered_pairs() {
+    let findings = run_schema_closed(include_str!("fixtures/schema_closed_fire.rs"));
+    // The unregistered event name, the misfiled category and the
+    // unregistered span — NOT the registered pairs or the variable name.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("not_a_real_event") && f.message.contains("event_names")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("Category::Cache") && f.message.contains("settle")),
+        "{findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.message.contains("detour") && f.message.contains("span_names")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn schema_closed_suppressed() {
+    let findings = run_schema_closed(include_str!("fixtures/schema_closed_suppressed.rs"));
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn schema_closed_is_silent_without_a_vocabulary() {
+    // Analyzed alone, no schema file contributes tables — the rule must
+    // stay quiet instead of flagging every call site.
+    let findings = run(
+        "schema-closed",
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/schema_closed_fire.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
 #[test]
 fn lexer_hardening_literals_are_opaque_to_rules() {
     let findings = run(

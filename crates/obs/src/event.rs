@@ -34,11 +34,14 @@ pub enum Category {
     Checkpoint,
     /// Crash recovery: journal replay, worker respawns, job requeues.
     Recovery,
+    /// Live telemetry: windowed counter deltas, operational gauges and
+    /// per-query convergence readings emitted on a cadence.
+    Stats,
 }
 
 impl Category {
     /// Number of categories; sizes per-category arrays.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// All categories, in shard/index order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -51,6 +54,7 @@ impl Category {
         Category::Coalesce,
         Category::Checkpoint,
         Category::Recovery,
+        Category::Stats,
     ];
 
     /// Stable shard index for this category.
@@ -65,6 +69,7 @@ impl Category {
             Category::Coalesce => 6,
             Category::Checkpoint => 7,
             Category::Recovery => 8,
+            Category::Stats => 9,
         }
     }
 
@@ -80,6 +85,7 @@ impl Category {
             Category::Coalesce => "coalesce",
             Category::Checkpoint => "checkpoint",
             Category::Recovery => "recovery",
+            Category::Stats => "stats",
         }
     }
 }

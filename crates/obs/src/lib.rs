@@ -25,6 +25,9 @@
 //!   phase that caused it.
 //! * [`histogram`] — [`Log2Histogram`], lock-free log2-bucket counters
 //!   merged into the service metrics renderings.
+//! * [`window`] — rotating-window time series on the logical clock:
+//!   [`WindowedSeries`] for rates/gauges and [`WindowedHistogram`] for
+//!   per-window latency percentiles, feeding the live stats stream.
 //! * [`export`] — hand-rolled JSON-lines serialization with a fixed field
 //!   order, so byte-identical traces really are byte-identical.
 //! * [`convert`] — turning a [`microblog_graph::WalkTrace`] into trace
@@ -47,6 +50,7 @@ pub mod recorder;
 pub mod schema;
 pub mod sink;
 pub mod tracer;
+pub mod window;
 
 pub use clock::{TelemetryClock, TelemetryMode};
 pub use event::{Category, EventKind, FieldValue, TraceEvent, WalkPhase};
@@ -55,3 +59,4 @@ pub use histogram::{render_buckets, Log2Histogram};
 pub use recorder::{RecorderConfig, RecorderStats, RingRecorder};
 pub use sink::{NullSink, TraceSink};
 pub use tracer::Tracer;
+pub use window::{sparkline, WindowStats, WindowedHistogram, WindowedSeries};

@@ -13,7 +13,8 @@ use crate::event::{Category, EventKind, WalkPhase};
 /// Point-event names the runtime emits, per category.
 ///
 /// Span names live in [`span_names`]; a name may legally appear in both
-/// (none do today).
+/// (`pilot` does: the Walk point event reports a pilot measurement, the
+/// Walk span brackets the whole pilot phase).
 pub fn event_names(category: Category) -> &'static [&'static str] {
     match category {
         Category::Walk => &[
@@ -47,17 +48,39 @@ pub fn event_names(category: Category) -> &'static [&'static str] {
         Category::Coalesce => &["lead", "join", "abort"],
         Category::Checkpoint => &["checkpoint"],
         Category::Recovery => &["replay", "respawn"],
+        Category::Stats => &["window", "gauges", "query"],
     }
 }
 
 /// Span names (emitted as `span_start` / `span_end` pairs), per category.
 pub fn span_names(category: Category) -> &'static [&'static str] {
     match category {
-        Category::Walk => &["tarw_instance"],
+        Category::Walk => &["tarw_instance", "pilot"],
         Category::Job => &["job", "estimate"],
         _ => &[],
     }
 }
+
+/// Conserved counter names carried by every `stats`/`window` event.
+///
+/// Each emission reports, per key, the delta since the previous emission
+/// (field `d_<key>`) and the cumulative total so far (field `t_<key>`).
+/// The contract — audited by `ma-verify` — is that the deltas telescope:
+/// every window's total equals the previous total plus its delta, so the
+/// sum of all deltas in a stream equals the final cumulative total.
+pub const STATS_CONSERVED_KEYS: [&str; 11] = [
+    "jobs_submitted",
+    "jobs_succeeded",
+    "jobs_degraded",
+    "jobs_failed",
+    "charged_calls",
+    "refunded_calls",
+    "actual_calls",
+    "local_hits",
+    "shared_hits",
+    "cache_misses",
+    "walk_samples",
+];
 
 /// Whether `name` is a legal point-event name for `category`.
 pub fn is_event(category: Category, name: &str) -> bool {

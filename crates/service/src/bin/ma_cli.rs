@@ -5,6 +5,7 @@
 //! Usage: ma-cli [OPTIONS] <SQL-QUERY>
 //!        ma-cli serve [OPTIONS]
 //!        ma-cli trace [OPTIONS] <SQL-QUERY>
+//!        ma-cli top [--file PATH] [--once]
 //!
 //!   --platform twitter|google+|tumblr   world + API profile  [twitter]
 //!   --scale    tiny|small|medium|large  world size           [small]
@@ -39,6 +40,23 @@
 //!   --crash-plan SPEC                   deterministic crash injection, e.g.
 //!                                       'point=pre_settle,hit=2' or
 //!                                       'point=checkpoint,mode=torn,drop=7'
+//!   --stats-every N                     emit a live-stats emission (window
+//!                                       deltas, gauges, per-query
+//!                                       convergence) after every N settled
+//!                                       jobs, as stats trace JSONL [off]
+//!   --stats-out PATH                    write the stats stream to PATH
+//!                                       instead of stdout
+//!
+//! top mode (render a stats stream as a refreshing dashboard):
+//!   --file PATH                         read the stats JSONL from PATH
+//!                                       [stdin]
+//!   --once                              fold the whole stream, print one
+//!                                       plain-text snapshot and exit (no
+//!                                       escape codes; for CI and pipes)
+//!
+//!   Lines that are not stats frames (job responses on a shared stdout,
+//!   full trace events) are counted and skipped, so
+//!   `ma-cli serve --stats-every 1 | ma-cli top` just works.
 //!
 //! trace mode (record one query's structured trace):
 //!   --out PATH                          write JSON-lines events to PATH
@@ -61,21 +79,28 @@
 //!
 //!   ma-cli trace --scale tiny --budget 5000 --summary --out run.jsonl \
 //!     "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'"
+//!
+//!   ma-cli serve --scale tiny --file reqs.jsonl --stats-every 1 \
+//!     | ma-cli top --once
 //! ```
 
 use microblog_analyzer::prelude::*;
 use microblog_analyzer::query::parse::parse_query;
 use microblog_api::rate::{human_duration, wall_clock};
 use microblog_api::RetryPolicy;
+use microblog_obs::Tracer;
 use microblog_obs::{render_jsonl, RecorderConfig};
 use microblog_platform::scenario::{google_plus_2013, tumblr_2013, twitter_2013, Scale, Scenario};
 use microblog_platform::{CrashPlan, Duration, FaultPlan};
 use microblog_service::cache::SharedCacheConfig;
 use microblog_service::request::{parse_algorithm, parse_interval, JobSpec};
 use microblog_service::traceview::{record_job, TraceSummary};
-use microblog_service::{run_batch, Service, ServiceConfig, TelemetryMode};
+use microblog_service::{
+    run_batch, Dashboard, Service, ServiceConfig, StatsConfig, StatsHub, StatsSink, TelemetryClock,
+    TelemetryMode,
+};
 use std::fs::File;
-use std::io::{BufReader, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::sync::Arc;
 
 fn main() {
@@ -115,6 +140,10 @@ struct Options {
     checkpoint_every: u64,
     drain_timeout: Option<u64>,
     crash_plan: Option<CrashPlan>,
+    stats_every: u64,
+    stats_out: Option<String>,
+    top: bool,
+    once: bool,
     query: Option<String>,
 }
 
@@ -146,6 +175,10 @@ impl Default for Options {
             checkpoint_every: 1_000,
             drain_timeout: None,
             crash_plan: None,
+            stats_every: 0,
+            stats_out: None,
+            top: false,
+            once: false,
             query: None,
         }
     }
@@ -166,6 +199,14 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             }
             "serve" => opts.serve = true,
             "trace" => opts.trace = true,
+            "top" => opts.top = true,
+            "--once" => opts.once = true,
+            "--stats-every" => {
+                opts.stats_every = value("--stats-every")?
+                    .parse()
+                    .map_err(|_| "bad --stats-every")?
+            }
+            "--stats-out" => opts.stats_out = Some(value("--stats-out")?),
             "--out" => opts.out = value("--out")?,
             "--summary" => opts.summary = true,
             "--platform" => opts.platform = value("--platform")?.to_lowercase(),
@@ -266,6 +307,10 @@ fn build_world(opts: &Options) -> Result<(Scenario, ApiProfile), String> {
 
 fn run(args: Vec<String>) -> Result<(), String> {
     let opts = parse_args(args)?;
+    if opts.top {
+        // The dashboard only reads a stream; no world to build.
+        return top(opts);
+    }
     eprintln!(
         "building {} world ({:?}, seed {})...",
         opts.platform, opts.scale, opts.world_seed
@@ -377,27 +422,50 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
     if let Some(deadline) = opts.deadline {
         retry = retry.with_deadline(Duration(deadline.max(0)));
     }
-    let service = Service::start(
-        Arc::new(scenario.platform),
-        api,
-        ServiceConfig {
-            workers: opts.workers,
-            global_quota: opts.global_quota,
-            cache: SharedCacheConfig {
-                capacity: opts.cache_capacity,
-                ..SharedCacheConfig::default()
-            },
-            retry,
-            fault_plan: opts.fault_plan,
-            telemetry: opts.telemetry,
-            journal: opts.journal.as_ref().map(std::path::PathBuf::from),
-            checkpoint_every: opts.checkpoint_every,
-            crash_plan: opts.crash_plan,
-            drain_timeout: opts.drain_timeout.map(std::time::Duration::from_secs),
-            ..ServiceConfig::default()
+    let mut config = ServiceConfig {
+        workers: opts.workers,
+        global_quota: opts.global_quota,
+        cache: SharedCacheConfig {
+            capacity: opts.cache_capacity,
+            ..SharedCacheConfig::default()
         },
-    )
-    .map_err(|e| format!("cannot open journal: {e}"))?;
+        retry,
+        fault_plan: opts.fault_plan,
+        telemetry: opts.telemetry,
+        journal: opts.journal.as_ref().map(std::path::PathBuf::from),
+        checkpoint_every: opts.checkpoint_every,
+        crash_plan: opts.crash_plan,
+        drain_timeout: opts.drain_timeout.map(std::time::Duration::from_secs),
+        stats_every: opts.stats_every,
+        ..ServiceConfig::default()
+    };
+    if opts.stats_every > 0 {
+        // Live stats flow through an enabled tracer whose sink writes
+        // `stats` frames to the stream and feeds everything else back
+        // into the hub for pipeline-stage span correlation.
+        let hub = Arc::new(StatsHub::new(StatsConfig::default()));
+        let writer: Box<dyn Write + Send> = match &opts.stats_out {
+            Some(path) => {
+                Box::new(File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?)
+            }
+            None => Box::new(std::io::stdout()),
+        };
+        let sink = StatsSink::new(Arc::clone(&hub)).with_output(writer);
+        config.tracer = Tracer::new(
+            Arc::new(sink),
+            Arc::new(TelemetryClock::new(opts.telemetry)),
+        );
+        config.stats = Some(hub);
+    }
+    let service = Service::start(Arc::new(scenario.platform), api, config)
+        .map_err(|e| format!("cannot open journal: {e}"))?;
+    if opts.stats_every > 0 {
+        eprintln!(
+            "live stats: every {} settlement(s) → {}",
+            opts.stats_every,
+            opts.stats_out.as_deref().unwrap_or("stdout"),
+        );
+    }
     eprintln!(
         "serving with {} worker(s), quota {}, cache capacity {}",
         service.workers(),
@@ -433,8 +501,15 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
         );
     }
 
-    let stdout = std::io::stdout();
-    let mut output = stdout.lock();
+    // When the stats stream shares stdout, workers write to it
+    // concurrently — take the lock per write (each line stays atomic)
+    // instead of holding it across the whole batch.
+    let shared_stdout = opts.stats_every > 0 && opts.stats_out.is_none();
+    let mut output: Box<dyn Write> = if shared_stdout {
+        Box::new(std::io::stdout())
+    } else {
+        Box::new(std::io::stdout().lock())
+    };
     let summary = match &opts.file {
         Some(path) => {
             let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -447,6 +522,11 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
     }
     .map_err(|e| e.to_string())?;
     output.flush().map_err(|e| e.to_string())?;
+    if opts.stats_every > 0 {
+        // A final emission so totals in the stream are final — the
+        // stats-conservation audit reconciles deltas against them.
+        service.emit_stats();
+    }
 
     eprintln!(
         "\n{} request(s): {} ok, {} degraded, {} rejected, {} error(s)",
@@ -478,6 +558,35 @@ fn serve(opts: Options, scenario: Scenario, api: ApiProfile) -> Result<(), Strin
             report.interrupted.len()
         );
     }
+    Ok(())
+}
+
+/// `ma-cli top`: fold a stats JSONL stream (file or stdin) into the
+/// dashboard. Live mode redraws on every stats frame; `--once` prints a
+/// single plain-text snapshot after the stream ends.
+fn top(opts: Options) -> Result<(), String> {
+    let reader: Box<dyn BufRead> = match &opts.file {
+        Some(path) => Box::new(BufReader::new(
+            File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?,
+        )),
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+    let mut dash = Dashboard::new();
+    let stdout = std::io::stdout();
+    for line in reader.lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let refreshed = dash.feed_line(&line);
+        if refreshed && !opts.once {
+            // Clear-and-home per refresh; the final state stays visible.
+            let mut out = stdout.lock();
+            let _ = write!(out, "\x1b[2J\x1b[H{}", dash.render());
+            let _ = out.flush();
+        }
+    }
+    // `--once` prints a single snapshot; live mode leaves a final
+    // plain (scrollback-friendly) copy after the stream ends.
+    print!("{}", dash.render());
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -530,6 +639,28 @@ mod tests {
         assert_eq!(o.global_quota, Some(50_000));
         assert_eq!(o.cache_capacity, 1024);
         assert_eq!(o.file.as_deref(), Some("reqs.jsonl"));
+    }
+
+    #[test]
+    fn parses_stats_options() {
+        let o = parse_args(args("serve --stats-every 2 --stats-out stats.jsonl")).unwrap();
+        assert!(o.serve);
+        assert_eq!(o.stats_every, 2);
+        assert_eq!(o.stats_out.as_deref(), Some("stats.jsonl"));
+    }
+
+    #[test]
+    fn parses_top_options() {
+        let o = parse_args(args("top --file stats.jsonl --once")).unwrap();
+        assert!(o.top);
+        assert!(o.once);
+        assert_eq!(o.file.as_deref(), Some("stats.jsonl"));
+        assert_eq!(o.stats_every, 0);
+    }
+
+    #[test]
+    fn rejects_bad_stats_every() {
+        assert!(parse_args(args("serve --stats-every nope")).is_err());
     }
 
     #[test]

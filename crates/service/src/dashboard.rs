@@ -1,0 +1,350 @@
+//! The `ma-cli top` dashboard model: folds a stats JSONL stream into a
+//! renderable operational view.
+//!
+//! The input is the `Category::Stats` event stream a
+//! [`StatsSink`](crate::stats::StatsSink) writes (`window`, `gauges` and
+//! `query` frames, one JSON object per line — see DESIGN.md §14). The
+//! stream may be interleaved with arbitrary other JSONL (job responses
+//! when serve shares stdout, or full trace events): anything that is not
+//! a stats frame is counted and skipped, never an error. [`Dashboard`]
+//! is pure state-folding — `ma-cli top` owns the I/O and the refresh
+//! loop — so the whole rendering pipeline is unit-testable.
+
+use microblog_obs::window::sparkline;
+use serde::value::{field, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Sparkline history length (window emissions remembered per series).
+const HISTORY: usize = 32;
+
+/// One query row, from the latest `query` frame for that job.
+#[derive(Clone, Debug, Default)]
+pub struct QueryRow {
+    /// Latest per-phase step marker.
+    pub steps: u64,
+    /// Cumulative budget spend.
+    pub charged: u64,
+    /// Samples kept by the final estimate.
+    pub samples: u64,
+    /// The settled estimate, once reported.
+    pub estimate: Option<f64>,
+    /// 95% CI half-width of the settled estimate.
+    pub ci_half: Option<f64>,
+    /// CI half-width per charged call — the paper's currency.
+    pub ci_per_call: Option<f64>,
+    /// Latest Geweke z attributed to this query.
+    pub geweke_z: Option<f64>,
+    /// Whether the job settled.
+    pub done: bool,
+}
+
+/// Folds stats frames into the state `ma-cli top` renders.
+#[derive(Debug, Default)]
+pub struct Dashboard {
+    /// Index of the latest `window` frame.
+    pub win: Option<u64>,
+    /// Window frames seen.
+    pub windows_seen: u64,
+    /// Latest per-emission deltas, keyed without the `d_` prefix.
+    pub deltas: BTreeMap<String, u64>,
+    /// Latest cumulative totals, keyed without the `t_` prefix.
+    pub totals: BTreeMap<String, u64>,
+    /// Delta histories for the sparkline rows.
+    history: BTreeMap<&'static str, Vec<u64>>,
+    /// Latest gauges frame, numeric fields only.
+    pub gauges: BTreeMap<String, f64>,
+    /// Latest convergence row per job id.
+    pub queries: BTreeMap<u64, QueryRow>,
+    /// Lines that were not stats frames (job output, trace events, …).
+    pub skipped: u64,
+}
+
+/// Conserved-counter series charted as sparklines, in display order.
+const CHARTED: [&str; 3] = ["jobs_submitted", "jobs_succeeded", "charged_calls"];
+
+impl Dashboard {
+    /// An empty dashboard.
+    pub fn new() -> Self {
+        Dashboard::default()
+    }
+
+    /// Folds one input line. Returns `true` when the line was a stats
+    /// frame (callers refresh the screen on that), `false` for skipped
+    /// foreign lines and unparsable input.
+    pub fn feed_line(&mut self, line: &str) -> bool {
+        let line = line.trim();
+        if line.is_empty() {
+            return false;
+        }
+        let Ok(value) = serde_json::parse_value_str(line) else {
+            self.skipped += 1;
+            return false;
+        };
+        let Some(frame) = value.as_map() else {
+            self.skipped += 1;
+            return false;
+        };
+        if field(frame, "cat").as_str() != Some("stats") {
+            self.skipped += 1;
+            return false;
+        }
+        let Some(fields) = field(frame, "fields").as_map() else {
+            self.skipped += 1;
+            return false;
+        };
+        match field(frame, "name").as_str() {
+            Some("window") => self.apply_window(fields),
+            Some("gauges") => self.apply_gauges(fields),
+            Some("query") => self.apply_query(fields),
+            _ => {
+                self.skipped += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    fn apply_window(&mut self, fields: &[(String, Value)]) {
+        self.windows_seen += 1;
+        self.win = field(fields, "win").as_u64();
+        for (key, value) in fields {
+            let Some(n) = value.as_u64() else { continue };
+            if let Some(name) = key.strip_prefix("d_") {
+                self.deltas.insert(name.to_string(), n);
+            } else if let Some(name) = key.strip_prefix("t_") {
+                self.totals.insert(name.to_string(), n);
+            }
+        }
+        for name in CHARTED {
+            let value = self.deltas.get(name).copied().unwrap_or(0);
+            let series = self.history.entry(name).or_default();
+            series.push(value);
+            if series.len() > HISTORY {
+                series.remove(0);
+            }
+        }
+    }
+
+    fn apply_gauges(&mut self, fields: &[(String, Value)]) {
+        self.gauges.clear();
+        for (key, value) in fields {
+            if let Some(x) = value.as_f64() {
+                self.gauges.insert(key.clone(), x);
+            }
+        }
+    }
+
+    fn apply_query(&mut self, fields: &[(String, Value)]) {
+        let Some(job) = field(fields, "job_id").as_u64() else {
+            return;
+        };
+        let row = QueryRow {
+            steps: field(fields, "steps").as_u64().unwrap_or(0),
+            charged: field(fields, "charged").as_u64().unwrap_or(0),
+            samples: field(fields, "samples").as_u64().unwrap_or(0),
+            estimate: finite(field(fields, "estimate")),
+            ci_half: finite(field(fields, "ci_half")),
+            ci_per_call: finite(field(fields, "ci_per_call")),
+            geweke_z: finite(field(fields, "geweke_z")),
+            done: field(fields, "done").as_u64() == Some(1),
+        };
+        self.queries.insert(job, row);
+    }
+
+    fn total(&self, key: &str) -> u64 {
+        self.totals.get(key).copied().unwrap_or(0)
+    }
+
+    fn delta(&self, key: &str) -> u64 {
+        self.deltas.get(key).copied().unwrap_or(0)
+    }
+
+    fn gauge(&self, key: &str) -> f64 {
+        self.gauges.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Renders the dashboard as plain text (no escape codes): a header,
+    /// counter rows with the latest window's delta, gauges, sparkline
+    /// histories, and one line per tracked query.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(
+            out,
+            "ma-top — live estimation telemetry (window {}, {} emission(s), {} foreign line(s) skipped)",
+            self.win.map_or("-".to_string(), |w| w.to_string()),
+            self.windows_seen,
+            self.skipped,
+        );
+        let _ = writeln!(
+            out,
+            "jobs    submitted {} (+{})  ok {}  degraded {}  failed {}",
+            self.total("jobs_submitted"),
+            self.delta("jobs_submitted"),
+            self.total("jobs_succeeded"),
+            self.total("jobs_degraded"),
+            self.total("jobs_failed"),
+        );
+        let _ = writeln!(
+            out,
+            "calls   charged {} (+{})  refunded {}  actual {}  samples {}",
+            self.total("charged_calls"),
+            self.delta("charged_calls"),
+            self.total("refunded_calls"),
+            self.total("actual_calls"),
+            self.total("walk_samples"),
+        );
+        let _ = writeln!(
+            out,
+            "cache   local {}  shared {}  miss {}  hit rate {:.1}%",
+            self.total("local_hits"),
+            self.total("shared_hits"),
+            self.total("cache_misses"),
+            100.0 * self.gauge("cache_hit_rate"),
+        );
+        let quota = if self.gauge("quota_unlimited") >= 1.0 {
+            "unlimited".to_string()
+        } else {
+            format!("{:.0} remaining", self.gauge("quota_remaining"))
+        };
+        let _ = writeln!(
+            out,
+            "quota   consumed {:.0}  reserved {:.0}  {}  inflight {:.0}",
+            self.gauge("quota_consumed"),
+            self.gauge("quota_reserved"),
+            quota,
+            self.gauge("inflight"),
+        );
+        let _ = writeln!(
+            out,
+            "flow    breaker opens {:.0}  fast-fails {:.0}  coalesce lead/wait/abort {:.0}/{:.0}/{:.0}  peak {:.0}",
+            self.gauge("breaker_opens"),
+            self.gauge("breaker_fast_fails"),
+            self.gauge("coalesce_leads"),
+            self.gauge("coalesce_waits"),
+            self.gauge("coalesce_aborts"),
+            self.gauge("coalesce_peak_inflight"),
+        );
+        if let Some(z) = self.gauges.get("geweke_z") {
+            let _ = writeln!(out, "diag    geweke z {z:+.3}");
+        }
+        for name in CHARTED {
+            if let Some(series) = self.history.get(name) {
+                let _ = writeln!(out, "history {:<14} {}", name, sparkline(series));
+            }
+        }
+        if !self.queries.is_empty() {
+            let _ = writeln!(out, "queries:");
+            for (job, q) in &self.queries {
+                let mut line = format!(
+                    "  job {job:<4} steps {:<8} charged {:<8} samples {:<6}",
+                    q.steps, q.charged, q.samples
+                );
+                if let Some(est) = q.estimate {
+                    let _ = write!(line, " est {est:.3}");
+                }
+                if let Some(ci) = q.ci_half {
+                    let _ = write!(line, " ci ±{ci:.3}");
+                }
+                if let Some(per) = q.ci_per_call {
+                    let _ = write!(line, " ({per:.6}/call)");
+                }
+                if let Some(z) = q.geweke_z {
+                    let _ = write!(line, " z {z:+.2}");
+                }
+                if q.done {
+                    line.push_str(" done");
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        out
+    }
+}
+
+/// A finite float field, `None` for null/absent/non-numeric.
+fn finite(value: &Value) -> Option<f64> {
+    value.as_f64().filter(|x| x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_line(win: u64, d_sub: u64, t_sub: u64, d_charged: u64, t_charged: u64) -> String {
+        format!(
+            "{{\"tick\":1,\"seq\":1,\"kind\":\"event\",\"cat\":\"stats\",\"name\":\"window\",\
+             \"span\":null,\"phase\":\"idle\",\"level\":null,\"fields\":{{\"win\":{win},\
+             \"d_jobs_submitted\":{d_sub},\"t_jobs_submitted\":{t_sub},\
+             \"d_jobs_succeeded\":{d_sub},\"t_jobs_succeeded\":{t_sub},\
+             \"d_charged_calls\":{d_charged},\"t_charged_calls\":{t_charged}}}}}"
+        )
+    }
+
+    #[test]
+    fn folds_windows_and_tracks_history() {
+        let mut dash = Dashboard::new();
+        assert!(dash.feed_line(&window_line(0, 2, 2, 100, 100)));
+        assert!(dash.feed_line(&window_line(1, 3, 5, 40, 140)));
+        assert_eq!(dash.win, Some(1));
+        assert_eq!(dash.totals["jobs_submitted"], 5);
+        assert_eq!(dash.deltas["charged_calls"], 40);
+        let text = dash.render();
+        assert!(text.contains("submitted 5 (+3)"));
+        assert!(text.contains("charged 140 (+40)"));
+        assert!(text.contains("history jobs_submitted"));
+    }
+
+    #[test]
+    fn foreign_lines_are_skipped_not_fatal() {
+        let mut dash = Dashboard::new();
+        assert!(!dash.feed_line("{\"id\":1,\"status\":\"ok\",\"estimate\":12.5}"));
+        assert!(!dash.feed_line("not json at all"));
+        assert!(!dash.feed_line(""));
+        assert!(!dash.feed_line(
+            "{\"tick\":9,\"seq\":2,\"kind\":\"event\",\"cat\":\"walk\",\"name\":\"step\",\
+             \"span\":null,\"phase\":\"walk\",\"level\":null,\"fields\":{}}"
+        ));
+        assert_eq!(dash.skipped, 3, "empty lines are ignored silently");
+        assert!(dash.render().contains("3 foreign line(s) skipped"));
+    }
+
+    #[test]
+    fn gauges_and_queries_render() {
+        let mut dash = Dashboard::new();
+        assert!(dash.feed_line(
+            "{\"tick\":2,\"seq\":3,\"kind\":\"event\",\"cat\":\"stats\",\"name\":\"gauges\",\
+             \"span\":null,\"phase\":\"idle\",\"level\":null,\"fields\":{\
+             \"quota_consumed\":120,\"quota_reserved\":30,\"quota_unlimited\":0,\
+             \"quota_remaining\":850,\"inflight\":2,\"cache_hit_rate\":0.25,\
+             \"breaker_opens\":1,\"geweke_z\":-0.42}}"
+        ));
+        assert!(dash.feed_line(
+            "{\"tick\":3,\"seq\":4,\"kind\":\"event\",\"cat\":\"stats\",\"name\":\"query\",\
+             \"span\":null,\"phase\":\"idle\",\"level\":null,\"fields\":{\"job_id\":7,\
+             \"steps\":400,\"charged\":200,\"samples\":50,\"estimate\":1234.5,\
+             \"ci_half\":98.0,\"ci_per_call\":0.49,\"done\":1}}"
+        ));
+        let text = dash.render();
+        assert!(text.contains("consumed 120"));
+        assert!(text.contains("850 remaining"));
+        assert!(text.contains("hit rate 25.0%"));
+        assert!(text.contains("geweke z -0.420"));
+        assert!(text.contains("job 7"));
+        assert!(text.contains("est 1234.500"));
+        assert!(text.contains("ci ±98.000"));
+        assert!(text.contains("(0.490000/call)"));
+        assert!(text.contains("done"));
+    }
+
+    #[test]
+    fn unlimited_quota_renders_as_such() {
+        let mut dash = Dashboard::new();
+        dash.feed_line(
+            "{\"tick\":2,\"seq\":3,\"kind\":\"event\",\"cat\":\"stats\",\"name\":\"gauges\",\
+             \"span\":null,\"phase\":\"idle\",\"level\":null,\"fields\":{\
+             \"quota_unlimited\":1,\"quota_remaining\":0}}",
+        );
+        assert!(dash.render().contains("unlimited"));
+    }
+}

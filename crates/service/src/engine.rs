@@ -41,6 +41,7 @@ use crate::journal::{Journal, JournalRecord, ReplaySummary};
 use crate::metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 use crate::quota::{GlobalQuota, Reservation};
 use crate::request::JobSpec;
+use crate::stats::{GaugeReading, StatsConfig, StatsHub};
 use microblog_analyzer::checkpoint::{CheckpointCtl, CheckpointSink};
 use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer, RunReport, WalkerCheckpoint};
 use microblog_api::cache::{CacheLayer, CacheStats, CoalesceStats, CoalescingLayer};
@@ -117,6 +118,15 @@ pub struct ServiceConfig {
     /// [`ServiceError::Interrupted`]. `None` waits forever (the
     /// pre-deadline behavior — a hung estimator blocks shutdown).
     pub drain_timeout: Option<Duration>,
+    /// Live-telemetry hub. `None` (the default) makes the service create
+    /// a private hub, so [`Service::stats_snapshot`] always works;
+    /// `ma-cli serve --stats-every` passes the hub its [`StatsSink`]
+    /// already feeds so stream and snapshot agree.
+    pub stats: Option<Arc<StatsHub>>,
+    /// Emit a stats emission (`window`/`gauges`/`query` events through
+    /// the tracer) after every N settled jobs; 0 emits only on demand
+    /// ([`Service::emit_stats`]).
+    pub stats_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -135,6 +145,8 @@ impl Default for ServiceConfig {
             checkpoint_every: 1_000,
             crash_plan: None,
             drain_timeout: None,
+            stats: None,
+            stats_every: 0,
         }
     }
 }
@@ -435,6 +447,9 @@ struct WorkerCtx {
     outstanding: Arc<Outstanding>,
     inflight: Arc<Mutex<HashMap<u64, Arc<JobState>>>>,
     supervisor: mpsc::Sender<SupervisorMsg>,
+    stats: Arc<StatsHub>,
+    stats_every: u64,
+    coalescer: Option<Arc<CoalescingSharedCache>>,
 }
 
 enum SupervisorMsg {
@@ -472,6 +487,7 @@ pub struct Service {
     recovery: Option<RecoveryReport>,
     recovered_handles: Vec<JobHandle>,
     drained: bool,
+    stats: Arc<StatsHub>,
 }
 
 impl Service {
@@ -529,6 +545,9 @@ impl Service {
                 }
                 None => (None, None),
             };
+        let stats = config
+            .stats
+            .unwrap_or_else(|| Arc::new(StatsHub::new(StatsConfig::default())));
         let (sender, receiver) = mpsc::channel::<Job>();
         let (sup_sender, sup_receiver) = mpsc::channel::<SupervisorMsg>();
         let ctx = Arc::new(WorkerCtx {
@@ -549,6 +568,9 @@ impl Service {
             outstanding: Arc::new(Outstanding::default()),
             inflight: Arc::new(Mutex::new(HashMap::new())),
             supervisor: sup_sender.clone(),
+            stats: Arc::clone(&stats),
+            stats_every: config.stats_every,
+            coalescer: coalescer.clone(),
         });
         let workers = Arc::new(Mutex::new(
             (0..config.workers.max(1))
@@ -583,6 +605,7 @@ impl Service {
             recovery: None,
             recovered_handles: Vec::new(),
             drained: false,
+            stats,
         };
         if let Some(summary) = replayed {
             service.recover(summary);
@@ -626,12 +649,16 @@ impl Service {
                 .insert(recovered.job, Arc::clone(&state));
             self.outstanding.inc();
             report.resumed_jobs += 1;
+            let submitted = self.clock.now();
+            // A requeue re-enters the pipeline at the admit stage with
+            // zero admission latency (the reservation already exists).
+            self.stats.record_admit(submitted.as_micros() as u64, 0);
             let job = Job {
                 id: recovered.job,
                 spec: recovered.spec,
                 reservation,
                 state,
-                submitted: self.clock.now(),
+                submitted,
                 resume: recovered.checkpoint,
             };
             if let Some(sender) = &self.sender {
@@ -661,6 +688,7 @@ impl Service {
     /// Admits `spec` if the global quota can cover its budget, queueing
     /// it for the next free worker.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, ServiceError> {
+        let admit_start = self.clock.now();
         let reservation = self.quota.try_reserve(spec.budget).map_err(|available| {
             self.metrics.record_rejected();
             ServiceError::Rejected {
@@ -689,12 +717,17 @@ impl Service {
         };
         self.inflight.lock().insert(id, Arc::clone(&state));
         self.outstanding.inc();
+        let submitted = self.clock.now();
+        self.stats.record_admit(
+            submitted.as_micros() as u64,
+            submitted.saturating_sub(admit_start).as_micros() as u64,
+        );
         let job = Job {
             id,
             spec,
             reservation,
             state,
-            submitted: self.clock.now(),
+            submitted,
             resume: None,
         };
         let send_failed = |job: Job| {
@@ -861,6 +894,33 @@ impl Service {
     /// Worker thread count (including supervisor respawns).
     pub fn workers(&self) -> usize {
         self.workers.lock().len()
+    }
+
+    /// The live-telemetry hub (DESIGN.md §14).
+    pub fn stats_hub(&self) -> &Arc<StatsHub> {
+        &self.stats
+    }
+
+    /// A stable-JSON snapshot of the live telemetry: conserved totals,
+    /// per-stage latency percentiles, rate-window histories, per-query
+    /// convergence and current operational gauges.
+    pub fn stats_snapshot(&self) -> String {
+        self.stats.snapshot_json(&self.gauges())
+    }
+
+    /// Emits one stats emission (`window`/`gauges`/`query` events)
+    /// through the service tracer; no-op when the tracer is disabled.
+    pub fn emit_stats(&self) {
+        self.stats.emit(&self.tracer, self.gauges());
+    }
+
+    fn gauges(&self) -> GaugeReading {
+        gauges_from(
+            &self.quota,
+            &self.inflight,
+            &self.metrics,
+            self.coalescer.as_ref(),
+        )
     }
 }
 
@@ -1175,7 +1235,10 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
             ],
         );
     }
-    let outcome = match result {
+    // Alongside the outcome, both settling paths hand the stats hub
+    // their settlement facts (crash requeues carry their reservation
+    // onward instead of settling, so they report nothing yet).
+    let (outcome, stats_settle) = match result {
         Ok(report) => {
             // Settle down to what the run actually charged — success or
             // not, the unused remainder goes back to the pool. The
@@ -1190,8 +1253,9 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
                     used: report.charged,
                 });
             }
-            ctx.metrics
-                .record_job(&job_metrics(&report, refunded, queue_wait, exec));
+            let jm = job_metrics(&report, refunded, queue_wait, exec);
+            ctx.metrics.record_job(&jm);
+            let settled = (jm, report.outcome.as_ref().ok().copied());
             let RunReport {
                 outcome,
                 charged,
@@ -1199,7 +1263,7 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
                 resilience,
                 degraded,
             } = report;
-            match outcome {
+            let published = match outcome {
                 Ok(estimate) => {
                     let output = JobOutput {
                         job: job.id,
@@ -1222,7 +1286,8 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
                     charged,
                     resilience,
                 },
-            }
+            };
+            (published, Some(settled))
         }
         Err(panic) => {
             if let Some(point) = crash_point(panic.as_ref()) {
@@ -1248,7 +1313,7 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
                     used: amount,
                 });
             }
-            ctx.metrics.record_job(&JobMetrics {
+            let jm = JobMetrics {
                 succeeded: false,
                 degraded: false,
                 charged_calls: amount,
@@ -1263,26 +1328,50 @@ fn run_job(analyzer: &MicroblogAnalyzer<'_>, ctx: &WorkerCtx, mut job: Job) -> R
                 breaker_fast_fails: 0,
                 queue_wait,
                 exec,
-            });
-            JobOutcome::Failed {
-                job: job.id,
-                error: ServiceError::WorkerPanicked(panic_message(panic.as_ref())),
-                charged: amount,
-                resilience: ResilienceStats::default(),
-            }
+            };
+            ctx.metrics.record_job(&jm);
+            (
+                JobOutcome::Failed {
+                    job: job.id,
+                    error: ServiceError::WorkerPanicked(panic_message(panic.as_ref())),
+                    charged: amount,
+                    resilience: ResilienceStats::default(),
+                },
+                Some((jm, None)),
+            )
         }
     };
+    // Settlement stats (and any emission they trigger) must complete
+    // before the outcome is published: once `join` returns the caller
+    // may submit the next job, and its admission events would otherwise
+    // race this job's stats on the shared logical clock — breaking the
+    // byte-identical stats-stream guarantee.
+    if let Some((jm, estimate)) = stats_settle {
+        let settled_at = ctx.clock.now();
+        let settle = settled_at.saturating_sub(started.saturating_add(exec));
+        ctx.stats.record_settled(
+            settled_at.as_micros() as u64,
+            job.id,
+            &jm,
+            estimate.as_ref(),
+            settle,
+        );
+        ctx.stats
+            .maybe_emit(&ctx.tracer, ctx.stats_every, || gauge_reading(ctx));
+    }
     let mut slot = job.state.outcome.lock();
     let fresh = slot.is_none();
     if fresh {
+        // De-registration happens before the joiner wakes, for the same
+        // reason stats do: a caller acting on `join` must observe this
+        // job gone from the inflight gauge. Same outcome → inflight
+        // nesting as `interrupt_job`.
+        ctx.inflight.lock().remove(&job.id);
+        ctx.outstanding.dec();
         *slot = Some(outcome);
         job.state.ready.notify_all();
     }
     drop(slot);
-    if fresh {
-        ctx.inflight.lock().remove(&job.id);
-        ctx.outstanding.dec();
-    }
     // The worker may still be shot after full completion; recovery then
     // sees a settled job and reruns nothing.
     let post = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -1320,6 +1409,38 @@ fn job_metrics(
         queue_wait,
         exec,
     }
+}
+
+/// Samples the operational gauges one stats emission reports.
+fn gauges_from(
+    quota: &GlobalQuota,
+    inflight: &Mutex<HashMap<u64, Arc<JobState>>>,
+    metrics: &MetricsRegistry,
+    coalescer: Option<&Arc<CoalescingSharedCache>>,
+) -> GaugeReading {
+    let snap = metrics.snapshot();
+    let coalesce = coalescer.map(|layer| layer.stats());
+    GaugeReading {
+        quota_consumed: quota.consumed(),
+        quota_reserved: quota.reserved(),
+        quota_remaining: quota.remaining(),
+        inflight: inflight.lock().len() as u64,
+        breaker_opens: snap.breaker_opens,
+        breaker_fast_fails: snap.breaker_fast_fails,
+        coalesce_leads: coalesce.as_ref().map_or(0, |c| c.leads),
+        coalesce_waits: coalesce.as_ref().map_or(0, |c| c.waits),
+        coalesce_aborts: coalesce.as_ref().map_or(0, |c| c.aborts),
+        coalesce_peak_inflight: coalesce.as_ref().map_or(0, |c| c.peak_inflight),
+    }
+}
+
+fn gauge_reading(ctx: &WorkerCtx) -> GaugeReading {
+    gauges_from(
+        &ctx.quota,
+        &ctx.inflight,
+        &ctx.metrics,
+        ctx.coalescer.as_ref(),
+    )
 }
 
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {

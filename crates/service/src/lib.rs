@@ -21,6 +21,12 @@
 //!   isolated runs while actual platform traffic drops.
 //! - [`MetricsRegistry`] — service-wide counters with text and JSON
 //!   exports.
+//! - [`StatsHub`] — windowed live telemetry on the logical clock:
+//!   per-stage latency histograms (admit → queue → pilot → walk →
+//!   estimate → settle), conserved counters whose per-emission deltas
+//!   telescope to the cumulative totals, and per-query convergence
+//!   gauges, streamed as `stats` trace events behind `ma-cli serve
+//!   --stats-every` and the `ma-cli top` dashboard (DESIGN.md §14).
 //! - [`run_batch`] — the JSON-lines frontend behind `ma-cli serve`.
 //! - **Graceful degradation** — each job runs through the resilient
 //!   client stack (`microblog_api::ResilientClient`) under a
@@ -70,6 +76,7 @@
 
 pub mod cache;
 pub mod clock;
+pub mod dashboard;
 pub mod engine;
 pub mod frontend;
 pub mod journal;
@@ -77,10 +84,12 @@ pub mod lru;
 pub mod metrics;
 pub mod quota;
 pub mod request;
+pub mod stats;
 pub mod traceview;
 
 pub use cache::{SharedApiCache, SharedCacheConfig, SharedCacheSnapshot};
 pub use clock::{TelemetryClock, TelemetryMode};
+pub use dashboard::Dashboard;
 pub use engine::{
     JobHandle, JobOutcome, JobOutput, RecoveryReport, Service, ServiceConfig, ServiceError,
     ShutdownReport,
@@ -90,4 +99,5 @@ pub use journal::{Journal, JournalRecord, RecoveredJob, ReplaySummary};
 pub use metrics::{JobMetrics, MetricsRegistry, MetricsSnapshot};
 pub use quota::{GlobalQuota, Reservation};
 pub use request::{JobSpec, QueryRequest, QueryResponse};
+pub use stats::{GaugeReading, QueryStats, Stage, StatsConfig, StatsHub, StatsSink};
 pub use traceview::{record_job, PhaseCost, TraceRun, TraceSummary};

@@ -1,15 +1,18 @@
 //! Trace acceptance tests: identical runs export byte-identical JSON
-//! lines under logical telemetry, and the summary attributes (nearly)
-//! every charged call to a walk phase.
+//! lines under logical telemetry — for full traces and for the live
+//! stats stream — and the summary attributes (nearly) every charged
+//! call to a walk phase.
 
 use microblog_analyzer::query::parse::parse_query;
 use microblog_analyzer::{Algorithm, ViewKind};
 use microblog_api::ApiProfile;
-use microblog_obs::{render_jsonl, RecorderConfig, TelemetryMode};
+use microblog_obs::{render_jsonl, RecorderConfig, TelemetryClock, TelemetryMode, Tracer};
 use microblog_platform::scenario::{twitter_2013, Scale};
 use microblog_service::request::JobSpec;
 use microblog_service::traceview::{record_job, TraceRun, TraceSummary};
-use std::sync::Arc;
+use microblog_service::{Service, ServiceConfig, StatsConfig, StatsHub, StatsSink};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 
 fn traced(algorithm: Algorithm, budget: u64, seed: u64) -> TraceRun {
     let scenario = twitter_2013(Scale::Tiny, 2014);
@@ -51,6 +54,78 @@ fn identical_runs_export_byte_identical_jsonl() {
             "{algorithm:?}: the trace must depend on the walk"
         );
     }
+}
+
+/// A `Write` handle into a shared buffer, standing in for the stats
+/// file `ma-cli serve --stats-out` would write.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs two jobs through a single-worker service with live stats at
+/// `--stats-every 1` and returns the emitted stats JSONL stream.
+fn stats_stream(seed: u64) -> String {
+    let scenario = twitter_2013(Scale::Tiny, 2014);
+    let platform = Arc::new(scenario.platform);
+    let buf = SharedBuf::default();
+    let hub = Arc::new(StatsHub::new(StatsConfig::default()));
+    let sink = StatsSink::new(Arc::clone(&hub)).with_output(Box::new(buf.clone()));
+    let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+    let cfg = ServiceConfig {
+        workers: 1,
+        telemetry: TelemetryMode::Logical,
+        tracer: Tracer::new(Arc::new(sink), clock),
+        stats: Some(Arc::clone(&hub)),
+        stats_every: 1,
+        ..ServiceConfig::default()
+    };
+    let service =
+        Service::start(platform.clone(), ApiProfile::twitter(), cfg).expect("service starts");
+    for i in 0..2 {
+        let query = parse_query(
+            "SELECT COUNT(*) FROM USERS WHERE KEYWORD = 'privacy'",
+            platform.keywords(),
+        )
+        .expect("query parses");
+        service
+            .submit(JobSpec::new(
+                query,
+                Algorithm::MaTarw { interval: None },
+                4_000,
+                seed + i,
+            ))
+            .expect("admitted")
+            .join()
+            .into_result()
+            .expect("job completes");
+    }
+    service.emit_stats();
+    service.shutdown();
+    let bytes = buf.0.lock().unwrap().clone();
+    String::from_utf8(bytes).expect("utf8 stream")
+}
+
+#[test]
+fn identical_runs_export_byte_identical_stats_streams() {
+    let a = stats_stream(21);
+    assert!(!a.is_empty());
+    assert!(a.contains("\"name\":\"window\""), "{a}");
+    assert!(a.contains("\"name\":\"gauges\""), "{a}");
+    assert!(a.contains("\"name\":\"query\""), "{a}");
+    let b = stats_stream(21);
+    assert_eq!(a, b, "logical stats streams must replay exactly");
+    // And a different seed must actually change the stream.
+    let c = stats_stream(22);
+    assert_ne!(a, c, "the stats stream must depend on the walk");
 }
 
 #[test]

@@ -7,6 +7,12 @@
 //! `.jsonl` stream and asserts them, so CI catches a violation the
 //! moment the code that emits the trace regresses.
 //!
+//! Live-telemetry streams (`stats` frames from `ma-cli serve
+//! --stats-every`) carry their own money invariant: every `window`
+//! event reports per-counter deltas *and* cumulative totals, and the
+//! deltas must telescope — each total equals the previous total plus
+//! the delta, so the sum of all deltas equals the final total.
+//!
 //! Concurrency caveat: charge→job attribution and breaker state are
 //! per-worker facts, but the trace is a single interleaved stream. When
 //! two `job` spans overlap, the auditor cannot tell whose charge is
@@ -46,6 +52,8 @@ pub struct Audit {
     pub fresh_calls: u64,
     /// `job` spans whose charge conservation was verified.
     pub conserved_jobs: usize,
+    /// `stats`/`window` events whose counter conservation was verified.
+    pub stats_windows: usize,
 }
 
 impl Audit {
@@ -115,6 +123,12 @@ pub fn audit(input: &str) -> Audit {
     // job_id -> last checkpoint steps counter.
     let mut checkpoint_charged: BTreeMap<u64, u64> = BTreeMap::new();
     let mut breakers: BTreeMap<String, Breaker> = BTreeMap::new();
+    // Stats conservation: per conserved key, the running sum of window
+    // deltas and the last cumulative total seen.
+    let mut last_win: Option<u64> = None;
+    let mut stats_delta_sums = vec![0u64; schema::STATS_CONSERVED_KEYS.len()];
+    let mut stats_last_totals = vec![None::<u64>; schema::STATS_CONSERVED_KEYS.len()];
+    let mut stats_last_line = 0usize;
 
     for (line, f) in &frames {
         let line = *line;
@@ -304,6 +318,45 @@ pub fn audit(input: &str) -> Audit {
                 }
                 checkpoint_charged.insert(job_id, charged);
             }
+            (Category::Stats, "window") => {
+                audit.stats_windows += 1;
+                stats_last_line = line;
+                let win = f.u64_field("win").unwrap_or(u64::MAX);
+                if let Some(prev) = last_win {
+                    if win <= prev {
+                        fail(
+                            "stats-conservation",
+                            format!("window index {win} does not increase past {prev}"),
+                        );
+                    }
+                }
+                last_win = Some(win);
+                for (i, key) in schema::STATS_CONSERVED_KEYS.iter().enumerate() {
+                    let delta = f.u64_field(&format!("d_{key}"));
+                    let total = f.u64_field(&format!("t_{key}"));
+                    let (Some(delta), Some(total)) = (delta, total) else {
+                        fail(
+                            "stats-conservation",
+                            format!("window is missing its `d_{key}`/`t_{key}` counters"),
+                        );
+                        continue;
+                    };
+                    // Telescoping: each window's total is the previous
+                    // total plus this window's delta (zero before the
+                    // first window — streams start with fresh counters).
+                    let expected = stats_last_totals[i].unwrap_or(0).saturating_add(delta);
+                    if total != expected {
+                        fail(
+                            "stats-conservation",
+                            format!(
+                                "`t_{key}` is {total} but the previous total plus `d_{key}` gives {expected} — the window lost or double-counted traffic"
+                            ),
+                        );
+                    }
+                    stats_delta_sums[i] = stats_delta_sums[i].saturating_add(delta);
+                    stats_last_totals[i] = Some(total);
+                }
+            }
             (
                 Category::Resilience,
                 name @ ("breaker_open" | "breaker_probe" | "breaker_close" | "breaker_fast_fail"),
@@ -440,6 +493,23 @@ pub fn audit(input: &str) -> Audit {
                     message: format!(
                         "job {} reported {} charged call(s) but its span contains {actual} — the meter and the trace disagree",
                         run.job_id, run.charged
+                    ),
+                });
+            }
+        }
+    }
+
+    // Stats conservation over the whole stream: the deltas of every
+    // window must sum to the final cumulative total of the same key.
+    for (i, key) in schema::STATS_CONSERVED_KEYS.iter().enumerate() {
+        if let Some(total) = stats_last_totals[i] {
+            if stats_delta_sums[i] != total {
+                audit.violations.push(Violation {
+                    line: stats_last_line,
+                    check: "stats-conservation",
+                    message: format!(
+                        "`{key}` window deltas sum to {} but the final cumulative total is {total}",
+                        stats_delta_sums[i]
                     ),
                 });
             }

@@ -20,6 +20,10 @@
 //! * **Breaker legality** — per-endpoint circuit breakers only move
 //!   along `Closed → Open → HalfOpen → {Closed, Open}`, and fast-fails
 //!   only happen while open.
+//! * **Stats conservation** — in live-telemetry streams, every
+//!   `stats`/`window` event's cumulative totals telescope with its
+//!   per-window deltas, so the deltas over the whole stream sum to the
+//!   final totals.
 //! * **Stream sanity** — frames decode, seq strictly increases, ticks
 //!   never run backwards, the event vocabulary matches
 //!   [`microblog_obs::schema`], and spans pair up.

@@ -41,12 +41,13 @@ impl Report {
                 ));
             }
             out.push_str(&format!(
-                "{}: {} frame(s), {} charged call(s) ({} fresh), {} job(s) conserved, {} violation(s)",
+                "{}: {} frame(s), {} charged call(s) ({} fresh), {} job(s) conserved, {} stats window(s), {} violation(s)",
                 file.path,
                 a.frames,
                 a.charged_calls,
                 a.fresh_calls,
                 a.conserved_jobs,
+                a.stats_windows,
                 a.violations.len()
             ));
             if !a.skipped.is_empty() {
@@ -75,12 +76,13 @@ impl Report {
             }
             let a = &file.audit;
             out.push_str(&format!(
-                "\n    {{\"path\": {}, \"frames\": {}, \"charged_calls\": {}, \"fresh_calls\": {}, \"conserved_jobs\": {}, \"skipped\": [{}], \"violations\": [",
+                "\n    {{\"path\": {}, \"frames\": {}, \"charged_calls\": {}, \"fresh_calls\": {}, \"conserved_jobs\": {}, \"stats_windows\": {}, \"skipped\": [{}], \"violations\": [",
                 json_str(&file.path),
                 a.frames,
                 a.charged_calls,
                 a.fresh_calls,
                 a.conserved_jobs,
+                a.stats_windows,
                 a.skipped
                     .iter()
                     .map(|s| json_str(s))

@@ -81,6 +81,16 @@ fn missing_settle_is_flagged() {
 }
 
 #[test]
+fn broken_stats_conservation_is_flagged() {
+    // Window 1 claims 20 cumulative charged calls but the previous
+    // total (10) plus its delta (5) only accounts for 15.
+    assert_only(
+        include_str!("fixtures/violation_stats_conservation.jsonl"),
+        "stats-conservation",
+    );
+}
+
+#[test]
 fn seq_regression_and_unknown_vocab_are_flagged() {
     let base = include_str!("fixtures/clean_small.jsonl");
     // Swap two seq numbers.

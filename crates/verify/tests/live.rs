@@ -12,8 +12,9 @@ use microblog_obs::{
 use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
 use microblog_platform::CrashPlan;
 use microblog_service::traceview::record_job;
-use microblog_service::{JobSpec, Service, ServiceConfig};
-use std::sync::Arc;
+use microblog_service::{JobSpec, Service, ServiceConfig, StatsConfig, StatsHub, StatsSink};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 
 const BUDGET: u64 = 4_000;
 const SEED: u64 = 7;
@@ -60,6 +61,64 @@ fn uninterrupted_job_trace_is_violation_free() {
             .any(|e| e.category == Category::Job && e.name == "settle"),
         "trace carries the settle event"
     );
+}
+
+/// A `Write` handle into a shared buffer, standing in for the stats
+/// file `ma-cli serve --stats-out` would write.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn live_stats_stream_conserves_its_counters() {
+    let s = scenario();
+    let buf = SharedBuf::default();
+    let hub = Arc::new(StatsHub::new(StatsConfig::default()));
+    let sink = StatsSink::new(Arc::clone(&hub)).with_output(Box::new(buf.clone()));
+    let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+    let cfg = ServiceConfig {
+        workers: 2,
+        telemetry: TelemetryMode::Logical,
+        tracer: Tracer::new(Arc::new(sink), clock),
+        stats: Some(Arc::clone(&hub)),
+        stats_every: 1,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg)
+        .expect("service starts");
+    let handles: Vec<_> = (0..3)
+        .map(|i| {
+            let mut spec = spec(&s);
+            spec.seed = SEED + i;
+            service.submit(spec).expect("admitted")
+        })
+        .collect();
+    for h in handles {
+        h.join().into_result().expect("job completes");
+    }
+    // Final emission pins the cumulative totals the deltas must reach.
+    service.emit_stats();
+    service.shutdown();
+    let stream = String::from_utf8(buf.0.lock().unwrap().clone()).expect("utf8 stream");
+    let a = audit(&stream);
+    assert!(
+        a.ok(),
+        "violations in live stats stream: {:#?}",
+        a.violations
+    );
+    assert!(a.stats_windows >= 2, "expected several windows: {stream}");
+    // The stream really carries the convergence gauges, not just counters.
+    assert!(stream.contains("\"name\":\"query\""), "{stream}");
+    assert!(stream.contains("ci_half"), "{stream}");
 }
 
 #[test]
