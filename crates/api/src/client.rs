@@ -16,6 +16,7 @@ use crate::error::ApiError;
 use crate::meter::CostMeter;
 use crate::profile::ApiProfile;
 use crate::resilient::{ResilienceStats, ResilientClient};
+use crate::sched::{FetchKey, PrefetchSink};
 use microblog_obs::{Category, FieldValue, Tracer};
 use microblog_platform::metric::MetricInputs;
 use microblog_platform::{
@@ -353,6 +354,7 @@ pub struct CachingClient<'a> {
     connections: HashMap<UserId, Arc<Vec<UserId>>>,
     searches: HashMap<KeywordId, Arc<Vec<SearchHit>>>,
     shared: Option<Arc<dyn CacheLayer>>,
+    prefetch: Option<&'a dyn PrefetchSink>,
     stats: CacheStats,
 }
 
@@ -361,6 +363,7 @@ impl std::fmt::Debug for CachingClient<'_> {
         f.debug_struct("CachingClient")
             .field("inner", &self.inner)
             .field("shared", &self.shared.is_some())
+            .field("prefetch", &self.prefetch.is_some())
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -388,8 +391,19 @@ impl<'a> CachingClient<'a> {
             connections: HashMap::new(),
             searches: HashMap::new(),
             shared,
+            prefetch: None,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Attaches a prefetch sink: [`CachingClient::announce_timelines`] /
+    /// [`CachingClient::announce_connections`] forward upcoming fetch
+    /// keys to it so a [`crate::sched::FetchScheduler`] can overlap the
+    /// backend calls. Announcing changes *when* fetches happen, never
+    /// whether — results still flow through the ordinary fetch path.
+    pub fn with_prefetch(mut self, sink: &'a dyn PrefetchSink) -> Self {
+        self.prefetch = Some(sink);
+        self
     }
 
     /// The wrapped client (for meters/budget/profile access).
@@ -589,6 +603,71 @@ impl<'a> CachingClient<'a> {
     /// Number of distinct users whose timeline was fetched.
     pub fn distinct_timelines(&self) -> usize {
         self.timelines.len()
+    }
+
+    /// Emits one deterministic `sched` event. The count fields are pure
+    /// functions of the logical fetch history (memo-filtered key counts,
+    /// buffered-result counts), never of scheduler thread timing, so
+    /// traces stay byte-identical across runs and pipeline depths.
+    fn trace_sched(&self, name: &'static str, endpoint: Option<ApiEndpoint>, count: usize) {
+        let tracer = self.inner.client().tracer();
+        if tracer.is_enabled() {
+            match endpoint {
+                Some(e) => tracer.emit(
+                    Category::Sched,
+                    name,
+                    &[
+                        ("endpoint", FieldValue::from(endpoint_name(e))),
+                        ("count", FieldValue::from(count)),
+                    ],
+                ),
+                None => tracer.emit(Category::Sched, name, &[("count", FieldValue::from(count))]),
+            }
+        }
+    }
+
+    /// Announces that the timelines of `users` are about to be needed.
+    /// Users already memoized are skipped; with no sink attached this is
+    /// a no-op, so callers can announce unconditionally.
+    pub fn announce_timelines(&mut self, users: &[UserId]) {
+        let Some(sink) = self.prefetch else { return };
+        let keys: Vec<FetchKey> = users
+            .iter()
+            .filter(|u| !self.timelines.contains_key(u))
+            .map(|&u| FetchKey::Timeline(u))
+            .collect();
+        if keys.is_empty() {
+            return;
+        }
+        self.trace_sched("announce", Some(ApiEndpoint::Timeline), keys.len());
+        sink.announce(&keys);
+    }
+
+    /// Announces that the connections of `users` are about to be needed.
+    /// See [`CachingClient::announce_timelines`].
+    pub fn announce_connections(&mut self, users: &[UserId]) {
+        let Some(sink) = self.prefetch else { return };
+        let keys: Vec<FetchKey> = users
+            .iter()
+            .filter(|u| !self.connections.contains_key(u))
+            .map(|&u| FetchKey::Connections(u))
+            .collect();
+        if keys.is_empty() {
+            return;
+        }
+        self.trace_sched("announce", Some(ApiEndpoint::Connections), keys.len());
+        sink.announce(&keys);
+    }
+
+    /// Waits until no announced fetch is queued or in flight — the quiet
+    /// point checkpoint capture requires, so a snapshot never races a
+    /// half-done prefetch. Returns the number of completed-but-unconsumed
+    /// buffered results. No-op (returning 0) without a sink.
+    pub fn drain_prefetch(&mut self) -> usize {
+        let Some(sink) = self.prefetch else { return 0 };
+        let outstanding = sink.drain();
+        self.trace_sched("drain", None, outstanding);
+        outstanding
     }
 
     /// Captures the memo keys and accounting for a walker checkpoint.

@@ -36,6 +36,7 @@ pub mod meter;
 pub mod profile;
 pub mod rate;
 pub mod resilient;
+pub mod sched;
 
 pub use budget::QueryBudget;
 pub use cache::{
@@ -47,3 +48,7 @@ pub use meter::CostMeter;
 pub use microblog_platform::ApiEndpoint;
 pub use profile::ApiProfile;
 pub use resilient::{BreakerConfig, BreakerState, ResilienceStats, ResilientClient, RetryPolicy};
+pub use sched::{
+    FetchKey, FetchScheduler, InflightPolicy, PrefetchSink, SchedCloseGuard, SchedCounters,
+    SchedStats,
+};

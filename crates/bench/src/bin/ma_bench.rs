@@ -3,12 +3,14 @@
 //! `ma-bench perf` drives the service with a fixed seeded workload
 //! (mixed concurrent queries against a shared world, cold and warm
 //! cache, coalescing on and off) plus a direct walker step-loop
-//! measurement and a recovery section — checkpoint-cadence step-rate
+//! measurement, a recovery section — checkpoint-cadence step-rate
 //! overhead (off/1k/10k) and cold journal replay of 100 in-flight
-//! jobs — and writes the numbers to `BENCH_5.json` at the repo
-//! root. That file is the perf trajectory later PRs append to, so the
-//! schema is stable and `ma-bench check FILE` verifies it — CI fails on
-//! schema drift, never on absolute numbers (which depend on hardware).
+//! jobs — and a fetch-pipeline matrix (simulated RTT ∈ {1, 50, 100} ms
+//! × pipeline off/on, cold QPS each way), and writes the numbers to
+//! `BENCH_10.json` at the repo root. That file is the perf trajectory
+//! later PRs append to, so the schema is stable and `ma-bench check
+//! FILE` verifies it — CI fails on schema drift, never on absolute
+//! numbers (which depend on hardware).
 //!
 //! The workload is deterministic (fixed world seed, fixed job seeds);
 //! only the wall-clock rates and the coalescing race outcomes vary
@@ -17,7 +19,7 @@
 use microblog_analyzer::prelude::*;
 use microblog_analyzer::walker::srw::{self, SrwConfig};
 use microblog_analyzer::{CheckpointCtl, CheckpointSink, WalkerCheckpoint};
-use microblog_api::{CachingClient, MicroblogClient, QueryBudget};
+use microblog_api::{CachingClient, InflightPolicy, MicroblogClient, QueryBudget};
 use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
 use microblog_platform::{
     ApiBackend, Duration, Fault, KeywordId, Platform, PostId, TimeWindow, UserId,
@@ -42,13 +44,17 @@ const WORLD_SEED: u64 = 2014;
 /// seconds while dwarfing scheduler jitter.
 const SIMULATED_RTT: std::time::Duration = std::time::Duration::from_millis(1);
 
-/// [`ApiBackend`] wrapper stalling every fetch by [`SIMULATED_RTT`].
-/// The stall is a wall-clock sleep — the bench crate is exempt from
-/// the wall-clock lint, and the charged/logical accounting never sees
-/// it. Only the fetch itself is slow; cache hits stay instant.
+/// [`ApiBackend`] wrapper stalling every fetch by a fixed round-trip
+/// time. The stall is a wall-clock sleep — the bench crate is exempt
+/// from the wall-clock lint, and the charged/logical accounting never
+/// sees it. Only the fetch itself is slow; cache hits stay instant.
+/// Concurrent fetches stall independently (one sleeping thread each),
+/// so a pipeline that keeps N fetches in flight completes them in ~one
+/// RTT — the completion model the fetch scheduler is built against.
 #[derive(Debug)]
 struct SlowBackend {
     inner: Arc<Platform>,
+    rtt: std::time::Duration,
 }
 
 impl ApiBackend for SlowBackend {
@@ -57,26 +63,31 @@ impl ApiBackend for SlowBackend {
     }
 
     fn fetch_search(&self, kw: KeywordId, window: TimeWindow) -> Result<Vec<PostId>, Fault> {
-        std::thread::sleep(SIMULATED_RTT);
+        std::thread::sleep(self.rtt);
         self.inner.fetch_search(kw, window)
     }
 
     fn fetch_timeline(&self, u: UserId) -> Result<&[PostId], Fault> {
-        std::thread::sleep(SIMULATED_RTT);
+        std::thread::sleep(self.rtt);
         self.inner.fetch_timeline(u)
     }
 
     fn fetch_connections(&self, u: UserId) -> Result<(&[u32], &[u32]), Fault> {
-        std::thread::sleep(SIMULATED_RTT);
+        std::thread::sleep(self.rtt);
         self.inner.fetch_connections(u)
     }
 }
 
-/// Current BENCH_5.json schema version. v3 added the queue/exec
+/// Current BENCH_10.json schema version. v4 added the fetch-pipeline
+/// matrix (RTT × pipeline cold QPS, inflight-depth/announce-batch
+/// columns, identity booleans); v3 added the queue/exec
 /// latency-percentile columns.
-const SCHEMA_VERSION: u64 = 3;
+const SCHEMA_VERSION: u64 = 4;
 
-/// Keys every BENCH_5.json must carry, with their JSON kind. `check`
+/// The simulated RTTs the pipeline matrix sweeps, in milliseconds.
+const PIPELINE_RTTS_MS: [u64; 3] = [1, 50, 100];
+
+/// Keys every BENCH_10.json must carry, with their JSON kind. `check`
 /// fails on a missing key, a kind mismatch, or a stale
 /// `schema_version` — that is the schema gate.
 const SCHEMA: &[(&str, &str)] = &[
@@ -122,6 +133,27 @@ const SCHEMA: &[(&str, &str)] = &[
     ("recovery_cold_start_secs", "number"),
     ("recovery_cold_drain_secs", "number"),
     ("recovery_cold_resumed_jobs", "integer"),
+    // Pipeline section (schema v4): cold QPS for an MA-SRW workload at
+    // each simulated RTT with the fetch pipeline off vs on, plus the
+    // pipeline shape and the off/on identity checks (charged totals and
+    // estimate bits must never differ — pipelining is latency-only).
+    ("pipeline_jobs", "integer"),
+    ("pipeline_budget_per_job", "integer"),
+    ("pipeline_chains", "integer"),
+    ("pipeline_inflight_depth", "integer"),
+    ("pipeline_step_cap", "integer"),
+    ("pipeline_announce_batch", "integer"),
+    ("pipeline_qps_cold_rtt1_off", "number"),
+    ("pipeline_qps_cold_rtt1_on", "number"),
+    ("pipeline_speedup_rtt1", "number"),
+    ("pipeline_qps_cold_rtt50_off", "number"),
+    ("pipeline_qps_cold_rtt50_on", "number"),
+    ("pipeline_speedup_rtt50", "number"),
+    ("pipeline_qps_cold_rtt100_off", "number"),
+    ("pipeline_qps_cold_rtt100_on", "number"),
+    ("pipeline_speedup_rtt100", "number"),
+    ("pipeline_charged_identical", "bool"),
+    ("pipeline_estimates_identical", "bool"),
 ];
 
 struct PerfParams {
@@ -134,6 +166,21 @@ struct PerfParams {
     budget: u64,
     walker_steps: usize,
     walker_trials: usize,
+    /// Pipeline-matrix shape: concurrent MA-SRW jobs per cell (one
+    /// worker each), interleaved chains per job, and the per-job budget.
+    pipeline_jobs: usize,
+    pipeline_chains: usize,
+    pipeline_budget: u64,
+    /// Outstanding-prefetch depth for the matrix cells. A round announces
+    /// roughly `chains x avg-degree` candidate timelines; the depth must
+    /// cover most of that batch or the batch resolves in `batch/depth`
+    /// serial waves and the speedup caps out well below the chain count.
+    pipeline_inflight: InflightPolicy,
+    /// Per-chain step cap for the matrix jobs. Must clear burn-in with
+    /// room for thinned samples; keeping it tight bounds the CPU-only
+    /// tail of free steps over the memoized neighborhood so wall time
+    /// stays dominated by fetch latency.
+    pipeline_step_cap: usize,
 }
 
 impl PerfParams {
@@ -150,6 +197,11 @@ impl PerfParams {
                 budget: 2_500,
                 walker_steps: 20_000,
                 walker_trials: 1,
+                pipeline_jobs: 2,
+                pipeline_chains: 32,
+                pipeline_budget: 1_500,
+                pipeline_inflight: InflightPolicy::Fixed(256),
+                pipeline_step_cap: 200,
             }
         } else {
             PerfParams {
@@ -160,6 +212,11 @@ impl PerfParams {
                 budget: 4_000,
                 walker_steps: 150_000,
                 walker_trials: 3,
+                pipeline_jobs: 4,
+                pipeline_chains: 32,
+                pipeline_budget: 1_500,
+                pipeline_inflight: InflightPolicy::Fixed(256),
+                pipeline_step_cap: 200,
             }
         }
     }
@@ -180,7 +237,7 @@ fn main() {
 
 fn perf(args: &[String]) -> i32 {
     let mut smoke = false;
-    let mut out = String::from("BENCH_5.json");
+    let mut out = String::from("BENCH_10.json");
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -266,7 +323,10 @@ fn run_cold(scenario: &Scenario, params: &PerfParams, coalesce: bool) -> (Servic
         ServiceConfig {
             workers: params.workers,
             coalesce,
-            backend: Some(Arc::new(SlowBackend { inner: platform })),
+            backend: Some(Arc::new(SlowBackend {
+                inner: platform,
+                rtt: SIMULATED_RTT,
+            })),
             ..ServiceConfig::default()
         },
     );
@@ -507,6 +567,103 @@ fn cold_recovery(scenario: &Scenario, params: &PerfParams, jobs: usize) -> ColdR
     }
 }
 
+/// One pipeline-matrix cell: cold QPS plus the identity evidence.
+struct PipelineCell {
+    qps: f64,
+    /// Total calls charged across the cell's jobs.
+    charged: u64,
+    /// Estimate bits per job, in submission order.
+    estimate_bits: Vec<u64>,
+}
+
+/// Runs the matrix workload — `pipeline_jobs` concurrent MA-SRW jobs,
+/// each interleaving `pipeline_chains` chains — against a cold service
+/// whose backend stalls every fetch by `rtt_ms`, with the fetch
+/// pipeline off or on. Everything except the `pipeline` flag is held
+/// fixed, so the off/on cells must agree bit-for-bit on charges and
+/// estimates.
+fn run_pipeline_cell(
+    scenario: &Scenario,
+    params: &PerfParams,
+    rtt_ms: u64,
+    pipeline: bool,
+) -> PipelineCell {
+    let platform = Arc::new(scenario.platform.clone());
+    let service = Service::new(
+        Arc::clone(&platform),
+        ApiProfile::twitter(),
+        ServiceConfig {
+            workers: params.pipeline_jobs,
+            pipeline,
+            chains: params.pipeline_chains,
+            inflight: params.pipeline_inflight,
+            // Each matrix job pays full cold coverage (no cross-job
+            // coalescing) and stops soon after burn-in: the cell then
+            // measures fetch latency structure, not the CPU-bound
+            // free-spin over an already-memoized neighborhood.
+            coalesce: false,
+            step_cap: Some(params.pipeline_step_cap),
+            backend: Some(Arc::new(SlowBackend {
+                inner: platform,
+                rtt: std::time::Duration::from_millis(rtt_ms),
+            })),
+            ..ServiceConfig::default()
+        },
+    );
+    let kw = scenario.keyword("privacy").expect("world has 'privacy'");
+    let query = AggregateQuery::avg(UserMetric::FollowerCount, kw).in_window(scenario.window);
+    let algorithm = Algorithm::MaSrw {
+        interval: Some(Duration::DAY),
+    };
+    let specs: Vec<JobSpec> = (0..params.pipeline_jobs as u64)
+        .map(|j| JobSpec::new(query.clone(), algorithm, params.pipeline_budget, 1 + j))
+        .collect();
+    let jobs = specs.len();
+    let start = Instant::now();
+    let handles: Vec<_> = specs
+        .into_iter()
+        .map(|spec| service.submit(spec).expect("unlimited quota admits"))
+        .collect();
+    let outputs: Vec<_> = handles
+        .iter()
+        .map(|h| {
+            h.join()
+                .into_result()
+                .expect("pipeline matrix job estimates")
+        })
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    if pipeline {
+        let s = service.sched_stats();
+        eprintln!(
+            "[perf]     sched: announced {} prefetched {} hits {} waits {} claimed {} stranded {} peak {}",
+            s.announced, s.prefetched, s.hits, s.waits, s.claimed, s.stranded, s.peak_inflight
+        );
+    }
+    let (lh, sh, miss, actual): (u64, u64, u64, u64) = outputs.iter().fold((0, 0, 0, 0), |a, o| {
+        (
+            a.0 + o.cache.local_hits,
+            a.1 + o.cache.shared_hits,
+            a.2 + o.cache.misses,
+            a.3 + o.cache.actual_calls,
+        )
+    });
+    eprintln!(
+        "[perf]     cache({}): local {} shared {} misses {} actual_calls {}",
+        if pipeline { "on" } else { "off" },
+        lh,
+        sh,
+        miss,
+        actual
+    );
+    service.shutdown();
+    PipelineCell {
+        qps: jobs as f64 / elapsed,
+        charged: outputs.iter().map(|o| o.charged).sum(),
+        estimate_bits: outputs.iter().map(|o| o.estimate.value.to_bits()).collect(),
+    }
+}
+
 fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
     eprintln!("[perf] cold run, coalescing off (baseline)...");
     let (_, baseline) = run_cold(scenario, params, false);
@@ -556,6 +713,26 @@ fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
         "[perf]   replay+requeue {:.3}s, drain {:.2}s ({} resumed)",
         recovered.start_secs, recovered.drain_secs, recovered.resumed
     );
+    eprintln!(
+        "[perf] pipeline matrix ({} jobs x {} chains, RTT {:?} ms)...",
+        params.pipeline_jobs, params.pipeline_chains, PIPELINE_RTTS_MS
+    );
+    let mut matrix = Vec::new();
+    for rtt in PIPELINE_RTTS_MS {
+        let off = run_pipeline_cell(scenario, params, rtt, false);
+        let on = run_pipeline_cell(scenario, params, rtt, true);
+        eprintln!(
+            "[perf]   rtt {rtt}ms: off {:.3} qps, on {:.3} qps ({:.1}x)",
+            off.qps,
+            on.qps,
+            on.qps / off.qps
+        );
+        matrix.push((rtt, off, on));
+    }
+    let charged_identical = matrix.iter().all(|(_, off, on)| off.charged == on.charged);
+    let estimates_identical = matrix
+        .iter()
+        .all(|(_, off, on)| off.estimate_bits == on.estimate_bits);
 
     let jobs = workload(scenario, params).len();
     let snap = &cold.snapshot;
@@ -653,6 +830,43 @@ fn run_perf(params: &PerfParams, scenario: &Scenario) -> String {
         format!("{:.4}", recovered.drain_secs),
     );
     put("recovery_cold_resumed_jobs", recovered.resumed.to_string());
+    put("pipeline_jobs", params.pipeline_jobs.to_string());
+    put(
+        "pipeline_budget_per_job",
+        params.pipeline_budget.to_string(),
+    );
+    put("pipeline_chains", params.pipeline_chains.to_string());
+    put(
+        "pipeline_inflight_depth",
+        params.pipeline_inflight.depth().to_string(),
+    );
+    put("pipeline_step_cap", params.pipeline_step_cap.to_string());
+    // Per round each chain announces its connections fetch plus (for the
+    // level-by-level view) its timeline fetch — the announce batch the
+    // prefetcher threads drain concurrently.
+    put(
+        "pipeline_announce_batch",
+        (2 * params.pipeline_chains).to_string(),
+    );
+    for (rtt, off, on) in &matrix {
+        put(
+            &format!("pipeline_qps_cold_rtt{rtt}_off"),
+            format!("{:.3}", off.qps),
+        );
+        put(
+            &format!("pipeline_qps_cold_rtt{rtt}_on"),
+            format!("{:.3}", on.qps),
+        );
+        put(
+            &format!("pipeline_speedup_rtt{rtt}"),
+            format!("{:.2}", on.qps / off.qps),
+        );
+    }
+    put("pipeline_charged_identical", charged_identical.to_string());
+    put(
+        "pipeline_estimates_identical",
+        estimates_identical.to_string(),
+    );
     out.push_str("\n}\n");
     out
 }

@@ -9,11 +9,11 @@ use crate::error::EstimateError;
 use crate::estimate::Estimate;
 use crate::query::AggregateQuery;
 use crate::view::ViewKind;
-use crate::walker::{mhrw, mr, snowball, srw, tarw};
+use crate::walker::{mhrw, mr, multi, snowball, srw, tarw};
 use microblog_api::cache::{CacheLayer, CacheStats};
 use microblog_api::{
-    ApiProfile, CachingClient, MicroblogClient, QueryBudget, ResilienceStats, ResilientClient,
-    RetryPolicy,
+    ApiProfile, CachingClient, MicroblogClient, PrefetchSink, QueryBudget, ResilienceStats,
+    ResilientClient, RetryPolicy,
 };
 use microblog_obs::{Category, FieldValue, Tracer, WalkPhase};
 use microblog_platform::{ApiBackend, Duration, Platform};
@@ -113,6 +113,15 @@ pub struct RunReport {
 pub struct MicroblogAnalyzer<'p> {
     backend: &'p dyn ApiBackend,
     api: ApiProfile,
+    /// Interleaved chains for SRW-family runs (1 = the classic solo walk).
+    chains: usize,
+    /// Optional per-chain step cap for SRW-family runs: clamps
+    /// [`crate::walker::srw::SrwConfig::max_steps`]. Bounds the CPU a walk
+    /// can spend free-stepping over already-memoized nodes after its API
+    /// budget stops mattering.
+    step_cap: Option<usize>,
+    /// Optional fetch-pipeline sink walks announce upcoming fetches to.
+    prefetch: Option<&'p dyn PrefetchSink>,
 }
 
 impl<'p> MicroblogAnalyzer<'p> {
@@ -124,7 +133,42 @@ impl<'p> MicroblogAnalyzer<'p> {
     /// Creates an analyzer over an arbitrary backend — e.g. a
     /// [`microblog_platform::FaultyPlatform`] injecting failures.
     pub fn with_backend(backend: &'p dyn ApiBackend, api: ApiProfile) -> Self {
-        MicroblogAnalyzer { backend, api }
+        MicroblogAnalyzer {
+            backend,
+            api,
+            chains: 1,
+            step_cap: None,
+            prefetch: None,
+        }
+    }
+
+    /// Runs SRW-family algorithms as `chains` interleaved chains
+    /// ([`crate::walker::multi`]). A *run*-level knob, not part of
+    /// [`Algorithm`]: job specs and journals stay stable, and the same
+    /// logical job can be executed solo or interleaved.
+    pub fn with_chains(mut self, chains: usize) -> Self {
+        self.chains = chains.max(1);
+        self
+    }
+
+    /// Caps SRW-family walks at `cap` steps per chain (clamping the
+    /// config's own `max_steps`). Like [`Self::with_chains`] a run-level
+    /// knob: it never changes *what* a walk fetches per step, only how
+    /// long the free post-coverage tail may spin, so checkpoints and job
+    /// specs stay stable.
+    pub fn with_step_cap(mut self, cap: usize) -> Self {
+        self.step_cap = Some(cap.max(1));
+        self
+    }
+
+    /// Attaches a prefetch sink (normally a
+    /// [`microblog_api::FetchScheduler`]): walkers announce the fetches
+    /// their next steps will need so the sink can overlap the RTTs.
+    /// Purely a latency optimization — estimates, charges and checkpoints
+    /// are bit-identical with or without a sink.
+    pub fn with_prefetch(mut self, sink: &'p dyn PrefetchSink) -> Self {
+        self.prefetch = Some(sink);
+        self
     }
 
     /// The API profile in force.
@@ -267,6 +311,9 @@ impl<'p> MicroblogAnalyzer<'p> {
         let policy = policy.with_jitter_seed(policy.jitter_seed ^ seed.rotate_left(17));
         let resilient = ResilientClient::new(inner, policy);
         let mut client = CachingClient::resilient(resilient, shared);
+        if let Some(sink) = self.prefetch {
+            client = client.with_prefetch(sink);
+        }
         ctl.set_job(algorithm.name(), seed);
         // Rebuild the checkpointed context, if resuming: memo from the
         // pristine platform, budget pre-charged with the checkpointed
@@ -297,16 +344,46 @@ impl<'p> MicroblogAnalyzer<'p> {
             Ok((mut rng, state)) => match algorithm {
                 Algorithm::SrwFullGraph => {
                     let cfg = srw::SrwConfig::new(ViewKind::FullGraph);
-                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                    run_srw(
+                        &mut client,
+                        query,
+                        &cfg,
+                        self.chains,
+                        self.step_cap,
+                        seed,
+                        &mut rng,
+                        ctl,
+                        state,
+                    )
                 }
                 Algorithm::SrwTermInduced => {
                     let cfg = srw::SrwConfig::new(ViewKind::TermInduced);
-                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                    run_srw(
+                        &mut client,
+                        query,
+                        &cfg,
+                        self.chains,
+                        self.step_cap,
+                        seed,
+                        &mut rng,
+                        ctl,
+                        state,
+                    )
                 }
                 Algorithm::MaSrw { interval } => {
                     let t = interval.unwrap_or(Duration::DAY);
                     let cfg = srw::SrwConfig::new(ViewKind::level(t));
-                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                    run_srw(
+                        &mut client,
+                        query,
+                        &cfg,
+                        self.chains,
+                        self.step_cap,
+                        seed,
+                        &mut rng,
+                        ctl,
+                        state,
+                    )
                 }
                 Algorithm::MaTarw { interval } => {
                     let cfg = tarw::TarwConfig {
@@ -334,7 +411,17 @@ impl<'p> MicroblogAnalyzer<'p> {
                 }
                 Algorithm::SrwView { view } => {
                     let cfg = srw::SrwConfig::new(view);
-                    run_srw(&mut client, query, &cfg, &mut rng, ctl, state)
+                    run_srw(
+                        &mut client,
+                        query,
+                        &cfg,
+                        self.chains,
+                        self.step_cap,
+                        seed,
+                        &mut rng,
+                        ctl,
+                        state,
+                    )
                 }
                 Algorithm::Mhrw { view } => {
                     let cfg = mhrw::MhrwConfig::new(view);
@@ -423,15 +510,37 @@ impl<'p> MicroblogAnalyzer<'p> {
     }
 }
 
-/// Dispatches an SRW-family run, matching the checkpoint variant.
+/// Dispatches an SRW-family run, matching the checkpoint variant. With
+/// `chains > 1` the interleaved multi-chain executor runs (and resumes)
+/// instead of the solo walker — the checkpoint variants differ, so a job
+/// must keep its chain count across crash/resume.
+#[allow(clippy::too_many_arguments)]
 fn run_srw(
     client: &mut CachingClient<'_>,
     query: &AggregateQuery,
     cfg: &srw::SrwConfig,
+    chains: usize,
+    step_cap: Option<usize>,
+    seed: u64,
     rng: &mut ChaCha8Rng,
     ctl: &mut CheckpointCtl<'_>,
     state: Option<&SamplerState>,
 ) -> Result<Estimate, EstimateError> {
+    let mut cfg = *cfg;
+    if let Some(cap) = step_cap {
+        cfg.max_steps = cfg.max_steps.min(cap);
+    }
+    let cfg = &cfg;
+    if chains > 1 {
+        let mcfg = multi::MultiSrwConfig { srw: *cfg, chains };
+        return match state {
+            None => multi::estimate_recoverable(client, query, &mcfg, seed, rng, ctl, None),
+            Some(SamplerState::MultiSrw(s)) => {
+                multi::estimate_recoverable(client, query, &mcfg, seed, rng, ctl, Some(s))
+            }
+            Some(_) => Err(mismatch()),
+        };
+    }
     match state {
         None => srw::estimate_recoverable(client, query, cfg, rng, ctl, None),
         Some(SamplerState::Srw(s)) => {

@@ -121,6 +121,28 @@ pub struct SrwState {
     pub batch_accum: AccumState,
 }
 
+/// One interleaved chain of a multi-chain SRW run: its own RNG stream
+/// position plus the same mid-walk state a solo run captures.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiChainState {
+    /// The chain's RNG stream position.
+    pub rng: RngState,
+    /// The chain's walk state.
+    pub walk: SrwState,
+    /// Whether the chain has finished walking.
+    pub done: bool,
+}
+
+/// Mid-run state of the interleaved multi-chain SRW executor, captured
+/// only at round boundaries — where every announced prefetch has been
+/// consumed and nothing is in flight — so no scheduler state needs to be
+/// (or is) serialized.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiSrwState {
+    /// Per-chain states, in chain-index order.
+    pub chains: Vec<MultiChainState>,
+}
+
 /// Mid-walk state of the MHRW estimator.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MhrwState {
@@ -213,6 +235,8 @@ pub struct PilotState {
 pub enum SamplerState {
     /// Simple random walk (MA-SRW and baselines).
     Srw(SrwState),
+    /// Interleaved multi-chain simple random walk.
+    MultiSrw(MultiSrwState),
     /// Metropolis–Hastings random walk.
     Mhrw(MhrwState),
     /// BFS/DFS snowball crawl.

@@ -175,6 +175,10 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
         match self.kind {
             ViewKind::FullGraph => out.extend_from_slice(&conns),
             ViewKind::TermInduced => {
+                // Announce the whole candidate batch before the serial
+                // membership probes: a fetch scheduler can then overlap
+                // the (1 + k) round trips of a step into ~2.
+                self.client.announce_timelines(&conns);
                 for &v in conns.iter() {
                     if self.is_member(v)? {
                         out.push(v);
@@ -182,10 +186,14 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
                 }
             }
             ViewKind::LevelByLevel { keep_intra, .. } => {
+                // Resolve `u`'s own level first: a non-member expands to
+                // nothing, and announcing candidates for it would strand
+                // their prefetches.
                 let lu = match self.member_level(u)? {
                     Some(l) => l,
                     None => return Ok(()),
                 };
+                self.client.announce_timelines(&conns);
                 for &v in conns.iter() {
                     if let Some(lv) = self.member_level(v)? {
                         if lv != lu || self.keep_intra_edge(u, v, keep_intra) {
@@ -196,6 +204,38 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
             }
         }
         Ok(())
+    }
+
+    /// Warm path for interleaved executors: resolves `u`'s connections
+    /// now (consuming any prefetch announced for them) and announces the
+    /// candidate membership probes [`Self::neighbors_into`] will issue,
+    /// without running the probes. Calling this for every live chain
+    /// before any chain steps puts *all* of a round's timeline batches in
+    /// flight at once, instead of one chain's batch at a time — the
+    /// difference between ~N serial RTT walls per round and ~one.
+    ///
+    /// Errors are deliberately swallowed: nothing is memoized on failure,
+    /// so the step's own fetch re-issues the call and settles walk-ending
+    /// conditions exactly as it would have without the warm call. The
+    /// fetch sequence is identical with or without a sink attached (the
+    /// announces are no-ops without one), which keeps pipelined and
+    /// sequential execution — and therefore charging — on one sequence.
+    pub fn prefetch_step(&mut self, u: UserId) {
+        let Ok(conns) = self.client.connections(u) else {
+            return;
+        };
+        match self.kind {
+            ViewKind::FullGraph => {}
+            ViewKind::TermInduced => self.client.announce_timelines(&conns),
+            ViewKind::LevelByLevel { .. } => {
+                // Mirror `neighbors_into`: a non-member's candidates are
+                // never probed, so announcing them would strand their
+                // prefetches.
+                if matches!(self.member_level(u), Ok(Some(_))) {
+                    self.client.announce_timelines(&conns);
+                }
+            }
+        }
     }
 
     /// Partition of `u`'s view-neighbors into `(above, below)` levels:
@@ -222,6 +262,7 @@ impl<'c, 'p> QueryGraph<'c, 'p> {
             }
         };
         let conns = self.client.connections(u)?;
+        self.client.announce_timelines(&conns);
         let mut above = Vec::new();
         let mut below = Vec::new();
         for &v in conns.iter() {

@@ -141,6 +141,7 @@ pub fn estimate_recoverable<R: CheckpointRng>(
         // Safe point: the captured tuple fully determines the rest of
         // the walk (`cur_deg` is recomputed every iteration).
         ctl.tick(|| {
+            graph.client_mut().drain_prefetch();
             Some((
                 total_steps as u64,
                 rng.rng_state()?,

@@ -12,6 +12,7 @@
 pub mod burnin;
 pub mod mhrw;
 pub mod mr;
+pub mod multi;
 pub mod parallel;
 pub mod snowball;
 pub mod srw;
@@ -21,6 +22,20 @@ use crate::query::{Aggregate, AggregateQuery};
 use microblog_api::UserView;
 use microblog_graph::sizing::CollisionCounter;
 use microblog_platform::Timestamp;
+
+/// RNG seed for chain `chain` of a run seeded with `run_seed` — shared by
+/// the thread-parallel runner ([`parallel`]) and the interleaved
+/// multi-chain executor ([`multi`]), so `k` interleaved chains draw the
+/// same trajectories `k` parallel chains would.
+///
+/// Chains draw from a SplitMix64 stream instead of the naive
+/// `run_seed + chain`, which aliased across runs: chain 1 of run 7 was
+/// chain 0 of run 8, so adjacent run seeds shared all but one trajectory
+/// and "independent" repetitions were anything but.
+pub(crate) fn chain_seed(run_seed: u64, chain: u64) -> u64 {
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+    crate::view::splitmix64(run_seed.wrapping_add(GAMMA.wrapping_mul(chain)))
+}
 
 impl AggregateQuery {
     /// Per-sample values for estimation: `(matches, numerator,

@@ -82,16 +82,7 @@ pub fn estimate_parallel(
     })
 }
 
-/// RNG seed for chain `chain` of a run seeded with `run_seed`.
-///
-/// Chains draw from a SplitMix64 stream instead of the naive
-/// `run_seed + chain`, which aliased across runs: chain 1 of run 7 was
-/// chain 0 of run 8, so adjacent run seeds shared all but one
-/// trajectory and "independent" repetitions were anything but.
-fn chain_seed(run_seed: u64, chain: u64) -> u64 {
-    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
-    crate::view::splitmix64(run_seed.wrapping_add(GAMMA.wrapping_mul(chain)))
-}
+use super::chain_seed;
 
 /// One chain: a fresh client cache charging the shared budget.
 fn run_chain(

@@ -127,10 +127,17 @@ pub fn estimate_recoverable<R: CheckpointRng>(
     }
     // One neighbor buffer for the whole crawl.
     let mut nbrs: Vec<UserId> = Vec::new();
+    // Upcoming crawl targets announced to an attached fetch pipeline.
+    let mut lookahead: Vec<UserId> = Vec::new();
+    // How many distinct upcoming targets to announce per iteration, and
+    // how deep into the frontier to scan for them.
+    const LOOKAHEAD: usize = 8;
+    const SCAN: usize = 64;
 
     loop {
         // Safe point, before the next frontier pop.
         ctl.tick(|| {
+            graph.client_mut().drain_prefetch();
             // ma-lint: allow(determinism) reason="collected then sorted on the next line; hash order cannot reach the checkpoint bytes"
             let mut sorted: Vec<UserId> = visited.iter().copied().collect();
             sorted.sort_unstable_by_key(|u| u.0);
@@ -148,6 +155,25 @@ pub fn estimate_recoverable<R: CheckpointRng>(
                 }),
             ))
         });
+        // Announce the next few crawl targets so an attached pipeline
+        // overlaps their RTTs. Scanning in pop order and keeping only the
+        // first unvisited occurrence of each node announces exactly nodes
+        // that *will* be crawled, barring a crawl-ending error: `visited`
+        // only grows by popping, so a first occurrence cannot be skipped.
+        lookahead.clear();
+        {
+            let mut scan = |u: UserId| {
+                if lookahead.len() < LOOKAHEAD && !visited.contains(&u) && !lookahead.contains(&u) {
+                    lookahead.push(u);
+                }
+            };
+            match config.order {
+                CrawlOrder::Bfs => frontier.iter().take(SCAN).for_each(|&u| scan(u)),
+                CrawlOrder::Dfs => frontier.iter().rev().take(SCAN).for_each(|&u| scan(u)),
+            }
+        }
+        graph.client_mut().announce_connections(&lookahead);
+        graph.client_mut().announce_timelines(&lookahead);
         let Some(u) = (match config.order {
             CrawlOrder::Bfs => frontier.pop_front(),
             CrawlOrder::Dfs => frontier.pop_back(),

@@ -134,8 +134,10 @@ pub fn estimate_recoverable<R: CheckpointRng>(
     let mut nbrs: Vec<UserId> = Vec::new();
     loop {
         // The top of the loop is the safe point: the captured tuple fully
-        // determines the remainder of the walk.
+        // determines the remainder of the walk. Draining first guarantees
+        // the capture cannot race an announced-but-unfinished prefetch.
         ctl.tick(|| {
+            graph.client_mut().drain_prefetch();
             Some((
                 total_steps as u64,
                 rng.rng_state()?,

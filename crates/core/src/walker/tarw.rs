@@ -218,6 +218,7 @@ pub fn estimate_recoverable<R: CheckpointRng>(
     for i in start..config.max_instances {
         // Safe point between instances.
         ctl.tick(|| {
+            walker.graph.client_mut().drain_prefetch();
             Some((
                 i as u64,
                 rng.rng_state()?,

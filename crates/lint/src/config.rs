@@ -8,7 +8,7 @@
 
 /// Rule identifiers, as used in findings, suppression comments and the
 /// baseline file.
-pub const RULES: [&str; 12] = [
+pub const RULES: [&str; 13] = [
     "wall-clock",
     "panic-safety",
     "determinism",
@@ -20,6 +20,7 @@ pub const RULES: [&str; 12] = [
     "rng-confinement",
     "checkpoint-coverage",
     "schema-closed",
+    "blocking-fetch-in-chain",
     "suppression",
 ];
 
@@ -89,6 +90,11 @@ pub struct Config {
     /// must be field-exhaustive (no `..` rest patterns that would let a
     /// newly added field silently default or be dropped on resume).
     pub checkpoint_use_paths: Vec<String>,
+    /// Walker chain code where bare blocking client fetches
+    /// (`.search(…)`, `.user_timeline(…)`, `.connections(…)`) are
+    /// forbidden: a direct call stalls every interleaved chain for a
+    /// full RTT instead of flowing through the announced fetch pipeline.
+    pub blocking_fetch_paths: Vec<String>,
     /// Crate-root files that must carry `#![forbid(unsafe_code)]`.
     pub hygiene_lib_roots: Vec<String>,
     /// Type names that must be declared `#[must_use]` (estimate-result
@@ -137,6 +143,11 @@ impl Default for Config {
                 // The metered client stack is where direct backend calls
                 // are supposed to live.
                 "crates/api/src/client.rs",
+                // The fetch scheduler prefetches *below* the metering
+                // seam by design: results are buffered uncharged and the
+                // consuming client charges on consumption (stranded
+                // prefetches are rolled back, never billed).
+                "crates/api/src/sched.rs",
                 // The ground-truth oracle reads the simulator's omniscient
                 // view for free by design (evaluation only, never inside an
                 // estimator); it also seals interprocedural propagation so
@@ -177,6 +188,7 @@ impl Default for Config {
             ]),
             checkpoint_state_files: s(&["crates/core/src/checkpoint.rs"]),
             checkpoint_use_paths: s(&["crates/core/src/"]),
+            blocking_fetch_paths: s(&["crates/core/src/walker/"]),
             hygiene_lib_roots: s(&[
                 "crates/api/src/lib.rs",
                 "crates/bench/src/lib.rs",

@@ -80,6 +80,7 @@ fn analyze_file(path: &str, source: &str, cfg: &Config) -> PerFile {
     rules::panic_safety::check(&ctx, cfg, &mut findings);
     rules::determinism::check(&ctx, cfg, &mut findings);
     rules::charging::check(&ctx, cfg, &mut findings);
+    rules::blocking_fetch::check(&ctx, cfg, &mut findings);
     rules::fs_write::check(&ctx, cfg, &mut findings);
     rules::lock_across_call::check(&ctx, cfg, &mut findings);
     rules::hygiene::check(&ctx, cfg, &mut findings);

@@ -1,0 +1,51 @@
+//! Rule `blocking-fetch-in-chain`: walker chain code never blocks on a
+//! bare client fetch.
+//!
+//! Walkers run as interleaved chains on one worker thread; a direct
+//! `.search(…)` / `.user_timeline(…)` / `.connections(…)` call inside
+//! chain code parks the whole round on a single RTT, defeating the fetch
+//! pipeline. Per-node traffic belongs behind `QueryGraph` (whose lookups
+//! resolve from pipeline-claimed results) with upcoming targets
+//! announced via `announce_connections`/`announce_timelines`; seed
+//! bootstrap goes through `fetch_seeds`. Both seams live outside
+//! `walker/`, so inside it the bare fetch surface is banned outright.
+
+use crate::config::Config;
+use crate::context::{FileCtx, Finding};
+
+/// The blocking fetch surface of the client stack (`MicroblogClient` /
+/// `CachingClient` share these method names).
+const BLOCKING_FETCHES: [&str; 3] = ["search", "user_timeline", "connections"];
+
+/// Scans walker chain code for bare blocking fetch calls.
+pub fn check(ctx: &FileCtx, cfg: &Config, out: &mut Vec<Finding>) {
+    if !Config::matches(ctx.path, &cfg.blocking_fetch_paths) || !ctx.role.is_library() {
+        return;
+    }
+    let toks = &ctx.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.is_test_code(i) {
+            continue;
+        }
+        let Some(m) = t.ident() else {
+            continue;
+        };
+        // Method call position: `recv.method(` — a definition
+        // (`fn connections(`) or a path call doesn't match.
+        let is_call =
+            i >= 1 && toks[i - 1].is_punct('.') && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if is_call && BLOCKING_FETCHES.contains(&m) {
+            ctx.emit(
+                out,
+                "blocking-fetch-in-chain",
+                t.line,
+                format!(
+                    "blocking `.{m}(…)` in walker chain code stalls every \
+                     interleaved chain for a full RTT; fetch per-node data \
+                     through QueryGraph and announce upcoming targets so an \
+                     attached pipeline can overlap the latency"
+                ),
+            );
+        }
+    }
+}

@@ -5,6 +5,7 @@
 //!
 //! [`FileCtx`]: crate::context::FileCtx
 
+pub mod blocking_fetch;
 pub mod charging;
 pub mod checkpoint_coverage;
 pub mod determinism;

@@ -1,0 +1,10 @@
+//! Fixture: bare blocking client fetches inside walker chain code. Each
+//! call would stall every interleaved chain for a full RTT instead of
+//! flowing through QueryGraph + the announced fetch pipeline.
+
+fn chain_step(client: &mut CachingClient<'_>, u: UserId, kw: KeywordId) {
+    let hits = client.search(kw);
+    let view = client.user_timeline(u);
+    let nbrs = client.connections(u);
+    let _ = (hits, view, nbrs);
+}

@@ -1,0 +1,8 @@
+//! Fixture: the same bare fetches, silenced by inline suppressions.
+
+fn chain_step(client: &mut CachingClient<'_>, u: UserId, kw: KeywordId) {
+    let hits = client.search(kw); // ma-lint: allow(blocking-fetch-in-chain) reason="fixture: one-off bootstrap fetch outside the round loop"
+    let view = client.user_timeline(u); // ma-lint: allow(blocking-fetch-in-chain) reason="fixture: pipeline already drained at this point"
+    let nbrs = client.connections(u); // ma-lint: allow(blocking-fetch-in-chain) reason="fixture: cold path, never reached mid-round"
+    let _ = (hits, view, nbrs);
+}

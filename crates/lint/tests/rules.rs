@@ -540,3 +540,36 @@ fn lexer_hardening_literals_are_opaque_to_rules() {
     // decoys must stay opaque.
     assert_eq!(findings.len(), 1, "{findings:?}");
 }
+
+#[test]
+fn blocking_fetch_fires_in_walker_chain_code() {
+    let findings = run(
+        "blocking-fetch-in-chain",
+        "crates/core/src/walker/fixture.rs",
+        include_str!("fixtures/blocking_fetch_fire.rs"),
+    );
+    // search, user_timeline, connections.
+    assert_eq!(findings.len(), 3, "{findings:?}");
+}
+
+#[test]
+fn blocking_fetch_suppressed() {
+    let findings = run(
+        "blocking-fetch-in-chain",
+        "crates/core/src/walker/fixture.rs",
+        include_str!("fixtures/blocking_fetch_suppressed.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn blocking_fetch_outside_chain_scope_is_exempt() {
+    // The graph-view and seed modules are the sanctioned fetch seams;
+    // the rule only polices walker/ chain code.
+    let findings = run(
+        "blocking-fetch-in-chain",
+        "crates/core/src/view.rs",
+        include_str!("fixtures/blocking_fetch_fire.rs"),
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}

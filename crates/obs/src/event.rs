@@ -37,11 +37,16 @@ pub enum Category {
     /// Live telemetry: windowed counter deltas, operational gauges and
     /// per-query convergence readings emitted on a cadence.
     Stats,
+    /// Fetch scheduler: prefetch announcements from the logical walk
+    /// thread and checkpoint-drain barriers. Only deterministic
+    /// logical-thread points emit here — worker-pool completions feed
+    /// gauges, not events, so traces stay byte-identical.
+    Sched,
 }
 
 impl Category {
     /// Number of categories; sizes per-category arrays.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// All categories, in shard/index order.
     pub const ALL: [Category; Category::COUNT] = [
@@ -55,6 +60,7 @@ impl Category {
         Category::Checkpoint,
         Category::Recovery,
         Category::Stats,
+        Category::Sched,
     ];
 
     /// Stable shard index for this category.
@@ -70,6 +76,7 @@ impl Category {
             Category::Checkpoint => 7,
             Category::Recovery => 8,
             Category::Stats => 9,
+            Category::Sched => 10,
         }
     }
 
@@ -86,6 +93,7 @@ impl Category {
             Category::Checkpoint => "checkpoint",
             Category::Recovery => "recovery",
             Category::Stats => "stats",
+            Category::Sched => "sched",
         }
     }
 }

@@ -1,18 +1,27 @@
-//! Lock-free log2-bucket histograms for latency- and cost-shaped data.
+//! Lock-free log-linear histograms for latency- and cost-shaped data.
 //!
 //! Means hide the paper's pathologies: one breaker-open backoff of 2¹⁴
 //! simulated seconds disappears inside ten thousand 1-tick waits. A
-//! power-of-two histogram keeps the tail visible at a fixed 65 × 8-byte
-//! cost, and its snapshot is a plain `[u64; 65]`, so
-//! `MetricsSnapshot` stays `Copy` after growing four of them.
+//! logarithmic histogram keeps the tail visible at a fixed cost — but
+//! pure power-of-two buckets proved too coarse at the bottom end
+//! (BENCH_5.json reported `queue_wait_us` p50 == p95 == 63 because the
+//! whole distribution fit in the `[32, 63]` octave). Each octave is
+//! therefore split into 4 linear sub-buckets, bounding the relative
+//! quantization error at ~25% across the entire `u64` range, and the
+//! snapshot stays a plain `[u64; 252]`, so `MetricsSnapshot` stays
+//! `Copy` after growing four of them.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Number of buckets: one for zero plus one per bit of a `u64`.
-pub const BUCKETS: usize = 65;
+/// Number of buckets: 4 singleton buckets for values `0..=3`, then 4
+/// linear sub-buckets per octave for the remaining 62 octaves of a
+/// `u64` (`4 + 62 × 4 = 252`).
+pub const BUCKETS: usize = 252;
 
-/// A concurrent histogram over `u64` values with power-of-two buckets:
-/// bucket 0 holds zeros, bucket `k ≥ 1` holds values in `[2^(k-1), 2^k)`.
+/// A concurrent histogram over `u64` values with log-linear buckets:
+/// values `0..=3` each get their own bucket; above that, the octave
+/// `[2^e, 2^(e+1))` is split into 4 equal linear sub-buckets keyed by
+/// the two bits below the most significant bit.
 pub struct Log2Histogram {
     buckets: [AtomicU64; BUCKETS],
 }
@@ -27,21 +36,27 @@ impl Log2Histogram {
 
     /// The bucket a value lands in.
     pub fn bucket_index(value: u64) -> usize {
-        if value == 0 {
-            0
+        if value < 4 {
+            value as usize
         } else {
-            64 - value.leading_zeros() as usize
+            let msb = 63 - value.leading_zeros() as usize;
+            4 + (msb - 2) * 4 + ((value >> (msb - 2)) & 3) as usize
         }
     }
 
     /// `[low, high]` inclusive value bounds of bucket `index`.
     pub fn bucket_bounds(index: usize) -> (u64, u64) {
-        if index == 0 {
-            (0, 0)
+        if index < 4 {
+            (index as u64, index as u64)
         } else {
-            let low = 1u64 << (index - 1).min(63);
-            let high = low.checked_mul(2).map_or(u64::MAX, |h| h - 1);
-            (low, high)
+            let exp = (index - 4) / 4 + 2;
+            let sub = ((index - 4) % 4) as u128;
+            let lo = (4 + sub) << (exp - 2);
+            let hi = ((5 + sub) << (exp - 2)) - 1;
+            (
+                u64::try_from(lo).unwrap_or(u64::MAX),
+                u64::try_from(hi).unwrap_or(u64::MAX),
+            )
         }
     }
 
@@ -106,9 +121,16 @@ mod tests {
         assert_eq!(Log2Histogram::bucket_index(0), 0);
         assert_eq!(Log2Histogram::bucket_index(1), 1);
         assert_eq!(Log2Histogram::bucket_index(2), 2);
-        assert_eq!(Log2Histogram::bucket_index(3), 2);
-        assert_eq!(Log2Histogram::bucket_index(4), 3);
-        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Log2Histogram::bucket_index(3), 3);
+        assert_eq!(Log2Histogram::bucket_index(4), 4);
+        assert_eq!(Log2Histogram::bucket_index(5), 5);
+        assert_eq!(Log2Histogram::bucket_index(7), 7);
+        assert_eq!(Log2Histogram::bucket_index(8), 8);
+        assert_eq!(Log2Histogram::bucket_index(9), 8);
+        assert_eq!(Log2Histogram::bucket_index(10), 9);
+        assert_eq!(Log2Histogram::bucket_index(63), 19);
+        assert_eq!(Log2Histogram::bucket_index(64), 20);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), BUCKETS - 1);
     }
 
     #[test]
@@ -124,6 +146,42 @@ mod tests {
             }
             next = hi + 1;
         }
+        panic!("top bucket never reached u64::MAX");
+    }
+
+    #[test]
+    fn index_and_bounds_agree() {
+        for v in [
+            0,
+            1,
+            3,
+            4,
+            7,
+            8,
+            31,
+            32,
+            63,
+            64,
+            100,
+            1000,
+            1 << 40,
+            u64::MAX,
+        ] {
+            let i = Log2Histogram::bucket_index(v);
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} i={i} lo={lo} hi={hi}");
+        }
+    }
+
+    #[test]
+    fn sub_buckets_resolve_within_an_octave() {
+        // The [32, 63] octave that flattened queue_wait_us in BENCH_5
+        // now splits into four buckets: 32..=39, 40..=47, 48..=55, 56..=63.
+        let mut seen = std::collections::BTreeSet::new();
+        for v in 32..64u64 {
+            seen.insert(Log2Histogram::bucket_index(v));
+        }
+        assert_eq!(seen.len(), 4, "buckets: {seen:?}");
     }
 
     #[test]
@@ -135,8 +193,9 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap[0], 1, "one zero");
         assert_eq!(snap[1], 2, "two ones");
-        assert_eq!(snap[2], 1, "one value in [2, 3]");
-        assert_eq!(snap[8], 3, "three values in [128, 255]");
+        assert_eq!(snap[3], 1, "one three");
+        let b200 = Log2Histogram::bucket_index(200);
+        assert_eq!(snap[b200], 3, "three values of 200");
         assert_eq!(snap.iter().sum::<u64>(), 7);
     }
 
@@ -145,10 +204,12 @@ mod tests {
         let h = Log2Histogram::new();
         h.record(0);
         h.record(5);
+        h.record(100);
         let text = render_buckets(&h.snapshot());
         assert!(text.contains("0                       1"), "text: {text}");
-        assert!(text.contains("4..=7                   1"), "text: {text}");
-        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("5                       1"), "text: {text}");
+        assert!(text.contains("96..=111                1"), "text: {text}");
+        assert_eq!(text.lines().count(), 3);
         assert!(render_buckets(&Log2Histogram::new().snapshot()).is_empty());
     }
 }

@@ -49,6 +49,7 @@ pub fn event_names(category: Category) -> &'static [&'static str] {
         Category::Checkpoint => &["checkpoint"],
         Category::Recovery => &["replay", "respawn"],
         Category::Stats => &["window", "gauges", "query"],
+        Category::Sched => &["announce", "drain"],
     }
 }
 

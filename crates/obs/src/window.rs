@@ -262,10 +262,12 @@ impl WindowedHistogram {
     }
 }
 
-/// Quantile extraction from log2 bucket counts: the upper bound of the
-/// bucket holding the rank-`⌈q·n⌉` observation, so the reported value is
-/// a deterministic upper estimate within one power of two (0 when the
-/// histogram is empty).
+/// Quantile extraction from log-linear bucket counts: the bucket holding
+/// the rank-`⌈q·n⌉` observation is located, then the reported value is
+/// interpolated linearly between the bucket's bounds by the rank's
+/// position among the bucket's occupants (a lone occupant reports the
+/// upper bound, keeping the estimate conservative). Deterministic pure
+/// integer arithmetic; 0 when the histogram is empty.
 pub fn percentile(counts: &[u64; BUCKETS], q: f64) -> u64 {
     let total: u64 = counts.iter().sum();
     if total == 0 {
@@ -274,10 +276,13 @@ pub fn percentile(counts: &[u64; BUCKETS], q: f64) -> u64 {
     let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
     let mut cum = 0u64;
     for (i, &n) in counts.iter().enumerate() {
-        cum += n;
-        if cum >= rank {
-            return Log2Histogram::bucket_bounds(i).1;
+        if n > 0 && cum + n >= rank {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            let into = rank - cum; // 1..=n
+            let span = (hi - lo) as u128;
+            return lo + (span * into as u128 / n as u128) as u64;
         }
+        cum += n;
     }
     Log2Histogram::bucket_bounds(BUCKETS - 1).1
 }
@@ -383,11 +388,13 @@ mod tests {
         assert_eq!(h.window_counts(), vec![4, 1]);
         let merged = h.merged();
         assert_eq!(merged[1], 2);
-        assert_eq!(merged[2], 1);
-        assert_eq!(merged[8], 1);
-        assert_eq!(merged[10], 1);
-        // Ranks: p50 is the 3rd of 5 → bucket [2,3] → upper bound 3.
+        assert_eq!(merged[3], 1);
+        assert_eq!(merged[Log2Histogram::bucket_index(200)], 1);
+        assert_eq!(merged[Log2Histogram::bucket_index(1000)], 1);
+        // Ranks: p50 is the 3rd of 5 → the singleton bucket for 3.
         assert_eq!(h.percentile(0.5), 3);
+        // p90 is the 5th of 5 → 1000's bucket [896, 1023], lone occupant
+        // → upper bound.
         assert_eq!(h.percentile(0.9), 1023);
         assert_eq!(h.max(), 1023);
     }
@@ -399,7 +406,7 @@ mod tests {
         h.record(25, 2); // window 2 evicts window 0
         h.record(35, 2);
         assert_eq!(h.count(), 2);
-        assert_eq!(h.max(), 3, "the 2^20 outlier left the horizon");
+        assert_eq!(h.max(), 2, "the 2^20 outlier left the horizon");
     }
 
     #[test]
@@ -410,8 +417,25 @@ mod tests {
         zeros[0] = 10;
         assert_eq!(percentile(&zeros, 0.5), 0);
         let mut one = [0u64; BUCKETS];
-        one[64] = 1;
+        one[BUCKETS - 1] = 1;
         assert_eq!(percentile(&one, 0.5), u64::MAX);
+    }
+
+    #[test]
+    fn percentiles_resolve_a_sub_ms_spread() {
+        // Regression for BENCH_5.json's queue_wait_us p50 == p95 == 63:
+        // the whole distribution sat inside the [32, 63] octave and
+        // power-of-two buckets flattened it. With log-linear sub-buckets
+        // and interpolation the spread must be visible again.
+        let mut h = WindowedHistogram::new(100, 4);
+        for v in 32..64u64 {
+            h.record(1, v);
+        }
+        let p50 = h.percentile(0.5);
+        let p95 = h.percentile(0.95);
+        assert!(p50 < p95, "p50={p50} p95={p95}");
+        assert!((40..=50).contains(&p50), "p50={p50}");
+        assert!(p95 >= 56, "p95={p95}");
     }
 
     #[test]

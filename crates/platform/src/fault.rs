@@ -334,6 +334,20 @@ impl FaultyPlatform {
         self.calls.load(Ordering::Relaxed)
     }
 
+    /// Rolls one observed attempt on `(endpoint, key)` back out of the
+    /// deterministic fault schedule — the undo for a speculative prefetch
+    /// that was issued but never consumed by its walker. After the
+    /// rollback, the next real fetch of the key draws the same fault the
+    /// abandoned attempt did, exactly as if the prefetch never happened.
+    /// The injection counts and fetch total are history (the call really
+    /// went out) and are left untouched.
+    pub fn forget_attempt(&self, endpoint: ApiEndpoint, key: u64) {
+        let mut attempts = self.attempts.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = attempts.get_mut(&(endpoint.index() as u8, key)) {
+            *slot = slot.saturating_sub(1);
+        }
+    }
+
     /// Draws the fault (if any) for the next attempt on (endpoint, key).
     /// `len` is the full result size, used to size truncations.
     fn draw(&self, endpoint: ApiEndpoint, key: u64, len: usize) -> Option<Fault> {

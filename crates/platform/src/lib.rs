@@ -43,6 +43,7 @@ pub mod persist;
 pub mod platform;
 pub mod post;
 pub mod scenario;
+pub mod slow;
 pub mod time;
 pub mod truth;
 pub mod user;
@@ -56,5 +57,6 @@ pub use ids::{KeywordId, PostId, UserId};
 pub use metric::UserMetric;
 pub use platform::{Platform, PlatformBuilder};
 pub use post::Post;
+pub use slow::SlowBackend;
 pub use time::{Duration, TimeWindow, Timestamp};
 pub use user::{Gender, UserProfile};

@@ -45,7 +45,10 @@ use crate::stats::{GaugeReading, StatsConfig, StatsHub};
 use microblog_analyzer::checkpoint::{CheckpointCtl, CheckpointSink};
 use microblog_analyzer::{Estimate, EstimateError, MicroblogAnalyzer, RunReport, WalkerCheckpoint};
 use microblog_api::cache::{CacheLayer, CacheStats, CoalesceStats, CoalescingLayer};
-use microblog_api::{ApiProfile, ResilienceStats, RetryPolicy};
+use microblog_api::{
+    ApiProfile, FetchScheduler, InflightPolicy, PrefetchSink, ResilienceStats, RetryPolicy,
+    SchedCloseGuard, SchedCounters, SchedStats,
+};
 use microblog_obs::{Category, FieldValue, Tracer};
 use microblog_platform::{
     crash_point, ApiBackend, CrashInjector, CrashMode, CrashPlan, FaultPlan, FaultyPlatform,
@@ -127,6 +130,26 @@ pub struct ServiceConfig {
     /// the tracer) after every N settled jobs; 0 emits only on demand
     /// ([`Service::emit_stats`]).
     pub stats_every: u64,
+    /// Pipeline announced fetches through a per-worker
+    /// [`FetchScheduler`]: walkers announce the calls their next steps
+    /// will need and [`InflightPolicy::depth`] prefetcher threads keep
+    /// them in flight. Purely a latency optimization — estimates,
+    /// charged totals, sample sequences and checkpoints are
+    /// bit-identical with the pipeline on or off.
+    pub pipeline: bool,
+    /// How many announced fetches the pipeline keeps outstanding at
+    /// once (per worker). Ignored unless [`ServiceConfig::pipeline`].
+    pub inflight: InflightPolicy,
+    /// Interleaved walker chains per SRW-family job (1 = the classic
+    /// solo walk). Chains interleave on the worker thread and share the
+    /// job's budget; with the pipeline on, one chain's compute overlaps
+    /// the other chains' fetch RTTs.
+    pub chains: usize,
+    /// Optional per-chain step cap for SRW-family jobs: clamps the walk
+    /// config's `max_steps`. Bounds worker CPU once a walk's neighborhood
+    /// is fully memoized and steps stop costing API calls. `None` leaves
+    /// each algorithm's own limit in force.
+    pub step_cap: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -147,6 +170,10 @@ impl Default for ServiceConfig {
             drain_timeout: None,
             stats: None,
             stats_every: 0,
+            pipeline: false,
+            inflight: InflightPolicy::default(),
+            chains: 1,
+            step_cap: None,
         }
     }
 }
@@ -450,6 +477,11 @@ struct WorkerCtx {
     stats: Arc<StatsHub>,
     stats_every: u64,
     coalescer: Option<Arc<CoalescingSharedCache>>,
+    pipeline: bool,
+    inflight_policy: InflightPolicy,
+    chains: usize,
+    step_cap: Option<usize>,
+    sched_counters: Arc<SchedCounters>,
 }
 
 enum SupervisorMsg {
@@ -488,6 +520,7 @@ pub struct Service {
     recovered_handles: Vec<JobHandle>,
     drained: bool,
     stats: Arc<StatsHub>,
+    sched_counters: Arc<SchedCounters>,
 }
 
 impl Service {
@@ -550,6 +583,9 @@ impl Service {
             .unwrap_or_else(|| Arc::new(StatsHub::new(StatsConfig::default())));
         let (sender, receiver) = mpsc::channel::<Job>();
         let (sup_sender, sup_receiver) = mpsc::channel::<SupervisorMsg>();
+        // One counter block shared by every worker's scheduler, so the
+        // pipeline gauges are service-wide like the fault counters.
+        let sched_counters = Arc::new(SchedCounters::default());
         let ctx = Arc::new(WorkerCtx {
             receiver: Arc::new(Mutex::new(receiver)),
             platform: Arc::clone(&platform),
@@ -571,6 +607,11 @@ impl Service {
             stats: Arc::clone(&stats),
             stats_every: config.stats_every,
             coalescer: coalescer.clone(),
+            pipeline: config.pipeline,
+            inflight_policy: config.inflight,
+            chains: config.chains.max(1),
+            step_cap: config.step_cap,
+            sched_counters: Arc::clone(&sched_counters),
         });
         let workers = Arc::new(Mutex::new(
             (0..config.workers.max(1))
@@ -606,6 +647,7 @@ impl Service {
             recovered_handles: Vec::new(),
             drained: false,
             stats,
+            sched_counters: Arc::clone(&ctx.sched_counters),
         };
         if let Some(summary) = replayed {
             service.recover(summary);
@@ -914,12 +956,19 @@ impl Service {
         self.stats.emit(&self.tracer, self.gauges());
     }
 
+    /// A point-in-time copy of the fetch-pipeline counters (all zero
+    /// when [`ServiceConfig::pipeline`] is off).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched_counters.snapshot()
+    }
+
     fn gauges(&self) -> GaugeReading {
         gauges_from(
             &self.quota,
             &self.inflight,
             &self.metrics,
             self.coalescer.as_ref(),
+            &self.sched_counters,
         )
     }
 }
@@ -934,30 +983,82 @@ impl Drop for Service {
 
 fn spawn_worker(ctx: Arc<WorkerCtx>) -> JoinHandle<()> {
     std::thread::spawn(move || {
-        let analyzer = match (&ctx.faulty, &ctx.custom_backend) {
-            (Some(injector), _) => MicroblogAnalyzer::with_backend(&**injector, ctx.api.clone()),
-            (None, Some(custom)) => MicroblogAnalyzer::with_backend(&**custom, ctx.api.clone()),
-            (None, None) => MicroblogAnalyzer::new(&ctx.platform, ctx.api.clone()),
+        let backend: &dyn ApiBackend = match (&ctx.faulty, &ctx.custom_backend) {
+            (Some(injector), _) => &**injector,
+            (None, Some(custom)) => &**custom,
+            (None, None) => &*ctx.platform,
         };
-        loop {
-            // Hold the lock only to pull the next job; when the channel
-            // closes (all senders dropped) the worker exits.
-            let job = match ctx.receiver.lock().recv() {
-                Ok(job) => job,
-                Err(_) => break,
-            };
-            match run_job(&analyzer, &ctx, job) {
-                RunEnd::Done => {}
-                RunEnd::Crashed { point, job } => {
-                    // A crashpoint killed this worker: hand the job to
-                    // the supervisor (which respawns a replacement) and
-                    // die.
-                    let _ = ctx.supervisor.send(SupervisorMsg::Crashed { point, job });
-                    return;
+        if !ctx.pipeline {
+            let mut analyzer =
+                MicroblogAnalyzer::with_backend(backend, ctx.api.clone()).with_chains(ctx.chains);
+            if let Some(cap) = ctx.step_cap {
+                analyzer = analyzer.with_step_cap(cap);
+            }
+            worker_loop(&analyzer, &ctx, None);
+            return;
+        }
+        // Pipelined: this worker's jobs announce upcoming fetches to a
+        // scheduler whose prefetcher threads keep `depth` calls in
+        // flight. The scheduler outlives the scope so the prefetchers
+        // can borrow it; the guard closes it on every exit path
+        // (including unwinds), so the scope join cannot hang on a
+        // parked prefetcher.
+        let sched = FetchScheduler::new(backend, Arc::clone(&ctx.sched_counters));
+        std::thread::scope(|scope| {
+            let _guard = SchedCloseGuard(&sched);
+            for _ in 0..ctx.inflight_policy.depth() {
+                scope.spawn(|| sched.run_prefetcher());
+            }
+            let mut analyzer = MicroblogAnalyzer::with_backend(&sched, ctx.api.clone())
+                .with_chains(ctx.chains)
+                .with_prefetch(&sched);
+            if let Some(cap) = ctx.step_cap {
+                analyzer = analyzer.with_step_cap(cap);
+            }
+            worker_loop(&analyzer, &ctx, Some(&sched));
+        });
+    })
+}
+
+/// The worker's job loop: pull, run, and — when pipelining — scrub the
+/// scheduler between jobs.
+fn worker_loop(
+    analyzer: &MicroblogAnalyzer<'_>,
+    ctx: &Arc<WorkerCtx>,
+    sched: Option<&FetchScheduler<'_>>,
+) {
+    loop {
+        // Hold the lock only to pull the next job; when the channel
+        // closes (all senders dropped) the worker exits.
+        let job = match ctx.receiver.lock().recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        let end = run_job(analyzer, ctx, job);
+        // Between jobs the scheduler must be empty. Keys a walk-ending
+        // break stranded are dropped, and their speculative fetches are
+        // rolled back on the shared fault schedule — so the next job
+        // (and a crash-requeued resume of this one) sees exactly the
+        // per-key attempt counters a sequential run would.
+        if let Some(sched) = sched {
+            let stranded = sched.reset();
+            if let Some(faulty) = &ctx.faulty {
+                for key in &stranded {
+                    faulty.forget_attempt(key.endpoint(), key.fault_key());
                 }
             }
         }
-    })
+        match end {
+            RunEnd::Done => {}
+            RunEnd::Crashed { point, job } => {
+                // A crashpoint killed this worker: hand the job to
+                // the supervisor (which respawns a replacement) and
+                // die.
+                let _ = ctx.supervisor.send(SupervisorMsg::Crashed { point, job });
+                return;
+            }
+        }
+    }
 }
 
 /// Watches for crashed workers: respawns each one and requeues its job
@@ -1417,9 +1518,11 @@ fn gauges_from(
     inflight: &Mutex<HashMap<u64, Arc<JobState>>>,
     metrics: &MetricsRegistry,
     coalescer: Option<&Arc<CoalescingSharedCache>>,
+    sched: &SchedCounters,
 ) -> GaugeReading {
     let snap = metrics.snapshot();
     let coalesce = coalescer.map(|layer| layer.stats());
+    let sched = sched.snapshot();
     GaugeReading {
         quota_consumed: quota.consumed(),
         quota_reserved: quota.reserved(),
@@ -1431,6 +1534,13 @@ fn gauges_from(
         coalesce_waits: coalesce.as_ref().map_or(0, |c| c.waits),
         coalesce_aborts: coalesce.as_ref().map_or(0, |c| c.aborts),
         coalesce_peak_inflight: coalesce.as_ref().map_or(0, |c| c.peak_inflight),
+        sched_announced: sched.announced,
+        sched_prefetched: sched.prefetched,
+        sched_hits: sched.hits,
+        sched_waits: sched.waits,
+        sched_claimed: sched.claimed,
+        sched_stranded: sched.stranded,
+        sched_peak_inflight: sched.peak_inflight,
     }
 }
 
@@ -1440,6 +1550,7 @@ fn gauge_reading(ctx: &WorkerCtx) -> GaugeReading {
         &ctx.inflight,
         &ctx.metrics,
         ctx.coalescer.as_ref(),
+        &ctx.sched_counters,
     )
 }
 

@@ -189,6 +189,22 @@ pub struct GaugeReading {
     pub coalesce_aborts: u64,
     /// Most requesters ever coalesced onto one flight.
     pub coalesce_peak_inflight: u64,
+    /// Fetch-pipeline keys accepted for prefetch (0 with the pipeline
+    /// off).
+    pub sched_announced: u64,
+    /// Fetch-pipeline backend calls issued by prefetcher threads.
+    pub sched_prefetched: u64,
+    /// Walker fetches served from a completed prefetch.
+    pub sched_hits: u64,
+    /// Walker fetches that parked on an in-flight prefetch.
+    pub sched_waits: u64,
+    /// Queued keys the walker claimed and fetched inline.
+    pub sched_claimed: u64,
+    /// Announced keys abandoned by walk-ending breaks (rolled back on
+    /// the fault schedule).
+    pub sched_stranded: u64,
+    /// Most prefetches ever in flight at once on one worker.
+    pub sched_peak_inflight: u64,
 }
 
 /// Live convergence state of one query.
@@ -549,7 +565,10 @@ impl StatsHub {
             "\"quota_consumed\":{},\"quota_reserved\":{},\"quota_remaining\":{},\
              \"inflight\":{},\"cache_hit_rate\":{},\"breaker_opens\":{},\
              \"breaker_fast_fails\":{},\"coalesce_leads\":{},\"coalesce_waits\":{},\
-             \"coalesce_aborts\":{},\"coalesce_peak_inflight\":{},\"geweke_z\":{}",
+             \"coalesce_aborts\":{},\"coalesce_peak_inflight\":{},\
+             \"sched_announced\":{},\"sched_prefetched\":{},\"sched_hits\":{},\
+             \"sched_waits\":{},\"sched_claimed\":{},\"sched_stranded\":{},\
+             \"sched_peak_inflight\":{},\"geweke_z\":{}",
             gauges.quota_consumed,
             gauges.quota_reserved,
             gauges
@@ -563,6 +582,13 @@ impl StatsHub {
             gauges.coalesce_waits,
             gauges.coalesce_aborts,
             gauges.coalesce_peak_inflight,
+            gauges.sched_announced,
+            gauges.sched_prefetched,
+            gauges.sched_hits,
+            gauges.sched_waits,
+            gauges.sched_claimed,
+            gauges.sched_stranded,
+            gauges.sched_peak_inflight,
             json_f64_opt(inner.latest_geweke),
         ));
         out.push_str(&format!("}},\"emissions\":{}}}", inner.emissions));
@@ -625,6 +651,16 @@ fn gauge_fields(inner: &Inner, g: &GaugeReading) -> Vec<(&'static str, FieldValu
         (
             "coalesce_peak_inflight",
             FieldValue::U64(g.coalesce_peak_inflight),
+        ),
+        ("sched_announced", FieldValue::U64(g.sched_announced)),
+        ("sched_prefetched", FieldValue::U64(g.sched_prefetched)),
+        ("sched_hits", FieldValue::U64(g.sched_hits)),
+        ("sched_waits", FieldValue::U64(g.sched_waits)),
+        ("sched_claimed", FieldValue::U64(g.sched_claimed)),
+        ("sched_stranded", FieldValue::U64(g.sched_stranded)),
+        (
+            "sched_peak_inflight",
+            FieldValue::U64(g.sched_peak_inflight),
         ),
     ];
     if let Some(z) = inner.latest_geweke {
@@ -831,8 +867,8 @@ mod tests {
             hub.observe(&event(EventKind::SpanEnd, cat, name, 130));
         }
         let snap = hub.snapshot_json(&GaugeReading::default());
-        // 30 ticks lands in the [16,31] log2 bucket; its inclusive
-        // upper bound is the deterministic percentile estimate.
+        // 30 ticks lands in the [28,31] log-linear sub-bucket; a lone
+        // occupant reports the inclusive upper bound.
         assert!(snap.contains("\"pilot\":{\"count\":1,\"p50\":31"));
         assert!(snap.contains("\"walk\":{\"count\":1,\"p50\":31"));
         assert!(snap.contains("\"estimate\":{\"count\":1,\"p50\":31"));

@@ -1,0 +1,323 @@
+//! Pipeline bit-identity properties: the fetch pipeline is a latency
+//! optimization and nothing else. With `ServiceConfig::pipeline` on,
+//! estimates, charged totals, per-chain sample sequences and checkpoint
+//! bytes must be bit-identical to sequential execution — including under
+//! injected faults and across a mid-walk crash/resume.
+
+use microblog_analyzer::checkpoint::{CheckpointCtl, CheckpointSink, WalkerCheckpoint};
+use microblog_analyzer::query::parse::parse_query;
+use microblog_analyzer::{Algorithm, MicroblogAnalyzer};
+use microblog_api::{
+    ApiProfile, FetchScheduler, InflightPolicy, RetryPolicy, SchedCloseGuard, SchedCounters,
+};
+use microblog_obs::{
+    Category, RecorderConfig, RingRecorder, TelemetryClock, TelemetryMode, TraceEvent, Tracer,
+};
+use microblog_platform::scenario::{twitter_2013, Scale, Scenario};
+use microblog_platform::{CrashPlan, FaultPlan};
+use microblog_service::{JobOutput, JobSpec, Service, ServiceConfig};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+const BUDGET: u64 = 4_000;
+const SEED: u64 = 7;
+const CHAINS: usize = 4;
+
+fn scenario() -> Scenario {
+    twitter_2013(Scale::Tiny, 2014)
+}
+
+fn spec(scenario: &Scenario) -> JobSpec {
+    JobSpec::new(
+        parse_query(
+            "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'",
+            scenario.platform.keywords(),
+        )
+        .expect("query parses"),
+        Algorithm::MaSrw { interval: None },
+        BUDGET,
+        SEED,
+    )
+}
+
+/// Runs one MA-SRW job through the service with the pipeline on or off,
+/// recording the full trace, and returns the output, the recorded
+/// events, and the settled quota consumption.
+fn run_traced(
+    pipeline: bool,
+    extra: impl FnOnce(&mut ServiceConfig),
+) -> (JobOutput, Vec<TraceEvent>, u64) {
+    let s = scenario();
+    let recorder = Arc::new(RingRecorder::new(RecorderConfig::default()));
+    let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+    let mut cfg = ServiceConfig {
+        workers: 1,
+        global_quota: Some(50_000),
+        telemetry: TelemetryMode::Logical,
+        tracer: Tracer::new(recorder.clone(), clock),
+        pipeline,
+        chains: CHAINS,
+        inflight: InflightPolicy::default(),
+        ..ServiceConfig::default()
+    };
+    extra(&mut cfg);
+    let service = Service::new(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg);
+    let out = service
+        .submit(spec(&s))
+        .expect("admitted")
+        .join()
+        .into_result()
+        .expect("job estimates");
+    let consumed = service.quota().consumed();
+    assert!(service.shutdown().clean);
+    (out, recorder.drain(), consumed)
+}
+
+/// The walk's sample sequence as (chain, node, matches, collide)
+/// tuples, in emission order. Comparing the full flat sequence also
+/// pins the chain interleaving order, which the seed determines.
+fn sample_seq(events: &[TraceEvent]) -> Vec<(u64, u64, u64, u64)> {
+    events
+        .iter()
+        .filter(|e| e.category == Category::Walk && e.name == "sample")
+        .map(|e| {
+            (
+                e.u64_field("chain").expect("chain field"),
+                e.u64_field("node").expect("node field"),
+                e.u64_field("matches").expect("matches field"),
+                e.u64_field("collide").expect("collide field"),
+            )
+        })
+        .collect()
+}
+
+/// Sample tuples of one chain, in order.
+fn chain_seq(samples: &[(u64, u64, u64, u64)], chain: u64) -> Vec<(u64, u64, u64)> {
+    samples
+        .iter()
+        .filter(|s| s.0 == chain)
+        .map(|s| (s.1, s.2, s.3))
+        .collect()
+}
+
+/// Pipelining on vs off: same estimate bits, same charge, same per-chain
+/// sample sequences — and the pipelined run actually pipelined.
+#[test]
+fn pipelined_run_is_bit_identical_to_sequential() {
+    let (seq, seq_events, seq_quota) = run_traced(false, |_| {});
+    let (pip, pip_events, pip_quota) = run_traced(true, |_| {});
+
+    assert_eq!(
+        pip.estimate.value.to_bits(),
+        seq.estimate.value.to_bits(),
+        "pipelining changed the estimate"
+    );
+    assert_eq!(pip.charged, seq.charged, "pipelining changed the charge");
+    assert_eq!(pip.estimate.samples, seq.estimate.samples);
+    assert_eq!(pip.estimate.cost, seq.estimate.cost);
+    assert_eq!(pip_quota, seq_quota, "quota settlement drifted");
+
+    let seq_samples = sample_seq(&seq_events);
+    let pip_samples = sample_seq(&pip_events);
+    assert!(!seq_samples.is_empty(), "the walk must sample");
+    assert_eq!(
+        seq_samples, pip_samples,
+        "pipelining reordered or altered the sample sequence"
+    );
+    for chain in 0..CHAINS as u64 {
+        assert_eq!(
+            chain_seq(&seq_samples, chain),
+            chain_seq(&pip_samples, chain),
+            "chain {chain} sample sequence drifted"
+        );
+    }
+
+    // The equality above must not be vacuous: the pipelined run has to
+    // have announced prefetches, and the sequential run none.
+    let announces = |evs: &[TraceEvent]| {
+        evs.iter()
+            .filter(|e| e.category == Category::Sched && e.name == "announce")
+            .count()
+    };
+    assert!(announces(&pip_events) > 0, "pipeline never engaged");
+    assert_eq!(announces(&seq_events), 0, "sequential run announced");
+}
+
+/// Collects every emitted checkpoint, not just the latest.
+#[derive(Default)]
+struct AllCheckpoints(Mutex<Vec<WalkerCheckpoint>>);
+
+impl CheckpointSink for AllCheckpoints {
+    fn record(&self, cp: &WalkerCheckpoint) {
+        self.0.lock().expect("sink lock").push(cp.clone());
+    }
+}
+
+/// Runs MA-SRW at the analyzer level with checkpointing, optionally
+/// through a live `FetchScheduler`, and returns (estimate bits, charged,
+/// serialized checkpoint stream).
+fn run_checkpointed(pipelined: bool) -> (u64, u64, Vec<String>) {
+    let s = scenario();
+    let query = parse_query(
+        "SELECT AVG(FOLLOWERS) FROM USERS WHERE KEYWORD = 'privacy'",
+        s.platform.keywords(),
+    )
+    .expect("query parses");
+    let sink = AllCheckpoints::default();
+    let report = if pipelined {
+        let counters = Arc::new(SchedCounters::default());
+        let sched = FetchScheduler::new(&s.platform, Arc::clone(&counters));
+        std::thread::scope(|scope| {
+            let _guard = SchedCloseGuard(&sched);
+            for _ in 0..InflightPolicy::default().depth() {
+                scope.spawn(|| sched.run_prefetcher());
+            }
+            let analyzer = MicroblogAnalyzer::with_backend(&sched, ApiProfile::twitter())
+                .with_chains(CHAINS)
+                .with_prefetch(&sched);
+            let mut ctl = CheckpointCtl::new(2, &sink);
+            analyzer.run_recoverable(
+                &query,
+                BUDGET,
+                Algorithm::MaSrw { interval: None },
+                SEED,
+                None,
+                &RetryPolicy::default(),
+                Tracer::disabled(),
+                &mut ctl,
+                None,
+            )
+        })
+    } else {
+        let analyzer =
+            MicroblogAnalyzer::with_backend(&s.platform, ApiProfile::twitter()).with_chains(CHAINS);
+        let mut ctl = CheckpointCtl::new(2, &sink);
+        analyzer.run_recoverable(
+            &query,
+            BUDGET,
+            Algorithm::MaSrw { interval: None },
+            SEED,
+            None,
+            &RetryPolicy::default(),
+            Tracer::disabled(),
+            &mut ctl,
+            None,
+        )
+    };
+    let est = report.outcome.expect("estimates");
+    let checkpoints = sink.0.into_inner().expect("sink lock");
+    let bytes = checkpoints
+        .iter()
+        .map(|cp| serde_json::to_string(cp).expect("checkpoint serializes"))
+        .collect();
+    (est.value.to_bits(), report.charged, bytes)
+}
+
+/// Every checkpoint a pipelined run emits is byte-identical to the one
+/// the sequential run emits at the same safe point: draining in-flight
+/// fetches before capture keeps resume state exact.
+#[test]
+fn checkpoint_stream_is_byte_identical() {
+    let (seq_bits, seq_charged, seq_cps) = run_checkpointed(false);
+    let (pip_bits, pip_charged, pip_cps) = run_checkpointed(true);
+    assert_eq!(pip_bits, seq_bits);
+    assert_eq!(pip_charged, seq_charged);
+    assert!(!seq_cps.is_empty(), "the run must checkpoint");
+    assert_eq!(
+        pip_cps.len(),
+        seq_cps.len(),
+        "pipelining changed the checkpoint cadence"
+    );
+    for (i, (a, b)) in seq_cps.iter().zip(&pip_cps).enumerate() {
+        assert_eq!(a, b, "checkpoint {i} bytes drifted under pipelining");
+    }
+}
+
+/// Under injected faults absorbed by retries, the pipelined run still
+/// lands on the sequential answer: the scheduler's per-key attempt
+/// accounting keeps the fault schedule aligned.
+#[test]
+fn pipelined_run_is_bit_identical_under_faults() {
+    let chaos = |cfg: &mut ServiceConfig| {
+        cfg.fault_plan = Some(FaultPlan::mixed(99, 0.10).with_max_consecutive(2));
+        cfg.retry = RetryPolicy::resilient().without_breaker();
+    };
+    let (seq, seq_events, _) = run_traced(false, chaos);
+    let (pip, pip_events, _) = run_traced(true, chaos);
+    assert_eq!(
+        pip.estimate.value.to_bits(),
+        seq.estimate.value.to_bits(),
+        "faults + pipelining changed the estimate"
+    );
+    assert_eq!(pip.charged, seq.charged);
+    assert_eq!(
+        sample_seq(&seq_events),
+        sample_seq(&pip_events),
+        "faults + pipelining altered the sample sequence"
+    );
+}
+
+fn journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ma-pipeline-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A pipelined worker killed mid-walk at a checkpoint safe point is
+/// respawned, resumes from the journaled checkpoint, and produces the
+/// sequential uninterrupted answer — with the quota settled exactly
+/// once.
+#[test]
+fn pipelined_crash_resume_matches_sequential_uninterrupted() {
+    let (baseline, _, _) = run_traced(false, |_| {});
+    let dir = journal_dir("kill");
+    let s = scenario();
+    let recorder = Arc::new(RingRecorder::new(RecorderConfig::default()));
+    let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+    let cfg = ServiceConfig {
+        workers: 1,
+        global_quota: Some(50_000),
+        telemetry: TelemetryMode::Logical,
+        tracer: Tracer::new(recorder.clone(), clock),
+        pipeline: true,
+        chains: CHAINS,
+        inflight: InflightPolicy::default(),
+        journal: Some(dir.clone()),
+        checkpoint_every: 2,
+        crash_plan: Some(CrashPlan::kill("checkpoint").with_hit(3)),
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg)
+        .expect("journal opens");
+    let out = service
+        .submit(spec(&s))
+        .expect("admitted")
+        .join()
+        .into_result()
+        .expect("crashed job still estimates after resume");
+    assert_eq!(
+        out.estimate.value.to_bits(),
+        baseline.estimate.value.to_bits(),
+        "pipelined crash/resume drifted from the sequential answer"
+    );
+    assert_eq!(out.charged, baseline.charged);
+    assert_eq!(
+        service.quota().consumed(),
+        baseline.charged,
+        "quota settled more (or less) than once across the crash"
+    );
+    assert_eq!(service.quota().reserved(), 0, "reservation leaked");
+    // The supervisor acknowledges the crash asynchronously; wait for the
+    // respawn without wall-clock sleeps.
+    for _ in 0..50_000_000u64 {
+        if service.metrics_snapshot().workers_respawned > 0 {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let snap = service.metrics_snapshot();
+    assert_eq!(snap.workers_respawned, 1, "supervisor must respawn");
+    assert!(snap.checkpoints_written > 0);
+    assert!(service.shutdown().clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}

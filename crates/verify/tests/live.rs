@@ -122,6 +122,47 @@ fn live_stats_stream_conserves_its_counters() {
 }
 
 #[test]
+fn pipelined_multichain_trace_is_violation_free() {
+    let s = scenario();
+    let sink = Arc::new(RingRecorder::new(RecorderConfig::default()));
+    let clock = Arc::new(TelemetryClock::new(TelemetryMode::Logical));
+    let tracer = Tracer::new(sink.clone(), clock);
+    let cfg = ServiceConfig {
+        workers: 1,
+        pipeline: true,
+        chains: 8,
+        telemetry: TelemetryMode::Logical,
+        tracer,
+        ..ServiceConfig::default()
+    };
+    let service = Service::start(Arc::new(s.platform.clone()), ApiProfile::twitter(), cfg)
+        .expect("service starts");
+    let mut spec = spec(&s);
+    spec.algorithm = Algorithm::MaSrw {
+        interval: Some(microblog_platform::Duration::DAY),
+    };
+    let out = service
+        .submit(spec)
+        .expect("admitted")
+        .join()
+        .into_result()
+        .expect("pipelined job estimates");
+    assert!(out.charged > 0);
+    service.shutdown();
+    let events = sink.drain();
+    let jsonl = render_jsonl(&events);
+    let a = audit(&jsonl);
+    assert!(a.ok(), "violations in pipelined trace: {:#?}", a.violations);
+    assert!(a.charged_calls > 0);
+    assert_eq!(a.conserved_jobs, 1, "the one job span must be conserved");
+    let settles = events
+        .iter()
+        .filter(|e| e.category == Category::Job && e.name == "settle")
+        .count();
+    assert_eq!(settles, 1, "exactly one settle despite prefetch threads");
+}
+
+#[test]
 fn crash_recovery_trace_is_violation_free() {
     let dir = std::env::temp_dir().join(format!("ma-verify-crash-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
